@@ -1,0 +1,1 @@
+bench/experiments.ml: Array Format List Printf Rrs_core Rrs_offline Rrs_sim Rrs_stats Rrs_uniform Rrs_workload

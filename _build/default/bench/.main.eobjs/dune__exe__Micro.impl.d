@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Format Hashtbl Instance List Measure Printf Result Rrs_core Rrs_offline Rrs_sim Rrs_stats Rrs_workload Staged Test Time Toolkit

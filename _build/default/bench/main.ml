@@ -1,0 +1,26 @@
+(* Benchmark / experiment harness entry point.
+
+   Prints the experiment tables E1-E16 (one per claim of the paper; see
+   DESIGN.md section 4 and EXPERIMENTS.md for the index) followed by the
+   E11 bechamel throughput microbenches.
+
+   Usage:
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe -- tables  # only the claim tables
+     dune exec bench/main.exe -- micro   # only the microbenches *)
+
+let () =
+  let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  Format.printf
+    "Reconfigurable Resource Scheduling with Variable Delay Bounds — experiment \
+     harness@.";
+  (match mode with
+  | "tables" -> Experiments.run_all ()
+  | "micro" -> Micro.run ()
+  | "all" ->
+      Experiments.run_all ();
+      Micro.run ()
+  | other ->
+      Format.printf "unknown mode %S (expected: all | tables | micro)@." other;
+      exit 1);
+  Format.printf "@.done.@."

@@ -1,0 +1,378 @@
+(* rrs — command-line front end for the reconfigurable-resource-scheduling
+   library.
+
+   Subcommands: gen, info, run, compare, sweep, validate. An instance
+   SOURCE argument is either a workload spec ("uniform:colors=8,load=0.9")
+   or "@path/to/file.trace". *)
+
+open Cmdliner
+
+let setup_logs verbose =
+  Fmt_tty.setup_std_outputs ();
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning)
+
+let verbose_arg =
+  let doc = "Enable debug-level engine tracing." in
+  Term.(const setup_logs $ Arg.(value & flag & info [ "v"; "verbose" ] ~doc))
+
+let load_source source =
+  if String.length source > 0 && source.[0] = '@' then
+    let path = String.sub source 1 (String.length source - 1) in
+    Rrs_sim.Trace.load ~path
+  else Rrs_workload.Spec.parse source
+
+let or_die = function
+  | Ok value -> value
+  | Error message ->
+      Format.eprintf "error: %s@." message;
+      exit 1
+
+let source_arg =
+  let doc =
+    "Instance source: a workload spec like 'uniform:colors=8,load=0.9' \
+     (kinds: " ^ String.concat ", " Rrs_workload.Spec.kinds
+    ^ ") or '@file.trace'."
+  in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"SOURCE" ~doc)
+
+let n_arg =
+  Arg.(value & opt int 8 & info [ "n" ] ~docv:"N" ~doc:"Online resources.")
+
+let m_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "m" ] ~docv:"M" ~doc:"Offline adversary resources (references).")
+
+(* ---- gen ---- *)
+
+let gen_cmd =
+  let output =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the trace to $(docv).")
+  in
+  let run source output =
+    let instance = or_die (load_source source) in
+    match output with
+    | Some path ->
+        Rrs_sim.Trace.save instance ~path;
+        Format.printf "%a@.wrote %s@." Rrs_sim.Instance.pp_summary instance path
+    | None -> print_string (Rrs_sim.Trace.to_string instance)
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a workload and print or save its trace.")
+    Term.(const run $ source_arg $ output)
+
+(* ---- info ---- *)
+
+let info_cmd =
+  let run source =
+    let instance = or_die (load_source source) in
+    Format.printf "%a@." Rrs_sim.Instance.pp_summary instance;
+    Format.printf "pipeline: %s@."
+      (Rrs_core.Solver.pipeline_to_string (Rrs_core.Solver.classify instance));
+    let bounds = instance.Rrs_sim.Instance.bounds in
+    let distinct = List.sort_uniq Int.compare (Array.to_list bounds) in
+    Format.printf "distinct delay bounds: %s@."
+      (String.concat ", " (List.map string_of_int distinct))
+  in
+  Cmd.v
+    (Cmd.info "info" ~doc:"Classify an instance and print its summary.")
+    Term.(const run $ source_arg)
+
+(* ---- run ---- *)
+
+let algo_arg =
+  let doc = "Algorithm: dlru, edf, dlru-edf, seq-edf, or solver (the layered pipeline)." in
+  Arg.(value & opt string "solver" & info [ "algo" ] ~docv:"ALGO" ~doc)
+
+let policy_of_name = function
+  | "dlru" -> Some (module Rrs_core.Policy_lru : Rrs_sim.Policy.POLICY)
+  | "edf" -> Some (module Rrs_core.Policy_edf)
+  | "dlru-edf" -> Some (module Rrs_core.Policy_lru_edf)
+  | "seq-edf" -> Some (module Rrs_core.Seq_edf)
+  | _ -> None
+
+let run_cmd =
+  let no_validate =
+    Arg.(value & flag & info [ "no-validate" ] ~doc:"Skip schedule validation.")
+  in
+  let timeline =
+    Arg.(
+      value & flag
+      & info [ "timeline" ]
+          ~doc:"Print an ASCII timeline of the schedule (solver only).")
+  in
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:"Print per-color QoS metrics (solver only).")
+  in
+  let run () source n algo no_validate timeline metrics =
+    let instance = or_die (load_source source) in
+    let delta = instance.Rrs_sim.Instance.delta in
+    match algo with
+    | "solver" -> (
+        let outcome = or_die (Rrs_core.Solver.solve ~n instance) in
+        Format.printf "pipeline: %s@."
+          (Rrs_core.Solver.pipeline_to_string outcome.pipeline);
+        Format.printf "cost: %d (reconfig %d x %d = %d, drops %d)@." outcome.cost
+          outcome.reconfig_count delta (delta * outcome.reconfig_count)
+          outcome.drop_count;
+        List.iter (fun (key, value) -> Format.printf "  %s = %d@." key value)
+          outcome.stats;
+        if timeline then
+          print_string (Rrs_stats.Render.timeline ~max_width:110 outcome.schedule);
+        if metrics then
+          Rrs_stats.Table.print
+            (Rrs_stats.Metrics.to_table
+               (Rrs_stats.Metrics.of_schedule outcome.schedule));
+        if not no_validate then
+          match Rrs_sim.Schedule.validate outcome.schedule with
+          | Ok () -> Format.printf "schedule: valid@."
+          | Error errors ->
+              Format.printf "schedule INVALID (%d errors):@." (List.length errors);
+              List.iteri
+                (fun i e -> if i < 5 then Format.printf "  %s@." e)
+                errors;
+              exit 1)
+    | name -> (
+        match policy_of_name name with
+        | None ->
+            Format.eprintf "unknown algorithm %S@." name;
+            exit 1
+        | Some policy ->
+            let result =
+              Rrs_sim.Engine.run ~record_events:(not no_validate) ~n ~policy
+                instance
+            in
+            Format.printf "%a@." Rrs_sim.Ledger.pp_summary result.ledger;
+            List.iter (fun (key, value) -> Format.printf "  %s = %d@." key value)
+              result.stats;
+            if not no_validate then
+              let schedule =
+                Rrs_sim.Schedule.of_run ~instance ~n ~speed:1 result.ledger
+              in
+              match Rrs_sim.Schedule.validate schedule with
+              | Ok () -> Format.printf "schedule: valid@."
+              | Error errors ->
+                  Format.printf "schedule INVALID (%d errors)@."
+                    (List.length errors);
+                  exit 1)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one algorithm on an instance.")
+    Term.(
+      const run $ verbose_arg $ source_arg $ n_arg $ algo_arg $ no_validate
+      $ timeline $ metrics)
+
+(* ---- compare ---- *)
+
+let csv_arg =
+  Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of an ASCII table.")
+
+let compare_cmd =
+  let exact =
+    Arg.(
+      value & opt int 0
+      & info [ "exact" ] ~docv:"STATES"
+          ~doc:"Brute-force OPT state budget (0 = skip).")
+  in
+  let run source n m exact csv =
+    let instance = or_die (load_source source) in
+    if not csv then Format.printf "%a@." Rrs_sim.Instance.pp_summary instance;
+    let reference = Rrs_stats.Experiment.reference ~exact_budget:exact ~m instance in
+    if not csv then
+    Format.printf "references (m=%d): lower bound %d%s%s@." m
+      reference.lower_bound
+      (match reference.exact with
+      | Some opt -> Printf.sprintf ", exact OPT %d" opt
+      | None -> "")
+      (match reference.greedy_upper with
+      | Some g -> Printf.sprintf ", greedy upper %d" g
+      | None -> "");
+    let table =
+      Rrs_stats.Table.create ~title:(Printf.sprintf "comparison (n=%d)" n)
+        ~columns:[ "algorithm"; "cost"; "reconfig"; "drops"; "ratio" ]
+    in
+    List.iter
+      (fun (name, policy) ->
+        let row = Rrs_stats.Experiment.run_policy ~n ~reference ~policy instance in
+        Rrs_stats.Table.add_row table
+          [
+            name;
+            Rrs_stats.Table.cell_int row.cost;
+            Rrs_stats.Table.cell_int row.reconfig_count;
+            Rrs_stats.Table.cell_int row.drop_count;
+            Rrs_stats.Table.cell_ratio row.ratio;
+          ])
+      Rrs_stats.Experiment.standard_policies;
+    (match Rrs_stats.Experiment.run_solver ~n ~reference instance with
+    | Ok row ->
+        Rrs_stats.Table.add_row table
+          [
+            row.algorithm;
+            Rrs_stats.Table.cell_int row.cost;
+            Rrs_stats.Table.cell_int row.reconfig_count;
+            Rrs_stats.Table.cell_int row.drop_count;
+            Rrs_stats.Table.cell_ratio row.ratio;
+          ]
+    | Error message -> Format.printf "solver failed: %s@." message);
+    if csv then print_string (Rrs_stats.Table.to_csv table)
+    else Rrs_stats.Table.print table
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:"Compare all policies and the solver against offline references.")
+    Term.(const run $ source_arg $ n_arg $ m_arg $ exact $ csv_arg)
+
+(* ---- sweep ---- *)
+
+let sweep_cmd =
+  let factors =
+    Arg.(
+      value
+      & opt (list int) [ 1; 2; 4; 8; 16 ]
+      & info [ "factors" ] ~docv:"LIST" ~doc:"Augmentation factors n/m.")
+  in
+  let run source m factors csv =
+    let instance = or_die (load_source source) in
+    let table =
+      Rrs_stats.Table.create
+        ~title:(Printf.sprintf "augmentation sweep (m=%d)" m)
+        ~columns:[ "n/m"; "n"; "cost"; "reconfig"; "drops"; "ratio" ]
+    in
+    List.iter
+      (fun (factor, result) ->
+        match result with
+        | Ok (row : Rrs_stats.Experiment.row) ->
+            Rrs_stats.Table.add_row table
+              [
+                Rrs_stats.Table.cell_int factor;
+                Rrs_stats.Table.cell_int row.n;
+                Rrs_stats.Table.cell_int row.cost;
+                Rrs_stats.Table.cell_int row.reconfig_count;
+                Rrs_stats.Table.cell_int row.drop_count;
+                Rrs_stats.Table.cell_ratio row.ratio;
+              ]
+        | Error message ->
+            Rrs_stats.Table.add_row table
+              [ Rrs_stats.Table.cell_int factor; "-"; "-"; "-"; "-"; message ])
+      (Rrs_stats.Experiment.sweep_augmentation ~m ~factors instance);
+    if csv then print_string (Rrs_stats.Table.to_csv table)
+    else Rrs_stats.Table.print table
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Solver cost across resource-augmentation factors.")
+    Term.(const run $ source_arg $ m_arg $ factors $ csv_arg)
+
+(* ---- validate ---- *)
+
+let validate_cmd =
+  let run source n =
+    let instance = or_die (load_source source) in
+    let outcome = or_die (Rrs_core.Solver.solve ~n instance) in
+    match Rrs_sim.Schedule.validate outcome.schedule with
+    | Ok () ->
+        Format.printf "ok: %s pipeline, cost %d, schedule valid@."
+          (Rrs_core.Solver.pipeline_to_string outcome.pipeline)
+          outcome.cost
+    | Error errors ->
+        Format.printf "INVALID (%d errors)@." (List.length errors);
+        List.iteri (fun i e -> if i < 10 then Format.printf "  %s@." e) errors;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:"Run the solver and independently validate its schedule.")
+    Term.(const run $ source_arg $ n_arg)
+
+(* ---- weighted (companion problem) ---- *)
+
+let weighted_cmd =
+  let costs =
+    Arg.(
+      value & opt (some (list int)) None
+      & info [ "costs" ] ~docv:"LIST"
+          ~doc:"Per-color drop costs (comma separated, one per color).")
+  in
+  let precious =
+    Arg.(
+      value & opt int 0
+      & info [ "precious" ] ~docv:"K"
+          ~doc:"Give the first $(docv) colors the --precious-cost (ignored \
+                with --costs).")
+  in
+  let precious_cost =
+    Arg.(
+      value & opt int 10
+      & info [ "precious-cost" ] ~docv:"C" ~doc:"Drop cost of precious colors.")
+  in
+  let run source n costs precious precious_cost csv =
+    let weighted =
+      if String.length source > 0 && source.[0] = '@' then
+        let path = String.sub source 1 (String.length source - 1) in
+        or_die (Rrs_uniform.Weighted_trace.load ~path)
+      else
+        let instance = or_die (load_source source) in
+        let num_colors = Rrs_sim.Instance.num_colors instance in
+        let drop_costs =
+          match costs with
+          | Some list ->
+              if List.length list <> num_colors then begin
+                Format.eprintf "error: %d costs for %d colors@."
+                  (List.length list) num_colors;
+                exit 1
+              end;
+              Array.of_list list
+          | None ->
+              Array.init num_colors (fun c ->
+                  if c < precious then precious_cost else 1)
+        in
+        or_die (Rrs_uniform.Weighted.make ~instance ~drop_costs)
+    in
+    if not csv then begin
+      Format.printf "%a@." Rrs_sim.Instance.pp_summary
+        weighted.Rrs_uniform.Weighted.instance;
+      Format.printf "weighted lower bound: %d@."
+        (Rrs_uniform.Weighted.lower_bound weighted)
+    end;
+    let table =
+      Rrs_stats.Table.create
+        ~title:(Printf.sprintf "weighted comparison (n=%d)" n)
+        ~columns:[ "algorithm"; "weighted cost" ]
+    in
+    let policies =
+      ( "landlord",
+        Rrs_uniform.Landlord.policy
+          ~drop_costs:weighted.Rrs_uniform.Weighted.drop_costs )
+      :: Rrs_stats.Experiment.standard_policies
+    in
+    List.iter
+      (fun (name, policy) ->
+        let cost = Rrs_uniform.Weighted.run_policy ~n ~policy weighted in
+        Rrs_stats.Table.add_row table [ name; Rrs_stats.Table.cell_int cost ])
+      policies;
+    if csv then print_string (Rrs_stats.Table.to_csv table)
+    else Rrs_stats.Table.print table
+  in
+  Cmd.v
+    (Cmd.info "weighted"
+       ~doc:
+         "Companion problem [delta | c_l | D | D]: compare the weight-aware \
+          Landlord policy against the weight-blind algorithms.")
+    Term.(
+      const run $ source_arg $ n_arg $ costs $ precious $ precious_cost $ csv_arg)
+
+let () =
+  let doc = "reconfigurable resource scheduling with variable delay bounds" in
+  let info = Cmd.info "rrs" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            gen_cmd; info_cmd; run_cmd; compare_cmd; sweep_cmd; validate_cmd;
+            weighted_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/adversary_demo.ml: Format List Rrs_sim Rrs_stats Rrs_workload

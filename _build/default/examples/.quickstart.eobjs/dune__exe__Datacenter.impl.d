@@ -1,0 +1,1 @@
+examples/datacenter.ml: Format List Rrs_sim Rrs_stats Rrs_workload

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Rrs_core Rrs_offline Rrs_sim Rrs_stats

@@ -1,0 +1,1 @@
+examples/router.ml: Format List Rrs_core Rrs_sim Rrs_stats Rrs_workload

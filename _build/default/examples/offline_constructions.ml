@@ -1,0 +1,87 @@
+(* The paper's offline constructions, live: Aggregate (Lemma 4.1) and
+   the punctual-schedule construction (Lemma 5.3).
+
+   These are the machinery behind Theorems 2 and 3: they show that an
+   optimal offline schedule can be massaged — at a constant-factor
+   resource and reconfiguration overhead — into the restricted forms
+   (rate-limited subcolors, punctual executions) that the online
+   reductions need to compete against.
+
+   Run with: dune exec examples/offline_constructions.exe *)
+
+module Instance = Rrs_sim.Instance
+module Schedule = Rrs_sim.Schedule
+module OS = Rrs_offline.Offline_schedule
+
+let show_grid name (grid : OS.t) =
+  Format.printf "  %-28s %d resources, %d executions, %d reconfigurations@." name
+    grid.OS.m (OS.exec_count grid) (OS.reconfig_count grid)
+
+let () =
+  (* --- Aggregate --- *)
+  Format.printf "=== Aggregate (Lemma 4.1) ===@.";
+  let batched =
+    Rrs_workload.Random_workloads.bursty ~seed:3 ~colors:6 ~delta:2
+      ~bound_log_range:(0, 4) ~horizon:96 ~load:2.0 ~churn:0.4
+      ~rate_limited:false ()
+  in
+  Format.printf "%a@." Instance.pp_summary batched;
+  (* A thrashy schedule T: online EDF with 4 resources. *)
+  let run =
+    Rrs_sim.Engine.run ~record_events:true ~n:4
+      ~policy:(module Rrs_core.Policy_edf) batched
+  in
+  let t = OS.of_schedule (Schedule.of_run ~instance:batched ~n:4 ~speed:1 run.ledger) in
+  show_grid "input T" t;
+  (match Rrs_offline.Aggregate.run t with
+  | Error message -> Format.printf "aggregate failed: %s@." message
+  | Ok result -> (
+      show_grid "output T' (subcolors)" result.output;
+      Format.printf "  subcolor instance has %d colors (from %d); relabels %d, \
+                     fallback placements %d@."
+        (Instance.num_colors result.inner_instance)
+        (Instance.num_colors batched) result.relabels result.fallback_placements;
+      match OS.to_schedule result.output with
+      | Error message -> Format.printf "  output replay failed: %s@." message
+      | Ok schedule ->
+          Format.printf "  output validates: %b@."
+            (Schedule.validate schedule = Ok ())));
+
+  (* --- Punctualize --- *)
+  Format.printf "@.=== Punctual schedules (Lemmas 5.1-5.3) ===@.";
+  let base =
+    Rrs_workload.Random_workloads.uniform ~seed:8 ~colors:5 ~delta:3
+      ~bound_log_range:(1, 4) ~horizon:96 ~load:0.7 ~rate_limited:true ()
+  in
+  (* Jitter arrivals so the greedy schedule mixes early, punctual and
+     late executions. *)
+  let rng = Rrs_workload.Gen.create ~seed:99 in
+  let instance =
+    Instance.make ~name:"jittered" ~delta:3 ~bounds:base.Instance.bounds
+      ~arrivals:
+        (List.map
+           (fun (round, request) -> (round + Rrs_workload.Gen.int rng 3, request))
+           (Instance.nonempty_arrivals base))
+      ()
+  in
+  Format.printf "%a@." Instance.pp_summary instance;
+  match Rrs_offline.Greedy_offline.run ~m:2 instance with
+  | Error message -> Format.printf "greedy failed: %s@." message
+  | Ok { schedule; _ } -> (
+      let s = OS.of_schedule schedule in
+      show_grid "input S (greedy offline)" s;
+      let early, punctual, late = Rrs_offline.Punctualize.split s in
+      Format.printf "  execution classes: %d early / %d punctual / %d late@."
+        (OS.exec_count early) (OS.exec_count punctual) (OS.exec_count late);
+      match Rrs_offline.Punctualize.punctual_schedule s with
+      | Error message -> Format.printf "punctualize failed: %s@." message
+      | Ok out -> (
+          show_grid "output S' (punctual)" out;
+          let e, p, l = Rrs_offline.Punctualize.split out in
+          Format.printf "  output classes: %d early / %d punctual / %d late@."
+            (OS.exec_count e) (OS.exec_count p) (OS.exec_count l);
+          match OS.to_schedule out with
+          | Error message -> Format.printf "  output replay failed: %s@." message
+          | Ok validated ->
+              Format.printf "  output validates: %b@."
+                (Schedule.validate validated = Ok ())))

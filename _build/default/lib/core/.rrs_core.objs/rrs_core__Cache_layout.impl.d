@@ -1,0 +1,1 @@
+lib/core/cache_layout.ml: Array Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/core/cache_layout.mli: Rrs_sim

@@ -1,0 +1,1 @@
+lib/core/color_state.ml: Array Hashtbl Int List Rrs_sim

@@ -1,0 +1,1 @@
+lib/core/color_state.mli: Rrs_sim

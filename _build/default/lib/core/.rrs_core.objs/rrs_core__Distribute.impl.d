@@ -1,0 +1,1 @@
+lib/core/distribute.ml: Array List Policy_lru_edf Reduction Rrs_sim

@@ -1,0 +1,1 @@
+lib/core/distribute.mli: Rrs_sim Stdlib

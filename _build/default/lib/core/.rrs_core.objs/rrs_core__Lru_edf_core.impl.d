@@ -1,0 +1,1 @@
+lib/core/lru_edf_core.ml: Cache_layout Color_state Float Hashtbl Instrument List Printf Ranking Rrs_ds Rrs_sim

@@ -1,0 +1,1 @@
+lib/core/lru_edf_core.mli: Rrs_sim

@@ -1,0 +1,1 @@
+lib/core/par_edf.ml: Array List Ranking Rrs_sim

@@ -1,0 +1,1 @@
+lib/core/policy_edf.mli: Rrs_sim

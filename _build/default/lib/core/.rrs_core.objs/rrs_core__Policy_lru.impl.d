@@ -1,0 +1,1 @@
+lib/core/policy_lru.ml: Cache_layout Color_state Hashtbl List Ranking Rrs_ds Rrs_sim

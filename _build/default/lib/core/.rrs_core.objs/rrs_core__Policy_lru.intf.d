@@ -1,0 +1,1 @@
+lib/core/policy_lru.mli: Rrs_sim

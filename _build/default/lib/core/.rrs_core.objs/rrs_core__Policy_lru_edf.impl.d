@@ -1,0 +1,1 @@
+lib/core/policy_lru_edf.ml: Lru_edf_core

@@ -1,0 +1,1 @@
+lib/core/policy_lru_k.ml: Cache_layout Color_state Hashtbl Int List Rrs_ds Rrs_sim

@@ -1,0 +1,1 @@
+lib/core/policy_lru_k.mli: Rrs_sim

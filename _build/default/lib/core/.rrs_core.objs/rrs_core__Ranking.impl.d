@@ -1,0 +1,1 @@
+lib/core/ranking.ml: Array Color_state Int Rrs_sim

@@ -1,0 +1,1 @@
+lib/core/ranking.mli: Color_state Rrs_sim

@@ -1,0 +1,1 @@
+lib/core/reduction.ml: List Rrs_sim

@@ -1,0 +1,1 @@
+lib/core/seq_edf.ml: Array Cache_layout Color_state Hashtbl List Ranking Rrs_ds Rrs_sim

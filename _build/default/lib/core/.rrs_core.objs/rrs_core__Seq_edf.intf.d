@@ -1,0 +1,1 @@
+lib/core/seq_edf.mli: Rrs_sim

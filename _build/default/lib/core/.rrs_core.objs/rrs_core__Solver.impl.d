@@ -1,0 +1,1 @@
+lib/core/solver.ml: Distribute Policy_lru_edf Printf Rrs_sim Var_batch

@@ -1,0 +1,1 @@
+lib/core/var_batch.ml: Array Distribute Fun List Reduction Rrs_sim

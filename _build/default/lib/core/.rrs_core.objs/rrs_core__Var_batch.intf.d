@@ -1,0 +1,1 @@
+lib/core/var_batch.mli: Distribute Rrs_sim Stdlib

@@ -1,0 +1,39 @@
+let place ~n ~copies ~current ~want =
+  if copies < 1 then invalid_arg "Cache_layout.place: copies must be >= 1";
+  let needed = Hashtbl.create 16 in
+  List.iter
+    (fun color ->
+      if Hashtbl.mem needed color then
+        invalid_arg "Cache_layout.place: duplicate wanted color";
+      Hashtbl.replace needed color copies)
+    want;
+  if copies * List.length want > n then
+    invalid_arg
+      (Printf.sprintf "Cache_layout.place: %d copies of %d colors exceed %d locations"
+         copies (List.length want) n);
+  let target = Array.make n None in
+  (* Keep existing placements of wanted colors. *)
+  for location = 0 to n - 1 do
+    match current.(location) with
+    | Some color when (try Hashtbl.find needed color with Not_found -> 0) > 0 ->
+        target.(location) <- Some color;
+        Hashtbl.replace needed color (Hashtbl.find needed color - 1)
+    | Some _ | None -> ()
+  done;
+  (* Fill missing copies into the lowest free locations. *)
+  let next_free = ref 0 in
+  let take_free () =
+    while !next_free < n && target.(!next_free) <> None do incr next_free done;
+    if !next_free >= n then invalid_arg "Cache_layout.place: out of locations";
+    let location = !next_free in
+    incr next_free;
+    location
+  in
+  List.iter
+    (fun color ->
+      let missing = try Hashtbl.find needed color with Not_found -> 0 in
+      for _ = 1 to missing do
+        target.(take_free ()) <- Some color
+      done)
+    want;
+  target

@@ -1,0 +1,23 @@
+(** Stable placement of a wanted color set onto cache locations.
+
+    Policies decide {e which} colors to cache; this module decides
+    {e where}, preserving existing placements so that the engine's
+    location diff charges exactly one reconfiguration per newly placed
+    copy. Each wanted color is cached in [copies] locations (Section 3.1
+    replicates every cached color in two locations; Seq-EDF uses one). *)
+
+(** [place ~n ~copies ~current ~want] is a target assignment of length [n]
+    in which every color of [want] occupies exactly [copies] locations and
+    all other locations are inactive ([None]).
+
+    Locations already holding a wanted color are kept (up to [copies]);
+    missing copies go to the lowest-index locations not otherwise used.
+
+    @raise Invalid_argument if [want] has duplicates or
+    [copies * |want| > n]. *)
+val place :
+  n:int ->
+  copies:int ->
+  current:Rrs_sim.Types.color option array ->
+  want:Rrs_sim.Types.color list ->
+  Rrs_sim.Types.color option array

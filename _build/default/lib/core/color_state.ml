@@ -1,0 +1,178 @@
+module Types = Rrs_sim.Types
+
+type color_info = {
+  mutable cnt : int;
+  mutable dd : int;
+  mutable eligible : bool;
+  mutable last_wrap : int; (* round of the most recent wrap; -1 if none *)
+  mutable prev_wrap : int; (* round of the wrap before that; -1 if none *)
+  mutable prev2_wrap : int; (* round of the wrap before prev_wrap; -1 if none *)
+  mutable epochs_ended : int;
+  mutable active_in_epoch : bool; (* any arrival since the last epoch end *)
+  mutable eligible_drops : int;
+  mutable ineligible_drops : int;
+  mutable last_timestamp : int; (* last value reported, to detect updates *)
+}
+
+type t = {
+  delta : int;
+  bounds : int array;
+  info : color_info array;
+  boundary_groups : (int * int list) list; (* (bound, colors with that bound) *)
+  mutable wraps : int;
+  mutable timestamp_updates : int;
+  mutable timestamp_event_log : (int * int) list; (* reverse chronological *)
+  record_timestamp_events : bool;
+}
+
+let fresh_info () =
+  {
+    cnt = 0;
+    dd = 0;
+    eligible = false;
+    last_wrap = -1;
+    prev_wrap = -1;
+    prev2_wrap = -1;
+    epochs_ended = 0;
+    active_in_epoch = false;
+    eligible_drops = 0;
+    ineligible_drops = 0;
+    last_timestamp = 0;
+  }
+
+let create ?(record_timestamp_events = false) ~delta ~bounds () =
+  let num_colors = Array.length bounds in
+  let groups = Hashtbl.create 8 in
+  Array.iteri
+    (fun color bound ->
+      let colors = try Hashtbl.find groups bound with Not_found -> [] in
+      Hashtbl.replace groups bound (color :: colors))
+    bounds;
+  let boundary_groups =
+    Hashtbl.fold (fun bound colors acc -> (bound, List.rev colors) :: acc) groups []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
+  {
+    delta;
+    bounds;
+    info = Array.init num_colors (fun _ -> fresh_info ());
+    boundary_groups;
+    wraps = 0;
+    timestamp_updates = 0;
+    timestamp_event_log = [];
+    record_timestamp_events;
+  }
+
+let num_colors t = Array.length t.info
+let eligible t color = t.info.(color).eligible
+let deadline t color = t.info.(color).dd
+
+(* Timestamp of [color] as of [round]: the latest wrap round strictly
+   before [k], where [k] is the most recent multiple of the color's bound.
+   Wraps happen only at multiples of the bound, so the two most recent
+   wrap rounds suffice: [last_wrap <= k] always, with equality exactly
+   when the wrap happened at boundary [k] itself. *)
+let timestamp t color ~round =
+  let info = t.info.(color) in
+  let k = round - (round mod t.bounds.(color)) in
+  if info.last_wrap >= 0 && info.last_wrap < k then info.last_wrap
+  else if info.prev_wrap >= 0 then info.prev_wrap
+  else 0
+
+(* LRU-2 timestamp: the second-to-last wrap round strictly before the
+   most recent boundary [k] (O'Neil et al.'s LRU-K with K = 2, adapted to
+   the ΔLRU notion of a reference = a counter wrap). *)
+let timestamp2 t color ~round =
+  let info = t.info.(color) in
+  let k = round - (round mod t.bounds.(color)) in
+  if info.last_wrap >= 0 && info.last_wrap < k then
+    if info.prev_wrap >= 0 then info.prev_wrap else 0
+  else if info.prev_wrap >= 0 then
+    if info.prev2_wrap >= 0 then info.prev2_wrap else 0
+  else 0
+
+(* A timestamp update event of [color] (Section 3.4) happens when the
+   derived timestamp changes value; we detect it at boundaries, where it
+   can only change. *)
+let note_timestamp t color ~round =
+  let info = t.info.(color) in
+  let current = timestamp t color ~round in
+  if current <> info.last_timestamp then begin
+    info.last_timestamp <- current;
+    t.timestamp_updates <- t.timestamp_updates + 1;
+    if t.record_timestamp_events then
+      t.timestamp_event_log <- (round, color) :: t.timestamp_event_log
+  end
+
+let iter_boundary_colors t ~round f =
+  List.iter
+    (fun (bound, colors) -> if round mod bound = 0 then List.iter f colors)
+    t.boundary_groups
+
+let on_drop t ~round ~dropped ~in_cache =
+  (* Classify this round's drops with pre-reset eligibility. *)
+  List.iter
+    (fun (color, count) ->
+      let info = t.info.(color) in
+      if info.eligible then info.eligible_drops <- info.eligible_drops + count
+      else info.ineligible_drops <- info.ineligible_drops + count)
+    dropped;
+  (* Boundary resets: an eligible, uncached color becomes ineligible and
+     its counter resets — the end of an epoch. *)
+  iter_boundary_colors t ~round (fun color ->
+      let info = t.info.(color) in
+      if info.eligible && not (in_cache color) then begin
+        info.eligible <- false;
+        info.cnt <- 0;
+        info.epochs_ended <- info.epochs_ended + 1;
+        info.active_in_epoch <- false
+      end)
+
+let on_arrival t ~round ~request =
+  (* Every color at its boundary refreshes its deadline. *)
+  iter_boundary_colors t ~round (fun color ->
+      let info = t.info.(color) in
+      info.dd <- round + t.bounds.(color);
+      note_timestamp t color ~round);
+  (* Arriving jobs update counters; a wrap makes the color eligible. *)
+  List.iter
+    (fun (color, count) ->
+      let info = t.info.(color) in
+      if count > 0 then begin
+        info.active_in_epoch <- true;
+        info.cnt <- info.cnt + count;
+        if info.cnt >= t.delta then begin
+          info.cnt <- info.cnt mod t.delta;
+          info.prev2_wrap <- info.prev_wrap;
+          info.prev_wrap <- info.last_wrap;
+          info.last_wrap <- round;
+          t.wraps <- t.wraps + 1;
+          if not info.eligible then info.eligible <- true
+        end
+      end)
+    request
+
+let eligible_colors t =
+  let acc = ref [] in
+  for color = num_colors t - 1 downto 0 do
+    if t.info.(color).eligible then acc := color :: !acc
+  done;
+  !acc
+
+let stats t =
+  let epochs = ref 0 and eligible_drops = ref 0 and ineligible_drops = ref 0 in
+  Array.iter
+    (fun info ->
+      epochs := !epochs + info.epochs_ended + (if info.active_in_epoch then 1 else 0);
+      eligible_drops := !eligible_drops + info.eligible_drops;
+      ineligible_drops := !ineligible_drops + info.ineligible_drops)
+    t.info;
+  [
+    ("epochs", !epochs);
+    ("wraps", t.wraps);
+    ("timestamp_updates", t.timestamp_updates);
+    ("eligible_drops", !eligible_drops);
+    ("ineligible_drops", !ineligible_drops);
+  ]
+
+let timestamp_events t = List.rev t.timestamp_event_log

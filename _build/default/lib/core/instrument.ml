@@ -1,0 +1,46 @@
+(** Analysis instrumentation helpers (Sections 3.2 and 3.4).
+
+    The lemma-level experiments need quantities that live outside any one
+    policy: super-epoch counts derived from timestamp-update events, and
+    convenient access to the counters policies report via [stats]. *)
+
+(** Look up a counter in a policy's stats list (0 when absent). *)
+let stat stats key =
+  match List.assoc_opt key stats with Some value -> value | None -> 0
+
+(** Epochs including the trailing incomplete ones (Section 3.2's
+    [numEpochs]). *)
+let num_epochs stats = stat stats "epochs"
+
+let eligible_drops stats = stat stats "eligible_drops"
+let ineligible_drops stats = stat stats "ineligible_drops"
+let wraps stats = stat stats "wraps"
+
+(** Count super-epochs from chronological timestamp-update events
+    (Section 3.4): a super-epoch ends the moment at least [watermark]
+    distinct colors have updated their timestamps since it started; the
+    trailing partial super-epoch counts when nonempty. For Theorem 1 the
+    watermark is [2m = n/4]. *)
+let super_epochs ~watermark events =
+  if watermark < 1 then invalid_arg "Instrument.super_epochs: watermark < 1";
+  let seen = Hashtbl.create 16 in
+  let complete = ref 0 in
+  List.iter
+    (fun (_round, color) ->
+      if not (Hashtbl.mem seen color) then begin
+        Hashtbl.replace seen color ();
+        if Hashtbl.length seen >= watermark then begin
+          incr complete;
+          Hashtbl.reset seen
+        end
+      end)
+    events;
+  !complete + (if Hashtbl.length seen > 0 then 1 else 0)
+
+(** The Lemma 3.3 bound: reconfiguration cost is at most
+    [4 * numEpochs * delta]. *)
+let lemma_3_3_bound ~delta stats = 4 * num_epochs stats * delta
+
+(** The Lemma 3.4 bound: ineligible drop cost is at most
+    [numEpochs * delta]. *)
+let lemma_3_4_bound ~delta stats = num_epochs stats * delta

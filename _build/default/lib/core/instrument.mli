@@ -1,0 +1,28 @@
+(** Analysis instrumentation helpers (Sections 3.2 and 3.4): accessors
+    for the counters policies report via [stats], super-epoch counting,
+    and the Lemma 3.3 / 3.4 bounds used by the lemma-level experiments. *)
+
+(** Look up a counter in a policy's stats list (0 when absent). *)
+val stat : (string * int) list -> string -> int
+
+(** Epochs including trailing incomplete ones (Section 3.2's
+    [numEpochs]). *)
+val num_epochs : (string * int) list -> int
+
+val eligible_drops : (string * int) list -> int
+val ineligible_drops : (string * int) list -> int
+val wraps : (string * int) list -> int
+
+(** Count super-epochs from chronological [(round, color)]
+    timestamp-update events (Section 3.4): a super-epoch ends the moment
+    at least [watermark] distinct colors have updated their timestamps
+    since it started; a trailing partial super-epoch counts when
+    nonempty. For Theorem 1 the watermark is [2m = n/4].
+    @raise Invalid_argument if [watermark < 1]. *)
+val super_epochs : watermark:int -> (int * int) list -> int
+
+(** Lemma 3.3: reconfiguration cost <= [4 * numEpochs * delta]. *)
+val lemma_3_3_bound : delta:int -> (string * int) list -> int
+
+(** Lemma 3.4: ineligible drop cost <= [numEpochs * delta]. *)
+val lemma_3_4_bound : delta:int -> (string * int) list -> int

@@ -1,0 +1,115 @@
+module Types = Rrs_sim.Types
+module Job_pool = Rrs_sim.Job_pool
+module Topk = Rrs_ds.Topk
+
+module Make (Config : sig
+  val name : string
+  val lru_share : float
+end) : Rrs_sim.Policy.POLICY = struct
+  type t = {
+    n : int;
+    lru_slots : int; (* distinct colors in the LRU set *)
+    edf_slots : int; (* distinct colors in the EDF set *)
+    state : Color_state.t;
+    lru_half : (Types.color, unit) Hashtbl.t;
+    edf_half : (Types.color, unit) Hashtbl.t;
+    mutable evictions : int;
+    mutable lru_promotions : int;
+  }
+
+  let name = Config.name
+
+  let create ~n ~delta ~bounds =
+    if Config.lru_share < 0.0 || Config.lru_share > 1.0 then
+      invalid_arg "Lru_edf_core: lru_share out of [0, 1]";
+    let distinct = n / 2 in
+    let lru_slots =
+      int_of_float (Float.round (Config.lru_share *. float_of_int distinct))
+    in
+    {
+      n;
+      lru_slots;
+      edf_slots = distinct - lru_slots;
+      state = Color_state.create ~record_timestamp_events:true ~delta ~bounds ();
+      lru_half = Hashtbl.create 16;
+      edf_half = Hashtbl.create 16;
+      evictions = 0;
+      lru_promotions = 0;
+    }
+
+  let in_cache t color = Hashtbl.mem t.lru_half color || Hashtbl.mem t.edf_half color
+
+  let on_drop t ~round ~dropped =
+    Color_state.on_drop t.state ~round ~dropped ~in_cache:(in_cache t)
+
+  let on_arrival t ~round ~request = Color_state.on_arrival t.state ~round ~request
+
+  let worst_in_edf_half t ~compare =
+    Hashtbl.fold
+      (fun color () worst ->
+        match worst with
+        | None -> Some color
+        | Some w -> if compare color w > 0 then Some color else worst)
+      t.edf_half None
+
+  let reconfigure t (view : Rrs_sim.Policy.view) =
+    let eligible = Color_state.eligible_colors t.state in
+    (* LRU set: the most recently stamped eligible colors. *)
+    let lru =
+      Topk.select_list
+        ~compare:(Ranking.lru_compare t.state ~round:view.round)
+        ~k:t.lru_slots eligible
+    in
+    Hashtbl.reset t.lru_half;
+    List.iter (fun color -> Hashtbl.replace t.lru_half color ()) lru;
+    List.iter
+      (fun color ->
+        if Hashtbl.mem t.edf_half color then begin
+          Hashtbl.remove t.edf_half color;
+          t.lru_promotions <- t.lru_promotions + 1
+        end)
+      lru;
+    (* EDF set: sticky admission of the best-ranked nonidle non-LRU
+       colors, evicting the worst-ranked member when full. *)
+    let non_lru =
+      List.filter (fun color -> not (Hashtbl.mem t.lru_half color)) eligible
+    in
+    let compare = Ranking.edf_compare t.state view.pool ~bounds:view.bounds in
+    let top = Topk.select_list ~compare ~k:t.edf_slots non_lru in
+    List.iter
+      (fun color ->
+        if Job_pool.nonidle view.pool color && not (in_cache t color) then begin
+          Hashtbl.replace t.edf_half color ();
+          if Hashtbl.length t.edf_half > t.edf_slots then begin
+            match worst_in_edf_half t ~compare with
+            | Some worst ->
+                Hashtbl.remove t.edf_half worst;
+                t.evictions <- t.evictions + 1
+            | None -> assert false
+          end
+        end)
+      top;
+    let want =
+      lru @ Hashtbl.fold (fun color () acc -> color :: acc) t.edf_half []
+    in
+    Cache_layout.place ~n:t.n ~copies:2 ~current:view.assignment ~want
+
+  let stats t =
+    (* Super-epochs (Section 3.4) with the Theorem 1 watermark 2m = n/4
+       (at least 1 so the count is defined for tiny n). *)
+    let watermark = max 1 (t.n / 4) in
+    let super_epochs =
+      Instrument.super_epochs ~watermark (Color_state.timestamp_events t.state)
+    in
+    ("cached", Hashtbl.length t.lru_half + Hashtbl.length t.edf_half)
+    :: ("edf_evictions", t.evictions)
+    :: ("lru_promotions", t.lru_promotions)
+    :: ("super_epochs", super_epochs)
+    :: Color_state.stats t.state
+end
+
+let with_share share : (module Rrs_sim.Policy.POLICY) =
+  (module Make (struct
+    let name = Printf.sprintf "dlru-edf@%.2f" share
+    let lru_share = share
+  end))

@@ -1,0 +1,20 @@
+(** Parameterized ΔLRU-EDF: the Section 3.1.3 combination with a tunable
+    split of the cache between the LRU set and the EDF set.
+
+    The cache holds [n/2] distinct colors (each replicated twice). A
+    share [s] of those slots form the LRU set (most recent timestamps,
+    cached unconditionally); the rest form the sticky EDF set. The
+    paper's ΔLRU-EDF is [s = 0.5] (n/4 + n/4); [s = 1] degenerates to
+    ΔLRU and [s = 0] to the sticky EDF of Section 3.1.2 — which is what
+    the ablation experiment demonstrates. *)
+
+module Make (_ : sig
+  val name : string
+
+  (** Fraction of the [n/2] distinct cache slots given to the LRU set,
+      in [0, 1]. *)
+  val lru_share : float
+end) : Rrs_sim.Policy.POLICY
+
+(** [with_share s] is a packaged policy named ["dlru-edf@s"]. *)
+val with_share : float -> (module Rrs_sim.Policy.POLICY)

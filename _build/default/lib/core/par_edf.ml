@@ -1,0 +1,58 @@
+module Job_pool = Rrs_sim.Job_pool
+
+type result = {
+  drops : int;
+  executed : int;
+  drops_by_round : (int * int) list;
+}
+
+let run ~m (instance : Rrs_sim.Instance.t) =
+  if m < 1 then invalid_arg "Par_edf.run: m must be >= 1";
+  let bounds = instance.bounds in
+  let pool = Job_pool.create ~num_colors:(Array.length bounds) in
+  let drops = ref 0 in
+  let executed = ref 0 in
+  let drops_by_round = ref [] in
+  for round = 0 to instance.horizon - 1 do
+    let dropped = Job_pool.drop_expired pool ~round in
+    let dropped_here =
+      List.fold_left (fun acc (_, count) -> acc + count) 0 dropped
+    in
+    if dropped_here > 0 then begin
+      drops := !drops + dropped_here;
+      drops_by_round := (round, dropped_here) :: !drops_by_round
+    end;
+    List.iter
+      (fun (color, count) ->
+        Job_pool.add pool ~color ~deadline:(round + bounds.(color)) ~count)
+      instance.requests.(round);
+    (* Execute the m best-ranked pending jobs: job rank is (deadline,
+       bound, color), and within a color the earliest deadline goes
+       first, so it suffices to repeatedly take the best color. *)
+    let remaining = ref m in
+    let continue = ref true in
+    while !remaining > 0 && !continue do
+      let best =
+        List.fold_left
+          (fun best color ->
+            match best with
+            | None -> Some color
+            | Some b ->
+                if Ranking.job_compare pool ~bounds color b < 0 then Some color
+                else best)
+          None
+          (Job_pool.nonidle_colors pool)
+      in
+      match best with
+      | None -> continue := false
+      | Some color ->
+          (match Job_pool.execute_one pool ~color ~round with
+          | Some _ -> incr executed
+          | None -> assert false);
+          decr remaining
+    done
+  done;
+  { drops = !drops; executed = !executed; drops_by_round = List.rev !drops_by_round }
+
+let drop_cost ~m instance = (run ~m instance).drops
+let is_nice ~m instance = drop_cost ~m instance = 0

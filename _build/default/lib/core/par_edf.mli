@@ -1,0 +1,24 @@
+(** Algorithm Par-EDF (Section 3.3): the drop-cost reference.
+
+    Par-EDF treats the [m] resources as one super-resource that executes
+    up to [m] pending jobs per round, always the best-ranked ones
+    (ascending deadline, then delay bound, then color) — reconfiguration
+    is free and ignored. By the optimality of EDF (Lemma 3.7), its drop
+    count lower-bounds the drop cost of {e any} schedule on [m]
+    resources, which makes it both the reference of Lemma 3.2 and a valid
+    component of offline lower bounds. *)
+
+type result = {
+  drops : int;
+  executed : int;
+  drops_by_round : (int * int) list; (* nonzero rounds only, ascending *)
+}
+
+(** Simulate Par-EDF with [m] parallel executions per round. *)
+val run : m:int -> Rrs_sim.Instance.t -> result
+
+(** [drop_cost ~m instance] is just the drop count. *)
+val drop_cost : m:int -> Rrs_sim.Instance.t -> int
+
+(** An input is {e nice} when Par-EDF drops nothing on it (Section 3.3). *)
+val is_nice : m:int -> Rrs_sim.Instance.t -> bool

@@ -1,0 +1,69 @@
+(** Algorithm EDF (Section 3.1.2).
+
+    Eligible colors are ranked nonidle-first, then by ascending deadline,
+    delay bound, and color id. Any nonidle eligible color in the top
+    [n/2] rankings that is missing from the cache is brought in; when the
+    cache is full, the lowest-ranked cached color is evicted. The cache
+    is sticky — colors stay until displaced — which is what the appendix
+    B adversary exploits to force thrashing. *)
+
+module Types = Rrs_sim.Types
+module Job_pool = Rrs_sim.Job_pool
+module Topk = Rrs_ds.Topk
+
+type t = {
+  n : int;
+  state : Color_state.t;
+  cached : (Types.color, unit) Hashtbl.t;
+  mutable evictions : int;
+}
+
+let name = "edf"
+
+let create ~n ~delta ~bounds =
+  {
+    n;
+    state = Color_state.create ~delta ~bounds ();
+    cached = Hashtbl.create 16;
+    evictions = 0;
+  }
+
+let on_drop t ~round ~dropped =
+  Color_state.on_drop t.state ~round ~dropped ~in_cache:(Hashtbl.mem t.cached)
+
+let on_arrival t ~round ~request = Color_state.on_arrival t.state ~round ~request
+
+let worst_cached t ~compare =
+  Hashtbl.fold
+    (fun color () worst ->
+      match worst with
+      | None -> Some color
+      | Some w -> if compare color w > 0 then Some color else worst)
+    t.cached None
+
+let reconfigure t (view : Rrs_sim.Policy.view) =
+  let capacity = t.n / 2 in
+  let compare = Ranking.edf_compare t.state view.pool ~bounds:view.bounds in
+  let top =
+    Topk.select_list ~compare ~k:capacity (Color_state.eligible_colors t.state)
+  in
+  List.iter
+    (fun color ->
+      if Job_pool.nonidle view.pool color && not (Hashtbl.mem t.cached color) then begin
+        Hashtbl.replace t.cached color ();
+        if Hashtbl.length t.cached > capacity then begin
+          match worst_cached t ~compare with
+          | Some worst ->
+              Hashtbl.remove t.cached worst;
+              t.evictions <- t.evictions + 1
+          | None -> assert false
+        end
+      end)
+    top;
+  let want = Hashtbl.fold (fun color () acc -> color :: acc) t.cached [] in
+  Cache_layout.place ~n:t.n ~copies:2 ~current:view.assignment ~want
+
+let stats t =
+  ("cached", Hashtbl.length t.cached)
+  :: ("evictions", t.evictions)
+  :: Color_state.stats t.state

@@ -1,0 +1,40 @@
+(** Algorithm ΔLRU (Section 3.1.1).
+
+    Reconfiguration scheme: keep the [n/2] eligible colors with the most
+    recent timestamps cached (each replicated in two locations), ties
+    broken by the consistent color order. Not resource competitive — it
+    may pin idle recently-used colors and starve a long-bound color with
+    many pending jobs (Appendix A); implemented as a baseline. *)
+
+module Types = Rrs_sim.Types
+module Topk = Rrs_ds.Topk
+
+type t = {
+  n : int;
+  state : Color_state.t;
+  cached : (Types.color, unit) Hashtbl.t;
+}
+
+let name = "dlru"
+
+let create ~n ~delta ~bounds =
+  { n; state = Color_state.create ~delta ~bounds (); cached = Hashtbl.create 16 }
+
+let on_drop t ~round ~dropped =
+  Color_state.on_drop t.state ~round ~dropped ~in_cache:(Hashtbl.mem t.cached)
+
+let on_arrival t ~round ~request = Color_state.on_arrival t.state ~round ~request
+
+let reconfigure t (view : Rrs_sim.Policy.view) =
+  let capacity = t.n / 2 in
+  let want =
+    Topk.select_list
+      ~compare:(Ranking.lru_compare t.state ~round:view.round)
+      ~k:capacity
+      (Color_state.eligible_colors t.state)
+  in
+  Hashtbl.reset t.cached;
+  List.iter (fun color -> Hashtbl.replace t.cached color ()) want;
+  Cache_layout.place ~n:t.n ~copies:2 ~current:view.assignment ~want
+
+let stats t = ("cached", Hashtbl.length t.cached) :: Color_state.stats t.state

@@ -1,0 +1,24 @@
+(** Algorithm ΔLRU-EDF (Section 3.1.3) — the paper's main contribution.
+
+    The cache holds up to [n/2] distinct colors, each replicated in two
+    locations, split evenly between two quarter-size color sets:
+
+    - the {e LRU half}: the [n/4] eligible colors with the most recent
+      ΔLRU timestamps — cached unconditionally, idle or not, which gives
+      short-bound colors hysteresis against thrashing;
+    - the {e EDF half}: eligible non-LRU colors ranked nonidle-first then
+      earliest-deadline-first; nonidle colors in the top [n/4] rankings
+      are brought in, evicting the lowest-ranked EDF-half color when room
+      is needed. Colors brought in stay until displaced.
+
+    Theorem 1: resource competitive on rate-limited [Δ|1|D_l|D_l] with
+    power-of-two bounds when given [n = 8m] resources.
+
+    This is {!Lru_edf_core.Make} at the paper's even split; the ablation
+    experiment (E14) varies the split to show both halves are load-
+    bearing. *)
+
+include Lru_edf_core.Make (struct
+  let name = "dlru-edf"
+  let lru_share = 0.5
+end)

@@ -1,0 +1,13 @@
+(** Algorithm ΔLRU-EDF (Section 3.1.3) — the paper's main contribution.
+
+    The cache holds up to [n/2] distinct colors, each replicated in two
+    locations, split evenly between an LRU set (the [n/4] eligible colors
+    with the most recent timestamps, cached unconditionally — hysteresis
+    against thrashing) and a sticky EDF set (the best-ranked nonidle
+    non-LRU colors — utilization). Theorem 1: resource competitive on
+    rate-limited [Δ|1|D_l|D_l] with power-of-two bounds at [n = 8m].
+
+    This is {!Lru_edf_core.Make} at the paper's even split; experiment
+    E14 varies the split to show both halves are load-bearing. *)
+
+include Rrs_sim.Policy.POLICY

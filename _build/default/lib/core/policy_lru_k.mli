@@ -1,0 +1,9 @@
+(** ΔLRU-2: the LRU-K replacement idea of O'Neil et al. (related work
+    [12]) transplanted into the ΔLRU setting — colors ranked by their
+    second-to-last counter-wrap round.
+
+    Still a pure-recency scheme: the Appendix A adversary defeats it
+    exactly as it defeats ΔLRU (experiment E14), demonstrating that the
+    deadline half of ΔLRU-EDF does work no recency refinement can. *)
+
+include Rrs_sim.Policy.POLICY

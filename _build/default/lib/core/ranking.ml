@@ -1,0 +1,35 @@
+module Job_pool = Rrs_sim.Job_pool
+
+let edf_compare state pool ~bounds a b =
+  let nonidle_a = Job_pool.nonidle pool a in
+  let nonidle_b = Job_pool.nonidle pool b in
+  if nonidle_a <> nonidle_b then compare nonidle_b nonidle_a (* nonidle first *)
+  else
+    let by_deadline =
+      Int.compare (Color_state.deadline state a) (Color_state.deadline state b)
+    in
+    if by_deadline <> 0 then by_deadline
+    else
+      let by_bound = Int.compare bounds.(a) bounds.(b) in
+      if by_bound <> 0 then by_bound else Int.compare a b
+
+let lru_compare state ~round a b =
+  let by_timestamp =
+    Int.compare
+      (Color_state.timestamp state b ~round)
+      (Color_state.timestamp state a ~round)
+    (* larger timestamp = more recent = better *)
+  in
+  if by_timestamp <> 0 then by_timestamp else Int.compare a b
+
+let job_compare pool ~bounds a b =
+  let deadline color =
+    match Job_pool.earliest_deadline pool color with
+    | Some d -> d
+    | None -> invalid_arg "Ranking.job_compare: idle color"
+  in
+  let by_deadline = Int.compare (deadline a) (deadline b) in
+  if by_deadline <> 0 then by_deadline
+  else
+    let by_bound = Int.compare bounds.(a) bounds.(b) in
+    if by_bound <> 0 then by_bound else Int.compare a b

@@ -1,0 +1,32 @@
+(** Color-ranking schemes shared by the algorithms (Sections 3.1.2, 3.3).
+
+    EDF rank over eligible colors: nonidle colors first, then ascending
+    deadline, breaking ties by increasing delay bound, then by the
+    consistent order of colors (ascending id). ΔLRU recency: most recent
+    timestamp first, ties by the consistent order. *)
+
+(** [edf_compare state pool ~bounds a b < 0] iff [a] ranks strictly better
+    (earlier) than [b] under the EDF scheme. *)
+val edf_compare :
+  Color_state.t ->
+  Rrs_sim.Job_pool.t ->
+  bounds:int array ->
+  Rrs_sim.Types.color ->
+  Rrs_sim.Types.color ->
+  int
+
+(** [lru_compare state ~round a b < 0] iff [a] has the more recent
+    timestamp (better LRU rank). *)
+val lru_compare :
+  Color_state.t -> round:int -> Rrs_sim.Types.color -> Rrs_sim.Types.color -> int
+
+(** [job_compare pool ~bounds a b < 0] iff the best pending job of color
+    [a] ranks before the best pending job of color [b] under the pending-
+    job ranking of Section 3.3 (deadline, then delay bound, then color).
+    Both colors must be nonidle. *)
+val job_compare :
+  Rrs_sim.Job_pool.t ->
+  bounds:int array ->
+  Rrs_sim.Types.color ->
+  Rrs_sim.Types.color ->
+  int

@@ -1,0 +1,20 @@
+(** Shared plumbing for the Distribute and VarBatch reductions: turn the
+    event log of an inner run (on a transformed instance) into replayable
+    actions on the outer instance, relabeling colors through a mapping. *)
+
+module Ledger = Rrs_sim.Ledger
+module Rebuild = Rrs_sim.Rebuild
+
+(** [actions_of_events ~map events] converts reconfiguration events to
+    [Configure] actions and execution events to [Run] actions, relabeling
+    every color through [map]. Drop events are discarded — the rebuild
+    regenerates them for the outer instance. *)
+let actions_of_events ~map events =
+  List.filter_map
+    (function
+      | Ledger.Reconfig { round; mini_round; location; next; _ } ->
+          Some (Rebuild.Configure { round; mini_round; location; color = map next })
+      | Ledger.Execute { round; mini_round; location; color; _ } ->
+          Some (Rebuild.Run { round; mini_round; location; color = map color })
+      | Ledger.Drop _ -> None)
+    events

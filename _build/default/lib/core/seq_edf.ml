@@ -1,0 +1,80 @@
+(** Algorithm Seq-EDF (Section 3.3): the EDF reference without
+    replication — all [m] locations cache distinct colors, one copy each.
+    DS-Seq-EDF is this policy run at engine speed 2 (two
+    reconfiguration+execution mini-rounds per round).
+
+    Unlike the online EDF of Section 3.1.2, this is an {e analysis
+    reference}: the paper operates it on the eligible subsequence of the
+    input, so it carries no eligibility gating of its own — every color
+    is treated as eligible, and colors are ranked nonidle-first, then by
+    deadline, bound, id. With gating, Corollary 3.1 (drops(DS-Seq-EDF_m)
+    <= drops(Par-EDF_m)) would be false: a color with fewer than [Delta]
+    jobs never wraps, so a gated reference would drop jobs Par-EDF
+    executes. *)
+
+module Types = Rrs_sim.Types
+module Job_pool = Rrs_sim.Job_pool
+module Topk = Rrs_ds.Topk
+
+type t = {
+  n : int;
+  num_colors : int;
+  state : Color_state.t; (* deadlines update at boundaries for all colors *)
+  cached : (Types.color, unit) Hashtbl.t;
+  mutable evictions : int;
+}
+
+let name = "seq-edf"
+
+let create ~n ~delta ~bounds =
+  {
+    n;
+    num_colors = Array.length bounds;
+    state = Color_state.create ~delta ~bounds ();
+    cached = Hashtbl.create 16;
+    evictions = 0;
+  }
+
+let on_drop t ~round ~dropped =
+  Color_state.on_drop t.state ~round ~dropped ~in_cache:(Hashtbl.mem t.cached)
+
+let on_arrival t ~round ~request = Color_state.on_arrival t.state ~round ~request
+
+let worst_cached t ~compare =
+  Hashtbl.fold
+    (fun color () worst ->
+      match worst with
+      | None -> Some color
+      | Some w -> if compare color w > 0 then Some color else worst)
+    t.cached None
+
+let reconfigure t (view : Rrs_sim.Policy.view) =
+  let capacity = t.n in
+  let compare = Ranking.edf_compare t.state view.pool ~bounds:view.bounds in
+  (* All colors are candidates: no eligibility gate. *)
+  let top =
+    Topk.select ~compare ~k:capacity (fun f ->
+        for color = 0 to t.num_colors - 1 do
+          f color
+        done)
+  in
+  List.iter
+    (fun color ->
+      if Job_pool.nonidle view.pool color && not (Hashtbl.mem t.cached color) then begin
+        Hashtbl.replace t.cached color ();
+        if Hashtbl.length t.cached > capacity then begin
+          match worst_cached t ~compare with
+          | Some worst ->
+              Hashtbl.remove t.cached worst;
+              t.evictions <- t.evictions + 1
+          | None -> assert false
+        end
+      end)
+    top;
+  let want = Hashtbl.fold (fun color () acc -> color :: acc) t.cached [] in
+  Cache_layout.place ~n:t.n ~copies:1 ~current:view.assignment ~want
+
+let stats t =
+  ("cached", Hashtbl.length t.cached)
+  :: ("evictions", t.evictions)
+  :: Color_state.stats t.state

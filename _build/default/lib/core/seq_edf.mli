@@ -1,0 +1,11 @@
+(** Algorithm Seq-EDF (Section 3.3): the EDF analysis reference without
+    replication — all [m] locations cache distinct colors, one copy each.
+    DS-Seq-EDF is this policy run at engine speed 2.
+
+    Unlike the online EDF of Section 3.1.2 this reference carries no
+    eligibility gating (the paper operates it on the eligible
+    subsequence); with gating, Corollary 3.1 — drops(DS-Seq-EDF, m) <=
+    drops(Par-EDF, m) — would be false for colors with fewer than
+    [Delta] jobs. *)
+
+include Rrs_sim.Policy.POLICY

@@ -1,0 +1,72 @@
+module Instance = Rrs_sim.Instance
+module Schedule = Rrs_sim.Schedule
+module Engine = Rrs_sim.Engine
+
+type pipeline = Direct_lru_edf | Distributed | Var_batched
+
+let pipeline_to_string = function
+  | Direct_lru_edf -> "direct"
+  | Distributed -> "distribute"
+  | Var_batched -> "varbatch"
+
+let classify instance =
+  if Instance.bounds_pow2 instance && Instance.is_rate_limited instance then
+    Direct_lru_edf
+  else if Instance.bounds_pow2 instance && Instance.is_batched instance then
+    Distributed
+  else Var_batched
+
+type outcome = {
+  pipeline : pipeline;
+  schedule : Schedule.t;
+  cost : int;
+  reconfig_count : int;
+  drop_count : int;
+  stats : (string * int) list;
+}
+
+let default_policy : (module Rrs_sim.Policy.POLICY) = (module Policy_lru_edf)
+
+let applicable instance = function
+  | Direct_lru_edf ->
+      Instance.bounds_pow2 instance && Instance.is_rate_limited instance
+  | Distributed -> Instance.bounds_pow2 instance && Instance.is_batched instance
+  | Var_batched -> true
+
+let solve ?(policy = default_policy) ?pipeline ~n instance =
+  let chosen = match pipeline with Some p -> p | None -> classify instance in
+  if not (applicable instance chosen) then
+    Error
+      (Printf.sprintf "pipeline %s is not applicable to %s"
+         (pipeline_to_string chosen) instance.Instance.name)
+  else
+    let outcome_of_schedule ~stats schedule =
+      {
+        pipeline = chosen;
+        schedule;
+        cost = Schedule.total_cost schedule;
+        reconfig_count = Schedule.reconfig_count schedule;
+        drop_count = Schedule.drop_count schedule;
+        stats;
+      }
+    in
+    match chosen with
+    | Direct_lru_edf ->
+        let run = Engine.run ~record_events:true ~n ~policy instance in
+        let schedule = Schedule.of_run ~instance ~n ~speed:1 run.ledger in
+        Ok (outcome_of_schedule ~stats:run.stats schedule)
+    | Distributed -> (
+        match Distribute.run ~policy ~n instance with
+        | Error message -> Error message
+        | Ok result ->
+            Ok
+              (outcome_of_schedule ~stats:result.inner.stats
+                 result.Distribute.schedule))
+    | Var_batched -> (
+        match Var_batch.run ~policy ~n instance with
+        | Error message -> Error message
+        | Ok result ->
+            Ok
+              (outcome_of_schedule
+                 ~stats:result.distribute.Distribute.inner.stats
+                 result.Var_batch.schedule))

@@ -1,0 +1,1 @@
+lib/ds/binary_heap.mli:

@@ -1,0 +1,1 @@
+lib/ds/counter_map.ml: Int List Map

@@ -1,0 +1,1 @@
+lib/ds/timing_wheel.ml: Array List Printf

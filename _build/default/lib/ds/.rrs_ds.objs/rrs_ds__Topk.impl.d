@@ -1,0 +1,1 @@
+lib/ds/topk.ml: Binary_heap List

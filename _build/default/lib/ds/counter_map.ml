@@ -1,0 +1,58 @@
+module Int_map = Map.Make (Int)
+
+type t = {
+  map : int Int_map.t; (* counts, all > 0 *)
+  total : int;
+}
+
+let empty = { map = Int_map.empty; total = 0 }
+let is_empty t = t.total = 0
+let total t = t.total
+let cardinal t = Int_map.cardinal t.map
+let count t key = match Int_map.find_opt key t.map with None -> 0 | Some c -> c
+
+let add t key ~count =
+  if count < 0 then invalid_arg "Counter_map.add: negative count";
+  if count = 0 then t
+  else
+    let map =
+      Int_map.update key
+        (function None -> Some count | Some c -> Some (c + count))
+        t.map
+    in
+    { map; total = t.total + count }
+
+let remove t key ~count:k =
+  if k < 0 then invalid_arg "Counter_map.remove: negative count";
+  if k = 0 then t
+  else
+    let present = count t key in
+    if present < k then invalid_arg "Counter_map.remove: not enough occurrences";
+    let map =
+      if present = k then Int_map.remove key t.map
+      else Int_map.add key (present - k) t.map
+    in
+    { map; total = t.total - k }
+
+let min_key t =
+  match Int_map.min_binding_opt t.map with
+  | None -> None
+  | Some (key, _) -> Some key
+
+let remove_min t =
+  match Int_map.min_binding_opt t.map with
+  | None -> None
+  | Some (key, _) -> Some (key, remove t key ~count:1)
+
+let remove_all t key =
+  let present = count t key in
+  (present, if present = 0 then t else remove t key ~count:present)
+
+let to_list t = Int_map.bindings t.map
+
+let of_list pairs =
+  List.fold_left (fun acc (key, c) -> add acc key ~count:c) empty pairs
+
+let fold f t init = Int_map.fold f t.map init
+let equal a b = a.total = b.total && Int_map.equal Int.equal a.map b.map
+let compare a b = Int_map.compare Int.compare a.map b.map

@@ -1,0 +1,74 @@
+type 'a t = {
+  mutable data : 'a option array;
+  mutable head : int; (* index of front element when size > 0 *)
+  mutable size : int;
+}
+
+let create ?(capacity = 8) () =
+  { data = Array.make (max capacity 1) None; head = 0; size = 0 }
+
+let length q = q.size
+let is_empty q = q.size = 0
+let capacity q = Array.length q.data
+
+let grow q =
+  let old_capacity = capacity q in
+  let data = Array.make (2 * old_capacity) None in
+  for i = 0 to q.size - 1 do
+    data.(i) <- q.data.((q.head + i) mod old_capacity)
+  done;
+  q.data <- data;
+  q.head <- 0
+
+let push_back q x =
+  if q.size = capacity q then grow q;
+  q.data.((q.head + q.size) mod capacity q) <- Some x;
+  q.size <- q.size + 1
+
+let push_front q x =
+  if q.size = capacity q then grow q;
+  q.head <- (q.head - 1 + capacity q) mod capacity q;
+  q.data.(q.head) <- Some x;
+  q.size <- q.size + 1
+
+let get q i =
+  match q.data.((q.head + i) mod capacity q) with
+  | Some x -> x
+  | None -> assert false
+
+let pop_front q =
+  if q.size = 0 then raise Not_found;
+  let x = get q 0 in
+  q.data.(q.head) <- None;
+  q.head <- (q.head + 1) mod capacity q;
+  q.size <- q.size - 1;
+  x
+
+let pop_back q =
+  if q.size = 0 then raise Not_found;
+  let x = get q (q.size - 1) in
+  q.data.((q.head + q.size - 1) mod capacity q) <- None;
+  q.size <- q.size - 1;
+  x
+
+let pop_front_opt q = if q.size = 0 then None else Some (pop_front q)
+let pop_back_opt q = if q.size = 0 then None else Some (pop_back q)
+let peek_front q = if q.size = 0 then raise Not_found else get q 0
+let peek_back q = if q.size = 0 then raise Not_found else get q (q.size - 1)
+
+let clear q =
+  Array.fill q.data 0 (capacity q) None;
+  q.head <- 0;
+  q.size <- 0
+
+let iter f q =
+  for i = 0 to q.size - 1 do
+    f (get q i)
+  done
+
+let to_list q =
+  let acc = ref [] in
+  for i = q.size - 1 downto 0 do
+    acc := get q i :: !acc
+  done;
+  !acc

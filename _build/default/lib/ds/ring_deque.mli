@@ -1,0 +1,35 @@
+(** Growable double-ended queue over a circular array.
+
+    O(1) amortized push/pop at both ends; used for FIFO request queues and
+    for the recency lists of the LRU bookkeeping. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push_back : 'a t -> 'a -> unit
+val push_front : 'a t -> 'a -> unit
+
+(** @raise Not_found when empty. *)
+val pop_front : 'a t -> 'a
+
+(** @raise Not_found when empty. *)
+val pop_back : 'a t -> 'a
+
+val pop_front_opt : 'a t -> 'a option
+val pop_back_opt : 'a t -> 'a option
+
+(** @raise Not_found when empty. *)
+val peek_front : 'a t -> 'a
+
+(** @raise Not_found when empty. *)
+val peek_back : 'a t -> 'a
+
+val clear : 'a t -> unit
+
+(** Front-to-back iteration. *)
+val iter : ('a -> unit) -> 'a t -> unit
+
+(** Front-to-back contents. *)
+val to_list : 'a t -> 'a list

@@ -1,0 +1,35 @@
+(** A monotone timing wheel: buckets of values keyed by a nondecreasing
+    integer clock (simulation rounds).
+
+    Values are scheduled at absolute times [>=] the current time, and
+    [advance] hands back every value whose time has come, in scheduling
+    order within a time step. The wheel is a growable circular array of
+    buckets, giving O(1) amortized [add] and O(1) per-expired-value
+    [advance] — the classic calendar-queue substrate for deadline expiry
+    in discrete-event simulators. *)
+
+type 'a t
+
+(** [create ?horizon ()] is an empty wheel positioned at time 0.
+    [horizon] is a capacity hint for the initial number of buckets. *)
+val create : ?horizon:int -> unit -> 'a t
+
+(** Current time (the next time that [advance] will hand out). *)
+val now : 'a t -> int
+
+(** Number of values currently scheduled. *)
+val length : 'a t -> int
+
+(** [add wheel ~time value] schedules [value] at [time].
+    @raise Invalid_argument if [time < now wheel]. *)
+val add : 'a t -> time:int -> 'a -> unit
+
+(** [advance wheel ~time f] moves the clock to [time] (which must be
+    [>= now wheel]), calling [f t v] for every value [v] scheduled at any
+    [t < time], in ascending [t] and FIFO order within a bucket. After the
+    call, [now wheel = time]. *)
+val advance : 'a t -> time:int -> (int -> 'a -> unit) -> unit
+
+(** [pending_at wheel ~time] is the values scheduled at exactly [time]
+    (FIFO order), without removing them. *)
+val pending_at : 'a t -> time:int -> 'a list

@@ -1,0 +1,26 @@
+(* A size-k max-heap (reversed comparison) of the best elements seen so
+   far: a new element replaces the heap root when it beats the current
+   worst of the best. *)
+
+let select (type a) ~(compare : a -> a -> int) ~k iter =
+  if k <= 0 then []
+  else begin
+    let module Max = Binary_heap.Make (struct
+      type t = a
+
+      let compare x y = compare y x
+    end) in
+    let heap = Max.create ~capacity:(k + 1) () in
+    let consider x =
+      if Max.length heap < k then Max.push heap x
+      else if compare x (Max.peek_min heap) < 0 then begin
+        ignore (Max.pop_min heap);
+        Max.push heap x
+      end
+    in
+    iter consider;
+    (* The max-heap's sorted order is descending under [compare]. *)
+    List.rev (Max.to_sorted_list heap)
+  end
+
+let select_list ~compare ~k xs = select ~compare ~k (fun f -> List.iter f xs)

@@ -1,0 +1,1 @@
+lib/offline/aggregate.ml: Array Fun Hashtbl Int List Offline_schedule Printf Rrs_core Rrs_sim

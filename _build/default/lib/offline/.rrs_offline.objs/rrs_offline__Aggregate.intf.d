@@ -1,0 +1,1 @@
+lib/offline/aggregate.mli: Offline_schedule Rrs_sim Stdlib

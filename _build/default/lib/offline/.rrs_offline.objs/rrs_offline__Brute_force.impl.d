@@ -1,0 +1,1 @@
+lib/offline/brute_force.ml: Array Hashtbl List Option Rrs_ds Rrs_sim

@@ -1,0 +1,1 @@
+lib/offline/greedy_offline.ml: Array Fun Hashtbl Int List Rrs_sim

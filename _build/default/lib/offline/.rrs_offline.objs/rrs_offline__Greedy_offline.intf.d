@@ -1,0 +1,1 @@
+lib/offline/greedy_offline.mli: Rrs_sim Stdlib

@@ -1,0 +1,1 @@
+lib/offline/lower_bounds.ml: Array Hashtbl Int List Rrs_core Rrs_sim

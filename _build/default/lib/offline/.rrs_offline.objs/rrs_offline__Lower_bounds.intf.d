@@ -1,0 +1,1 @@
+lib/offline/lower_bounds.mli: Rrs_sim

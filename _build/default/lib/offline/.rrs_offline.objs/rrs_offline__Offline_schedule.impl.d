@@ -1,0 +1,1 @@
+lib/offline/offline_schedule.ml: Array List Printf Rrs_sim

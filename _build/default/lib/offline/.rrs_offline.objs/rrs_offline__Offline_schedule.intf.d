@@ -1,0 +1,1 @@
+lib/offline/offline_schedule.mli: Rrs_sim

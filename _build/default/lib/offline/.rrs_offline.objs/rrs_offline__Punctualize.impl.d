@@ -1,0 +1,1 @@
+lib/offline/punctualize.ml: Array Int List Offline_schedule Printf Rrs_sim

@@ -1,0 +1,1 @@
+lib/offline/punctualize.mli: Offline_schedule

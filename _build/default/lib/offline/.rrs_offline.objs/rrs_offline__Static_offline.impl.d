@@ -1,0 +1,1 @@
+lib/offline/static_offline.ml: Array List Rrs_core Rrs_sim

@@ -1,0 +1,1 @@
+lib/offline/static_offline.mli: Rrs_sim Stdlib

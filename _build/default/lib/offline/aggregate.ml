@@ -1,0 +1,291 @@
+module Instance = Rrs_sim.Instance
+module Ledger = Rrs_sim.Ledger
+
+type result = {
+  output : Offline_schedule.t;
+  inner_instance : Instance.t;
+  parent_of : int array;
+  relabels : int;
+  fallback_placements : int;
+}
+
+(* Subcolor id of (color, label) given the dense layout of
+   Distribute.transform: subcolors of a color are consecutive. *)
+let subcolor_bases parent_of num_colors =
+  let base = Array.make num_colors (-1) in
+  Array.iteri (fun sub parent -> if base.(parent) < 0 then base.(parent) <- sub)
+    parent_of;
+  base
+
+(* Number of subcolors of each color. *)
+let subcolor_counts parent_of num_colors =
+  let counts = Array.make num_colors 0 in
+  Array.iter (fun parent -> counts.(parent) <- counts.(parent) + 1) parent_of;
+  counts
+
+let run (grid : Offline_schedule.t) =
+  let instance = grid.Offline_schedule.instance in
+  if grid.Offline_schedule.speed <> 1 then Error "input must be uni-speed"
+  else if not (Instance.is_batched instance) then Error "instance is not batched"
+  else if not (Instance.bounds_pow2 instance) then
+    Error "bounds must be powers of two"
+  else begin
+    let m = grid.Offline_schedule.m in
+    let bounds = instance.Instance.bounds in
+    let num_colors = Array.length bounds in
+    let horizon = instance.Instance.horizon in
+    let inner_instance, parent_of = Rrs_core.Distribute.transform instance in
+    let base = subcolor_bases parent_of num_colors in
+    let sub_count = subcolor_counts parent_of num_colors in
+    (* Batch size of subcolor (l, j) at a block starting at [start]:
+       the Distribute split of that round's color-l count. *)
+    let color_count_at = Hashtbl.create 64 in
+    Array.iteri
+      (fun round request ->
+        List.iter
+          (fun (color, count) -> Hashtbl.replace color_count_at (round, color) count)
+          request)
+      instance.Instance.requests;
+    let batch_size ~color ~label ~start =
+      let count = try Hashtbl.find color_count_at (start, color) with Not_found -> 0 in
+      max 0 (min bounds.(color) (count - (label * bounds.(color))))
+    in
+    (* Executions of T grouped by (bound, block, color). *)
+    match Offline_schedule.to_schedule grid with
+    | Error message -> Error ("input replay: " ^ message)
+    | Ok schedule ->
+        let executed = Hashtbl.create 64 in
+        List.iter
+          (function
+            | Ledger.Execute { color; deadline; _ } ->
+                let p = bounds.(color) in
+                let block = (deadline / p) - 1 in
+                let key = (p, block, color) in
+                Hashtbl.replace executed key
+                  (1 + try Hashtbl.find executed key with Not_found -> 0)
+            | Ledger.Reconfig _ | Ledger.Drop _ -> ())
+          schedule.events;
+        let output =
+          Offline_schedule.create ~instance:inner_instance ~m:(3 * m) ~speed:1
+        in
+        let occupied = Array.make_matrix (3 * m) horizon false in
+        (* T-level of resource k in block(p, i): largest power-of-two q
+           such that k is monochromatic throughout the enclosing block of
+           q. *)
+        let t_level ~resource ~p ~start =
+          let rec widen q =
+            let next = 2 * q in
+            let next_start = start - (start mod next) in
+            if
+              next_start + next <= horizon
+              && Offline_schedule.monochromatic grid ~resource
+                   ~from_slot:next_start ~to_slot:(next_start + next)
+                 <> None
+            then widen next
+            else q
+          in
+          widen p
+        in
+        (* Labels of monochromatic resources, per (p, color): the previous
+           block's (resource -> label) map. *)
+        let previous_labels = Hashtbl.create 16 in
+        let relabels = ref 0 in
+        let fallbacks = ref 0 in
+        let error = ref None in
+        let fail message = if !error = None then error := Some message in
+        let distinct_bounds =
+          List.sort_uniq Int.compare (Array.to_list bounds)
+        in
+        List.iter
+          (fun p ->
+            let colors_of_p =
+              List.filter (fun c -> bounds.(c) = p) (List.init num_colors Fun.id)
+            in
+            let block = ref 0 in
+            while !block * p < horizon do
+              let i = !block in
+              let start = i * p in
+              let stop = min horizon (start + p) in
+              List.iter
+                (fun color ->
+                  let executed_jobs =
+                    try Hashtbl.find executed (p, i, color) with Not_found -> 0
+                  in
+                  (* Monochromatic resources for (T, p, i, color), ranked
+                     by descending T-level. *)
+                  let mono =
+                    List.filter
+                      (fun k ->
+                        Offline_schedule.monochromatic grid ~resource:k
+                          ~from_slot:start ~to_slot:stop
+                        = Some color)
+                      (List.init m Fun.id)
+                    |> List.map (fun k -> (t_level ~resource:k ~p ~start, k))
+                    |> List.sort (fun (la, ka) (lb, kb) ->
+                           if la <> lb then Int.compare lb la else Int.compare ka kb)
+                    |> List.map snd
+                  in
+                  (* Label assignment: inherit where possible, fill the
+                     remaining labels in rank order. *)
+                  let inherited =
+                    match Hashtbl.find_opt previous_labels (p, color) with
+                    | Some table ->
+                        List.filter_map
+                          (fun k ->
+                            match Hashtbl.find_opt table k with
+                            | Some label when label < List.length mono ->
+                                Some (k, label)
+                            | Some _ | None -> None)
+                          mono
+                    | None -> []
+                  in
+                  let taken = List.map snd inherited in
+                  let labels = Hashtbl.create 8 in
+                  List.iter (fun (k, label) -> Hashtbl.replace labels k label)
+                    inherited;
+                  let next_label = ref 0 in
+                  List.iter
+                    (fun k ->
+                      if not (Hashtbl.mem labels k) then begin
+                        while List.mem !next_label taken do incr next_label done;
+                        Hashtbl.replace labels k !next_label;
+                        incr next_label
+                      end)
+                    mono;
+                  (* Groups of size p, descending (remainder last). *)
+                  let rec make_groups remaining acc =
+                    if remaining <= 0 then List.rev acc
+                    else make_groups (remaining - p) (min p remaining :: acc)
+                  in
+                  let groups = make_groups executed_jobs [] in
+                  let used_labels = Hashtbl.create 8 in
+                  let pick_feasible_label ~size ~preferred =
+                    let feasible label =
+                      (not (Hashtbl.mem used_labels label))
+                      && label < sub_count.(color)
+                      && batch_size ~color ~label ~start >= size
+                    in
+                    match preferred with
+                    | Some label when feasible label -> Some label
+                    | preferred ->
+                        if preferred <> None then incr relabels;
+                        let rec scan label =
+                          if label >= sub_count.(color) then None
+                          else if feasible label then Some label
+                          else scan (label + 1)
+                        in
+                        scan 0
+                  in
+                  (* Phase 1: one group per monochromatic resource. *)
+                  let rec place_mono groups resources table =
+                    match (groups, resources) with
+                    | [], _ -> []
+                    | groups, [] -> groups
+                    | size :: rest_groups, k :: rest_resources -> (
+                        let preferred = Hashtbl.find_opt labels k in
+                        match pick_feasible_label ~size ~preferred with
+                        | None ->
+                            fail
+                              (Printf.sprintf
+                                 "no feasible subcolor for a %d-job group of \
+                                  color %d at block %d"
+                                 size color i);
+                            rest_groups
+                        | Some label ->
+                            Hashtbl.replace used_labels label ();
+                            Hashtbl.replace table k label;
+                            let sub = base.(color) + label in
+                            let row = 3 * k in
+                            Offline_schedule.set_color_range output ~resource:row
+                              ~from_slot:start ~to_slot:stop sub;
+                            for slot = start to start + size - 1 do
+                              Offline_schedule.set_exec output ~resource:row ~slot
+                            done;
+                            for slot = start to stop - 1 do
+                              occupied.(row).(slot) <- true
+                            done;
+                            place_mono rest_groups rest_resources table)
+                  in
+                  let fresh_table = Hashtbl.create 8 in
+                  let leftovers = place_mono groups mono fresh_table in
+                  Hashtbl.replace previous_labels (p, color) fresh_table;
+                  (* Phase 2: leftover groups into multichromatic triples
+                     (fallback: any triple) with enough free slots. *)
+                  let free_slots_in_triple k =
+                    let free = ref [] in
+                    for slot = stop - 1 downto start do
+                      for row = (3 * k) + 2 downto 3 * k do
+                        if not occupied.(row).(slot) then free := (row, slot) :: !free
+                      done
+                    done;
+                    !free
+                  in
+                  let is_multichromatic k =
+                    Offline_schedule.monochromatic grid ~resource:k
+                      ~from_slot:start ~to_slot:stop
+                    = None
+                  in
+                  List.iter
+                    (fun size ->
+                      match pick_feasible_label ~size ~preferred:None with
+                      | None ->
+                          fail
+                            (Printf.sprintf
+                               "no feasible subcolor for a leftover %d-job group \
+                                of color %d at block %d"
+                               size color i)
+                      | Some label -> (
+                          Hashtbl.replace used_labels label ();
+                          let candidates = List.init m Fun.id in
+                          let multichromatic_first =
+                            List.filter is_multichromatic candidates
+                            @ List.filter (fun k -> not (is_multichromatic k))
+                                candidates
+                          in
+                          let placed = ref false in
+                          List.iter
+                            (fun k ->
+                              if not !placed then begin
+                                let free = free_slots_in_triple k in
+                                if List.length free >= size then begin
+                                  if not (is_multichromatic k) then incr fallbacks;
+                                  let sub = base.(color) + label in
+                                  List.iteri
+                                    (fun index (row, slot) ->
+                                      if index < size then begin
+                                        Offline_schedule.set_color output
+                                          ~resource:row ~slot sub;
+                                        Offline_schedule.set_exec output
+                                          ~resource:row ~slot;
+                                        occupied.(row).(slot) <- true
+                                      end)
+                                    free;
+                                  placed := true
+                                end
+                              end)
+                            multichromatic_first;
+                          match !placed with
+                          | true -> ()
+                          | false ->
+                              fail
+                                (Printf.sprintf
+                                   "no room for a leftover %d-job group of color \
+                                    %d at block %d"
+                                   size color i)))
+                    leftovers)
+                colors_of_p;
+              incr block
+            done)
+          distinct_bounds;
+        match !error with
+        | Some message -> Error message
+        | None ->
+            Ok
+              {
+                output;
+                inner_instance;
+                parent_of;
+                relabels = !relabels;
+                fallback_placements = !fallbacks;
+              }
+  end

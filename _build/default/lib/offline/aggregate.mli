@@ -1,0 +1,40 @@
+(** Algorithm Aggregate (Section 4.3, Lemma 4.1): turn an offline
+    schedule [T] for a batched instance [I] into an offline schedule [T']
+    for the rate-limited subcolor instance [I' = Distribute.transform I],
+    using three times the resources, executing the same jobs, at an
+    [O(1)]-factor reconfiguration cost.
+
+    Construction (per delay bound [p], ascending; per block [i]; per
+    color [l] with bound [p]):
+
+    - the color-[l] jobs executed by [T] in [block(p, i)] are partitioned
+      into groups of size [p] (one smaller remainder group);
+    - resources monochromatically configured with [l] throughout the
+      block ([M]) each take one group, on output resource [(k, 0)] of
+      their triple, labeled with a subcolor index that is inherited
+      across consecutive blocks to avoid boundary reconfigurations;
+      groups go to resources in descending T-level (the largest enclosing
+      monochromatic block), sizes descending;
+    - leftover groups go to the first free slots of multichromatic
+      resource triples.
+
+    Deviation from the paper (documented in DESIGN.md): inherited labels
+    are dropped when the subcolor they name lacks enough jobs in the
+    current batch — the paper's prose leaves this case open and it would
+    make the output infeasible. Each dropped label costs at most one
+    extra pair of reconfigurations, preserving the lemma's O(1) factor;
+    the count of such relabels is reported. *)
+
+type result = {
+  output : Offline_schedule.t; (* for the subcolor instance, 3m resources *)
+  inner_instance : Rrs_sim.Instance.t; (* Distribute.transform of the input *)
+  parent_of : int array;
+  relabels : int; (* feasibility-forced label drops *)
+  fallback_placements : int; (* leftover groups placed outside Y' triples *)
+}
+
+(** [run grid] aggregates an [m]-resource uni-speed grid for a batched
+    power-of-two-bound instance. Errors on non-batched inputs or if a
+    leftover group cannot be placed (not expected; would indicate a
+    violated invariant). *)
+val run : Offline_schedule.t -> (result, string) Stdlib.result

@@ -1,0 +1,126 @@
+module Counter_map = Rrs_ds.Counter_map
+module Instance = Rrs_sim.Instance
+
+type outcome = {
+  cost : int;
+  states : int;
+}
+
+exception Too_big
+
+(* Pending jobs: ascending (color, deadline multiset) pairs, nonempty
+   multisets only. Purely functional so states can be memoized. *)
+type pending = (int * Counter_map.t) list
+
+let purge_expired ~round ~drop_cost pending =
+  let drops = ref 0 in
+  let pending =
+    List.filter_map
+      (fun (color, deadlines) ->
+        let rec purge deadlines =
+          match Counter_map.min_key deadlines with
+          | Some d when d <= round ->
+              let count, rest = Counter_map.remove_all deadlines d in
+              drops := !drops + (count * drop_cost color);
+              purge rest
+          | Some _ | None -> deadlines
+        in
+        let deadlines = purge deadlines in
+        if Counter_map.is_empty deadlines then None else Some (color, deadlines))
+      pending
+  in
+  (!drops, pending)
+
+let add_arrivals ~round ~bounds pending request =
+  List.fold_left
+    (fun pending (color, count) ->
+      let deadline = round + bounds.(color) in
+      let rec insert = function
+        | [] -> [ (color, Counter_map.add Counter_map.empty deadline ~count) ]
+        | (c, deadlines) :: rest when c = color ->
+            (c, Counter_map.add deadlines deadline ~count) :: rest
+        | (c, _) :: _ as all when c > color ->
+            (color, Counter_map.add Counter_map.empty deadline ~count) :: all
+        | entry :: rest -> entry :: insert rest
+      in
+      insert pending)
+    pending request
+
+(* Pop one earliest-deadline job of [color]; None when idle. *)
+let pop_job pending color =
+  let rec walk = function
+    | [] -> None
+    | (c, deadlines) :: rest when c = color -> (
+        match Counter_map.remove_min deadlines with
+        | None -> None
+        | Some (_deadline, remaining) ->
+            if Counter_map.is_empty remaining then Some rest
+            else Some ((c, remaining) :: rest))
+    | entry :: rest -> (
+        match walk rest with None -> None | Some rest -> Some (entry :: rest))
+  in
+  walk pending
+
+let pending_key (pending : pending) =
+  List.map (fun (color, deadlines) -> (color, Counter_map.to_list deadlines)) pending
+
+let opt ?(max_states = 2_000_000) ?drop_costs ~m (instance : Instance.t) =
+  let drop_cost =
+    match drop_costs with
+    | None -> fun _ -> 1
+    | Some costs -> fun color -> costs.(color)
+  in
+  let bounds = instance.bounds in
+  let delta = instance.delta in
+  let horizon = instance.horizon in
+  let memo = Hashtbl.create 4096 in
+  let rec from_round round cache pending =
+    if round >= horizon then 0
+    else begin
+      let drop_cost_here, pending = purge_expired ~round ~drop_cost pending in
+      let pending = add_arrivals ~round ~bounds pending instance.requests.(round) in
+      let cache = List.sort compare cache in
+      let key = (round, cache, pending_key pending) in
+      match Hashtbl.find_opt memo key with
+      | Some best -> drop_cost_here + best
+      | None ->
+          if Hashtbl.length memo >= max_states then raise Too_big;
+          let candidates = List.map fst pending in
+          let best = ref max_int in
+          (* Choose, per resource, keep or switch to a pending color. *)
+          let rec assign remaining_cache chosen switch_cost =
+            match remaining_cache with
+            | [] ->
+                (* Execute earliest-deadline jobs on the chosen colors. *)
+                let pending =
+                  List.fold_left
+                    (fun pending slot ->
+                      match slot with
+                      | None -> pending
+                      | Some color -> (
+                          match pop_job pending color with
+                          | None -> pending
+                          | Some pending -> pending))
+                    pending chosen
+                in
+                let total = switch_cost + from_round (round + 1) chosen pending in
+                if total < !best then best := total
+            | current :: rest ->
+                assign rest (current :: chosen) switch_cost;
+                List.iter
+                  (fun color ->
+                    if current <> Some color then
+                      assign rest (Some color :: chosen) (switch_cost + delta))
+                  candidates
+          in
+          assign cache [] 0;
+          Hashtbl.replace memo key !best;
+          drop_cost_here + !best
+    end
+  in
+  match from_round 0 (List.init m (fun _ -> None)) [] with
+  | cost -> Some { cost; states = Hashtbl.length memo }
+  | exception Too_big -> None
+
+let opt_cost ?max_states ?drop_costs ~m instance =
+  Option.map (fun o -> o.cost) (opt ?max_states ?drop_costs ~m instance)

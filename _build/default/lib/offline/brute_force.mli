@@ -1,0 +1,41 @@
+(** Exact offline optimum for toy instances, by memoized exhaustive
+    search over per-round reconfiguration choices.
+
+    The state space is (round, cache multiset, pending deadlines), so
+    this is only practical for a handful of colors, resources and rounds
+    — exactly what the correctness tests need to cross-check online
+    algorithms and lower bounds against the true OPT. *)
+
+type outcome = {
+  cost : int;
+  states : int; (* distinct memoized states *)
+}
+
+(** [opt ~m instance] is the minimum total cost over all uni-speed
+    offline schedules with [m] resources, or [None] when the memo table
+    would exceed [max_states] (default 2_000_000).
+
+    [drop_costs] gives per-color drop costs (default: unit costs — the
+    paper's main setting); with it, the search solves the companion
+    problem [Delta | c_l | D_l | .].
+
+    Within a round the search considers, per resource, keeping the
+    current color or switching to any color with pending jobs, and always
+    executes the earliest-deadline pending job of the configured color —
+    both restrictions preserve optimality (delaying a reconfiguration to
+    the round it is first used never hurts; within a color EDF order is
+    exchange-optimal). *)
+val opt :
+  ?max_states:int ->
+  ?drop_costs:int array ->
+  m:int ->
+  Rrs_sim.Instance.t ->
+  outcome option
+
+(** [opt_cost ~m instance] is just the cost. *)
+val opt_cost :
+  ?max_states:int ->
+  ?drop_costs:int array ->
+  m:int ->
+  Rrs_sim.Instance.t ->
+  int option

@@ -1,0 +1,20 @@
+(** A clairvoyant greedy heuristic: an offline {e upper} bound on OPT.
+
+    The heuristic sees the whole request sequence. At each round it keeps
+    resources whose color still has work, and reconfigures an idle
+    resource to the color with the most executable work in sight — but
+    only when that work amortizes the reconfiguration cost [Delta].
+    No optimality claim; benches report it as "OPT <= greedy" next to the
+    lower bounds of {!Lower_bounds}. *)
+
+type result = {
+  schedule : Rrs_sim.Schedule.t;
+  cost : int;
+}
+
+(** [run ~m instance] simulates the heuristic on [m] resources (one copy
+    per color, uni-speed) and returns its validated schedule. *)
+val run : m:int -> Rrs_sim.Instance.t -> (result, string) Stdlib.result
+
+(** Just the cost. @raise Failure if the internal replay fails (a bug). *)
+val cost : m:int -> Rrs_sim.Instance.t -> int

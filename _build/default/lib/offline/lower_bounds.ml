@@ -1,0 +1,101 @@
+module Instance = Rrs_sim.Instance
+
+let per_color (instance : Instance.t) =
+  let num_colors = Instance.num_colors instance in
+  let jobs = Array.make num_colors 0 in
+  Array.iter
+    (fun request ->
+      List.iter (fun (color, count) -> jobs.(color) <- jobs.(color) + count) request)
+    instance.requests;
+  Array.fold_left
+    (fun acc n -> if n = 0 then acc else acc + min instance.delta n)
+    0 jobs
+
+let par_edf_drop ~m instance = Rrs_core.Par_edf.drop_cost ~m instance
+
+let per_color_refined ~m (instance : Instance.t) =
+  let num_colors = Instance.num_colors instance in
+  let total = ref 0 in
+  for color = 0 to num_colors - 1 do
+    (* The single-color subsequence as its own instance. *)
+    let arrivals =
+      List.filter_map
+        (fun (round, request) ->
+          match List.assoc_opt color request with
+          | Some count -> Some (round, [ (color, count) ])
+          | None -> None)
+        (Instance.nonempty_arrivals instance)
+    in
+    if arrivals <> [] then begin
+      let sub =
+        Instance.make ~name:"single-color" ~delta:instance.delta
+          ~bounds:instance.bounds ~arrivals ()
+      in
+      let jobs = Instance.total_jobs sub in
+      (* r = 0: drop everything. r >= 1: r always-on servers drop exactly
+         the single-color EDF surplus. *)
+      let best = ref jobs in
+      let r = ref 1 in
+      let continue = ref true in
+      while !r <= m && !continue do
+        let cost = (!r * instance.delta) + Rrs_core.Par_edf.drop_cost ~m:!r sub in
+        if cost < !best then best := cost;
+        (* Once r * delta alone exceeds the best, more servers cannot help. *)
+        if !r * instance.delta >= !best then continue := false;
+        incr r
+      done;
+      total := !total + !best
+    end
+  done;
+  !total
+
+let window ~m (instance : Instance.t) =
+  (* Candidate window endpoints: arrival rounds (starts) and deadlines
+     (ends). For each start t1, sweep deadlines in ascending order and
+     accumulate jobs contained in [t1, t2). *)
+  let arrivals = Instance.nonempty_arrivals instance in
+  let starts = List.map fst arrivals in
+  let best = ref 0 in
+  List.iter
+    (fun t1 ->
+      (* Jobs with arrival >= t1, grouped by deadline. *)
+      let by_deadline = Hashtbl.create 32 in
+      List.iter
+        (fun (round, request) ->
+          if round >= t1 then
+            List.iter
+              (fun (color, count) ->
+                let deadline = round + instance.bounds.(color) in
+                let current =
+                  try Hashtbl.find by_deadline deadline with Not_found -> 0
+                in
+                Hashtbl.replace by_deadline deadline (current + count))
+              request)
+        arrivals;
+      let deadlines =
+        Hashtbl.fold (fun deadline count acc -> (deadline, count) :: acc)
+          by_deadline []
+        |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+      in
+      let contained = ref 0 in
+      List.iter
+        (fun (t2, count) ->
+          contained := !contained + count;
+          (* Jobs fully inside [t1, t2) can use at most m * (t2 - t1)
+             execution slots (executions happen at rounds t1..t2-1). *)
+          let capacity = m * (t2 - t1) in
+          if !contained - capacity > !best then best := !contained - capacity)
+        deadlines)
+    starts;
+  !best
+
+let all ~m instance =
+  [
+    ("per_color", per_color instance);
+    ("per_color_refined", per_color_refined ~m instance);
+    ("par_edf_drop", par_edf_drop ~m instance);
+    ("window", window ~m instance);
+  ]
+
+let combined ~m instance =
+  List.fold_left (fun acc (_, value) -> max acc value) 0 (all ~m instance)

@@ -1,0 +1,39 @@
+(** Provably valid lower bounds on the optimal offline cost.
+
+    Competitive ratios on instances too large for {!Brute_force} are
+    reported against these bounds; since every bound is [<= OPT], the
+    reported ratio upper-bounds the true ratio — the conservative
+    direction when confirming the paper's upper-bound claims. *)
+
+(** [per_color instance] = sum over colors of [min (Delta, N_l)]: any
+    schedule either configures color [l] at least once (cost [Delta]) or
+    drops all its [N_l] jobs; these cost items are disjoint across
+    colors. Independent of [m]. *)
+val per_color : Rrs_sim.Instance.t -> int
+
+(** [par_edf_drop ~m instance]: Par-EDF's drop count lower-bounds the
+    drop cost of any [m]-resource schedule (Lemma 3.7), and drop cost
+    lower-bounds total cost. *)
+val par_edf_drop : m:int -> Rrs_sim.Instance.t -> int
+
+(** [per_color_refined ~m instance]: a strengthening of {!per_color}.
+    Any schedule pays, per color [l], at least
+    [min over r in 0..m of (r * Delta + minimal drops of l's jobs on r
+    always-on servers)]: if it configures [l] [e] times it pays
+    [e * Delta] and serves [l] with at most [min(e, m)] concurrent
+    resources, each dominated by an always-on server; these cost items
+    are disjoint across colors, so the per-color minima add up. *)
+val per_color_refined : m:int -> Rrs_sim.Instance.t -> int
+
+(** [window ~m instance]: over every time window [t1, t2), the jobs that
+    must live entirely inside it — arrival [>= t1] and deadline [<= t2]
+    — exceed the window's execution capacity [m * (t2 - t1)] by some
+    surplus; the largest surplus is a valid drop lower bound. Implied by
+    {!par_edf_drop} (kept as an independent cross-check). *)
+val window : m:int -> Rrs_sim.Instance.t -> int
+
+(** Best of all bounds. *)
+val combined : m:int -> Rrs_sim.Instance.t -> int
+
+(** All bounds, labeled, for reporting. *)
+val all : m:int -> Rrs_sim.Instance.t -> (string * int) list

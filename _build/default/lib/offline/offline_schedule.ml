@@ -1,0 +1,144 @@
+module Instance = Rrs_sim.Instance
+module Schedule = Rrs_sim.Schedule
+module Rebuild = Rrs_sim.Rebuild
+module Ledger = Rrs_sim.Ledger
+
+type t = {
+  instance : Instance.t;
+  m : int;
+  speed : int;
+  colors : Rrs_sim.Types.color option array array;
+  execs : bool array array;
+}
+
+let create ~instance ~m ~speed =
+  if m < 1 then invalid_arg "Offline_schedule.create: m must be >= 1";
+  if speed < 1 then invalid_arg "Offline_schedule.create: speed must be >= 1";
+  let slots = instance.Instance.horizon * speed in
+  {
+    instance;
+    m;
+    speed;
+    colors = Array.init m (fun _ -> Array.make slots None);
+    execs = Array.init m (fun _ -> Array.make slots false);
+  }
+
+let num_slots t = t.instance.Instance.horizon * t.speed
+
+let check_cell t ~resource ~slot =
+  if resource < 0 || resource >= t.m then
+    invalid_arg (Printf.sprintf "Offline_schedule: bad resource %d" resource);
+  if slot < 0 || slot >= num_slots t then
+    invalid_arg (Printf.sprintf "Offline_schedule: bad slot %d" slot)
+
+let set_color t ~resource ~slot color =
+  check_cell t ~resource ~slot;
+  t.colors.(resource).(slot) <- Some color
+
+let set_color_range t ~resource ~from_slot ~to_slot color =
+  for slot = from_slot to to_slot - 1 do
+    set_color t ~resource ~slot color
+  done
+
+let set_exec t ~resource ~slot =
+  check_cell t ~resource ~slot;
+  if t.colors.(resource).(slot) = None then
+    invalid_arg "Offline_schedule.set_exec: black cell";
+  t.execs.(resource).(slot) <- true
+
+let reconfig_count t =
+  let count = ref 0 in
+  for resource = 0 to t.m - 1 do
+    let previous = ref None in
+    Array.iter
+      (fun cell ->
+        (match cell with
+        | Some _ when cell <> !previous -> incr count
+        | Some _ | None -> ());
+        (* A black cell does not change the physical color: treat black
+           runs as "the resource is unused", so color - black - same
+           color costs once, matching the free-eviction convention. *)
+        if cell <> None then previous := cell)
+      t.colors.(resource)
+  done;
+  !count
+
+let exec_count t =
+  Array.fold_left
+    (fun acc row -> Array.fold_left (fun acc e -> if e then acc + 1 else acc) acc row)
+    0 t.execs
+
+let cost t =
+  (t.instance.Instance.delta * reconfig_count t)
+  + (Instance.total_jobs t.instance - exec_count t)
+
+let to_schedule t =
+  let actions = ref [] in
+  let slots = num_slots t in
+  for slot = 0 to slots - 1 do
+    let round = slot / t.speed in
+    let mini_round = slot mod t.speed in
+    for resource = 0 to t.m - 1 do
+      match t.colors.(resource).(slot) with
+      | None -> ()
+      | Some color ->
+          actions :=
+            Rebuild.Configure { round; mini_round; location = resource; color }
+            :: !actions
+    done;
+    for resource = 0 to t.m - 1 do
+      if t.execs.(resource).(slot) then
+        match t.colors.(resource).(slot) with
+        | Some color ->
+            actions :=
+              Rebuild.Run { round; mini_round; location = resource; color }
+              :: !actions
+        | None -> assert false
+    done
+  done;
+  Rebuild.rebuild ~instance:t.instance ~n:t.m ~speed:t.speed
+    ~actions:(List.rev !actions)
+
+let of_schedule (schedule : Schedule.t) =
+  let t =
+    create ~instance:schedule.instance ~m:schedule.n ~speed:schedule.speed
+  in
+  let slots = num_slots t in
+  (* Replay events into the grid; configured colors persist over time. *)
+  let current = Array.make schedule.n None in
+  let cursor = ref 0 in
+  let fill_until slot =
+    while !cursor < slot do
+      for resource = 0 to schedule.n - 1 do
+        t.colors.(resource).(!cursor) <- current.(resource)
+      done;
+      incr cursor
+    done
+  in
+  List.iter
+    (fun event ->
+      match event with
+      | Ledger.Reconfig { round; mini_round; location; next; _ } ->
+          let slot = (round * schedule.speed) + mini_round in
+          fill_until slot;
+          current.(location) <- Some next
+      | Ledger.Execute { round; mini_round; location; _ } ->
+          let slot = (round * schedule.speed) + mini_round in
+          fill_until (slot + 1);
+          t.execs.(location).(slot) <- true
+      | Ledger.Drop _ -> ())
+    schedule.events;
+  fill_until slots;
+  t
+
+let monochromatic t ~resource ~from_slot ~to_slot =
+  if from_slot >= to_slot then None
+  else
+    match t.colors.(resource).(from_slot) with
+    | None -> None
+    | Some color ->
+        let ok = ref true in
+        for slot = from_slot + 1 to to_slot - 1 do
+          if t.colors.(resource).(slot) <> Some color then ok := false
+        done;
+        if !ok then Some color else None

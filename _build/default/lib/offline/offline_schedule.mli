@@ -1,0 +1,59 @@
+(** Explicit offline schedules: a per-resource timeline of configured
+    colors and execution marks.
+
+    The offline constructions of the paper (Aggregate, the punctual
+    schedules of Section 5.2) are most naturally expressed by editing
+    slot grids — resource x mini-round cells — rather than event logs.
+    This module provides that grid, costs it, and converts it back to an
+    event-log {!Rrs_sim.Schedule.t} (via {!Rrs_sim.Rebuild}) so the same
+    independent validator covers offline schedules too. *)
+
+type t = {
+  instance : Rrs_sim.Instance.t;
+  m : int; (* resources *)
+  speed : int; (* mini-rounds per round *)
+  colors : Rrs_sim.Types.color option array array; (* colors.(k).(slot) *)
+  execs : bool array array; (* execs.(k).(slot): slot executes its color *)
+}
+
+(** Empty (all-black, idle) schedule grid. Slots are global mini-round
+    indices [round * speed + mini], [0 .. horizon * speed - 1]. *)
+val create : instance:Rrs_sim.Instance.t -> m:int -> speed:int -> t
+
+val num_slots : t -> int
+
+(** [set_color t ~resource ~slot color] configures one cell. *)
+val set_color : t -> resource:int -> slot:int -> Rrs_sim.Types.color -> unit
+
+(** [set_color_range t ~resource ~from_slot ~to_slot color] configures
+    cells [from_slot .. to_slot - 1]. *)
+val set_color_range :
+  t -> resource:int -> from_slot:int -> to_slot:int -> Rrs_sim.Types.color -> unit
+
+(** Mark a cell as executing (its color must already be set). *)
+val set_exec : t -> resource:int -> slot:int -> unit
+
+(** Reconfiguration count: color changes along each timeline, including
+    the initial black -> color change. *)
+val reconfig_count : t -> int
+
+val exec_count : t -> int
+
+(** [delta * reconfig_count + (total_jobs - exec_count)]. This equals the
+    validated schedule's cost whenever [to_schedule] succeeds. *)
+val cost : t -> int
+
+(** Convert to an event-log schedule by replaying (drops regenerated,
+    executions consume earliest-deadline pending jobs). Fails if some
+    execution mark has no feasible pending job. *)
+val to_schedule : t -> (Rrs_sim.Schedule.t, string) result
+
+(** [of_schedule schedule ~m] converts an event-log schedule into a grid.
+    Events must fit in [m] resources. *)
+val of_schedule : Rrs_sim.Schedule.t -> t
+
+(** [monochromatic t ~resource ~from_slot ~to_slot] is [Some c] when the
+    resource is configured with exactly color [c] in every slot of the
+    range, [None] otherwise (including black cells). *)
+val monochromatic :
+  t -> resource:int -> from_slot:int -> to_slot:int -> Rrs_sim.Types.color option

@@ -1,0 +1,293 @@
+module Instance = Rrs_sim.Instance
+module Ledger = Rrs_sim.Ledger
+
+type classification = Early | Punctual | Late
+
+let half p = p / 2
+
+let classify ~bound ~arrival ~execution_round =
+  if bound < 2 then invalid_arg "Punctualize.classify: bound must be >= 2";
+  let h = half bound in
+  let arrival_block = arrival / h in
+  let execution_block = execution_round / h in
+  match execution_block - arrival_block with
+  | 0 -> Early
+  | 1 -> Punctual
+  | 2 -> Late
+  | d ->
+      invalid_arg
+        (Printf.sprintf
+           "Punctualize.classify: execution %d half-blocks after arrival" d)
+
+(* Annotate every execution mark of a grid with its job's deadline (and
+   hence arrival) by replaying it through the validator path. Note that
+   annotation assigns jobs to marks by earliest-deadline-first within a
+   color; job identities of a *subset* of marks can differ from their
+   identities in the full grid, which is why classification happens once
+   on the full grid and is passed along explicitly below. *)
+let annotated_executions grid =
+  match Offline_schedule.to_schedule grid with
+  | Error message -> Error ("annotate: " ^ message)
+  | Ok schedule ->
+      Ok
+        (List.filter_map
+           (function
+             | Ledger.Execute { round; mini_round; location; color; deadline } ->
+                 let slot = (round * grid.Offline_schedule.speed) + mini_round in
+                 Some (location, slot, color, deadline)
+             | Ledger.Reconfig _ | Ledger.Drop _ -> None)
+           schedule.events)
+
+let copy_colors grid =
+  let fresh =
+    Offline_schedule.create ~instance:grid.Offline_schedule.instance
+      ~m:grid.Offline_schedule.m ~speed:grid.Offline_schedule.speed
+  in
+  Array.iteri
+    (fun resource row ->
+      Array.iteri
+        (fun slot cell ->
+          match cell with
+          | Some color -> Offline_schedule.set_color fresh ~resource ~slot color
+          | None -> ())
+        row)
+    grid.Offline_schedule.colors;
+  fresh
+
+let classify_execution ~bounds ~speed (_, slot, color, deadline) =
+  let bound = bounds.(color) in
+  classify ~bound ~arrival:(deadline - bound) ~execution_round:(slot / speed)
+
+let partition_executions grid =
+  match annotated_executions grid with
+  | Error message -> Error message
+  | Ok executions ->
+      let bounds = grid.Offline_schedule.instance.Instance.bounds in
+      let speed = grid.Offline_schedule.speed in
+      let early, rest =
+        List.partition
+          (fun e -> classify_execution ~bounds ~speed e = Early)
+          executions
+      in
+      let punctual, late =
+        List.partition
+          (fun e -> classify_execution ~bounds ~speed e = Punctual)
+          rest
+      in
+      Ok (early, punctual, late)
+
+let split grid =
+  match partition_executions grid with
+  | Error message -> invalid_arg ("Punctualize.split: " ^ message)
+  | Ok (early_marks, punctual_marks, late_marks) ->
+      let materialize marks =
+        let fresh = copy_colors grid in
+        List.iter
+          (fun (resource, slot, _, _) ->
+            Offline_schedule.set_exec fresh ~resource ~slot)
+          marks;
+        fresh
+      in
+      (materialize early_marks, materialize punctual_marks, materialize late_marks)
+
+(* Is [grid] (single resource) configured with [color] throughout rounds
+   [from_round, to_round) (clipped to the horizon)? *)
+let configured_throughout grid ~from_round ~to_round color =
+  let slots = Offline_schedule.num_slots grid in
+  let from_slot = max 0 from_round in
+  let to_slot = min slots to_round in
+  Offline_schedule.monochromatic grid ~resource:0 ~from_slot ~to_slot
+  = Some color
+
+let check_single_uni grid =
+  if grid.Offline_schedule.m <> 1 then Error "input must be single-resource"
+  else if grid.Offline_schedule.speed <> 1 then Error "input must be uni-speed"
+  else
+    let bounds = grid.Offline_schedule.instance.Instance.bounds in
+    if not (Array.for_all (fun d -> d >= 2 && d land (d - 1) = 0) bounds) then
+      Error "bounds must be powers of two >= 2"
+    else Ok ()
+
+(* Shared construction for Lemmas 5.1 and 5.2: [source] provides the
+   configuration timeline (for specialness tests); [executions] are the
+   (slot, color) marks to relocate, all pre-classified as early
+   ([`Forward]) or late ([`Backward]). *)
+let build_directed ~direction ~source executions =
+  let instance = source.Offline_schedule.instance in
+  let bounds = instance.Instance.bounds in
+  let output = Offline_schedule.create ~instance ~m:3 ~speed:1 in
+  let slots = Offline_schedule.num_slots output in
+  let shift_of p = match direction with `Forward -> half p | `Backward -> -(half p) in
+  (* Special jobs: the resource stays on the job's color through both the
+     execution half-block and the adjacent one in the shift direction;
+     they move to resource 0, shifted by p/2 (Lemma 5.1, steps 1-2). *)
+  let special, nonspecial =
+    List.partition
+      (fun (_, slot, color, _) ->
+        let p = bounds.(color) in
+        let h = half p in
+        let block_start = slot - (slot mod h) in
+        let from_round, to_round =
+          match direction with
+          | `Forward -> (block_start, block_start + (2 * h))
+          | `Backward -> (block_start - h, block_start + h)
+        in
+        configured_throughout source ~from_round ~to_round color)
+      executions
+  in
+  let pack_error = ref None in
+  List.iter
+    (fun (_, slot, color, _) ->
+      let target = slot + shift_of bounds.(color) in
+      if target < 0 || target >= slots then
+        pack_error := Some "special job shifted outside the horizon"
+      else begin
+        Offline_schedule.set_color output ~resource:0 ~slot:target color;
+        Offline_schedule.set_exec output ~resource:0 ~slot:target
+      end)
+    special;
+  (* Nonspecial jobs: ascending delay bound, then half-block, then color;
+     each goes to the first free slot on resources 1-2 within its
+     punctual half-block (Lemma 5.1, step 3). *)
+  let ordered =
+    List.sort
+      (fun (_, slot_a, color_a, _) (_, slot_b, color_b, _) ->
+        let by_bound = Int.compare bounds.(color_a) bounds.(color_b) in
+        if by_bound <> 0 then by_bound
+        else
+          let block a color = a / half bounds.(color) in
+          let by_block = Int.compare (block slot_a color_a) (block slot_b color_b) in
+          if by_block <> 0 then by_block else Int.compare color_a color_b)
+      nonspecial
+  in
+  List.iter
+    (fun (_, slot, color, _) ->
+      let h = half bounds.(color) in
+      let block_start = slot - (slot mod h) in
+      let window_start, window_end =
+        match direction with
+        | `Forward -> (block_start + h, block_start + (2 * h))
+        | `Backward -> (block_start - h, block_start)
+      in
+      let window_start = max 0 window_start in
+      let window_end = min slots window_end in
+      let placed = ref false in
+      let target_slot = ref window_start in
+      while (not !placed) && !target_slot < window_end do
+        let resource = ref 1 in
+        while (not !placed) && !resource <= 2 do
+          if not output.Offline_schedule.execs.(!resource).(!target_slot) then begin
+            Offline_schedule.set_color output ~resource:!resource
+              ~slot:!target_slot color;
+            Offline_schedule.set_exec output ~resource:!resource ~slot:!target_slot;
+            placed := true
+          end;
+          incr resource
+        done;
+        incr target_slot
+      done;
+      if not !placed then
+        pack_error :=
+          Some
+            (Printf.sprintf
+               "no free slot for a nonspecial color-%d job in [%d, %d)" color
+               window_start window_end))
+    ordered;
+  match !pack_error with Some message -> Error message | None -> Ok output
+
+let punctualize_with ~direction grid =
+  match check_single_uni grid with
+  | Error _ as e -> e
+  | Ok () -> (
+      match partition_executions grid with
+      | Error message -> Error message
+      | Ok (early, punctual, late) -> (
+          match (direction, punctual, early, late) with
+          | `Forward, [], _, [] -> build_directed ~direction ~source:grid early
+          | `Backward, [], [], _ -> build_directed ~direction ~source:grid late
+          | `Forward, _, _, _ -> Error "input is not an early schedule"
+          | `Backward, _, _, _ -> Error "input is not a late schedule"))
+
+let punctualize_early grid = punctualize_with ~direction:`Forward grid
+let punctualize_late grid = punctualize_with ~direction:`Backward grid
+
+let extract_resource grid k =
+  let single =
+    Offline_schedule.create ~instance:grid.Offline_schedule.instance ~m:1
+      ~speed:grid.Offline_schedule.speed
+  in
+  Array.iteri
+    (fun slot cell ->
+      match cell with
+      | Some color -> Offline_schedule.set_color single ~resource:0 ~slot color
+      | None -> ())
+    grid.Offline_schedule.colors.(k);
+  Array.iteri
+    (fun slot marked ->
+      if marked then Offline_schedule.set_exec single ~resource:0 ~slot)
+    grid.Offline_schedule.execs.(k);
+  single
+
+let blit_rows ~source ~target ~at =
+  Array.iteri
+    (fun k row ->
+      Array.iteri
+        (fun slot cell ->
+          match cell with
+          | Some color ->
+              Offline_schedule.set_color target ~resource:(at + k) ~slot color
+          | None -> ())
+        row;
+      Array.iteri
+        (fun slot marked ->
+          if marked then Offline_schedule.set_exec target ~resource:(at + k) ~slot)
+        source.Offline_schedule.execs.(k))
+    source.Offline_schedule.colors
+
+let punctual_schedule grid =
+  if grid.Offline_schedule.speed <> 1 then Error "input must be uni-speed"
+  else begin
+    let m = grid.Offline_schedule.m in
+    let instance = grid.Offline_schedule.instance in
+    let output = Offline_schedule.create ~instance ~m:(7 * m) ~speed:1 in
+    let rec build k =
+      if k >= m then Ok output
+      else
+        let single = extract_resource grid k in
+        match check_single_uni single with
+        | Error message -> Error message
+        | Ok () -> (
+            match partition_executions single with
+            | Error message -> Error (Printf.sprintf "resource %d: %s" k message)
+            | Ok (early, punctual, late) -> (
+                match build_directed ~direction:`Forward ~source:single early with
+                | Error message ->
+                    Error (Printf.sprintf "resource %d (early): %s" k message)
+                | Ok early' -> (
+                    match
+                      build_directed ~direction:`Backward ~source:single late
+                    with
+                    | Error message ->
+                        Error (Printf.sprintf "resource %d (late): %s" k message)
+                    | Ok late' ->
+                        blit_rows ~source:early' ~target:output ~at:(7 * k);
+                        (* The punctual part keeps its original slots on
+                           one dedicated resource. *)
+                        Array.iteri
+                          (fun slot cell ->
+                            match cell with
+                            | Some color ->
+                                Offline_schedule.set_color output
+                                  ~resource:((7 * k) + 3) ~slot color
+                            | None -> ())
+                          single.Offline_schedule.colors.(0);
+                        List.iter
+                          (fun (_, slot, _, _) ->
+                            Offline_schedule.set_exec output
+                              ~resource:((7 * k) + 3) ~slot)
+                          punctual;
+                        blit_rows ~source:late' ~target:output ~at:((7 * k) + 4);
+                        build (k + 1))))
+    in
+    build 0
+  end

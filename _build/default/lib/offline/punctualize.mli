@@ -1,0 +1,41 @@
+(** The punctual-schedule constructions of Section 5.2.
+
+    For a delay bound [p], half-block [i] is the [p/2] rounds starting at
+    [i * p/2]. A job arriving in half-block [i] of its bound is executed
+    {e early} (same half-block), {e punctually} (next half-block) or
+    {e late} (the one after) — no other case is possible. Lemma 5.1 turns
+    an early single-resource schedule into a punctual 3-resource schedule
+    executing the same jobs at [O(1)]-factor reconfiguration cost; Lemma
+    5.2 does the same for late schedules; Lemma 5.3 stacks the three
+    parts into a punctual schedule on 7 resources per original resource.
+
+    All functions expect instances with power-of-two bounds [>= 2] (the
+    Section 5 setting). *)
+
+type classification = Early | Punctual | Late
+
+(** Classify one execution: [arrival] and [execution_round] of a job with
+    delay bound [bound]. @raise Invalid_argument if the execution round
+    is outside the three legal half-blocks. *)
+val classify :
+  bound:int -> arrival:int -> execution_round:int -> classification
+
+(** Split a schedule grid into its early / punctual / late parts: three
+    grids with identical configuration timelines, each keeping only the
+    matching execution marks. *)
+val split :
+  Offline_schedule.t -> Offline_schedule.t * Offline_schedule.t * Offline_schedule.t
+
+(** Lemma 5.1: [punctualize_early grid] for a single-resource grid whose
+    executions are all early. Returns a 3-resource punctual grid
+    executing the same number of jobs. Errors if the input is not
+    single-resource / not early, or (never expected) if slot packing
+    fails. *)
+val punctualize_early : Offline_schedule.t -> (Offline_schedule.t, string) result
+
+(** Lemma 5.2: the analogous construction for late schedules. *)
+val punctualize_late : Offline_schedule.t -> (Offline_schedule.t, string) result
+
+(** Lemma 5.3: a punctual schedule on [7 * m] resources executing every
+    job executed by the input [m]-resource grid. *)
+val punctual_schedule : Offline_schedule.t -> (Offline_schedule.t, string) result

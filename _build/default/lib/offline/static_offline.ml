@@ -1,0 +1,113 @@
+module Instance = Rrs_sim.Instance
+module Job_pool = Rrs_sim.Job_pool
+module Rebuild = Rrs_sim.Rebuild
+module Schedule = Rrs_sim.Schedule
+
+type result = {
+  schedule : Schedule.t;
+  cost : int;
+  allocation : (Rrs_sim.Types.color * int) list;
+}
+
+let single_color_instance (instance : Instance.t) color =
+  let arrivals =
+    List.filter_map
+      (fun (round, request) ->
+        match List.assoc_opt color request with
+        | Some count -> Some (round, [ (color, count) ])
+        | None -> None)
+      (Instance.nonempty_arrivals instance)
+  in
+  if arrivals = [] then None
+  else
+    Some
+      (Instance.make ~name:"static-sub" ~delta:instance.delta
+         ~bounds:instance.bounds ~arrivals ())
+
+let run ~m (instance : Instance.t) =
+  if m < 1 then invalid_arg "Static_offline.run: m must be >= 1";
+  let delta = instance.delta in
+  let num_colors = Instance.num_colors instance in
+  let subs = Array.init num_colors (single_color_instance instance) in
+  (* served.(c) r = jobs of c served by r always-on servers. *)
+  let served color r =
+    match subs.(color) with
+    | None -> 0
+    | Some sub ->
+        if r = 0 then 0
+        else Instance.total_jobs sub - Rrs_core.Par_edf.drop_cost ~m:r sub
+  in
+  (* Greedy allocation by net marginal gain (served jobs minus the
+     resource's one-off configuration cost delta). *)
+  let allocation = Array.make num_colors 0 in
+  let remaining = ref m in
+  let continue = ref true in
+  while !remaining > 0 && !continue do
+    let best = ref None in
+    for color = 0 to num_colors - 1 do
+      let r = allocation.(color) in
+      let gain = served color (r + 1) - served color r - delta in
+      match !best with
+      | Some (best_gain, _) when best_gain >= gain -> ()
+      | _ -> if gain > 0 then best := Some (gain, color)
+    done;
+    match !best with
+    | None -> continue := false
+    | Some (_, color) ->
+        allocation.(color) <- allocation.(color) + 1;
+        decr remaining
+  done;
+  (* Materialize: dedicate resource indices, configure at round 0, run
+     single-color EDF on each dedicated resource. *)
+  let resource_color = Array.make m None in
+  let next = ref 0 in
+  Array.iteri
+    (fun color r ->
+      for _ = 1 to r do
+        resource_color.(!next) <- Some color;
+        incr next
+      done)
+    allocation;
+  let pool = Job_pool.create ~num_colors in
+  let actions = ref [] in
+  Array.iteri
+    (fun resource cell ->
+      match cell with
+      | Some color ->
+          actions :=
+            Rebuild.Configure { round = 0; mini_round = 0; location = resource; color }
+            :: !actions
+      | None -> ())
+    resource_color;
+  for round = 0 to instance.horizon - 1 do
+    ignore (Job_pool.drop_expired pool ~round);
+    List.iter
+      (fun (color, count) ->
+        Job_pool.add pool ~color ~deadline:(round + instance.bounds.(color)) ~count)
+      instance.requests.(round);
+    Array.iteri
+      (fun resource cell ->
+        match cell with
+        | Some color ->
+            if Job_pool.nonidle pool color then begin
+              ignore (Job_pool.execute_one pool ~color ~round);
+              actions :=
+                Rebuild.Run { round; mini_round = 0; location = resource; color }
+                :: !actions
+            end
+        | None -> ())
+      resource_color
+  done;
+  match Rebuild.rebuild ~instance ~n:m ~speed:1 ~actions:(List.rev !actions) with
+  | Error message -> Error message
+  | Ok schedule ->
+      let allocation =
+        Array.to_list (Array.mapi (fun color r -> (color, r)) allocation)
+        |> List.filter (fun (_, r) -> r > 0)
+      in
+      Ok { schedule; cost = Schedule.total_cost schedule; allocation }
+
+let cost ~m instance =
+  match run ~m instance with
+  | Ok { cost; _ } -> cost
+  | Error message -> failwith ("Static_offline.cost: " ^ message)

@@ -1,0 +1,28 @@
+(** Static partitioning baseline: the strategy the paper's motivation
+    argues against.
+
+    A shared data center without reconfigurable resources must dedicate
+    each processor to one service up front. This baseline gets the whole
+    trace in advance and picks the best {e static} allocation: it
+    greedily assigns each of the [m] resources to the color whose
+    marginal served-job gain is largest (gains computed by single-color
+    EDF simulation with [r] vs [r+1] always-on servers), then pays one
+    configuration per used resource and drops everything the allocation
+    cannot serve.
+
+    Comparing it against the reconfigurable algorithms quantifies the
+    value of reconfiguration itself: static wins when the workload mix is
+    stationary, and loses badly when the mix shifts (the E15 experiment). *)
+
+type result = {
+  schedule : Rrs_sim.Schedule.t;
+  cost : int;
+  allocation : (Rrs_sim.Types.color * int) list; (* resources per color, > 0 *)
+}
+
+(** [run ~m instance] computes the allocation and the resulting validated
+    schedule. *)
+val run : m:int -> Rrs_sim.Instance.t -> (result, string) Stdlib.result
+
+(** Just the cost. @raise Failure on an internal replay error (a bug). *)
+val cost : m:int -> Rrs_sim.Instance.t -> int

@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Array Format Instance Job_pool Ledger List Log Policy Printf Types

@@ -1,0 +1,1 @@
+lib/sim/instance.ml: Array Format List Printf Types

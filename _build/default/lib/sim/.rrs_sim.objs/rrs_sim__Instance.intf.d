@@ -1,0 +1,1 @@
+lib/sim/instance.mli: Format Types

@@ -1,0 +1,1 @@
+lib/sim/instance_ops.ml: Array Instance List Printf

@@ -1,0 +1,1 @@
+lib/sim/instance_ops.mli: Instance Types

@@ -1,0 +1,1 @@
+lib/sim/job_pool.ml: Array Hashtbl Int List Printf Rrs_ds Types

@@ -1,0 +1,1 @@
+lib/sim/job_pool.mli: Types

@@ -1,0 +1,1 @@
+lib/sim/rebuild.ml: Array Instance Job_pool Ledger List Printf Schedule Types

@@ -1,0 +1,1 @@
+lib/sim/rebuild.mli: Instance Schedule Types

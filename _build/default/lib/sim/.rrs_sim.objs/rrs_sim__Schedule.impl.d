@@ -1,0 +1,1 @@
+lib/sim/schedule.ml: Array Format Hashtbl Instance Int Job_pool Ledger List Printf Types

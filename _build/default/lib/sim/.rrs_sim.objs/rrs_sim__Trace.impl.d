@@ -1,0 +1,1 @@
+lib/sim/trace.ml: Array Buffer Fun Instance List Printf String Types

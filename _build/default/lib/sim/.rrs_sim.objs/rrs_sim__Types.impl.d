@@ -1,0 +1,1 @@
+lib/sim/types.ml: Format Hashtbl Int List

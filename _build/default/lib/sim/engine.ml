@@ -1,0 +1,82 @@
+type result = {
+  ledger : Ledger.t;
+  stats : (string * int) list;
+  final_assignment : Types.color option array;
+}
+
+let run ?(speed = 1) ?(record_events = true) ~n
+    ~policy:(module P : Policy.POLICY) (instance : Instance.t) =
+  if n < 1 then invalid_arg "Engine.run: n must be >= 1";
+  if speed < 1 then invalid_arg "Engine.run: speed must be >= 1";
+  Log.debug (fun m ->
+      m "run %s: policy=%s n=%d speed=%d horizon=%d" instance.Instance.name
+        P.name n speed instance.Instance.horizon);
+  let delta = instance.delta in
+  let bounds = instance.bounds in
+  let pool = Job_pool.create ~num_colors:(Array.length bounds) in
+  let ledger = Ledger.create ~record_events ~delta () in
+  let state = P.create ~n ~delta ~bounds in
+  let assignment = Array.make n None in
+  for round = 0 to instance.horizon - 1 do
+    (* Drop phase: jobs with deadline = round are dropped. *)
+    let dropped = Job_pool.drop_expired pool ~round in
+    if dropped <> [] then
+      Log.debug (fun m ->
+          m "round %d: dropped %a" round
+            (Format.pp_print_list
+               ~pp_sep:(fun ppf () -> Format.fprintf ppf " ")
+               (fun ppf (c, k) -> Format.fprintf ppf "%d:%d" c k))
+            dropped);
+    List.iter
+      (fun (color, count) -> Ledger.record_drop ledger ~round ~color ~count)
+      dropped;
+    P.on_drop state ~round ~dropped;
+    (* Arrival phase. *)
+    let request = instance.requests.(round) in
+    List.iter
+      (fun (color, count) ->
+        Job_pool.add pool ~color ~deadline:(round + bounds.(color)) ~count)
+      request;
+    P.on_arrival state ~round ~request;
+    (* Reconfiguration + execution, [speed] mini-rounds. *)
+    for mini_round = 0 to speed - 1 do
+      let view =
+        { Policy.round; mini_round; n; delta; bounds; assignment; pool }
+      in
+      let target = P.reconfigure state view in
+      if Array.length target <> n then
+        invalid_arg
+          (Printf.sprintf "Engine.run: policy %s returned %d locations, expected %d"
+             P.name (Array.length target) n);
+      for location = 0 to n - 1 do
+        match target.(location) with
+        | None -> () (* inactive this mini-round; physical color persists *)
+        | Some next ->
+            if assignment.(location) <> Some next then begin
+              Ledger.record_reconfig ledger ~round ~mini_round ~location
+                ~previous:assignment.(location) ~next;
+              assignment.(location) <- Some next
+            end
+      done;
+      for location = 0 to n - 1 do
+        match target.(location) with
+        | None -> ()
+        | Some color -> (
+            match Job_pool.execute_one pool ~color ~round with
+            | None -> ()
+            | Some deadline ->
+                Ledger.record_execute ledger ~round ~mini_round ~location ~color
+                  ~deadline)
+      done
+    done
+  done;
+  Log.debug (fun m ->
+      m "done %s: cost=%d reconfigs=%d drops=%d" instance.Instance.name
+        (Ledger.total_cost ledger)
+        (Ledger.reconfig_count ledger)
+        (Ledger.drop_count ledger));
+  { ledger; stats = P.stats state; final_assignment = assignment }
+
+let cost ?speed ~n ~policy instance =
+  let { ledger; _ } = run ?speed ~record_events:false ~n ~policy instance in
+  Ledger.total_cost ledger

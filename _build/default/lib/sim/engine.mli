@@ -1,0 +1,36 @@
+(** The discrete-round engine: the paper's four-phase round model.
+
+    Each round runs (1) the drop phase — jobs whose deadline equals the
+    round index are dropped at unit cost each; (2) the arrival phase;
+    (3)+(4) [speed] iterations of the reconfiguration and execution
+    phases ([speed = 1] for uni-speed algorithms, [speed = 2] for the
+    double-speed schedules of Section 3.3). In each execution phase every
+    location configured with color [c] executes up to one pending job of
+    color [c], always the one with the earliest deadline. *)
+
+type result = {
+  ledger : Ledger.t;
+  stats : (string * int) list; (* policy-reported counters *)
+  final_assignment : Types.color option array;
+}
+
+(** [run ~n ~policy instance] simulates [instance] to its horizon with [n]
+    resources under [policy].
+
+    @param speed mini-rounds (reconfig+execution iterations) per round;
+    default 1.
+    @param record_events keep the full event log in the ledger (needed by
+    {!Schedule.validate}); default true.
+    @raise Invalid_argument if the policy returns an assignment of the
+    wrong length, or [n < 1], or [speed < 1]. *)
+val run :
+  ?speed:int ->
+  ?record_events:bool ->
+  n:int ->
+  policy:(module Policy.POLICY) ->
+  Instance.t ->
+  result
+
+(** Convenience: [total_cost (run ...)]. *)
+val cost :
+  ?speed:int -> n:int -> policy:(module Policy.POLICY) -> Instance.t -> int

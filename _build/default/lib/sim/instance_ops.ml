@@ -1,0 +1,66 @@
+let rebuild ~(like : Instance.t) ~name arrivals =
+  Instance.make ~name ~delta:like.Instance.delta ~bounds:like.Instance.bounds
+    ~arrivals ()
+
+let map_arrivals (instance : Instance.t) ~name f =
+  let arrivals =
+    List.filter_map
+      (fun (round, request) ->
+        match f round request with
+        | _, [] -> None
+        | round, request -> Some (round, request))
+      (Instance.nonempty_arrivals instance)
+  in
+  rebuild ~like:instance ~name arrivals
+
+let restrict_colors instance predicate =
+  map_arrivals instance
+    ~name:(instance.Instance.name ^ "+restricted")
+    (fun round request ->
+      (round, List.filter (fun (color, _) -> predicate color) request))
+
+let split_by_volume (instance : Instance.t) ~threshold =
+  let num_colors = Instance.num_colors instance in
+  let totals = Array.make num_colors 0 in
+  Array.iter
+    (fun request ->
+      List.iter (fun (color, count) -> totals.(color) <- totals.(color) + count)
+        request)
+    instance.Instance.requests;
+  ( restrict_colors instance (fun color -> totals.(color) < threshold),
+    restrict_colors instance (fun color -> totals.(color) >= threshold) )
+
+let scale_load instance ~numerator ~denominator =
+  if numerator < 0 || denominator < 1 then
+    invalid_arg "Instance_ops.scale_load: bad factor";
+  map_arrivals instance
+    ~name:(Printf.sprintf "%s*%d/%d" instance.Instance.name numerator denominator)
+    (fun round request ->
+      ( round,
+        List.filter_map
+          (fun (color, count) ->
+            let scaled = count * numerator / denominator in
+            let scaled = if numerator > 0 && count > 0 then max scaled 1 else scaled in
+            if scaled > 0 then Some (color, scaled) else None)
+          request ))
+
+let shift instance ~rounds =
+  if rounds < 0 then invalid_arg "Instance_ops.shift: negative shift";
+  map_arrivals instance
+    ~name:(Printf.sprintf "%s+%d" instance.Instance.name rounds)
+    (fun round request -> (round + rounds, request))
+
+let merge (a : Instance.t) (b : Instance.t) =
+  if a.Instance.delta <> b.Instance.delta then
+    invalid_arg "Instance_ops.merge: different delta";
+  if a.Instance.bounds <> b.Instance.bounds then
+    invalid_arg "Instance_ops.merge: different bounds";
+  rebuild ~like:a
+    ~name:(a.Instance.name ^ "+" ^ b.Instance.name)
+    (Instance.nonempty_arrivals a @ Instance.nonempty_arrivals b)
+
+let truncate instance ~horizon =
+  if horizon < 0 then invalid_arg "Instance_ops.truncate: negative horizon";
+  map_arrivals instance
+    ~name:(Printf.sprintf "%s|%d" instance.Instance.name horizon)
+    (fun round request -> (round, if round < horizon then request else []))

@@ -1,0 +1,32 @@
+(** Instance manipulation: the subsequence and composition operations the
+    paper's proofs use (splitting an input by color classes, Theorem 1;
+    restricting to eligible jobs, Lemma 3.2) plus experiment utilities. *)
+
+(** [restrict_colors instance predicate] keeps only the arrivals of
+    colors satisfying [predicate]; the color universe and bounds are
+    unchanged (other colors simply receive no jobs), so schedules and
+    costs remain directly comparable. *)
+val restrict_colors : Instance.t -> (Types.color -> bool) -> Instance.t
+
+(** [split_by_volume instance ~threshold] is the paper's Theorem 1 split:
+    [(alpha, beta)] where [alpha] carries the colors with fewer than
+    [threshold] jobs in total and [beta] the rest. *)
+val split_by_volume : Instance.t -> threshold:int -> Instance.t * Instance.t
+
+(** [scale_load instance ~numerator ~denominator] multiplies every batch
+    size by [numerator / denominator] (rounding down, keeping at least
+    one job when the original batch was nonempty and [numerator > 0]). *)
+val scale_load : Instance.t -> numerator:int -> denominator:int -> Instance.t
+
+(** [shift instance ~rounds] delays every arrival by [rounds >= 0]. *)
+val shift : Instance.t -> rounds:int -> Instance.t
+
+(** [merge a b] superimposes two instances over the same color universe
+    (equal [delta] and [bounds] required).
+    @raise Invalid_argument otherwise. *)
+val merge : Instance.t -> Instance.t -> Instance.t
+
+(** [truncate instance ~horizon] drops every arrival at or after
+    [horizon] (the resulting instance's own horizon still covers all
+    remaining deadlines). *)
+val truncate : Instance.t -> horizon:int -> Instance.t

@@ -1,0 +1,78 @@
+module Counter_map = Rrs_ds.Counter_map
+module Timing_wheel = Rrs_ds.Timing_wheel
+
+type t = {
+  by_color : Counter_map.t array; (* deadline multiset per color *)
+  mutable total : int;
+  wheel : Types.color Timing_wheel.t; (* colors that may expire at each time *)
+}
+
+let create ~num_colors =
+  {
+    by_color = Array.make num_colors Counter_map.empty;
+    total = 0;
+    wheel = Timing_wheel.create ~horizon:64 ();
+  }
+
+let pending t color = Counter_map.total t.by_color.(color)
+let nonidle t color = pending t color > 0
+let earliest_deadline t color = Counter_map.min_key t.by_color.(color)
+let total_pending t = t.total
+
+let nonidle_colors t =
+  let acc = ref [] in
+  for color = Array.length t.by_color - 1 downto 0 do
+    if nonidle t color then acc := color :: !acc
+  done;
+  !acc
+
+let deadlines t color = Counter_map.to_list t.by_color.(color)
+
+let add t ~color ~deadline ~count =
+  if count < 0 then invalid_arg "Job_pool.add: negative count";
+  if count > 0 then begin
+    if deadline < Timing_wheel.now t.wheel then
+      invalid_arg "Job_pool.add: deadline already expired";
+    (* Register the color once per (color, deadline) batch; duplicate
+       wheel entries are harmless because expiry removes all occurrences. *)
+    if Counter_map.count t.by_color.(color) deadline = 0 then
+      Timing_wheel.add t.wheel ~time:deadline color;
+    t.by_color.(color) <- Counter_map.add t.by_color.(color) deadline ~count;
+    t.total <- t.total + count
+  end
+
+let drop_expired t ~round =
+  let dropped = Hashtbl.create 8 in
+  Timing_wheel.advance t.wheel ~time:(round + 1) (fun time color ->
+      let count = Counter_map.count t.by_color.(color) time in
+      if count > 0 then begin
+        t.by_color.(color) <- Counter_map.remove t.by_color.(color) time ~count;
+        t.total <- t.total - count;
+        let current = try Hashtbl.find dropped color with Not_found -> 0 in
+        Hashtbl.replace dropped color (current + count)
+      end);
+  Hashtbl.fold (fun color count acc -> (color, count) :: acc) dropped []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let execute_one t ~color ~round =
+  match Counter_map.remove_min t.by_color.(color) with
+  | None -> None
+  | Some (deadline, rest) ->
+      if deadline <= round then
+        invalid_arg
+          (Printf.sprintf
+             "Job_pool.execute_one: expired job (deadline %d <= round %d)" deadline
+             round);
+      t.by_color.(color) <- rest;
+      t.total <- t.total - 1;
+      Some deadline
+
+let copy t =
+  let fresh = create ~num_colors:(Array.length t.by_color) in
+  Array.iteri
+    (fun color multiset ->
+      List.iter
+        (fun (deadline, count) -> add fresh ~color ~deadline ~count)
+        (Counter_map.to_list multiset))
+    t.by_color;
+  fresh

@@ -1,0 +1,45 @@
+type event =
+  | Reconfig of { round : int; mini_round : int; location : int;
+                  previous : Types.color option; next : Types.color }
+  | Drop of { round : int; color : Types.color; count : int }
+  | Execute of { round : int; mini_round : int; location : int;
+                 color : Types.color; deadline : int }
+
+type t = {
+  delta : int;
+  record_events : bool;
+  mutable reconfigs : int;
+  mutable drops : int;
+  mutable execs : int;
+  mutable events : event list; (* reverse chronological *)
+}
+
+let create ?(record_events = true) ~delta () =
+  { delta; record_events; reconfigs = 0; drops = 0; execs = 0; events = [] }
+
+let push t event = if t.record_events then t.events <- event :: t.events
+
+let record_reconfig t ~round ~mini_round ~location ~previous ~next =
+  t.reconfigs <- t.reconfigs + 1;
+  push t (Reconfig { round; mini_round; location; previous; next })
+
+let record_drop t ~round ~color ~count =
+  if count < 0 then invalid_arg "Ledger.record_drop: negative count";
+  t.drops <- t.drops + count;
+  if count > 0 then push t (Drop { round; color; count })
+
+let record_execute t ~round ~mini_round ~location ~color ~deadline =
+  t.execs <- t.execs + 1;
+  push t (Execute { round; mini_round; location; color; deadline })
+
+let reconfig_count t = t.reconfigs
+let drop_count t = t.drops
+let exec_count t = t.execs
+let reconfig_cost t = t.delta * t.reconfigs
+let total_cost t = reconfig_cost t + t.drops
+let events t = List.rev t.events
+
+let pp_summary ppf t =
+  Format.fprintf ppf
+    "cost=%d (reconfig=%d x delta=%d -> %d, drops=%d) executed=%d"
+    (total_cost t) t.reconfigs t.delta (reconfig_cost t) t.drops t.execs

@@ -1,0 +1,43 @@
+(** Cost accounting for a run: reconfigurations, drops, executions.
+
+    The ledger is the single source of truth for the objective value
+    [total_cost = delta * reconfigurations + drops]. Event recording is
+    optional (it costs memory) and feeds the schedule validator. *)
+
+type event =
+  | Reconfig of { round : int; mini_round : int; location : int;
+                  previous : Types.color option; next : Types.color }
+  | Drop of { round : int; color : Types.color; count : int }
+  | Execute of { round : int; mini_round : int; location : int;
+                 color : Types.color; deadline : int }
+
+type t
+
+(** [create ~delta ()] is an empty ledger. [record_events] (default
+    [true]) controls whether the event log is kept. *)
+val create : ?record_events:bool -> delta:int -> unit -> t
+
+val record_reconfig :
+  t -> round:int -> mini_round:int -> location:int ->
+  previous:Types.color option -> next:Types.color -> unit
+
+val record_drop : t -> round:int -> color:Types.color -> count:int -> unit
+
+val record_execute :
+  t -> round:int -> mini_round:int -> location:int -> color:Types.color ->
+  deadline:int -> unit
+
+val reconfig_count : t -> int
+val drop_count : t -> int
+val exec_count : t -> int
+
+(** [delta * reconfig_count]. *)
+val reconfig_cost : t -> int
+
+(** [reconfig_cost + drop_count]. *)
+val total_cost : t -> int
+
+(** Events in chronological order ([] when recording is off). *)
+val events : t -> event list
+
+val pp_summary : Format.formatter -> t -> unit

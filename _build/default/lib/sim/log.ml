@@ -1,0 +1,7 @@
+(** Library-wide log source. Quiet by default; the CLI's [--verbose]
+    enables debug-level tracing of engine phases. Logging statements are
+    lazy closures, so a disabled level costs one branch. *)
+
+let src = Logs.Src.create "rrs" ~doc:"Reconfigurable resource scheduling"
+
+include (val Logs.src_log src : Logs.LOG)

@@ -1,0 +1,58 @@
+(** Interface between the round engine and reconfiguration policies.
+
+    A policy owns the algorithm-specific state (counters, eligibility,
+    timestamps, cached sets) and exposes one decision: the desired
+    location->color assignment for the coming execution phase. The engine
+    diffs that target against the current assignment and charges [Delta]
+    per location whose color changes — policies can never mis-account
+    reconfiguration cost.
+
+    Conventions:
+    - [Some c] at a location in the target makes the location active on
+      color [c]: it is recolored (cost [Delta]) unless it already holds
+      [c], and executes up to one pending [c] job this mini-round.
+    - [None] in the target means inactive: the location executes nothing;
+      its physical color persists, so resuming the same color later is
+      free — a legal schedule in the paper's cost model (execution is
+      "up to one job"), and never more expensive than the paper's own
+      accounting, which charges every cache re-entry.
+    - The [view] given to [reconfigure] is read-only; policies must not
+      mutate [view.assignment] (the physical colors) or [view.pool]. *)
+
+type view = {
+  round : int;
+  mini_round : int; (* 0 for uni-speed; 0,1 for double-speed (Section 3.3) *)
+  n : int; (* number of locations (resources) *)
+  delta : int;
+  bounds : int array; (* per-color delay bounds *)
+  assignment : Types.color option array; (* current configuration; read-only *)
+  pool : Job_pool.t; (* pending jobs; read-only *)
+}
+
+module type POLICY = sig
+  type t
+
+  val name : string
+  val create : n:int -> delta:int -> bounds:int array -> t
+
+  (** Called after the engine's drop phase of each round with the jobs it
+      dropped (per color). Policies update eligibility here. *)
+  val on_drop : t -> round:int -> dropped:(Types.color * int) list -> unit
+
+  (** Called after the arrival phase with the (normalized) request. *)
+  val on_arrival : t -> round:int -> request:Types.request -> unit
+
+  (** The desired assignment for this mini-round; must have length
+      [view.n]. *)
+  val reconfigure : t -> view -> Types.color option array
+
+  (** Algorithm-specific counters exposed for experiments (epochs, wraps,
+      eligible/ineligible drop split, ...). *)
+  val stats : t -> (string * int) list
+end
+
+(** A policy packaged with the constructor arguments it needs, for
+    registries and CLI dispatch. *)
+type packed = Packed : (module POLICY) -> packed
+
+let name (Packed (module P)) = P.name

@@ -1,0 +1,32 @@
+(** Rebuild a schedule for an instance from a sequence of actions.
+
+    The reductions of Sections 4 and 5 (Distribute, VarBatch) run an inner
+    algorithm on a {e transformed} instance and map its actions back to
+    the original one. Rebuilding replays those mapped actions against the
+    original instance: drops are regenerated round by round, execution
+    events consume the earliest-deadline genuinely pending job (recording
+    its true deadline), and configuration actions are diffed into
+    reconfiguration events with correct previous colors — so consecutive
+    same-color configurations of a location collapse for free, exactly
+    the cost collapse of Lemma 4.2. *)
+
+type action =
+  | Configure of { round : int; mini_round : int; location : int;
+                   color : Types.color }
+  | Run of { round : int; mini_round : int; location : int;
+             color : Types.color }
+
+(** [rebuild ~instance ~n ~speed ~actions] replays [actions]
+    (chronologically ordered: nondecreasing rounds, mini-rounds within a
+    round, Configure before Run within a mini-round) and returns the
+    resulting schedule.
+
+    Errors (returned, not raised): an action out of chronological order,
+    a [Run] on a location not configured with that color, or a [Run] for
+    a color with no pending job. *)
+val rebuild :
+  instance:Instance.t ->
+  n:int ->
+  speed:int ->
+  actions:action list ->
+  (Schedule.t, string) result

@@ -1,0 +1,33 @@
+(** Recorded schedules and independent validation.
+
+    A schedule is the event log of a run together with the instance it was
+    produced for. [validate] replays the log against a fresh pending-job
+    pool and checks every model rule, so a policy or reduction bug that
+    produces an infeasible schedule (executing dropped jobs, double-booking
+    a location, phantom executions, mis-priced reconfigurations) is caught
+    independently of the engine that produced it. *)
+
+type t = {
+  instance : Instance.t;
+  n : int;
+  speed : int;
+  events : Ledger.event list; (* chronological *)
+}
+
+val of_run : instance:Instance.t -> n:int -> speed:int -> Ledger.t -> t
+
+(** Recompute costs from the event log. *)
+val reconfig_count : t -> int
+
+val drop_count : t -> int
+val exec_count : t -> int
+val total_cost : t -> int
+
+(** [validate t] replays the schedule. Checks, per round:
+    - drop events exactly match the jobs expiring that round;
+    - reconfiguration events carry the true previous color;
+    - at most one execution per (location, mini-round), on the location's
+      configured color, consuming a genuinely pending job;
+    - rounds, mini-rounds and phases appear in chronological order.
+    Returns all violations found (empty list = valid). *)
+val validate : t -> (unit, string list) result

@@ -1,0 +1,35 @@
+type color = int
+type request = (color * int) list
+
+type job = {
+  color : color;
+  arrival : int;
+  deadline : int;
+}
+
+type phase = Drop | Arrival | Reconfiguration | Execution
+
+let phase_to_string = function
+  | Drop -> "drop"
+  | Arrival -> "arrival"
+  | Reconfiguration -> "reconfiguration"
+  | Execution -> "execution"
+
+let normalize_request request =
+  let table = Hashtbl.create 8 in
+  List.iter
+    (fun (color, count) ->
+      if count < 0 then invalid_arg "Types.normalize_request: negative count";
+      if count > 0 then
+        let current = try Hashtbl.find table color with Not_found -> 0 in
+        Hashtbl.replace table color (current + count))
+    request;
+  Hashtbl.fold (fun color count acc -> (color, count) :: acc) table []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let request_size request =
+  List.fold_left (fun acc (_, count) -> acc + count) 0 request
+
+let pp_request ppf request =
+  let pp_pair ppf (color, count) = Format.fprintf ppf "%d:%d" color count in
+  Format.fprintf ppf "[%a]" (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf " ") pp_pair) request

@@ -1,0 +1,1 @@
+lib/stats/experiment.ml: List Rrs_core Rrs_offline Rrs_sim

@@ -1,0 +1,1 @@
+lib/stats/experiment.mli: Rrs_core Rrs_sim

@@ -1,0 +1,1 @@
+lib/stats/metrics.ml: Array Fun Int List Printf Rrs_sim Table

@@ -1,0 +1,1 @@
+lib/stats/render.ml: Array Buffer Bytes Char Printf Rrs_offline Rrs_sim

@@ -1,0 +1,1 @@
+lib/stats/render.mli: Rrs_offline Rrs_sim

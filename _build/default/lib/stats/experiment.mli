@@ -1,0 +1,60 @@
+(** Experiment runner: evaluate algorithms against offline references on
+    an instance and report comparable rows.
+
+    [m] is the offline adversary's resource count; online algorithms get
+    [n] resources (the paper's resource augmentation is [n = 8m]). The
+    offline reference is the best available: the exact optimum on toy
+    instances, otherwise [max] of the valid lower bounds — so reported
+    ratios always upper-bound the true competitive ratio. *)
+
+type reference = {
+  lower_bound : int; (* max of valid lower bounds; <= OPT *)
+  exact : int option; (* brute-force OPT when affordable *)
+  greedy_upper : int option; (* clairvoyant heuristic; >= OPT *)
+}
+
+(** Compute offline references. [exact_budget] caps brute-force states
+    (default 0 = skip exact). *)
+val reference : ?exact_budget:int -> m:int -> Rrs_sim.Instance.t -> reference
+
+(** The denominator used in ratios: exact OPT when known, otherwise the
+    lower bound, never below 1. *)
+val denominator : reference -> int
+
+type row = {
+  algorithm : string;
+  n : int;
+  cost : int;
+  reconfig_count : int;
+  drop_count : int;
+  ratio : float; (* cost / denominator *)
+  stats : (string * int) list;
+}
+
+(** Run one policy directly under the engine. *)
+val run_policy :
+  ?speed:int ->
+  n:int ->
+  reference:reference ->
+  policy:(module Rrs_sim.Policy.POLICY) ->
+  Rrs_sim.Instance.t ->
+  row
+
+(** Run the full layered solver (Section 3/4/5 pipeline). *)
+val run_solver :
+  ?pipeline:Rrs_core.Solver.pipeline ->
+  n:int ->
+  reference:reference ->
+  Rrs_sim.Instance.t ->
+  (row, string) result
+
+(** The three policies of Section 3.1 with display names. *)
+val standard_policies : (string * (module Rrs_sim.Policy.POLICY)) list
+
+(** Ratio of the solver cost to the reference across an augmentation
+    sweep [n = factor * m]. *)
+val sweep_augmentation :
+  m:int ->
+  factors:int list ->
+  Rrs_sim.Instance.t ->
+  (int * (row, string) result) list

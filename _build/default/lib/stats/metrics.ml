@@ -1,0 +1,124 @@
+module Ledger = Rrs_sim.Ledger
+module Schedule = Rrs_sim.Schedule
+module Instance = Rrs_sim.Instance
+
+type per_color = {
+  color : Rrs_sim.Types.color;
+  bound : int;
+  offered : int;
+  executed : int;
+  dropped : int;
+  loss_rate : float;
+  mean_latency : float;
+  max_latency : int;
+}
+
+type t = {
+  by_color : per_color list;
+  executed : int;
+  dropped : int;
+  mean_latency : float;
+  p99_latency : int;
+}
+
+let of_schedule (schedule : Schedule.t) =
+  let instance = schedule.Schedule.instance in
+  let bounds = instance.Instance.bounds in
+  let num_colors = Instance.num_colors instance in
+  let executed = Array.make num_colors 0 in
+  let dropped = Array.make num_colors 0 in
+  let latency_sum = Array.make num_colors 0 in
+  let latency_max = Array.make num_colors 0 in
+  let latencies = ref [] in
+  List.iter
+    (function
+      | Ledger.Execute { round; color; deadline; _ } ->
+          let arrival = deadline - bounds.(color) in
+          let latency = round - arrival in
+          executed.(color) <- executed.(color) + 1;
+          latency_sum.(color) <- latency_sum.(color) + latency;
+          if latency > latency_max.(color) then latency_max.(color) <- latency;
+          latencies := latency :: !latencies
+      | Ledger.Drop { color; count; _ } -> dropped.(color) <- dropped.(color) + count
+      | Ledger.Reconfig _ -> ())
+    schedule.Schedule.events;
+  let by_color =
+    List.filter_map
+      (fun color ->
+        let offered = executed.(color) + dropped.(color) in
+        if offered = 0 then None
+        else
+          Some
+            {
+              color;
+              bound = bounds.(color);
+              offered;
+              executed = executed.(color);
+              dropped = dropped.(color);
+              loss_rate = float_of_int dropped.(color) /. float_of_int offered;
+              mean_latency =
+                (if executed.(color) = 0 then 0.0
+                 else
+                   float_of_int latency_sum.(color)
+                   /. float_of_int executed.(color));
+              max_latency = latency_max.(color);
+            })
+      (List.init num_colors Fun.id)
+  in
+  let total_executed = Array.fold_left ( + ) 0 executed in
+  let total_dropped = Array.fold_left ( + ) 0 dropped in
+  let sorted = List.sort Int.compare !latencies in
+  let p99 =
+    match total_executed with
+    | 0 -> 0
+    | n ->
+        let rank = max 1 (int_of_float (ceil (0.99 *. float_of_int n))) in
+        List.nth sorted (min (n - 1) (rank - 1))
+  in
+  {
+    by_color;
+    executed = total_executed;
+    dropped = total_dropped;
+    mean_latency =
+      (if total_executed = 0 then 0.0
+       else
+         float_of_int (Array.fold_left ( + ) 0 latency_sum)
+         /. float_of_int total_executed);
+    p99_latency = p99;
+  }
+
+let to_table t =
+  let table =
+    Table.create ~title:"per-color QoS"
+      ~columns:
+        [ "color"; "bound"; "offered"; "executed"; "dropped"; "loss";
+          "mean latency"; "max latency" ]
+  in
+  List.iter
+    (fun row ->
+      Table.add_row table
+        [
+          Printf.sprintf "c%d" row.color;
+          Table.cell_int row.bound;
+          Table.cell_int row.offered;
+          Table.cell_int row.executed;
+          Table.cell_int row.dropped;
+          Printf.sprintf "%.1f%%" (100.0 *. row.loss_rate);
+          Table.cell_float ~decimals:2 row.mean_latency;
+          Table.cell_int row.max_latency;
+        ])
+    t.by_color;
+  Table.add_row table
+    [
+      "total";
+      "-";
+      Table.cell_int (t.executed + t.dropped);
+      Table.cell_int t.executed;
+      Table.cell_int t.dropped;
+      Printf.sprintf "%.1f%%"
+        (100.0 *. float_of_int t.dropped
+        /. float_of_int (max 1 (t.executed + t.dropped)));
+      Table.cell_float ~decimals:2 t.mean_latency;
+      Table.cell_int t.p99_latency;
+    ];
+  table

@@ -1,0 +1,33 @@
+(** QoS metrics extracted from a schedule's event log: per-color delivery
+    counts and the latency profile of executed jobs.
+
+    Latency of an execution is [execution round - arrival round], with
+    arrival recovered from the recorded deadline and the color's bound;
+    it always lies in [0, D_color - 1]. This is the per-category delay
+    view the paper's QoS motivation (packet processing within a delay
+    tolerance, ref [9]) cares about. *)
+
+type per_color = {
+  color : Rrs_sim.Types.color;
+  bound : int;
+  offered : int; (* executed + dropped *)
+  executed : int;
+  dropped : int;
+  loss_rate : float; (* dropped / offered; 0 when no jobs *)
+  mean_latency : float; (* over executed jobs; 0 when none *)
+  max_latency : int;
+}
+
+type t = {
+  by_color : per_color list; (* ascending color, colors with traffic only *)
+  executed : int;
+  dropped : int;
+  mean_latency : float;
+  p99_latency : int; (* nearest-rank over executed jobs; 0 when none *)
+}
+
+(** Compute metrics from a schedule. *)
+val of_schedule : Rrs_sim.Schedule.t -> t
+
+(** Render as a table (one row per color plus a totals row). *)
+val to_table : t -> Table.t

@@ -1,0 +1,71 @@
+module OS = Rrs_offline.Offline_schedule
+
+let color_letter color =
+  if color < 0 then '?'
+  else if color < 26 then Char.chr (Char.code 'a' + color)
+  else if color < 52 then Char.chr (Char.code 'A' + color - 26)
+  else '*'
+
+let render_grid ~max_width ~from_round ~to_round (grid : OS.t) =
+  let horizon = grid.OS.instance.Rrs_sim.Instance.horizon in
+  let from_round = max 0 from_round in
+  let to_round = min horizon to_round in
+  let window = max 1 (to_round - from_round) in
+  let stride = max 1 ((window + max_width - 1) / max_width) in
+  let columns = (window + stride - 1) / stride in
+  let buffer = Buffer.create 1024 in
+  Buffer.add_string buffer
+    (Printf.sprintf "rounds %d..%d%s (letter = executing, '-' = configured idle, '.' = black)\n"
+       from_round (to_round - 1)
+       (if stride > 1 then Printf.sprintf ", sampled every %d rounds" stride else ""));
+  (* Tick header: mark every 10th column with a '|'. *)
+  let header = Bytes.make columns ' ' in
+  let rec ticks i =
+    if i < columns then begin
+      Bytes.set header i '|';
+      ticks (i + 10)
+    end
+  in
+  ticks 0;
+  Buffer.add_string buffer (Printf.sprintf "%6s %s\n" "" (Bytes.to_string header));
+  for resource = 0 to grid.OS.m - 1 do
+    Buffer.add_string buffer (Printf.sprintf "r%-4d " resource);
+    for column = 0 to columns - 1 do
+      let round = from_round + (column * stride) in
+      let slot = round * grid.OS.speed in
+      let cell =
+        if slot >= Array.length grid.OS.colors.(resource) then '.'
+        else
+          match grid.OS.colors.(resource).(slot) with
+          | None -> '.'
+          | Some color ->
+              (* Within a sampled stride, show execution if any mini-slot
+                 of the sampled round executes. *)
+              let executes = ref false in
+              for mini = 0 to grid.OS.speed - 1 do
+                if grid.OS.execs.(resource).(slot + mini) then executes := true
+              done;
+              if !executes then color_letter color else '-'
+      in
+      Buffer.add_char buffer cell
+    done;
+    Buffer.add_char buffer '\n'
+  done;
+  Buffer.contents buffer
+
+let grid_timeline ?(max_width = 120) ?(from_round = 0) ?to_round grid =
+  let to_round =
+    match to_round with
+    | Some r -> r
+    | None -> grid.OS.instance.Rrs_sim.Instance.horizon
+  in
+  render_grid ~max_width ~from_round ~to_round grid
+
+let timeline ?(max_width = 120) ?(from_round = 0) ?to_round schedule =
+  let grid = OS.of_schedule schedule in
+  let to_round =
+    match to_round with
+    | Some r -> r
+    | None -> schedule.Rrs_sim.Schedule.instance.Rrs_sim.Instance.horizon
+  in
+  render_grid ~max_width ~from_round ~to_round grid

@@ -1,0 +1,29 @@
+(** ASCII timeline rendering of schedules: one row per resource, one
+    column per (possibly sampled) round, showing the configured color and
+    executions. Useful in examples and when debugging policies.
+
+    Cells: ['.'] = black/idle location, a letter = configured color
+    (['a'] = color 0, ['b'] = 1, ..., wrapping with ['A'..'Z'] then
+    ['*']); uppercase-like emphasis is not used — instead an executing
+    cell is rendered with the color letter and a non-executing configured
+    cell with ['-'] under the same column header when [show_idle] is
+    off. *)
+
+(** [timeline ?max_width ?from_round ?to_round schedule] renders the
+    event log as a grid. When the window is wider than [max_width]
+    (default 120) columns, rounds are sampled uniformly and the header
+    notes the stride. *)
+val timeline :
+  ?max_width:int ->
+  ?from_round:int ->
+  ?to_round:int ->
+  Rrs_sim.Schedule.t ->
+  string
+
+(** Same for an offline grid. *)
+val grid_timeline :
+  ?max_width:int ->
+  ?from_round:int ->
+  ?to_round:int ->
+  Rrs_offline.Offline_schedule.t ->
+  string

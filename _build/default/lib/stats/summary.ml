@@ -1,0 +1,42 @@
+type t = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+}
+
+let of_floats = function
+  | [] -> invalid_arg "Summary.of_floats: empty"
+  | xs ->
+      let count = List.length xs in
+      let n = float_of_int count in
+      let sum = List.fold_left ( +. ) 0.0 xs in
+      let mean = sum /. n in
+      let variance =
+        List.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.0)) 0.0 xs /. n
+      in
+      {
+        count;
+        mean;
+        stddev = sqrt variance;
+        min = List.fold_left min infinity xs;
+        max = List.fold_left max neg_infinity xs;
+      }
+
+let of_ints xs = of_floats (List.map float_of_int xs)
+
+let percentile p = function
+  | [] -> invalid_arg "Summary.percentile: empty"
+  | xs ->
+      if p < 0.0 || p > 100.0 then invalid_arg "Summary.percentile: p out of range";
+      let sorted = List.sort Float.compare xs in
+      let n = List.length sorted in
+      let rank =
+        int_of_float (ceil (p /. 100.0 *. float_of_int n)) |> max 1 |> min n
+      in
+      List.nth sorted (rank - 1)
+
+let pp ppf t =
+  Format.fprintf ppf "n=%d mean=%.3f sd=%.3f min=%.3f max=%.3f" t.count t.mean
+    t.stddev t.min t.max

@@ -1,0 +1,20 @@
+(** Small descriptive-statistics helpers for experiment reporting. *)
+
+type t = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+}
+
+(** @raise Invalid_argument on []. *)
+val of_floats : float list -> t
+
+val of_ints : int list -> t
+
+(** [percentile p xs] with [p] in [0, 100], nearest-rank method.
+    @raise Invalid_argument on [] or out-of-range [p]. *)
+val percentile : float -> float list -> float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,63 @@
+type t = {
+  title : string;
+  columns : string list;
+  mutable rows : string list list; (* reverse order *)
+}
+
+let create ~title ~columns = { title; columns; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.columns then
+    invalid_arg
+      (Printf.sprintf "Table.add_row: %d cells for %d columns" (List.length row)
+         (List.length t.columns));
+  t.rows <- row :: t.rows
+
+let cell_int = string_of_int
+let cell_float ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x
+let cell_ratio x = Printf.sprintf "%.2fx" x
+
+let looks_numeric cell =
+  cell <> ""
+  && String.for_all
+       (fun c -> (c >= '0' && c <= '9') || c = '.' || c = '-' || c = '+' || c = 'x' || c = 'e')
+       cell
+
+let to_string t =
+  let rows = List.rev t.rows in
+  let all = t.columns :: rows in
+  let widths =
+    List.fold_left
+      (fun widths row ->
+        List.map2 (fun w cell -> max w (String.length cell)) widths row)
+      (List.map (fun _ -> 0) t.columns)
+      all
+  in
+  let render_row row =
+    String.concat "  "
+      (List.map2
+         (fun width cell ->
+           if looks_numeric cell then Printf.sprintf "%*s" width cell
+           else Printf.sprintf "%-*s" width cell)
+         widths row)
+  in
+  let separator =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  let buffer = Buffer.create 256 in
+  Buffer.add_string buffer ("== " ^ t.title ^ " ==\n");
+  Buffer.add_string buffer (render_row t.columns ^ "\n");
+  Buffer.add_string buffer (separator ^ "\n");
+  List.iter (fun row -> Buffer.add_string buffer (render_row row ^ "\n")) rows;
+  Buffer.contents buffer
+
+let csv_cell cell =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let to_csv t =
+  let line row = String.concat "," (List.map csv_cell row) ^ "\n" in
+  String.concat "" (List.map line (t.columns :: List.rev t.rows))
+
+let print t = print_string (to_string t)

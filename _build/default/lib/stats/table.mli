@@ -1,0 +1,27 @@
+(** Minimal ASCII table rendering for experiment output.
+
+    Columns are sized to their widest cell; numeric-looking cells are
+    right-aligned, text left-aligned. *)
+
+type t
+
+(** [create ~title ~columns] starts a table. *)
+val create : title:string -> columns:string list -> t
+
+(** Append one row; its length must match the column count. *)
+val add_row : t -> string list -> unit
+
+(** Convenience formatters. *)
+val cell_int : int -> string
+
+val cell_float : ?decimals:int -> float -> string
+val cell_ratio : float -> string
+
+(** Render the full table. *)
+val to_string : t -> string
+
+(** RFC-4180-ish CSV: header row then data rows; cells containing commas,
+    quotes or newlines are quoted. The title is not included. *)
+val to_csv : t -> string
+
+val print : t -> unit

@@ -1,0 +1,1 @@
+lib/uniform/landlord.ml: Array Float Hashtbl Int List Rrs_core Rrs_sim

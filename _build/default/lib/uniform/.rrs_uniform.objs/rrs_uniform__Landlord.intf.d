@@ -1,0 +1,1 @@
+lib/uniform/landlord.mli: Rrs_sim

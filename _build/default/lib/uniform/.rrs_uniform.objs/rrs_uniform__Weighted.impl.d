@@ -1,0 +1,1 @@
+lib/uniform/weighted.ml: Array List Printf Rrs_offline Rrs_sim

@@ -1,0 +1,1 @@
+lib/uniform/weighted.mli: Rrs_sim

@@ -1,0 +1,1 @@
+lib/uniform/weighted_trace.ml: Array Fun List Printf Rrs_sim String Weighted

@@ -1,0 +1,1 @@
+lib/uniform/weighted_trace.mli: Weighted

@@ -1,0 +1,1 @@
+lib/uniform/weighted_workloads.ml: Array List Printf Random Rrs_sim Weighted

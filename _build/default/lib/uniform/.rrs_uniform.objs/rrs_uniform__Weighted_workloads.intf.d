@@ -1,0 +1,1 @@
+lib/uniform/weighted_workloads.mli: Weighted

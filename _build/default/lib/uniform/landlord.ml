@@ -1,0 +1,109 @@
+module Types = Rrs_sim.Types
+module Job_pool = Rrs_sim.Job_pool
+
+let policy ~drop_costs : (module Rrs_sim.Policy.POLICY) =
+  (module struct
+    type t = {
+      n : int;
+      delta : int;
+      demand : int array; (* weighted backlog accumulated while uncached *)
+      credit : float array; (* Landlord credit of cached colors *)
+      cached : (Types.color, unit) Hashtbl.t;
+      mutable faults : int;
+      mutable evictions : int;
+      mutable hits : int;
+    }
+
+    let name = "landlord"
+
+    let create ~n ~delta ~bounds =
+      let num_colors = Array.length bounds in
+      if Array.length drop_costs <> num_colors then
+        invalid_arg "Landlord.policy: drop_costs length mismatch";
+      {
+        n;
+        delta;
+        demand = Array.make num_colors 0;
+        credit = Array.make num_colors 0.0;
+        cached = Hashtbl.create 16;
+        faults = 0;
+        evictions = 0;
+        hits = 0;
+      }
+
+    let on_drop _ ~round:_ ~dropped:_ = ()
+
+    let on_arrival t ~round:_ ~request =
+      List.iter
+        (fun (color, count) ->
+          if count > 0 then
+            if Hashtbl.mem t.cached color then begin
+              (* Hit: refresh the landlord credit. *)
+              t.credit.(color) <- float_of_int t.delta;
+              t.hits <- t.hits + 1
+            end
+            else
+              t.demand.(color) <-
+                min (t.demand.(color) + (drop_costs.(color) * count))
+                  (4 * t.delta))
+        request
+
+    let evict_for_room t =
+      (* The Landlord step: charge everyone the minimum credit, evict the
+         zeroed tenants (lowest credit first). *)
+      let min_credit =
+        Hashtbl.fold (fun color () acc -> Float.min acc t.credit.(color)) t.cached
+          infinity
+      in
+      if Float.is_finite min_credit then begin
+        let victims = ref [] in
+        Hashtbl.iter
+          (fun color () ->
+            t.credit.(color) <- t.credit.(color) -. min_credit;
+            if t.credit.(color) <= 1e-9 then victims := color :: !victims)
+          t.cached;
+        match List.sort Int.compare !victims with
+        | victim :: _ ->
+            Hashtbl.remove t.cached victim;
+            t.evictions <- t.evictions + 1
+        | [] -> ()
+      end
+
+    let reconfigure t (view : Rrs_sim.Policy.view) =
+      let capacity = t.n / 2 in
+      (* Admit faulting colors: nonidle, uncached, demand >= delta.
+         Process by descending demand so the hottest weighted backlog
+         wins ties for room. *)
+      let faulting =
+        Job_pool.nonidle_colors view.pool
+        |> List.filter (fun color ->
+               (not (Hashtbl.mem t.cached color)) && t.demand.(color) >= t.delta)
+        |> List.sort (fun a b -> Int.compare t.demand.(b) t.demand.(a))
+      in
+      List.iter
+        (fun color ->
+          if not (Hashtbl.mem t.cached color) then begin
+            let guard = ref (2 * capacity) in
+            while Hashtbl.length t.cached >= capacity && !guard > 0 do
+              evict_for_room t;
+              decr guard
+            done;
+            if Hashtbl.length t.cached < capacity then begin
+              Hashtbl.replace t.cached color ();
+              t.credit.(color) <- float_of_int t.delta;
+              t.demand.(color) <- 0;
+              t.faults <- t.faults + 1
+            end
+          end)
+        faulting;
+      let want = Hashtbl.fold (fun color () acc -> color :: acc) t.cached [] in
+      Rrs_core.Cache_layout.place ~n:t.n ~copies:2 ~current:view.assignment ~want
+
+    let stats t =
+      [
+        ("cached", Hashtbl.length t.cached);
+        ("faults", t.faults);
+        ("evictions", t.evictions);
+        ("hits", t.hits);
+      ]
+  end)

@@ -1,0 +1,24 @@
+(** A Landlord-style weight-aware online policy for the companion problem
+    [Δ | c_l | D | D].
+
+    The SPAA 2006 companion paper solves uniform-bound / variable-drop-
+    cost scheduling by reduction to file caching, where Landlord (Young)
+    is the classic resource-competitive algorithm. This policy adapts it
+    directly, without the explicit reduction:
+
+    - each color accumulates {e weighted demand} [c_l] per arriving job
+      while uncached; when a nonidle color's demand reaches the
+      reconfiguration cost [Delta] it {e faults} and is admitted with
+      credit [Delta];
+    - admission into a full cache first decreases every cached color's
+      credit by the minimum cached credit and evicts the zero-credit
+      colors (the Landlord step);
+    - arrivals to a cached color refresh its credit to [Delta] (a hit).
+
+    The cache holds up to [n/2] distinct colors, each in two locations,
+    matching the Section 3.1 layout so results are comparable with the
+    unit-cost policies. Weight-blind algorithms treat a 100-cost job like
+    a 1-cost job; experiment E16 shows what that costs them. *)
+
+(** [policy ~drop_costs] packages the weights into a policy instance. *)
+val policy : drop_costs:int array -> (module Rrs_sim.Policy.POLICY)

@@ -1,0 +1,50 @@
+module Instance = Rrs_sim.Instance
+module Ledger = Rrs_sim.Ledger
+
+type t = {
+  instance : Instance.t;
+  drop_costs : int array;
+}
+
+let make ~instance ~drop_costs =
+  let bounds = instance.Instance.bounds in
+  let num_colors = Array.length bounds in
+  if Array.length drop_costs <> num_colors then
+    Error
+      (Printf.sprintf "expected %d drop costs, got %d" num_colors
+         (Array.length drop_costs))
+  else if Array.exists (fun c -> c < 1) drop_costs then
+    Error "drop costs must be >= 1"
+  else if Array.exists (fun d -> d <> bounds.(0)) bounds then
+    Error "the companion problem requires one uniform delay bound"
+  else Ok { instance; drop_costs }
+
+let bound t = t.instance.Instance.bounds.(0)
+
+let cost_of_events t events =
+  List.fold_left
+    (fun acc event ->
+      match event with
+      | Ledger.Reconfig _ -> acc + t.instance.Instance.delta
+      | Ledger.Drop { color; count; _ } -> acc + (t.drop_costs.(color) * count)
+      | Ledger.Execute _ -> acc)
+    0 events
+
+let run_policy ~n ~policy t =
+  let result = Rrs_sim.Engine.run ~record_events:true ~n ~policy t.instance in
+  cost_of_events t (Ledger.events result.ledger)
+
+let lower_bound t =
+  let num_colors = Instance.num_colors t.instance in
+  let total = ref 0 in
+  for color = 0 to num_colors - 1 do
+    let jobs = Instance.jobs_of_color t.instance color in
+    if jobs > 0 then
+      total :=
+        !total + min t.instance.Instance.delta (t.drop_costs.(color) * jobs)
+  done;
+  !total
+
+let opt_cost ?max_states ~m t =
+  Rrs_offline.Brute_force.opt_cost ?max_states ~drop_costs:t.drop_costs ~m
+    t.instance

@@ -1,0 +1,40 @@
+(** The companion problem [Δ | c_l | D | D]: uniform delay bounds,
+    per-color drop costs — the variant solved by the SPAA 2006 paper
+    "Reconfigurable resource scheduling" (reference [14] of the text we
+    reproduce), which reduces it to file caching.
+
+    This module layers weighted costs over the unit-cost simulator: the
+    engine's mechanics (rounds, pending jobs, executions) are identical;
+    only the objective changes, so weighted costs are computed from a
+    run's event log. *)
+
+type t = private {
+  instance : Rrs_sim.Instance.t; (* uniform bounds *)
+  drop_costs : int array; (* c_l >= 1 per color *)
+}
+
+(** [make ~instance ~drop_costs] validates that the instance has one
+    common delay bound and positive integer drop costs (one per color). *)
+val make :
+  instance:Rrs_sim.Instance.t -> drop_costs:int array -> (t, string) result
+
+(** The common delay bound. *)
+val bound : t -> int
+
+(** Weighted total cost of a run's event log:
+    [delta * reconfigurations + sum over drops of c_color]. *)
+val cost_of_events : t -> Rrs_sim.Ledger.event list -> int
+
+(** Run a policy under the engine and return its weighted cost. The
+    policy sees the unweighted instance; weight-aware policies (e.g.
+    {!Landlord.policy}) carry the weights in their closure. *)
+val run_policy :
+  n:int -> policy:(module Rrs_sim.Policy.POLICY) -> t -> int
+
+(** Weighted per-color lower bound on the weighted optimum:
+    [sum over colors of min (Delta, c_l * N_l)] — any schedule either
+    configures the color (>= Delta) or drops all its jobs (c_l each). *)
+val lower_bound : t -> int
+
+(** Exact weighted optimum by brute force (toy instances only). *)
+val opt_cost : ?max_states:int -> m:int -> t -> int option

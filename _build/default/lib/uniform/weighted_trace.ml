@@ -1,0 +1,64 @@
+let to_string (w : Weighted.t) =
+  let base = Rrs_sim.Trace.to_string w.Weighted.instance in
+  let costs =
+    "dropcosts"
+    ^ Array.fold_left
+        (fun acc c -> acc ^ Printf.sprintf " %d" c)
+        "" w.Weighted.drop_costs
+    ^ "\n"
+  in
+  (* Insert the dropcosts directive before the final "end" line. *)
+  match String.length base with
+  | len when len >= 4 && String.sub base (len - 4) 4 = "end\n" ->
+      String.sub base 0 (len - 4) ^ costs ^ "end\n"
+  | _ -> base ^ costs
+
+let of_string text =
+  (* Extract the dropcosts line, hand the rest to the base parser. *)
+  let lines = String.split_on_char '\n' text in
+  let drop_costs = ref None in
+  let error = ref None in
+  let remaining =
+    List.filter
+      (fun line ->
+        match String.split_on_char ' ' (String.trim line) with
+        | "dropcosts" :: rest ->
+            let values =
+              List.filter_map int_of_string_opt
+                (List.filter (fun t -> t <> "") rest)
+            in
+            if List.length values <> List.length (List.filter (fun t -> t <> "") rest)
+            then error := Some "bad dropcosts line"
+            else drop_costs := Some (Array.of_list values);
+            false
+        | _ -> true)
+      lines
+  in
+  match !error with
+  | Some message -> Error message
+  | None -> (
+      match Rrs_sim.Trace.of_string (String.concat "\n" remaining) with
+      | Error message -> Error message
+      | Ok instance ->
+          let drop_costs =
+            match !drop_costs with
+            | Some costs -> costs
+            | None -> Array.make (Rrs_sim.Instance.num_colors instance) 1
+          in
+          Weighted.make ~instance ~drop_costs)
+
+let save w ~path =
+  let channel = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out channel)
+    (fun () -> output_string channel (to_string w))
+
+let load ~path =
+  match
+    let channel = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in channel)
+      (fun () -> really_input_string channel (in_channel_length channel))
+  with
+  | text -> of_string text
+  | exception Sys_error message -> Error message

@@ -1,0 +1,15 @@
+(** Trace I/O for weighted instances: the base trace format of
+    {!Rrs_sim.Trace} plus one [dropcosts] directive:
+    {v
+    rrs-trace v1
+    delta 4
+    bounds 8 8 8
+    dropcosts 1 1 100
+    arrival 0 2:1
+    end
+    v} *)
+
+val to_string : Weighted.t -> string
+val of_string : string -> (Weighted.t, string) result
+val save : Weighted.t -> path:string -> unit
+val load : path:string -> (Weighted.t, string) result

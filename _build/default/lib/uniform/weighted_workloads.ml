@@ -1,0 +1,46 @@
+module Instance = Rrs_sim.Instance
+
+let tiered ~seed ~colors ~delta ~bound ~horizon ~load ~precious ~precious_cost () =
+  if precious < 0 || precious > colors then
+    invalid_arg "Weighted_workloads.tiered: bad precious count";
+  if precious_cost < 1 then
+    invalid_arg "Weighted_workloads.tiered: precious_cost must be >= 1";
+  let state = Random.State.make [| seed; 0xca5e |] in
+  let poisson lambda cap =
+    let limit = exp (-.lambda) in
+    let rec draw k product =
+      let product = product *. Random.State.float state 1.0 in
+      if product <= limit || k >= cap then min k cap else draw (k + 1) product
+    in
+    draw 0 1.0
+  in
+  let arrivals = ref [] in
+  for color = 0 to colors - 1 do
+    let round = ref 0 in
+    while !round < horizon do
+      let count =
+        if color < precious then
+          (* Sparse: about one job per batch — too few to look important
+             to a weight-blind counter. *)
+          (if Random.State.float state 1.0 < 0.8 then 1 else 0)
+        else poisson (load *. float_of_int bound) (2 * bound)
+      in
+      if count > 0 then arrivals := (!round, [ (color, count) ]) :: !arrivals;
+      round := !round + bound
+    done
+  done;
+  let instance =
+    Instance.make
+      ~name:
+        (Printf.sprintf "tiered(c=%d,delta=%d,D=%d,precious=%dx%d,seed=%d)" colors
+           delta bound precious precious_cost seed)
+      ~delta
+      ~bounds:(Array.make colors bound)
+      ~arrivals:(List.rev !arrivals) ()
+  in
+  let drop_costs =
+    Array.init colors (fun c -> if c < precious then precious_cost else 1)
+  in
+  match Weighted.make ~instance ~drop_costs with
+  | Ok weighted -> weighted
+  | Error message -> invalid_arg ("Weighted_workloads.tiered: " ^ message)

@@ -1,0 +1,21 @@
+(** Workloads for the companion problem: uniform delay bound, tiered
+    per-color drop costs. *)
+
+(** [tiered ~seed ~colors ~delta ~bound ~horizon ~load ~precious
+    ~precious_cost ()] builds a weighted instance where all colors share
+    [bound]; the first [precious] colors carry drop cost [precious_cost]
+    and arrive sparsely (about one job per batch), while the remaining
+    colors carry unit drop cost and Poisson batches of intensity [load].
+    A weight-blind policy under-serves exactly the expensive sparse
+    colors. @raise Invalid_argument on bad parameters. *)
+val tiered :
+  seed:int ->
+  colors:int ->
+  delta:int ->
+  bound:int ->
+  horizon:int ->
+  load:float ->
+  precious:int ->
+  precious_cost:int ->
+  unit ->
+  Weighted.t

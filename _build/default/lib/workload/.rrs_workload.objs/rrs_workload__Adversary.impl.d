@@ -1,0 +1,1 @@
+lib/workload/adversary.ml: Array Fun Gen List Printf Rrs_sim

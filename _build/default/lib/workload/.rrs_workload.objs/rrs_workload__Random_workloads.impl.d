@@ -1,0 +1,1 @@
+lib/workload/random_workloads.ml: Array Gen List Printf Rrs_sim

@@ -1,0 +1,1 @@
+lib/workload/random_workloads.mli: Rrs_sim

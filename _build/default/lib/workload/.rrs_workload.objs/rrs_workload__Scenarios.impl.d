@@ -1,0 +1,1 @@
+lib/workload/scenarios.ml: Array Gen List Printf Rrs_sim

@@ -1,0 +1,1 @@
+lib/workload/scenarios.mli: Rrs_sim

@@ -1,0 +1,1 @@
+lib/workload/spec.ml: Adversary List Printf Random_workloads Scenarios String

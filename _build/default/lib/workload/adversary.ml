@@ -1,0 +1,121 @@
+module Instance = Rrs_sim.Instance
+
+type lower_bound_input = {
+  instance : Instance.t;
+  off_cost : int;
+  description : string;
+}
+
+let lru_killer ~n ~delta ~j ~k =
+  if n < 2 || n mod 2 <> 0 then invalid_arg "Adversary.lru_killer: n must be even, >= 2";
+  if delta < 1 then invalid_arg "Adversary.lru_killer: delta must be >= 1";
+  let short_bound = 1 lsl j in
+  let long_bound = 1 lsl k in
+  if not (long_bound > 2 * short_bound && 2 * short_bound > n * delta) then
+    invalid_arg "Adversary.lru_killer: need 2^k > 2^(j+1) > n * delta";
+  let short_colors = n / 2 in
+  (* Colors 0 .. short_colors-1 are short-term; color short_colors is the
+     long-term color. *)
+  let bounds =
+    Array.init (short_colors + 1) (fun c ->
+        if c < short_colors then short_bound else long_bound)
+  in
+  let arrivals = ref [ (0, [ (short_colors, long_bound) ]) ] in
+  let batch = List.init short_colors (fun c -> (c, delta)) in
+  let round = ref 0 in
+  while !round < long_bound do
+    arrivals := (!round, batch) :: !arrivals;
+    round := !round + short_bound
+  done;
+  let instance =
+    Instance.make
+      ~name:(Printf.sprintf "lru-killer(n=%d,delta=%d,j=%d,k=%d)" n delta j k)
+      ~delta ~bounds ~arrivals:(List.rev !arrivals) ()
+  in
+  (* OFF (one resource) caches the long-term color throughout: one
+     reconfiguration, and every short-term job is dropped. *)
+  let dropped_short = short_colors * delta * (long_bound / short_bound) in
+  {
+    instance;
+    off_cost = delta + dropped_short;
+    description =
+      Printf.sprintf
+        "Appendix A: %d short colors (D=2^%d, %d jobs/batch), 1 long color \
+         (D=2^%d, %d jobs at round 0)"
+        short_colors j delta k long_bound;
+  }
+
+let edf_killer ~n ~delta ~j ~k =
+  if n < 2 || n mod 2 <> 0 then invalid_arg "Adversary.edf_killer: n must be even, >= 2";
+  let short_bound = 1 lsl j in
+  let base_long = 1 lsl k in
+  if not (base_long > short_bound && short_bound > delta && delta > n) then
+    invalid_arg "Adversary.edf_killer: need 2^k > 2^j > delta > n";
+  let long_colors = n / 2 in
+  (* Color 0 is the short color; color 1+p has bound 2^(k+p). *)
+  let bounds =
+    Array.init (long_colors + 1) (fun c ->
+        if c = 0 then short_bound else 1 lsl (k + c - 1))
+  in
+  let arrivals = ref [] in
+  (* Long colors: color 1+p receives 2^(k+p-1) jobs at round 0. *)
+  let round0 =
+    List.init long_colors (fun p -> (p + 1, 1 lsl (k + p - 1)))
+  in
+  arrivals := [ (0, round0) ];
+  (* Short color: delta jobs at each multiple of 2^j until round 2^(k-1). *)
+  let round = ref 0 in
+  while !round < base_long / 2 do
+    arrivals := (!round, [ (0, delta) ]) :: !arrivals;
+    round := !round + short_bound
+  done;
+  let instance =
+    Instance.make
+      ~name:(Printf.sprintf "edf-killer(n=%d,delta=%d,j=%d,k=%d)" n delta j k)
+      ~delta ~bounds ~arrivals:(List.rev !arrivals) ()
+  in
+  {
+    instance;
+    off_cost = (long_colors + 1) * delta;
+    description =
+      Printf.sprintf
+        "Appendix B: 1 short color (D=2^%d, %d jobs/batch until 2^%d), %d long \
+         colors (D=2^%d..2^%d, half-bound backlogs at round 0)"
+        j delta (k - 1) long_colors k
+        (k + long_colors - 1);
+  }
+
+let motivation ?(seed = 1) ~short_colors ~short_bound_log ~long_bound_log ~delta
+    ~burst_probability () =
+  let rng = Gen.create ~seed in
+  let short_bound = 1 lsl short_bound_log in
+  let long_bound = 1 lsl long_bound_log in
+  if long_bound <= short_bound then
+    invalid_arg "Adversary.motivation: long bound must exceed short bound";
+  let bounds =
+    Array.init (short_colors + 1) (fun c ->
+        if c < short_colors then short_bound else long_bound)
+  in
+  (* Background backlog: enough jobs to keep one resource busy for most
+     of the horizon. *)
+  let arrivals = ref [ (0, [ (short_colors, long_bound) ]) ] in
+  let round = ref 0 in
+  while !round < long_bound do
+    let burst =
+      List.filter_map
+        (fun c ->
+          if Gen.flip rng ~p:burst_probability then
+            let lo = min delta short_bound in
+            let hi = max lo (min (2 * delta) short_bound) in
+            Some (c, Gen.int_range rng ~lo ~hi)
+          else None)
+        (List.init short_colors Fun.id)
+    in
+    if burst <> [] then arrivals := (!round, burst) :: !arrivals;
+    round := !round + short_bound
+  done;
+  Instance.make
+    ~name:
+      (Printf.sprintf "motivation(s=%d,j=%d,k=%d,delta=%d,p=%.2f,seed=%d)"
+         short_colors short_bound_log long_bound_log delta burst_probability seed)
+    ~delta ~bounds ~arrivals:(List.rev !arrivals) ()

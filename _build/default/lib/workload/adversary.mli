@@ -1,0 +1,46 @@
+(** Adversarial constructions from the paper.
+
+    Each builder also reports the analytic offline strategy cost the
+    appendix uses (the cost of the OFF schedule described in the paper,
+    with one resource) so benches can print the exact ratio the paper's
+    argument yields. *)
+
+type lower_bound_input = {
+  instance : Rrs_sim.Instance.t;
+  off_cost : int; (* cost of the appendix's explicit OFF schedule, m = 1 *)
+  description : string;
+}
+
+(** Appendix A: kills ΔLRU. [n/2] short-term colors of bound [2^j] each
+    receiving [Delta] jobs at every multiple of [2^j], one long-term
+    color of bound [2^k] receiving [2^k] jobs at round 0.
+    Requires [2^k > 2^(j+1) > n * Delta] (and [n] even, [n >= 2]).
+    OFF caches the long-term color throughout:
+    [off_cost = Delta + 2^(k-j-1) * n * Delta]. ΔLRU pins the short-term
+    colors and drops all [2^k] long-term jobs.
+    @raise Invalid_argument when the parameter constraints fail. *)
+val lru_killer : n:int -> delta:int -> j:int -> k:int -> lower_bound_input
+
+(** Appendix B: kills EDF. One color of bound [2^j] receiving [Delta]
+    jobs at every multiple of [2^j] before round [2^(k-1)], plus [n/2]
+    colors of bounds [2^(k+p)] ([0 <= p < n/2]) receiving [2^(k+p-1)]
+    jobs at round 0. Requires [2^k > 2^j > Delta > n].
+    OFF serves the short color first, then each long color in its own
+    interval: [off_cost = (n/2 + 1) * Delta], no drops. EDF thrashes
+    between the short color and the largest-bound color.
+    @raise Invalid_argument when the parameter constraints fail. *)
+val edf_killer : n:int -> delta:int -> j:int -> k:int -> lower_bound_input
+
+(** The introduction's motivation scenario: one "background" color with a
+    large bound and a backlog of jobs, plus short-term colors arriving in
+    intermittent bursts. Exercises the thrashing/underutilization tension
+    without being a worst case. *)
+val motivation :
+  ?seed:int ->
+  short_colors:int ->
+  short_bound_log:int ->
+  long_bound_log:int ->
+  delta:int ->
+  burst_probability:float ->
+  unit ->
+  Rrs_sim.Instance.t

@@ -1,0 +1,41 @@
+type t = Random.State.t
+
+let create ~seed = Random.State.make [| seed; 0x5eed; seed lxor 0x9e3779b9 |]
+let int t bound = Random.State.int t (max bound 1)
+
+let int_range t ~lo ~hi =
+  if hi < lo then invalid_arg "Gen.int_range: hi < lo";
+  lo + Random.State.int t (hi - lo + 1)
+
+let float t bound = Random.State.float t bound
+let flip t ~p = Random.State.float t 1.0 < p
+
+let geometric t ~p ~cap =
+  if p <= 0.0 || p > 1.0 then invalid_arg "Gen.geometric: p out of (0, 1]";
+  let rec count failures =
+    if failures >= cap then cap
+    else if Random.State.float t 1.0 < p then failures
+    else count (failures + 1)
+  in
+  count 0
+
+let poisson t ~lambda ~cap =
+  if lambda < 0.0 then invalid_arg "Gen.poisson: negative lambda";
+  let limit = exp (-.lambda) in
+  let rec draw k product =
+    let product = product *. Random.State.float t 1.0 in
+    if product <= limit || k >= cap then min k cap else draw (k + 1) product
+  in
+  draw 0 1.0
+
+let choice t = function
+  | [] -> invalid_arg "Gen.choice: empty list"
+  | xs -> List.nth xs (int t (List.length xs))
+
+let pow2_range t ~lo ~hi =
+  if lo < 0 || hi < lo then invalid_arg "Gen.pow2_range: bad range";
+  1 lsl int_range t ~lo ~hi
+
+let zipf_weight ~rank ~s =
+  if rank < 1 then invalid_arg "Gen.zipf_weight: rank must be >= 1";
+  1.0 /. (float_of_int rank ** s)

@@ -1,0 +1,36 @@
+(** Deterministic random generation helpers for workloads.
+
+    Thin wrapper over [Random.State] so every generator takes an explicit
+    seed and experiments are reproducible. *)
+
+type t
+
+val create : seed:int -> t
+
+(** Uniform in [0, bound). *)
+val int : t -> int -> int
+
+(** Uniform in [lo, hi] inclusive. *)
+val int_range : t -> lo:int -> hi:int -> int
+
+val float : t -> float -> float
+
+(** True with probability [p]. *)
+val flip : t -> p:float -> bool
+
+(** Geometric with success probability [p]: number of failures before the
+    first success, in [0, cap]. *)
+val geometric : t -> p:float -> cap:int -> int
+
+(** Poisson-distributed count with mean [lambda] (Knuth's method), capped
+    at [cap]. *)
+val poisson : t -> lambda:float -> cap:int -> int
+
+(** Uniformly chosen element. @raise Invalid_argument on []. *)
+val choice : t -> 'a list -> 'a
+
+(** Random power of two in [2^lo, 2^hi]. *)
+val pow2_range : t -> lo:int -> hi:int -> int
+
+(** Zipf-like weight for rank [r] (1-based) with exponent [s]. *)
+val zipf_weight : rank:int -> s:float -> float

@@ -1,0 +1,73 @@
+module Instance = Rrs_sim.Instance
+
+let datacenter ?(seed = 1) ~services ~delta ~phases ~phase_length () =
+  if services < 2 then invalid_arg "Scenarios.datacenter: need >= 2 services";
+  let rng = Gen.create ~seed in
+  (* Service tiers: a third interactive (bound 4), a third standard
+     (bound 16), the rest batch (bound 64); all powers of two. *)
+  let bounds =
+    Array.init services (fun s ->
+        if s < services / 3 then 4 else if s < 2 * services / 3 then 16 else 64)
+  in
+  let horizon = phases * phase_length in
+  let arrivals = ref [] in
+  for phase = 0 to phases - 1 do
+    (* In each phase, roughly half the services are hot. *)
+    let hot = Array.init services (fun _ -> Gen.flip rng ~p:0.5) in
+    Array.iteri
+      (fun service bound ->
+        let start = phase * phase_length in
+        let round = ref (((start + bound - 1) / bound) * bound) in
+        while !round < start + phase_length && !round < horizon do
+          let lambda =
+            (if hot.(service) then 0.8 else 0.05) *. float_of_int bound
+          in
+          let count = min bound (Gen.poisson rng ~lambda ~cap:(2 * bound)) in
+          if count > 0 then arrivals := (!round, [ (service, count) ]) :: !arrivals;
+          round := !round + bound
+        done)
+      bounds
+  done;
+  Instance.make
+    ~name:
+      (Printf.sprintf "datacenter(s=%d,delta=%d,phases=%d,len=%d,seed=%d)" services
+         delta phases phase_length seed)
+    ~delta ~bounds ~arrivals:(List.rev !arrivals) ()
+
+let router ?(seed = 1) ~classes ~delta ~horizon ~utilization ~n_ref () =
+  if classes < 2 then invalid_arg "Scenarios.router: need >= 2 classes";
+  let rng = Gen.create ~seed in
+  (* Latency tiers: hot (low-rank) classes are latency-sensitive. *)
+  let bounds =
+    Array.init classes (fun c ->
+        if c < classes / 4 then 2
+        else if c < classes / 2 then 8
+        else if c < 3 * classes / 4 then 32
+        else 128)
+  in
+  let s = 1.1 in
+  let total_weight =
+    let sum = ref 0.0 in
+    for rank = 1 to classes do
+      sum := !sum +. Gen.zipf_weight ~rank ~s
+    done;
+    !sum
+  in
+  let per_round_budget = utilization *. float_of_int n_ref in
+  let arrivals = ref [] in
+  Array.iteri
+    (fun klass bound ->
+      let weight = Gen.zipf_weight ~rank:(klass + 1) ~s /. total_weight in
+      let lambda = per_round_budget *. weight *. float_of_int bound in
+      let round = ref 0 in
+      while !round < horizon do
+        let count = min bound (Gen.poisson rng ~lambda ~cap:(2 * bound)) in
+        if count > 0 then arrivals := (!round, [ (klass, count) ]) :: !arrivals;
+        round := !round + bound
+      done)
+    bounds;
+  Instance.make
+    ~name:
+      (Printf.sprintf "router(c=%d,delta=%d,util=%.2f,seed=%d)" classes delta
+         utilization seed)
+    ~delta ~bounds ~arrivals:(List.rev !arrivals) ()

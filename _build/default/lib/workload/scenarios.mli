@@ -1,0 +1,34 @@
+(** Domain scenarios from the paper's motivation: a shared data center
+    reallocating processors between hosted services, and a multi-service
+    router on programmable network processors.
+
+    These are synthetic (the paper uses no traces), but exercise the
+    motivating structure: several job categories with category-specific
+    delay tolerances and shifting load composition. *)
+
+(** Shared data center: [services] colors whose load composition shifts
+    between phases — in each phase a different subset of services is
+    hot. Delay bounds reflect service tiers (interactive services get
+    small bounds, batch services large ones). *)
+val datacenter :
+  ?seed:int ->
+  services:int ->
+  delta:int ->
+  phases:int ->
+  phase_length:int ->
+  unit ->
+  Rrs_sim.Instance.t
+
+(** Multi-service router: packet classes with Zipf-distributed traffic
+    shares; latency-sensitive classes (voice, gaming) get tight delay
+    bounds, bulk classes get loose ones. [utilization] is the target
+    fraction of total execution capacity ([n_ref] resources) consumed. *)
+val router :
+  ?seed:int ->
+  classes:int ->
+  delta:int ->
+  horizon:int ->
+  utilization:float ->
+  n_ref:int ->
+  unit ->
+  Rrs_sim.Instance.t

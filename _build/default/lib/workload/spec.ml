@@ -1,0 +1,148 @@
+let kinds =
+  [
+    "uniform"; "bursty"; "zipf"; "unbatched"; "datacenter"; "router";
+    "motivation"; "lru-killer"; "edf-killer";
+  ]
+
+type params = (string * string) list
+
+let parse_params text : (params, string) result =
+  if String.trim text = "" then Ok []
+  else
+    let entries = String.split_on_char ',' text in
+    let rec collect acc = function
+      | [] -> Ok (List.rev acc)
+      | entry :: rest -> (
+          match String.split_on_char '=' entry with
+          | [ key; value ] -> collect ((String.trim key, String.trim value) :: acc) rest
+          | _ -> Error (Printf.sprintf "bad parameter %S (expected key=value)" entry))
+    in
+    collect [] entries
+
+exception Bad of string
+
+let int_param params key default =
+  match List.assoc_opt key params with
+  | None -> default
+  | Some value -> (
+      match int_of_string_opt value with
+      | Some i -> i
+      | None -> raise (Bad (Printf.sprintf "parameter %s: bad integer %S" key value)))
+
+let float_param params key default =
+  match List.assoc_opt key params with
+  | None -> default
+  | Some value -> (
+      match float_of_string_opt value with
+      | Some f -> f
+      | None -> raise (Bad (Printf.sprintf "parameter %s: bad float %S" key value)))
+
+let bool_param params key default =
+  match List.assoc_opt key params with
+  | None -> default
+  | Some "true" -> true
+  | Some "false" -> false
+  | Some value -> raise (Bad (Printf.sprintf "parameter %s: bad bool %S" key value))
+
+let known_keys =
+  [
+    "colors"; "delta"; "minlog"; "maxlog"; "horizon"; "load"; "seed";
+    "ratelimited"; "churn"; "s"; "minbound"; "maxbound"; "services"; "phases";
+    "phaselen"; "classes"; "util"; "nref"; "shorts"; "shortlog"; "longlog";
+    "burst"; "n"; "j"; "k";
+  ]
+
+let check_keys params =
+  List.iter
+    (fun (key, _) ->
+      if not (List.mem key known_keys) then
+        raise (Bad (Printf.sprintf "unknown parameter %S" key)))
+    params
+
+let build kind params =
+  check_keys params;
+  let colors = int_param params "colors" 8 in
+  let delta = int_param params "delta" 4 in
+  let horizon = int_param params "horizon" 256 in
+  let seed = int_param params "seed" 1 in
+  let load = float_param params "load" 0.8 in
+  let bound_log_range =
+    (int_param params "minlog" 0, int_param params "maxlog" 4)
+  in
+  let rate_limited = bool_param params "ratelimited" true in
+  match kind with
+  | "uniform" ->
+      Random_workloads.uniform ~seed ~colors ~delta ~bound_log_range ~horizon
+        ~load ~rate_limited ()
+  | "bursty" ->
+      Random_workloads.bursty ~seed ~colors ~delta ~bound_log_range ~horizon
+        ~load
+        ~churn:(float_param params "churn" 0.3)
+        ~rate_limited ()
+  | "zipf" ->
+      Random_workloads.zipf ~seed ~colors ~delta ~bound_log_range ~horizon ~load
+        ~s:(float_param params "s" 1.2)
+        ~rate_limited ()
+  | "unbatched" ->
+      Random_workloads.unbatched ~seed ~colors ~delta
+        ~bound_range:
+          (int_param params "minbound" 2, int_param params "maxbound" 32)
+        ~horizon
+        ~load:(float_param params "load" 0.5)
+        ()
+  | "datacenter" ->
+      Scenarios.datacenter ~seed
+        ~services:(int_param params "services" 9)
+        ~delta
+        ~phases:(int_param params "phases" 3)
+        ~phase_length:(int_param params "phaselen" 64)
+        ()
+  | "router" ->
+      Scenarios.router ~seed
+        ~classes:(int_param params "classes" 8)
+        ~delta ~horizon
+        ~utilization:(float_param params "util" 0.7)
+        ~n_ref:(int_param params "nref" 4)
+        ()
+  | "motivation" ->
+      Adversary.motivation ~seed
+        ~short_colors:(int_param params "shorts" 4)
+        ~short_bound_log:(int_param params "shortlog" 3)
+        ~long_bound_log:(int_param params "longlog" 8)
+        ~delta
+        ~burst_probability:(float_param params "burst" 0.4)
+        ()
+  | "lru-killer" ->
+      (Adversary.lru_killer
+         ~n:(int_param params "n" 8)
+         ~delta:(int_param params "delta" 2)
+         ~j:(int_param params "j" 5)
+         ~k:(int_param params "k" 8))
+        .instance
+  | "edf-killer" ->
+      (Adversary.edf_killer
+         ~n:(int_param params "n" 8)
+         ~delta:(int_param params "delta" 10)
+         ~j:(int_param params "j" 4)
+         ~k:(int_param params "k" 6))
+        .instance
+  | other ->
+      raise
+        (Bad
+           (Printf.sprintf "unknown workload kind %S (expected one of: %s)" other
+              (String.concat ", " kinds)))
+
+let parse text =
+  let kind, rest =
+    match String.index_opt text ':' with
+    | None -> (text, "")
+    | Some i ->
+        (String.sub text 0 i, String.sub text (i + 1) (String.length text - i - 1))
+  in
+  match parse_params rest with
+  | Error message -> Error message
+  | Ok params -> (
+      match build (String.trim kind) params with
+      | instance -> Ok instance
+      | exception Bad message -> Error message
+      | exception Invalid_argument message -> Error message)

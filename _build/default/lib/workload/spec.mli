@@ -1,0 +1,26 @@
+(** Parse workload specification strings for the CLI and scripts.
+
+    A spec is [kind:key=value,key=value,...]. Supported kinds and their
+    keys (all optional unless noted, with defaults in brackets):
+
+    - [uniform]: colors [8], delta [4], minlog [0], maxlog [4],
+      horizon [256], load [0.8], seed [1], ratelimited [true]
+    - [bursty]: as uniform plus churn [0.3]
+    - [zipf]: as uniform plus s [1.2]
+    - [unbatched]: colors [8], delta [4], minbound [2], maxbound [32],
+      horizon [256], load [0.5], seed [1]
+    - [datacenter]: services [9], delta [4], phases [3], phaselen [64],
+      seed [1]
+    - [router]: classes [8], delta [4], horizon [256], util [0.7],
+      nref [4], seed [1]
+    - [motivation]: shorts [4], shortlog [3], longlog [8], delta [4],
+      burst [0.4], seed [1]
+    - [lru-killer]: n [8], delta [2], j [5], k [8]
+    - [edf-killer]: n [8], delta [10], j [4], k [6]
+
+    Example: ["uniform:colors=12,load=1.0,seed=7"]. *)
+
+val parse : string -> (Rrs_sim.Instance.t, string) result
+
+(** One-line summary of supported kinds for --help output. *)
+val kinds : string list

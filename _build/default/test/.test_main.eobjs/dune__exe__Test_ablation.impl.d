@@ -1,0 +1,1 @@
+test/test_ablation.ml: Alcotest List QCheck2 QCheck_alcotest Rrs_core Rrs_offline Rrs_sim Rrs_workload Test_helpers

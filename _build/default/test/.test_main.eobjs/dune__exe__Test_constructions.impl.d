@@ -1,0 +1,1 @@
+test/test_constructions.ml: Alcotest Array List Printf QCheck2 QCheck_alcotest Result Rrs_core Rrs_offline Rrs_sim Rrs_workload

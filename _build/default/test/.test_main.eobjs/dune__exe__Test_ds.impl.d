@@ -1,0 +1,1 @@
+test/test_ds.ml: Alcotest Int List Option QCheck2 QCheck_alcotest Rrs_ds

@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Array Lazy List Option Rrs_core Rrs_offline Rrs_sim Rrs_stats Rrs_uniform Rrs_workload

@@ -1,0 +1,1 @@
+test/test_helpers.ml: Alcotest Array Hashtbl List QCheck2 Rrs_sim Rrs_workload String

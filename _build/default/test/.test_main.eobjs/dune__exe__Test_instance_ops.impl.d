@@ -1,0 +1,1 @@
+test/test_instance_ops.ml: Alcotest Fun Lazy List QCheck2 QCheck_alcotest Rrs_core Rrs_sim Test_helpers

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Filename Fun List Option Rrs_core Rrs_sim Rrs_stats Rrs_workload String Sys

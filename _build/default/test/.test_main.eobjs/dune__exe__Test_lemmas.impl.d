@@ -1,0 +1,1 @@
+test/test_lemmas.ml: Alcotest Array List QCheck2 QCheck_alcotest Rrs_core Rrs_offline Rrs_sim Rrs_workload Test_helpers

@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest List QCheck2 QCheck_alcotest Rrs_core Rrs_sim Rrs_stats Test_helpers

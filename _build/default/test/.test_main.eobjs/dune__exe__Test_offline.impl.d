@@ -1,0 +1,1 @@
+test/test_offline.ml: Alcotest List QCheck2 QCheck_alcotest Result Rrs_core Rrs_offline Rrs_sim Rrs_stats Rrs_workload Test_helpers

@@ -1,0 +1,1 @@
+test/test_policies.ml: Alcotest Array Fun List Printf QCheck2 QCheck_alcotest Rrs_core Rrs_sim Rrs_stats Rrs_workload Test_helpers

@@ -1,0 +1,1 @@
+test/test_reductions.ml: Alcotest Array Fun List QCheck2 QCheck_alcotest Rrs_core Rrs_sim Test_helpers

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Int List QCheck2 QCheck_alcotest Result Rrs_core Rrs_sim Test_helpers

@@ -1,0 +1,1 @@
+test/test_static.ml: Alcotest Hashtbl List QCheck2 QCheck_alcotest Rrs_offline Rrs_sim Test_helpers

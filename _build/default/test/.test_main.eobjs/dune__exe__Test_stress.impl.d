@@ -1,0 +1,1 @@
+test/test_stress.ml: Alcotest Rrs_core Rrs_ds Rrs_sim Rrs_workload

@@ -1,0 +1,1 @@
+test/test_weighted.ml: Alcotest Array Option Printf QCheck2 QCheck_alcotest Result Rrs_core Rrs_sim Rrs_uniform Test_helpers

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array List Result Rrs_offline Rrs_sim Rrs_workload

@@ -1,0 +1,272 @@
+(* Tests for the offline constructions: Punctualize (Lemmas 5.1-5.3) and
+   Aggregate (Lemma 4.1). *)
+
+module Instance = Rrs_sim.Instance
+module Schedule = Rrs_sim.Schedule
+module OS = Rrs_offline.Offline_schedule
+module Punctualize = Rrs_offline.Punctualize
+module Aggregate = Rrs_offline.Aggregate
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ---- classify ---- *)
+
+let test_classify () =
+  let c = Punctualize.classify in
+  check_bool "same half-block" true (c ~bound:8 ~arrival:1 ~execution_round:3 = Early);
+  check_bool "next half-block" true (c ~bound:8 ~arrival:1 ~execution_round:4 = Punctual);
+  check_bool "second next" true (c ~bound:8 ~arrival:1 ~execution_round:8 = Late);
+  check_bool "boundary arrival" true (c ~bound:4 ~arrival:4 ~execution_round:5 = Early);
+  (match c ~bound:8 ~arrival:0 ~execution_round:12 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "beyond-deadline classification accepted");
+  match c ~bound:1 ~arrival:0 ~execution_round:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "bound-1 classification accepted"
+
+(* A jittered pow2 instance whose greedy schedule mixes early, punctual
+   and late executions. *)
+let jittered_instance ~seed =
+  let base =
+    Rrs_workload.Random_workloads.uniform ~seed ~colors:5 ~delta:3
+      ~bound_log_range:(1, 4) ~horizon:64 ~load:0.7 ~rate_limited:true ()
+  in
+  let rng = Rrs_workload.Gen.create ~seed:(seed * 13) in
+  Instance.make
+    ~name:(Printf.sprintf "jittered-%d" seed)
+    ~delta:3 ~bounds:base.Instance.bounds
+    ~arrivals:
+      (List.map
+         (fun (round, request) -> (round + Rrs_workload.Gen.int rng 3, request))
+         (Instance.nonempty_arrivals base))
+    ()
+
+let greedy_grid ~m instance =
+  match Rrs_offline.Greedy_offline.run ~m instance with
+  | Error e -> Alcotest.fail e
+  | Ok { schedule; _ } -> OS.of_schedule schedule
+
+(* ---- split ---- *)
+
+let test_split_partitions () =
+  let instance = jittered_instance ~seed:4 in
+  let grid = greedy_grid ~m:2 instance in
+  let early, punctual, late = Punctualize.split grid in
+  check "split preserves executions" (OS.exec_count grid)
+    (OS.exec_count early + OS.exec_count punctual + OS.exec_count late);
+  check_bool "parts share the config timeline" true
+    (early.OS.colors = grid.OS.colors && late.OS.colors = grid.OS.colors)
+
+(* ---- punctualize_early on a handcrafted schedule ---- *)
+
+let test_punctualize_early_handcrafted () =
+  (* One color, bound 4 (half-blocks of 2): 2 jobs at round 0, both
+     executed early (rounds 0-1) on one resource configured throughout. *)
+  let instance =
+    Instance.make ~delta:1 ~bounds:[| 4 |] ~arrivals:[ (0, [ (0, 2) ]) ] ()
+  in
+  let grid = OS.create ~instance ~m:1 ~speed:1 in
+  OS.set_color_range grid ~resource:0 ~from_slot:0 ~to_slot:4 0;
+  OS.set_exec grid ~resource:0 ~slot:0;
+  OS.set_exec grid ~resource:0 ~slot:1;
+  match Punctualize.punctualize_early grid with
+  | Error e -> Alcotest.fail e
+  | Ok out ->
+      check "executes both" 2 (OS.exec_count out);
+      (* Configured throughout both half-blocks: the jobs are special and
+         shift to resource 0 at rounds 2-3 (punctual). *)
+      check_bool "slot 2 on resource 0" true out.OS.execs.(0).(2);
+      check_bool "slot 3 on resource 0" true out.OS.execs.(0).(3);
+      let _, punctual, _ = Punctualize.split out in
+      check "all punctual" 2 (OS.exec_count punctual)
+
+let test_punctualize_early_nonspecial () =
+  (* Same jobs, but the resource switches color at round 2: not special,
+     so the jobs go to resources 1-2 in the next half-block. *)
+  let instance =
+    Instance.make ~delta:1 ~bounds:[| 4; 4 |]
+      ~arrivals:[ (0, [ (0, 2); (1, 1) ]) ]
+      ()
+  in
+  let grid = OS.create ~instance ~m:1 ~speed:1 in
+  OS.set_color_range grid ~resource:0 ~from_slot:0 ~to_slot:2 0;
+  OS.set_color_range grid ~resource:0 ~from_slot:2 ~to_slot:4 1;
+  OS.set_exec grid ~resource:0 ~slot:0;
+  OS.set_exec grid ~resource:0 ~slot:1;
+  match Punctualize.punctualize_early grid with
+  | Error e -> Alcotest.fail e
+  | Ok out ->
+      check "executes both" 2 (OS.exec_count out);
+      check_bool "resource 0 unused" true
+        (Array.for_all (fun used -> not used) out.OS.execs.(0));
+      let _, punctual, _ = Punctualize.split out in
+      check "all punctual" 2 (OS.exec_count punctual)
+
+let test_punctualize_rejects_wrong_class () =
+  let instance =
+    Instance.make ~delta:1 ~bounds:[| 4 |] ~arrivals:[ (0, [ (0, 1) ]) ] ()
+  in
+  let grid = OS.create ~instance ~m:1 ~speed:1 in
+  OS.set_color_range grid ~resource:0 ~from_slot:0 ~to_slot:4 0;
+  OS.set_exec grid ~resource:0 ~slot:2 (* punctual, not early *);
+  check_bool "early builder rejects punctual execution" true
+    (Result.is_error (Punctualize.punctualize_early grid));
+  check_bool "late builder rejects punctual execution" true
+    (Result.is_error (Punctualize.punctualize_late grid))
+
+let test_punctualize_rejects_multi_resource () =
+  let instance =
+    Instance.make ~delta:1 ~bounds:[| 4 |] ~arrivals:[ (0, [ (0, 1) ]) ] ()
+  in
+  let grid = OS.create ~instance ~m:2 ~speed:1 in
+  check_bool "multi-resource rejected" true
+    (Result.is_error (Punctualize.punctualize_early grid))
+
+(* ---- Lemma 5.3 end-to-end property ---- *)
+
+let prop_punctual_schedule =
+  QCheck2.Test.make
+    ~name:"Lemma 5.3: 7m-resource punctual schedule keeps all executions" ~count:30
+    QCheck2.Gen.(int_range 1 500)
+    (fun seed ->
+      let instance = jittered_instance ~seed in
+      let grid = greedy_grid ~m:2 instance in
+      match Punctualize.punctual_schedule grid with
+      | Error e -> QCheck2.Test.fail_report e
+      | Ok out -> (
+          match OS.to_schedule out with
+          | Error e -> QCheck2.Test.fail_report e
+          | Ok validated ->
+              let early, punctual, late = Punctualize.split out in
+              Schedule.validate validated = Ok ()
+              && OS.exec_count out = OS.exec_count grid
+              && out.OS.m = 7 * grid.OS.m
+              && OS.exec_count early = 0
+              && OS.exec_count late = 0
+              && OS.exec_count punctual = OS.exec_count out))
+
+let prop_punctual_cost_factor =
+  QCheck2.Test.make
+    ~name:"Lemma 5.3: reconfiguration cost stays within a constant factor"
+    ~count:30
+    QCheck2.Gen.(int_range 1 500)
+    (fun seed ->
+      let instance = jittered_instance ~seed in
+      let grid = greedy_grid ~m:2 instance in
+      match Punctualize.punctual_schedule grid with
+      | Error e -> QCheck2.Test.fail_report e
+      | Ok out ->
+          (* The paper's constant is larger; we pin a loose empirical
+             bound to catch regressions. *)
+          OS.reconfig_count out <= (8 * OS.reconfig_count grid) + 8)
+
+(* ---- Aggregate ---- *)
+
+let test_aggregate_handcrafted () =
+  (* One color, bound 2, 5 jobs in one batch (subcolors of sizes 2,2,1);
+     T executes 4 of them on two monochromatic resources over rounds
+     0-1. Aggregate must place two groups of 2 on output resources (k,0)
+     under distinct subcolors. *)
+  let instance =
+    Instance.make ~delta:1 ~bounds:[| 2 |] ~arrivals:[ (0, [ (0, 5) ]) ] ()
+  in
+  let grid = OS.create ~instance ~m:2 ~speed:1 in
+  List.iter
+    (fun resource ->
+      OS.set_color_range grid ~resource ~from_slot:0 ~to_slot:2 0;
+      OS.set_exec grid ~resource ~slot:0;
+      OS.set_exec grid ~resource ~slot:1)
+    [ 0; 1 ];
+  match Aggregate.run grid with
+  | Error e -> Alcotest.fail e
+  | Ok result -> (
+      check "executes the same 4 jobs" 4 (OS.exec_count result.output);
+      check "3m resources" 6 result.output.OS.m;
+      check "three subcolors" 3 (Instance.num_colors result.inner_instance);
+      match OS.to_schedule result.output with
+      | Error e -> Alcotest.fail e
+      | Ok validated -> check_bool "validates" true (Schedule.validate validated = Ok ()))
+
+let test_aggregate_rejects_unbatched () =
+  let instance =
+    Instance.make ~delta:1 ~bounds:[| 2 |] ~arrivals:[ (1, [ (0, 1) ]) ] ()
+  in
+  let grid = OS.create ~instance ~m:1 ~speed:1 in
+  check_bool "unbatched rejected" true (Result.is_error (Aggregate.run grid))
+
+let prop_aggregate =
+  QCheck2.Test.make
+    ~name:"Lemma 4.1: Aggregate preserves executions on 3m resources, validates"
+    ~count:25
+    QCheck2.Gen.(int_range 1 500)
+    (fun seed ->
+      let instance =
+        Rrs_workload.Random_workloads.bursty ~seed ~colors:6 ~delta:2
+          ~bound_log_range:(0, 4) ~horizon:64 ~load:2.0 ~churn:0.4
+          ~rate_limited:false ()
+      in
+      (* A thrashy online schedule as T stresses the multichromatic
+         paths. *)
+      let run =
+        Rrs_sim.Engine.run ~record_events:true ~n:4
+          ~policy:(module Rrs_core.Policy_edf) instance
+      in
+      let schedule = Schedule.of_run ~instance ~n:4 ~speed:1 run.ledger in
+      let grid = OS.of_schedule schedule in
+      match Aggregate.run grid with
+      | Error e -> QCheck2.Test.fail_report e
+      | Ok result -> (
+          match OS.to_schedule result.output with
+          | Error e -> QCheck2.Test.fail_report e
+          | Ok validated ->
+              Schedule.validate validated = Ok ()
+              && OS.exec_count result.output = OS.exec_count grid
+              && result.output.OS.m = 3 * grid.OS.m))
+
+let prop_aggregate_cost_factor =
+  QCheck2.Test.make
+    ~name:"Lemma 4.1: Aggregate reconfiguration cost within a constant factor"
+    ~count:25
+    QCheck2.Gen.(int_range 1 500)
+    (fun seed ->
+      let instance =
+        Rrs_workload.Random_workloads.bursty ~seed ~colors:6 ~delta:2
+          ~bound_log_range:(0, 4) ~horizon:64 ~load:2.0 ~churn:0.4
+          ~rate_limited:false ()
+      in
+      let run =
+        Rrs_sim.Engine.run ~record_events:true ~n:4
+          ~policy:(module Rrs_core.Policy_edf) instance
+      in
+      let schedule = Schedule.of_run ~instance ~n:4 ~speed:1 run.ledger in
+      let grid = OS.of_schedule schedule in
+      match Aggregate.run grid with
+      | Error e -> QCheck2.Test.fail_report e
+      | Ok result ->
+          OS.reconfig_count result.output <= (6 * OS.reconfig_count grid) + 12)
+
+let quick name f = Alcotest.test_case name `Quick f
+let prop p = QCheck_alcotest.to_alcotest p
+
+let suite =
+  [
+    ( "offline.punctualize",
+      [
+        quick "classification" test_classify;
+        quick "split partitions executions" test_split_partitions;
+        quick "special jobs shift on resource 0" test_punctualize_early_handcrafted;
+        quick "nonspecial jobs pack on resources 1-2" test_punctualize_early_nonspecial;
+        quick "wrong class rejected" test_punctualize_rejects_wrong_class;
+        quick "multi-resource rejected" test_punctualize_rejects_multi_resource;
+        prop prop_punctual_schedule;
+        prop prop_punctual_cost_factor;
+      ] );
+    ( "offline.aggregate",
+      [
+        quick "handcrafted batch" test_aggregate_handcrafted;
+        quick "unbatched rejected" test_aggregate_rejects_unbatched;
+        prop prop_aggregate;
+        prop prop_aggregate_cost_factor;
+      ] );
+  ]

@@ -1,0 +1,311 @@
+(* Data-structure substrate tests: binary heap, top-k selection, timing
+   wheel, counter map, ring deque. *)
+
+module Int_heap = Rrs_ds.Binary_heap.Make (Int)
+module Topk = Rrs_ds.Topk
+module Timing_wheel = Rrs_ds.Timing_wheel
+module Counter_map = Rrs_ds.Counter_map
+module Ring_deque = Rrs_ds.Ring_deque
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_list = Alcotest.(check (list int))
+
+(* ---- Binary heap ---- *)
+
+let test_heap_empty () =
+  let h = Int_heap.create () in
+  check_bool "empty" true (Int_heap.is_empty h);
+  check "length" 0 (Int_heap.length h);
+  Alcotest.check_raises "peek raises" Not_found (fun () ->
+      ignore (Int_heap.peek_min h));
+  Alcotest.check_raises "pop raises" Not_found (fun () ->
+      ignore (Int_heap.pop_min h));
+  check_list "sorted empty" [] (Int_heap.to_sorted_list h)
+
+let test_heap_push_pop () =
+  let h = Int_heap.create () in
+  List.iter (Int_heap.push h) [ 5; 3; 8; 1; 9; 2 ];
+  check "length" 6 (Int_heap.length h);
+  check "min" 1 (Int_heap.peek_min h);
+  check "pop" 1 (Int_heap.pop_min h);
+  check "pop" 2 (Int_heap.pop_min h);
+  Int_heap.push h 0;
+  check "pop new min" 0 (Int_heap.pop_min h);
+  check_list "drain sorted" [ 3; 5; 8; 9 ] (Int_heap.to_sorted_list h)
+
+let test_heap_duplicates () =
+  let h = Int_heap.of_list [ 2; 2; 1; 1; 3 ] in
+  check_list "sorted with dups" [ 1; 1; 2; 2; 3 ] (Int_heap.to_sorted_list h);
+  check "length preserved" 5 (Int_heap.length h)
+
+let test_heap_of_list_invariant () =
+  let h = Int_heap.of_list [ 9; 4; 7; 1; 0; 8; 8; 2 ] in
+  check_bool "invariant" true (Int_heap.check_invariant h)
+
+let test_heap_clear () =
+  let h = Int_heap.of_list [ 1; 2; 3 ] in
+  Int_heap.clear h;
+  check "cleared" 0 (Int_heap.length h);
+  Int_heap.push h 7;
+  check "reusable" 7 (Int_heap.pop_min h)
+
+let test_heap_grow () =
+  let h = Int_heap.create ~capacity:1 () in
+  for i = 100 downto 1 do
+    Int_heap.push h i
+  done;
+  check "length" 100 (Int_heap.length h);
+  check_bool "invariant after growth" true (Int_heap.check_invariant h);
+  check "min" 1 (Int_heap.pop_min h)
+
+let prop_heap_sorts =
+  QCheck2.Test.make ~name:"heap: to_sorted_list sorts any list" ~count:200
+    QCheck2.Gen.(list (int_bound 1000))
+    (fun xs ->
+      let h = Int_heap.of_list xs in
+      Int_heap.to_sorted_list h = List.sort Int.compare xs)
+
+let prop_heap_pop_order =
+  QCheck2.Test.make ~name:"heap: pops are nondecreasing under interleaved pushes"
+    ~count:200
+    QCheck2.Gen.(list (int_bound 100))
+    (fun xs ->
+      let h = Int_heap.create () in
+      let sorted = List.sort Int.compare xs in
+      List.iter (Int_heap.push h) xs;
+      let drained = List.init (List.length xs) (fun _ -> Int_heap.pop_min h) in
+      drained = sorted && Int_heap.is_empty h)
+
+(* ---- Topk ---- *)
+
+let test_topk_basic () =
+  check_list "3 smallest" [ 1; 2; 3 ]
+    (Topk.select_list ~compare:Int.compare ~k:3 [ 7; 3; 9; 1; 5; 2 ]);
+  check_list "k larger than list" [ 1; 3 ]
+    (Topk.select_list ~compare:Int.compare ~k:10 [ 3; 1 ]);
+  check_list "k zero" [] (Topk.select_list ~compare:Int.compare ~k:0 [ 1; 2 ]);
+  check_list "k negative" [] (Topk.select_list ~compare:Int.compare ~k:(-1) [ 1 ])
+
+let test_topk_reverse_order () =
+  let compare a b = Int.compare b a in
+  check_list "3 largest" [ 9; 7; 5 ]
+    (Topk.select_list ~compare ~k:3 [ 7; 3; 9; 1; 5; 2 ])
+
+let prop_topk_matches_sort =
+  QCheck2.Test.make ~name:"topk: equals sorted prefix" ~count:300
+    QCheck2.Gen.(pair (list (int_bound 500)) (int_bound 12))
+    (fun (xs, k) ->
+      let expected =
+        List.sort Int.compare xs |> List.filteri (fun i _ -> i < k)
+      in
+      Topk.select_list ~compare:Int.compare ~k xs = expected)
+
+(* ---- Timing wheel ---- *)
+
+let test_wheel_basic () =
+  let w = Timing_wheel.create () in
+  Timing_wheel.add w ~time:3 "a";
+  Timing_wheel.add w ~time:1 "b";
+  Timing_wheel.add w ~time:3 "c";
+  check "count" 3 (Timing_wheel.length w);
+  let fired = ref [] in
+  Timing_wheel.advance w ~time:4 (fun t v -> fired := (t, v) :: !fired);
+  Alcotest.(check (list (pair int string)))
+    "fires in time order, FIFO within a bucket"
+    [ (1, "b"); (3, "a"); (3, "c") ]
+    (List.rev !fired);
+  check "drained" 0 (Timing_wheel.length w);
+  check "now" 4 (Timing_wheel.now w)
+
+let test_wheel_past_add_rejected () =
+  let w = Timing_wheel.create () in
+  Timing_wheel.advance w ~time:5 (fun _ _ -> ());
+  Alcotest.check_raises "past add"
+    (Invalid_argument "Timing_wheel.add: time 3 is before now 5") (fun () ->
+      Timing_wheel.add w ~time:3 ())
+
+let test_wheel_growth () =
+  let w = Timing_wheel.create ~horizon:2 () in
+  Timing_wheel.add w ~time:0 0;
+  Timing_wheel.add w ~time:100 100;
+  Timing_wheel.add w ~time:7 7;
+  let fired = ref [] in
+  Timing_wheel.advance w ~time:101 (fun t _ -> fired := t :: !fired);
+  check_list "all fire in order" [ 0; 7; 100 ] (List.rev !fired)
+
+let test_wheel_pending_at () =
+  let w = Timing_wheel.create () in
+  Timing_wheel.add w ~time:2 "x";
+  Timing_wheel.add w ~time:2 "y";
+  Alcotest.(check (list string)) "peek" [ "x"; "y" ] (Timing_wheel.pending_at w ~time:2);
+  check "peek does not remove" 2 (Timing_wheel.length w)
+
+let prop_wheel_delivers_everything =
+  QCheck2.Test.make ~name:"wheel: every add is delivered exactly once at its time"
+    ~count:200
+    QCheck2.Gen.(list (int_bound 200))
+    (fun times ->
+      let w = Timing_wheel.create ~horizon:4 () in
+      List.iteri (fun i t -> Timing_wheel.add w ~time:t (i, t)) times;
+      let fired = ref [] in
+      Timing_wheel.advance w ~time:201 (fun t (i, t')  ->
+          fired := (i, t, t') :: !fired);
+      List.length !fired = List.length times
+      && List.for_all (fun (_, t, t') -> t = t') !fired
+      && Timing_wheel.length w = 0)
+
+(* ---- Counter map ---- *)
+
+let test_counter_map_basic () =
+  let m = Counter_map.empty in
+  let m = Counter_map.add m 5 ~count:2 in
+  let m = Counter_map.add m 3 ~count:1 in
+  let m = Counter_map.add m 5 ~count:1 in
+  check "total" 4 (Counter_map.total m);
+  check "cardinal" 2 (Counter_map.cardinal m);
+  check "count 5" 3 (Counter_map.count m 5);
+  Alcotest.(check (option int)) "min" (Some 3) (Counter_map.min_key m);
+  let m = Counter_map.remove m 5 ~count:2 in
+  check "count after remove" 1 (Counter_map.count m 5);
+  let removed, m = Counter_map.remove_all m 3 in
+  check "removed count" 1 removed;
+  Alcotest.(check (option int)) "new min" (Some 5) (Counter_map.min_key m)
+
+let test_counter_map_remove_min () =
+  let m = Counter_map.of_list [ (4, 2); (9, 1) ] in
+  (match Counter_map.remove_min m with
+  | Some (4, m') ->
+      check "remaining total" 2 (Counter_map.total m');
+      check "remaining 4s" 1 (Counter_map.count m' 4)
+  | _ -> Alcotest.fail "expected min 4");
+  Alcotest.(check (option (pair int int)))
+    "empty remove_min" None
+    (Option.map (fun (k, m) -> (k, Counter_map.total m))
+       (Counter_map.remove_min Counter_map.empty))
+
+let test_counter_map_errors () =
+  Alcotest.check_raises "negative add"
+    (Invalid_argument "Counter_map.add: negative count") (fun () ->
+      ignore (Counter_map.add Counter_map.empty 1 ~count:(-1)));
+  Alcotest.check_raises "over-remove"
+    (Invalid_argument "Counter_map.remove: not enough occurrences") (fun () ->
+      ignore (Counter_map.remove (Counter_map.of_list [ (1, 1) ]) 1 ~count:2))
+
+let prop_counter_map_total =
+  QCheck2.Test.make ~name:"counter_map: total equals sum of counts" ~count:300
+    QCheck2.Gen.(list (pair (int_bound 20) (int_bound 5)))
+    (fun pairs ->
+      let m = Counter_map.of_list pairs in
+      Counter_map.total m = List.fold_left (fun acc (_, c) -> acc + c) 0 pairs
+      && List.for_all (fun (_, c) -> c > 0) (Counter_map.to_list m))
+
+(* ---- Ring deque ---- *)
+
+let test_deque_fifo () =
+  let q = Ring_deque.create () in
+  List.iter (Ring_deque.push_back q) [ 1; 2; 3 ];
+  check "pop front" 1 (Ring_deque.pop_front q);
+  check "pop front" 2 (Ring_deque.pop_front q);
+  Ring_deque.push_back q 4;
+  check_list "to_list" [ 3; 4 ] (Ring_deque.to_list q)
+
+let test_deque_both_ends () =
+  let q = Ring_deque.create ~capacity:2 () in
+  Ring_deque.push_front q 2;
+  Ring_deque.push_front q 1;
+  Ring_deque.push_back q 3;
+  check_list "order" [ 1; 2; 3 ] (Ring_deque.to_list q);
+  check "pop back" 3 (Ring_deque.pop_back q);
+  check "peek front" 1 (Ring_deque.peek_front q);
+  check "peek back" 2 (Ring_deque.peek_back q)
+
+let test_deque_wraparound_growth () =
+  let q = Ring_deque.create ~capacity:2 () in
+  for i = 1 to 50 do
+    Ring_deque.push_back q i;
+    if i mod 3 = 0 then ignore (Ring_deque.pop_front q)
+  done;
+  check "length" (50 - 16) (Ring_deque.length q);
+  check "front" 17 (Ring_deque.peek_front q)
+
+let test_deque_empty_errors () =
+  let q = Ring_deque.create () in
+  Alcotest.check_raises "pop_front" Not_found (fun () ->
+      ignore (Ring_deque.pop_front q));
+  Alcotest.(check (option int)) "opt" None (Ring_deque.pop_back_opt q)
+
+let prop_deque_mirrors_list =
+  QCheck2.Test.make ~name:"deque: mirrors a model list under random ops" ~count:200
+    QCheck2.Gen.(list (pair (int_bound 3) (int_bound 100)))
+    (fun ops ->
+      let q = Ring_deque.create ~capacity:1 () in
+      let model = ref [] in
+      List.iter
+        (fun (op, x) ->
+          match op with
+          | 0 ->
+              Ring_deque.push_back q x;
+              model := !model @ [ x ]
+          | 1 ->
+              Ring_deque.push_front q x;
+              model := x :: !model
+          | 2 -> (
+              match (Ring_deque.pop_front_opt q, !model) with
+              | Some y, z :: rest when y = z -> model := rest
+              | None, [] -> ()
+              | _ -> failwith "mismatch")
+          | _ -> (
+              match (Ring_deque.pop_back_opt q, List.rev !model) with
+              | Some y, z :: rest when y = z -> model := List.rev rest
+              | None, [] -> ()
+              | _ -> failwith "mismatch"))
+        ops;
+      Ring_deque.to_list q = !model)
+
+let quick name f = Alcotest.test_case name `Quick f
+let prop p = QCheck_alcotest.to_alcotest p
+
+let suite =
+  [
+    ( "ds.heap",
+      [
+        quick "empty heap" test_heap_empty;
+        quick "push/pop ordering" test_heap_push_pop;
+        quick "duplicates preserved" test_heap_duplicates;
+        quick "of_list heapifies" test_heap_of_list_invariant;
+        quick "clear and reuse" test_heap_clear;
+        quick "growth" test_heap_grow;
+        prop prop_heap_sorts;
+        prop prop_heap_pop_order;
+      ] );
+    ( "ds.topk",
+      [
+        quick "basic selection" test_topk_basic;
+        quick "custom order" test_topk_reverse_order;
+        prop prop_topk_matches_sort;
+      ] );
+    ( "ds.timing_wheel",
+      [
+        quick "ordered delivery" test_wheel_basic;
+        quick "past add rejected" test_wheel_past_add_rejected;
+        quick "growth" test_wheel_growth;
+        quick "pending_at peeks" test_wheel_pending_at;
+        prop prop_wheel_delivers_everything;
+      ] );
+    ( "ds.counter_map",
+      [
+        quick "add/remove/count" test_counter_map_basic;
+        quick "remove_min" test_counter_map_remove_min;
+        quick "error cases" test_counter_map_errors;
+        prop prop_counter_map_total;
+      ] );
+    ( "ds.ring_deque",
+      [
+        quick "fifo" test_deque_fifo;
+        quick "both ends" test_deque_both_ends;
+        quick "wraparound growth" test_deque_wraparound_growth;
+        quick "empty errors" test_deque_empty_errors;
+        prop prop_deque_mirrors_list;
+      ] );
+  ]

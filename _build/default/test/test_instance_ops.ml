@@ -1,0 +1,102 @@
+(* Tests for the instance-manipulation utilities and the proof-level
+   splits they enable. *)
+
+module Instance = Rrs_sim.Instance
+module Ops = Rrs_sim.Instance_ops
+module H = Test_helpers
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let base =
+  lazy
+    (Instance.make ~name:"ops-base" ~delta:3 ~bounds:[| 2; 4; 4 |]
+       ~arrivals:
+         [ (0, [ (0, 2); (1, 5) ]); (2, [ (0, 1) ]); (4, [ (1, 3); (2, 1) ]) ]
+       ())
+
+let test_restrict () =
+  let i = Lazy.force base in
+  let only_1 = Ops.restrict_colors i (fun c -> c = 1) in
+  check "kept jobs" 8 (Instance.total_jobs only_1);
+  check "same color universe" 3 (Instance.num_colors only_1);
+  check "color 0 removed" 0 (Instance.jobs_of_color only_1 0)
+
+let test_split_by_volume () =
+  let i = Lazy.force base in
+  (* totals: color 0 -> 3, color 1 -> 8, color 2 -> 1; threshold delta=3 *)
+  let alpha, beta = Ops.split_by_volume i ~threshold:3 in
+  check "alpha: small colors only" 1 (Instance.total_jobs alpha);
+  check "beta: large colors" 11 (Instance.total_jobs beta);
+  check "alpha+beta = sigma" (Instance.total_jobs i)
+    (Instance.total_jobs alpha + Instance.total_jobs beta)
+
+let test_scale_load () =
+  let i = Lazy.force base in
+  let halved = Ops.scale_load i ~numerator:1 ~denominator:2 in
+  (* 2->1, 5->2, 1->1(min), 3->1, 1->1(min) = 6 *)
+  check "halved jobs" 6 (Instance.total_jobs halved);
+  let doubled = Ops.scale_load i ~numerator:2 ~denominator:1 in
+  check "doubled jobs" 24 (Instance.total_jobs doubled);
+  let zero = Ops.scale_load i ~numerator:0 ~denominator:1 in
+  check "zeroed" 0 (Instance.total_jobs zero)
+
+let test_shift_and_truncate () =
+  let i = Lazy.force base in
+  let shifted = Ops.shift i ~rounds:4 in
+  check "jobs preserved" (Instance.total_jobs i) (Instance.total_jobs shifted);
+  check_bool "first arrival moved" true
+    (match Instance.nonempty_arrivals shifted with
+    | (4, _) :: _ -> true
+    | _ -> false);
+  let truncated = Ops.truncate i ~horizon:3 in
+  check "jobs before round 3 only" 8 (Instance.total_jobs truncated)
+
+let test_merge () =
+  let i = Lazy.force base in
+  let merged = Ops.merge i i in
+  check "doubled by merge" (2 * Instance.total_jobs i) (Instance.total_jobs merged);
+  let other = Instance.make ~delta:4 ~bounds:[| 2; 4; 4 |] ~arrivals:[] () in
+  match Ops.merge i other with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "delta mismatch accepted"
+
+(* The Theorem 1 proof shape: the cost of ΔLRU-EDF on the small-color
+   part alpha alone is exactly its job count (Lemma 3.1 situation), and
+   restriction never increases Par-EDF drops (Lemma 3.6 analogue). *)
+let prop_restriction_never_increases_drops =
+  QCheck2.Test.make
+    ~name:"ops: Par-EDF drops on a restriction <= on the whole input" ~count:50
+    H.gen_rate_limited (fun instance ->
+      let even = Rrs_sim.Instance_ops.restrict_colors instance (fun c -> c mod 2 = 0) in
+      Rrs_core.Par_edf.drop_cost ~m:2 even
+      <= Rrs_core.Par_edf.drop_cost ~m:2 instance)
+
+let prop_split_preserves_volume =
+  QCheck2.Test.make ~name:"ops: split_by_volume partitions the jobs" ~count:50
+    H.gen_batched (fun instance ->
+      let threshold = instance.Instance.delta in
+      let alpha, beta = Ops.split_by_volume instance ~threshold in
+      Instance.total_jobs alpha + Instance.total_jobs beta
+      = Instance.total_jobs instance
+      (* alpha's colors each hold < threshold jobs *)
+      && List.for_all
+           (fun color -> Instance.jobs_of_color alpha color < threshold)
+           (List.init (Instance.num_colors alpha) Fun.id))
+
+let quick name f = Alcotest.test_case name `Quick f
+let prop p = QCheck_alcotest.to_alcotest p
+
+let suite =
+  [
+    ( "sim.instance_ops",
+      [
+        quick "restrict_colors" test_restrict;
+        quick "split_by_volume (Theorem 1 split)" test_split_by_volume;
+        quick "scale_load" test_scale_load;
+        quick "shift and truncate" test_shift_and_truncate;
+        quick "merge" test_merge;
+        prop prop_restriction_never_increases_drops;
+        prop prop_split_preserves_volume;
+      ] );
+  ]

@@ -1,0 +1,201 @@
+(* Empirical checks of the paper's formal claims (Sections 3.2-3.4).
+   These are the load-bearing tests: each lemma/theorem becomes a
+   property over randomized rate-limited instances. *)
+
+module Instance = Rrs_sim.Instance
+module Engine = Rrs_sim.Engine
+module Ledger = Rrs_sim.Ledger
+module Par_edf = Rrs_core.Par_edf
+module Instrument = Rrs_core.Instrument
+module H = Test_helpers
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let run_lru_edf ~n instance =
+  Engine.run ~record_events:false ~n ~policy:(module Rrs_core.Policy_lru_edf)
+    instance
+
+(* Lemma 3.1: on inputs where every color has fewer than Delta jobs,
+   ΔLRU-EDF never configures anything and therefore costs exactly the
+   job count (all ineligible drops); OFF can never do better than
+   min(Delta, N_l) per color, which equals N_l here. *)
+let prop_lemma_3_1 =
+  QCheck2.Test.make ~name:"Lemma 3.1: all-small colors -> cost <= OFF" ~count:50
+    QCheck2.Gen.(
+      let* delta = int_range 3 8 in
+      let* colors = int_range 1 6 in
+      let* seed = int_bound 10_000 in
+      let rng = Rrs_workload.Gen.create ~seed in
+      let bounds =
+        Array.init colors (fun _ -> Rrs_workload.Gen.pow2_range rng ~lo:1 ~hi:4)
+      in
+      (* strictly fewer than delta jobs per color, batched *)
+      let arrivals =
+        List.concat
+          (List.init colors (fun c ->
+               let jobs = Rrs_workload.Gen.int_range rng ~lo:1 ~hi:(delta - 1) in
+               let batches = Rrs_workload.Gen.int_range rng ~lo:1 ~hi:jobs in
+               List.init batches (fun b ->
+                   (b * bounds.(c), [ (c, max 1 (jobs / batches)) ]))))
+      in
+      return (Instance.make ~delta ~bounds ~arrivals ()))
+    (fun instance ->
+      let result = run_lru_edf ~n:8 instance in
+      Ledger.reconfig_count result.ledger = 0
+      && Ledger.drop_count result.ledger = Instance.total_jobs instance
+      && Ledger.total_cost result.ledger
+         <= Rrs_offline.Lower_bounds.per_color instance)
+
+(* Lemma 3.2 (via 3.7/3.10/Cor 3.1): the eligible drop cost of ΔLRU-EDF
+   with n = 8m resources is at most the drop cost of Par-EDF with m
+   resources (itself <= DropCost(OFF_m)). *)
+let prop_lemma_3_2 =
+  QCheck2.Test.make
+    ~name:"Lemma 3.2: eligible drops of dlru-edf(8m) <= drops of par-edf(m)"
+    ~count:60 H.gen_rate_limited (fun instance ->
+      let m = 1 in
+      let result = run_lru_edf ~n:(8 * m) instance in
+      let eligible = Instrument.eligible_drops result.stats in
+      eligible <= Par_edf.drop_cost ~m instance)
+
+(* Lemma 3.10 chain inner step, Corollary 3.1:
+   drops(DS-Seq-EDF with m) <= drops(Par-EDF with m). *)
+let prop_corollary_3_1 =
+  QCheck2.Test.make ~name:"Corollary 3.1: drops(ds-seq-edf m) <= drops(par-edf m)"
+    ~count:60 H.gen_rate_limited (fun instance ->
+      let m = 2 in
+      let ds =
+        Engine.run ~speed:2 ~record_events:false ~n:m
+          ~policy:(module Rrs_core.Seq_edf) instance
+      in
+      Ledger.drop_count ds.ledger <= Par_edf.drop_cost ~m instance)
+
+(* Lemma 3.3: reconfiguration cost <= 4 * numEpochs * Delta. *)
+let prop_lemma_3_3 =
+  QCheck2.Test.make ~name:"Lemma 3.3: reconfig cost <= 4 * epochs * delta"
+    ~count:80 H.gen_rate_limited (fun instance ->
+      let result = run_lru_edf ~n:8 instance in
+      let run_ledger = result.ledger in
+      Ledger.reconfig_cost run_ledger
+      <= Instrument.lemma_3_3_bound ~delta:instance.Instance.delta result.stats)
+
+(* Lemma 3.4: ineligible drop cost <= numEpochs * Delta. *)
+let prop_lemma_3_4 =
+  QCheck2.Test.make ~name:"Lemma 3.4: ineligible drops <= epochs * delta"
+    ~count:80 H.gen_rate_limited (fun instance ->
+      let result = run_lru_edf ~n:8 instance in
+      Instrument.ineligible_drops result.stats
+      <= Instrument.lemma_3_4_bound ~delta:instance.Instance.delta result.stats)
+
+(* Drop accounting: eligible + ineligible drops = total drops. *)
+let prop_drop_partition =
+  QCheck2.Test.make ~name:"drops partition into eligible + ineligible" ~count:80
+    H.gen_rate_limited (fun instance ->
+      let result = run_lru_edf ~n:8 instance in
+      Instrument.eligible_drops result.stats
+      + Instrument.ineligible_drops result.stats
+      = Ledger.drop_count result.ledger)
+
+(* Theorem 1 regression guard: on tiny rate-limited instances where the
+   exact OPT is computable, the cost of ΔLRU-EDF with 8m resources stays
+   within a generous constant of OPT with m = 1. The paper proves O(1);
+   we pin a loose empirical constant to catch gross regressions. *)
+let prop_theorem_1_ratio_guard =
+  QCheck2.Test.make ~name:"Theorem 1 guard: cost(dlru-edf 8m) <= 12 * OPT_m + 4*delta"
+    ~count:40 H.gen_tiny (fun instance ->
+      match Rrs_offline.Brute_force.opt_cost ~max_states:400_000 ~m:1 instance with
+      | None -> QCheck2.assume_fail ()
+      | Some opt ->
+          let cost = Ledger.total_cost (run_lru_edf ~n:8 instance).ledger in
+          cost <= (12 * opt) + (4 * instance.Instance.delta))
+
+(* Super-epoch counting (Section 3.4) sanity: with watermark w, the
+   number of super-epochs is at most ceil(updates / w) + 1 and at least
+   updates-distinct-colors / w-ish; check the structural bounds. *)
+let prop_super_epochs =
+  QCheck2.Test.make ~name:"super-epochs: between updates/w and updates + 1"
+    ~count:60
+    QCheck2.Gen.(
+      pair (int_range 1 6) (list (pair (int_bound 100) (int_bound 8))))
+    (fun (watermark, events) ->
+      let count = Instrument.super_epochs ~watermark events in
+      let n = List.length events in
+      count <= n + 1
+      && (n = 0 || count >= 1)
+      && count >= n / (watermark * 101)
+      (* trivially true lower bound; main check is monotonicity: *)
+      && Instrument.super_epochs ~watermark:(watermark + 1) events <= count)
+
+let test_super_epochs_exact () =
+  (* watermark 2: colors 1,2 complete one super-epoch; 3 starts another. *)
+  let events = [ (0, 1); (1, 1); (2, 2); (3, 3) ] in
+  check "complete + partial" 2 (Rrs_core.Instrument.super_epochs ~watermark:2 events);
+  check "watermark 1: every update closes one" 4
+    (Rrs_core.Instrument.super_epochs ~watermark:1 events);
+  check "empty" 0 (Rrs_core.Instrument.super_epochs ~watermark:3 [])
+
+(* Theorem 2/3 feasibility + augmentation sanity on the adversaries:
+   the full pipelines stay within a small factor of the analytic OFF on
+   the paper's own hard inputs. *)
+let test_pipelines_on_adversaries () =
+  let a = Rrs_workload.Adversary.lru_killer ~n:8 ~delta:2 ~j:5 ~k:9 in
+  (match Rrs_core.Solver.solve ~n:8 a.instance with
+  | Error e -> Alcotest.fail e
+  | Ok outcome ->
+      check_bool "lru-killer: solver within 4x of off" true
+        (outcome.cost <= 4 * a.off_cost));
+  let b = Rrs_workload.Adversary.edf_killer ~n:8 ~delta:10 ~j:5 ~k:7 in
+  match Rrs_core.Solver.solve ~n:8 b.instance with
+  | Error e -> Alcotest.fail e
+  | Ok outcome ->
+      check_bool "edf-killer: solver within 6x of off" true
+        (outcome.cost <= 6 * b.off_cost)
+
+(* Lemma 3.10's containment gives a stronger empirical statement: total
+   drops of dlru-edf(8m) minus its ineligible drops never exceed
+   par-edf(m) drops; additionally with full augmentation the total cost
+   stays below the idle policy's (drop-everything) cost. *)
+let prop_better_than_dropping_everything =
+  QCheck2.Test.make ~name:"dlru-edf never worse than dropping everything + 1 config"
+    ~count:60 H.gen_rate_limited (fun instance ->
+      let cost = Ledger.total_cost (run_lru_edf ~n:8 instance).ledger in
+      (* Dropping everything costs total_jobs; allow the wrap slack. *)
+      cost
+      <= Instance.total_jobs instance
+         + (4 * instance.Instance.delta * Instrument.num_epochs
+              (run_lru_edf ~n:8 instance).stats))
+
+(* Corollary 3.2: at most three epochs of any color overlap one
+   super-epoch, so numEpochs <= 3 * colors * numSuperEpochs (with the
+   trailing in-progress super-epoch counted as one). *)
+let prop_corollary_3_2 =
+  QCheck2.Test.make
+    ~name:"Corollary 3.2: epochs <= 3 * colors * super-epochs" ~count:60
+    H.gen_rate_limited (fun instance ->
+      let result = run_lru_edf ~n:8 instance in
+      let epochs = Instrument.num_epochs result.stats in
+      let supers = max (Instrument.stat result.stats "super_epochs") 1 in
+      epochs <= 3 * Instance.num_colors instance * supers)
+
+let quick name f = Alcotest.test_case name `Quick f
+let prop p = QCheck_alcotest.to_alcotest p
+
+let suite =
+  [
+    ( "paper.lemmas",
+      [
+        prop prop_lemma_3_1;
+        prop prop_lemma_3_2;
+        prop prop_corollary_3_1;
+        prop prop_lemma_3_3;
+        prop prop_lemma_3_4;
+        prop prop_drop_partition;
+        prop prop_theorem_1_ratio_guard;
+        prop prop_super_epochs;
+        prop prop_corollary_3_2;
+        quick "super-epoch exact counts" test_super_epochs_exact;
+        quick "pipelines on paper adversaries" test_pipelines_on_adversaries;
+        prop prop_better_than_dropping_everything;
+      ] );
+  ]

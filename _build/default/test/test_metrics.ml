@@ -1,0 +1,76 @@
+(* Tests for the QoS metrics module. *)
+
+module Instance = Rrs_sim.Instance
+module Engine = Rrs_sim.Engine
+module Schedule = Rrs_sim.Schedule
+module Metrics = Rrs_stats.Metrics
+module H = Test_helpers
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let solve ~n i =
+  match Rrs_core.Solver.solve ~n i with
+  | Ok outcome -> outcome.Rrs_core.Solver.schedule
+  | Error e -> Alcotest.fail e
+
+let test_metrics_handcrafted () =
+  (* Color 0: 2 jobs bound 2 at round 0, both served (latencies 0, 1).
+     Color 1: 1 job bound 4, never served with delta too high... use a
+     pin-free exact case: n=4 so everything runs. *)
+  let i =
+    Instance.make ~delta:1 ~bounds:[| 2; 4 |]
+      ~arrivals:[ (0, [ (0, 2); (1, 1) ]) ]
+      ()
+  in
+  let metrics = Metrics.of_schedule (solve ~n:8 i) in
+  check "executed" 3 metrics.executed;
+  check "dropped" 0 metrics.dropped;
+  check "colors with traffic" 2 (List.length metrics.by_color);
+  let c0 = List.find (fun (r : Metrics.per_color) -> r.color = 0) metrics.by_color in
+  check "c0 offered" 2 c0.offered;
+  check_bool "c0 latency within bound" true (c0.max_latency < 2);
+  check_bool "mean latency sane" true
+    (metrics.mean_latency >= 0.0 && metrics.mean_latency < 4.0)
+
+let test_metrics_all_dropped () =
+  (* Delta too expensive: everything drops; loss 100%, latencies 0. *)
+  let i =
+    Instance.make ~delta:100 ~bounds:[| 2 |] ~arrivals:[ (0, [ (0, 3) ]) ] ()
+  in
+  let metrics = Metrics.of_schedule (solve ~n:4 i) in
+  check "executed" 0 metrics.executed;
+  check "dropped" 3 metrics.dropped;
+  check "p99 of nothing" 0 metrics.p99_latency;
+  match metrics.by_color with
+  | [ row ] -> check_bool "loss 100%" true (row.loss_rate = 1.0)
+  | _ -> Alcotest.fail "expected one traffic color"
+
+let prop_metrics_consistent =
+  QCheck2.Test.make ~name:"metrics: totals match the ledger; latencies in bounds"
+    ~count:40 H.gen_rate_limited (fun instance ->
+      let schedule = solve ~n:8 instance in
+      let metrics = Metrics.of_schedule schedule in
+      metrics.executed = Schedule.exec_count schedule
+      && metrics.dropped = Schedule.drop_count schedule
+      && metrics.executed + metrics.dropped = Instance.total_jobs instance
+      && List.for_all
+           (fun (row : Metrics.per_color) ->
+             row.offered = row.executed + row.dropped
+             && row.max_latency < row.bound
+             && row.loss_rate >= 0.0
+             && row.loss_rate <= 1.0)
+           metrics.by_color)
+
+let quick name f = Alcotest.test_case name `Quick f
+let prop p = QCheck_alcotest.to_alcotest p
+
+let suite =
+  [
+    ( "stats.metrics",
+      [
+        quick "handcrafted profile" test_metrics_handcrafted;
+        quick "all-dropped profile" test_metrics_all_dropped;
+        prop prop_metrics_consistent;
+      ] );
+  ]

@@ -1,0 +1,253 @@
+(* Offline-layer tests: brute-force OPT on instances with hand-computable
+   optima, lower-bound validity, greedy heuristic sanity, offline
+   schedule grids. *)
+
+module Instance = Rrs_sim.Instance
+module Schedule = Rrs_sim.Schedule
+module Brute_force = Rrs_offline.Brute_force
+module Lower_bounds = Rrs_offline.Lower_bounds
+module Greedy_offline = Rrs_offline.Greedy_offline
+module Offline_schedule = Rrs_offline.Offline_schedule
+module H = Test_helpers
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let opt ~m i =
+  match Brute_force.opt_cost ~m i with
+  | Some c -> c
+  | None -> Alcotest.fail "brute force exceeded budget"
+
+(* ---- Hand-computed optima ---- *)
+
+let test_opt_single_color () =
+  (* 2 jobs, bound 2, delta 1, one resource: configure once, run both.
+     OPT = 1. *)
+  let i = Instance.make ~delta:1 ~bounds:[| 2 |] ~arrivals:[ (0, [ (0, 2) ]) ] () in
+  check "opt" 1 (opt ~m:1 i)
+
+let test_opt_drop_cheaper_than_reconfig () =
+  (* 1 job, delta 5: dropping (cost 1) beats configuring (cost 5). *)
+  let i = Instance.make ~delta:5 ~bounds:[| 2 |] ~arrivals:[ (0, [ (0, 1) ]) ] () in
+  check "opt drops" 1 (opt ~m:1 i)
+
+let test_opt_reconfig_cheaper_than_drops () =
+  (* 4 jobs, delta 2: configuring (2) beats dropping (4). *)
+  let i = Instance.make ~delta:2 ~bounds:[| 4 |] ~arrivals:[ (0, [ (0, 4) ]) ] () in
+  check "opt configures" 2 (opt ~m:1 i)
+
+let test_opt_two_colors_one_resource () =
+  (* Two colors, each 2 jobs bound 2 arriving together, delta 1, m = 1:
+     serve one color (cost 1 reconfig), drop the other (2 drops) = 3; or
+     serve one job of each (2 reconfigs + 2 drops) = 4. OPT = 3. *)
+  let i =
+    Instance.make ~delta:1 ~bounds:[| 2; 2 |]
+      ~arrivals:[ (0, [ (0, 2); (1, 2) ]) ]
+      ()
+  in
+  check "opt" 3 (opt ~m:1 i)
+
+let test_opt_two_resources_no_conflict () =
+  (* Same workload with 2 resources: serve both colors fully = 2. *)
+  let i =
+    Instance.make ~delta:1 ~bounds:[| 2; 2 |]
+      ~arrivals:[ (0, [ (0, 2); (1, 2) ]) ]
+      ()
+  in
+  check "opt" 2 (opt ~m:2 i)
+
+let test_opt_interleaving_beats_greedy () =
+  (* Color 0: jobs at rounds 0 and 4 (bound 2, delta 2). Color 1: burst
+     of 2 at round 0, bound 4.
+     m = 1. Serving everything: configure 0 (run round 0), configure 1
+     (runs rounds 1-2), back to 0 at round 4 costs 3 reconfigs = 6 ; or
+     keep 0 and drop color 1: 2 + 2 = 4; or serve 1 and drop both 0
+     jobs: 2 + 2 = 4. OPT = 4. *)
+  let i =
+    Instance.make ~delta:2 ~bounds:[| 2; 4 |]
+      ~arrivals:[ (0, [ (0, 1); (1, 2) ]); (4, [ (0, 1) ]) ]
+      ()
+  in
+  check "opt" 4 (opt ~m:1 i)
+
+let test_opt_empty_instance () =
+  let i = Instance.make ~delta:3 ~bounds:[| 2 |] ~arrivals:[] () in
+  check "opt of empty" 0 (opt ~m:1 i)
+
+let test_opt_budget_exhaustion () =
+  let i =
+    Rrs_workload.Random_workloads.uniform ~seed:3 ~colors:4 ~delta:2
+      ~bound_log_range:(0, 2) ~horizon:24 ~load:1.0 ~rate_limited:true ()
+  in
+  match Brute_force.opt ~max_states:10 ~m:2 i with
+  | None -> ()
+  | Some _ -> Alcotest.fail "expected budget exhaustion"
+
+(* ---- Lower bound validity: every bound <= OPT on tiny instances ---- *)
+
+let prop_lower_bounds_below_opt =
+  QCheck2.Test.make ~name:"lower bounds: all <= brute-force OPT" ~count:40
+    H.gen_tiny (fun instance ->
+      match Brute_force.opt_cost ~max_states:300_000 ~m:1 instance with
+      | None -> QCheck2.assume_fail ()
+      | Some opt ->
+          List.for_all (fun (_, bound) -> bound <= opt)
+            (Lower_bounds.all ~m:1 instance))
+
+let prop_greedy_above_opt =
+  QCheck2.Test.make ~name:"greedy heuristic: cost >= OPT (upper bound)" ~count:40
+    H.gen_tiny (fun instance ->
+      match Brute_force.opt_cost ~max_states:300_000 ~m:1 instance with
+      | None -> QCheck2.assume_fail ()
+      | Some opt -> Greedy_offline.cost ~m:1 instance >= opt)
+
+let prop_greedy_valid_schedule =
+  QCheck2.Test.make ~name:"greedy heuristic: schedules validate" ~count:40
+    H.gen_batched (fun instance ->
+      match Greedy_offline.run ~m:3 instance with
+      | Error e -> QCheck2.Test.fail_report e
+      | Ok { schedule; cost } ->
+          Schedule.validate schedule = Ok ()
+          && cost = Schedule.total_cost schedule)
+
+let prop_opt_monotone_in_resources =
+  QCheck2.Test.make ~name:"OPT: more resources never cost more" ~count:25
+    H.gen_tiny (fun instance ->
+      match
+        ( Brute_force.opt_cost ~max_states:400_000 ~m:1 instance,
+          Brute_force.opt_cost ~max_states:400_000 ~m:2 instance )
+      with
+      | Some opt1, Some opt2 -> opt2 <= opt1
+      | _ -> QCheck2.assume_fail ())
+
+let prop_online_at_least_opt =
+  (* Any online policy with the same m resources costs at least OPT. *)
+  QCheck2.Test.make ~name:"OPT: below every online policy at equal resources"
+    ~count:25 H.gen_tiny (fun instance ->
+      match Brute_force.opt_cost ~max_states:400_000 ~m:2 instance with
+      | None -> QCheck2.assume_fail ()
+      | Some opt ->
+          List.for_all
+            (fun (_, policy) ->
+              Rrs_sim.Engine.cost ~n:2 ~policy instance >= opt)
+            Rrs_stats.Experiment.standard_policies)
+
+(* ---- Lower bound unit checks ---- *)
+
+let test_per_color_bound () =
+  (* Color 0: 5 jobs (delta 3 -> min 3); color 1: 2 jobs (-> 2). *)
+  let i =
+    Instance.make ~delta:3 ~bounds:[| 4; 4 |]
+      ~arrivals:[ (0, [ (0, 4); (1, 2) ]); (4, [ (0, 1) ]) ]
+      ()
+  in
+  check "per_color" 5 (Lower_bounds.per_color i)
+
+let test_window_bound () =
+  (* 6 unit-bound jobs in one round, m = 2: window [0,1) has capacity 2,
+     surplus 4. *)
+  let i =
+    Instance.make ~delta:1 ~bounds:[| 1; 1; 1; 1; 1; 1 |]
+      ~arrivals:[ (0, List.init 6 (fun c -> (c, 1))) ]
+      ()
+  in
+  check "window" 4 (Lower_bounds.window ~m:2 i);
+  check "par-edf agrees" 4 (Lower_bounds.par_edf_drop ~m:2 i)
+
+let test_window_no_surplus () =
+  let i = Instance.make ~delta:1 ~bounds:[| 4 |] ~arrivals:[ (0, [ (0, 2) ]) ] () in
+  check "no surplus" 0 (Lower_bounds.window ~m:1 i)
+
+(* ---- Offline schedule grid ---- *)
+
+let test_grid_costs () =
+  let i =
+    Instance.make ~delta:2 ~bounds:[| 2; 2 |]
+      ~arrivals:[ (0, [ (0, 2); (1, 1) ]) ]
+      ()
+  in
+  let grid = Offline_schedule.create ~instance:i ~m:1 ~speed:1 in
+  Offline_schedule.set_color_range grid ~resource:0 ~from_slot:0 ~to_slot:2 0;
+  Offline_schedule.set_exec grid ~resource:0 ~slot:0;
+  Offline_schedule.set_exec grid ~resource:0 ~slot:1;
+  check "reconfigs" 1 (Offline_schedule.reconfig_count grid);
+  check "execs" 2 (Offline_schedule.exec_count grid);
+  (* cost = 2 * 1 + (3 jobs - 2 executed) = 3 *)
+  check "cost" 3 (Offline_schedule.cost grid);
+  match Offline_schedule.to_schedule grid with
+  | Error e -> Alcotest.fail e
+  | Ok schedule ->
+      check "validated cost matches" 3 (Schedule.total_cost schedule);
+      check_bool "validates" true (Schedule.validate schedule = Ok ())
+
+let test_grid_monochromatic () =
+  let i = Instance.make ~delta:1 ~bounds:[| 2 |] ~arrivals:[ (0, [ (0, 1) ]) ] () in
+  let grid = Offline_schedule.create ~instance:i ~m:1 ~speed:1 in
+  Offline_schedule.set_color_range grid ~resource:0 ~from_slot:0 ~to_slot:3 0;
+  Alcotest.(check (option int)) "mono" (Some 0)
+    (Offline_schedule.monochromatic grid ~resource:0 ~from_slot:0 ~to_slot:3);
+  Offline_schedule.set_color grid ~resource:0 ~slot:1 1;
+  Alcotest.(check (option int)) "multi" None
+    (Offline_schedule.monochromatic grid ~resource:0 ~from_slot:0 ~to_slot:3)
+
+let test_grid_infeasible_exec () =
+  let i = Instance.make ~delta:1 ~bounds:[| 2 |] ~arrivals:[ (0, [ (0, 1) ]) ] () in
+  let grid = Offline_schedule.create ~instance:i ~m:1 ~speed:1 in
+  (* Execute at slot 2 = round 2 >= deadline: the replay must fail. *)
+  Offline_schedule.set_color_range grid ~resource:0 ~from_slot:0 ~to_slot:3 0;
+  Offline_schedule.set_exec grid ~resource:0 ~slot:2;
+  check_bool "infeasible rejected" true
+    (Result.is_error (Offline_schedule.to_schedule grid))
+
+let prop_grid_roundtrip =
+  (* Engine schedule -> grid -> schedule preserves costs. *)
+  QCheck2.Test.make ~name:"offline grid: roundtrip preserves costs" ~count:30
+    H.gen_rate_limited (fun instance ->
+      let _, schedule =
+        H.run_validated ~n:4 ~policy:(module Rrs_core.Policy_lru_edf) instance
+      in
+      let grid = Offline_schedule.of_schedule schedule in
+      Offline_schedule.reconfig_count grid = Schedule.reconfig_count schedule
+      && Offline_schedule.exec_count grid = Schedule.exec_count schedule
+      &&
+      match Offline_schedule.to_schedule grid with
+      | Error _ -> false
+      | Ok back ->
+          Schedule.total_cost back = Schedule.total_cost schedule
+          && Schedule.validate back = Ok ())
+
+let quick name f = Alcotest.test_case name `Quick f
+let prop p = QCheck_alcotest.to_alcotest p
+
+let suite =
+  [
+    ( "offline.brute_force",
+      [
+        quick "single color" test_opt_single_color;
+        quick "drop beats reconfig" test_opt_drop_cheaper_than_reconfig;
+        quick "reconfig beats drops" test_opt_reconfig_cheaper_than_drops;
+        quick "two colors one resource" test_opt_two_colors_one_resource;
+        quick "two resources" test_opt_two_resources_no_conflict;
+        quick "interleaving tradeoff" test_opt_interleaving_beats_greedy;
+        quick "empty instance" test_opt_empty_instance;
+        quick "budget exhaustion" test_opt_budget_exhaustion;
+        prop prop_opt_monotone_in_resources;
+        prop prop_online_at_least_opt;
+      ] );
+    ( "offline.lower_bounds",
+      [
+        quick "per-color bound" test_per_color_bound;
+        quick "window bound" test_window_bound;
+        quick "window without surplus" test_window_no_surplus;
+        prop prop_lower_bounds_below_opt;
+        prop prop_greedy_above_opt;
+        prop prop_greedy_valid_schedule;
+      ] );
+    ( "offline.grid",
+      [
+        quick "grid costs and conversion" test_grid_costs;
+        quick "monochromatic detection" test_grid_monochromatic;
+        quick "infeasible execution rejected" test_grid_infeasible_exec;
+        prop prop_grid_roundtrip;
+      ] );
+  ]

@@ -1,0 +1,108 @@
+(* Tests for the static-partitioning baseline and its comparison
+   properties against the reconfigurable algorithms. *)
+
+module Instance = Rrs_sim.Instance
+module Schedule = Rrs_sim.Schedule
+module Static_offline = Rrs_offline.Static_offline
+module H = Test_helpers
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_static_covers_small_mix () =
+  (* 2 colors, plenty of jobs, 2 resources: static dedicates one to each
+     and serves everything at cost 2 * delta. *)
+  let i =
+    Instance.make ~delta:2 ~bounds:[| 4; 4 |]
+      ~arrivals:[ (0, [ (0, 4); (1, 4) ]); (4, [ (0, 4); (1, 4) ]) ]
+      ()
+  in
+  match Static_offline.run ~m:2 i with
+  | Error e -> Alcotest.fail e
+  | Ok result ->
+      check "cost = 2 delta" 4 result.cost;
+      check "no drops" 0 (Schedule.drop_count result.schedule);
+      Alcotest.(check (list (pair int int)))
+        "one resource each"
+        [ (0, 1); (1, 1) ]
+        result.allocation
+
+let test_static_skips_unprofitable_colors () =
+  (* A color with one job and delta 5: dedicating a resource costs more
+     than dropping. *)
+  let i =
+    Instance.make ~delta:5 ~bounds:[| 4; 4 |]
+      ~arrivals:[ (0, [ (0, 1); (1, 8 ) ]); (4, [ (1, 4) ]) ]
+      ()
+  in
+  match Static_offline.run ~m:2 i with
+  | Error e -> Alcotest.fail e
+  | Ok result ->
+      check_bool "color 0 unallocated" true
+        (not (List.mem_assoc 0 result.allocation));
+      check "color 0 job dropped" 1
+        (List.length
+           (List.filter
+              (function
+                | Rrs_sim.Ledger.Drop { color = 0; _ } -> true
+                | _ -> false)
+              result.schedule.events))
+
+let test_static_allocates_multiple_to_hot_color () =
+  (* One color with 2 unit-bound jobs per round: needs 2 servers. *)
+  let i =
+    Instance.make ~delta:1 ~bounds:[| 1 |]
+      ~arrivals:(List.init 8 (fun r -> (r, [ (0, 2) ])))
+      ()
+  in
+  match Static_offline.run ~m:3 i with
+  | Error e -> Alcotest.fail e
+  | Ok result ->
+      Alcotest.(check (list (pair int int))) "two servers" [ (0, 2) ] result.allocation;
+      check "no drops" 0 (Schedule.drop_count result.schedule)
+
+let prop_static_valid_and_bounded =
+  QCheck2.Test.make ~name:"static: validates, and cost >= OPT on tiny instances"
+    ~count:30 H.gen_tiny (fun instance ->
+      match Static_offline.run ~m:2 instance with
+      | Error e -> QCheck2.Test.fail_report e
+      | Ok result -> (
+          Schedule.validate result.schedule = Ok ()
+          &&
+          match
+            Rrs_offline.Brute_force.opt_cost ~max_states:300_000 ~m:2 instance
+          with
+          | None -> true
+          | Some opt -> result.cost >= opt))
+
+let prop_static_never_reconfigures_twice =
+  (* Static means static: at most one configuration per resource. *)
+  QCheck2.Test.make ~name:"static: at most one reconfiguration per resource"
+    ~count:30 H.gen_batched (fun instance ->
+      match Static_offline.run ~m:4 instance with
+      | Error e -> QCheck2.Test.fail_report e
+      | Ok result ->
+          let per_resource = Hashtbl.create 4 in
+          List.iter
+            (function
+              | Rrs_sim.Ledger.Reconfig { location; _ } ->
+                  Hashtbl.replace per_resource location
+                    (1 + try Hashtbl.find per_resource location with Not_found -> 0)
+              | _ -> ())
+            result.schedule.events;
+          Hashtbl.fold (fun _ count ok -> ok && count <= 1) per_resource true)
+
+let quick name f = Alcotest.test_case name `Quick f
+let prop p = QCheck_alcotest.to_alcotest p
+
+let suite =
+  [
+    ( "offline.static",
+      [
+        quick "covers a small mix" test_static_covers_small_mix;
+        quick "skips unprofitable colors" test_static_skips_unprofitable_colors;
+        quick "multiple servers for a hot color" test_static_allocates_multiple_to_hot_color;
+        prop prop_static_valid_and_bounded;
+        prop prop_static_never_reconfigures_twice;
+      ] );
+  ]

@@ -1,0 +1,200 @@
+(* Tests for the companion-problem extension: weighted drop costs,
+   weighted brute force, and the Landlord policy. *)
+
+module Instance = Rrs_sim.Instance
+module Ledger = Rrs_sim.Ledger
+module Weighted = Rrs_uniform.Weighted
+module Landlord = Rrs_uniform.Landlord
+module H = Test_helpers
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let make_weighted ~delta ~bound ~drop_costs arrivals =
+  let instance =
+    Instance.make ~delta ~bounds:(Array.make (Array.length drop_costs) bound)
+      ~arrivals ()
+  in
+  match Weighted.make ~instance ~drop_costs with
+  | Ok w -> w
+  | Error e -> Alcotest.fail e
+
+let test_make_validation () =
+  let uniform = Instance.make ~delta:2 ~bounds:[| 4; 4 |] ~arrivals:[] () in
+  let mixed = Instance.make ~delta:2 ~bounds:[| 4; 8 |] ~arrivals:[] () in
+  check_bool "uniform accepted" true
+    (Result.is_ok (Weighted.make ~instance:uniform ~drop_costs:[| 1; 5 |]));
+  check_bool "mixed bounds rejected" true
+    (Result.is_error (Weighted.make ~instance:mixed ~drop_costs:[| 1; 5 |]));
+  check_bool "wrong cost count rejected" true
+    (Result.is_error (Weighted.make ~instance:uniform ~drop_costs:[| 1 |]));
+  check_bool "zero cost rejected" true
+    (Result.is_error (Weighted.make ~instance:uniform ~drop_costs:[| 1; 0 |]))
+
+let test_weighted_cost_of_events () =
+  let w =
+    make_weighted ~delta:3 ~bound:4 ~drop_costs:[| 1; 10 |]
+      [ (0, [ (0, 1); (1, 1) ]) ]
+  in
+  let events =
+    [
+      Ledger.Reconfig { round = 0; mini_round = 0; location = 0; previous = None; next = 0 };
+      Ledger.Drop { round = 4; color = 0; count = 2 };
+      Ledger.Drop { round = 4; color = 1; count = 3 };
+      Ledger.Execute { round = 1; mini_round = 0; location = 0; color = 0; deadline = 4 };
+    ]
+  in
+  (* 3 (reconfig) + 2*1 + 3*10 = 35 *)
+  check "weighted cost" 35 (Weighted.cost_of_events w events)
+
+let test_weighted_lower_bound () =
+  (* color 0: 2 jobs at cost 1 -> min(5, 2) = 2; color 1: 1 job at cost
+     10 -> min(5, 10) = 5. *)
+  let w =
+    make_weighted ~delta:5 ~bound:4 ~drop_costs:[| 1; 10 |]
+      [ (0, [ (0, 2); (1, 1) ]) ]
+  in
+  check "lower bound" 7 (Weighted.lower_bound w)
+
+let test_weighted_opt () =
+  (* One job of cost 10, delta 5: configuring (5) beats dropping (10). *)
+  let expensive =
+    make_weighted ~delta:5 ~bound:4 ~drop_costs:[| 10 |] [ (0, [ (0, 1) ]) ]
+  in
+  check "opt configures" 5 (Option.get (Weighted.opt_cost ~m:1 expensive));
+  (* Same job at cost 3: dropping wins. *)
+  let cheap =
+    make_weighted ~delta:5 ~bound:4 ~drop_costs:[| 3 |] [ (0, [ (0, 1) ]) ]
+  in
+  check "opt drops" 3 (Option.get (Weighted.opt_cost ~m:1 cheap));
+  (* Two colors, one resource: serve the expensive one. color 0 has 2
+     jobs at cost 1 (drop: 2), color 1 has 2 jobs at cost 9 (drop: 18,
+     serve: delta 4). OPT = 4 + 2. *)
+  let contested =
+    make_weighted ~delta:4 ~bound:2 ~drop_costs:[| 1; 9 |]
+      [ (0, [ (0, 2); (1, 2) ]) ]
+  in
+  check "opt serves the precious color" 6
+    (Option.get (Weighted.opt_cost ~m:1 contested))
+
+let prop_weighted_lb_below_opt =
+  QCheck2.Test.make ~name:"weighted: lower bound <= weighted OPT" ~count:40
+    QCheck2.Gen.(
+      let* seed = int_bound 10_000 in
+      let* delta = int_range 1 4 in
+      let* precious_cost = int_range 2 12 in
+      return
+        (Rrs_uniform.Weighted_workloads.tiered ~seed ~colors:3 ~delta ~bound:2
+           ~horizon:8 ~load:0.8 ~precious:1 ~precious_cost ()))
+    (fun w ->
+      match Weighted.opt_cost ~max_states:400_000 ~m:1 w with
+      | None -> QCheck2.assume_fail ()
+      | Some opt -> Weighted.lower_bound w <= opt)
+
+let test_landlord_prefers_precious () =
+  (* One precious sparse color (cost 100) + cheap frequent colors, few
+     resources. Weight-blind ΔLRU-EDF ignores the precious color until
+     its unit counter wraps; Landlord admits it after one arrival. *)
+  let w =
+    Rrs_uniform.Weighted_workloads.tiered ~seed:3 ~colors:6 ~delta:8 ~bound:8
+      ~horizon:512 ~load:0.5 ~precious:1 ~precious_cost:100 ()
+  in
+  let landlord =
+    Weighted.run_policy ~n:16 ~policy:(Landlord.policy ~drop_costs:w.drop_costs) w
+  in
+  let blind = Weighted.run_policy ~n:16 ~policy:(module Rrs_core.Policy_lru_edf) w in
+  check_bool
+    (Printf.sprintf "landlord (%d) well below weight-blind dlru-edf (%d)" landlord
+       blind)
+    true
+    (2 * landlord < blind)
+
+let prop_landlord_valid =
+  QCheck2.Test.make ~name:"landlord: valid schedules, cache within capacity"
+    ~count:30
+    QCheck2.Gen.(
+      let* seed = int_bound 10_000 in
+      let* precious_cost = int_range 2 50 in
+      return
+        (Rrs_uniform.Weighted_workloads.tiered ~seed ~colors:8 ~delta:4 ~bound:4
+           ~horizon:64 ~load:0.8 ~precious:2 ~precious_cost ()))
+    (fun w ->
+      let module P = (val Landlord.policy ~drop_costs:w.Weighted.drop_costs) in
+      let module S = H.Spy (P) in
+      S.expected_copies := 2;
+      let result, _ =
+        H.run_validated ~n:8 ~policy:(module S) w.Weighted.instance
+      in
+      H.stat result.stats "spy_max_distinct" <= 4
+      && H.stat result.stats "spy_replication_violations" = 0)
+
+let prop_weighted_policies_above_opt =
+  QCheck2.Test.make ~name:"weighted: every policy costs >= weighted OPT at equal m"
+    ~count:20
+    QCheck2.Gen.(
+      let* seed = int_bound 10_000 in
+      return
+        (Rrs_uniform.Weighted_workloads.tiered ~seed ~colors:3 ~delta:2 ~bound:2
+           ~horizon:8 ~load:0.8 ~precious:1 ~precious_cost:6 ()))
+    (fun w ->
+      match Weighted.opt_cost ~max_states:400_000 ~m:2 w with
+      | None -> QCheck2.assume_fail ()
+      | Some opt ->
+          Weighted.run_policy ~n:2
+            ~policy:(Landlord.policy ~drop_costs:w.Weighted.drop_costs)
+            w
+          >= opt
+          && Weighted.run_policy ~n:2 ~policy:(module Rrs_core.Policy_lru_edf) w
+             >= opt)
+
+let test_weighted_trace_roundtrip () =
+  let w =
+    Rrs_uniform.Weighted_workloads.tiered ~seed:8 ~colors:4 ~delta:3 ~bound:4
+      ~horizon:32 ~load:0.7 ~precious:1 ~precious_cost:25 ()
+  in
+  match Rrs_uniform.Weighted_trace.of_string (Rrs_uniform.Weighted_trace.to_string w) with
+  | Error e -> Alcotest.fail e
+  | Ok back ->
+      Alcotest.(check (array int)) "costs preserved" w.drop_costs back.drop_costs;
+      check "jobs preserved"
+        (Instance.total_jobs w.instance)
+        (Instance.total_jobs back.instance)
+
+let test_weighted_trace_defaults () =
+  (* A plain trace without dropcosts parses with unit costs. *)
+  let text = "rrs-trace v1\ndelta 2\nbounds 4 4\narrival 0 0:1\nend\n" in
+  match Rrs_uniform.Weighted_trace.of_string text with
+  | Error e -> Alcotest.fail e
+  | Ok w -> Alcotest.(check (array int)) "unit costs" [| 1; 1 |] w.drop_costs
+
+let test_weighted_trace_errors () =
+  let bad = "rrs-trace v1\ndelta 2\nbounds 4 4\ndropcosts 1 x\nend\n" in
+  check_bool "bad dropcosts rejected" true
+    (Result.is_error (Rrs_uniform.Weighted_trace.of_string bad));
+  let mismatched = "rrs-trace v1\ndelta 2\nbounds 4 4\ndropcosts 1\nend\n" in
+  check_bool "cost-count mismatch rejected" true
+    (Result.is_error (Rrs_uniform.Weighted_trace.of_string mismatched))
+
+let quick name f = Alcotest.test_case name `Quick f
+let prop p = QCheck_alcotest.to_alcotest p
+
+let suite =
+  [
+    ( "uniform.weighted",
+      [
+        quick "make validation" test_make_validation;
+        quick "weighted event costs" test_weighted_cost_of_events;
+        quick "weighted lower bound" test_weighted_lower_bound;
+        quick "weighted brute-force optimum" test_weighted_opt;
+        quick "weighted trace roundtrip" test_weighted_trace_roundtrip;
+        quick "weighted trace defaults" test_weighted_trace_defaults;
+        quick "weighted trace errors" test_weighted_trace_errors;
+        prop prop_weighted_lb_below_opt;
+        prop prop_weighted_policies_above_opt;
+      ] );
+    ( "uniform.landlord",
+      [
+        quick "prefers the precious color" test_landlord_prefers_precious;
+        prop prop_landlord_valid;
+      ] );
+  ]
