@@ -8,15 +8,59 @@ module Ledger = Rrs_sim.Ledger
 module Experiment = Rrs_stats.Experiment
 module Summary = Rrs_stats.Summary
 module Table = Rrs_stats.Table
+module Bench_io = Rrs_stats.Bench_io
 module Adversary = Rrs_workload.Adversary
 module Random_workloads = Rrs_workload.Random_workloads
 module Instrument = Rrs_core.Instrument
 
+(* When set, every experiment and engine run is also recorded into the
+   machine-readable BENCH_*.json collector (see Bench_io). *)
+let bench : Bench_io.t option ref = ref None
+
 let section id claim =
+  Option.iter (fun b -> Bench_io.start_experiment b ~id ~claim) !bench;
   Format.printf "@.---- %s: %s ----@." id claim
 
+(* Run one policy under the engine, recording cost breakdown, wall clock
+   and minor-heap allocation into the collector. *)
+let recorded_run ?speed ~n ~policy instance =
+  let module P = (val policy : Rrs_sim.Policy.POLICY) in
+  let minor0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  let result = Engine.run ?speed ~record_events:false ~n ~policy instance in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let minor_words = Gc.minor_words () -. minor0 in
+  Option.iter
+    (fun b ->
+      Bench_io.record b ~policy:P.name ~workload:instance.Instance.name ~n
+        ~delta:instance.Instance.delta
+        ~cost:(Ledger.total_cost result.Engine.ledger)
+        ~reconfig_count:(Ledger.reconfig_count result.Engine.ledger)
+        ~drop_count:(Ledger.drop_count result.Engine.ledger)
+        ~exec_count:(Ledger.exec_count result.Engine.ledger)
+        ~wall_s ~minor_words ())
+    !bench;
+  result
+
 let policy_cost ~n policy instance =
-  Engine.cost ~n ~policy instance
+  Ledger.total_cost (recorded_run ~n ~policy instance).Engine.ledger
+
+(* Experiment.run_policy with the same recording side channel. *)
+let recorded_row ?speed ~n ~reference ~policy instance =
+  let module P = (val policy : Rrs_sim.Policy.POLICY) in
+  let minor0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  let row = Experiment.run_policy ?speed ~n ~reference ~policy instance in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let minor_words = Gc.minor_words () -. minor0 in
+  Option.iter
+    (fun b ->
+      Bench_io.record b ~policy:row.Experiment.algorithm
+        ~workload:instance.Instance.name ~n ~delta:instance.Instance.delta
+        ~cost:row.Experiment.cost ~reconfig_count:row.Experiment.reconfig_count
+        ~drop_count:row.Experiment.drop_count ~wall_s ~minor_words ())
+    !bench;
+  row
 
 let ratio cost denominator = float_of_int cost /. float_of_int (max denominator 1)
 
@@ -70,8 +114,7 @@ let e2 () =
     (fun k ->
       let adv = Adversary.edf_killer ~n ~delta ~j ~k in
       let edf_run =
-        Engine.run ~record_events:false ~n ~policy:(module Rrs_core.Policy_edf)
-          adv.instance
+        recorded_run ~n ~policy:(module Rrs_core.Policy_edf) adv.instance
       in
       let edf = Ledger.total_cost edf_run.ledger in
       let dlru_edf = policy_cost ~n (module Rrs_core.Policy_lru_edf) adv.instance in
@@ -234,10 +277,9 @@ let e6 () =
         (fun seed ->
           let instance = rate_limited_batch ~seed ~load in
           let result =
-            Engine.run ~record_events:false ~n
-              ~policy:(module Rrs_core.Policy_lru_edf) instance
+            recorded_run ~n ~policy:(module Rrs_core.Policy_lru_edf) instance
           in
-          let eligible = Instrument.eligible_drops result.stats in
+          let eligible = Instrument.eligible_drops result.Engine.stats in
           let par = Rrs_core.Par_edf.drop_cost ~m instance in
           Table.add_row table
             [
@@ -279,8 +321,7 @@ let e7 () =
     (fun (name, instance) ->
       let delta = instance.Instance.delta in
       let result =
-        Engine.run ~record_events:false ~n ~policy:(module Rrs_core.Policy_lru_edf)
-          instance
+        recorded_run ~n ~policy:(module Rrs_core.Policy_lru_edf) instance
       in
       Table.add_row table
         [
@@ -311,8 +352,22 @@ let e8 () =
           (fun seed ->
             let instance = rate_limited_batch ~seed ~load:0.9 in
             let reference = Experiment.reference ~m instance in
+            let minor0 = Gc.minor_words () in
+            let t0 = Unix.gettimeofday () in
             match Experiment.run_solver ~n:(factor * m) ~reference instance with
-            | Ok row -> Some row
+            | Ok row ->
+                Option.iter
+                  (fun b ->
+                    Bench_io.record b ~policy:row.Experiment.algorithm
+                      ~workload:instance.Instance.name ~n:(factor * m)
+                      ~delta:instance.Instance.delta ~cost:row.Experiment.cost
+                      ~reconfig_count:row.Experiment.reconfig_count
+                      ~drop_count:row.Experiment.drop_count
+                      ~wall_s:(Unix.gettimeofday () -. t0)
+                      ~minor_words:(Gc.minor_words () -. minor0)
+                      ())
+                  !bench;
+                Some row
             | Error _ -> None)
           seeds
       in
@@ -347,7 +402,7 @@ let e9 () =
     (fun n ->
       List.iter
         (fun (name, policy) ->
-          let row = Experiment.run_policy ~n ~reference ~policy instance in
+          let row = recorded_row ~n ~reference ~policy instance in
           Table.add_row table
             [
               Table.cell_int n;
@@ -383,7 +438,7 @@ let e10 () =
       let reference = Experiment.reference ~m:2 instance in
       List.iter
         (fun (name, policy) ->
-          let row = Experiment.run_policy ~n:16 ~reference ~policy instance in
+          let row = recorded_row ~n:16 ~reference ~policy instance in
           let reconfig_cost = instance.Instance.delta * row.reconfig_count in
           let pct part = 100.0 *. float_of_int part /. float_of_int (max row.cost 1) in
           Table.add_row table
@@ -490,10 +545,10 @@ let e13 () =
       List.iter
         (fun m ->
           let ds =
-            Engine.run ~speed:2 ~record_events:false ~n:m
-              ~policy:(module Rrs_core.Seq_edf) instance
+            recorded_run ~speed:2 ~n:m ~policy:(module Rrs_core.Seq_edf)
+              instance
           in
-          let ds_drops = Ledger.drop_count ds.ledger in
+          let ds_drops = Ledger.drop_count ds.Engine.ledger in
           let par = Rrs_core.Par_edf.drop_cost ~m instance in
           Table.add_row table
             [
@@ -545,7 +600,7 @@ let e14 () =
       let cells =
         List.concat_map
           (fun (_, instance, off) ->
-            let cost = Engine.cost ~n ~policy instance in
+            let cost = policy_cost ~n policy instance in
             [ Table.cell_int cost; Table.cell_ratio (ratio cost off) ])
           workloads
       in
@@ -613,11 +668,18 @@ let e15 () =
       match Rrs_offline.Static_offline.run ~m:n instance with
       | Error message -> Format.printf "E15 static failed: %s@." message
       | Ok static ->
+          Option.iter
+            (fun b ->
+              Bench_io.record b ~policy:"static-offline"
+                ~workload:instance.Instance.name ~n
+                ~delta:instance.Instance.delta ~cost:static.Rrs_offline.Static_offline.cost
+                ~reconfig_count:(Rrs_sim.Schedule.reconfig_count static.schedule)
+                ~drop_count:(Rrs_sim.Schedule.drop_count static.schedule) ())
+            !bench;
           let dynamic =
-            Engine.run ~record_events:false ~n
-              ~policy:(module Rrs_core.Policy_lru_edf) instance
+            recorded_run ~n ~policy:(module Rrs_core.Policy_lru_edf) instance
           in
-          let dynamic_cost = Ledger.total_cost dynamic.ledger in
+          let dynamic_cost = Ledger.total_cost dynamic.Engine.ledger in
           Table.add_row table
             [
               name;
@@ -666,7 +728,11 @@ let e16 () =
     [ 1; 10; 100; 1000 ];
   Table.print table
 
-let run_all () =
+(* [run_all ?json ()] regenerates every claim table; with [json] set, the
+   same results are also serialized to that path as a BENCH_*.json
+   document (schema: Bench_io.schema_version). *)
+let run_all ?json () =
+  bench := Option.map (fun path -> Bench_io.create ~tag:(Bench_io.tag_of_path path)) json;
   e1 ();
   e2 ();
   e3 ();
@@ -681,4 +747,10 @@ let run_all () =
   e13 ();
   e14 ();
   e15 ();
-  e16 ()
+  e16 ();
+  (match (!bench, json) with
+  | Some b, Some path ->
+      Bench_io.write b ~path;
+      Format.printf "@.wrote %s@." path
+  | _ -> ());
+  bench := None

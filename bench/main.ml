@@ -5,22 +5,46 @@
    E11 bechamel throughput microbenches.
 
    Usage:
-     dune exec bench/main.exe            # everything
-     dune exec bench/main.exe -- tables  # only the claim tables
-     dune exec bench/main.exe -- micro   # only the microbenches *)
+     dune exec bench/main.exe                      # everything
+     dune exec bench/main.exe -- tables            # only the claim tables
+     dune exec bench/main.exe -- micro             # only the microbenches
+     dune exec bench/main.exe -- sweep             # multicore sweep grid
+     dune exec bench/main.exe -- tables --json F   # tables + BENCH json
+
+   --json FILE serializes the results of the selected mode to FILE using
+   the versioned rrs-bench schema (see Rrs_stats.Bench_io); diagnostics
+   go to stderr so stdout stays clean for redirection. *)
+
+let usage = "all | tables | micro | sweep [--json FILE]"
 
 let () =
-  let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let args = Array.to_list Sys.argv |> List.tl in
+  let rec parse mode json = function
+    | [] -> (mode, json)
+    | "--json" :: path :: rest -> parse mode (Some path) rest
+    | "--json" :: [] ->
+        Format.eprintf "--json requires a file argument (usage: %s)@." usage;
+        exit 1
+    | arg :: rest when mode = None -> parse (Some arg) json rest
+    | arg :: _ ->
+        Format.eprintf "unexpected argument %S (usage: %s)@." arg usage;
+        exit 1
+  in
+  let mode, json = parse None None args in
+  let mode = Option.value mode ~default:"all" in
   Format.printf
     "Reconfigurable Resource Scheduling with Variable Delay Bounds — experiment \
      harness@.";
   (match mode with
-  | "tables" -> Experiments.run_all ()
+  | "tables" -> Experiments.run_all ?json ()
   | "micro" -> Micro.run ()
+  | "sweep" -> Sweep_bench.run ?json ()
   | "all" ->
-      Experiments.run_all ();
+      Experiments.run_all ?json ();
       Micro.run ()
   | other ->
-      Format.printf "unknown mode %S (expected: all | tables | micro)@." other;
+      (* Keep stdout parseable (e.g. under --json wrappers): diagnostics
+         belong on stderr. *)
+      Format.eprintf "unknown mode %S (expected: %s)@." other usage;
       exit 1);
   Format.printf "@.done.@."

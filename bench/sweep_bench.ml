@@ -1,0 +1,115 @@
+(* Multicore sweep benchmark: a 64-run (policy x workload x n) grid fanned
+   across domains by Rrs_sim.Sweep.
+
+   The same grid is executed sequentially (1 domain) and in parallel
+   (default: the runtime's recommended domain count, at least 4 when the
+   hardware offers it), the per-run ledger totals are checked identical,
+   and both wall clocks are reported. On a multicore host the parallel
+   pass is expected to be >= 2x faster at 4 domains; on a single core it
+   degrades to the sequential time plus negligible spawn overhead. *)
+
+module Sweep = Rrs_sim.Sweep
+module Instance = Rrs_sim.Instance
+module Table = Rrs_stats.Table
+module Bench_io = Rrs_stats.Bench_io
+
+let policies : (string * (module Rrs_sim.Policy.POLICY)) list =
+  [
+    ("dlru", (module Rrs_core.Policy_lru));
+    ("edf", (module Rrs_core.Policy_edf));
+    ("dlru-edf", (module Rrs_core.Policy_lru_edf));
+    ("dlru-2", (module Rrs_core.Policy_lru_k));
+  ]
+
+(* 4 policies x 4 loads x 4 seeds = 64 runs. Seeds are derived from the
+   (load, seed) grid position, so the task list — and with it every
+   per-run ledger total — is deterministic. *)
+let grid ~n =
+  let loads = [ 0.3; 0.6; 0.9; 1.2 ] in
+  let seeds = [ 1; 2; 3; 4 ] in
+  List.concat_map
+    (fun (name, policy) ->
+      List.concat_map
+        (fun load ->
+          List.map
+            (fun seed ->
+              let instance =
+                Rrs_workload.Random_workloads.uniform ~seed ~colors:24 ~delta:4
+                  ~bound_log_range:(0, 5) ~horizon:512 ~load ~rate_limited:true
+                  ()
+              in
+              Sweep.task
+                ~key:
+                  (Printf.sprintf "%s/load=%.1f/seed=%d/n=%d" name load seed n)
+                ~policy ~n instance)
+            seeds)
+        loads)
+    policies
+
+let total_cost outcomes =
+  List.fold_left (fun acc (o : Sweep.outcome) -> acc + o.cost) 0 outcomes
+
+let run ?json () =
+  Format.printf "@.---- sweep: %d-run grid, sequential vs parallel ----@."
+    (List.length (grid ~n:16));
+  let tasks = grid ~n:16 in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let result = f () in
+    (result, Unix.gettimeofday () -. t0)
+  in
+  let sequential, seq_wall = time (fun () -> Sweep.run ~domains:1 tasks) in
+  let domains = max 4 (Sweep.default_domains ()) in
+  let parallel, par_wall = time (fun () -> Sweep.run ~domains tasks) in
+  let identical =
+    List.for_all2
+      (fun (a : Sweep.outcome) (b : Sweep.outcome) ->
+        a.key = b.key && a.cost = b.cost
+        && a.reconfig_count = b.reconfig_count
+        && a.drop_count = b.drop_count
+        && a.exec_count = b.exec_count)
+      sequential parallel
+  in
+  let table =
+    Table.create ~title:"sweep: 64-run grid (n=16, uniform rate-limited)"
+      ~columns:[ "mode"; "domains"; "wall (s)"; "total cost"; "ledgers match" ]
+  in
+  Table.add_row table
+    [
+      "sequential"; "1";
+      Printf.sprintf "%.3f" seq_wall;
+      Table.cell_int (total_cost sequential);
+      "-";
+    ];
+  Table.add_row table
+    [
+      "parallel";
+      Table.cell_int domains;
+      Printf.sprintf "%.3f" par_wall;
+      Table.cell_int (total_cost parallel);
+      (if identical then "yes" else "MISMATCH");
+    ];
+  Table.print table;
+  Format.printf "speedup: %.2fx (%d domains; single-core hosts report ~1x)@."
+    (seq_wall /. Float.max par_wall 1e-9)
+    domains;
+  if not identical then begin
+    Format.eprintf "sweep: parallel ledgers diverge from sequential@.";
+    exit 1
+  end;
+  match json with
+  | None -> ()
+  | Some path ->
+      let b = Bench_io.create ~tag:(Bench_io.tag_of_path path) in
+      Bench_io.start_experiment b ~id:"sweep"
+        ~claim:
+          (Printf.sprintf
+             "64-run grid: sequential %.3fs vs parallel %.3fs on %d domains"
+             seq_wall par_wall domains);
+      List.iter
+        (fun (o : Sweep.outcome) ->
+          let policy = List.hd (String.split_on_char '/' o.key) in
+          Bench_io.record_outcome b ~workload:o.key ~policy o)
+        parallel;
+      Bench_io.write b ~path;
+      Format.printf "wrote %s@." path

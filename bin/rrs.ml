@@ -237,17 +237,47 @@ let sweep_cmd =
       & opt (list int) [ 1; 2; 4; 8; 16 ]
       & info [ "factors" ] ~docv:"LIST" ~doc:"Augmentation factors n/m.")
   in
-  let run source m factors csv =
+  let json =
+    Arg.(
+      value & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Also write the sweep as a versioned BENCH json document to \
+             $(docv) (schema rrs-bench/1; see EXPERIMENTS.md).")
+  in
+  let run source m factors csv json =
     let instance = or_die (load_source source) in
     let table =
       Rrs_stats.Table.create
         ~title:(Printf.sprintf "augmentation sweep (m=%d)" m)
         ~columns:[ "n/m"; "n"; "cost"; "reconfig"; "drops"; "ratio" ]
     in
+    let bench =
+      Option.map
+        (fun path ->
+          let b =
+            Rrs_stats.Bench_io.create
+              ~tag:(Rrs_stats.Bench_io.tag_of_path path)
+          in
+          Rrs_stats.Bench_io.start_experiment b ~id:"sweep"
+            ~claim:
+              (Printf.sprintf "augmentation sweep of %s (m=%d)"
+                 instance.Rrs_sim.Instance.name m);
+          (b, path))
+        json
+    in
     List.iter
       (fun (factor, result) ->
         match result with
         | Ok (row : Rrs_stats.Experiment.row) ->
+            Option.iter
+              (fun (b, _) ->
+                Rrs_stats.Bench_io.record b ~policy:row.algorithm
+                  ~workload:instance.Rrs_sim.Instance.name ~n:row.n
+                  ~delta:instance.Rrs_sim.Instance.delta ~cost:row.cost
+                  ~reconfig_count:row.reconfig_count
+                  ~drop_count:row.drop_count ())
+              bench;
             Rrs_stats.Table.add_row table
               [
                 Rrs_stats.Table.cell_int factor;
@@ -262,11 +292,16 @@ let sweep_cmd =
               [ Rrs_stats.Table.cell_int factor; "-"; "-"; "-"; "-"; message ])
       (Rrs_stats.Experiment.sweep_augmentation ~m ~factors instance);
     if csv then print_string (Rrs_stats.Table.to_csv table)
-    else Rrs_stats.Table.print table
+    else Rrs_stats.Table.print table;
+    Option.iter
+      (fun (b, path) ->
+        Rrs_stats.Bench_io.write b ~path;
+        Format.eprintf "wrote %s@." path)
+      bench
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Solver cost across resource-augmentation factors.")
-    Term.(const run $ source_arg $ m_arg $ factors $ csv_arg)
+    Term.(const run $ source_arg $ m_arg $ factors $ csv_arg $ json)
 
 (* ---- validate ---- *)
 

@@ -1,4 +1,4 @@
-let place ~n ~copies ~current ~want =
+let place ?into ~n ~copies ~current ~want () =
   if copies < 1 then invalid_arg "Cache_layout.place: copies must be >= 1";
   let needed = Hashtbl.create 16 in
   List.iter
@@ -11,7 +11,14 @@ let place ~n ~copies ~current ~want =
     invalid_arg
       (Printf.sprintf "Cache_layout.place: %d copies of %d colors exceed %d locations"
          copies (List.length want) n);
-  let target = Array.make n None in
+  let target =
+    match into with
+    | Some buffer when Array.length buffer = n ->
+        Array.fill buffer 0 n None;
+        buffer
+    | Some _ -> invalid_arg "Cache_layout.place: into buffer has wrong length"
+    | None -> Array.make n None
+  in
   (* Keep existing placements of wanted colors. *)
   for location = 0 to n - 1 do
     match current.(location) with

@@ -6,18 +6,26 @@
     copy. Each wanted color is cached in [copies] locations (Section 3.1
     replicates every cached color in two locations; Seq-EDF uses one). *)
 
-(** [place ~n ~copies ~current ~want] is a target assignment of length [n]
-    in which every color of [want] occupies exactly [copies] locations and
-    all other locations are inactive ([None]).
+(** [place ~n ~copies ~current ~want ()] is a target assignment of length
+    [n] in which every color of [want] occupies exactly [copies] locations
+    and all other locations are inactive ([None]).
 
     Locations already holding a wanted color are kept (up to [copies]);
     missing copies go to the lowest-index locations not otherwise used.
 
-    @raise Invalid_argument if [want] has duplicates or
-    [copies * |want| > n]. *)
+    [into] is an optional reusable buffer of length [n]: it is cleared,
+    filled and returned instead of allocating a fresh array. Policies pass
+    their own scratch buffer here so the per-mini-round target costs no
+    allocation; the engine never retains the returned array across
+    mini-rounds, so reuse is safe.
+
+    @raise Invalid_argument if [want] has duplicates, [copies * |want| > n],
+    or [into] has a length other than [n]. *)
 val place :
+  ?into:Rrs_sim.Types.color option array ->
   n:int ->
   copies:int ->
   current:Rrs_sim.Types.color option array ->
   want:Rrs_sim.Types.color list ->
+  unit ->
   Rrs_sim.Types.color option array

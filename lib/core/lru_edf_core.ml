@@ -13,6 +13,7 @@ end) : Rrs_sim.Policy.POLICY = struct
     state : Color_state.t;
     lru_half : (Types.color, unit) Hashtbl.t;
     edf_half : (Types.color, unit) Hashtbl.t;
+    target : Types.color option array; (* reusable reconfigure buffer *)
     mutable evictions : int;
     mutable lru_promotions : int;
   }
@@ -33,6 +34,7 @@ end) : Rrs_sim.Policy.POLICY = struct
       state = Color_state.create ~record_timestamp_events:true ~delta ~bounds ();
       lru_half = Hashtbl.create 16;
       edf_half = Hashtbl.create 16;
+      target = Array.make n None;
       evictions = 0;
       lru_promotions = 0;
     }
@@ -92,7 +94,8 @@ end) : Rrs_sim.Policy.POLICY = struct
     let want =
       lru @ Hashtbl.fold (fun color () acc -> color :: acc) t.edf_half []
     in
-    Cache_layout.place ~n:t.n ~copies:2 ~current:view.assignment ~want
+    Cache_layout.place ~into:t.target ~n:t.n ~copies:2 ~current:view.assignment
+      ~want ()
 
   let stats t =
     (* Super-epochs (Section 3.4) with the Theorem 1 watermark 2m = n/4

@@ -15,6 +15,7 @@ type t = {
   n : int;
   state : Color_state.t;
   cached : (Types.color, unit) Hashtbl.t;
+  target : Types.color option array; (* reusable reconfigure buffer *)
   mutable evictions : int;
 }
 
@@ -25,6 +26,7 @@ let create ~n ~delta ~bounds =
     n;
     state = Color_state.create ~delta ~bounds ();
     cached = Hashtbl.create 16;
+    target = Array.make n None;
     evictions = 0;
   }
 
@@ -61,7 +63,8 @@ let reconfigure t (view : Rrs_sim.Policy.view) =
       end)
     top;
   let want = Hashtbl.fold (fun color () acc -> color :: acc) t.cached [] in
-  Cache_layout.place ~n:t.n ~copies:2 ~current:view.assignment ~want
+  Cache_layout.place ~into:t.target ~n:t.n ~copies:2 ~current:view.assignment
+    ~want ()
 
 let stats t =
   ("cached", Hashtbl.length t.cached)

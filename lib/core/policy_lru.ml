@@ -13,12 +13,18 @@ type t = {
   n : int;
   state : Color_state.t;
   cached : (Types.color, unit) Hashtbl.t;
+  target : Types.color option array; (* reusable reconfigure buffer *)
 }
 
 let name = "dlru"
 
 let create ~n ~delta ~bounds =
-  { n; state = Color_state.create ~delta ~bounds (); cached = Hashtbl.create 16 }
+  {
+    n;
+    state = Color_state.create ~delta ~bounds ();
+    cached = Hashtbl.create 16;
+    target = Array.make n None;
+  }
 
 let on_drop t ~round ~dropped =
   Color_state.on_drop t.state ~round ~dropped ~in_cache:(Hashtbl.mem t.cached)
@@ -35,6 +41,7 @@ let reconfigure t (view : Rrs_sim.Policy.view) =
   in
   Hashtbl.reset t.cached;
   List.iter (fun color -> Hashtbl.replace t.cached color ()) want;
-  Cache_layout.place ~n:t.n ~copies:2 ~current:view.assignment ~want
+  Cache_layout.place ~into:t.target ~n:t.n ~copies:2 ~current:view.assignment
+    ~want ()
 
 let stats t = ("cached", Hashtbl.length t.cached) :: Color_state.stats t.state

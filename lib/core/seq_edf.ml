@@ -21,6 +21,7 @@ type t = {
   num_colors : int;
   state : Color_state.t; (* deadlines update at boundaries for all colors *)
   cached : (Types.color, unit) Hashtbl.t;
+  target : Types.color option array; (* reusable reconfigure buffer *)
   mutable evictions : int;
 }
 
@@ -32,6 +33,7 @@ let create ~n ~delta ~bounds =
     num_colors = Array.length bounds;
     state = Color_state.create ~delta ~bounds ();
     cached = Hashtbl.create 16;
+    target = Array.make n None;
     evictions = 0;
   }
 
@@ -72,7 +74,8 @@ let reconfigure t (view : Rrs_sim.Policy.view) =
       end)
     top;
   let want = Hashtbl.fold (fun color () acc -> color :: acc) t.cached [] in
-  Cache_layout.place ~n:t.n ~copies:1 ~current:view.assignment ~want
+  Cache_layout.place ~into:t.target ~n:t.n ~copies:1 ~current:view.assignment
+    ~want ()
 
 let stats t =
   ("cached", Hashtbl.length t.cached)

@@ -13,6 +13,12 @@ let now wheel = wheel.time
 let length wheel = wheel.count
 let capacity wheel = Array.length wheel.buckets
 
+(* Buckets hold immutable lists, so a shallow array copy gives two wheels
+   that share bucket spines but never observe each other's mutations
+   (every mutation replaces a whole bucket). *)
+let copy wheel =
+  { buckets = Array.copy wheel.buckets; time = wheel.time; count = wheel.count }
+
 (* Grow so that [time .. time + needed] fits without aliasing: rebuild the
    bucket array with at least double the span. *)
 let grow wheel needed =
@@ -46,18 +52,24 @@ let advance wheel ~time f =
   if time < wheel.time then
     invalid_arg
       (Printf.sprintf "Timing_wheel.advance: time %d is before now %d" time wheel.time);
-  while wheel.time < time do
+  (* Fast path: with nothing scheduled there is no slot to drain, so the
+     clock can jump straight to [time]. This also terminates the walk as
+     soon as the last pending value fires mid-advance. *)
+  while wheel.time < time && wheel.count > 0 do
     let slot = wheel.time mod capacity wheel in
-    let values = wheel.buckets.(slot) in
-    wheel.buckets.(slot) <- [];
-    let t = wheel.time in
-    List.iter
-      (fun v ->
-        wheel.count <- wheel.count - 1;
-        f t v)
-      (List.rev values);
+    (match wheel.buckets.(slot) with
+    | [] -> ()
+    | values ->
+        wheel.buckets.(slot) <- [];
+        let t = wheel.time in
+        List.iter
+          (fun v ->
+            wheel.count <- wheel.count - 1;
+            f t v)
+          (List.rev values));
     wheel.time <- wheel.time + 1
-  done
+  done;
+  if wheel.time < time then wheel.time <- time
 
 let pending_at wheel ~time =
   if time < wheel.time || time - wheel.time >= capacity wheel then []

@@ -20,6 +20,10 @@ val now : 'a t -> int
 (** Number of values currently scheduled. *)
 val length : 'a t -> int
 
+(** An independent wheel with the same clock and pending values. O(number
+    of buckets); the copy and the original never affect each other. *)
+val copy : 'a t -> 'a t
+
 (** [add wheel ~time value] schedules [value] at [time].
     @raise Invalid_argument if [time < now wheel]. *)
 val add : 'a t -> time:int -> 'a -> unit

@@ -48,10 +48,17 @@ let run ?(speed = 1) ?(record_events = true) ~n
         invalid_arg
           (Printf.sprintf "Engine.run: policy %s returned %d locations, expected %d"
              P.name (Array.length target) n);
+      let num_colors = Array.length bounds in
       for location = 0 to n - 1 do
         match target.(location) with
         | None -> () (* inactive this mini-round; physical color persists *)
         | Some next ->
+            if next < 0 || next >= num_colors then
+              invalid_arg
+                (Printf.sprintf
+                   "Engine.run: policy %s returned color %d at location %d \
+                    (round %d, mini-round %d); valid colors are 0..%d"
+                   P.name next location round mini_round (num_colors - 1));
             if assignment.(location) <> Some next then begin
               Ledger.record_reconfig ledger ~round ~mini_round ~location
                 ~previous:assignment.(location) ~next;

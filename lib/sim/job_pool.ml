@@ -42,17 +42,26 @@ let add t ~color ~deadline ~count =
   end
 
 let drop_expired t ~round =
-  let dropped = Hashtbl.create 8 in
+  (* Accumulate into a small assoc list instead of a hash table: most
+     rounds drop nothing (the wheel slot is empty and [advance] returns
+     immediately), so this path must not allocate in the common case. *)
+  let dropped = ref [] in
   Timing_wheel.advance t.wheel ~time:(round + 1) (fun time color ->
       let count = Counter_map.count t.by_color.(color) time in
       if count > 0 then begin
         t.by_color.(color) <- Counter_map.remove t.by_color.(color) time ~count;
         t.total <- t.total - count;
-        let current = try Hashtbl.find dropped color with Not_found -> 0 in
-        Hashtbl.replace dropped color (current + count)
+        let rec bump = function
+          | [] -> [ (color, count) ]
+          | (c, k) :: rest when c = color -> (c, k + count) :: rest
+          | pair :: rest -> pair :: bump rest
+        in
+        dropped := bump !dropped
       end);
-  Hashtbl.fold (fun color count acc -> (color, count) :: acc) dropped []
-  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  match !dropped with
+  | [] -> []
+  | [ _ ] as single -> single
+  | many -> List.sort (fun (a, _) (b, _) -> Int.compare a b) many
 
 let execute_one t ~color ~round =
   match Counter_map.remove_min t.by_color.(color) with
@@ -68,11 +77,13 @@ let execute_one t ~color ~round =
       Some deadline
 
 let copy t =
-  let fresh = create ~num_colors:(Array.length t.by_color) in
-  Array.iteri
-    (fun color multiset ->
-      List.iter
-        (fun (deadline, count) -> add fresh ~color ~deadline ~count)
-        (Counter_map.to_list multiset))
-    t.by_color;
-  fresh
+  (* Field-for-field copy: the counter maps are persistent (mutations
+     replace whole array slots) and [Timing_wheel.copy] preserves the
+     wheel's clock. Rebuilding via [add] into a fresh pool would reset the
+     expiry clock to 0, so the copy would accept already-expired deadlines
+     and re-walk every round from 0 on its next [drop_expired]. *)
+  {
+    by_color = Array.copy t.by_color;
+    total = t.total;
+    wheel = Timing_wheel.copy t.wheel;
+  }

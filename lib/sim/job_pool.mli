@@ -45,5 +45,8 @@ val drop_expired : t -> round:int -> (Types.color * int) list
     [<= round] (an expired job survived a drop phase — engine bug). *)
 val execute_one : t -> color:Types.color -> round:int -> int option
 
-(** Deep copy (used by what-if explorations in tests). *)
+(** Deep copy (used by what-if explorations in tests). The copy preserves
+    the pool's expiry clock: it rejects the same past deadlines as the
+    original and its next [drop_expired] resumes from the original's
+    round, not from 0. *)
 val copy : t -> t

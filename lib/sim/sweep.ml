@@ -1,0 +1,83 @@
+type task = {
+  key : string;
+  policy : (module Policy.POLICY);
+  n : int;
+  speed : int;
+  instance : Instance.t;
+}
+
+type outcome = {
+  key : string;
+  n : int;
+  delta : int;
+  cost : int;
+  reconfig_count : int;
+  drop_count : int;
+  exec_count : int;
+  wall_s : float;
+  stats : (string * int) list;
+}
+
+let task ?(speed = 1) ~key ~policy ~n instance =
+  { key; policy; n; speed; instance }
+
+let default_domains () = max 1 (Domain.recommended_domain_count ())
+
+let map ?(domains = default_domains ()) f items =
+  let len = Array.length items in
+  if len = 0 then [||]
+  else begin
+    let domains = max 1 (min domains len) in
+    let results = Array.make len None in
+    (* Striped assignment: worker [d] owns indices congruent to [d], so
+       every slot of [results] has exactly one writer and the merge is
+       just reading the array in index (= submission) order. *)
+    let work stripe () =
+      let i = ref stripe in
+      while !i < len do
+        results.(!i) <- Some (f items.(!i));
+        i := !i + domains
+      done
+    in
+    if domains = 1 then work 0 ()
+    else begin
+      let workers =
+        Array.init (domains - 1) (fun d -> Domain.spawn (work (d + 1)))
+      in
+      let main_error = try work 0 (); None with e -> Some e in
+      (* Join every worker before re-raising so no domain leaks. *)
+      let worker_error =
+        Array.fold_left
+          (fun acc worker ->
+            match (try Domain.join worker; None with e -> Some e) with
+            | None -> acc
+            | Some _ as error -> if acc = None then error else acc)
+          None workers
+      in
+      match main_error, worker_error with
+      | Some e, _ | None, Some e -> raise e
+      | None, None -> ()
+    end;
+    Array.map
+      (function Some r -> r | None -> failwith "Sweep.map: missing result")
+      results
+  end
+
+let run_task { key; policy; n; speed; instance } =
+  let t0 = Unix.gettimeofday () in
+  let result = Engine.run ~speed ~record_events:false ~n ~policy instance in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  {
+    key;
+    n;
+    delta = instance.Instance.delta;
+    cost = Ledger.total_cost result.ledger;
+    reconfig_count = Ledger.reconfig_count result.ledger;
+    drop_count = Ledger.drop_count result.ledger;
+    exec_count = Ledger.exec_count result.ledger;
+    wall_s;
+    stats = result.stats;
+  }
+
+let run ?domains tasks =
+  Array.to_list (map ?domains run_task (Array.of_list tasks))

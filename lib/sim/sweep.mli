@@ -1,0 +1,52 @@
+(** Multicore sweep runner: fan independent engine runs across domains.
+
+    A sweep is a grid of (policy x workload x n) tasks, each fully
+    self-contained: the task owns its instance (generated from an explicit
+    per-run seed by the caller) and a fresh policy/pool/ledger is built
+    inside the worker domain, so runs share no mutable state. Results are
+    merged back in submission order, which makes the output — including
+    every per-run ledger total — byte-identical whatever the domain
+    count. *)
+
+type task = {
+  key : string; (* stable identifier, e.g. "dlru-edf/uniform-0.9/seed=3/n=16" *)
+  policy : (module Policy.POLICY);
+  n : int;
+  speed : int;
+  instance : Instance.t;
+}
+
+type outcome = {
+  key : string;
+  n : int;
+  delta : int;
+  cost : int;
+  reconfig_count : int;
+  drop_count : int;
+  exec_count : int;
+  wall_s : float; (* per-run wall clock, the only nondeterministic field *)
+  stats : (string * int) list;
+}
+
+(** [task ?speed ~key ~policy ~n instance] packs one run. *)
+val task :
+  ?speed:int ->
+  key:string ->
+  policy:(module Policy.POLICY) ->
+  n:int ->
+  Instance.t ->
+  task
+
+(** The runtime's recommended domain count (at least 1). *)
+val default_domains : unit -> int
+
+(** [map ~domains f items] applies [f] to every element, striping items
+    across [domains] worker domains ([domains <= 1] runs sequentially in
+    the calling domain). The result array is in input order regardless of
+    completion order. [f] must not touch shared mutable state. An
+    exception in any worker is re-raised after all domains join. *)
+val map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+
+(** [run ~domains tasks] executes every task ([record_events] off) and
+    returns the outcomes in submission order. *)
+val run : ?domains:int -> task list -> outcome list

@@ -1,0 +1,69 @@
+(** Machine-readable benchmark output: serialize experiment results to a
+    versioned [BENCH_<tag>.json] file.
+
+    The schema (version {!schema_version}) is the contract between the
+    bench harness and trajectory-comparison tooling (CI, plotting):
+
+    {v
+    { "schema": "rrs-bench/1",
+      "tag": "<tag>",
+      "experiments": [
+        { "id": "E1", "claim": "...",
+          "wall_s": 0.01, "minor_words": 12345.0,
+          "runs": [
+            { "policy": "dlru-edf", "workload": "uniform-0.9", "n": 16,
+              "delta": 4, "cost": 123, "reconfig_count": 10,
+              "reconfig_cost": 40, "drop_count": 83,
+              "exec_count": 456,          // optional, -1 when unknown
+              "wall_s": 0.002,            // optional, 0 when not measured
+              "minor_words": 6789.0 } ] } ],
+      "totals": { "experiments": 16, "runs": 120, "wall_s": 1.23 } }
+    v}
+
+    [cost], [reconfig_count], [reconfig_cost] (= delta * reconfig_count)
+    and [drop_count] are deterministic for fixed seeds; [wall_s] and
+    [minor_words] are environment-dependent. Comparisons across commits
+    must key on (experiment id, run index) and the deterministic fields
+    only. *)
+
+type t
+
+val schema_version : string
+
+(** Derive a tag from an output path: ["results/BENCH_pr1.json"] ->
+    ["pr1"]; falls back to the basename without extension. *)
+val tag_of_path : string -> string
+
+val create : tag:string -> t
+
+(** Open a new experiment group; closes (and timestamps) the previous
+    one. Runs recorded before any [start_experiment] go to an implicit
+    ["adhoc"] group. *)
+val start_experiment : t -> id:string -> claim:string -> unit
+
+(** Record one run into the current experiment. [exec_count] defaults to
+    unknown; [wall_s]/[minor_words] to unmeasured. *)
+val record :
+  t ->
+  policy:string ->
+  workload:string ->
+  n:int ->
+  delta:int ->
+  cost:int ->
+  reconfig_count:int ->
+  drop_count:int ->
+  ?exec_count:int ->
+  ?wall_s:float ->
+  ?minor_words:float ->
+  unit ->
+  unit
+
+(** Record a sweep outcome (workload taken from the task key). *)
+val record_outcome : t -> workload:string -> policy:string ->
+  Rrs_sim.Sweep.outcome -> unit
+
+(** Close the current experiment and render the whole document. *)
+val to_string : t -> string
+
+(** [write t ~path] finalizes and writes the JSON document to [path]. *)
+val write : t -> path:string -> unit

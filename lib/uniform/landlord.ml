@@ -9,6 +9,7 @@ let policy ~drop_costs : (module Rrs_sim.Policy.POLICY) =
       demand : int array; (* weighted backlog accumulated while uncached *)
       credit : float array; (* Landlord credit of cached colors *)
       cached : (Types.color, unit) Hashtbl.t;
+      target : Types.color option array; (* reusable reconfigure buffer *)
       mutable faults : int;
       mutable evictions : int;
       mutable hits : int;
@@ -26,6 +27,7 @@ let policy ~drop_costs : (module Rrs_sim.Policy.POLICY) =
         demand = Array.make num_colors 0;
         credit = Array.make num_colors 0.0;
         cached = Hashtbl.create 16;
+        target = Array.make n None;
         faults = 0;
         evictions = 0;
         hits = 0;
@@ -97,7 +99,8 @@ let policy ~drop_costs : (module Rrs_sim.Policy.POLICY) =
           end)
         faulting;
       let want = Hashtbl.fold (fun color () acc -> color :: acc) t.cached [] in
-      Rrs_core.Cache_layout.place ~n:t.n ~copies:2 ~current:view.assignment ~want
+      Rrs_core.Cache_layout.place ~into:t.target ~n:t.n ~copies:2
+        ~current:view.assignment ~want ()
 
     let stats t =
       [

@@ -134,6 +134,48 @@ let test_wheel_growth () =
   Timing_wheel.advance w ~time:101 (fun t _ -> fired := t :: !fired);
   check_list "all fire in order" [ 0; 7; 100 ] (List.rev !fired)
 
+let test_wheel_grow_beyond_64 () =
+  (* The job pool's wheel uses a 64-slot horizon; adds past the current
+     window must grow and re-slot pending values at their absolute times,
+     including after a partial advance (so slot indices are offset). *)
+  let w = Timing_wheel.create ~horizon:64 () in
+  Timing_wheel.add w ~time:3 3;
+  Timing_wheel.advance w ~time:10 (fun _ _ -> ());
+  Timing_wheel.add w ~time:20 20;
+  Timing_wheel.add w ~time:73 73;
+  (* last slot of the 64-wide window *)
+  Timing_wheel.add w ~time:74 74;
+  (* first grow *)
+  Timing_wheel.add w ~time:300 300;
+  (* multiple doublings *)
+  let fired = ref [] in
+  Timing_wheel.advance w ~time:301 (fun t v -> fired := (t, v) :: !fired);
+  Alcotest.(check (list (pair int int)))
+    "re-slotted in time order"
+    [ (20, 20); (73, 73); (74, 74); (300, 300) ]
+    (List.rev !fired);
+  check "drained" 0 (Timing_wheel.length w);
+  check "clock at target" 301 (Timing_wheel.now w)
+
+let test_wheel_copy () =
+  let w = Timing_wheel.create () in
+  Timing_wheel.add w ~time:2 "a";
+  Timing_wheel.add w ~time:9 "b";
+  Timing_wheel.advance w ~time:1 (fun _ _ -> ());
+  let c = Timing_wheel.copy w in
+  check "copy clock" (Timing_wheel.now w) (Timing_wheel.now c);
+  check "copy count" 2 (Timing_wheel.length c);
+  (* Advancing the copy must not disturb the original. *)
+  let fired = ref [] in
+  Timing_wheel.advance c ~time:10 (fun t _ -> fired := t :: !fired);
+  check_list "copy fires both" [ 2; 9 ] (List.rev !fired);
+  check "original still holds both" 2 (Timing_wheel.length w);
+  check "original clock unchanged" 1 (Timing_wheel.now w);
+  (* The copy keeps the original's clock, so past adds stay rejected. *)
+  Alcotest.check_raises "copy rejects past add"
+    (Invalid_argument "Timing_wheel.add: time 0 is before now 10") (fun () ->
+      Timing_wheel.add c ~time:0 "x")
+
 let test_wheel_pending_at () =
   let w = Timing_wheel.create () in
   Timing_wheel.add w ~time:2 "x";
@@ -290,6 +332,8 @@ let suite =
         quick "ordered delivery" test_wheel_basic;
         quick "past add rejected" test_wheel_past_add_rejected;
         quick "growth" test_wheel_growth;
+        quick "growth beyond the 64-slot horizon" test_wheel_grow_beyond_64;
+        quick "copy preserves clock and is independent" test_wheel_copy;
         quick "pending_at peeks" test_wheel_pending_at;
         prop prop_wheel_delivers_everything;
       ] );

@@ -113,6 +113,57 @@ let test_pool_copy_independent () =
   check "original shrank" 1 (Job_pool.pending pool 0);
   check "copy unchanged" 2 (Job_pool.pending copy 0)
 
+let test_pool_copy_preserves_clock () =
+  (* Regression: [copy] used to rebuild the pool via [add] from time 0,
+     which reset the expiry clock — the copy then accepted already-expired
+     deadlines and re-walked every round from 0 on its next drop phase. *)
+  let pool = Job_pool.create ~num_colors:2 in
+  Job_pool.add pool ~color:0 ~deadline:5 ~count:1;
+  Job_pool.add pool ~color:1 ~deadline:12 ~count:2;
+  Alcotest.(check (list (pair int int)))
+    "drop at 9" [ (0, 1) ]
+    (Job_pool.drop_expired pool ~round:9);
+  let copy = Job_pool.copy pool in
+  Alcotest.(check (option int))
+    "earliest_deadline agrees"
+    (Job_pool.earliest_deadline pool 1)
+    (Job_pool.earliest_deadline copy 1);
+  let expect_expired name p =
+    match Job_pool.add p ~color:0 ~deadline:5 ~count:1 with
+    | exception Invalid_argument _ -> ()
+    | () -> Alcotest.failf "%s accepted an already-expired deadline" name
+  in
+  expect_expired "original" pool;
+  expect_expired "copy" copy;
+  (* Both pools drop the surviving batch in the same round. *)
+  Alcotest.(check (list (pair int int)))
+    "copy drops at 12" [ (1, 2) ]
+    (Job_pool.drop_expired copy ~round:12);
+  Alcotest.(check (list (pair int int)))
+    "original drops at 12" [ (1, 2) ]
+    (Job_pool.drop_expired pool ~round:12)
+
+let test_pool_copy_then_simulate () =
+  (* A copy taken mid-simulation must evolve exactly like the original
+     under the same subsequent operations. *)
+  let pool = Job_pool.create ~num_colors:3 in
+  Job_pool.add pool ~color:0 ~deadline:4 ~count:2;
+  Job_pool.add pool ~color:1 ~deadline:6 ~count:1;
+  ignore (Job_pool.drop_expired pool ~round:0);
+  ignore (Job_pool.execute_one pool ~color:0 ~round:0);
+  let copy = Job_pool.copy pool in
+  let drive p =
+    let trace = ref [] in
+    for round = 1 to 8 do
+      let dropped = Job_pool.drop_expired p ~round in
+      if round = 2 then Job_pool.add p ~color:2 ~deadline:(round + 3) ~count:1;
+      let executed = Job_pool.execute_one p ~color:(round mod 3) ~round in
+      trace := (round, dropped, executed, Job_pool.total_pending p) :: !trace
+    done;
+    List.rev !trace
+  in
+  check_bool "copy-then-simulate traces agree" true (drive pool = drive copy)
+
 (* ---- Ledger ---- *)
 
 let test_ledger_costs () =
@@ -230,6 +281,41 @@ let test_engine_bad_policy_rejected () =
   match Engine.run ~n:2 ~policy:(module Bad) i with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "expected Invalid_argument"
+
+let test_engine_color_out_of_range () =
+  (* Regression: the engine used to apply out-of-range colors blindly,
+     crashing deep inside the job pool (or silently corrupting the
+     assignment for negative colors). It must reject them up front with a
+     diagnostic naming the policy and the exact location/round. *)
+  let module Stray = struct
+    type t = unit
+
+    let name = "stray"
+    let create ~n:_ ~delta:_ ~bounds:_ = ()
+    let on_drop () ~round:_ ~dropped:_ = ()
+    let on_arrival () ~round:_ ~request:_ = ()
+    let reconfigure () _view = [| Some 7; None |]
+    let stats () = []
+  end in
+  let i = tiny [ (0, [ (0, 1) ]) ] in
+  Alcotest.check_raises "out-of-range color"
+    (Invalid_argument
+       "Engine.run: policy stray returned color 7 at location 0 (round 0, mini-round 0); valid colors are 0..1")
+    (fun () -> ignore (Engine.run ~n:2 ~policy:(module Stray) i));
+  let module Negative = struct
+    type t = unit
+
+    let name = "negative"
+    let create ~n:_ ~delta:_ ~bounds:_ = ()
+    let on_drop () ~round:_ ~dropped:_ = ()
+    let on_arrival () ~round:_ ~request:_ = ()
+    let reconfigure () _view = [| None; Some (-1) |]
+    let stats () = []
+  end in
+  Alcotest.check_raises "negative color"
+    (Invalid_argument
+       "Engine.run: policy negative returned color -1 at location 1 (round 0, mini-round 0); valid colors are 0..1")
+    (fun () -> ignore (Engine.run ~n:2 ~policy:(module Negative) i))
 
 (* ---- Schedule validation catches corrupted logs ---- *)
 
@@ -476,6 +562,8 @@ let suite =
         quick "lifecycle" test_pool_lifecycle;
         quick "expired execution rejected" test_pool_expired_execution_rejected;
         quick "copy independence" test_pool_copy_independent;
+        quick "copy preserves expiry clock" test_pool_copy_preserves_clock;
+        quick "copy-then-simulate equivalence" test_pool_copy_then_simulate;
       ] );
     ("sim.ledger", [ quick "costs" test_ledger_costs ]);
     ( "sim.engine",
@@ -487,6 +575,7 @@ let suite =
         quick "double speed" test_engine_double_speed;
         quick "same-color reuse is free" test_engine_same_color_free;
         quick "bad policy rejected" test_engine_bad_policy_rejected;
+        quick "out-of-range color rejected" test_engine_color_out_of_range;
       ] );
     ( "sim.schedule",
       [
