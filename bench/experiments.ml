@@ -9,6 +9,7 @@ module Experiment = Rrs_stats.Experiment
 module Summary = Rrs_stats.Summary
 module Table = Rrs_stats.Table
 module Bench_io = Rrs_stats.Bench_io
+module Clock = Rrs_obs.Clock
 module Adversary = Rrs_workload.Adversary
 module Random_workloads = Rrs_workload.Random_workloads
 module Instrument = Rrs_core.Instrument
@@ -21,14 +22,18 @@ let section id claim =
   Option.iter (fun b -> Bench_io.start_experiment b ~id ~claim) !bench;
   Format.printf "@.---- %s: %s ----@." id claim
 
-(* Run one policy under the engine, recording cost breakdown, wall clock
-   and minor-heap allocation into the collector. *)
+(* Run one policy under the engine, recording cost breakdown, wall clock,
+   minor-heap allocation and (when collecting) the per-phase profile into
+   the collector. *)
 let recorded_run ?speed ~n ~policy instance =
   let module P = (val policy : Rrs_sim.Policy.POLICY) in
+  let profile = !bench <> None in
   let minor0 = Gc.minor_words () in
-  let t0 = Unix.gettimeofday () in
-  let result = Engine.run ?speed ~record_events:false ~n ~policy instance in
-  let wall_s = Unix.gettimeofday () -. t0 in
+  let t0 = Clock.now_s () in
+  let result =
+    Engine.run ?speed ~record_events:false ~profile ~n ~policy instance
+  in
+  let wall_s = Clock.elapsed_s t0 in
   let minor_words = Gc.minor_words () -. minor0 in
   Option.iter
     (fun b ->
@@ -38,7 +43,9 @@ let recorded_run ?speed ~n ~policy instance =
         ~reconfig_count:(Ledger.reconfig_count result.Engine.ledger)
         ~drop_count:(Ledger.drop_count result.Engine.ledger)
         ~exec_count:(Ledger.exec_count result.Engine.ledger)
-        ~wall_s ~minor_words ())
+        ~wall_s ~minor_words
+        ?phases:(Option.map Rrs_obs.Profile.fields result.Engine.profile)
+        ())
     !bench;
   result
 
@@ -49,9 +56,9 @@ let policy_cost ~n policy instance =
 let recorded_row ?speed ~n ~reference ~policy instance =
   let module P = (val policy : Rrs_sim.Policy.POLICY) in
   let minor0 = Gc.minor_words () in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Clock.now_s () in
   let row = Experiment.run_policy ?speed ~n ~reference ~policy instance in
-  let wall_s = Unix.gettimeofday () -. t0 in
+  let wall_s = Clock.elapsed_s t0 in
   let minor_words = Gc.minor_words () -. minor0 in
   Option.iter
     (fun b ->
@@ -353,7 +360,7 @@ let e8 () =
             let instance = rate_limited_batch ~seed ~load:0.9 in
             let reference = Experiment.reference ~m instance in
             let minor0 = Gc.minor_words () in
-            let t0 = Unix.gettimeofday () in
+            let t0 = Clock.now_s () in
             match Experiment.run_solver ~n:(factor * m) ~reference instance with
             | Ok row ->
                 Option.iter
@@ -363,7 +370,7 @@ let e8 () =
                       ~delta:instance.Instance.delta ~cost:row.Experiment.cost
                       ~reconfig_count:row.Experiment.reconfig_count
                       ~drop_count:row.Experiment.drop_count
-                      ~wall_s:(Unix.gettimeofday () -. t0)
+                      ~wall_s:(Clock.elapsed_s t0)
                       ~minor_words:(Gc.minor_words () -. minor0)
                       ())
                   !bench;

@@ -12,6 +12,7 @@ module Sweep = Rrs_sim.Sweep
 module Instance = Rrs_sim.Instance
 module Table = Rrs_stats.Table
 module Bench_io = Rrs_stats.Bench_io
+module Clock = Rrs_obs.Clock
 
 let policies : (string * (module Rrs_sim.Policy.POLICY)) list =
   [
@@ -54,13 +55,15 @@ let run ?json () =
     (List.length (grid ~n:16));
   let tasks = grid ~n:16 in
   let time f =
-    let t0 = Unix.gettimeofday () in
+    let t0 = Clock.now_s () in
     let result = f () in
-    (result, Unix.gettimeofday () -. t0)
+    (result, Clock.elapsed_s t0)
   in
   let sequential, seq_wall = time (fun () -> Sweep.run ~domains:1 tasks) in
   let domains = max 4 (Sweep.default_domains ()) in
-  let parallel, par_wall = time (fun () -> Sweep.run ~domains tasks) in
+  let profiled = Sweep.run_profiled ~domains tasks in
+  let parallel = profiled.Sweep.outcomes in
+  let par_wall = profiled.Sweep.wall_s in
   let identical =
     List.for_all2
       (fun (a : Sweep.outcome) (b : Sweep.outcome) ->
@@ -90,6 +93,22 @@ let run ?json () =
       (if identical then "yes" else "MISMATCH");
     ];
   Table.print table;
+  let util =
+    Table.create ~title:"per-domain utilization (parallel pass)"
+      ~columns:[ "domain"; "tasks"; "busy (s)"; "util" ]
+  in
+  List.iter
+    (fun (load : Sweep.domain_load) ->
+      Table.add_row util
+        [
+          Table.cell_int load.domain;
+          Table.cell_int load.tasks;
+          Printf.sprintf "%.3f" load.busy_s;
+          Printf.sprintf "%.0f%%"
+            (100.0 *. load.busy_s /. Float.max profiled.Sweep.wall_s 1e-9);
+        ])
+    profiled.Sweep.loads;
+  Table.print util;
   Format.printf "speedup: %.2fx (%d domains; single-core hosts report ~1x)@."
     (seq_wall /. Float.max par_wall 1e-9)
     domains;
@@ -111,5 +130,6 @@ let run ?json () =
           let policy = List.hd (String.split_on_char '/' o.key) in
           Bench_io.record_outcome b ~workload:o.key ~policy o)
         parallel;
+      Bench_io.set_domain_load b profiled.Sweep.loads;
       Bench_io.write b ~path;
       Format.printf "wrote %s@." path

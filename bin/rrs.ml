@@ -1,7 +1,8 @@
 (* rrs — command-line front end for the reconfigurable-resource-scheduling
    library.
 
-   Subcommands: gen, info, run, compare, sweep, validate. An instance
+   Subcommands: gen, info, run, trace-run, report, compare, sweep,
+   validate, weighted. An instance
    SOURCE argument is either a workload spec ("uniform:colors=8,load=0.9")
    or "@path/to/file.trace". *)
 
@@ -168,10 +169,112 @@ let run_cmd =
       const run $ verbose_arg $ source_arg $ n_arg $ algo_arg $ no_validate
       $ timeline $ metrics)
 
-(* ---- compare ---- *)
-
 let csv_arg =
   Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of an ASCII table.")
+
+(* ---- trace-run ---- *)
+
+let trace_run_cmd =
+  (* Unlike [run], the solver pipeline is not an option here — the trace
+     streams engine rounds — so the default is the paper's algorithm. *)
+  let algo_arg =
+    let doc = "Algorithm: dlru, edf, dlru-edf or seq-edf." in
+    Arg.(value & opt string "dlru-edf" & info [ "algo" ] ~docv:"ALGO" ~doc)
+  in
+  let output =
+    Arg.(
+      value & opt string "rrs-events.jsonl"
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:
+            "Write the event stream to $(docv) as versioned JSONL (schema \
+             rrs-events/1, one JSON object per line; read it back with \
+             'rrs report').")
+  in
+  let no_probes =
+    Arg.(
+      value & flag
+      & info [ "no-probes" ]
+          ~doc:"Skip the engine probes (slack/latency/churn/queue-depth).")
+  in
+  let run () source n algo output no_probes =
+    let instance = or_die (load_source source) in
+    match policy_of_name algo with
+    | None ->
+        Format.eprintf
+          "unknown algorithm %S (trace-run drives the engine; use dlru, edf, \
+           dlru-edf or seq-edf)@."
+          algo;
+        exit 1
+    | Some policy ->
+        let channel = open_out output in
+        let result =
+          Fun.protect
+            ~finally:(fun () -> close_out channel)
+            (fun () ->
+              let probes =
+                if no_probes then None
+                else Some (Rrs_obs.Probe.create_registry ())
+              in
+              Rrs_sim.Engine.run ~sink:(Rrs_sim.Event_sink.Jsonl channel)
+                ?probes ~profile:true ~n ~policy instance)
+        in
+        Format.printf "%a@." Rrs_sim.Ledger.pp_summary result.ledger;
+        (match result.profile with
+        | Some profile -> Rrs_stats.Table.print (Rrs_stats.Render.phase_table profile)
+        | None -> ());
+        if not no_probes then
+          List.iter (fun (key, value) -> Format.printf "  %s = %d@." key value)
+            result.stats;
+        Format.eprintf "wrote %s@." output
+  in
+  Cmd.v
+    (Cmd.info "trace-run"
+       ~doc:
+         "Run one engine algorithm while streaming every ledger event and \
+          per-round snapshot to a JSONL file (bounded memory at any horizon).")
+    Term.(
+      const run $ verbose_arg $ source_arg $ n_arg $ algo_arg $ output
+      $ no_probes)
+
+(* ---- report ---- *)
+
+let report_cmd =
+  let file_arg =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"An rrs-events/1 JSONL file from trace-run.")
+  in
+  let run file csv =
+    match Rrs_stats.Report.of_path file with
+    | Error message ->
+        Format.eprintf "error: %s: %s@." file message;
+        exit 1
+    | Ok report ->
+        let header = report.Rrs_stats.Report.header in
+        if not csv then
+          Format.printf "%s: delta=%d n=%d speed=%d horizon=%d colors=%d \
+                         (%d events, %d rounds)@."
+            header.Rrs_sim.Event_sink.hdr_name header.hdr_delta header.hdr_n
+            header.hdr_speed header.hdr_horizon
+            (Array.length header.hdr_bounds)
+            report.Rrs_stats.Report.events_seen
+            report.Rrs_stats.Report.rounds_seen;
+        print_string (Rrs_stats.Report.summary_string report);
+        print_newline ();
+        List.iter
+          (fun table ->
+            if csv then print_string (Rrs_stats.Table.to_csv table)
+            else Rrs_stats.Table.print table)
+          (Rrs_stats.Report.tables report)
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Reconstruct a run from its JSONL event stream: the exact ledger \
+          summary plus slack/latency/churn/queue-depth percentile tables.")
+    Term.(const run $ file_arg $ csv_arg)
+
+(* ---- compare ---- *)
 
 let compare_cmd =
   let exact =
@@ -408,6 +511,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            gen_cmd; info_cmd; run_cmd; compare_cmd; sweep_cmd; validate_cmd;
-            weighted_cmd;
+            gen_cmd; info_cmd; run_cmd; trace_run_cmd; report_cmd; compare_cmd;
+            sweep_cmd; validate_cmd; weighted_cmd;
           ]))

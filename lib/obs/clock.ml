@@ -1,0 +1,5 @@
+let now_ns = Monotonic_clock.now
+
+let now_s () = Int64.to_float (Monotonic_clock.now ()) *. 1e-9
+
+let elapsed_s t0 = Float.max 0.0 (now_s () -. t0)

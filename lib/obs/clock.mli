@@ -1,0 +1,16 @@
+(** Monotonic wall clock for all timing measurements.
+
+    Every [wall_s]-style measurement in the repo goes through this module
+    instead of [Unix.gettimeofday], so NTP steps and manual clock
+    adjustments can never produce negative or skewed intervals. Backed by
+    [CLOCK_MONOTONIC] (via bechamel's allocation-free stub); the epoch is
+    arbitrary — only differences are meaningful. *)
+
+(** Nanoseconds on the monotonic clock (arbitrary epoch). *)
+val now_ns : unit -> int64
+
+(** Seconds on the monotonic clock (arbitrary epoch). *)
+val now_s : unit -> float
+
+(** [elapsed_s t0] is the nonnegative seconds since [t0 = now_s ()]. *)
+val elapsed_s : float -> float

@@ -1,0 +1,226 @@
+type counter = { c_name : string; c_enabled : bool ref; mutable c_value : int }
+
+type gauge = {
+  g_name : string;
+  g_enabled : bool ref;
+  mutable g_value : int;
+  mutable g_max : int;
+}
+
+type histogram = {
+  h_name : string;
+  h_enabled : bool ref;
+  h_bounds : int array; (* strictly increasing inclusive upper bounds *)
+  h_counts : int array; (* length = length h_bounds + 1 (overflow last) *)
+  mutable h_sum : int;
+  mutable h_n : int;
+  mutable h_min : int;
+  mutable h_max : int;
+}
+
+type probe = Counter of counter | Gauge of gauge | Histogram of histogram
+
+type registry = {
+  r_enabled : bool ref;
+  by_name : (string, probe) Hashtbl.t;
+  mutable order : probe list; (* reverse registration order *)
+}
+
+let create_registry ?(enabled = true) () =
+  { r_enabled = ref enabled; by_name = Hashtbl.create 16; order = [] }
+
+let enabled registry = !(registry.r_enabled)
+let set_enabled registry flag = registry.r_enabled := flag
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+
+let register registry name make match_kind =
+  match Hashtbl.find_opt registry.by_name name with
+  | Some probe -> (
+      match match_kind probe with
+      | Some existing -> existing
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Probe: %S is already registered as a %s" name
+               (kind_name probe)))
+  | None ->
+      let value, probe = make () in
+      Hashtbl.replace registry.by_name name probe;
+      registry.order <- probe :: registry.order;
+      value
+
+let counter registry name =
+  register registry name
+    (fun () ->
+      let c = { c_name = name; c_enabled = registry.r_enabled; c_value = 0 } in
+      (c, Counter c))
+    (function Counter c -> Some c | _ -> None)
+
+let incr c = if !(c.c_enabled) then c.c_value <- c.c_value + 1
+let add c n = if !(c.c_enabled) then c.c_value <- c.c_value + n
+let counter_value c = c.c_value
+
+let gauge registry name =
+  register registry name
+    (fun () ->
+      let g =
+        { g_name = name; g_enabled = registry.r_enabled; g_value = 0; g_max = 0 }
+      in
+      (g, Gauge g))
+    (function Gauge g -> Some g | _ -> None)
+
+let set_gauge g value =
+  if !(g.g_enabled) then begin
+    g.g_value <- value;
+    if value > g.g_max then g.g_max <- value
+  end
+
+let gauge_value g = g.g_value
+let gauge_max g = g.g_max
+
+let default_buckets =
+  [| 0; 1; 2; 4; 8; 16; 32; 64; 128; 256; 512; 1024; 4096; 16384; 65536 |]
+
+let validate_buckets bounds =
+  if Array.length bounds = 0 then
+    invalid_arg "Probe.histogram: empty bucket list";
+  for i = 1 to Array.length bounds - 1 do
+    if bounds.(i) <= bounds.(i - 1) then
+      invalid_arg "Probe.histogram: bucket bounds must be strictly increasing"
+  done
+
+let histogram registry ?(buckets = default_buckets) name =
+  validate_buckets buckets;
+  register registry name
+    (fun () ->
+      let h =
+        {
+          h_name = name;
+          h_enabled = registry.r_enabled;
+          h_bounds = Array.copy buckets;
+          h_counts = Array.make (Array.length buckets + 1) 0;
+          h_sum = 0;
+          h_n = 0;
+          h_min = max_int;
+          h_max = min_int;
+        }
+      in
+      (h, Histogram h))
+    (function Histogram h -> Some h | _ -> None)
+
+(* Index of the smallest bound >= value, or [length bounds] (overflow). *)
+let bucket_index bounds value =
+  let n = Array.length bounds in
+  if value > bounds.(n - 1) then n
+  else begin
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if bounds.(mid) >= value then hi := mid else lo := mid + 1
+    done;
+    !lo
+  end
+
+let observe_n h value ~n =
+  if !(h.h_enabled) && n > 0 then begin
+    let index = bucket_index h.h_bounds value in
+    h.h_counts.(index) <- h.h_counts.(index) + n;
+    h.h_sum <- h.h_sum + (value * n);
+    h.h_n <- h.h_n + n;
+    if value < h.h_min then h.h_min <- value;
+    if value > h.h_max then h.h_max <- value
+  end
+
+let observe h value = observe_n h value ~n:1
+
+type hist_snapshot = {
+  hist_name : string;
+  count : int;
+  sum : int;
+  min_value : int;
+  max_value : int;
+  buckets : (int * int) array;
+  overflow : int;
+}
+
+let snapshot_histogram h =
+  let n = Array.length h.h_bounds in
+  {
+    hist_name = h.h_name;
+    count = h.h_n;
+    sum = h.h_sum;
+    min_value = (if h.h_n = 0 then 0 else h.h_min);
+    max_value = (if h.h_n = 0 then 0 else h.h_max);
+    buckets = Array.init n (fun i -> (h.h_bounds.(i), h.h_counts.(i)));
+    overflow = h.h_counts.(n);
+  }
+
+let percentile snap p =
+  if snap.count = 0 then 0
+  else begin
+    let rank = max 1 (int_of_float (ceil (p *. float_of_int snap.count))) in
+    let rank = min rank snap.count in
+    let cumulative = ref 0 in
+    let result = ref snap.max_value in
+    (try
+       Array.iter
+         (fun (bound, count) ->
+           cumulative := !cumulative + count;
+           if !cumulative >= rank then begin
+             (* The true quantile can't exceed the largest observed value. *)
+             result := min bound snap.max_value;
+             raise Exit
+           end)
+         snap.buckets
+     with Exit -> ());
+    !result
+  end
+
+let mean snap =
+  if snap.count = 0 then 0.0
+  else float_of_int snap.sum /. float_of_int snap.count
+
+let reset registry =
+  Hashtbl.iter
+    (fun _ probe ->
+      match probe with
+      | Counter c -> c.c_value <- 0
+      | Gauge g ->
+          g.g_value <- 0;
+          g.g_max <- 0
+      | Histogram h ->
+          Array.fill h.h_counts 0 (Array.length h.h_counts) 0;
+          h.h_sum <- 0;
+          h.h_n <- 0;
+          h.h_min <- max_int;
+          h.h_max <- min_int)
+    registry.by_name
+
+let snapshot registry =
+  let entries =
+    List.concat_map
+      (fun probe ->
+        match probe with
+        | Counter c -> [ (c.c_name, c.c_value) ]
+        | Gauge g -> [ (g.g_name, g.g_value); (g.g_name ^ "_max", g.g_max) ]
+        | Histogram h ->
+            let snap = snapshot_histogram h in
+            [
+              (h.h_name ^ "_count", snap.count);
+              (h.h_name ^ "_sum", snap.sum);
+              (h.h_name ^ "_p50", percentile snap 0.50);
+              (h.h_name ^ "_p99", percentile snap 0.99);
+              (h.h_name ^ "_max", snap.max_value);
+            ])
+      registry.order
+  in
+  List.sort (fun (a, _) (b, _) -> String.compare a b) entries
+
+let histograms registry =
+  List.rev registry.order
+  |> List.filter_map (function
+       | Histogram h -> Some (snapshot_histogram h)
+       | _ -> None)

@@ -1,0 +1,107 @@
+(** Probe registry: typed counters, gauges and fixed-bucket histograms,
+    registered by name so policies, the engine and the analysis helpers
+    ([Rrs_core.Instrument]) share one namespace.
+
+    Probes are designed to be left in hot paths permanently: every
+    recording operation on a disabled registry costs exactly one branch
+    (a [bool ref] dereference) and allocates nothing. Registration is
+    idempotent — asking for a probe under an existing name returns the
+    existing probe; asking for it under a different kind raises.
+
+    Registries are not thread-safe: give each domain its own registry
+    (or none). *)
+
+type registry
+
+(** [create_registry ()] is a fresh, empty registry. [enabled] defaults
+    to [true]. *)
+val create_registry : ?enabled:bool -> unit -> registry
+
+val enabled : registry -> bool
+
+(** Enable or disable every probe of the registry at once. *)
+val set_enabled : registry -> bool -> unit
+
+(** Zero every probe (registrations are kept). *)
+val reset : registry -> unit
+
+(** {1 Counters} *)
+
+type counter
+
+(** [counter registry name] registers (or finds) a monotonic counter.
+    @raise Invalid_argument if [name] is registered with another kind. *)
+val counter : registry -> string -> counter
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+
+(** {1 Gauges} *)
+
+type gauge
+
+(** [gauge registry name] registers (or finds) a last-value gauge that
+    also tracks the maximum it has seen.
+    @raise Invalid_argument if [name] is registered with another kind. *)
+val gauge : registry -> string -> gauge
+
+val set_gauge : gauge -> int -> unit
+val gauge_value : gauge -> int
+val gauge_max : gauge -> int
+
+(** {1 Histograms} *)
+
+type histogram
+
+(** Default bucket upper bounds: 0, then powers of two up to [65536]. *)
+val default_buckets : int array
+
+(** [histogram registry ?buckets name] registers (or finds) a
+    fixed-bucket histogram. [buckets] are inclusive upper bounds, must be
+    strictly increasing and nonempty; values above the last bound land in
+    an overflow bucket.
+    @raise Invalid_argument if [name] is registered with another kind, or
+    [buckets] is empty or not strictly increasing. *)
+val histogram : registry -> ?buckets:int array -> string -> histogram
+
+(** [observe h value] records one sample ([observe_n] records [n] equal
+    samples in one call). One branch + one array increment when enabled;
+    one branch when disabled. *)
+val observe : histogram -> int -> unit
+
+val observe_n : histogram -> int -> n:int -> unit
+
+(** Immutable view of a histogram for rendering and percentile queries. *)
+type hist_snapshot = {
+  hist_name : string;
+  count : int; (* total samples *)
+  sum : int;
+  min_value : int; (* 0 when empty *)
+  max_value : int; (* 0 when empty *)
+  buckets : (int * int) array; (* (inclusive upper bound, samples) *)
+  overflow : int; (* samples above the last bound *)
+}
+
+val snapshot_histogram : histogram -> hist_snapshot
+
+(** [percentile snap p] (with [0 <= p <= 1]) is an upper bound on the
+    [p]-quantile: the smallest bucket bound whose cumulative count
+    reaches [ceil (p * count)] ([max_value] for overflow samples, 0 when
+    empty). *)
+val percentile : hist_snapshot -> float -> int
+
+(** Mean sample, 0 when empty. *)
+val mean : hist_snapshot -> float
+
+(** {1 Snapshots} *)
+
+(** Flatten every probe into the [(string * int) list] namespace policies
+    already use for [stats] (and [Rrs_core.Instrument.stat] reads):
+    counters as [name]; gauges as [name] and [name_max]; histograms as
+    [name_count], [name_sum], [name_p50], [name_p99] and [name_max].
+    Entries are sorted by name. *)
+val snapshot : registry -> (string * int) list
+
+(** Histogram snapshots in registration order. *)
+val histograms : registry -> hist_snapshot list

@@ -1,0 +1,33 @@
+type entry = {
+  name : string;
+  mutable wall_s : float;
+  mutable minor_words : float;
+  mutable samples : int;
+}
+
+type t = entry array
+
+type mark = { mark_s : float; mark_minor : float }
+
+let create names =
+  Array.of_list
+    (List.map
+       (fun name -> { name; wall_s = 0.0; minor_words = 0.0; samples = 0 })
+       names)
+
+let start () = { mark_s = Clock.now_s (); mark_minor = Gc.minor_words () }
+
+let stop t index mark =
+  let entry = t.(index) in
+  entry.wall_s <- entry.wall_s +. Float.max 0.0 (Clock.now_s () -. mark.mark_s);
+  entry.minor_words <- entry.minor_words +. (Gc.minor_words () -. mark.mark_minor);
+  entry.samples <- entry.samples + 1
+
+let phase_count t = Array.length t
+
+let fields t =
+  Array.to_list (Array.map (fun e -> (e.name, e.wall_s, e.minor_words)) t)
+
+let samples t index = t.(index).samples
+
+let total_wall_s t = Array.fold_left (fun acc e -> acc +. e.wall_s) 0.0 t

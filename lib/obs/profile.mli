@@ -1,0 +1,31 @@
+(** Per-phase profiling aggregates: monotonic wall clock plus GC
+    minor-words, one slot per named phase.
+
+    Usage: [let p = create ["drop"; "execute"]] once, then around each
+    phase [let t = start () in ...; stop p index t]. [start]/[stop] cost
+    two clock reads and two [Gc.minor_words] reads; no allocation. *)
+
+type t
+
+(** Opaque start mark (monotonic seconds, minor words). *)
+type mark = { mark_s : float; mark_minor : float }
+
+(** [create names] makes one slot per phase, indexed in list order. *)
+val create : string list -> t
+
+val start : unit -> mark
+
+(** [stop t index mark] folds the elapsed time and allocation since
+    [mark] into slot [index]. *)
+val stop : t -> int -> mark -> unit
+
+val phase_count : t -> int
+
+(** [(name, wall_s, minor_words)] per phase, in [create] order. *)
+val fields : t -> (string * float * float) list
+
+(** Samples folded into slot [index] so far. *)
+val samples : t -> int -> int
+
+(** Total wall seconds over all phases. *)
+val total_wall_s : t -> float

@@ -1,11 +1,40 @@
+module Probe = Rrs_obs.Probe
+module Profile = Rrs_obs.Profile
+
+let phase_names = [ "drop"; "arrival"; "reconfig"; "execute" ]
+
 type result = {
   ledger : Ledger.t;
   stats : (string * int) list;
   final_assignment : Types.color option array;
+  profile : Profile.t option;
 }
 
-let run ?(speed = 1) ?(record_events = true) ~n
-    ~policy:(module P : Policy.POLICY) (instance : Instance.t) =
+(* The standard engine probes, registered in the caller's registry so
+   policies and analysis helpers share the namespace. *)
+type probes = {
+  registry : Probe.registry;
+  exec_slack : Probe.histogram;
+  drop_latency : Probe.histogram;
+  round_reconfigs : Probe.histogram;
+  queue_depth : Probe.histogram;
+  color_depth : Probe.gauge array;
+}
+
+let make_probes registry ~num_colors =
+  {
+    registry;
+    exec_slack = Probe.histogram registry "exec_slack";
+    drop_latency = Probe.histogram registry "drop_latency";
+    round_reconfigs = Probe.histogram registry "round_reconfigs";
+    queue_depth = Probe.histogram registry "queue_depth";
+    color_depth =
+      Array.init num_colors (fun color ->
+          Probe.gauge registry (Printf.sprintf "queue_depth_c%d" color));
+  }
+
+let run ?(speed = 1) ?(record_events = true) ?sink ?probes ?(profile = false)
+    ~n ~policy:(module P : Policy.POLICY) (instance : Instance.t) =
   if n < 1 then invalid_arg "Engine.run: n must be >= 1";
   if speed < 1 then invalid_arg "Engine.run: speed must be >= 1";
   Log.debug (fun m ->
@@ -13,12 +42,25 @@ let run ?(speed = 1) ?(record_events = true) ~n
         P.name n speed instance.Instance.horizon);
   let delta = instance.delta in
   let bounds = instance.bounds in
-  let pool = Job_pool.create ~num_colors:(Array.length bounds) in
-  let ledger = Ledger.create ~record_events ~delta () in
+  let num_colors = Array.length bounds in
+  let pool = Job_pool.create ~num_colors in
+  let ledger = Ledger.create ~record_events ?sink ~delta () in
+  let sink = Ledger.sink ledger in
+  Event_sink.write_header sink ~name:instance.Instance.name ~delta ~n ~speed
+    ~horizon:instance.Instance.horizon ~bounds;
+  let probes = Option.map (fun reg -> make_probes reg ~num_colors) probes in
+  let prof = Profile.create phase_names in
+  let idle_mark = { Profile.mark_s = 0.0; mark_minor = 0.0 } in
+  let mark () = if profile then Profile.start () else idle_mark in
+  let tick index m = if profile then Profile.stop prof index m in
   let state = P.create ~n ~delta ~bounds in
   let assignment = Array.make n None in
   for round = 0 to instance.horizon - 1 do
+    let reconfigs0 = Ledger.reconfig_count ledger in
+    let drops0 = Ledger.drop_count ledger in
+    let execs0 = Ledger.exec_count ledger in
     (* Drop phase: jobs with deadline = round are dropped. *)
+    let m0 = mark () in
     let dropped = Job_pool.drop_expired pool ~round in
     if dropped <> [] then
       Log.debug (fun m ->
@@ -30,16 +72,27 @@ let run ?(speed = 1) ?(record_events = true) ~n
     List.iter
       (fun (color, count) -> Ledger.record_drop ledger ~round ~color ~count)
       dropped;
+    (match probes with
+    | None -> ()
+    | Some p ->
+        List.iter
+          (fun (color, count) ->
+            Probe.observe_n p.drop_latency bounds.(color) ~n:count)
+          dropped);
     P.on_drop state ~round ~dropped;
+    tick 0 m0;
     (* Arrival phase. *)
+    let m1 = mark () in
     let request = instance.requests.(round) in
     List.iter
       (fun (color, count) ->
         Job_pool.add pool ~color ~deadline:(round + bounds.(color)) ~count)
       request;
     P.on_arrival state ~round ~request;
+    tick 1 m1;
     (* Reconfiguration + execution, [speed] mini-rounds. *)
     for mini_round = 0 to speed - 1 do
+      let m2 = mark () in
       let view =
         { Policy.round; mini_round; n; delta; bounds; assignment; pool }
       in
@@ -48,7 +101,6 @@ let run ?(speed = 1) ?(record_events = true) ~n
         invalid_arg
           (Printf.sprintf "Engine.run: policy %s returned %d locations, expected %d"
              P.name (Array.length target) n);
-      let num_colors = Array.length bounds in
       for location = 0 to n - 1 do
         match target.(location) with
         | None -> () (* inactive this mini-round; physical color persists *)
@@ -65,6 +117,8 @@ let run ?(speed = 1) ?(record_events = true) ~n
               assignment.(location) <- Some next
             end
       done;
+      tick 2 m2;
+      let m3 = mark () in
       for location = 0 to n - 1 do
         match target.(location) with
         | None -> ()
@@ -73,16 +127,48 @@ let run ?(speed = 1) ?(record_events = true) ~n
             | None -> ()
             | Some deadline ->
                 Ledger.record_execute ledger ~round ~mini_round ~location ~color
-                  ~deadline)
-      done
-    done
+                  ~deadline;
+                (match probes with
+                | None -> ()
+                | Some p -> Probe.observe p.exec_slack (deadline - round)))
+      done;
+      tick 3 m3
+    done;
+    (* End-of-round observability: probes and the streamed snapshot. *)
+    (match probes with
+    | None -> ()
+    | Some p ->
+        Probe.observe p.round_reconfigs
+          (Ledger.reconfig_count ledger - reconfigs0);
+        Probe.observe p.queue_depth (Job_pool.total_pending pool);
+        Array.iteri
+          (fun color g -> Probe.set_gauge g (Job_pool.pending pool color))
+          p.color_depth);
+    Event_sink.write_round sink ~round
+      ~pending:(Job_pool.total_pending pool)
+      ~reconfigs:(Ledger.reconfig_count ledger - reconfigs0)
+      ~drops:(Ledger.drop_count ledger - drops0)
+      ~execs:(Ledger.exec_count ledger - execs0)
   done;
+  Event_sink.write_summary sink ~delta
+    ~reconfigs:(Ledger.reconfig_count ledger)
+    ~drops:(Ledger.drop_count ledger) ~execs:(Ledger.exec_count ledger);
+  Event_sink.flush sink;
   Log.debug (fun m ->
       m "done %s: cost=%d reconfigs=%d drops=%d" instance.Instance.name
         (Ledger.total_cost ledger)
         (Ledger.reconfig_count ledger)
         (Ledger.drop_count ledger));
-  { ledger; stats = P.stats state; final_assignment = assignment }
+  let stats =
+    P.stats state
+    @ (match probes with Some p -> Probe.snapshot p.registry | None -> [])
+  in
+  {
+    ledger;
+    stats;
+    final_assignment = assignment;
+    profile = (if profile then Some prof else None);
+  }
 
 let cost ?speed ~n ~policy instance =
   let { ledger; _ } = run ?speed ~record_events:false ~n ~policy instance in

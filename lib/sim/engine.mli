@@ -6,12 +6,29 @@
     phases ([speed = 1] for uni-speed algorithms, [speed = 2] for the
     double-speed schedules of Section 3.3). In each execution phase every
     location configured with color [c] executes up to one pending job of
-    color [c], always the one with the earliest deadline. *)
+    color [c], always the one with the earliest deadline.
+
+    Observability (all opt-in, zero-cost when off):
+    - [sink]: stream ledger events, per-round snapshots and a closing
+      summary (JSONL schema [rrs-events/1]) with bounded resident memory.
+    - [probes]: register the standard engine probes ([exec_slack],
+      [drop_latency], [round_reconfigs], [queue_depth], per-color
+      [queue_depth_c<i>] gauges) in the given registry; their snapshot is
+      appended to [result.stats], sharing the policy-stats namespace that
+      [Rrs_core.Instrument.stat] reads.
+    - [profile]: per-phase monotonic wall-clock + GC minor-words
+      aggregates in [result.profile]. *)
+
+(** Phase slot names of [result.profile], in slot order:
+    [drop; arrival; reconfig; execute]. *)
+val phase_names : string list
 
 type result = {
   ledger : Ledger.t;
-  stats : (string * int) list; (* policy-reported counters *)
+  stats : (string * int) list;
+      (* policy-reported counters, then the probe snapshot (if any) *)
   final_assignment : Types.color option array;
+  profile : Rrs_obs.Profile.t option;
 }
 
 (** [run ~n ~policy instance] simulates [instance] to its horizon with [n]
@@ -20,12 +37,20 @@ type result = {
     @param speed mini-rounds (reconfig+execution iterations) per round;
     default 1.
     @param record_events keep the full event log in the ledger (needed by
-    {!Schedule.validate}); default true.
+    {!Schedule.validate}); default true. Ignored when [sink] is given.
+    @param sink explicit event sink (overrides [record_events]).
+    @param probes register and drive the standard engine probes in this
+    registry.
+    @param profile measure per-phase wall clock and allocation; default
+    false.
     @raise Invalid_argument if the policy returns an assignment of the
     wrong length, or [n < 1], or [speed < 1]. *)
 val run :
   ?speed:int ->
   ?record_events:bool ->
+  ?sink:Event_sink.t ->
+  ?probes:Rrs_obs.Probe.registry ->
+  ?profile:bool ->
   n:int ->
   policy:(module Policy.POLICY) ->
   Instance.t ->

@@ -1,0 +1,102 @@
+(** Streaming destination for ledger events and per-round snapshots.
+
+    The sink replaces the ledger's historical grow-forever event list: a
+    [Memory] sink retains events for {!Schedule.validate} exactly as
+    before, while a [Jsonl] sink streams every event (plus engine-written
+    round snapshots and a closing summary) as one JSON object per line —
+    schema {!schema_version} ([rrs-events/1]) — so horizon-length runs
+    keep bounded resident memory. [Null] discards everything.
+
+    JSONL line shapes (first line is always the header):
+    {v
+    {"schema":"rrs-events/1","name":...,"delta":D,"n":N,"speed":S,
+     "horizon":H,"colors":C,"bounds":[...]}
+    {"type":"reconfig","round":r,"mini":m,"location":l,"previous":p,"next":c}
+    {"type":"drop","round":r,"color":c,"count":k}
+    {"type":"execute","round":r,"mini":m,"location":l,"color":c,"deadline":d}
+    {"type":"round","round":r,"pending":q,"reconfigs":a,"drops":b,"execs":e}
+    {"type":"summary","cost":C,"reconfig_count":R,"reconfig_cost":X,
+     "drop_count":D,"exec_count":E}
+    v}
+    ["previous"] is [null] for a black (unconfigured) location. The
+    summary line lets a reader detect truncated files: totals folded from
+    the event lines must match it exactly. *)
+
+type event =
+  | Reconfig of { round : int; mini_round : int; location : int;
+                  previous : Types.color option; next : Types.color }
+  | Drop of { round : int; color : Types.color; count : int }
+  | Execute of { round : int; mini_round : int; location : int;
+                 color : Types.color; deadline : int }
+
+type t =
+  | Null
+  | Memory of event list ref (* reverse chronological *)
+  | Jsonl of out_channel
+
+(** A fresh [Memory] sink. *)
+val memory : unit -> t
+
+(** [record t event] appends to a [Memory] sink or writes one JSONL line;
+    no-op on [Null]. *)
+val record : t -> event -> unit
+
+(** Retained events in chronological order ([] for [Null] and [Jsonl]).*)
+val events : t -> event list
+
+val schema_version : string
+
+(** Header, round-snapshot and summary lines; no-ops unless [Jsonl]. *)
+val write_header :
+  t -> name:string -> delta:int -> n:int -> speed:int -> horizon:int ->
+  bounds:int array -> unit
+
+val write_round :
+  t -> round:int -> pending:int -> reconfigs:int -> drops:int -> execs:int ->
+  unit
+
+val write_summary :
+  t -> delta:int -> reconfigs:int -> drops:int -> execs:int -> unit
+
+(** Flush the underlying channel ([Jsonl] only). *)
+val flush : t -> unit
+
+(** {1 Reading JSONL back}
+
+    Minimal parser for the flat objects this module writes (ints,
+    strings, [null], one int array). Unknown line types and unknown
+    fields are errors — the schema is versioned, not open. *)
+
+type header = {
+  hdr_name : string;
+  hdr_delta : int;
+  hdr_n : int;
+  hdr_speed : int;
+  hdr_horizon : int;
+  hdr_bounds : int array;
+}
+
+type round_snapshot = {
+  snap_round : int;
+  snap_pending : int;
+  snap_reconfigs : int;
+  snap_drops : int;
+  snap_execs : int;
+}
+
+type summary = {
+  sum_cost : int;
+  sum_reconfig_count : int;
+  sum_reconfig_cost : int;
+  sum_drop_count : int;
+  sum_exec_count : int;
+}
+
+type line =
+  | Header of header
+  | Event of event
+  | Round of round_snapshot
+  | Summary of summary
+
+(** Parse one JSONL line. *)
+val parse_line : string -> (line, string) result

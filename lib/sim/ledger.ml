@@ -1,4 +1,4 @@
-type event =
+type event = Event_sink.event =
   | Reconfig of { round : int; mini_round : int; location : int;
                   previous : Types.color option; next : Types.color }
   | Drop of { round : int; color : Types.color; count : int }
@@ -7,39 +7,50 @@ type event =
 
 type t = {
   delta : int;
-  record_events : bool;
+  sink : Event_sink.t;
   mutable reconfigs : int;
   mutable drops : int;
   mutable execs : int;
-  mutable events : event list; (* reverse chronological *)
 }
 
-let create ?(record_events = true) ~delta () =
-  { delta; record_events; reconfigs = 0; drops = 0; execs = 0; events = [] }
+let create ?(record_events = true) ?sink ~delta () =
+  let sink =
+    match sink with
+    | Some sink -> sink
+    | None -> if record_events then Event_sink.memory () else Event_sink.Null
+  in
+  { delta; sink; reconfigs = 0; drops = 0; execs = 0 }
 
-let push t event = if t.record_events then t.events <- event :: t.events
+let sink t = t.sink
 
 let record_reconfig t ~round ~mini_round ~location ~previous ~next =
   t.reconfigs <- t.reconfigs + 1;
-  push t (Reconfig { round; mini_round; location; previous; next })
+  Event_sink.record t.sink
+    (Reconfig { round; mini_round; location; previous; next })
 
 let record_drop t ~round ~color ~count =
   if count < 0 then invalid_arg "Ledger.record_drop: negative count";
   t.drops <- t.drops + count;
-  if count > 0 then push t (Drop { round; color; count })
+  if count > 0 then Event_sink.record t.sink (Drop { round; color; count })
 
 let record_execute t ~round ~mini_round ~location ~color ~deadline =
   t.execs <- t.execs + 1;
-  push t (Execute { round; mini_round; location; color; deadline })
+  Event_sink.record t.sink
+    (Execute { round; mini_round; location; color; deadline })
 
 let reconfig_count t = t.reconfigs
 let drop_count t = t.drops
 let exec_count t = t.execs
 let reconfig_cost t = t.delta * t.reconfigs
 let total_cost t = reconfig_cost t + t.drops
-let events t = List.rev t.events
+let events t = Event_sink.events t.sink
 
-let pp_summary ppf t =
+let pp_summary_counts ppf ~delta ~reconfigs ~drops ~execs =
   Format.fprintf ppf
     "cost=%d (reconfig=%d x delta=%d -> %d, drops=%d) executed=%d"
-    (total_cost t) t.reconfigs t.delta (reconfig_cost t) t.drops t.execs
+    ((delta * reconfigs) + drops)
+    reconfigs delta (delta * reconfigs) drops execs
+
+let pp_summary ppf t =
+  pp_summary_counts ppf ~delta:t.delta ~reconfigs:t.reconfigs ~drops:t.drops
+    ~execs:t.execs

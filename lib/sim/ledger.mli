@@ -1,10 +1,12 @@
 (** Cost accounting for a run: reconfigurations, drops, executions.
 
     The ledger is the single source of truth for the objective value
-    [total_cost = delta * reconfigurations + drops]. Event recording is
-    optional (it costs memory) and feeds the schedule validator. *)
+    [total_cost = delta * reconfigurations + drops]. Events are routed to
+    an {!Event_sink.t}: a [Memory] sink retains them for the schedule
+    validator, a [Jsonl] sink streams them with bounded resident memory,
+    and [Null] discards them — the counters are maintained regardless. *)
 
-type event =
+type event = Event_sink.event =
   | Reconfig of { round : int; mini_round : int; location : int;
                   previous : Types.color option; next : Types.color }
   | Drop of { round : int; color : Types.color; count : int }
@@ -13,9 +15,13 @@ type event =
 
 type t
 
-(** [create ~delta ()] is an empty ledger. [record_events] (default
-    [true]) controls whether the event log is kept. *)
-val create : ?record_events:bool -> delta:int -> unit -> t
+(** [create ~delta ()] is an empty ledger. [sink] (when given) receives
+    every event; otherwise [record_events] (default [true]) selects a
+    fresh [Memory] sink or [Null]. *)
+val create : ?record_events:bool -> ?sink:Event_sink.t -> delta:int -> unit -> t
+
+(** The sink events are routed to. *)
+val sink : t -> Event_sink.t
 
 val record_reconfig :
   t -> round:int -> mini_round:int -> location:int ->
@@ -37,7 +43,15 @@ val reconfig_cost : t -> int
 (** [reconfig_cost + drop_count]. *)
 val total_cost : t -> int
 
-(** Events in chronological order ([] when recording is off). *)
+(** Events retained by the sink in chronological order ([] unless the
+    sink is [Memory]). *)
 val events : t -> event list
+
+(** The one-line summary from raw counters — {!pp_summary} uses this, and
+    so does [Rrs_stats.Report] when reconstructing a run from its JSONL,
+    which is what makes the two byte-identical. *)
+val pp_summary_counts :
+  Format.formatter -> delta:int -> reconfigs:int -> drops:int -> execs:int ->
+  unit
 
 val pp_summary : Format.formatter -> t -> unit

@@ -1,9 +1,12 @@
+module Clock = Rrs_obs.Clock
+
 type task = {
   key : string;
   policy : (module Policy.POLICY);
   n : int;
   speed : int;
   instance : Instance.t;
+  sink : Event_sink.t;
 }
 
 type outcome = {
@@ -18,26 +21,42 @@ type outcome = {
   stats : (string * int) list;
 }
 
-let task ?(speed = 1) ~key ~policy ~n instance =
-  { key; policy; n; speed; instance }
+type domain_load = { domain : int; tasks : int; busy_s : float }
+
+type profiled = {
+  outcomes : outcome list;
+  domains : int;
+  wall_s : float;
+  loads : domain_load list;
+}
+
+let task ?(speed = 1) ?(sink = Event_sink.Null) ~key ~policy ~n instance =
+  { key; policy; n; speed; instance; sink }
 
 let default_domains () = max 1 (Domain.recommended_domain_count ())
 
-let map ?(domains = default_domains ()) f items =
+(* Striped assignment: worker [d] owns indices congruent to [d], so every
+   slot of [results] (and of the per-stripe load accounting) has exactly
+   one writer and the merge is just reading the arrays in index
+   (= submission) order. *)
+let map_striped ~domains f items =
   let len = Array.length items in
-  if len = 0 then [||]
+  if len = 0 then ([||], [||])
   else begin
     let domains = max 1 (min domains len) in
     let results = Array.make len None in
-    (* Striped assignment: worker [d] owns indices congruent to [d], so
-       every slot of [results] has exactly one writer and the merge is
-       just reading the array in index (= submission) order. *)
+    let loads = Array.init domains (fun d -> { domain = d; tasks = 0; busy_s = 0.0 }) in
     let work stripe () =
+      let count = ref 0 and busy = ref 0.0 in
       let i = ref stripe in
       while !i < len do
+        let t0 = Clock.now_s () in
         results.(!i) <- Some (f items.(!i));
+        busy := !busy +. Clock.elapsed_s t0;
+        incr count;
         i := !i + domains
-      done
+      done;
+      loads.(stripe) <- { domain = stripe; tasks = !count; busy_s = !busy }
     in
     if domains = 1 then work 0 ()
     else begin
@@ -58,15 +77,19 @@ let map ?(domains = default_domains ()) f items =
       | Some e, _ | None, Some e -> raise e
       | None, None -> ()
     end;
-    Array.map
-      (function Some r -> r | None -> failwith "Sweep.map: missing result")
-      results
+    ( Array.map
+        (function Some r -> r | None -> failwith "Sweep.map: missing result")
+        results,
+      loads )
   end
 
-let run_task { key; policy; n; speed; instance } =
-  let t0 = Unix.gettimeofday () in
-  let result = Engine.run ~speed ~record_events:false ~n ~policy instance in
-  let wall_s = Unix.gettimeofday () -. t0 in
+let map ?(domains = default_domains ()) f items =
+  fst (map_striped ~domains f items)
+
+let run_task { key; policy; n; speed; instance; sink } =
+  let t0 = Clock.now_s () in
+  let result = Engine.run ~speed ~record_events:false ~sink ~n ~policy instance in
+  let wall_s = Clock.elapsed_s t0 in
   {
     key;
     n;
@@ -81,3 +104,14 @@ let run_task { key; policy; n; speed; instance } =
 
 let run ?domains tasks =
   Array.to_list (map ?domains run_task (Array.of_list tasks))
+
+let run_profiled ?(domains = default_domains ()) tasks =
+  let t0 = Clock.now_s () in
+  let results, loads = map_striped ~domains run_task (Array.of_list tasks) in
+  let wall_s = Clock.elapsed_s t0 in
+  {
+    outcomes = Array.to_list results;
+    domains = Array.length loads;
+    wall_s;
+    loads = Array.to_list loads;
+  }

@@ -6,7 +6,7 @@
     inside the worker domain, so runs share no mutable state. Results are
     merged back in submission order, which makes the output — including
     every per-run ledger total — byte-identical whatever the domain
-    count. *)
+    count. Wall clocks come from the monotonic {!Rrs_obs.Clock}. *)
 
 type task = {
   key : string; (* stable identifier, e.g. "dlru-edf/uniform-0.9/seed=3/n=16" *)
@@ -14,6 +14,7 @@ type task = {
   n : int;
   speed : int;
   instance : Instance.t;
+  sink : Event_sink.t; (* per-task event sink; [Null] unless streaming *)
 }
 
 type outcome = {
@@ -28,9 +29,23 @@ type outcome = {
   stats : (string * int) list;
 }
 
-(** [task ?speed ~key ~policy ~n instance] packs one run. *)
+(** Per-domain accounting of a profiled run. [busy_s / wall_s] of the
+    enclosing {!profiled} is the domain's utilization. *)
+type domain_load = { domain : int; tasks : int; busy_s : float }
+
+type profiled = {
+  outcomes : outcome list; (* submission order, as {!run} *)
+  domains : int; (* actual worker count after clamping *)
+  wall_s : float; (* whole-sweep wall clock *)
+  loads : domain_load list; (* one per worker domain *)
+}
+
+(** [task ?speed ?sink ~key ~policy ~n instance] packs one run. [sink]
+    (default [Null]) receives the run's event stream; give each task its
+    own sink — sinks are not synchronized across domains. *)
 val task :
   ?speed:int ->
+  ?sink:Event_sink.t ->
   key:string ->
   policy:(module Policy.POLICY) ->
   n:int ->
@@ -47,6 +62,11 @@ val default_domains : unit -> int
     exception in any worker is re-raised after all domains join. *)
 val map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
 
-(** [run ~domains tasks] executes every task ([record_events] off) and
-    returns the outcomes in submission order. *)
+(** [run ~domains tasks] executes every task ([record_events] off unless
+    the task carries a sink) and returns the outcomes in submission
+    order. *)
 val run : ?domains:int -> task list -> outcome list
+
+(** [run_profiled ~domains tasks] is {!run} plus whole-sweep wall clock
+    and per-domain (tasks, busy seconds) accounting. *)
+val run_profiled : ?domains:int -> task list -> profiled

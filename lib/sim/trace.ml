@@ -55,19 +55,32 @@ let of_string text =
         String.split_on_char ' ' (String.trim line)
         |> List.filter (fun token -> token <> "")
       in
-      if !error = None && not state.finished then
+      if !error = None then
+        if state.finished then begin
+          (* Directives after [end] signal a corrupt or concatenated
+             file; accepting them would silently mis-parse it. *)
+          match tokens with
+          | [] -> ()
+          | token :: _ ->
+              fail lineno (Printf.sprintf "directive %S after end" token)
+        end
+        else
         match tokens with
         | [] -> ()
         | [ "rrs-trace"; "v1" ] -> ()
         | "name" :: rest -> state.name <- String.concat " " rest
         | [ "delta"; value ] -> (
-            match int_of_string_opt value with
-            | Some d -> state.delta <- Some d
-            | None -> fail lineno "bad delta")
+            if state.delta <> None then fail lineno "duplicate delta"
+            else
+              match int_of_string_opt value with
+              | Some d -> state.delta <- Some d
+              | None -> fail lineno "bad delta")
         | "bounds" :: rest ->
-            let bounds = List.filter_map int_of_string_opt rest in
-            if List.length bounds <> List.length rest then fail lineno "bad bounds"
-            else state.bounds <- Some (Array.of_list bounds)
+            if state.bounds <> None then fail lineno "duplicate bounds"
+            else
+              let bounds = List.filter_map int_of_string_opt rest in
+              if List.length bounds <> List.length rest then fail lineno "bad bounds"
+              else state.bounds <- Some (Array.of_list bounds)
         | "arrival" :: round :: pairs -> (
             match int_of_string_opt round with
             | None -> fail lineno "bad arrival round"
@@ -97,11 +110,22 @@ let of_string text =
                  ~arrivals:(List.rev state.arrivals) ())
           with Invalid_argument message -> Error message))
 
+(* Atomic: write a temp file in the same directory, then rename, so an
+   interrupted run can never leave a truncated trace at [path]. *)
 let save instance ~path =
-  let channel = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out channel)
-    (fun () -> output_string channel (to_string instance))
+  let temp_dir = Filename.dirname path in
+  let temp_path, channel =
+    Filename.open_temp_file ~temp_dir (Filename.basename path ^ ".") ".tmp"
+  in
+  match
+    Fun.protect
+      ~finally:(fun () -> close_out channel)
+      (fun () -> output_string channel (to_string instance))
+  with
+  | () -> Sys.rename temp_path path
+  | exception e ->
+      (try Sys.remove temp_path with Sys_error _ -> ());
+      raise e
 
 let load ~path =
   match

@@ -1,4 +1,6 @@
-let schema_version = "rrs-bench/1"
+module Clock = Rrs_obs.Clock
+
+let schema_version = "rrs-bench/2"
 
 type run = {
   policy : string;
@@ -11,6 +13,7 @@ type run = {
   exec_count : int option;
   wall_s : float option;
   minor_words : float option;
+  phases : (string * float * float) list; (* (name, wall_s, minor_words) *)
 }
 
 type experiment = {
@@ -19,6 +22,7 @@ type experiment = {
   mutable runs : run list; (* reverse submission order *)
   mutable exp_wall_s : float;
   mutable exp_minor_words : float;
+  mutable domain_load : (int * int * float) list; (* (domain, tasks, busy_s) *)
 }
 
 type t = {
@@ -42,7 +46,7 @@ let create ~tag =
     tag;
     experiments = [];
     current = None;
-    started_at = Unix.gettimeofday ();
+    started_at = Clock.now_s ();
     minor0 = Gc.minor_words ();
   }
 
@@ -50,7 +54,7 @@ let close_current t =
   match t.current with
   | None -> ()
   | Some experiment ->
-      experiment.exp_wall_s <- Unix.gettimeofday () -. t.started_at;
+      experiment.exp_wall_s <- Clock.elapsed_s t.started_at;
       experiment.exp_minor_words <- Gc.minor_words () -. t.minor0;
       t.experiments <- experiment :: t.experiments;
       t.current <- None
@@ -58,28 +62,44 @@ let close_current t =
 let start_experiment t ~id ~claim =
   close_current t;
   t.current <-
-    Some { id; claim; runs = []; exp_wall_s = 0.0; exp_minor_words = 0.0 };
-  t.started_at <- Unix.gettimeofday ();
+    Some
+      {
+        id;
+        claim;
+        runs = [];
+        exp_wall_s = 0.0;
+        exp_minor_words = 0.0;
+        domain_load = [];
+      };
+  t.started_at <- Clock.now_s ();
   t.minor0 <- Gc.minor_words ()
 
-let record t ~policy ~workload ~n ~delta ~cost ~reconfig_count ~drop_count
-    ?exec_count ?wall_s ?minor_words () =
+let current_experiment t =
   (match t.current with
   | None -> start_experiment t ~id:"adhoc" ~claim:""
   | Some _ -> ());
-  match t.current with
-  | None -> assert false
-  | Some experiment ->
-      experiment.runs <-
-        { policy; workload; n; delta; cost; reconfig_count; drop_count;
-          exec_count; wall_s; minor_words }
-        :: experiment.runs
+  match t.current with None -> assert false | Some experiment -> experiment
+
+let record t ~policy ~workload ~n ~delta ~cost ~reconfig_count ~drop_count
+    ?exec_count ?wall_s ?minor_words ?(phases = []) () =
+  let experiment = current_experiment t in
+  experiment.runs <-
+    { policy; workload; n; delta; cost; reconfig_count; drop_count;
+      exec_count; wall_s; minor_words; phases }
+    :: experiment.runs
 
 let record_outcome t ~workload ~policy (outcome : Rrs_sim.Sweep.outcome) =
   record t ~policy ~workload ~n:outcome.n ~delta:outcome.delta
     ~cost:outcome.cost ~reconfig_count:outcome.reconfig_count
     ~drop_count:outcome.drop_count ~exec_count:outcome.exec_count
     ~wall_s:outcome.wall_s ()
+
+let set_domain_load t loads =
+  let experiment = current_experiment t in
+  experiment.domain_load <-
+    List.map
+      (fun (l : Rrs_sim.Sweep.domain_load) -> (l.domain, l.tasks, l.busy_s))
+      loads
 
 (* ---- JSON rendering (hand-rolled: the container has no JSON library,
    and the schema is flat enough that escaping + printf suffice) ---- *)
@@ -125,6 +145,19 @@ let render_run buffer run =
   | Some words ->
       Buffer.add_string buffer (", \"minor_words\": " ^ float_field words)
   | None -> ());
+  (match run.phases with
+  | [] -> ()
+  | phases ->
+      Buffer.add_string buffer ", \"phases\": {";
+      List.iteri
+        (fun i (name, wall_s, minor_words) ->
+          if i > 0 then Buffer.add_string buffer ", ";
+          escape_into buffer name;
+          Buffer.add_string buffer
+            (Printf.sprintf ": {\"wall_s\": %s, \"minor_words\": %s}"
+               (float_field wall_s) (float_field minor_words)))
+        phases;
+      Buffer.add_char buffer '}');
   Buffer.add_char buffer '}'
 
 let render_experiment buffer experiment =
@@ -136,6 +169,18 @@ let render_experiment buffer experiment =
     (Printf.sprintf ", \"wall_s\": %s, \"minor_words\": %s,\n"
        (float_field experiment.exp_wall_s)
        (float_field experiment.exp_minor_words));
+  (match experiment.domain_load with
+  | [] -> ()
+  | loads ->
+      Buffer.add_string buffer "     \"domain_load\": [";
+      List.iteri
+        (fun i (domain, tasks, busy_s) ->
+          if i > 0 then Buffer.add_string buffer ", ";
+          Buffer.add_string buffer
+            (Printf.sprintf "{\"domain\": %d, \"tasks\": %d, \"busy_s\": %s}"
+               domain tasks (float_field busy_s)))
+        loads;
+      Buffer.add_string buffer "],\n");
   Buffer.add_string buffer "     \"runs\": [";
   let runs = List.rev experiment.runs in
   List.iteri

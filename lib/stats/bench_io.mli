@@ -5,26 +5,40 @@
     bench harness and trajectory-comparison tooling (CI, plotting):
 
     {v
-    { "schema": "rrs-bench/1",
+    { "schema": "rrs-bench/2",
       "tag": "<tag>",
       "experiments": [
         { "id": "E1", "claim": "...",
           "wall_s": 0.01, "minor_words": 12345.0,
+          "domain_load": [                        // optional (sweeps)
+            { "domain": 0, "tasks": 16, "busy_s": 0.5 } ],
           "runs": [
             { "policy": "dlru-edf", "workload": "uniform-0.9", "n": 16,
               "delta": 4, "cost": 123, "reconfig_count": 10,
               "reconfig_cost": 40, "drop_count": 83,
-              "exec_count": 456,          // optional, -1 when unknown
-              "wall_s": 0.002,            // optional, 0 when not measured
-              "minor_words": 6789.0 } ] } ],
+              "exec_count": 456,          // optional
+              "wall_s": 0.002,            // optional
+              "minor_words": 6789.0,      // optional
+              "phases": {                 // optional (profiled runs)
+                "drop":    {"wall_s": 0.0001, "minor_words": 10.0},
+                "arrival": {"wall_s": 0.0001, "minor_words": 10.0},
+                "reconfig":{"wall_s": 0.0001, "minor_words": 10.0},
+                "execute": {"wall_s": 0.0001, "minor_words": 10.0} } } ] } ],
       "totals": { "experiments": 16, "runs": 120, "wall_s": 1.23 } }
     v}
 
+    rrs-bench/2 extends rrs-bench/1 with the optional per-run ["phases"]
+    object (per-phase monotonic wall clock + GC minor-words from
+    [Engine.run ~profile:true]) and the optional per-experiment
+    ["domain_load"] array (per-domain utilization from
+    [Sweep.run_profiled]); all rrs-bench/1 fields are unchanged.
+
     [cost], [reconfig_count], [reconfig_cost] (= delta * reconfig_count)
-    and [drop_count] are deterministic for fixed seeds; [wall_s] and
-    [minor_words] are environment-dependent. Comparisons across commits
-    must key on (experiment id, run index) and the deterministic fields
-    only. *)
+    and [drop_count] are deterministic for fixed seeds; [wall_s],
+    [minor_words], [phases] and [domain_load] are environment-dependent.
+    Comparisons across commits must key on (experiment id, run index) and
+    the deterministic fields only. All wall clocks are monotonic
+    ({!Rrs_obs.Clock}). *)
 
 type t
 
@@ -42,7 +56,8 @@ val create : tag:string -> t
 val start_experiment : t -> id:string -> claim:string -> unit
 
 (** Record one run into the current experiment. [exec_count] defaults to
-    unknown; [wall_s]/[minor_words] to unmeasured. *)
+    unknown; [wall_s]/[minor_words] to unmeasured; [phases] (from
+    [Rrs_obs.Profile.fields]) to absent. *)
 val record :
   t ->
   policy:string ->
@@ -55,12 +70,17 @@ val record :
   ?exec_count:int ->
   ?wall_s:float ->
   ?minor_words:float ->
+  ?phases:(string * float * float) list ->
   unit ->
   unit
 
 (** Record a sweep outcome (workload taken from the task key). *)
 val record_outcome : t -> workload:string -> policy:string ->
   Rrs_sim.Sweep.outcome -> unit
+
+(** Attach per-domain load accounting (from [Sweep.run_profiled]) to the
+    current experiment. *)
+val set_domain_load : t -> Rrs_sim.Sweep.domain_load list -> unit
 
 (** Close the current experiment and render the whole document. *)
 val to_string : t -> string

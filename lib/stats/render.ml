@@ -61,6 +61,43 @@ let grid_timeline ?(max_width = 120) ?(from_round = 0) ?to_round grid =
   in
   render_grid ~max_width ~from_round ~to_round grid
 
+let percentile_table ?(title = "distribution percentiles") snapshots =
+  let table =
+    Table.create ~title
+      ~columns:[ "metric"; "count"; "mean"; "p50"; "p90"; "p99"; "max" ]
+  in
+  List.iter
+    (fun (snap : Rrs_obs.Probe.hist_snapshot) ->
+      Table.add_row table
+        [
+          snap.hist_name;
+          Table.cell_int snap.count;
+          Table.cell_float ~decimals:2 (Rrs_obs.Probe.mean snap);
+          Table.cell_int (Rrs_obs.Probe.percentile snap 0.50);
+          Table.cell_int (Rrs_obs.Probe.percentile snap 0.90);
+          Table.cell_int (Rrs_obs.Probe.percentile snap 0.99);
+          Table.cell_int snap.max_value;
+        ])
+    snapshots;
+  table
+
+let phase_table ?(title = "phase profile") profile =
+  let table =
+    Table.create ~title ~columns:[ "phase"; "wall (s)"; "minor words"; "share" ]
+  in
+  let total = Rrs_obs.Profile.total_wall_s profile in
+  List.iter
+    (fun (name, wall_s, minor_words) ->
+      Table.add_row table
+        [
+          name;
+          Printf.sprintf "%.6f" wall_s;
+          Table.cell_float ~decimals:0 minor_words;
+          Printf.sprintf "%.1f%%" (100.0 *. wall_s /. Float.max total 1e-12);
+        ])
+    (Rrs_obs.Profile.fields profile);
+  table
+
 let timeline ?(max_width = 120) ?(from_round = 0) ?to_round schedule =
   let grid = OS.of_schedule schedule in
   let to_round =

@@ -20,6 +20,16 @@ val timeline :
   Rrs_sim.Schedule.t ->
   string
 
+(** One row per histogram snapshot: count, mean, p50/p90/p99 (bucket
+    upper bounds), max. Used by [rrs report] and anything else rendering
+    probe distributions. *)
+val percentile_table :
+  ?title:string -> Rrs_obs.Probe.hist_snapshot list -> Table.t
+
+(** One row per engine phase: wall seconds, minor words, share of total
+    profiled time. *)
+val phase_table : ?title:string -> Rrs_obs.Profile.t -> Table.t
+
 (** Same for an offline grid. *)
 val grid_timeline :
   ?max_width:int ->

@@ -1,0 +1,40 @@
+(** Reconstruct a run from its streamed [rrs-events/1] JSONL.
+
+    Folds the event lines back into the exact ledger counters of the live
+    run — {!summary_string} is byte-identical to what
+    [Ledger.pp_summary] printed during the run, because both go through
+    [Ledger.pp_summary_counts] — plus the trajectory distributions
+    (execution slack, drop latency, per-round reconfig churn, queue
+    depth) the streaming sink preserves and end-of-run totals lose.
+
+    Memory is bounded: events fold into fixed-bucket histograms
+    ({!Rrs_obs.Probe}), never a retained list. The closing summary line
+    is required and cross-checked against the folded totals, so a
+    truncated file is always detected. *)
+
+type t = {
+  header : Rrs_sim.Event_sink.header;
+  reconfig_count : int;
+  drop_count : int;
+  exec_count : int;
+  rounds_seen : int; (* round-snapshot lines *)
+  events_seen : int; (* reconfig + drop + execute lines *)
+  exec_slack : Rrs_obs.Probe.hist_snapshot; (* deadline - round at execute *)
+  drop_latency : Rrs_obs.Probe.hist_snapshot; (* delay bound of dropped jobs *)
+  round_reconfigs : Rrs_obs.Probe.hist_snapshot; (* churn per round *)
+  queue_depth : Rrs_obs.Probe.hist_snapshot; (* pending jobs per round *)
+  summary : Rrs_sim.Event_sink.summary; (* the file's closing line *)
+}
+
+val of_channel : in_channel -> (t, string) result
+
+val of_path : string -> (t, string) result
+
+(** [delta * reconfig_count + drop_count]. *)
+val total_cost : t -> int
+
+(** The live run's [Ledger.pp_summary] line, reconstructed. *)
+val summary_string : t -> string
+
+(** Percentile tables for the four trajectory distributions. *)
+val tables : t -> Table.t list
