@@ -25,13 +25,13 @@ let section id claim =
 (* Run one policy under the engine, recording cost breakdown, wall clock,
    minor-heap allocation and (when collecting) the per-phase profile into
    the collector. *)
-let recorded_run ?speed ~n ~policy instance =
+let recorded_run ?speed ?faults ~n ~policy instance =
   let module P = (val policy : Rrs_sim.Policy.POLICY) in
   let profile = !bench <> None in
   let minor0 = Gc.minor_words () in
   let t0 = Clock.now_s () in
   let result =
-    Engine.run ?speed ~record_events:false ~profile ~n ~policy instance
+    Engine.run ?speed ?faults ~record_events:false ~profile ~n ~policy instance
   in
   let wall_s = Clock.elapsed_s t0 in
   let minor_words = Gc.minor_words () -. minor0 in
@@ -735,6 +735,67 @@ let e16 () =
     [ 1; 10; 100; 1000 ];
   Table.print table
 
+(* E17 — robustness extension (not a paper claim): graceful degradation
+   under injected location crashes. Sweeping the stationary offline
+   fraction shows drop counts rising with lost capacity while the
+   competitive ordering of the policies is preserved — the schedulers
+   degrade, they do not collapse. Plans come from the seeded generator,
+   so every cell is reproducible from (workload seed, fault seed). *)
+let e17 () =
+  section "E17"
+    "Fault injection: drops grow smoothly with crash density; dlru-edf \
+     stays ahead of the greedy baselines";
+  let n = 8 in
+  let instance =
+    Random_workloads.uniform ~seed:11 ~colors:8 ~delta:4
+      ~bound_log_range:(2, 4) ~horizon:512 ~load:0.7 ~rate_limited:true ()
+  in
+  let policies =
+    [
+      ("dlru-edf", (module Rrs_core.Policy_lru_edf : Rrs_sim.Policy.POLICY));
+      ("dlru", (module Rrs_core.Policy_lru));
+      ("edf", (module Rrs_core.Policy_edf));
+    ]
+  in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E17: cost (drops) vs crash density, %s, n=%d, fault seed 17"
+           instance.Instance.name n)
+      ~columns:
+        ("density" :: "offline lr"
+        :: List.map (fun (name, _) -> name) policies)
+  in
+  List.iter
+    (fun density ->
+      let faults =
+        if density = 0.0 then None
+        else
+          Some
+            (Rrs_workload.Fault_gen.random ~seed:17 ~n
+               ~horizon:instance.Instance.horizon ~crash_density:density
+               ~mean_outage:8 ())
+      in
+      let offline =
+        match faults with
+        | None -> 0
+        | Some plan -> Rrs_sim.Fault.offline_location_rounds plan
+      in
+      Table.add_row table
+        (Printf.sprintf "%.2f" density
+        :: Table.cell_int offline
+        :: List.map
+             (fun (_, policy) ->
+               let ledger =
+                 (recorded_run ?faults ~n ~policy instance).Engine.ledger
+               in
+               Printf.sprintf "%d (%d)" (Ledger.total_cost ledger)
+                 (Ledger.drop_count ledger))
+             policies))
+    [ 0.0; 0.05; 0.1; 0.2; 0.4 ];
+  Table.print table
+
 (* [run_all ?json ()] regenerates every claim table; with [json] set, the
    same results are also serialized to that path as a BENCH_*.json
    document (schema: Bench_io.schema_version). *)
@@ -755,6 +816,7 @@ let run_all ?json () =
   e14 ();
   e15 ();
   e16 ();
+  e17 ();
   (match (!bench, json) with
   | Some b, Some path ->
       Bench_io.write b ~path;

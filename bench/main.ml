@@ -9,28 +9,32 @@
      dune exec bench/main.exe -- tables            # only the claim tables
      dune exec bench/main.exe -- micro             # only the microbenches
      dune exec bench/main.exe -- sweep             # multicore sweep grid
+     dune exec bench/main.exe -- sweep --inject-crash  # + failure isolation
      dune exec bench/main.exe -- tables --json F   # tables + BENCH json
 
    --json FILE serializes the results of the selected mode to FILE using
    the versioned rrs-bench schema (see Rrs_stats.Bench_io); diagnostics
-   go to stderr so stdout stays clean for redirection. *)
+   go to stderr so stdout stays clean for redirection. --inject-crash
+   (sweep mode) adds tasks whose policy raises, proving the sweep
+   completes degraded with attributable errors. *)
 
-let usage = "all | tables | micro | sweep [--json FILE]"
+let usage = "all | tables | micro | sweep [--json FILE] [--inject-crash]"
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  let rec parse mode json = function
-    | [] -> (mode, json)
-    | "--json" :: path :: rest -> parse mode (Some path) rest
+  let rec parse mode json inject_crash = function
+    | [] -> (mode, json, inject_crash)
+    | "--json" :: path :: rest -> parse mode (Some path) inject_crash rest
     | "--json" :: [] ->
         Format.eprintf "--json requires a file argument (usage: %s)@." usage;
         exit 1
-    | arg :: rest when mode = None -> parse (Some arg) json rest
+    | "--inject-crash" :: rest -> parse mode json true rest
+    | arg :: rest when mode = None -> parse (Some arg) json inject_crash rest
     | arg :: _ ->
         Format.eprintf "unexpected argument %S (usage: %s)@." arg usage;
         exit 1
   in
-  let mode, json = parse None None args in
+  let mode, json, inject_crash = parse None None false args in
   let mode = Option.value mode ~default:"all" in
   Format.printf
     "Reconfigurable Resource Scheduling with Variable Delay Bounds — experiment \
@@ -38,7 +42,7 @@ let () =
   (match mode with
   | "tables" -> Experiments.run_all ?json ()
   | "micro" -> Micro.run ()
-  | "sweep" -> Sweep_bench.run ?json ()
+  | "sweep" -> Sweep_bench.run ?json ~inject_crash ()
   | "all" ->
       Experiments.run_all ?json ();
       Micro.run ()

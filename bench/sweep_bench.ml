@@ -6,7 +6,13 @@
    hardware offers it), the per-run ledger totals are checked identical,
    and both wall clocks are reported. On a multicore host the parallel
    pass is expected to be >= 2x faster at 4 domains; on a single core it
-   degrades to the sequential time plus negligible spawn overhead. *)
+   degrades to the sequential time plus negligible spawn overhead.
+
+   With [inject_crash] (CLI: --inject-crash) the grid gains tasks whose
+   policy raises on first reconfigure, exercising the sweep's failure
+   isolation end to end: the crashing tasks must fail with attributable
+   errors, every other task must still complete, and sequential/parallel
+   must agree on both. Only an all-tasks-failed sweep exits nonzero. *)
 
 module Sweep = Rrs_sim.Sweep
 module Instance = Rrs_sim.Instance
@@ -22,66 +28,113 @@ let policies : (string * (module Rrs_sim.Policy.POLICY)) list =
     ("dlru-2", (module Rrs_core.Policy_lru_k));
   ]
 
+(* A deliberately broken policy: raises on the first reconfigure call.
+   Used by --inject-crash to prove one bad task cannot take down a
+   sweep. *)
+module Crashy : Rrs_sim.Policy.POLICY = struct
+  let name = "crashy"
+
+  type t = unit
+
+  let create ~n:_ ~delta:_ ~bounds:_ = ()
+  let on_drop () ~round:_ ~dropped:_ = ()
+  let on_arrival () ~round:_ ~request:_ = ()
+  let reconfigure () _view = failwith "injected crash (--inject-crash)"
+  let stats () = []
+end
+
 (* 4 policies x 4 loads x 4 seeds = 64 runs. Seeds are derived from the
    (load, seed) grid position, so the task list — and with it every
    per-run ledger total — is deterministic. *)
-let grid ~n =
-  let loads = [ 0.3; 0.6; 0.9; 1.2 ] in
+let loads = [ 0.3; 0.6; 0.9; 1.2 ]
+
+let uniform_instance ~seed ~load =
+  Rrs_workload.Random_workloads.uniform ~seed ~colors:24 ~delta:4
+    ~bound_log_range:(0, 5) ~horizon:512 ~load ~rate_limited:true ()
+
+let grid ?(inject_crash = false) ~n () =
   let seeds = [ 1; 2; 3; 4 ] in
-  List.concat_map
-    (fun (name, policy) ->
-      List.concat_map
+  let sound =
+    List.concat_map
+      (fun (name, policy) ->
+        List.concat_map
+          (fun load ->
+            List.map
+              (fun seed ->
+                let instance = uniform_instance ~seed ~load in
+                Sweep.task
+                  ~key:
+                    (Printf.sprintf "%s/load=%.1f/seed=%d/n=%d" name load seed
+                       n)
+                  ~policy ~n instance)
+              seeds)
+          loads)
+      policies
+  in
+  if not inject_crash then sound
+  else
+    sound
+    @ List.map
         (fun load ->
-          List.map
-            (fun seed ->
-              let instance =
-                Rrs_workload.Random_workloads.uniform ~seed ~colors:24 ~delta:4
-                  ~bound_log_range:(0, 5) ~horizon:512 ~load ~rate_limited:true
-                  ()
-              in
-              Sweep.task
-                ~key:
-                  (Printf.sprintf "%s/load=%.1f/seed=%d/n=%d" name load seed n)
-                ~policy ~n instance)
-            seeds)
-        loads)
-    policies
+          Sweep.task
+            ~key:(Printf.sprintf "crashy/load=%.1f/seed=1/n=%d" load n)
+            ~policy:(module Crashy) ~n
+            (uniform_instance ~seed:1 ~load))
+        loads
 
 let total_cost outcomes =
   List.fold_left (fun acc (o : Sweep.outcome) -> acc + o.cost) 0 outcomes
 
-let run ?json () =
-  Format.printf "@.---- sweep: %d-run grid, sequential vs parallel ----@."
-    (List.length (grid ~n:16));
-  let tasks = grid ~n:16 in
+let run ?json ?(inject_crash = false) () =
+  let tasks = grid ~inject_crash ~n:16 () in
+  Format.printf "@.---- sweep: %d-run grid, sequential vs parallel%s ----@."
+    (List.length tasks)
+    (if inject_crash then " (crash injection on)" else "");
   let time f =
     let t0 = Clock.now_s () in
     let result = f () in
     (result, Clock.elapsed_s t0)
   in
-  let sequential, seq_wall = time (fun () -> Sweep.run ~domains:1 tasks) in
+  let seq_results, seq_wall =
+    time (fun () -> Sweep.run_results ~domains:1 tasks)
+  in
+  let sequential = List.filter_map Result.to_option seq_results in
+  let seq_failures =
+    List.filter_map
+      (function Ok _ -> None | Error (f : Sweep.failure) -> Some f)
+      seq_results
+  in
   let domains = max 4 (Sweep.default_domains ()) in
   let profiled = Sweep.run_profiled ~domains tasks in
   let parallel = profiled.Sweep.outcomes in
   let par_wall = profiled.Sweep.wall_s in
   let identical =
-    List.for_all2
-      (fun (a : Sweep.outcome) (b : Sweep.outcome) ->
-        a.key = b.key && a.cost = b.cost
-        && a.reconfig_count = b.reconfig_count
-        && a.drop_count = b.drop_count
-        && a.exec_count = b.exec_count)
-      sequential parallel
+    List.length sequential = List.length parallel
+    && List.for_all2
+         (fun (a : Sweep.outcome) (b : Sweep.outcome) ->
+           a.key = b.key && a.cost = b.cost
+           && a.reconfig_count = b.reconfig_count
+           && a.drop_count = b.drop_count
+           && a.exec_count = b.exec_count)
+         sequential parallel
+    && List.map (fun (f : Sweep.failure) -> f.key) seq_failures
+       = List.map (fun (f : Sweep.failure) -> f.key) profiled.Sweep.failures
   in
   let table =
-    Table.create ~title:"sweep: 64-run grid (n=16, uniform rate-limited)"
-      ~columns:[ "mode"; "domains"; "wall (s)"; "total cost"; "ledgers match" ]
+    Table.create
+      ~title:
+        (Printf.sprintf "sweep: %d-run grid (n=16, uniform rate-limited)"
+           (List.length tasks))
+      ~columns:
+        [ "mode"; "domains"; "wall (s)"; "total cost"; "failed";
+          "ledgers match" ]
   in
   Table.add_row table
     [
       "sequential"; "1";
       Printf.sprintf "%.3f" seq_wall;
       Table.cell_int (total_cost sequential);
+      Table.cell_int (List.length seq_failures);
       "-";
     ];
   Table.add_row table
@@ -90,9 +143,15 @@ let run ?json () =
       Table.cell_int domains;
       Printf.sprintf "%.3f" par_wall;
       Table.cell_int (total_cost parallel);
+      Table.cell_int (List.length profiled.Sweep.failures);
       (if identical then "yes" else "MISMATCH");
     ];
   Table.print table;
+  List.iter
+    (fun (f : Sweep.failure) ->
+      Format.printf "failed task %s: %s (attempt %d)@." f.key f.exn_text
+        f.attempts)
+    profiled.Sweep.failures;
   let util =
     Table.create ~title:"per-domain utilization (parallel pass)"
       ~columns:[ "domain"; "tasks"; "busy (s)"; "util" ]
@@ -113,23 +172,30 @@ let run ?json () =
     (seq_wall /. Float.max par_wall 1e-9)
     domains;
   if not identical then begin
-    Format.eprintf "sweep: parallel ledgers diverge from sequential@.";
+    Format.eprintf "sweep: parallel outcomes diverge from sequential@.";
     exit 1
   end;
-  match json with
+  (match json with
   | None -> ()
   | Some path ->
       let b = Bench_io.create ~tag:(Bench_io.tag_of_path path) in
       Bench_io.start_experiment b ~id:"sweep"
         ~claim:
           (Printf.sprintf
-             "64-run grid: sequential %.3fs vs parallel %.3fs on %d domains"
-             seq_wall par_wall domains);
+             "%d-run grid: sequential %.3fs vs parallel %.3fs on %d domains"
+             (List.length tasks) seq_wall par_wall domains);
       List.iter
         (fun (o : Sweep.outcome) ->
           let policy = List.hd (String.split_on_char '/' o.key) in
           Bench_io.record_outcome b ~workload:o.key ~policy o)
         parallel;
+      List.iter (Bench_io.record_failure b) profiled.Sweep.failures;
       Bench_io.set_domain_load b profiled.Sweep.loads;
       Bench_io.write b ~path;
-      Format.printf "wrote %s@." path
+      Format.printf "wrote %s@." path);
+  (* Degraded completion is success; only a sweep with zero surviving
+     outcomes is a hard failure. *)
+  if parallel = [] && profiled.Sweep.failures <> [] then begin
+    Format.eprintf "sweep: every task failed@.";
+    exit 1
+  end

@@ -2,7 +2,7 @@
    library.
 
    Subcommands: gen, info, run, trace-run, report, compare, sweep,
-   validate, weighted. An instance
+   validate, weighted, faults. An instance
    SOURCE argument is either a workload spec ("uniform:colors=8,load=0.9")
    or "@path/to/file.trace". *)
 
@@ -187,7 +187,7 @@ let trace_run_cmd =
       & info [ "o"; "output" ] ~docv:"FILE"
           ~doc:
             "Write the event stream to $(docv) as versioned JSONL (schema \
-             rrs-events/1, one JSON object per line; read it back with \
+             rrs-events/2, one JSON object per line; read it back with \
              'rrs report').")
   in
   let no_probes =
@@ -196,7 +196,16 @@ let trace_run_cmd =
       & info [ "no-probes" ]
           ~doc:"Skip the engine probes (slack/latency/churn/queue-depth).")
   in
-  let run () source n algo output no_probes =
+  let faults_file =
+    Arg.(
+      value & opt (some string) None
+      & info [ "faults" ] ~docv:"PLAN"
+          ~doc:
+            "Inject the rrs-faults/1 plan from $(docv) (see 'rrs faults'): \
+             crashed locations go dark, poisoned reconfigurations pay delta \
+             without taking effect.")
+  in
+  let run () source n algo output no_probes faults_file =
     let instance = or_die (load_source source) in
     match policy_of_name algo with
     | None ->
@@ -206,6 +215,9 @@ let trace_run_cmd =
           algo;
         exit 1
     | Some policy ->
+        let faults =
+          Option.map (fun path -> or_die (Rrs_sim.Fault.load ~path)) faults_file
+        in
         let channel = open_out output in
         let result =
           Fun.protect
@@ -216,7 +228,7 @@ let trace_run_cmd =
                 else Some (Rrs_obs.Probe.create_registry ())
               in
               Rrs_sim.Engine.run ~sink:(Rrs_sim.Event_sink.Jsonl channel)
-                ?probes ~profile:true ~n ~policy instance)
+                ?probes ~profile:true ?faults ~n ~policy instance)
         in
         Format.printf "%a@." Rrs_sim.Ledger.pp_summary result.ledger;
         (match result.profile with
@@ -234,7 +246,7 @@ let trace_run_cmd =
           per-round snapshot to a JSONL file (bounded memory at any horizon).")
     Term.(
       const run $ verbose_arg $ source_arg $ n_arg $ algo_arg $ output
-      $ no_probes)
+      $ no_probes $ faults_file)
 
 (* ---- report ---- *)
 
@@ -242,7 +254,8 @@ let report_cmd =
   let file_arg =
     Arg.(
       required & pos 0 (some string) None
-      & info [] ~docv:"FILE" ~doc:"An rrs-events/1 JSONL file from trace-run.")
+      & info [] ~docv:"FILE"
+          ~doc:"An rrs-events/1 or /2 JSONL file from trace-run.")
   in
   let run file csv =
     match Rrs_stats.Report.of_path file with
@@ -427,6 +440,92 @@ let validate_cmd =
        ~doc:"Run the solver and independently validate its schedule.")
     Term.(const run $ source_arg $ n_arg)
 
+(* ---- faults ---- *)
+
+let faults_cmd =
+  let gen =
+    let seed =
+      Arg.(value & opt int 0 & info [ "seed" ] ~docv:"S" ~doc:"Generator seed.")
+    in
+    let horizon =
+      Arg.(
+        value & opt int 256
+        & info [ "horizon" ] ~docv:"T" ~doc:"Rounds the plan covers.")
+    in
+    let density =
+      Arg.(
+        value & opt float 0.1
+        & info [ "crash-density" ] ~docv:"P"
+            ~doc:"Stationary offline fraction per location, in [0, 1).")
+    in
+    let mean_outage =
+      Arg.(
+        value & opt int 8
+        & info [ "mean-outage" ] ~docv:"R"
+            ~doc:"Mean crash window length in rounds.")
+    in
+    let fail_rate =
+      Arg.(
+        value & opt float 0.0
+        & info [ "reconfig-fail-rate" ] ~docv:"P"
+            ~doc:
+              "Per (round, location) probability that reconfigurations \
+               there fail (pay delta, no effect).")
+    in
+    let output =
+      Arg.(
+        value & opt (some string) None
+        & info [ "o"; "output" ] ~docv:"FILE"
+            ~doc:"Write the plan to $(docv) (default: stdout).")
+    in
+    let run () n seed horizon density mean_outage fail_rate output =
+      let plan =
+        try
+          Rrs_workload.Fault_gen.random ~seed ~n ~horizon
+            ~crash_density:density ~mean_outage ~reconfig_fail_rate:fail_rate
+            ()
+        with Invalid_argument message ->
+          Format.eprintf "error: %s@." message;
+          exit 1
+      in
+      match output with
+      | Some path ->
+          Rrs_sim.Fault.save plan ~path;
+          Format.printf "%a@.wrote %s@." Rrs_sim.Fault.pp_describe plan path
+      | None -> print_string (Rrs_sim.Fault.to_string plan)
+    in
+    Cmd.v
+      (Cmd.info "gen"
+         ~doc:
+           "Generate a seeded random fault plan (rrs-faults/1 JSONL): \
+            geometric crash/repair phases per location plus optional \
+            reconfiguration failures.")
+      Term.(
+        const run $ verbose_arg $ n_arg $ seed $ horizon $ density
+        $ mean_outage $ fail_rate $ output)
+  in
+  let describe =
+    let file_arg =
+      Arg.(
+        required & pos 0 (some string) None
+        & info [] ~docv:"PLAN" ~doc:"An rrs-faults/1 plan file.")
+    in
+    let run file =
+      let plan = or_die (Rrs_sim.Fault.load ~path:file) in
+      Format.printf "%a@." Rrs_sim.Fault.pp_describe plan
+    in
+    Cmd.v
+      (Cmd.info "describe"
+         ~doc:"Print every fault of a plan in human-readable form.")
+      Term.(const run $ file_arg)
+  in
+  Cmd.group
+    (Cmd.info "faults"
+       ~doc:
+         "Generate and inspect deterministic fault plans for 'rrs trace-run \
+          --faults'.")
+    [ gen; describe ]
+
 (* ---- weighted (companion problem) ---- *)
 
 let weighted_cmd =
@@ -512,5 +611,5 @@ let () =
        (Cmd.group info
           [
             gen_cmd; info_cmd; run_cmd; trace_run_cmd; report_cmd; compare_cmd;
-            sweep_cmd; validate_cmd; weighted_cmd;
+            sweep_cmd; validate_cmd; weighted_cmd; faults_cmd;
           ]))

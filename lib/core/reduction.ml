@@ -16,5 +16,8 @@ let actions_of_events ~map events =
           Some (Rebuild.Configure { round; mini_round; location; color = map next })
       | Ledger.Execute { round; mini_round; location; color; _ } ->
           Some (Rebuild.Run { round; mini_round; location; color = map color })
-      | Ledger.Drop _ -> None)
+      | Ledger.Drop _ -> None
+      (* Fault events never occur in inner reduction runs (reductions do
+         not inject faults), but discard them defensively. *)
+      | Ledger.Crash _ | Ledger.Repair _ | Ledger.Reconfig_failed _ -> None)
     events

@@ -66,7 +66,15 @@ let run ?policy ~n instance =
                  | Rrs_sim.Ledger.Execute e ->
                      Rrs_sim.Ledger.Execute
                        { e with color = distribute.Distribute.parent_of.(e.color) }
-                 | Rrs_sim.Ledger.Drop _ as d -> d))
+                 | Rrs_sim.Ledger.Drop _ as d -> d
+                 (* inner runs inject no faults; relabel defensively *)
+                 | Rrs_sim.Ledger.Reconfig_failed r ->
+                     Rrs_sim.Ledger.Reconfig_failed
+                       {
+                         r with
+                         attempted = distribute.Distribute.parent_of.(r.attempted);
+                       }
+                 | (Rrs_sim.Ledger.Crash _ | Rrs_sim.Ledger.Repair _) as e -> e))
       in
       match Rebuild.rebuild ~instance ~n ~speed:1 ~actions with
       | Error message -> Error ("replay on original instance failed: " ^ message)

@@ -63,7 +63,9 @@ let run (grid : Offline_schedule.t) =
                 let key = (p, block, color) in
                 Hashtbl.replace executed key
                   (1 + try Hashtbl.find executed key with Not_found -> 0)
-            | Ledger.Reconfig _ | Ledger.Drop _ -> ())
+            | Ledger.Reconfig _ | Ledger.Drop _ | Ledger.Crash _
+            | Ledger.Repair _ | Ledger.Reconfig_failed _ ->
+                ())
           schedule.events;
         let output =
           Offline_schedule.create ~instance:inner_instance ~m:(3 * m) ~speed:1

@@ -126,7 +126,12 @@ let of_schedule (schedule : Schedule.t) =
           let slot = (round * schedule.speed) + mini_round in
           fill_until (slot + 1);
           t.execs.(location).(slot) <- true
-      | Ledger.Drop _ -> ())
+      | Ledger.Drop _ -> ()
+      | Ledger.Crash { round; location } ->
+          (* the grid paints crashed spans black (no color, no execs) *)
+          fill_until (round * schedule.speed);
+          current.(location) <- None
+      | Ledger.Repair _ | Ledger.Reconfig_failed _ -> ())
     schedule.events;
   fill_until slots;
   t

@@ -35,7 +35,9 @@ let annotated_executions grid =
              | Ledger.Execute { round; mini_round; location; color; deadline } ->
                  let slot = (round * grid.Offline_schedule.speed) + mini_round in
                  Some (location, slot, color, deadline)
-             | Ledger.Reconfig _ | Ledger.Drop _ -> None)
+             | Ledger.Reconfig _ | Ledger.Drop _ | Ledger.Crash _
+             | Ledger.Repair _ | Ledger.Reconfig_failed _ ->
+                 None)
            schedule.events)
 
 let copy_colors grid =

@@ -18,6 +18,8 @@ type probes = {
   drop_latency : Probe.histogram;
   round_reconfigs : Probe.histogram;
   queue_depth : Probe.histogram;
+  offline_locations : Probe.histogram;
+  failed_reconfigs : Probe.counter;
   color_depth : Probe.gauge array;
 }
 
@@ -28,13 +30,15 @@ let make_probes registry ~num_colors =
     drop_latency = Probe.histogram registry "drop_latency";
     round_reconfigs = Probe.histogram registry "round_reconfigs";
     queue_depth = Probe.histogram registry "queue_depth";
+    offline_locations = Probe.histogram registry "offline_locations";
+    failed_reconfigs = Probe.counter registry "failed_reconfigs";
     color_depth =
       Array.init num_colors (fun color ->
           Probe.gauge registry (Printf.sprintf "queue_depth_c%d" color));
   }
 
 let run ?(speed = 1) ?(record_events = true) ?sink ?probes ?(profile = false)
-    ~n ~policy:(module P : Policy.POLICY) (instance : Instance.t) =
+    ?faults ~n ~policy:(module P : Policy.POLICY) (instance : Instance.t) =
   if n < 1 then invalid_arg "Engine.run: n must be >= 1";
   if speed < 1 then invalid_arg "Engine.run: speed must be >= 1";
   Log.debug (fun m ->
@@ -43,6 +47,12 @@ let run ?(speed = 1) ?(record_events = true) ?sink ?probes ?(profile = false)
   let delta = instance.delta in
   let bounds = instance.bounds in
   let num_colors = Array.length bounds in
+  let faults =
+    match faults with
+    | Some plan when not (Fault.is_empty plan) ->
+        Some (Fault.compile plan ~n ~horizon:instance.Instance.horizon)
+    | Some _ | None -> None
+  in
   let pool = Job_pool.create ~num_colors in
   let ledger = Ledger.create ~record_events ?sink ~delta () in
   let sink = Ledger.sink ledger in
@@ -55,103 +65,158 @@ let run ?(speed = 1) ?(record_events = true) ?sink ?probes ?(profile = false)
   let tick index m = if profile then Profile.stop prof index m in
   let state = P.create ~n ~delta ~bounds in
   let assignment = Array.make n None in
-  for round = 0 to instance.horizon - 1 do
-    let reconfigs0 = Ledger.reconfig_count ledger in
-    let drops0 = Ledger.drop_count ledger in
-    let execs0 = Ledger.exec_count ledger in
-    (* Drop phase: jobs with deadline = round are dropped. *)
-    let m0 = mark () in
-    let dropped = Job_pool.drop_expired pool ~round in
-    if dropped <> [] then
-      Log.debug (fun m ->
-          m "round %d: dropped %a" round
-            (Format.pp_print_list
-               ~pp_sep:(fun ppf () -> Format.fprintf ppf " ")
-               (fun ppf (c, k) -> Format.fprintf ppf "%d:%d" c k))
+  let offline = Array.make n false in
+  let offline_count = ref 0 in
+  let current_round = ref 0 in
+  let simulate () =
+    for round = 0 to instance.horizon - 1 do
+      current_round := round;
+      let reconfigs0 = Ledger.reconfig_count ledger in
+      let drops0 = Ledger.drop_count ledger in
+      let execs0 = Ledger.exec_count ledger in
+      (* Fault transitions, before the drop phase: repairs first, then
+         crashes (a merged plan never has both for one location in one
+         round). A crashed location loses its color. *)
+      (match faults with
+      | None -> ()
+      | Some plan ->
+          List.iter
+            (fun location ->
+              offline.(location) <- false;
+              decr offline_count;
+              Ledger.record_repair ledger ~round ~location)
+            (Fault.repairs_at plan ~round);
+          List.iter
+            (fun location ->
+              offline.(location) <- true;
+              incr offline_count;
+              assignment.(location) <- None;
+              Ledger.record_crash ledger ~round ~location)
+            (Fault.crashes_at plan ~round));
+      (* Drop phase: jobs with deadline = round are dropped. *)
+      let m0 = mark () in
+      let dropped = Job_pool.drop_expired pool ~round in
+      if dropped <> [] then
+        Log.debug (fun m ->
+            m "round %d: dropped %a" round
+              (Format.pp_print_list
+                 ~pp_sep:(fun ppf () -> Format.fprintf ppf " ")
+                 (fun ppf (c, k) -> Format.fprintf ppf "%d:%d" c k))
+              dropped);
+      List.iter
+        (fun (color, count) -> Ledger.record_drop ledger ~round ~color ~count)
+        dropped;
+      (match probes with
+      | None -> ()
+      | Some p ->
+          List.iter
+            (fun (color, count) ->
+              Probe.observe_n p.drop_latency bounds.(color) ~n:count)
             dropped);
-    List.iter
-      (fun (color, count) -> Ledger.record_drop ledger ~round ~color ~count)
-      dropped;
-    (match probes with
-    | None -> ()
-    | Some p ->
-        List.iter
-          (fun (color, count) ->
-            Probe.observe_n p.drop_latency bounds.(color) ~n:count)
-          dropped);
-    P.on_drop state ~round ~dropped;
-    tick 0 m0;
-    (* Arrival phase. *)
-    let m1 = mark () in
-    let request = instance.requests.(round) in
-    List.iter
-      (fun (color, count) ->
-        Job_pool.add pool ~color ~deadline:(round + bounds.(color)) ~count)
-      request;
-    P.on_arrival state ~round ~request;
-    tick 1 m1;
-    (* Reconfiguration + execution, [speed] mini-rounds. *)
-    for mini_round = 0 to speed - 1 do
-      let m2 = mark () in
-      let view =
-        { Policy.round; mini_round; n; delta; bounds; assignment; pool }
-      in
-      let target = P.reconfigure state view in
-      if Array.length target <> n then
-        invalid_arg
-          (Printf.sprintf "Engine.run: policy %s returned %d locations, expected %d"
-             P.name (Array.length target) n);
-      for location = 0 to n - 1 do
-        match target.(location) with
-        | None -> () (* inactive this mini-round; physical color persists *)
-        | Some next ->
-            if next < 0 || next >= num_colors then
-              invalid_arg
-                (Printf.sprintf
-                   "Engine.run: policy %s returned color %d at location %d \
-                    (round %d, mini-round %d); valid colors are 0..%d"
-                   P.name next location round mini_round (num_colors - 1));
-            if assignment.(location) <> Some next then begin
-              Ledger.record_reconfig ledger ~round ~mini_round ~location
-                ~previous:assignment.(location) ~next;
-              assignment.(location) <- Some next
-            end
-      done;
-      tick 2 m2;
-      let m3 = mark () in
-      for location = 0 to n - 1 do
-        match target.(location) with
-        | None -> ()
-        | Some color -> (
-            match Job_pool.execute_one pool ~color ~round with
+      P.on_drop state ~round ~dropped;
+      tick 0 m0;
+      (* Arrival phase. *)
+      let m1 = mark () in
+      let request = instance.requests.(round) in
+      List.iter
+        (fun (color, count) ->
+          Job_pool.add pool ~color ~deadline:(round + bounds.(color)) ~count)
+        request;
+      P.on_arrival state ~round ~request;
+      tick 1 m1;
+      (* Reconfiguration + execution, [speed] mini-rounds. *)
+      for mini_round = 0 to speed - 1 do
+        let m2 = mark () in
+        let view =
+          { Policy.round; mini_round; n; delta; bounds; assignment; pool }
+        in
+        let target = P.reconfigure state view in
+        if Array.length target <> n then
+          invalid_arg
+            (Printf.sprintf
+               "Engine.run: policy %s returned %d locations, expected %d"
+               P.name (Array.length target) n);
+        for location = 0 to n - 1 do
+          match target.(location) with
+          | None -> () (* inactive this mini-round; physical color persists *)
+          | Some next ->
+              if next < 0 || next >= num_colors then
+                invalid_arg
+                  (Printf.sprintf
+                     "Engine.run: policy %s returned color %d at location %d \
+                      (round %d, mini-round %d); valid colors are 0..%d"
+                     P.name next location round mini_round (num_colors - 1));
+              if offline.(location) then
+                () (* offline: the target is ignored, nothing is paid *)
+              else if assignment.(location) <> Some next then
+                if
+                  match faults with
+                  | None -> false
+                  | Some plan -> Fault.reconfig_fails plan ~round ~location
+                then begin
+                  Ledger.record_failed_reconfig ledger ~round ~mini_round
+                    ~location ~previous:assignment.(location) ~attempted:next;
+                  match probes with
+                  | None -> ()
+                  | Some p -> Probe.incr p.failed_reconfigs
+                end
+                else begin
+                  Ledger.record_reconfig ledger ~round ~mini_round ~location
+                    ~previous:assignment.(location) ~next;
+                  assignment.(location) <- Some next
+                end
+        done;
+        tick 2 m2;
+        let m3 = mark () in
+        for location = 0 to n - 1 do
+          (* Execute the location's PHYSICAL color: after a failed
+             reconfiguration it differs from the policy's target. *)
+          if not offline.(location) && target.(location) <> None then
+            match assignment.(location) with
             | None -> ()
-            | Some deadline ->
-                Ledger.record_execute ledger ~round ~mini_round ~location ~color
-                  ~deadline;
-                (match probes with
+            | Some color -> (
+                match Job_pool.execute_one pool ~color ~round with
                 | None -> ()
-                | Some p -> Probe.observe p.exec_slack (deadline - round)))
+                | Some deadline ->
+                    Ledger.record_execute ledger ~round ~mini_round ~location
+                      ~color ~deadline;
+                    (match probes with
+                    | None -> ()
+                    | Some p -> Probe.observe p.exec_slack (deadline - round)))
+        done;
+        tick 3 m3
       done;
-      tick 3 m3
-    done;
-    (* End-of-round observability: probes and the streamed snapshot. *)
-    (match probes with
-    | None -> ()
-    | Some p ->
-        Probe.observe p.round_reconfigs
-          (Ledger.reconfig_count ledger - reconfigs0);
-        Probe.observe p.queue_depth (Job_pool.total_pending pool);
-        Array.iteri
-          (fun color g -> Probe.set_gauge g (Job_pool.pending pool color))
-          p.color_depth);
-    Event_sink.write_round sink ~round
-      ~pending:(Job_pool.total_pending pool)
-      ~reconfigs:(Ledger.reconfig_count ledger - reconfigs0)
-      ~drops:(Ledger.drop_count ledger - drops0)
-      ~execs:(Ledger.exec_count ledger - execs0)
-  done;
+      (* End-of-round observability: probes and the streamed snapshot. *)
+      (match probes with
+      | None -> ()
+      | Some p ->
+          Probe.observe p.round_reconfigs
+            (Ledger.reconfig_count ledger - reconfigs0);
+          Probe.observe p.queue_depth (Job_pool.total_pending pool);
+          Probe.observe p.offline_locations !offline_count;
+          Array.iteri
+            (fun color g -> Probe.set_gauge g (Job_pool.pending pool color))
+            p.color_depth);
+      Event_sink.write_round sink ~round
+        ~pending:(Job_pool.total_pending pool)
+        ~reconfigs:(Ledger.reconfig_count ledger - reconfigs0)
+        ~drops:(Ledger.drop_count ledger - drops0)
+        ~execs:(Ledger.exec_count ledger - execs0)
+    done
+  in
+  (* A policy exception mid-run must not leave a silently truncated
+     stream: close it with an explicit aborted record, flush, re-raise. *)
+  (match simulate () with
+  | () -> ()
+  | exception e ->
+      let backtrace = Printexc.get_raw_backtrace () in
+      Event_sink.write_aborted sink ~round:!current_round
+        ~reason:(Printexc.to_string e);
+      Event_sink.flush sink;
+      Printexc.raise_with_backtrace e backtrace);
   Event_sink.write_summary sink ~delta
     ~reconfigs:(Ledger.reconfig_count ledger)
+    ~failed:(Ledger.failed_reconfig_count ledger)
     ~drops:(Ledger.drop_count ledger) ~execs:(Ledger.exec_count ledger);
   Event_sink.flush sink;
   Log.debug (fun m ->
@@ -170,6 +235,8 @@ let run ?(speed = 1) ?(record_events = true) ?sink ?probes ?(profile = false)
     profile = (if profile then Some prof else None);
   }
 
-let cost ?speed ~n ~policy instance =
-  let { ledger; _ } = run ?speed ~record_events:false ~n ~policy instance in
+let cost ?speed ?faults ~n ~policy instance =
+  let { ledger; _ } =
+    run ?speed ?faults ~record_events:false ~n ~policy instance
+  in
   Ledger.total_cost ledger

@@ -8,11 +8,22 @@
     location configured with color [c] executes up to one pending job of
     color [c], always the one with the earliest deadline.
 
+    Fault injection (opt-in via [faults], see {!Fault}): crash windows
+    take locations offline at the start of a round (before the drop
+    phase) — an offline location loses its color, ignores the policy's
+    target and executes nothing until repaired — and reconfiguration
+    failures make a Configure pay [Delta] without taking effect. With an
+    empty (or absent) plan the engine behaves bit-for-bit as before.
+
     Observability (all opt-in, zero-cost when off):
     - [sink]: stream ledger events, per-round snapshots and a closing
-      summary (JSONL schema [rrs-events/1]) with bounded resident memory.
+      summary (JSONL schema [rrs-events/2]) with bounded resident memory.
+      A policy exception mid-run closes the stream with an explicit
+      [aborted] record (then re-raises), so readers can tell an abort
+      from silent truncation.
     - [probes]: register the standard engine probes ([exec_slack],
-      [drop_latency], [round_reconfigs], [queue_depth], per-color
+      [drop_latency], [round_reconfigs], [queue_depth],
+      [offline_locations], [failed_reconfigs], per-color
       [queue_depth_c<i>] gauges) in the given registry; their snapshot is
       appended to [result.stats], sharing the policy-stats namespace that
       [Rrs_core.Instrument.stat] reads.
@@ -43,14 +54,18 @@ type result = {
     registry.
     @param profile measure per-phase wall clock and allocation; default
     false.
+    @param faults deterministic fault plan; absent or {!Fault.empty}
+    leaves the run untouched.
     @raise Invalid_argument if the policy returns an assignment of the
-    wrong length, or [n < 1], or [speed < 1]. *)
+    wrong length, or [n < 1], or [speed < 1], or the fault plan names a
+    location [>= n]. *)
 val run :
   ?speed:int ->
   ?record_events:bool ->
   ?sink:Event_sink.t ->
   ?probes:Rrs_obs.Probe.registry ->
   ?profile:bool ->
+  ?faults:Fault.plan ->
   n:int ->
   policy:(module Policy.POLICY) ->
   Instance.t ->
@@ -58,4 +73,5 @@ val run :
 
 (** Convenience: [total_cost (run ...)]. *)
 val cost :
-  ?speed:int -> n:int -> policy:(module Policy.POLICY) -> Instance.t -> int
+  ?speed:int -> ?faults:Fault.plan -> n:int -> policy:(module Policy.POLICY) ->
+  Instance.t -> int

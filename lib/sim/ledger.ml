@@ -4,11 +4,17 @@ type event = Event_sink.event =
   | Drop of { round : int; color : Types.color; count : int }
   | Execute of { round : int; mini_round : int; location : int;
                  color : Types.color; deadline : int }
+  | Crash of { round : int; location : int }
+  | Repair of { round : int; location : int }
+  | Reconfig_failed of { round : int; mini_round : int; location : int;
+                         previous : Types.color option;
+                         attempted : Types.color }
 
 type t = {
   delta : int;
   sink : Event_sink.t;
   mutable reconfigs : int;
+  mutable failed : int;
   mutable drops : int;
   mutable execs : int;
 }
@@ -19,7 +25,7 @@ let create ?(record_events = true) ?sink ~delta () =
     | Some sink -> sink
     | None -> if record_events then Event_sink.memory () else Event_sink.Null
   in
-  { delta; sink; reconfigs = 0; drops = 0; execs = 0 }
+  { delta; sink; reconfigs = 0; failed = 0; drops = 0; execs = 0 }
 
 let sink t = t.sink
 
@@ -27,6 +33,13 @@ let record_reconfig t ~round ~mini_round ~location ~previous ~next =
   t.reconfigs <- t.reconfigs + 1;
   Event_sink.record t.sink
     (Reconfig { round; mini_round; location; previous; next })
+
+let record_failed_reconfig t ~round ~mini_round ~location ~previous ~attempted =
+  (* A failed Configure still pays Delta, so it counts as a reconfig. *)
+  t.reconfigs <- t.reconfigs + 1;
+  t.failed <- t.failed + 1;
+  Event_sink.record t.sink
+    (Reconfig_failed { round; mini_round; location; previous; attempted })
 
 let record_drop t ~round ~color ~count =
   if count < 0 then invalid_arg "Ledger.record_drop: negative count";
@@ -38,19 +51,33 @@ let record_execute t ~round ~mini_round ~location ~color ~deadline =
   Event_sink.record t.sink
     (Execute { round; mini_round; location; color; deadline })
 
+let record_crash t ~round ~location =
+  Event_sink.record t.sink (Crash { round; location })
+
+let record_repair t ~round ~location =
+  Event_sink.record t.sink (Repair { round; location })
+
 let reconfig_count t = t.reconfigs
+let failed_reconfig_count t = t.failed
 let drop_count t = t.drops
 let exec_count t = t.execs
 let reconfig_cost t = t.delta * t.reconfigs
 let total_cost t = reconfig_cost t + t.drops
 let events t = Event_sink.events t.sink
 
-let pp_summary_counts ppf ~delta ~reconfigs ~drops ~execs =
-  Format.fprintf ppf
-    "cost=%d (reconfig=%d x delta=%d -> %d, drops=%d) executed=%d"
-    ((delta * reconfigs) + drops)
-    reconfigs delta (delta * reconfigs) drops execs
+let pp_summary_counts ?(failed = 0) ppf ~delta ~reconfigs ~drops ~execs =
+  if failed = 0 then
+    Format.fprintf ppf
+      "cost=%d (reconfig=%d x delta=%d -> %d, drops=%d) executed=%d"
+      ((delta * reconfigs) + drops)
+      reconfigs delta (delta * reconfigs) drops execs
+  else
+    Format.fprintf ppf
+      "cost=%d (reconfig=%d x delta=%d -> %d, of which %d failed, drops=%d) \
+       executed=%d"
+      ((delta * reconfigs) + drops)
+      reconfigs delta (delta * reconfigs) failed drops execs
 
 let pp_summary ppf t =
-  pp_summary_counts ppf ~delta:t.delta ~reconfigs:t.reconfigs ~drops:t.drops
-    ~execs:t.execs
+  pp_summary_counts ~failed:t.failed ppf ~delta:t.delta ~reconfigs:t.reconfigs
+    ~drops:t.drops ~execs:t.execs

@@ -8,9 +8,12 @@ type t = {
 let of_run ~instance ~n ~speed ledger =
   { instance; n; speed; events = Ledger.events ledger }
 
+(* Paid reconfigurations: failed ones still cost Delta. *)
 let reconfig_count t =
   List.fold_left
-    (fun acc -> function Ledger.Reconfig _ -> acc + 1 | _ -> acc)
+    (fun acc -> function
+      | Ledger.Reconfig _ | Ledger.Reconfig_failed _ -> acc + 1
+      | _ -> acc)
     0 t.events
 
 let drop_count t =
@@ -42,8 +45,36 @@ let validate t =
   let bounds = instance.bounds in
   let pool = Job_pool.create ~num_colors:(Array.length bounds) in
   let assignment = Array.make t.n None in
+  let offline = Array.make t.n false in
   let events = ref t.events in
   for round = 0 to instance.horizon - 1 do
+    (* Fault transitions (round start, before the drop phase): a repair
+       brings an offline location back black; a crash takes an online
+       location down and clears its color. *)
+    let rec take_faults () =
+      match !events with
+      | Ledger.Repair { round = r; location } :: rest when r = round ->
+          events := rest;
+          if location < 0 || location >= t.n then
+            err "round %d: repair at bad location %d" round location
+          else if not offline.(location) then
+            err "round %d: repair of online location %d" round location
+          else offline.(location) <- false;
+          take_faults ()
+      | Ledger.Crash { round = r; location } :: rest when r = round ->
+          events := rest;
+          if location < 0 || location >= t.n then
+            err "round %d: crash at bad location %d" round location
+          else if offline.(location) then
+            err "round %d: crash of already-offline location %d" round location
+          else begin
+            offline.(location) <- true;
+            assignment.(location) <- None
+          end;
+          take_faults ()
+      | _ -> ()
+    in
+    take_faults ();
     (* Drop phase. *)
     let expected_drops = Job_pool.drop_expired pool ~round in
     let rec take_drops acc =
@@ -75,6 +106,9 @@ let validate t =
               err "round %d.%d: reconfig at bad location %d" round mini_round
                 location
             else begin
+              if offline.(location) then
+                err "round %d.%d: offline location %d reconfigures" round
+                  mini_round location;
               if assignment.(location) <> previous then
                 err "round %d.%d: reconfig at location %d claims previous %s"
                   round mini_round location
@@ -83,6 +117,32 @@ let validate t =
                 err "round %d.%d: reconfig at location %d to its own color %d"
                   round mini_round location next;
               assignment.(location) <- Some next
+            end;
+            take_reconfigs ()
+        | Ledger.Reconfig_failed
+            { round = r; mini_round = m; location; previous; attempted }
+          :: rest
+          when r = round && m = mini_round ->
+            events := rest;
+            if location < 0 || location >= t.n then
+              err "round %d.%d: failed reconfig at bad location %d" round
+                mini_round location
+            else begin
+              if offline.(location) then
+                err "round %d.%d: offline location %d pays a failed reconfig"
+                  round mini_round location;
+              if assignment.(location) <> previous then
+                err
+                  "round %d.%d: failed reconfig at location %d claims \
+                   previous %s"
+                  round mini_round location
+                  (match previous with None -> "black" | Some c -> string_of_int c);
+              if assignment.(location) = Some attempted then
+                err
+                  "round %d.%d: failed reconfig at location %d to its own \
+                   color %d"
+                  round mini_round location attempted
+              (* the old color stays: assignment is deliberately unchanged *)
             end;
             take_reconfigs ()
         | _ -> ()
@@ -99,6 +159,9 @@ let validate t =
               err "round %d.%d: execution at bad location %d" round mini_round
                 location
             else begin
+              if offline.(location) then
+                err "round %d.%d: offline location %d executes" round mini_round
+                  location;
               if used.(location) then
                 err "round %d.%d: location %d executes twice" round mini_round
                   location;
@@ -131,5 +194,9 @@ let validate t =
   | [] -> ()
   | Ledger.Reconfig { round; _ } :: _ -> err "unconsumed reconfig event at round %d" round
   | Ledger.Drop { round; _ } :: _ -> err "unconsumed drop event at round %d" round
-  | Ledger.Execute { round; _ } :: _ -> err "unconsumed execute event at round %d" round);
+  | Ledger.Execute { round; _ } :: _ -> err "unconsumed execute event at round %d" round
+  | Ledger.Crash { round; _ } :: _ -> err "unconsumed crash event at round %d" round
+  | Ledger.Repair { round; _ } :: _ -> err "unconsumed repair event at round %d" round
+  | Ledger.Reconfig_failed { round; _ } :: _ ->
+      err "unconsumed failed-reconfig event at round %d" round);
   match List.rev !errors with [] -> Ok () | errors -> Error errors

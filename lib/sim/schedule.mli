@@ -16,7 +16,8 @@ type t = {
 
 val of_run : instance:Instance.t -> n:int -> speed:int -> Ledger.t -> t
 
-(** Recompute costs from the event log. *)
+(** Recompute costs from the event log. Failed reconfigurations count —
+    they paid [Delta]. *)
 val reconfig_count : t -> int
 
 val drop_count : t -> int
@@ -28,6 +29,9 @@ val total_cost : t -> int
     - reconfiguration events carry the true previous color;
     - at most one execution per (location, mini-round), on the location's
       configured color, consuming a genuinely pending job;
+    - fault coherence: crash/repair transitions alternate per location, a
+      crash clears the color, and an offline location neither
+      reconfigures (successfully or not) nor executes;
     - rounds, mini-rounds and phases appear in chronological order.
     Returns all violations found (empty list = valid). *)
 val validate : t -> (unit, string list) result

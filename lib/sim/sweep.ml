@@ -7,6 +7,7 @@ type task = {
   speed : int;
   instance : Instance.t;
   sink : Event_sink.t;
+  faults : Fault.plan option;
 }
 
 type outcome = {
@@ -21,24 +22,35 @@ type outcome = {
   stats : (string * int) list;
 }
 
+type failure = {
+  key : string;
+  exn_text : string;
+  backtrace : string;
+  attempts : int;
+}
+
 type domain_load = { domain : int; tasks : int; busy_s : float }
 
 type profiled = {
   outcomes : outcome list;
+  failures : failure list;
   domains : int;
   wall_s : float;
   loads : domain_load list;
 }
 
-let task ?(speed = 1) ?(sink = Event_sink.Null) ~key ~policy ~n instance =
-  { key; policy; n; speed; instance; sink }
+let task ?(speed = 1) ?(sink = Event_sink.Null) ?faults ~key ~policy ~n
+    instance =
+  { key; policy; n; speed; instance; sink; faults }
 
 let default_domains () = max 1 (Domain.recommended_domain_count ())
 
 (* Striped assignment: worker [d] owns indices congruent to [d], so every
    slot of [results] (and of the per-stripe load accounting) has exactly
    one writer and the merge is just reading the arrays in index
-   (= submission) order. *)
+   (= submission) order. [f] must not raise: a dying worker would leave
+   every remaining slot of its stripe empty, losing which task failed —
+   callers wrap [f] with [capture] or return a result themselves. *)
 let map_striped ~domains f items =
   let len = Array.length items in
   if len = 0 then ([||], [||])
@@ -83,12 +95,26 @@ let map_striped ~domains f items =
       loads )
   end
 
-let map ?(domains = default_domains ()) f items =
-  fst (map_striped ~domains f items)
+(* Per-item exception isolation: the worker survives and every other slot
+   of its stripe still gets computed. *)
+let capture f x =
+  try Ok (f x) with e -> Error (e, Printexc.get_raw_backtrace ())
 
-let run_task { key; policy; n; speed; instance; sink } =
+let map ?(domains = default_domains ()) f items =
+  let results, _ = map_striped ~domains (capture f) items in
+  (* Re-raise the lowest-index failure with its original backtrace, as if
+     [f] had been applied sequentially. *)
+  Array.map
+    (function
+      | Ok v -> v
+      | Error (e, backtrace) -> Printexc.raise_with_backtrace e backtrace)
+    results
+
+let run_task { key; policy; n; speed; instance; sink; faults } =
   let t0 = Clock.now_s () in
-  let result = Engine.run ~speed ~record_events:false ~sink ~n ~policy instance in
+  let result =
+    Engine.run ~speed ~record_events:false ~sink ?faults ~n ~policy instance
+  in
   let wall_s = Clock.elapsed_s t0 in
   {
     key;
@@ -102,16 +128,50 @@ let run_task { key; policy; n; speed; instance; sink } =
     stats = result.stats;
   }
 
-let run ?domains tasks =
-  Array.to_list (map ?domains run_task (Array.of_list tasks))
+(* Retries are for transient sink IO ([Sys_error]: disk full, closed
+   descriptor, NFS hiccup) — the engine itself is deterministic, so any
+   other exception would fail identically on every attempt. *)
+let run_one ?(retries = 1) task =
+  let rec go attempt =
+    match run_task task with
+    | outcome -> Ok outcome
+    | exception Sys_error _ when attempt <= retries -> go (attempt + 1)
+    | exception e ->
+        Error
+          {
+            key = task.key;
+            exn_text = Printexc.to_string e;
+            backtrace =
+              Printexc.raw_backtrace_to_string (Printexc.get_raw_backtrace ());
+            attempts = attempt;
+          }
+  in
+  go 1
 
-let run_profiled ?(domains = default_domains ()) tasks =
+let run_results ?domains ?retries tasks =
+  Array.to_list (map ?domains (run_one ?retries) (Array.of_list tasks))
+
+let run ?domains tasks =
+  List.map
+    (function
+      | Ok outcome -> outcome
+      | Error { key; exn_text; _ } ->
+          failwith (Printf.sprintf "Sweep.run: task %s failed: %s" key exn_text))
+    (run_results ?domains tasks)
+
+let run_profiled ?(domains = default_domains ()) ?retries tasks =
   let t0 = Clock.now_s () in
-  let results, loads = map_striped ~domains run_task (Array.of_list tasks) in
+  let results, loads =
+    map_striped ~domains (run_one ?retries) (Array.of_list tasks)
+  in
   let wall_s = Clock.elapsed_s t0 in
-  {
-    outcomes = Array.to_list results;
-    domains = Array.length loads;
-    wall_s;
-    loads = Array.to_list loads;
-  }
+  let outcomes, failures =
+    Array.fold_right
+      (fun r (oks, errs) ->
+        match r with
+        | Ok o -> (o :: oks, errs)
+        | Error f -> (oks, f :: errs))
+      results ([], [])
+  in
+  { outcomes; failures; domains = Array.length loads; wall_s;
+    loads = Array.to_list loads }

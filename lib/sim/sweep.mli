@@ -6,7 +6,15 @@
     inside the worker domain, so runs share no mutable state. Results are
     merged back in submission order, which makes the output — including
     every per-run ledger total — byte-identical whatever the domain
-    count. Wall clocks come from the monotonic {!Rrs_obs.Clock}. *)
+    count. Wall clocks come from the monotonic {!Rrs_obs.Clock}.
+
+    Failure isolation: one task raising (a buggy policy, a sink whose
+    disk filled) never takes down the sweep. Exceptions are caught
+    per-task inside the worker, so the rest of the stripe still runs, and
+    {!run_results} reports exactly which key failed, with the exception
+    text and backtrace. Transient sink IO errors ([Sys_error]) get a
+    bounded number of retries; nothing else is retried — engine runs are
+    deterministic, so any other exception would fail identically. *)
 
 type task = {
   key : string; (* stable identifier, e.g. "dlru-edf/uniform-0.9/seed=3/n=16" *)
@@ -15,6 +23,7 @@ type task = {
   speed : int;
   instance : Instance.t;
   sink : Event_sink.t; (* per-task event sink; [Null] unless streaming *)
+  faults : Fault.plan option; (* injected fault plan, pure data per task *)
 }
 
 type outcome = {
@@ -29,23 +38,35 @@ type outcome = {
   stats : (string * int) list;
 }
 
+(** One task's terminal failure, after any retries. *)
+type failure = {
+  key : string; (* the task's key — failures are attributable *)
+  exn_text : string; (* [Printexc.to_string] of the last exception *)
+  backtrace : string;
+  attempts : int; (* total attempts made, retries included *)
+}
+
 (** Per-domain accounting of a profiled run. [busy_s / wall_s] of the
     enclosing {!profiled} is the domain's utilization. *)
 type domain_load = { domain : int; tasks : int; busy_s : float }
 
 type profiled = {
-  outcomes : outcome list; (* submission order, as {!run} *)
+  outcomes : outcome list; (* successes, submission order *)
+  failures : failure list; (* terminal failures, submission order *)
   domains : int; (* actual worker count after clamping *)
   wall_s : float; (* whole-sweep wall clock *)
   loads : domain_load list; (* one per worker domain *)
 }
 
-(** [task ?speed ?sink ~key ~policy ~n instance] packs one run. [sink]
-    (default [Null]) receives the run's event stream; give each task its
-    own sink — sinks are not synchronized across domains. *)
+(** [task ?speed ?sink ?faults ~key ~policy ~n instance] packs one run.
+    [sink] (default [Null]) receives the run's event stream; give each
+    task its own sink — sinks are not synchronized across domains.
+    [faults] injects a deterministic fault plan (pure data, so faulted
+    sweeps stay byte-identical across domain counts). *)
 val task :
   ?speed:int ->
   ?sink:Event_sink.t ->
+  ?faults:Fault.plan ->
   key:string ->
   policy:(module Policy.POLICY) ->
   n:int ->
@@ -59,14 +80,26 @@ val default_domains : unit -> int
     across [domains] worker domains ([domains <= 1] runs sequentially in
     the calling domain). The result array is in input order regardless of
     completion order. [f] must not touch shared mutable state. An
-    exception in any worker is re-raised after all domains join. *)
+    exception from [f] is captured per-item (other items still run) and
+    the lowest-index one is re-raised — with its original backtrace —
+    after all domains join, as if [f] had been applied sequentially. *)
 val map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
 
-(** [run ~domains tasks] executes every task ([record_events] off unless
-    the task carries a sink) and returns the outcomes in submission
-    order. *)
+(** [run_results ~domains ~retries tasks] executes every task and returns,
+    in submission order, [Ok outcome] or [Error failure] per task — one
+    crashing task never loses the others. [Sys_error] (transient sink IO)
+    is retried up to [retries] extra times (default 1, immediately — no
+    backoff clock, keeping sweeps deterministic); any other exception
+    fails the task on first raise. *)
+val run_results :
+  ?domains:int -> ?retries:int -> task list -> (outcome, failure) result list
+
+(** [run ~domains tasks] is {!run_results} for sweeps expected to be
+    all-green: outcomes in submission order.
+    @raise Failure naming the first failing task's key. *)
 val run : ?domains:int -> task list -> outcome list
 
-(** [run_profiled ~domains tasks] is {!run} plus whole-sweep wall clock
-    and per-domain (tasks, busy seconds) accounting. *)
-val run_profiled : ?domains:int -> task list -> profiled
+(** [run_profiled ~domains tasks] is {!run_results} plus whole-sweep wall
+    clock and per-domain (tasks, busy seconds) accounting; successes and
+    failures are split out. *)
+val run_profiled : ?domains:int -> ?retries:int -> task list -> profiled

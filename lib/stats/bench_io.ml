@@ -1,6 +1,6 @@
 module Clock = Rrs_obs.Clock
 
-let schema_version = "rrs-bench/2"
+let schema_version = "rrs-bench/3"
 
 type run = {
   policy : string;
@@ -16,10 +16,13 @@ type run = {
   phases : (string * float * float) list; (* (name, wall_s, minor_words) *)
 }
 
+type error = { err_key : string; err_text : string; err_attempts : int }
+
 type experiment = {
   id : string;
   claim : string;
   mutable runs : run list; (* reverse submission order *)
+  mutable errors : error list; (* reverse submission order *)
   mutable exp_wall_s : float;
   mutable exp_minor_words : float;
   mutable domain_load : (int * int * float) list; (* (domain, tasks, busy_s) *)
@@ -67,6 +70,7 @@ let start_experiment t ~id ~claim =
         id;
         claim;
         runs = [];
+        errors = [];
         exp_wall_s = 0.0;
         exp_minor_words = 0.0;
         domain_load = [];
@@ -93,6 +97,16 @@ let record_outcome t ~workload ~policy (outcome : Rrs_sim.Sweep.outcome) =
     ~cost:outcome.cost ~reconfig_count:outcome.reconfig_count
     ~drop_count:outcome.drop_count ~exec_count:outcome.exec_count
     ~wall_s:outcome.wall_s ()
+
+let record_error t ~key ~error ~attempts =
+  let experiment = current_experiment t in
+  experiment.errors <-
+    { err_key = key; err_text = error; err_attempts = attempts }
+    :: experiment.errors
+
+let record_failure t (failure : Rrs_sim.Sweep.failure) =
+  record_error t ~key:failure.key ~error:failure.exn_text
+    ~attempts:failure.attempts
 
 let set_domain_load t loads =
   let experiment = current_experiment t in
@@ -180,6 +194,21 @@ let render_experiment buffer experiment =
             (Printf.sprintf "{\"domain\": %d, \"tasks\": %d, \"busy_s\": %s}"
                domain tasks (float_field busy_s)))
         loads;
+      Buffer.add_string buffer "],\n");
+  (match List.rev experiment.errors with
+  | [] -> ()
+  | errors ->
+      Buffer.add_string buffer "     \"errors\": [";
+      List.iteri
+        (fun i { err_key; err_text; err_attempts } ->
+          if i > 0 then Buffer.add_string buffer ", ";
+          Buffer.add_string buffer "{\"key\": ";
+          escape_into buffer err_key;
+          Buffer.add_string buffer ", \"error\": ";
+          escape_into buffer err_text;
+          Buffer.add_string buffer
+            (Printf.sprintf ", \"attempts\": %d}" err_attempts))
+        errors;
       Buffer.add_string buffer "],\n");
   Buffer.add_string buffer "     \"runs\": [";
   let runs = List.rev experiment.runs in

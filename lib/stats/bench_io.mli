@@ -5,13 +5,16 @@
     bench harness and trajectory-comparison tooling (CI, plotting):
 
     {v
-    { "schema": "rrs-bench/2",
+    { "schema": "rrs-bench/3",
       "tag": "<tag>",
       "experiments": [
         { "id": "E1", "claim": "...",
           "wall_s": 0.01, "minor_words": 12345.0,
           "domain_load": [                        // optional (sweeps)
             { "domain": 0, "tasks": 16, "busy_s": 0.5 } ],
+          "errors": [                             // optional (failed tasks)
+            { "key": "crashy/uniform-0.9/seed=0/n=8",
+              "error": "Failure(\"boom\")", "attempts": 1 } ],
           "runs": [
             { "policy": "dlru-edf", "workload": "uniform-0.9", "n": 16,
               "delta": 4, "cost": 123, "reconfig_count": 10,
@@ -32,6 +35,10 @@
     [Engine.run ~profile:true]) and the optional per-experiment
     ["domain_load"] array (per-domain utilization from
     [Sweep.run_profiled]); all rrs-bench/1 fields are unchanged.
+    rrs-bench/3 adds the optional per-experiment ["errors"] array — one
+    entry per task that failed terminally (after retries), keyed so a
+    partially-failed sweep still reports which runs died and why; all
+    rrs-bench/2 fields are unchanged.
 
     [cost], [reconfig_count], [reconfig_cost] (= delta * reconfig_count)
     and [drop_count] are deterministic for fixed seeds; [wall_s],
@@ -77,6 +84,14 @@ val record :
 (** Record a sweep outcome (workload taken from the task key). *)
 val record_outcome : t -> workload:string -> policy:string ->
   Rrs_sim.Sweep.outcome -> unit
+
+(** Record a failed task into the current experiment's ["errors"] array.
+    [attempts] counts every try, retries included. *)
+val record_error : t -> key:string -> error:string -> attempts:int -> unit
+
+(** [record_failure t f] is {!record_error} for a {!Rrs_sim.Sweep.failure}
+    (the backtrace stays out of the JSON — it is for logs). *)
+val record_failure : t -> Rrs_sim.Sweep.failure -> unit
 
 (** Attach per-domain load accounting (from [Sweep.run_profiled]) to the
     current experiment. *)

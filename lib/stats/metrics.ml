@@ -40,7 +40,9 @@ let of_schedule (schedule : Schedule.t) =
           if latency > latency_max.(color) then latency_max.(color) <- latency;
           latencies := latency :: !latencies
       | Ledger.Drop { color; count; _ } -> dropped.(color) <- dropped.(color) + count
-      | Ledger.Reconfig _ -> ())
+      | Ledger.Reconfig _ | Ledger.Crash _ | Ledger.Repair _
+      | Ledger.Reconfig_failed _ ->
+          ())
     schedule.Schedule.events;
   let by_color =
     List.filter_map

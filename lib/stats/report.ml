@@ -4,7 +4,10 @@ module Probe = Rrs_obs.Probe
 
 type t = {
   header : Event_sink.header;
-  reconfig_count : int;
+  reconfig_count : int; (* includes failed reconfigurations: they paid *)
+  failed_reconfig_count : int;
+  crash_count : int;
+  repair_count : int;
   drop_count : int;
   exec_count : int;
   rounds_seen : int;
@@ -25,6 +28,7 @@ let of_channel channel =
   let header = ref None in
   let summary = ref None in
   let reconfigs = ref 0 and drops = ref 0 and execs = ref 0 in
+  let failed = ref 0 and crashes = ref 0 and repairs = ref 0 in
   let rounds = ref 0 and events = ref 0 in
   let error = ref None in
   let lineno = ref 0 in
@@ -59,11 +63,22 @@ let of_channel channel =
                            ~n:count
                    | Event_sink.Execute { round; deadline; _ } ->
                        incr execs;
-                       Probe.observe exec_slack (deadline - round))
+                       Probe.observe exec_slack (deadline - round)
+                   | Event_sink.Reconfig_failed _ ->
+                       (* Paid Delta without taking effect: counts toward
+                          reconfigs so cost stays delta*reconfigs+drops. *)
+                       incr reconfigs;
+                       incr failed
+                   | Event_sink.Crash _ -> incr crashes
+                   | Event_sink.Repair _ -> incr repairs)
                | Event_sink.Round snap, Some _ ->
                    incr rounds;
                    Probe.observe round_reconfigs snap.snap_reconfigs;
                    Probe.observe queue_depth snap.snap_pending
+               | Event_sink.Aborted { ab_round; ab_reason }, Some _ ->
+                   fail
+                     (Printf.sprintf "run aborted at round %d: %s" ab_round
+                        ab_reason)
                | Event_sink.Summary s, Some _ -> summary := Some s)
      done
    with End_of_file -> ());
@@ -84,6 +99,12 @@ let of_channel channel =
               events (reconfigs=%d drops=%d execs=%d): truncated file?"
              sum.sum_reconfig_count sum.sum_drop_count sum.sum_exec_count
              !reconfigs !drops !execs)
+      else if sum.sum_failed_reconfig_count <> !failed then
+        Error
+          (Printf.sprintf
+             "summary failed_reconfig_count=%d does not match folded events \
+              (%d)"
+             sum.sum_failed_reconfig_count !failed)
       else if sum.sum_cost <> (header.hdr_delta * !reconfigs) + !drops then
         Error
           (Printf.sprintf "summary cost %d does not equal delta*reconfigs+drops=%d"
@@ -94,6 +115,9 @@ let of_channel channel =
           {
             header;
             reconfig_count = !reconfigs;
+            failed_reconfig_count = !failed;
+            crash_count = !crashes;
+            repair_count = !repairs;
             drop_count = !drops;
             exec_count = !execs;
             rounds_seen = !rounds;
@@ -117,8 +141,9 @@ let total_cost t = (t.header.hdr_delta * t.reconfig_count) + t.drop_count
 
 let summary_string t =
   Format.asprintf "%a" (fun ppf () ->
-      Ledger.pp_summary_counts ppf ~delta:t.header.hdr_delta
-        ~reconfigs:t.reconfig_count ~drops:t.drop_count ~execs:t.exec_count)
+      Ledger.pp_summary_counts ~failed:t.failed_reconfig_count ppf
+        ~delta:t.header.hdr_delta ~reconfigs:t.reconfig_count
+        ~drops:t.drop_count ~execs:t.exec_count)
     ()
 
 let tables t =

@@ -1,4 +1,5 @@
-(** Reconstruct a run from its streamed [rrs-events/1] JSONL.
+(** Reconstruct a run from its streamed JSONL — any schema in
+    [Event_sink.supported_schemas] ([rrs-events/1] and [rrs-events/2]).
 
     Folds the event lines back into the exact ledger counters of the live
     run — {!summary_string} is byte-identical to what
@@ -10,15 +11,20 @@
     Memory is bounded: events fold into fixed-bucket histograms
     ({!Rrs_obs.Probe}), never a retained list. The closing summary line
     is required and cross-checked against the folded totals, so a
-    truncated file is always detected. *)
+    truncated file is always detected; an explicit [aborted] record
+    (written by the engine when a policy raises mid-run) is reported as
+    its own error naming the round and reason. *)
 
 type t = {
   header : Rrs_sim.Event_sink.header;
-  reconfig_count : int;
+  reconfig_count : int; (* paid reconfigurations, failed ones included *)
+  failed_reconfig_count : int; (* 0 for every rrs-events/1 file *)
+  crash_count : int;
+  repair_count : int;
   drop_count : int;
   exec_count : int;
   rounds_seen : int; (* round-snapshot lines *)
-  events_seen : int; (* reconfig + drop + execute lines *)
+  events_seen : int; (* reconfig + drop + execute + fault lines *)
   exec_slack : Rrs_obs.Probe.hist_snapshot; (* deadline - round at execute *)
   drop_latency : Rrs_obs.Probe.hist_snapshot; (* delay bound of dropped jobs *)
   round_reconfigs : Rrs_obs.Probe.hist_snapshot; (* churn per round *)

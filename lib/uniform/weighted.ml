@@ -25,9 +25,11 @@ let cost_of_events t events =
   List.fold_left
     (fun acc event ->
       match event with
-      | Ledger.Reconfig _ -> acc + t.instance.Instance.delta
+      | Ledger.Reconfig _ | Ledger.Reconfig_failed _ ->
+          (* failed reconfigurations still pay Delta *)
+          acc + t.instance.Instance.delta
       | Ledger.Drop { color; count; _ } -> acc + (t.drop_costs.(color) * count)
-      | Ledger.Execute _ -> acc)
+      | Ledger.Execute _ | Ledger.Crash _ | Ledger.Repair _ -> acc)
     0 events
 
 let run_policy ~n ~policy t =

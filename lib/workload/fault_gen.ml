@@ -1,0 +1,57 @@
+module Fault = Rrs_sim.Fault
+
+(* Availability model: each location alternates online/offline phases with
+   geometric durations. [crash_density] is the stationary offline
+   fraction, so with mean outage length m the mean online gap is
+   g = m * (1 - p) / p and expected offline location-rounds over the run
+   are ~ crash_density * n * horizon. *)
+let random ?name ?(mean_outage = 8) ?(reconfig_fail_rate = 0.0) ~seed ~n
+    ~horizon ~crash_density () =
+  if n < 1 then invalid_arg "Fault_gen.random: n must be >= 1";
+  if horizon < 1 then invalid_arg "Fault_gen.random: horizon must be >= 1";
+  if mean_outage < 1 then
+    invalid_arg "Fault_gen.random: mean_outage must be >= 1";
+  if crash_density < 0.0 || crash_density >= 1.0 then
+    invalid_arg "Fault_gen.random: crash_density must be in [0, 1)";
+  if reconfig_fail_rate < 0.0 || reconfig_fail_rate > 1.0 then
+    invalid_arg "Fault_gen.random: reconfig_fail_rate must be in [0, 1]";
+  let gen = Gen.create ~seed in
+  let crashes = ref [] in
+  if crash_density > 0.0 then begin
+    let mean_gap =
+      float_of_int mean_outage *. (1.0 -. crash_density) /. crash_density
+    in
+    let p_down = 1.0 /. (1.0 +. mean_gap) in
+    let p_up = 1.0 /. float_of_int mean_outage in
+    for location = 0 to n - 1 do
+      (* Skip a stationary-distributed prefix so round 0 is not
+         artificially all-online. *)
+      let round = ref (Gen.geometric gen ~p:p_down ~cap:horizon) in
+      while !round < horizon do
+        let outage = 1 + Gen.geometric gen ~p:p_up ~cap:(horizon - !round) in
+        let until_round = min horizon (!round + outage) in
+        crashes :=
+          { Fault.location; from_round = !round; until_round } :: !crashes;
+        round := until_round + 1 + Gen.geometric gen ~p:p_down ~cap:horizon
+      done
+    done
+  end;
+  let reconfig_failures = ref [] in
+  if reconfig_fail_rate > 0.0 then
+    for location = 0 to n - 1 do
+      for round = 0 to horizon - 1 do
+        if Gen.flip gen ~p:reconfig_fail_rate then
+          reconfig_failures :=
+            { Fault.rf_round = round; rf_location = location }
+            :: !reconfig_failures
+      done
+    done;
+  let name =
+    match name with
+    | Some name -> name
+    | None ->
+        Printf.sprintf "random-s%d-d%.3f-r%.3f" seed crash_density
+          reconfig_fail_rate
+  in
+  Fault.make ~name ~seed ~crashes:!crashes
+    ~reconfig_failures:!reconfig_failures ()

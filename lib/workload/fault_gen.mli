@@ -1,0 +1,27 @@
+(** Seeded random fault plans for degradation experiments.
+
+    Deterministic in [seed]: the same (seed, n, horizon, parameters)
+    always yields the same {!Rrs_sim.Fault.plan}, so a degradation curve
+    is reproducible from its seeds alone — no plan files need to be
+    shipped with results. *)
+
+(** [random ~seed ~n ~horizon ~crash_density ()] draws, per location,
+    alternating online/offline phases with geometric durations:
+    [crash_density] is the stationary offline fraction (expected offline
+    location-rounds ~ [crash_density * n * horizon]) and [mean_outage]
+    (default 8) the mean length of one crash window. With
+    [reconfig_fail_rate > 0] (default 0) each (round, location) pair
+    independently poisons its reconfigurations with that probability.
+    @raise Invalid_argument on [n < 1], [horizon < 1], [mean_outage < 1],
+    [crash_density] outside [0, 1) or [reconfig_fail_rate] outside
+    [0, 1]. *)
+val random :
+  ?name:string ->
+  ?mean_outage:int ->
+  ?reconfig_fail_rate:float ->
+  seed:int ->
+  n:int ->
+  horizon:int ->
+  crash_density:float ->
+  unit ->
+  Rrs_sim.Fault.plan

@@ -380,7 +380,9 @@ let test_rebuild_roundtrip () =
             Some (Rebuild.Configure { round; mini_round; location; color = next })
         | Ledger.Execute { round; mini_round; location; color; _ } ->
             Some (Rebuild.Run { round; mini_round; location; color })
-        | Ledger.Drop _ -> None)
+        | Ledger.Drop _ | Ledger.Crash _ | Ledger.Repair _
+        | Ledger.Reconfig_failed _ ->
+            None)
       (Ledger.events result.ledger)
   in
   match Rebuild.rebuild ~instance:i ~n:1 ~speed:1 ~actions with

@@ -118,7 +118,7 @@ let test_json_document () =
   Bench_io.record b ~policy:"edf" ~workload:"w1" ~n:8 ~delta:3 ~cost:9
     ~reconfig_count:0 ~drop_count:9 ~exec_count:42 ~wall_s:0.25 ();
   let json = Bench_io.to_string b in
-  check_bool "schema version" true (contains json {|"schema": "rrs-bench/2"|});
+  check_bool "schema version" true (contains json {|"schema": "rrs-bench/3"|});
   check_bool "tag" true (contains json {|"tag": "unit"|});
   check_bool "claim escaped" true (contains json {|quotes \" and \\ slashes|});
   check_bool "reconfig_cost = delta * reconfigs" true
