@@ -10,6 +10,7 @@
      dune exec bench/main.exe -- micro             # only the microbenches
      dune exec bench/main.exe -- sweep             # multicore sweep grid
      dune exec bench/main.exe -- sweep --inject-crash  # + failure isolation
+     dune exec bench/main.exe -- serve             # E18 serving throughput
      dune exec bench/main.exe -- tables --json F   # tables + BENCH json
 
    --json FILE serializes the results of the selected mode to FILE using
@@ -18,7 +19,7 @@
    (sweep mode) adds tasks whose policy raises, proving the sweep
    completes degraded with attributable errors. *)
 
-let usage = "all | tables | micro | sweep [--json FILE] [--inject-crash]"
+let usage = "all | tables | micro | sweep | serve [--json FILE] [--inject-crash]"
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -43,6 +44,7 @@ let () =
   | "tables" -> Experiments.run_all ?json ()
   | "micro" -> Micro.run ()
   | "sweep" -> Sweep_bench.run ?json ~inject_crash ()
+  | "serve" -> Serve_bench.run ?json ()
   | "all" ->
       Experiments.run_all ?json ();
       Micro.run ()

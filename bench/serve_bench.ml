@@ -1,0 +1,224 @@
+(* E18 — sustained serving throughput (closed-loop load harness).
+
+   Starts an in-process rrs-wire/1 server on a Unix socket, then for
+   each session count S spawns S client domains. Each client opens its
+   own session and drives it closed-loop over the real socket: feed one
+   round's arrivals, step one round, repeat — so every round costs two
+   request/reply round trips and the measured figure is end-to-end wire
+   throughput, not engine throughput.
+
+   Reported per S: aggregate rounds/sec, jobs executed/sec and the
+   p50/p99 per-frame latency (connect-to-reply excluded; measured per
+   call over all clients). After the measured window every session's
+   server-side stats are checked for conservation:
+
+     fed = accepted + shed
+     accepted = execs + drops + pool pending + buffered
+
+   and any violation or server crash fails the bench loudly. *)
+
+module Server = Rrs_server.Server
+module Client = Rrs_server.Client
+module Wire = Rrs_server.Wire
+module Clock = Rrs_obs.Clock
+
+let policy = "dlru-edf"
+let bounds = [| 2; 3; 4; 6; 8; 12; 16; 24 |]
+let colors = Array.length bounds
+let delta = 4
+let n = 8
+
+type client_result = {
+  rounds : int;
+  latencies_us : int array; (* one per frame round trip, unsorted *)
+  stats : Wire.frame; (* the final Stats_ok *)
+}
+
+let fail format = Printf.ksprintf failwith format
+
+(* One closed-loop client: open, (feed; step) x rounds, stats, close. *)
+let drive address ~session ~seed ~rounds =
+  let client = Client.connect address in
+  let random = Random.State.make [| 0xE18; seed |] in
+  let latencies = Array.make ((2 * rounds) + 8) 0 in
+  let frames = ref 0 in
+  let call frame =
+    let t0 = Clock.now_ns () in
+    let reply = Client.call client frame in
+    let dt_us =
+      Int64.to_int (Int64.div (Int64.sub (Clock.now_ns ()) t0) 1000L)
+    in
+    if !frames < Array.length latencies then begin
+      latencies.(!frames) <- dt_us;
+      incr frames
+    end;
+    match reply with
+    | Ok (Wire.Error_frame { message }) -> fail "%s: server error: %s" session message
+    | Ok frame -> frame
+    | Error message -> fail "%s: %s" session message
+  in
+  (match
+     call
+       (Wire.Open
+          { session; policy; delta; bounds; n; speed = 1; horizon = 0;
+            queue_limit = 0 })
+   with
+  | Wire.Opened _ -> ()
+  | _ -> fail "%s: unexpected reply to open" session);
+  for _ = 1 to rounds do
+    (* ~n jobs per round across random colors: enough load to keep every
+       location busy without unbounded backlog. *)
+    let counts = Array.make colors 0 in
+    for _ = 1 to n do
+      let c = Random.State.int random colors in
+      counts.(c) <- counts.(c) + 1
+    done;
+    let colors_arr =
+      Array.of_seq
+        (Seq.filter (fun c -> counts.(c) > 0)
+           (Seq.init colors (fun c -> c)))
+    in
+    let counts_arr = Array.map (fun c -> counts.(c)) colors_arr in
+    (match call (Wire.Feed { session; colors = colors_arr; counts = counts_arr }) with
+    | Wire.Fed _ | Wire.Shed _ -> ()
+    | _ -> fail "%s: unexpected reply to feed" session);
+    match call (Wire.Step { session; rounds = 1 }) with
+    | Wire.Stepped _ -> ()
+    | _ -> fail "%s: unexpected reply to step" session
+  done;
+  let stats = call (Wire.Stats { session }) in
+  (match call (Wire.Close { session }) with
+  | Wire.Closed _ -> ()
+  | _ -> fail "%s: unexpected reply to close" session);
+  Client.close client;
+  { rounds; latencies_us = Array.sub latencies 0 !frames; stats }
+
+let check_conservation result =
+  match result.stats with
+  | Wire.Stats_ok
+      { session; pending; buffered; fed; accepted; shed; execs; drops; _ } ->
+      if fed <> accepted + shed then
+        fail "%s: conservation violated: fed %d <> accepted %d + shed %d"
+          session fed accepted shed;
+      if accepted <> execs + drops + pending + buffered then
+        fail
+          "%s: conservation violated: accepted %d <> execs %d + drops %d + \
+           pending %d + buffered %d"
+          session accepted execs drops pending buffered
+  | _ -> fail "stats reply was not stats_ok"
+
+let percentile_us sorted p =
+  if Array.length sorted = 0 then 0
+  else
+    let index =
+      int_of_float (ceil (p *. float_of_int (Array.length sorted))) - 1
+    in
+    sorted.(max 0 (min index (Array.length sorted - 1)))
+
+let run ?json ?(session_counts = [ 1; 2; 4; 8 ]) ?(rounds = 400) () =
+  let dir = Filename.temp_file "rrs-serve-bench" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let address = Server.Unix_socket (Filename.concat dir "sock") in
+  let server =
+    Server.start
+      { (Server.default_config address) with domains = 0; queue_limit = 0 }
+  in
+  let table =
+    Rrs_stats.Table.create
+      ~title:
+        (Printf.sprintf
+           "E18 serving throughput (closed loop, %d rounds/session, policy %s)"
+           rounds policy)
+      ~columns:
+        [ "sessions"; "rounds/s"; "execs/s"; "p50 us"; "p99 us"; "shed" ]
+  in
+  let bench =
+    Option.map
+      (fun path -> (Rrs_stats.Bench_io.create ~tag:(Rrs_stats.Bench_io.tag_of_path path), path))
+      json
+  in
+  Option.iter
+    (fun (b, _) ->
+      Rrs_stats.Bench_io.start_experiment b ~id:"E18"
+        ~claim:
+          "The rrs-wire/1 server sustains closed-loop load from concurrent \
+           sessions with bounded frame latency and exact job conservation.")
+    bench;
+  let ok = ref true in
+  (try
+     List.iter
+       (fun sessions ->
+         let t0 = Clock.now_s () in
+         let domains =
+           List.init sessions (fun i ->
+               Domain.spawn (fun () ->
+                   drive address
+                     ~session:(Printf.sprintf "bench-%d-%d" sessions i)
+                     ~seed:((sessions * 1000) + i) ~rounds))
+         in
+         let results = List.map Domain.join domains in
+         let wall_s = Clock.elapsed_s t0 in
+         List.iter check_conservation results;
+         let total_rounds =
+           List.fold_left (fun acc r -> acc + r.rounds) 0 results
+         in
+         let latencies =
+           Array.concat (List.map (fun r -> r.latencies_us) results)
+         in
+         Array.sort compare latencies;
+         let totals =
+           List.fold_left
+             (fun (execs, drops, reconfigs, shed, cost) r ->
+               match r.stats with
+               | Wire.Stats_ok s ->
+                   ( execs + s.execs, drops + s.drops,
+                     reconfigs + s.reconfigs, shed + s.shed, cost + s.cost )
+               | _ -> (execs, drops, reconfigs, shed, cost))
+             (0, 0, 0, 0, 0) results
+         in
+         let execs, drops, reconfigs, shed, cost = totals in
+         let rounds_per_s = float_of_int total_rounds /. wall_s in
+         let execs_per_s = float_of_int execs /. wall_s in
+         let p50 = percentile_us latencies 0.50 in
+         let p99 = percentile_us latencies 0.99 in
+         Rrs_stats.Table.add_row table
+           [
+             Rrs_stats.Table.cell_int sessions;
+             Rrs_stats.Table.cell_float ~decimals:0 rounds_per_s;
+             Rrs_stats.Table.cell_float ~decimals:0 execs_per_s;
+             Rrs_stats.Table.cell_int p50;
+             Rrs_stats.Table.cell_int p99;
+             Rrs_stats.Table.cell_int shed;
+           ];
+         Option.iter
+           (fun (b, _) ->
+             Rrs_stats.Bench_io.record b ~policy
+               ~workload:(Printf.sprintf "serve-closed-loop-x%d" sessions)
+               ~n ~delta ~cost ~reconfig_count:reconfigs ~drop_count:drops
+               ~exec_count:execs ~wall_s
+               ~extras:
+                 [
+                   ("sessions", sessions);
+                   ("rounds_total", total_rounds);
+                   ("rounds_per_s", int_of_float rounds_per_s);
+                   ("execs_per_s", int_of_float execs_per_s);
+                   ("frames_total", Array.length latencies);
+                   ("p50_us", p50);
+                   ("p99_us", p99);
+                   ("shed_jobs", shed);
+                 ]
+               ())
+           bench)
+       session_counts
+   with e ->
+     ok := false;
+     Format.eprintf "serve bench failed: %s@." (Printexc.to_string e));
+  let _drained = Server.stop ~drain:false server in
+  Rrs_stats.Table.print table;
+  Option.iter
+    (fun (b, path) ->
+      Rrs_stats.Bench_io.write b ~path;
+      Format.eprintf "wrote %s@." path)
+    bench;
+  if not !ok then exit 1

@@ -88,12 +88,7 @@ let algo_arg =
   let doc = "Algorithm: dlru, edf, dlru-edf, seq-edf, or solver (the layered pipeline)." in
   Arg.(value & opt string "solver" & info [ "algo" ] ~docv:"ALGO" ~doc)
 
-let policy_of_name = function
-  | "dlru" -> Some (module Rrs_core.Policy_lru : Rrs_sim.Policy.POLICY)
-  | "edf" -> Some (module Rrs_core.Policy_edf)
-  | "dlru-edf" -> Some (module Rrs_core.Policy_lru_edf)
-  | "seq-edf" -> Some (module Rrs_core.Seq_edf)
-  | _ -> None
+let policy_of_name = Rrs_core.Policies.find
 
 let run_cmd =
   let no_validate =
@@ -255,10 +250,15 @@ let report_cmd =
     Arg.(
       required & pos 0 (some string) None
       & info [] ~docv:"FILE"
-          ~doc:"An rrs-events/1 or /2 JSONL file from trace-run.")
+          ~doc:
+            "An rrs-events/1 or /2 JSONL file from trace-run, or '-' to \
+             read the stream from standard input.")
   in
   let run file csv =
-    match Rrs_stats.Report.of_path file with
+    match
+      if file = "-" then Rrs_stats.Report.of_channel stdin
+      else Rrs_stats.Report.of_path file
+    with
     | Error message ->
         Format.eprintf "error: %s: %s@." file message;
         exit 1
@@ -603,6 +603,297 @@ let weighted_cmd =
     Term.(
       const run $ source_arg $ n_arg $ costs $ precious $ precious_cost $ csv_arg)
 
+(* ---- serve / client ---- *)
+
+let address_of_args socket tcp =
+  match (socket, tcp) with
+  | Some path, None -> Ok (Rrs_server.Server.Unix_socket path)
+  | None, Some hostport -> (
+      match String.rindex_opt hostport ':' with
+      | None -> Error "expected --tcp HOST:PORT"
+      | Some colon -> (
+          let host = String.sub hostport 0 colon in
+          let host = if host = "" then "127.0.0.1" else host in
+          let port =
+            String.sub hostport (colon + 1) (String.length hostport - colon - 1)
+          in
+          match int_of_string_opt port with
+          | Some port when port >= 0 -> Ok (Rrs_server.Server.Tcp (host, port))
+          | _ -> Error (Printf.sprintf "bad port %S" port)))
+  | Some _, Some _ -> Error "--socket and --tcp are mutually exclusive"
+  | None, None -> Error "one of --socket PATH or --tcp HOST:PORT is required"
+
+let socket_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Listen/connect on a Unix socket.")
+
+let tcp_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "tcp" ] ~docv:"HOST:PORT" ~doc:"Listen/connect over TCP.")
+
+let serve_cmd =
+  let snap_dir =
+    Arg.(
+      value & opt (some string) None
+      & info [ "snap-dir" ] ~docv:"DIR"
+          ~doc:
+            "Directory for graceful-drain snapshots; sessions found there \
+             at startup are restored (rrs-sess/1).")
+  in
+  let trace_dir =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace-dir" ] ~docv:"DIR"
+          ~doc:"Stream each session's rrs-events/2 JSONL to $(docv).")
+  in
+  let domains =
+    Arg.(
+      value & opt int 0
+      & info [ "domains" ] ~docv:"K"
+          ~doc:"Worker domains (0 = one per recommended core).")
+  in
+  let queue_limit =
+    Arg.(
+      value & opt int 0
+      & info [ "queue-limit" ] ~docv:"JOBS"
+          ~doc:
+            "Default per-session admission bound on fed-but-unstepped jobs \
+             (0 = built-in default). Feeds beyond it are answered with a \
+             'shed' frame.")
+  in
+  let no_restore =
+    Arg.(
+      value & flag
+      & info [ "no-restore" ] ~doc:"Do not restore snapshots from --snap-dir.")
+  in
+  let run () socket tcp snap_dir trace_dir domains queue_limit no_restore =
+    let address = or_die (address_of_args socket tcp) in
+    let config =
+      {
+        Rrs_server.Server.address;
+        snap_dir;
+        trace_dir;
+        domains;
+        queue_limit;
+      }
+    in
+    let drained =
+      Rrs_server.Server.serve ~restore:(not no_restore) config
+    in
+    Format.eprintf "drained %d session(s)@." drained
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the rrs-wire/1 session server until SIGTERM/SIGINT, then \
+          drain every open session to --snap-dir. A restart with the same \
+          --snap-dir continues the sessions where they left off.")
+    Term.(
+      const run $ verbose_arg $ socket_arg $ tcp_arg $ snap_dir $ trace_dir
+      $ domains $ queue_limit $ no_restore)
+
+(* The client script language, one command per line ('#' comments):
+     hello
+     open NAME policy=dlru delta=4 bounds=2,3,4 n=8 [speed=S] [horizon=H]
+          [queue_limit=Q]
+     feed NAME COLOR:COUNT [COLOR:COUNT ...]
+     step NAME [ROUNDS]
+     stats NAME
+     snapshot NAME [PATH]
+     close NAME
+     raw TEXT          (send TEXT verbatim — for protocol testing)
+   Each reply is printed as its JSON encoding, one per line. *)
+module Client_script = struct
+  let split_words line =
+    String.split_on_char ' ' line |> List.filter (fun w -> w <> "")
+
+  let kv_args words =
+    List.fold_left
+      (fun acc word ->
+        match String.index_opt word '=' with
+        | None -> acc
+        | Some eq ->
+            (String.sub word 0 eq,
+             String.sub word (eq + 1) (String.length word - eq - 1))
+            :: acc)
+      [] words
+
+  let int_kv kvs key ~default =
+    match List.assoc_opt key kvs with
+    | None -> Ok default
+    | Some value -> (
+        match int_of_string_opt value with
+        | Some v -> Ok v
+        | None -> Error (Printf.sprintf "%s: expected an integer, got %S" key value))
+
+  let required_int kvs key =
+    match List.assoc_opt key kvs with
+    | None -> Error (Printf.sprintf "missing %s=..." key)
+    | Some value -> (
+        match int_of_string_opt value with
+        | Some v -> Ok v
+        | None -> Error (Printf.sprintf "%s: expected an integer, got %S" key value))
+
+  let ( let* ) = Result.bind
+
+  let parse_bounds text =
+    let parts = String.split_on_char ',' text in
+    let rec go acc = function
+      | [] -> Ok (Array.of_list (List.rev acc))
+      | part :: rest -> (
+          match int_of_string_opt part with
+          | Some v -> go (v :: acc) rest
+          | None -> Error (Printf.sprintf "bounds: bad entry %S" part))
+    in
+    go [] parts
+
+  let parse_pairs words =
+    let rec go colors counts = function
+      | [] -> Ok (Array.of_list (List.rev colors), Array.of_list (List.rev counts))
+      | word :: rest -> (
+          match String.index_opt word ':' with
+          | None -> Error (Printf.sprintf "expected COLOR:COUNT, got %S" word)
+          | Some colon -> (
+              let c = String.sub word 0 colon in
+              let k = String.sub word (colon + 1) (String.length word - colon - 1) in
+              match (int_of_string_opt c, int_of_string_opt k) with
+              | Some c, Some k -> go (c :: colors) (k :: counts) rest
+              | _ -> Error (Printf.sprintf "expected COLOR:COUNT, got %S" word)))
+    in
+    go [] [] words
+
+  (* One line -> either a frame to send or a raw payload. *)
+  type action = Send of Rrs_server.Wire.frame | Raw of string | Skip
+
+  let parse line =
+    let line = String.trim line in
+    if line = "" || line.[0] = '#' then Ok Skip
+    else
+      match split_words line with
+      | [] -> Ok Skip
+      | "hello" :: _ ->
+          Ok (Send (Rrs_server.Wire.Hello { client_version = Rrs_server.Wire.version }))
+      | "raw" :: _ ->
+          (* everything after the first space, verbatim *)
+          let payload =
+            match String.index_opt line ' ' with
+            | None -> ""
+            | Some sp -> String.sub line (sp + 1) (String.length line - sp - 1)
+          in
+          Ok (Raw payload)
+      | "open" :: session :: rest ->
+          let kvs = kv_args rest in
+          let* policy =
+            match List.assoc_opt "policy" kvs with
+            | Some p -> Ok p
+            | None -> Error "missing policy=..."
+          in
+          let* delta = required_int kvs "delta" in
+          let* n = required_int kvs "n" in
+          let* bounds =
+            match List.assoc_opt "bounds" kvs with
+            | Some b -> parse_bounds b
+            | None -> Error "missing bounds=..."
+          in
+          let* speed = int_kv kvs "speed" ~default:1 in
+          let* horizon = int_kv kvs "horizon" ~default:0 in
+          let* queue_limit = int_kv kvs "queue_limit" ~default:0 in
+          Ok
+            (Send
+               (Rrs_server.Wire.Open
+                  { session; policy; delta; bounds; n; speed; horizon;
+                    queue_limit }))
+      | "feed" :: session :: pairs ->
+          let* colors, counts = parse_pairs pairs in
+          Ok (Send (Rrs_server.Wire.Feed { session; colors; counts }))
+      | "step" :: session :: rest ->
+          let* rounds =
+            match rest with
+            | [] -> Ok 1
+            | [ k ] -> (
+                match int_of_string_opt k with
+                | Some k -> Ok k
+                | None -> Error (Printf.sprintf "step: bad round count %S" k))
+            | _ -> Error "step: too many arguments"
+          in
+          Ok (Send (Rrs_server.Wire.Step { session; rounds }))
+      | [ "stats"; session ] -> Ok (Send (Rrs_server.Wire.Stats { session }))
+      | "snapshot" :: session :: rest ->
+          let* path =
+            match rest with
+            | [] -> Ok None
+            | [ path ] -> Ok (Some path)
+            | _ -> Error "snapshot: too many arguments"
+          in
+          Ok (Send (Rrs_server.Wire.Snapshot { session; path }))
+      | [ "close"; session ] -> Ok (Send (Rrs_server.Wire.Close { session }))
+      | verb :: _ -> Error (Printf.sprintf "unknown command %S" verb)
+end
+
+let client_cmd =
+  let script_arg =
+    Arg.(
+      value & pos 0 string "-"
+      & info [] ~docv:"SCRIPT"
+          ~doc:"Command script ('-' = standard input), one command per line.")
+  in
+  let run () socket tcp script =
+    let address = or_die (address_of_args socket tcp) in
+    let channel = if script = "-" then stdin else open_in script in
+    let client =
+      try Rrs_server.Client.connect address
+      with Unix.Unix_error (e, _, _) ->
+        Format.eprintf "error: cannot connect: %s@." (Unix.error_message e);
+        exit 1
+    in
+    let failures = ref 0 in
+    (* [raw] exists to poke the protocol with malformed input, so an
+       [error] reply to it is the expected outcome, not a failure. *)
+    let print_reply ~error_expected =
+      match Rrs_server.Client.read_reply client with
+      | Ok frame ->
+          print_endline (Rrs_server.Wire.encode frame);
+          (match frame with
+          | Rrs_server.Wire.Error_frame _ when not error_expected ->
+              incr failures
+          | _ -> ())
+      | Error message ->
+          Format.eprintf "error: %s@." message;
+          incr failures
+    in
+    let rec loop number =
+      match input_line channel with
+      | exception End_of_file -> ()
+      | line ->
+          (match Client_script.parse line with
+          | Ok Client_script.Skip -> ()
+          | Ok (Client_script.Send frame) ->
+              Rrs_server.Client.send client frame;
+              print_reply ~error_expected:false
+          | Ok (Client_script.Raw payload) ->
+              Rrs_server.Client.send_raw client payload;
+              print_reply ~error_expected:true
+          | Error message ->
+              Format.eprintf "%s:%d: %s@." script number message;
+              incr failures);
+          loop (number + 1)
+    in
+    loop 1;
+    Rrs_server.Client.close client;
+    if script <> "-" then close_in channel;
+    if !failures > 0 then exit 2
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Drive an rrs serve instance from a command script: open named \
+          sessions, feed arrivals, step rounds, query stats, snapshot and \
+          close. Replies are printed as rrs-wire/1 JSON, one per line; \
+          exits 2 if any command failed.")
+    Term.(const run $ verbose_arg $ socket_arg $ tcp_arg $ script_arg)
+
 let () =
   let doc = "reconfigurable resource scheduling with variable delay bounds" in
   let info = Cmd.info "rrs" ~version:"1.0.0" ~doc in
@@ -611,5 +902,6 @@ let () =
        (Cmd.group info
           [
             gen_cmd; info_cmd; run_cmd; trace_run_cmd; report_cmd; compare_cmd;
-            sweep_cmd; validate_cmd; weighted_cmd; faults_cmd;
+            sweep_cmd; validate_cmd; weighted_cmd; faults_cmd; serve_cmd;
+            client_cmd;
           ]))

@@ -1,0 +1,20 @@
+(* One registry of the engine-drivable policies, keyed by [P.name], so
+   the CLI, the serving layer and the benches resolve algorithm names the
+   same way. The solver pipeline is deliberately absent: it is not a
+   POLICY (it plans offline) and cannot drive a stepper. *)
+
+let all : (module Rrs_sim.Policy.POLICY) list =
+  [
+    (module Policy_lru);
+    (module Policy_edf);
+    (module Policy_lru_edf);
+    (module Seq_edf);
+  ]
+
+let names =
+  List.map (fun (module P : Rrs_sim.Policy.POLICY) -> P.name) all
+
+let find name =
+  List.find_opt
+    (fun (module P : Rrs_sim.Policy.POLICY) -> P.name = name)
+    all

@@ -1,0 +1,10 @@
+(** Registry of the engine-drivable policies, keyed by [P.name]
+    ([dlru], [edf], [dlru-edf], [seq-edf]). The CLI, the serving layer
+    and snapshot restore all resolve algorithm names through it. *)
+
+val all : (module Rrs_sim.Policy.POLICY) list
+
+(** Registered names, registration order. *)
+val names : string list
+
+val find : string -> (module Rrs_sim.Policy.POLICY) option

@@ -1,0 +1,42 @@
+type t = {
+  fd : Unix.file_descr;
+  input : in_channel;
+  output : out_channel;
+}
+
+let connect_fd fd =
+  { fd; input = Unix.in_channel_of_descr fd; output = Unix.out_channel_of_descr fd }
+
+let connect = function
+  | Server.Unix_socket path ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      connect_fd fd
+  | Server.Tcp (host, port) ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      let addr =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      in
+      Unix.connect fd (Unix.ADDR_INET (addr, port));
+      connect_fd fd
+
+let send t frame = Wire.write t.output frame
+
+let send_raw t line =
+  output_string t.output line;
+  if line = "" || line.[String.length line - 1] <> '\n' then
+    output_char t.output '\n';
+  flush t.output
+
+let read_reply t =
+  match Wire.read t.input with
+  | Wire.Frame frame -> Ok frame
+  | Wire.Malformed message -> Error ("malformed reply: " ^ message)
+  | Wire.Eof -> Error "connection closed by server"
+
+let call t frame =
+  send t frame;
+  read_reply t
+
+let close t = try flush t.output; Unix.close t.fd with Sys_error _ | Unix.Unix_error _ -> ()

@@ -1,0 +1,23 @@
+(** Minimal blocking [rrs-wire/1] client: one connection, synchronous
+    request/reply. Used by [rrs client], the E18 load harness and the
+    protocol tests. *)
+
+type t
+
+val connect : Server.address -> t
+
+(** Wrap an already-connected socket. *)
+val connect_fd : Unix.file_descr -> t
+
+val send : t -> Wire.frame -> unit
+
+(** Write a raw (pre-framed or deliberately malformed) line. A missing
+    trailing newline is added so the server stays line-synced. *)
+val send_raw : t -> string -> unit
+
+val read_reply : t -> (Wire.frame, string) result
+
+(** [send] + [read_reply]. *)
+val call : t -> Wire.frame -> (Wire.frame, string) result
+
+val close : t -> unit

@@ -1,0 +1,468 @@
+let log = Logs.Src.create "rrs.server" ~doc:"rrs-wire/1 session server"
+
+module Log = (val Logs.src_log log : Logs.LOG)
+
+type address = Unix_socket of string | Tcp of string * int
+
+type config = {
+  address : address;
+  snap_dir : string option;
+  trace_dir : string option;
+  domains : int; (* worker domains; 0 = Sweep.default_domains () *)
+  queue_limit : int; (* per-session default; 0 = Session default *)
+}
+
+let default_config address =
+  { address; snap_dir = None; trace_dir = None; domains = 0; queue_limit = 0 }
+
+(* ---- session manager ---- *)
+
+type manager = {
+  m_mutex : Mutex.t;
+  m_sessions : (string, Session.t) Hashtbl.t;
+  m_queue_limit : int;
+  m_trace_dir : string option;
+  m_snap_dir : string option;
+}
+
+let with_manager m f =
+  Mutex.lock m.m_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m.m_mutex) f
+
+let find_session m name = with_manager m (fun () -> Hashtbl.find_opt m.m_sessions name)
+
+let session_names m =
+  with_manager m (fun () ->
+      Hashtbl.fold (fun name _ acc -> name :: acc) m.m_sessions []
+      |> List.sort String.compare)
+
+(* ---- frame handling ---- *)
+
+let err format = Printf.ksprintf (fun message -> Wire.Error_frame { message }) format
+
+let with_session m session f =
+  match find_session m session with
+  | None -> err "no such session %S" session
+  | Some s -> f s
+
+let snapshot_filename name = name ^ ".sess.jsonl"
+
+(* Session names double as snapshot file names: keep them path-safe. *)
+let valid_session_name name =
+  name <> ""
+  && String.length name <= 128
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z')
+         || (c >= 'A' && c <= 'Z')
+         || (c >= '0' && c <= '9')
+         || c = '-' || c = '_' || c = '.')
+       name
+  && name.[0] <> '.'
+
+let handle_open m ~session ~policy ~delta ~bounds ~n ~speed ~horizon
+    ~queue_limit =
+  if not (valid_session_name session) then
+    err "invalid session name %S (want [A-Za-z0-9._-]+, not dot-led)" session
+  else
+    let queue_limit = if queue_limit > 0 then queue_limit else m.m_queue_limit in
+    let config =
+      { Rrs_sim.Stepper.name = session; delta; bounds; n;
+        speed = (if speed > 0 then speed else 1); horizon }
+    in
+    with_manager m (fun () ->
+        if Hashtbl.mem m.m_sessions session then
+          err "session %S already open" session
+        else
+          match
+            Session.create ~name:session ~policy ~queue_limit
+              ?trace_dir:m.m_trace_dir config
+          with
+          | Ok s ->
+              Hashtbl.add m.m_sessions session s;
+              Wire.Opened { session; round = 0 }
+          | Error message -> Wire.Error_frame { message })
+
+let handle_frame m frame =
+  match frame with
+  | Wire.Hello { client_version } ->
+      if client_version = Wire.version then
+        Wire.Hello_ok { server_version = Wire.version }
+      else
+        err "unsupported wire version %S (this server speaks %s)"
+          client_version Wire.version
+  | Wire.Open { session; policy; delta; bounds; n; speed; horizon; queue_limit }
+    ->
+      handle_open m ~session ~policy ~delta ~bounds ~n ~speed ~horizon
+        ~queue_limit
+  | Wire.Feed { session; colors; counts } ->
+      with_session m session (fun s ->
+          match Session.feed s ~colors ~counts with
+          | Ok (Session.Accepted { accepted; buffered }) ->
+              Wire.Fed { session; accepted; buffered }
+          | Ok (Session.Shed_reply { shed; buffered; limit }) ->
+              Wire.Shed { session; shed; buffered; limit }
+          | Error message -> Wire.Error_frame { message })
+  | Wire.Step { session; rounds } ->
+      with_session m session (fun s ->
+          match Session.step s ~rounds with
+          | Ok r ->
+              Wire.Stepped
+                {
+                  session;
+                  round = r.Session.sr_round;
+                  pending = r.sr_pending;
+                  cost = r.sr_cost;
+                  reconfigs = r.sr_reconfigs;
+                  drops = r.sr_drops;
+                  execs = r.sr_execs;
+                }
+          | Error message -> Wire.Error_frame { message })
+  | Wire.Stats { session } ->
+      with_session m session (fun s ->
+          let st = Session.stats s in
+          Wire.Stats_ok
+            {
+              session;
+              round = st.Session.st_round;
+              pending = st.st_pending;
+              buffered = st.st_buffered;
+              fed = st.st_fed;
+              accepted = st.st_accepted;
+              shed = st.st_shed;
+              execs = st.st_execs;
+              drops = st.st_drops;
+              reconfigs = st.st_reconfigs;
+              failed = st.st_failed;
+              cost = st.st_cost;
+            })
+  | Wire.Snapshot { session; path } ->
+      with_session m session (fun s -> (
+          match path with
+          | Some path -> (
+              match Session.save s ~path with
+              | () -> Wire.Snapshotted { session; path = Some path; doc = None }
+              | exception Sys_error message -> Wire.Error_frame { message })
+          | None ->
+              Wire.Snapshotted
+                { session; path = None; doc = Some (Session.snapshot s) }))
+  | Wire.Close { session } ->
+      with_session m session (fun s ->
+          with_manager m (fun () -> Hashtbl.remove m.m_sessions session);
+          match Session.close s with
+          | Ok cost -> Wire.Closed { session; cost }
+          | Error message -> Wire.Error_frame { message })
+  | Wire.Hello_ok _ | Wire.Opened _ | Wire.Fed _ | Wire.Shed _
+  | Wire.Stepped _ | Wire.Stats_ok _ | Wire.Snapshotted _ | Wire.Closed _
+  | Wire.Error_frame _ ->
+      err "reply frames are not requests"
+
+(* ---- connection serving ---- *)
+
+type conn_table = { c_mutex : Mutex.t; c_fds : (Unix.file_descr, unit) Hashtbl.t }
+
+let conn_add table fd =
+  Mutex.lock table.c_mutex;
+  Hashtbl.replace table.c_fds fd ();
+  Mutex.unlock table.c_mutex
+
+let conn_remove table fd =
+  Mutex.lock table.c_mutex;
+  Hashtbl.remove table.c_fds fd;
+  Mutex.unlock table.c_mutex
+
+let conn_shutdown_all table =
+  Mutex.lock table.c_mutex;
+  Hashtbl.iter
+    (fun fd () -> try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with _ -> ())
+    table.c_fds;
+  Mutex.unlock table.c_mutex
+
+let serve_connection manager stopping fd =
+  let input = Unix.in_channel_of_descr fd in
+  let output = Unix.out_channel_of_descr fd in
+  let rec loop () =
+    if Atomic.get stopping then ()
+    else
+      match Wire.read input with
+      | Wire.Eof -> ()
+      | Wire.Malformed message ->
+          Wire.write output (Wire.Error_frame { message });
+          loop ()
+      | Wire.Frame frame ->
+          let reply =
+            (* A bug in frame handling must cost this request, not the
+               server: fail the frame, keep the connection. *)
+            try handle_frame manager frame
+            with e ->
+              Log.err (fun f ->
+                  f "frame handler raised: %s" (Printexc.to_string e));
+              Wire.Error_frame
+                { message = "internal error: " ^ Printexc.to_string e }
+          in
+          Wire.write output reply;
+          loop ()
+  in
+  (try loop () with Sys_error _ | End_of_file -> ());
+  (* The two channels share [fd]; closing the output channel closes it. *)
+  try flush output; Unix.close fd with Sys_error _ | Unix.Unix_error _ -> ()
+
+(* ---- bounded handoff queue: accept loop -> worker domains ---- *)
+
+type handoff = {
+  q_mutex : Mutex.t;
+  q_nonempty : Condition.t;
+  q_nonfull : Condition.t;
+  q_items : Unix.file_descr Queue.t;
+  q_capacity : int;
+  mutable q_closed : bool;
+}
+
+let handoff_create capacity =
+  {
+    q_mutex = Mutex.create ();
+    q_nonempty = Condition.create ();
+    q_nonfull = Condition.create ();
+    q_items = Queue.create ();
+    q_capacity = capacity;
+    q_closed = false;
+  }
+
+let handoff_push q fd =
+  Mutex.lock q.q_mutex;
+  while Queue.length q.q_items >= q.q_capacity && not q.q_closed do
+    Condition.wait q.q_nonfull q.q_mutex
+  done;
+  let accepted = not q.q_closed in
+  if accepted then Queue.push fd q.q_items;
+  Condition.signal q.q_nonempty;
+  Mutex.unlock q.q_mutex;
+  accepted
+
+let handoff_pop q =
+  Mutex.lock q.q_mutex;
+  while Queue.is_empty q.q_items && not q.q_closed do
+    Condition.wait q.q_nonempty q.q_mutex
+  done;
+  let item =
+    if Queue.is_empty q.q_items then None else Some (Queue.pop q.q_items)
+  in
+  Condition.signal q.q_nonfull;
+  Mutex.unlock q.q_mutex;
+  item
+
+let handoff_close q =
+  Mutex.lock q.q_mutex;
+  q.q_closed <- true;
+  Condition.broadcast q.q_nonempty;
+  Condition.broadcast q.q_nonfull;
+  Mutex.unlock q.q_mutex
+
+(* ---- server handle ---- *)
+
+type t = {
+  manager : manager;
+  listen_fd : Unix.file_descr;
+  stopping : bool Atomic.t;
+  conns : conn_table;
+  handoff : handoff;
+  accept_domain : unit Domain.t;
+  worker_domains : unit Domain.t list;
+  cleanup_socket : string option; (* unix socket path to unlink on stop *)
+}
+
+let listen_socket = function
+  | Unix_socket path ->
+      if Sys.file_exists path then Sys.remove path;
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      Unix.listen fd 64;
+      (fd, Some path)
+  | Tcp (host, port) ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      let addr =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      in
+      Unix.bind fd (Unix.ADDR_INET (addr, port));
+      Unix.listen fd 64;
+      (fd, None)
+
+let bound_port t =
+  match Unix.getsockname t.listen_fd with
+  | Unix.ADDR_INET (_, port) -> Some port
+  | _ -> None
+
+let restore_sessions manager =
+  match manager.m_snap_dir with
+  | None -> 0
+  | Some dir when not (Sys.file_exists dir) -> 0
+  | Some dir ->
+      let files = Sys.readdir dir in
+      Array.sort String.compare files;
+      Array.fold_left
+        (fun restored file ->
+          if Filename.check_suffix file ".sess.jsonl" then begin
+            let path = Filename.concat dir file in
+            match
+              Session.load ?trace_dir:manager.m_trace_dir ~path ()
+            with
+            | Ok session ->
+                with_manager manager (fun () ->
+                    Hashtbl.replace manager.m_sessions (Session.name session)
+                      session);
+                Log.info (fun f -> f "restored session %s from %s"
+                             (Session.name session) path);
+                restored + 1
+            | Error message ->
+                Log.err (fun f -> f "cannot restore %s: %s" path message);
+                restored
+          end
+          else restored)
+        0 files
+
+let start ?(restore = true) config =
+  let manager =
+    {
+      m_mutex = Mutex.create ();
+      m_sessions = Hashtbl.create 16;
+      m_queue_limit = config.queue_limit;
+      m_trace_dir = config.trace_dir;
+      m_snap_dir = config.snap_dir;
+    }
+  in
+  Option.iter
+    (fun dir -> if not (Sys.file_exists dir) then Unix.mkdir dir 0o755)
+    config.snap_dir;
+  Option.iter
+    (fun dir -> if not (Sys.file_exists dir) then Unix.mkdir dir 0o755)
+    config.trace_dir;
+  let restored = if restore then restore_sessions manager else 0 in
+  if restored > 0 then
+    Log.info (fun f -> f "restored %d session(s) from snapshots" restored);
+  let listen_fd, cleanup_socket = listen_socket config.address in
+  let stopping = Atomic.make false in
+  let workers =
+    if config.domains > 0 then config.domains
+    else max 2 (Rrs_sim.Sweep.default_domains ())
+  in
+  let handoff = handoff_create (4 * workers) in
+  let conns = { c_mutex = Mutex.create (); c_fds = Hashtbl.create 16 } in
+  let accept_domain =
+    (* Poll with a short select timeout rather than blocking in accept:
+       closing a listen socket does not wake an accept blocked in
+       another domain, so a blocking loop would hang [stop]. *)
+    Domain.spawn (fun () ->
+        let rec loop () =
+          if Atomic.get stopping then ()
+          else
+            match Unix.select [ listen_fd ] [] [] 0.2 with
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+            | exception Unix.Unix_error _ -> ()
+            | [], _, _ -> loop ()
+            | _ :: _, _, _ -> (
+                match Unix.accept listen_fd with
+                | exception Unix.Unix_error _ ->
+                    if Atomic.get stopping then () else loop ()
+                | fd, _addr ->
+                    conn_add conns fd;
+                    if not (handoff_push handoff fd) then begin
+                      conn_remove conns fd;
+                      (try Unix.close fd with Unix.Unix_error _ -> ())
+                    end;
+                    loop ())
+        in
+        loop ())
+  in
+  let worker_domains =
+    List.init workers (fun _ ->
+        Domain.spawn (fun () ->
+            let rec loop () =
+              match handoff_pop handoff with
+              | None -> ()
+              | Some fd ->
+                  (try serve_connection manager stopping fd
+                   with e ->
+                     Log.err (fun f ->
+                         f "connection handler raised: %s"
+                           (Printexc.to_string e)));
+                  conn_remove conns fd;
+                  loop ()
+            in
+            loop ()))
+  in
+  Log.info (fun f ->
+      f "serving %s with %d worker domain(s)"
+        (match config.address with
+        | Unix_socket path -> "unix:" ^ path
+        | Tcp (host, port) -> Printf.sprintf "tcp:%s:%d" host port)
+        workers);
+  {
+    manager;
+    listen_fd;
+    stopping;
+    conns;
+    handoff;
+    accept_domain;
+    worker_domains;
+    cleanup_socket;
+  }
+
+let drain_sessions t =
+  match t.manager.m_snap_dir with
+  | None ->
+      List.iter
+        (fun name ->
+          Option.iter Session.release (find_session t.manager name))
+        (session_names t.manager);
+      0
+  | Some dir ->
+      List.fold_left
+        (fun saved name ->
+          match find_session t.manager name with
+          | None -> saved
+          | Some session -> (
+              let path = Filename.concat dir (snapshot_filename name) in
+              match Session.save session ~path with
+              | () ->
+                  Session.release session;
+                  Log.info (fun f -> f "drained session %s -> %s" name path);
+                  saved + 1
+              | exception e ->
+                  Log.err (fun f ->
+                      f "cannot drain %s: %s" name (Printexc.to_string e));
+                  Session.release session;
+                  saved))
+        0 (session_names t.manager)
+
+let stop ?(drain = true) t =
+  Atomic.set t.stopping true;
+  (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  conn_shutdown_all t.conns;
+  handoff_close t.handoff;
+  Domain.join t.accept_domain;
+  List.iter Domain.join t.worker_domains;
+  let drained = if drain then drain_sessions t else 0 in
+  with_manager t.manager (fun () -> Hashtbl.reset t.manager.m_sessions);
+  Option.iter (fun path -> try Sys.remove path with Sys_error _ -> ())
+    t.cleanup_socket;
+  drained
+
+let stop_requested = Atomic.make false
+
+let serve ?restore config =
+  Atomic.set stop_requested false;
+  let request_stop _signal = Atomic.set stop_requested true in
+  let previous_term = Sys.signal Sys.sigterm (Sys.Signal_handle request_stop) in
+  let previous_int = Sys.signal Sys.sigint (Sys.Signal_handle request_stop) in
+  let t = start ?restore config in
+  while not (Atomic.get stop_requested) do
+    Unix.sleepf 0.1
+  done;
+  Log.info (fun f -> f "stop requested: draining");
+  let drained = stop ~drain:true t in
+  Sys.set_signal Sys.sigterm previous_term;
+  Sys.set_signal Sys.sigint previous_int;
+  drained

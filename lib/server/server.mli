@@ -1,0 +1,48 @@
+(** The [rrs-wire/1] session server.
+
+    One accept-loop domain hands connections to a pool of worker domains
+    over a bounded queue; each worker serves its connection frame by
+    frame against a shared session manager (many named
+    {!Session}s). Malformed input is answered with an [error] frame and
+    the connection — and every session — survives; a frame-handler
+    exception costs that one frame, never the server.
+
+    {b Lifecycle}: [start] returns a handle for in-process use (tests,
+    benches); [stop ~drain:true] closes the listener, shuts down every
+    live connection, joins the domains and snapshots every open session
+    into [snap_dir] (files named [<session>.sess.jsonl]). [serve] is the
+    CLI entry: start, wait for SIGTERM/SIGINT, graceful drain. A
+    restarted server with [restore] (default) reloads every snapshot in
+    [snap_dir] before accepting connections, so served sessions continue
+    across restarts with ledger continuity. *)
+
+type address = Unix_socket of string | Tcp of string * int
+
+type config = {
+  address : address;
+  snap_dir : string option;  (** drain/restore directory *)
+  trace_dir : string option;  (** per-session [rrs-events/2] streams *)
+  domains : int;  (** worker domains; 0 = {!Rrs_sim.Sweep.default_domains} *)
+  queue_limit : int;  (** per-session admission bound; 0 = default *)
+}
+
+val default_config : address -> config
+
+type t
+
+(** Bind, restore snapshots (unless [restore:false]), spawn the accept
+    loop and worker domains, return immediately. *)
+val start : ?restore:bool -> config -> t
+
+(** For [Tcp] with port 0: the port the kernel picked. *)
+val bound_port : t -> int option
+
+(** Stop accepting, shut down live connections, join all domains. With
+    [drain] (default) every open session is snapshotted to [snap_dir]
+    (released without a snapshot when [snap_dir] is absent). Returns the
+    number of sessions drained to disk. *)
+val stop : ?drain:bool -> t -> int
+
+(** [start] + block until SIGTERM/SIGINT + [stop ~drain:true]. Returns
+    the number of sessions drained. *)
+val serve : ?restore:bool -> config -> int

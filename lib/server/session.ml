@@ -1,0 +1,280 @@
+module Stepper = Rrs_sim.Stepper
+module Probe = Rrs_obs.Probe
+module Json = Rrs_sim.Event_sink.Json
+
+let snapshot_schema = "rrs-sess/1"
+let default_queue_limit = 4096
+
+type t = {
+  name : string;
+  policy_key : string;
+  queue_limit : int;
+  mutex : Mutex.t;
+  stepper : Stepper.t;
+  probes : Probe.registry;
+  shed_jobs : Probe.counter;
+  mutable shed : int;
+  mutable fed : int; (* jobs offered = accepted + shed *)
+  trace : out_channel option; (* owned: closed with the session *)
+}
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let resolve_policy key =
+  match Rrs_core.Policies.find key with
+  | Some policy -> Ok policy
+  | None ->
+      Error
+        (Printf.sprintf "unknown policy %S (known: %s)" key
+           (String.concat ", " Rrs_core.Policies.names))
+
+let make ~name ~policy_key ~queue_limit ~trace stepper probes =
+  {
+    name;
+    policy_key;
+    queue_limit;
+    mutex = Mutex.create ();
+    stepper;
+    probes;
+    shed_jobs = Probe.counter probes "shed_jobs";
+    shed = 0;
+    fed = 0;
+    trace;
+  }
+
+let open_trace trace_dir name =
+  match trace_dir with
+  | None -> (None, None)
+  | Some dir ->
+      let path = Filename.concat dir (name ^ ".events.jsonl") in
+      let channel = open_out path in
+      (Some channel, Some (Rrs_sim.Event_sink.Jsonl channel))
+
+let create ~name ~policy:policy_key ?(queue_limit = 0) ?trace_dir
+    (config : Stepper.config) =
+  let queue_limit =
+    if queue_limit > 0 then queue_limit else default_queue_limit
+  in
+  match resolve_policy policy_key with
+  | Error _ as e -> e
+  | Ok policy -> (
+      let trace, sink = open_trace trace_dir name in
+      let probes = Probe.create_registry () in
+      match
+        Stepper.create ?sink ~probes ~label:("session " ^ name) ~policy config
+      with
+      | stepper ->
+          Ok (make ~name ~policy_key ~queue_limit ~trace stepper probes)
+      | exception Invalid_argument message ->
+          Option.iter close_out trace;
+          Error message)
+
+let name t = t.name
+let policy_key t = t.policy_key
+let queue_limit t = t.queue_limit
+
+type feed_result =
+  | Accepted of { accepted : int; buffered : int }
+  | Shed_reply of { shed : int; buffered : int; limit : int }
+
+let validate_request t request =
+  let num_colors = Array.length (Stepper.config t.stepper).Stepper.bounds in
+  List.fold_left
+    (fun acc (color, count) ->
+      match acc with
+      | Error _ -> acc
+      | Ok () ->
+          if color < 0 || color >= num_colors then
+            Error
+              (Printf.sprintf "feed: unknown color %d (valid: 0..%d)" color
+                 (num_colors - 1))
+          else if count < 0 then
+            Error (Printf.sprintf "feed: color %d has negative count %d" color count)
+          else Ok ())
+    (Ok ()) request
+
+let feed t ~colors ~counts =
+  if Array.length colors <> Array.length counts then
+    Error "feed: colors and counts differ in length"
+  else
+    let request =
+      Array.to_list (Array.map2 (fun c k -> (c, k)) colors counts)
+    in
+    let jobs = Rrs_sim.Types.request_size request in
+    locked t (fun () ->
+        (* Validate before admission: an invalid request is rejected
+           outright and never counts as fed or shed. *)
+        match validate_request t request with
+        | Error _ as e -> e
+        | Ok () ->
+            let buffered = Stepper.buffered_jobs t.stepper in
+            t.fed <- t.fed + jobs;
+            if buffered + jobs > t.queue_limit then begin
+              (* All-or-nothing shed: a partially admitted request would
+                 make the stream depend on admission timing. *)
+              t.shed <- t.shed + jobs;
+              Probe.add t.shed_jobs jobs;
+              Ok (Shed_reply { shed = jobs; buffered; limit = t.queue_limit })
+            end
+            else
+              match Stepper.feed t.stepper request with
+              | () ->
+                  Ok (Accepted { accepted = jobs; buffered = buffered + jobs })
+              | exception Invalid_argument message ->
+                  t.fed <- t.fed - jobs;
+                  Error message)
+
+type step_result = {
+  sr_round : int;
+  sr_pending : int;
+  sr_cost : int;
+  sr_reconfigs : int;
+  sr_drops : int;
+  sr_execs : int;
+}
+
+let step_summary t =
+  let ledger = Stepper.ledger t.stepper in
+  {
+    sr_round = Stepper.round t.stepper;
+    sr_pending = Stepper.pool_pending t.stepper;
+    sr_cost = Rrs_sim.Ledger.total_cost ledger;
+    sr_reconfigs = Rrs_sim.Ledger.reconfig_count ledger;
+    sr_drops = Rrs_sim.Ledger.drop_count ledger;
+    sr_execs = Rrs_sim.Ledger.exec_count ledger;
+  }
+
+let step t ~rounds =
+  if rounds < 1 then Error "step: rounds must be >= 1"
+  else
+    locked t (fun () ->
+        match
+          for _ = 1 to rounds do
+            Stepper.step t.stepper
+          done
+        with
+        | () -> Ok (step_summary t)
+        | exception Invalid_argument message -> Error message)
+
+type stats = {
+  st_round : int;
+  st_pending : int;
+  st_buffered : int;
+  st_fed : int;
+  st_accepted : int;
+  st_shed : int;
+  st_execs : int;
+  st_drops : int;
+  st_reconfigs : int;
+  st_failed : int;
+  st_cost : int;
+}
+
+let stats t =
+  locked t (fun () ->
+      let ledger = Stepper.ledger t.stepper in
+      {
+        st_round = Stepper.round t.stepper;
+        st_pending = Stepper.pool_pending t.stepper;
+        st_buffered = Stepper.buffered_jobs t.stepper;
+        st_fed = t.fed;
+        st_accepted = Stepper.accepted_jobs t.stepper;
+        st_shed = t.shed;
+        st_execs = Rrs_sim.Ledger.exec_count ledger;
+        st_drops = Rrs_sim.Ledger.drop_count ledger;
+        st_reconfigs = Rrs_sim.Ledger.reconfig_count ledger;
+        st_failed = Rrs_sim.Ledger.failed_reconfig_count ledger;
+        st_cost = Rrs_sim.Ledger.total_cost ledger;
+      })
+
+(* ---- snapshot: one rrs-sess/1 header line + the embedded rrs-snap/1
+   stepper document ---- *)
+
+let header_line t =
+  Printf.sprintf
+    "{\"schema\":%s,\"session\":%s,\"policy\":%s,\"queue_limit\":%d,\
+     \"fed\":%d,\"shed\":%d}"
+    (Json.escape snapshot_schema) (Json.escape t.name)
+    (Json.escape t.policy_key) t.queue_limit t.fed t.shed
+
+let snapshot t =
+  locked t (fun () -> header_line t ^ "\n" ^ Stepper.snapshot t.stepper)
+
+let save t ~path =
+  let doc = snapshot t in
+  let tmp = path ^ ".tmp" in
+  let channel = open_out tmp in
+  output_string channel doc;
+  close_out channel;
+  Sys.rename tmp path
+
+let close t =
+  locked t (fun () ->
+      match Stepper.finish t.stepper with
+      | result ->
+          Option.iter close_out t.trace;
+          Ok (Rrs_sim.Ledger.total_cost result.Stepper.ledger)
+      | exception Invalid_argument message ->
+          Option.iter close_out t.trace;
+          Error message)
+
+(* Release resources without writing a summary (connectionless teardown,
+   e.g. server stop without drain). *)
+let release t =
+  locked t (fun () ->
+      if not (Stepper.finished t.stepper) then
+        Stepper.abort t.stepper ~reason:"session released";
+      Option.iter close_out t.trace)
+
+let restore ?trace_dir text =
+  match String.index_opt text '\n' with
+  | None -> Error "session snapshot: missing stepper document"
+  | Some newline -> (
+      let header = String.sub text 0 newline in
+      let rest =
+        String.sub text (newline + 1) (String.length text - newline - 1)
+      in
+      match Json.parse_fields header with
+      | exception Json.Parse_error message ->
+          Error ("session snapshot header: " ^ message)
+      | fields -> (
+          try
+            let schema = Json.str_field fields "schema" in
+            if schema <> snapshot_schema then
+              Error (Printf.sprintf "unsupported session schema %S" schema)
+            else
+              let name = Json.str_field fields "session" in
+              let policy_key = Json.str_field fields "policy" in
+              let queue_limit = Json.int_field fields "queue_limit" in
+              let fed = Json.int_field fields "fed" in
+              let shed = Json.int_field fields "shed" in
+              match resolve_policy policy_key with
+              | Error _ as e -> e
+              | Ok policy -> (
+                  let trace, sink = open_trace trace_dir name in
+                  let probes = Probe.create_registry () in
+                  match
+                    Stepper.restore ?sink ~probes
+                      ~label:("session " ^ name) ~policy rest
+                  with
+                  | Ok stepper ->
+                      let t =
+                        make ~name ~policy_key ~queue_limit ~trace stepper
+                          probes
+                      in
+                      t.fed <- fed;
+                      t.shed <- shed;
+                      Probe.add t.shed_jobs shed;
+                      Ok t
+                  | Error _ as e ->
+                      Option.iter close_out trace;
+                      e)
+          with Json.Parse_error message ->
+            Error ("session snapshot header: " ^ message)))
+
+let load ?trace_dir ~path () =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | text -> restore ?trace_dir text
+  | exception Sys_error message -> Error message

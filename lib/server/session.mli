@@ -1,0 +1,101 @@
+(** One named scheduler session: a {!Rrs_sim.Stepper} plus admission
+    control and a mutex.
+
+    Every operation locks the session, so concurrent worker domains can
+    serve frames for the same session safely (operations serialize; the
+    stepper itself is single-threaded state).
+
+    {b Admission control}: [feed] is bounded by [queue_limit] jobs of
+    fed-but-unstepped backlog. A feed that would exceed it is {e shed} —
+    refused whole, counted in the session's [shed] total and the
+    [shed_jobs] probe, and answered explicitly; the session itself is
+    never harmed. Conservation, checked by the E18 harness:
+    [fed = accepted + shed] and
+    [accepted = execs + drops + pool pending + buffered].
+
+    {b Snapshot} (schema [rrs-sess/1]): one header line carrying the
+    session name, policy key, queue limit and fed/shed totals, followed
+    by the stepper's embedded [rrs-snap/1] document. [restore] rebuilds
+    the stepper by deterministic replay (see {!Rrs_sim.Stepper}). *)
+
+val snapshot_schema : string
+(** ["rrs-sess/1"]. *)
+
+val default_queue_limit : int
+(** Backlog bound used when [create]'s [queue_limit] is 0 or absent. *)
+
+type t
+
+(** [create ~name ~policy config] opens a session at round 0. [policy]
+    is a registry key ({!Rrs_core.Policies}); [trace_dir], when given,
+    streams the session's [rrs-events/2] document to
+    [<trace_dir>/<name>.events.jsonl]. Errors (unknown policy, invalid
+    config) are returned, never raised. *)
+val create :
+  name:string ->
+  policy:string ->
+  ?queue_limit:int ->
+  ?trace_dir:string ->
+  Rrs_sim.Stepper.config ->
+  (t, string) result
+
+val name : t -> string
+val policy_key : t -> string
+val queue_limit : t -> int
+
+type feed_result =
+  | Accepted of { accepted : int; buffered : int }
+  | Shed_reply of { shed : int; buffered : int; limit : int }
+
+(** [feed t ~colors ~counts] offers one request. [Error] means the
+    request was rejected outright (mismatched arrays, unknown color,
+    negative count) and does not count as fed. *)
+val feed :
+  t -> colors:int array -> counts:int array -> (feed_result, string) result
+
+type step_result = {
+  sr_round : int;
+  sr_pending : int;
+  sr_cost : int;
+  sr_reconfigs : int;
+  sr_drops : int;
+  sr_execs : int;
+}
+
+val step : t -> rounds:int -> (step_result, string) result
+
+type stats = {
+  st_round : int;
+  st_pending : int;
+  st_buffered : int;
+  st_fed : int;
+  st_accepted : int;
+  st_shed : int;
+  st_execs : int;
+  st_drops : int;
+  st_reconfigs : int;
+  st_failed : int;
+  st_cost : int;
+}
+
+val stats : t -> stats
+
+(** The session as an [rrs-sess/1] document. *)
+val snapshot : t -> string
+
+(** Atomic write of {!snapshot} (temp + rename). *)
+val save : t -> path:string -> unit
+
+(** Finish the stepper (writes the stream summary), close the trace,
+    return the final total cost. *)
+val close : t -> (int, string) result
+
+(** Tear down without a summary (the trace ends with an [aborted]
+    record): used when the server stops without drain. *)
+val release : t -> unit
+
+(** Rebuild a session from an [rrs-sess/1] document. *)
+val restore : ?trace_dir:string -> string -> (t, string) result
+
+(** {!restore} from a file. *)
+val load : ?trace_dir:string -> path:string -> unit -> (t, string) result

@@ -1,0 +1,336 @@
+module Json = Rrs_sim.Event_sink.Json
+
+let version = "rrs-wire/1"
+
+(* One frame must fit one line; longer payloads (snapshot docs) are close
+   to but far under this in practice — raise deliberately if they grow. *)
+let max_frame = 4 * 1024 * 1024
+
+type frame =
+  (* requests *)
+  | Hello of { client_version : string }
+  | Open of {
+      session : string;
+      policy : string;
+      delta : int;
+      bounds : int array;
+      n : int;
+      speed : int;
+      horizon : int;
+      queue_limit : int; (* 0 = server default *)
+    }
+  | Feed of { session : string; colors : int array; counts : int array }
+  | Step of { session : string; rounds : int }
+  | Stats of { session : string }
+  | Snapshot of { session : string; path : string option }
+  | Close of { session : string }
+  (* replies *)
+  | Hello_ok of { server_version : string }
+  | Opened of { session : string; round : int }
+  | Fed of { session : string; accepted : int; buffered : int }
+  | Shed of { session : string; shed : int; buffered : int; limit : int }
+  | Stepped of {
+      session : string;
+      round : int;
+      pending : int;
+      cost : int;
+      reconfigs : int;
+      drops : int;
+      execs : int;
+    }
+  | Stats_ok of {
+      session : string;
+      round : int;
+      pending : int; (* in the pool *)
+      buffered : int; (* fed, not yet stepped *)
+      fed : int; (* attempted: accepted + shed *)
+      accepted : int;
+      shed : int;
+      execs : int;
+      drops : int;
+      reconfigs : int;
+      failed : int;
+      cost : int;
+    }
+  | Snapshotted of { session : string; path : string option; doc : string option }
+  | Closed of { session : string; cost : int }
+  | Error_frame of { message : string }
+
+(* ---- encoding ---- *)
+
+let ints array =
+  let buffer = Buffer.create 32 in
+  Buffer.add_char buffer '[';
+  Array.iteri
+    (fun i v ->
+      if i > 0 then Buffer.add_char buffer ',';
+      Buffer.add_string buffer (string_of_int v))
+    array;
+  Buffer.add_char buffer ']';
+  Buffer.contents buffer
+
+let encode = function
+  | Hello { client_version } ->
+      Printf.sprintf "{\"type\":\"hello\",\"version\":%s}"
+        (Json.escape client_version)
+  | Open { session; policy; delta; bounds; n; speed; horizon; queue_limit } ->
+      Printf.sprintf
+        "{\"type\":\"open\",\"session\":%s,\"policy\":%s,\"delta\":%d,\
+         \"bounds\":%s,\"n\":%d,\"speed\":%d,\"horizon\":%d,\
+         \"queue_limit\":%d}"
+        (Json.escape session) (Json.escape policy) delta (ints bounds) n speed
+        horizon queue_limit
+  | Feed { session; colors; counts } ->
+      Printf.sprintf
+        "{\"type\":\"feed\",\"session\":%s,\"colors\":%s,\"counts\":%s}"
+        (Json.escape session) (ints colors) (ints counts)
+  | Step { session; rounds } ->
+      Printf.sprintf "{\"type\":\"step\",\"session\":%s,\"rounds\":%d}"
+        (Json.escape session) rounds
+  | Stats { session } ->
+      Printf.sprintf "{\"type\":\"stats\",\"session\":%s}"
+        (Json.escape session)
+  | Snapshot { session; path } ->
+      Printf.sprintf "{\"type\":\"snapshot\",\"session\":%s%s}"
+        (Json.escape session)
+        (match path with
+        | None -> ""
+        | Some p -> Printf.sprintf ",\"path\":%s" (Json.escape p))
+  | Close { session } ->
+      Printf.sprintf "{\"type\":\"close\",\"session\":%s}"
+        (Json.escape session)
+  | Hello_ok { server_version } ->
+      Printf.sprintf "{\"type\":\"hello_ok\",\"version\":%s}"
+        (Json.escape server_version)
+  | Opened { session; round } ->
+      Printf.sprintf "{\"type\":\"opened\",\"session\":%s,\"round\":%d}"
+        (Json.escape session) round
+  | Fed { session; accepted; buffered } ->
+      Printf.sprintf
+        "{\"type\":\"fed\",\"session\":%s,\"accepted\":%d,\"buffered\":%d}"
+        (Json.escape session) accepted buffered
+  | Shed { session; shed; buffered; limit } ->
+      Printf.sprintf
+        "{\"type\":\"shed\",\"session\":%s,\"shed\":%d,\"buffered\":%d,\
+         \"limit\":%d}"
+        (Json.escape session) shed buffered limit
+  | Stepped { session; round; pending; cost; reconfigs; drops; execs } ->
+      Printf.sprintf
+        "{\"type\":\"stepped\",\"session\":%s,\"round\":%d,\"pending\":%d,\
+         \"cost\":%d,\"reconfigs\":%d,\"drops\":%d,\"execs\":%d}"
+        (Json.escape session) round pending cost reconfigs drops execs
+  | Stats_ok
+      { session; round; pending; buffered; fed; accepted; shed; execs; drops;
+        reconfigs; failed; cost } ->
+      Printf.sprintf
+        "{\"type\":\"stats_ok\",\"session\":%s,\"round\":%d,\"pending\":%d,\
+         \"buffered\":%d,\"fed\":%d,\"accepted\":%d,\"shed\":%d,\
+         \"execs\":%d,\"drops\":%d,\"reconfigs\":%d,\"failed\":%d,\
+         \"cost\":%d}"
+        (Json.escape session) round pending buffered fed accepted shed execs
+        drops reconfigs failed cost
+  | Snapshotted { session; path; doc } ->
+      Printf.sprintf "{\"type\":\"snapshotted\",\"session\":%s%s%s}"
+        (Json.escape session)
+        (match path with
+        | None -> ""
+        | Some p -> Printf.sprintf ",\"path\":%s" (Json.escape p))
+        (match doc with
+        | None -> ""
+        | Some d -> Printf.sprintf ",\"doc\":%s" (Json.escape d))
+  | Closed { session; cost } ->
+      Printf.sprintf "{\"type\":\"closed\",\"session\":%s,\"cost\":%d}"
+        (Json.escape session) cost
+  | Error_frame { message } ->
+      Printf.sprintf "{\"type\":\"error\",\"message\":%s}"
+        (Json.escape message)
+
+(* ---- decoding ---- *)
+
+let opt_str_field fields key =
+  match List.assoc_opt key fields with
+  | None -> None
+  | Some (Json.Vstr value) -> Some value
+  | Some _ ->
+      raise (Json.Parse_error (Printf.sprintf "field %S: expected string" key))
+
+let decode text =
+  match Json.parse_fields text with
+  | exception Json.Parse_error message -> Error message
+  | fields -> (
+      try
+        let session () = Json.str_field fields "session" in
+        match Json.str_field fields "type" with
+        | "hello" ->
+            Ok (Hello { client_version = Json.str_field fields "version" })
+        | "open" ->
+            Ok
+              (Open
+                 {
+                   session = session ();
+                   policy = Json.str_field fields "policy";
+                   delta = Json.int_field fields "delta";
+                   bounds = Json.ints_field fields "bounds";
+                   n = Json.int_field fields "n";
+                   speed = Json.opt_int_field fields "speed" ~default:1;
+                   horizon = Json.opt_int_field fields "horizon" ~default:0;
+                   queue_limit =
+                     Json.opt_int_field fields "queue_limit" ~default:0;
+                 })
+        | "feed" ->
+            Ok
+              (Feed
+                 {
+                   session = session ();
+                   colors = Json.ints_field fields "colors";
+                   counts = Json.ints_field fields "counts";
+                 })
+        | "step" ->
+            Ok
+              (Step
+                 {
+                   session = session ();
+                   rounds = Json.opt_int_field fields "rounds" ~default:1;
+                 })
+        | "stats" -> Ok (Stats { session = session () })
+        | "snapshot" ->
+            Ok
+              (Snapshot
+                 { session = session (); path = opt_str_field fields "path" })
+        | "close" -> Ok (Close { session = session () })
+        | "hello_ok" ->
+            Ok (Hello_ok { server_version = Json.str_field fields "version" })
+        | "opened" ->
+            Ok
+              (Opened
+                 { session = session (); round = Json.int_field fields "round" })
+        | "fed" ->
+            Ok
+              (Fed
+                 {
+                   session = session ();
+                   accepted = Json.int_field fields "accepted";
+                   buffered = Json.int_field fields "buffered";
+                 })
+        | "shed" ->
+            Ok
+              (Shed
+                 {
+                   session = session ();
+                   shed = Json.int_field fields "shed";
+                   buffered = Json.int_field fields "buffered";
+                   limit = Json.int_field fields "limit";
+                 })
+        | "stepped" ->
+            Ok
+              (Stepped
+                 {
+                   session = session ();
+                   round = Json.int_field fields "round";
+                   pending = Json.int_field fields "pending";
+                   cost = Json.int_field fields "cost";
+                   reconfigs = Json.int_field fields "reconfigs";
+                   drops = Json.int_field fields "drops";
+                   execs = Json.int_field fields "execs";
+                 })
+        | "stats_ok" ->
+            Ok
+              (Stats_ok
+                 {
+                   session = session ();
+                   round = Json.int_field fields "round";
+                   pending = Json.int_field fields "pending";
+                   buffered = Json.int_field fields "buffered";
+                   fed = Json.int_field fields "fed";
+                   accepted = Json.int_field fields "accepted";
+                   shed = Json.int_field fields "shed";
+                   execs = Json.int_field fields "execs";
+                   drops = Json.int_field fields "drops";
+                   reconfigs = Json.int_field fields "reconfigs";
+                   failed = Json.int_field fields "failed";
+                   cost = Json.int_field fields "cost";
+                 })
+        | "snapshotted" ->
+            Ok
+              (Snapshotted
+                 {
+                   session = session ();
+                   path = opt_str_field fields "path";
+                   doc = opt_str_field fields "doc";
+                 })
+        | "closed" ->
+            Ok
+              (Closed
+                 { session = session (); cost = Json.int_field fields "cost" })
+        | "error" ->
+            Ok (Error_frame { message = Json.str_field fields "message" })
+        | other -> Error (Printf.sprintf "unknown frame type %S" other)
+      with Json.Parse_error message -> Error message)
+
+(* ---- framing: "<byte length of JSON> <JSON>\n" ----
+
+   Length-delimited but still line-synced: a reader that lost the length
+   can resynchronize at the next newline, which is what lets the server
+   answer [error] to garbage and keep the connection alive instead of
+   tearing it down. *)
+
+let frame_line json = Printf.sprintf "%d %s\n" (String.length json) json
+
+let write channel frame =
+  output_string channel (frame_line (encode frame));
+  flush channel
+
+type read_result = Frame of frame | Malformed of string | Eof
+
+(* Read one '\n'-terminated line of at most [max_frame] bytes; an
+   over-long line is discarded (bounded memory) and reported malformed. *)
+let read_line_bounded channel =
+  let buffer = Buffer.create 256 in
+  let rec go () =
+    match input_char channel with
+    | exception End_of_file ->
+        if Buffer.length buffer = 0 then None else Some (Buffer.contents buffer)
+    | '\n' -> Some (Buffer.contents buffer)
+    | c ->
+        if Buffer.length buffer >= max_frame then begin
+          (* Discard the rest of the line, keeping memory bounded. *)
+          (try
+             while input_char channel <> '\n' do
+               ()
+             done
+           with End_of_file -> ());
+          Some (Buffer.contents buffer ^ "...")
+        end
+        else begin
+          Buffer.add_char buffer c;
+          go ()
+        end
+  in
+  go ()
+
+let read channel =
+  match read_line_bounded channel with
+  | None -> Eof
+  | Some line -> (
+      if String.length line > max_frame then
+        Malformed (Printf.sprintf "frame longer than %d bytes" max_frame)
+      else
+        match String.index_opt line ' ' with
+        | None -> Malformed "missing length prefix"
+        | Some space -> (
+            let prefix = String.sub line 0 space in
+            let body =
+              String.sub line (space + 1) (String.length line - space - 1)
+            in
+            match int_of_string_opt prefix with
+            | None ->
+                Malformed (Printf.sprintf "bad length prefix %S" prefix)
+            | Some length when length <> String.length body ->
+                Malformed
+                  (Printf.sprintf
+                     "length prefix %d does not match body length %d" length
+                     (String.length body))
+            | Some _ -> (
+                match decode body with
+                | Ok frame -> Frame frame
+                | Error message -> Malformed message)))

@@ -1,0 +1,97 @@
+(** The [rrs-wire/1] session protocol: typed frames, JSON codec and
+    channel framing.
+
+    Framing is ["<byte length of JSON> <JSON>\n"] — length-delimited but
+    still line-synced, so a peer that sends garbage desynchronizes only
+    to the next newline: the server answers [error] and the connection
+    (and every session behind it) survives. One frame per line; a line
+    longer than {!max_frame} is discarded with bounded memory and
+    reported [Malformed].
+
+    The codec reuses the project's hand-rolled flat-object JSON scanner
+    ({!Rrs_sim.Event_sink.Json}); unknown frame types and malformed
+    fields are [Error]s, never exceptions. *)
+
+val version : string
+(** ["rrs-wire/1"], exchanged in [hello]/[hello_ok]. *)
+
+val max_frame : int
+(** Upper bound on one frame line, in bytes. *)
+
+type frame =
+  (* requests *)
+  | Hello of { client_version : string }
+  | Open of {
+      session : string;
+      policy : string;
+      delta : int;
+      bounds : int array;
+      n : int;
+      speed : int;
+      horizon : int;
+      queue_limit : int;  (** 0 = server default *)
+    }
+  | Feed of { session : string; colors : int array; counts : int array }
+  | Step of { session : string; rounds : int }
+  | Stats of { session : string }
+  | Snapshot of { session : string; path : string option }
+  | Close of { session : string }
+  (* replies *)
+  | Hello_ok of { server_version : string }
+  | Opened of { session : string; round : int }
+  | Fed of { session : string; accepted : int; buffered : int }
+  | Shed of { session : string; shed : int; buffered : int; limit : int }
+      (** Admission control refused the whole feed: the per-session
+          buffer already holds [buffered] jobs against a limit of
+          [limit]. The request's [shed] jobs are counted, not enqueued;
+          the session itself is untouched. *)
+  | Stepped of {
+      session : string;
+      round : int;  (** rounds executed so far, after this step *)
+      pending : int;
+      cost : int;
+      reconfigs : int;
+      drops : int;
+      execs : int;
+    }
+  | Stats_ok of {
+      session : string;
+      round : int;
+      pending : int;  (** jobs in the pool *)
+      buffered : int;  (** jobs fed but not yet stepped *)
+      fed : int;  (** jobs offered = [accepted + shed] *)
+      accepted : int;
+      shed : int;
+      execs : int;
+      drops : int;
+      reconfigs : int;
+      failed : int;
+      cost : int;
+    }
+  | Snapshotted of {
+      session : string;
+      path : string option;  (** where the server saved it, if to disk *)
+      doc : string option;  (** the inline document, if requested *)
+    }
+  | Closed of { session : string; cost : int }
+  | Error_frame of { message : string }
+
+val encode : frame -> string
+(** One flat JSON object, no newline. *)
+
+val decode : string -> (frame, string) result
+
+val frame_line : string -> string
+(** [frame_line json] is the framed wire line (length prefix + newline). *)
+
+val write : out_channel -> frame -> unit
+(** Encode, frame, write and flush. *)
+
+type read_result =
+  | Frame of frame
+  | Malformed of string
+      (** Bad length prefix, over-long line, JSON or frame error; the
+          channel is positioned after the offending line. *)
+  | Eof
+
+val read : in_channel -> read_result

@@ -1,41 +1,16 @@
-module Probe = Rrs_obs.Probe
-module Profile = Rrs_obs.Profile
+(* The batch engine is a loop over the incremental {!Stepper}: feed the
+   round's request, step. One code path serves both pre-materialized
+   [Instance] runs and the online serving layer, and the 260+ existing
+   tests pin the stepper's behavior (streams stay byte-identical). *)
 
-let phase_names = [ "drop"; "arrival"; "reconfig"; "execute" ]
+let phase_names = Stepper.phase_names
 
-type result = {
+type result = Stepper.result = {
   ledger : Ledger.t;
   stats : (string * int) list;
   final_assignment : Types.color option array;
-  profile : Profile.t option;
+  profile : Rrs_obs.Profile.t option;
 }
-
-(* The standard engine probes, registered in the caller's registry so
-   policies and analysis helpers share the namespace. *)
-type probes = {
-  registry : Probe.registry;
-  exec_slack : Probe.histogram;
-  drop_latency : Probe.histogram;
-  round_reconfigs : Probe.histogram;
-  queue_depth : Probe.histogram;
-  offline_locations : Probe.histogram;
-  failed_reconfigs : Probe.counter;
-  color_depth : Probe.gauge array;
-}
-
-let make_probes registry ~num_colors =
-  {
-    registry;
-    exec_slack = Probe.histogram registry "exec_slack";
-    drop_latency = Probe.histogram registry "drop_latency";
-    round_reconfigs = Probe.histogram registry "round_reconfigs";
-    queue_depth = Probe.histogram registry "queue_depth";
-    offline_locations = Probe.histogram registry "offline_locations";
-    failed_reconfigs = Probe.counter registry "failed_reconfigs";
-    color_depth =
-      Array.init num_colors (fun color ->
-          Probe.gauge registry (Printf.sprintf "queue_depth_c%d" color));
-  }
 
 let run ?(speed = 1) ?(record_events = true) ?sink ?probes ?(profile = false)
     ?faults ~n ~policy:(module P : Policy.POLICY) (instance : Instance.t) =
@@ -44,196 +19,38 @@ let run ?(speed = 1) ?(record_events = true) ?sink ?probes ?(profile = false)
   Log.debug (fun m ->
       m "run %s: policy=%s n=%d speed=%d horizon=%d" instance.Instance.name
         P.name n speed instance.Instance.horizon);
-  let delta = instance.delta in
-  let bounds = instance.bounds in
-  let num_colors = Array.length bounds in
-  let faults =
-    match faults with
-    | Some plan when not (Fault.is_empty plan) ->
-        Some (Fault.compile plan ~n ~horizon:instance.Instance.horizon)
-    | Some _ | None -> None
-  in
-  let pool = Job_pool.create ~num_colors in
-  let ledger = Ledger.create ~record_events ?sink ~delta () in
-  let sink = Ledger.sink ledger in
-  Event_sink.write_header sink ~name:instance.Instance.name ~delta ~n ~speed
-    ~horizon:instance.Instance.horizon ~bounds;
-  let probes = Option.map (fun reg -> make_probes reg ~num_colors) probes in
-  let prof = Profile.create phase_names in
-  let idle_mark = { Profile.mark_s = 0.0; mark_minor = 0.0 } in
-  let mark () = if profile then Profile.start () else idle_mark in
-  let tick index m = if profile then Profile.stop prof index m in
-  let state = P.create ~n ~delta ~bounds in
-  let assignment = Array.make n None in
-  let offline = Array.make n false in
-  let offline_count = ref 0 in
-  let current_round = ref 0 in
-  let simulate () =
-    for round = 0 to instance.horizon - 1 do
-      current_round := round;
-      let reconfigs0 = Ledger.reconfig_count ledger in
-      let drops0 = Ledger.drop_count ledger in
-      let execs0 = Ledger.exec_count ledger in
-      (* Fault transitions, before the drop phase: repairs first, then
-         crashes (a merged plan never has both for one location in one
-         round). A crashed location loses its color. *)
-      (match faults with
-      | None -> ()
-      | Some plan ->
-          List.iter
-            (fun location ->
-              offline.(location) <- false;
-              decr offline_count;
-              Ledger.record_repair ledger ~round ~location)
-            (Fault.repairs_at plan ~round);
-          List.iter
-            (fun location ->
-              offline.(location) <- true;
-              incr offline_count;
-              assignment.(location) <- None;
-              Ledger.record_crash ledger ~round ~location)
-            (Fault.crashes_at plan ~round));
-      (* Drop phase: jobs with deadline = round are dropped. *)
-      let m0 = mark () in
-      let dropped = Job_pool.drop_expired pool ~round in
-      if dropped <> [] then
-        Log.debug (fun m ->
-            m "round %d: dropped %a" round
-              (Format.pp_print_list
-                 ~pp_sep:(fun ppf () -> Format.fprintf ppf " ")
-                 (fun ppf (c, k) -> Format.fprintf ppf "%d:%d" c k))
-              dropped);
-      List.iter
-        (fun (color, count) -> Ledger.record_drop ledger ~round ~color ~count)
-        dropped;
-      (match probes with
-      | None -> ()
-      | Some p ->
-          List.iter
-            (fun (color, count) ->
-              Probe.observe_n p.drop_latency bounds.(color) ~n:count)
-            dropped);
-      P.on_drop state ~round ~dropped;
-      tick 0 m0;
-      (* Arrival phase. *)
-      let m1 = mark () in
-      let request = instance.requests.(round) in
-      List.iter
-        (fun (color, count) ->
-          Job_pool.add pool ~color ~deadline:(round + bounds.(color)) ~count)
-        request;
-      P.on_arrival state ~round ~request;
-      tick 1 m1;
-      (* Reconfiguration + execution, [speed] mini-rounds. *)
-      for mini_round = 0 to speed - 1 do
-        let m2 = mark () in
-        let view =
-          { Policy.round; mini_round; n; delta; bounds; assignment; pool }
-        in
-        let target = P.reconfigure state view in
-        if Array.length target <> n then
-          invalid_arg
-            (Printf.sprintf
-               "Engine.run: policy %s returned %d locations, expected %d"
-               P.name (Array.length target) n);
-        for location = 0 to n - 1 do
-          match target.(location) with
-          | None -> () (* inactive this mini-round; physical color persists *)
-          | Some next ->
-              if next < 0 || next >= num_colors then
-                invalid_arg
-                  (Printf.sprintf
-                     "Engine.run: policy %s returned color %d at location %d \
-                      (round %d, mini-round %d); valid colors are 0..%d"
-                     P.name next location round mini_round (num_colors - 1));
-              if offline.(location) then
-                () (* offline: the target is ignored, nothing is paid *)
-              else if assignment.(location) <> Some next then
-                if
-                  match faults with
-                  | None -> false
-                  | Some plan -> Fault.reconfig_fails plan ~round ~location
-                then begin
-                  Ledger.record_failed_reconfig ledger ~round ~mini_round
-                    ~location ~previous:assignment.(location) ~attempted:next;
-                  match probes with
-                  | None -> ()
-                  | Some p -> Probe.incr p.failed_reconfigs
-                end
-                else begin
-                  Ledger.record_reconfig ledger ~round ~mini_round ~location
-                    ~previous:assignment.(location) ~next;
-                  assignment.(location) <- Some next
-                end
-        done;
-        tick 2 m2;
-        let m3 = mark () in
-        for location = 0 to n - 1 do
-          (* Execute the location's PHYSICAL color: after a failed
-             reconfiguration it differs from the policy's target. *)
-          if not offline.(location) && target.(location) <> None then
-            match assignment.(location) with
-            | None -> ()
-            | Some color -> (
-                match Job_pool.execute_one pool ~color ~round with
-                | None -> ()
-                | Some deadline ->
-                    Ledger.record_execute ledger ~round ~mini_round ~location
-                      ~color ~deadline;
-                    (match probes with
-                    | None -> ()
-                    | Some p -> Probe.observe p.exec_slack (deadline - round)))
-        done;
-        tick 3 m3
-      done;
-      (* End-of-round observability: probes and the streamed snapshot. *)
-      (match probes with
-      | None -> ()
-      | Some p ->
-          Probe.observe p.round_reconfigs
-            (Ledger.reconfig_count ledger - reconfigs0);
-          Probe.observe p.queue_depth (Job_pool.total_pending pool);
-          Probe.observe p.offline_locations !offline_count;
-          Array.iteri
-            (fun color g -> Probe.set_gauge g (Job_pool.pending pool color))
-            p.color_depth);
-      Event_sink.write_round sink ~round
-        ~pending:(Job_pool.total_pending pool)
-        ~reconfigs:(Ledger.reconfig_count ledger - reconfigs0)
-        ~drops:(Ledger.drop_count ledger - drops0)
-        ~execs:(Ledger.exec_count ledger - execs0)
-    done
+  let stepper =
+    Stepper.create ~record_events ?sink ?probes ~profile ?faults
+      ~label:"Engine.run" ~policy:(module P)
+      {
+        Stepper.name = instance.Instance.name;
+        delta = instance.delta;
+        bounds = instance.bounds;
+        n;
+        speed;
+        horizon = instance.horizon;
+      }
   in
   (* A policy exception mid-run must not leave a silently truncated
      stream: close it with an explicit aborted record, flush, re-raise. *)
-  (match simulate () with
+  (match
+     for round = 0 to instance.horizon - 1 do
+       Stepper.feed stepper instance.requests.(round);
+       Stepper.step stepper
+     done
+   with
   | () -> ()
   | exception e ->
       let backtrace = Printexc.get_raw_backtrace () in
-      Event_sink.write_aborted sink ~round:!current_round
-        ~reason:(Printexc.to_string e);
-      Event_sink.flush sink;
+      Stepper.abort stepper ~reason:(Printexc.to_string e);
       Printexc.raise_with_backtrace e backtrace);
-  Event_sink.write_summary sink ~delta
-    ~reconfigs:(Ledger.reconfig_count ledger)
-    ~failed:(Ledger.failed_reconfig_count ledger)
-    ~drops:(Ledger.drop_count ledger) ~execs:(Ledger.exec_count ledger);
-  Event_sink.flush sink;
+  let result = Stepper.finish stepper in
   Log.debug (fun m ->
       m "done %s: cost=%d reconfigs=%d drops=%d" instance.Instance.name
-        (Ledger.total_cost ledger)
-        (Ledger.reconfig_count ledger)
-        (Ledger.drop_count ledger));
-  let stats =
-    P.stats state
-    @ (match probes with Some p -> Probe.snapshot p.registry | None -> [])
-  in
-  {
-    ledger;
-    stats;
-    final_assignment = assignment;
-    profile = (if profile then Some prof else None);
-  }
+        (Ledger.total_cost result.ledger)
+        (Ledger.reconfig_count result.ledger)
+        (Ledger.drop_count result.ledger));
+  result
 
 let cost ?speed ?faults ~n ~policy instance =
   let { ledger; _ } =

@@ -1,5 +1,10 @@
 (** The discrete-round engine: the paper's four-phase round model.
 
+    Implemented as a loop over the incremental {!Stepper} (feed one
+    round's request, step): batch runs and the online serving layer
+    ([Rrs_server]) execute the same code and emit byte-identical
+    [rrs-events/2] streams.
+
     Each round runs (1) the drop phase — jobs whose deadline equals the
     round index are dropped at unit cost each; (2) the arrival phase;
     (3)+(4) [speed] iterations of the reconfiguration and execution
@@ -34,7 +39,7 @@
     [drop; arrival; reconfig; execute]. *)
 val phase_names : string list
 
-type result = {
+type result = Stepper.result = {
   ledger : Ledger.t;
   stats : (string * int) list;
       (* policy-reported counters, then the probe snapshot (if any) *)

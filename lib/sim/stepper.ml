@@ -1,0 +1,725 @@
+module Probe = Rrs_obs.Probe
+module Profile = Rrs_obs.Profile
+module Json = Event_sink.Json
+
+let phase_names = [ "drop"; "arrival"; "reconfig"; "execute" ]
+
+let snapshot_schema = "rrs-snap/1"
+
+type config = {
+  name : string;
+  delta : int;
+  bounds : int array;
+  n : int;
+  speed : int;
+  horizon : int;
+}
+
+type result = {
+  ledger : Ledger.t;
+  stats : (string * int) list;
+  final_assignment : Types.color option array;
+  profile : Profile.t option;
+}
+
+(* The standard engine probes, registered in the caller's registry so
+   policies and analysis helpers share the namespace. *)
+type probes = {
+  registry : Probe.registry;
+  exec_slack : Probe.histogram;
+  drop_latency : Probe.histogram;
+  round_reconfigs : Probe.histogram;
+  queue_depth : Probe.histogram;
+  offline_locations : Probe.histogram;
+  failed_reconfigs : Probe.counter;
+  color_depth : Probe.gauge array;
+}
+
+let make_probes registry ~num_colors =
+  {
+    registry;
+    exec_slack = Probe.histogram registry "exec_slack";
+    drop_latency = Probe.histogram registry "drop_latency";
+    round_reconfigs = Probe.histogram registry "round_reconfigs";
+    queue_depth = Probe.histogram registry "queue_depth";
+    offline_locations = Probe.histogram registry "offline_locations";
+    failed_reconfigs = Probe.counter registry "failed_reconfigs";
+    color_depth =
+      Array.init num_colors (fun color ->
+          Probe.gauge registry (Printf.sprintf "queue_depth_c%d" color));
+  }
+
+(* A policy instantiated over its (existential) state, so the stepper can
+   hold any policy without exposing the state type. *)
+type policy_instance = {
+  p_name : string;
+  p_on_drop : round:int -> dropped:(Types.color * int) list -> unit;
+  p_on_arrival : round:int -> request:Types.request -> unit;
+  p_reconfigure : Policy.view -> Types.color option array;
+  p_stats : unit -> (string * int) list;
+}
+
+let instantiate (module P : Policy.POLICY) ~n ~delta ~bounds =
+  let state = P.create ~n ~delta ~bounds in
+  {
+    p_name = P.name;
+    p_on_drop = (fun ~round ~dropped -> P.on_drop state ~round ~dropped);
+    p_on_arrival = (fun ~round ~request -> P.on_arrival state ~round ~request);
+    p_reconfigure = (fun view -> P.reconfigure state view);
+    p_stats = (fun () -> P.stats state);
+  }
+
+type t = {
+  config : config;
+  label : string;
+  policy : (module Policy.POLICY); (* kept so [snapshot] can name it *)
+  pi : policy_instance;
+  pool : Job_pool.t;
+  ledger : Ledger.t;
+  sink : Event_sink.t;
+  probes : probes option;
+  prof : Profile.t;
+  profile : bool;
+  fault_plan : Fault.plan option; (* original plan, embedded in snapshots *)
+  faults : Fault.compiled option;
+  assignment : Types.color option array;
+  offline : bool array;
+  mutable offline_count : int;
+  mutable round : int; (* the round the next [step] executes *)
+  mutable buffered : Types.request; (* arrivals fed for the next round *)
+  mutable buffered_jobs : int;
+  mutable accepted_jobs : int; (* total jobs accepted by [feed] *)
+  mutable history : (int * Types.request) list; (* consumed, reverse order *)
+  mutable finished : bool;
+}
+
+let create ?(record_events = true) ?sink ?probes ?(profile = false) ?faults
+    ?(label = "Stepper") ~policy:(module P : Policy.POLICY) config =
+  if config.n < 1 then invalid_arg (label ^ ": n must be >= 1");
+  if config.speed < 1 then invalid_arg (label ^ ": speed must be >= 1");
+  if config.delta < 1 then invalid_arg (label ^ ": delta must be >= 1");
+  if Array.length config.bounds = 0 then invalid_arg (label ^ ": no colors");
+  Array.iteri
+    (fun c d ->
+      if d < 1 then
+        invalid_arg
+          (Printf.sprintf "%s: bound of color %d is %d" label c d))
+    config.bounds;
+  if config.horizon < 0 then invalid_arg (label ^ ": negative horizon");
+  let num_colors = Array.length config.bounds in
+  let faults_compiled =
+    match faults with
+    | Some plan when not (Fault.is_empty plan) ->
+        Some (Fault.compile plan ~n:config.n ~horizon:config.horizon)
+    | Some _ | None -> None
+  in
+  let pool = Job_pool.create ~num_colors in
+  let ledger = Ledger.create ~record_events ?sink ~delta:config.delta () in
+  let sink = Ledger.sink ledger in
+  Event_sink.write_header sink ~name:config.name ~delta:config.delta
+    ~n:config.n ~speed:config.speed ~horizon:config.horizon
+    ~bounds:config.bounds;
+  let probes = Option.map (fun reg -> make_probes reg ~num_colors) probes in
+  let prof = Profile.create phase_names in
+  let pi = instantiate (module P) ~n:config.n ~delta:config.delta
+      ~bounds:config.bounds in
+  {
+    config;
+    label;
+    policy = (module P);
+    pi;
+    pool;
+    ledger;
+    sink;
+    probes;
+    prof;
+    profile;
+    fault_plan = faults;
+    faults = faults_compiled;
+    assignment = Array.make config.n None;
+    offline = Array.make config.n false;
+    offline_count = 0;
+    round = 0;
+    buffered = [];
+    buffered_jobs = 0;
+    accepted_jobs = 0;
+    history = [];
+    finished = false;
+  }
+
+let round t = t.round
+let ledger t = t.ledger
+let pool_pending t = Job_pool.total_pending t.pool
+let buffered_jobs t = t.buffered_jobs
+let accepted_jobs t = t.accepted_jobs
+let policy_name t = t.pi.p_name
+let config t = t.config
+let finished t = t.finished
+let assignment t = Array.copy t.assignment
+
+let feed t request =
+  if t.finished then invalid_arg (t.label ^ ": feed after finish");
+  let num_colors = Array.length t.config.bounds in
+  let jobs =
+    List.fold_left
+      (fun acc (color, count) ->
+        if color < 0 || color >= num_colors then
+          invalid_arg
+            (Printf.sprintf "%s: feed of unknown color %d (valid: 0..%d)"
+               t.label color (num_colors - 1));
+        if count < 0 then
+          invalid_arg
+            (Printf.sprintf "%s: feed of color %d with negative count %d"
+               t.label color count);
+        acc + count)
+      0 request
+  in
+  if request <> [] then t.buffered <- t.buffered @ request;
+  t.buffered_jobs <- t.buffered_jobs + jobs;
+  t.accepted_jobs <- t.accepted_jobs + jobs
+
+(* Already-normalized requests (strictly ascending colors, positive
+   counts — everything [Instance.make] produces) are consumed as-is, so
+   the [Engine.run] fast path pays one short list scan and no allocation. *)
+let rec is_normalized prev = function
+  | [] -> true
+  | (color, count) :: rest ->
+      count > 0 && color > prev && is_normalized color rest
+
+let idle_mark = { Profile.mark_s = 0.0; mark_minor = 0.0 }
+
+let step t =
+  if t.finished then invalid_arg (t.label ^ ": step after finish");
+  let { delta; bounds; n; speed; _ } = t.config in
+  let num_colors = Array.length bounds in
+  let pool = t.pool and ledger = t.ledger and sink = t.sink in
+  let assignment = t.assignment and offline = t.offline in
+  let probes = t.probes in
+  let mark () = if t.profile then Profile.start () else idle_mark in
+  let tick index m = if t.profile then Profile.stop t.prof index m in
+  let round = t.round in
+  let reconfigs0 = Ledger.reconfig_count ledger in
+  let drops0 = Ledger.drop_count ledger in
+  let execs0 = Ledger.exec_count ledger in
+  (* Fault transitions, before the drop phase: repairs first, then
+     crashes (a merged plan never has both for one location in one
+     round). A crashed location loses its color. *)
+  (match t.faults with
+  | None -> ()
+  | Some plan ->
+      List.iter
+        (fun location ->
+          offline.(location) <- false;
+          t.offline_count <- t.offline_count - 1;
+          Ledger.record_repair ledger ~round ~location)
+        (Fault.repairs_at plan ~round);
+      List.iter
+        (fun location ->
+          offline.(location) <- true;
+          t.offline_count <- t.offline_count + 1;
+          assignment.(location) <- None;
+          Ledger.record_crash ledger ~round ~location)
+        (Fault.crashes_at plan ~round));
+  (* Drop phase: jobs with deadline = round are dropped. *)
+  let m0 = mark () in
+  let dropped = Job_pool.drop_expired pool ~round in
+  if dropped <> [] then
+    Log.debug (fun m ->
+        m "round %d: dropped %a" round
+          (Format.pp_print_list
+             ~pp_sep:(fun ppf () -> Format.fprintf ppf " ")
+             (fun ppf (c, k) -> Format.fprintf ppf "%d:%d" c k))
+          dropped);
+  List.iter
+    (fun (color, count) -> Ledger.record_drop ledger ~round ~color ~count)
+    dropped;
+  (match probes with
+  | None -> ()
+  | Some p ->
+      List.iter
+        (fun (color, count) ->
+          Probe.observe_n p.drop_latency bounds.(color) ~n:count)
+        dropped);
+  t.pi.p_on_drop ~round ~dropped;
+  tick 0 m0;
+  (* Arrival phase: consume the fed buffer. *)
+  let m1 = mark () in
+  let request =
+    match t.buffered with
+    | [] -> []
+    | request when is_normalized (-1) request -> request
+    | request -> Types.normalize_request request
+  in
+  t.buffered <- [];
+  t.buffered_jobs <- 0;
+  if request <> [] then t.history <- (round, request) :: t.history;
+  List.iter
+    (fun (color, count) ->
+      Job_pool.add pool ~color ~deadline:(round + bounds.(color)) ~count)
+    request;
+  t.pi.p_on_arrival ~round ~request;
+  tick 1 m1;
+  (* Reconfiguration + execution, [speed] mini-rounds. *)
+  for mini_round = 0 to speed - 1 do
+    let m2 = mark () in
+    let view = { Policy.round; mini_round; n; delta; bounds; assignment; pool } in
+    let target = t.pi.p_reconfigure view in
+    if Array.length target <> n then
+      invalid_arg
+        (Printf.sprintf "%s: policy %s returned %d locations, expected %d"
+           t.label t.pi.p_name (Array.length target) n);
+    for location = 0 to n - 1 do
+      match target.(location) with
+      | None -> () (* inactive this mini-round; physical color persists *)
+      | Some next ->
+          if next < 0 || next >= num_colors then
+            invalid_arg
+              (Printf.sprintf
+                 "%s: policy %s returned color %d at location %d (round %d, \
+                  mini-round %d); valid colors are 0..%d"
+                 t.label t.pi.p_name next location round mini_round
+                 (num_colors - 1));
+          if offline.(location) then
+            () (* offline: the target is ignored, nothing is paid *)
+          else if assignment.(location) <> Some next then
+            if
+              match t.faults with
+              | None -> false
+              | Some plan -> Fault.reconfig_fails plan ~round ~location
+            then begin
+              Ledger.record_failed_reconfig ledger ~round ~mini_round ~location
+                ~previous:assignment.(location) ~attempted:next;
+              match probes with
+              | None -> ()
+              | Some p -> Probe.incr p.failed_reconfigs
+            end
+            else begin
+              Ledger.record_reconfig ledger ~round ~mini_round ~location
+                ~previous:assignment.(location) ~next;
+              assignment.(location) <- Some next
+            end
+    done;
+    tick 2 m2;
+    let m3 = mark () in
+    for location = 0 to n - 1 do
+      (* Execute the location's PHYSICAL color: after a failed
+         reconfiguration it differs from the policy's target. *)
+      if (not offline.(location)) && target.(location) <> None then
+        match assignment.(location) with
+        | None -> ()
+        | Some color -> (
+            match Job_pool.execute_one pool ~color ~round with
+            | None -> ()
+            | Some deadline ->
+                Ledger.record_execute ledger ~round ~mini_round ~location
+                  ~color ~deadline;
+                (match probes with
+                | None -> ()
+                | Some p -> Probe.observe p.exec_slack (deadline - round)))
+    done;
+    tick 3 m3
+  done;
+  (* End-of-round observability: probes and the streamed snapshot. *)
+  (match probes with
+  | None -> ()
+  | Some p ->
+      Probe.observe p.round_reconfigs
+        (Ledger.reconfig_count ledger - reconfigs0);
+      Probe.observe p.queue_depth (Job_pool.total_pending pool);
+      Probe.observe p.offline_locations t.offline_count;
+      Array.iteri
+        (fun color g -> Probe.set_gauge g (Job_pool.pending pool color))
+        p.color_depth);
+  Event_sink.write_round sink ~round
+    ~pending:(Job_pool.total_pending pool)
+    ~reconfigs:(Ledger.reconfig_count ledger - reconfigs0)
+    ~drops:(Ledger.drop_count ledger - drops0)
+    ~execs:(Ledger.exec_count ledger - execs0);
+  t.round <- round + 1
+
+let abort t ~reason =
+  Event_sink.write_aborted t.sink ~round:t.round ~reason;
+  Event_sink.flush t.sink
+
+let finish t =
+  if t.finished then invalid_arg (t.label ^ ": double finish");
+  t.finished <- true;
+  Event_sink.write_summary t.sink ~delta:t.config.delta
+    ~reconfigs:(Ledger.reconfig_count t.ledger)
+    ~failed:(Ledger.failed_reconfig_count t.ledger)
+    ~drops:(Ledger.drop_count t.ledger)
+    ~execs:(Ledger.exec_count t.ledger);
+  Event_sink.flush t.sink;
+  let stats =
+    t.pi.p_stats ()
+    @ (match t.probes with Some p -> Probe.snapshot p.registry | None -> [])
+  in
+  {
+    ledger = t.ledger;
+    stats;
+    final_assignment = t.assignment;
+    profile = (if t.profile then Some t.prof else None);
+  }
+
+(* ---- snapshot (rrs-snap/1) ----
+
+   The document's source of truth for restore is the deterministic replay
+   section: config + fault plan + every consumed arrival + the still
+   buffered feed. The [check_*] lines carry the materialized scheduler
+   state (pool deadlines, assignment, offline set, ledger counters);
+   [restore] replays and cross-checks them, so a snapshot that does not
+   reproduce (nondeterministic policy, version drift) fails loudly
+   instead of silently diverging. *)
+
+let ints_to_json array =
+  let buffer = Buffer.create 64 in
+  Buffer.add_char buffer '[';
+  Array.iteri
+    (fun i v ->
+      if i > 0 then Buffer.add_char buffer ',';
+      Buffer.add_string buffer (string_of_int v))
+    array;
+  Buffer.add_char buffer ']';
+  Buffer.contents buffer
+
+let request_fields request =
+  let colors = Array.of_list (List.map fst request) in
+  let counts = Array.of_list (List.map snd request) in
+  Printf.sprintf "\"colors\":%s,\"counts\":%s" (ints_to_json colors)
+    (ints_to_json counts)
+
+let snapshot t =
+  let buffer = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buffer s;
+                                   Buffer.add_char buffer '\n') fmt in
+  line
+    "{\"schema\":%s,\"name\":%s,\"delta\":%d,\"n\":%d,\"speed\":%d,\
+     \"horizon\":%d,\"bounds\":%s,\"policy\":%s,\"round\":%d,\"accepted\":%d}"
+    (Json.escape snapshot_schema)
+    (Json.escape t.config.name)
+    t.config.delta t.config.n t.config.speed t.config.horizon
+    (ints_to_json t.config.bounds)
+    (Json.escape t.pi.p_name)
+    t.round t.accepted_jobs;
+  (match t.fault_plan with
+  | None -> ()
+  | Some plan ->
+      List.iter
+        (fun { Fault.location; from_round; until_round } ->
+          line
+            "{\"type\":\"fault_crash\",\"location\":%d,\"from\":%d,\
+             \"until\":%d}"
+            location from_round until_round)
+        plan.Fault.crashes;
+      List.iter
+        (fun { Fault.rf_round; rf_location } ->
+          line "{\"type\":\"fault_reconfig\",\"round\":%d,\"location\":%d}"
+            rf_round rf_location)
+        plan.Fault.reconfig_failures);
+  List.iter
+    (fun (round, request) ->
+      line "{\"type\":\"arrival\",\"round\":%d,%s}" round
+        (request_fields request))
+    (List.rev t.history);
+  if t.buffered <> [] then
+    line "{\"type\":\"buffered\",%s}" (request_fields t.buffered);
+  Array.iteri
+    (fun color _ ->
+      match Job_pool.deadlines t.pool color with
+      | [] -> ()
+      | deadlines ->
+          line "{\"type\":\"check_pending\",\"color\":%d,%s}" color
+            (let ds = Array.of_list (List.map fst deadlines) in
+             let ks = Array.of_list (List.map snd deadlines) in
+             Printf.sprintf "\"deadlines\":%s,\"counts\":%s" (ints_to_json ds)
+               (ints_to_json ks)))
+    t.config.bounds;
+  line "{\"type\":\"check_assignment\",\"colors\":%s}"
+    (ints_to_json
+       (Array.map (function None -> -1 | Some c -> c) t.assignment));
+  let offline =
+    Array.to_list t.offline
+    |> List.mapi (fun i o -> if o then Some i else None)
+    |> List.filter_map Fun.id |> Array.of_list
+  in
+  if Array.length offline > 0 then
+    line "{\"type\":\"check_offline\",\"locations\":%s}" (ints_to_json offline);
+  line
+    "{\"type\":\"check_counters\",\"reconfigs\":%d,\"failed\":%d,\
+     \"drops\":%d,\"execs\":%d,\"cost\":%d}"
+    (Ledger.reconfig_count t.ledger)
+    (Ledger.failed_reconfig_count t.ledger)
+    (Ledger.drop_count t.ledger)
+    (Ledger.exec_count t.ledger)
+    (Ledger.total_cost t.ledger);
+  line "{\"type\":\"end\"}";
+  Buffer.contents buffer
+
+let save t ~path =
+  (* Atomic, as Trace.save: a drain interrupted mid-write must never
+     leave a torn snapshot behind. *)
+  let temp = path ^ ".tmp" in
+  let out = open_out temp in
+  Fun.protect
+    ~finally:(fun () -> close_out out)
+    (fun () -> output_string out (snapshot t));
+  Sys.rename temp path
+
+(* ---- restore: replay + cross-check ---- *)
+
+type parsed_snapshot = {
+  ps_config : config;
+  ps_policy : string;
+  ps_round : int;
+  ps_accepted : int;
+  ps_faults : Fault.plan option;
+  ps_arrivals : (int * Types.request) list; (* chronological *)
+  ps_buffered : Types.request;
+  ps_pending : (int * (int * int) list) list; (* color -> deadline multiset *)
+  ps_assignment : int array;
+  ps_offline : int list;
+  ps_counters : int * int * int * int; (* reconfigs, failed, drops, execs *)
+}
+
+let parse_request fields =
+  let colors = Json.ints_field fields "colors" in
+  let counts = Json.ints_field fields "counts" in
+  if Array.length colors <> Array.length counts then
+    raise (Json.Parse_error "colors/counts length mismatch");
+  Array.to_list (Array.map2 (fun c k -> (c, k)) colors counts)
+
+let parse_snapshot text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.filter (fun line -> String.trim line <> "")
+  in
+  match lines with
+  | [] -> Error "empty snapshot (no schema header)"
+  | header :: rest -> (
+      try
+        let fields = Json.parse_fields header in
+        let schema = Json.str_field fields "schema" in
+        if schema <> snapshot_schema then
+          Error
+            (Printf.sprintf "unsupported snapshot schema %S (want %S)" schema
+               snapshot_schema)
+        else begin
+          let ps_config =
+            {
+              name = Json.str_field fields "name";
+              delta = Json.int_field fields "delta";
+              n = Json.int_field fields "n";
+              speed = Json.int_field fields "speed";
+              horizon = Json.int_field fields "horizon";
+              bounds = Json.ints_field fields "bounds";
+            }
+          in
+          let ps_policy = Json.str_field fields "policy" in
+          let ps_round = Json.int_field fields "round" in
+          let ps_accepted = Json.int_field fields "accepted" in
+          let crashes = ref [] and fault_reconfigs = ref [] in
+          let arrivals = ref [] and buffered = ref [] in
+          let pending = ref [] and offline = ref [] in
+          let assignment = ref None and counters = ref None in
+          let ended = ref false in
+          List.iteri
+            (fun index line ->
+              if !ended then
+                raise
+                  (Json.Parse_error
+                     (Printf.sprintf "line %d: content after end" (index + 2)));
+              let fields = Json.parse_fields line in
+              match Json.str_field fields "type" with
+              | "fault_crash" ->
+                  crashes :=
+                    {
+                      Fault.location = Json.int_field fields "location";
+                      from_round = Json.int_field fields "from";
+                      until_round = Json.int_field fields "until";
+                    }
+                    :: !crashes
+              | "fault_reconfig" ->
+                  fault_reconfigs :=
+                    {
+                      Fault.rf_round = Json.int_field fields "round";
+                      rf_location = Json.int_field fields "location";
+                    }
+                    :: !fault_reconfigs
+              | "arrival" ->
+                  arrivals :=
+                    (Json.int_field fields "round", parse_request fields)
+                    :: !arrivals
+              | "buffered" -> buffered := parse_request fields
+              | "check_pending" ->
+                  let color = Json.int_field fields "color" in
+                  let ds = Json.ints_field fields "deadlines" in
+                  let ks = Json.ints_field fields "counts" in
+                  if Array.length ds <> Array.length ks then
+                    raise
+                      (Json.Parse_error "deadlines/counts length mismatch");
+                  pending :=
+                    ( color,
+                      Array.to_list (Array.map2 (fun d k -> (d, k)) ds ks) )
+                    :: !pending
+              | "check_assignment" ->
+                  assignment := Some (Json.ints_field fields "colors")
+              | "check_offline" ->
+                  offline :=
+                    Array.to_list (Json.ints_field fields "locations")
+              | "check_counters" ->
+                  counters :=
+                    Some
+                      ( Json.int_field fields "reconfigs",
+                        Json.int_field fields "failed",
+                        Json.int_field fields "drops",
+                        Json.int_field fields "execs" )
+              | "end" -> ended := true
+              | other ->
+                  raise
+                    (Json.Parse_error
+                       (Printf.sprintf "line %d: unknown snapshot line %S"
+                          (index + 2) other)))
+            rest;
+          if not !ended then Error "truncated snapshot (no end line)"
+          else
+            match (!assignment, !counters) with
+            | None, _ -> Error "snapshot missing check_assignment"
+            | _, None -> Error "snapshot missing check_counters"
+            | Some assignment, Some counters ->
+                let faults =
+                  if !crashes = [] && !fault_reconfigs = [] then None
+                  else
+                    Some
+                      (Fault.make ~name:"restored"
+                         ~crashes:(List.rev !crashes)
+                         ~reconfig_failures:(List.rev !fault_reconfigs) ())
+                in
+                Ok
+                  {
+                    ps_config;
+                    ps_policy;
+                    ps_round;
+                    ps_accepted;
+                    ps_faults = faults;
+                    ps_arrivals = List.rev !arrivals;
+                    ps_buffered = !buffered;
+                    ps_pending = List.rev !pending;
+                    ps_assignment = assignment;
+                    ps_offline = !offline;
+                    ps_counters = counters;
+                  }
+        end
+      with
+      | Json.Parse_error message -> Error message
+      | Fault.Invalid message -> Error message)
+
+let check message condition = if condition then Ok () else Error message
+
+let ( let* ) = Result.bind
+
+let verify t ps =
+  let reconfigs, failed, drops, execs = ps.ps_counters in
+  let* () =
+    check
+      (Printf.sprintf
+         "snapshot check failed: replayed counters \
+          (reconfigs=%d failed=%d drops=%d execs=%d) differ from snapshot \
+          (reconfigs=%d failed=%d drops=%d execs=%d)"
+         (Ledger.reconfig_count t.ledger)
+         (Ledger.failed_reconfig_count t.ledger)
+         (Ledger.drop_count t.ledger)
+         (Ledger.exec_count t.ledger)
+         reconfigs failed drops execs)
+      (Ledger.reconfig_count t.ledger = reconfigs
+      && Ledger.failed_reconfig_count t.ledger = failed
+      && Ledger.drop_count t.ledger = drops
+      && Ledger.exec_count t.ledger = execs)
+  in
+  let* () =
+    check "snapshot check failed: accepted-job count differs"
+      (t.accepted_jobs = ps.ps_accepted)
+  in
+  let replayed =
+    Array.map (function None -> -1 | Some c -> c) t.assignment
+  in
+  let* () =
+    check "snapshot check failed: assignment differs" (replayed = ps.ps_assignment)
+  in
+  let offline =
+    Array.to_list t.offline
+    |> List.mapi (fun i o -> if o then Some i else None)
+    |> List.filter_map Fun.id
+  in
+  let* () =
+    check "snapshot check failed: offline set differs"
+      (offline = ps.ps_offline)
+  in
+  let rec check_pending = function
+    | [] -> Ok ()
+    | (color, deadlines) :: rest ->
+        if
+          color >= 0
+          && color < Array.length t.config.bounds
+          && Job_pool.deadlines t.pool color = deadlines
+        then check_pending rest
+        else
+          Error
+            (Printf.sprintf
+               "snapshot check failed: pending multiset of color %d differs"
+               color)
+  in
+  let* () = check_pending ps.ps_pending in
+  (* Every color absent from the snapshot must be idle after replay. *)
+  let listed = List.map fst ps.ps_pending in
+  let rec check_idle color =
+    if color >= Array.length t.config.bounds then Ok ()
+    else if List.mem color listed || Job_pool.pending t.pool color = 0 then
+      check_idle (color + 1)
+    else
+      Error
+        (Printf.sprintf
+           "snapshot check failed: color %d pending after replay but idle in \
+            snapshot"
+           color)
+  in
+  check_idle 0
+
+let restore ?record_events ?sink ?probes ?profile ?label
+    ~policy:(module P : Policy.POLICY) text =
+  let* ps = parse_snapshot text in
+  let* () =
+    check
+      (Printf.sprintf "snapshot was taken under policy %S, not %S" ps.ps_policy
+         P.name)
+      (ps.ps_policy = P.name)
+  in
+  match
+    let t =
+      create ?record_events ?sink ?probes ?profile ?faults:ps.ps_faults ?label
+        ~policy:(module P) ps.ps_config
+    in
+    (* Deterministic replay: re-run every consumed round. The replayed
+       events are re-emitted into the (fresh) sink, so the restored
+       stream is a complete, self-consistent rrs-events document. *)
+    let arrivals = ref ps.ps_arrivals in
+    for round = 0 to ps.ps_round - 1 do
+      (match !arrivals with
+      | (r, request) :: rest when r = round ->
+          feed t request;
+          arrivals := rest
+      | _ -> ());
+      step t
+    done;
+    (match !arrivals with
+    | [] -> ()
+    | (r, _) :: _ ->
+        failwith
+          (Printf.sprintf "snapshot arrival at round %d >= snapshot round %d" r
+             ps.ps_round));
+    feed t ps.ps_buffered;
+    t
+  with
+  | t ->
+      let* () = verify t ps in
+      Ok t
+  | exception e -> Error ("restore: " ^ Printexc.to_string e)

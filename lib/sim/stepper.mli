@@ -1,0 +1,162 @@
+(** Incremental round engine: the paper's four-phase round model, one
+    round at a time, for online serving.
+
+    {!Engine.run} is a loop over this module — the stepper IS the engine,
+    so a served session and a batch run execute the same code and emit
+    byte-identical [rrs-events/2] streams. The serving layer
+    ([Rrs_server]) holds one stepper per session, [feed]s arrivals as
+    they come in over the wire and [step]s rounds on demand; nothing has
+    to be known up front, unlike {!Instance.t} which materializes the
+    whole request sequence before a run starts.
+
+    Lifecycle: [create] (writes the stream header) -> any interleaving of
+    [feed] and [step] -> [finish] (writes the closing summary) — or
+    [abort] if a policy raised mid-round. [feed] accumulates arrivals for
+    the round the {e next} [step] executes; a round with no feeds is a
+    legal idle round.
+
+    {1 Snapshot / restore (schema [rrs-snap/1])}
+
+    [snapshot] captures the full scheduler state as a versioned JSONL
+    document; [restore] rebuilds a live stepper from it by {e
+    deterministic replay}: the document embeds the config, the fault
+    plan and every arrival consumed so far, and restore re-runs them
+    round by round (policies are deterministic, so this reconstructs the
+    policy's internal state exactly — the one part of the scheduler that
+    has no serialized form). The document also carries the materialized
+    state (pool deadline multisets, assignment, offline set, ledger
+    counters); restore cross-checks the replay against them and fails
+    loudly on any mismatch rather than continuing from a diverged state.
+
+    Replayed events are re-emitted into the restored stepper's (fresh)
+    sink, so the stream after a restore is a complete, self-consistent
+    rrs-events document from round 0 — byte-identical to the stream an
+    uninterrupted run would have produced. Restore cost is proportional
+    to the rounds replayed; see ROADMAP for the incremental-snapshot
+    follow-on. *)
+
+(** Phase slot names of [result.profile], in slot order:
+    [drop; arrival; reconfig; execute]. *)
+val phase_names : string list
+
+val snapshot_schema : string
+
+(** Static run parameters. [horizon] is nominal for a served session (it
+    sizes fault-plan compilation and is echoed in the stream header);
+    stepping past it is legal — fault plans are simply inert there. *)
+type config = {
+  name : string;
+  delta : int;
+  bounds : int array; (* bounds.(c) = D_c >= 1; length = number of colors *)
+  n : int;
+  speed : int; (* mini-rounds per round, >= 1 *)
+  horizon : int;
+}
+
+type result = {
+  ledger : Ledger.t;
+  stats : (string * int) list;
+      (* policy-reported counters, then the probe snapshot (if any) *)
+  final_assignment : Types.color option array;
+  profile : Rrs_obs.Profile.t option;
+}
+
+(** The standard engine probes (see {!Engine}); exposed so analysis
+    helpers can reuse the record shape. *)
+type probes = {
+  registry : Rrs_obs.Probe.registry;
+  exec_slack : Rrs_obs.Probe.histogram;
+  drop_latency : Rrs_obs.Probe.histogram;
+  round_reconfigs : Rrs_obs.Probe.histogram;
+  queue_depth : Rrs_obs.Probe.histogram;
+  offline_locations : Rrs_obs.Probe.histogram;
+  failed_reconfigs : Rrs_obs.Probe.counter;
+  color_depth : Rrs_obs.Probe.gauge array;
+}
+
+type t
+
+(** [create ~policy config] builds a stepper at round 0 and writes the
+    [rrs-events/2] header to the sink. Parameters as {!Engine.run};
+    [label] prefixes every [Invalid_argument] this stepper raises
+    (default ["Stepper"]; [Engine.run] passes its own name so existing
+    error messages are unchanged).
+    @raise Invalid_argument on [n < 1], [speed < 1], [delta < 1], empty
+    or invalid [bounds], or a fault plan naming a location [>= n]. *)
+val create :
+  ?record_events:bool ->
+  ?sink:Event_sink.t ->
+  ?probes:Rrs_obs.Probe.registry ->
+  ?profile:bool ->
+  ?faults:Fault.plan ->
+  ?label:string ->
+  policy:(module Policy.POLICY) ->
+  config ->
+  t
+
+(** [feed t request] queues arrivals for the round the next [step]
+    executes. Multiple feeds accumulate; the request is normalized at
+    consumption. @raise Invalid_argument on an unknown color, a negative
+    count, or a finished stepper. *)
+val feed : t -> Types.request -> unit
+
+(** [step t] runs one full round: fault transitions, drop phase, arrival
+    phase (consuming the fed buffer), [speed] reconfigure+execute
+    mini-rounds, then the probes and the streamed round snapshot.
+    @raise Invalid_argument on a policy protocol violation (wrong target
+    length, color out of range) or a finished stepper. *)
+val step : t -> unit
+
+(** Close the stream with an explicit [aborted] record and flush (the
+    stepper's round names the aborting round). Use when [step] raised and
+    the run will not continue. *)
+val abort : t -> reason:string -> unit
+
+(** Write the closing summary, flush, and return the run's result.
+    @raise Invalid_argument on double finish. *)
+val finish : t -> result
+
+(** {1 Accessors} *)
+
+(** The round the next [step] executes (= rounds executed so far). *)
+val round : t -> int
+
+val ledger : t -> Ledger.t
+
+(** Jobs pending in the pool (excludes the fed-but-unstepped buffer). *)
+val pool_pending : t -> int
+
+(** Jobs fed but not yet consumed by a [step]. *)
+val buffered_jobs : t -> int
+
+(** Total jobs accepted by [feed] since creation (survives restore). *)
+val accepted_jobs : t -> int
+
+val policy_name : t -> string
+val config : t -> config
+val finished : t -> bool
+
+(** Copy of the current physical assignment. *)
+val assignment : t -> Types.color option array
+
+(** {1 Snapshot / restore} *)
+
+(** The full scheduler state as an [rrs-snap/1] JSONL document. *)
+val snapshot : t -> string
+
+(** [save t ~path] writes {!snapshot} atomically (temp + rename). *)
+val save : t -> path:string -> unit
+
+(** [restore ~policy doc] rebuilds a stepper by deterministic replay and
+    cross-checks the result against the document's materialized state
+    (see module docs). [policy] must be the module the snapshot names.
+    Replayed events go to [sink], so the restored stream is complete. *)
+val restore :
+  ?record_events:bool ->
+  ?sink:Event_sink.t ->
+  ?probes:Rrs_obs.Probe.registry ->
+  ?profile:bool ->
+  ?label:string ->
+  policy:(module Policy.POLICY) ->
+  string ->
+  (t, string) Stdlib.result

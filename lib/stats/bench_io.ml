@@ -14,6 +14,7 @@ type run = {
   wall_s : float option;
   minor_words : float option;
   phases : (string * float * float) list; (* (name, wall_s, minor_words) *)
+  extras : (string * int) list; (* extra integer metrics, schema-free *)
 }
 
 type error = { err_key : string; err_text : string; err_attempts : int }
@@ -85,11 +86,11 @@ let current_experiment t =
   match t.current with None -> assert false | Some experiment -> experiment
 
 let record t ~policy ~workload ~n ~delta ~cost ~reconfig_count ~drop_count
-    ?exec_count ?wall_s ?minor_words ?(phases = []) () =
+    ?exec_count ?wall_s ?minor_words ?(phases = []) ?(extras = []) () =
   let experiment = current_experiment t in
   experiment.runs <-
     { policy; workload; n; delta; cost; reconfig_count; drop_count;
-      exec_count; wall_s; minor_words; phases }
+      exec_count; wall_s; minor_words; phases; extras }
     :: experiment.runs
 
 let record_outcome t ~workload ~policy (outcome : Rrs_sim.Sweep.outcome) =
@@ -172,6 +173,17 @@ let render_run buffer run =
                (float_field wall_s) (float_field minor_words)))
         phases;
       Buffer.add_char buffer '}');
+  (match run.extras with
+  | [] -> ()
+  | extras ->
+      Buffer.add_string buffer ", \"extras\": {";
+      List.iteri
+        (fun i (name, value) ->
+          if i > 0 then Buffer.add_string buffer ", ";
+          escape_into buffer name;
+          Buffer.add_string buffer (Printf.sprintf ": %d" value))
+        extras;
+      Buffer.add_char buffer '}');
   Buffer.add_char buffer '}'
 
 let render_experiment buffer experiment =
@@ -248,8 +260,16 @@ let to_string t =
        (List.length experiments) total_runs (float_field total_wall));
   Buffer.contents buffer
 
+(* Atomic, like Trace.save: a reader (CI polling for the BENCH file, a
+   crashed bench rerun) never observes a half-written document. *)
 let write t ~path =
-  let out = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out out)
-    (fun () -> output_string out (to_string t))
+  let text = to_string t in
+  let dir = Filename.dirname path in
+  let tmp, out = Filename.open_temp_file ~temp_dir:dir "bench" ".tmp" in
+  (match output_string out text with
+  | () -> close_out out
+  | exception e ->
+      close_out_noerr out;
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise e);
+  Sys.rename tmp path

@@ -26,7 +26,9 @@
                 "drop":    {"wall_s": 0.0001, "minor_words": 10.0},
                 "arrival": {"wall_s": 0.0001, "minor_words": 10.0},
                 "reconfig":{"wall_s": 0.0001, "minor_words": 10.0},
-                "execute": {"wall_s": 0.0001, "minor_words": 10.0} } } ] } ],
+                "execute": {"wall_s": 0.0001, "minor_words": 10.0} },
+              "extras": {                 // optional integer metrics
+                "sessions": 8, "rounds_per_s": 120000, "p99_us": 85 } } ] } ],
       "totals": { "experiments": 16, "runs": 120, "wall_s": 1.23 } }
     v}
 
@@ -64,7 +66,10 @@ val start_experiment : t -> id:string -> claim:string -> unit
 
 (** Record one run into the current experiment. [exec_count] defaults to
     unknown; [wall_s]/[minor_words] to unmeasured; [phases] (from
-    [Rrs_obs.Profile.fields]) to absent. *)
+    [Rrs_obs.Profile.fields]) to absent. [extras] is an optional flat
+    object of additional integer metrics (e.g. E18's [sessions],
+    [rounds_per_s], [p50_us], [p99_us]); absent entries render nothing,
+    so the addition is backward-compatible within rrs-bench/3. *)
 val record :
   t ->
   policy:string ->
@@ -78,6 +83,7 @@ val record :
   ?wall_s:float ->
   ?minor_words:float ->
   ?phases:(string * float * float) list ->
+  ?extras:(string * int) list ->
   unit ->
   unit
 
@@ -100,5 +106,7 @@ val set_domain_load : t -> Rrs_sim.Sweep.domain_load list -> unit
 (** Close the current experiment and render the whole document. *)
 val to_string : t -> string
 
-(** [write t ~path] finalizes and writes the JSON document to [path]. *)
+(** [write t ~path] finalizes and writes the JSON document to [path]
+    atomically (temp file + rename, like [Trace.save]): a concurrent
+    reader never observes a half-written document. *)
 val write : t -> path:string -> unit

@@ -1,0 +1,539 @@
+(* Serving-layer tests: rrs-wire/1 codec round trips (every frame type,
+   qcheck), channel framing, a malformed-input corpus against a live
+   server (the connection and the sessions behind it must survive),
+   admission control (shed accounting + conservation), Engine-vs-Stepper
+   stream identity, and snapshot/restore equivalence (qcheck: a run
+   interrupted at a random round and restored finishes with the same
+   ledger, assignment and byte-identical event stream as the
+   uninterrupted run). *)
+
+module Instance = Rrs_sim.Instance
+module Engine = Rrs_sim.Engine
+module Ledger = Rrs_sim.Ledger
+module Stepper = Rrs_sim.Stepper
+module Event_sink = Rrs_sim.Event_sink
+module Wire = Rrs_server.Wire
+module Session = Rrs_server.Session
+module Server = Rrs_server.Server
+module Client = Rrs_server.Client
+module H = Test_helpers
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let policy : (module Rrs_sim.Policy.POLICY) = (module Rrs_core.Policy_lru_edf)
+
+let read_file path =
+  In_channel.with_open_bin path In_channel.input_all
+
+(* ---- wire codec: qcheck round trip over every frame type ---- *)
+
+let gen_name =
+  (* Session/policy strings, including characters the escaper must
+     handle. *)
+  QCheck2.Gen.(
+    oneof
+      [
+        string_size ~gen:(char_range 'a' 'z') (int_range 1 12);
+        return "s \"quoted\" \\ back";
+        return "newline\nand\ttab";
+        return "";
+      ])
+
+let gen_ints =
+  QCheck2.Gen.(array_size (int_range 0 6) (int_range 0 1000))
+
+let gen_opt_name = QCheck2.Gen.option gen_name
+
+let gen_frame : Wire.frame QCheck2.Gen.t =
+  QCheck2.Gen.(
+    let* session = gen_name in
+    let int = int_range 0 100_000 in
+    oneof
+      [
+        (let* v = gen_name in
+         return (Wire.Hello { client_version = v }));
+        (let* policy = gen_name in
+         let* delta = int and* n = int and* speed = int and* horizon = int in
+         let* queue_limit = int and* bounds = gen_ints in
+         return
+           (Wire.Open
+              { session; policy; delta; bounds; n; speed; horizon; queue_limit }));
+        (let* colors = gen_ints and* counts = gen_ints in
+         return (Wire.Feed { session; colors; counts }));
+        (let* rounds = int in
+         return (Wire.Step { session; rounds }));
+        return (Wire.Stats { session });
+        (let* path = gen_opt_name in
+         return (Wire.Snapshot { session; path }));
+        return (Wire.Close { session });
+        (let* v = gen_name in
+         return (Wire.Hello_ok { server_version = v }));
+        (let* round = int in
+         return (Wire.Opened { session; round }));
+        (let* accepted = int and* buffered = int in
+         return (Wire.Fed { session; accepted; buffered }));
+        (let* shed = int and* buffered = int and* limit = int in
+         return (Wire.Shed { session; shed; buffered; limit }));
+        (let* round = int and* pending = int and* cost = int in
+         let* reconfigs = int and* drops = int and* execs = int in
+         return
+           (Wire.Stepped { session; round; pending; cost; reconfigs; drops; execs }));
+        (let* round = int and* pending = int and* buffered = int in
+         let* fed = int and* accepted = int and* shed = int in
+         let* execs = int and* drops = int and* reconfigs = int in
+         let* failed = int and* cost = int in
+         return
+           (Wire.Stats_ok
+              { session; round; pending; buffered; fed; accepted; shed; execs;
+                drops; reconfigs; failed; cost }));
+        (let* path = gen_opt_name and* doc = gen_opt_name in
+         return (Wire.Snapshotted { session; path; doc }));
+        (let* cost = int in
+         return (Wire.Closed { session; cost }));
+        (let* message = gen_name in
+         return (Wire.Error_frame { message }));
+      ])
+
+let prop_wire_roundtrip =
+  QCheck2.Test.make ~name:"wire: decode (encode frame) = frame" ~count:500
+    gen_frame (fun frame -> Wire.decode (Wire.encode frame) = Ok frame)
+
+let prop_wire_framed_roundtrip =
+  QCheck2.Test.make ~name:"wire: read (write frame) = frame through a channel"
+    ~count:100 gen_frame (fun frame ->
+      let path = Filename.temp_file "rrs_wire" ".txt" in
+      let out = open_out path in
+      Wire.write out frame;
+      close_out out;
+      let input = open_in path in
+      let result = Wire.read input in
+      let eof = Wire.read input in
+      close_in input;
+      Sys.remove path;
+      result = Wire.Frame frame && eof = Wire.Eof)
+
+let test_wire_malformed_lines () =
+  let path = Filename.temp_file "rrs_wire" ".txt" in
+  let out = open_out path in
+  output_string out "this is not a frame\n";
+  output_string out "999 {\"type\":\"stats\",\"session\":\"s\"}\n";
+  output_string out "{\"type\":\"stats\",\"session\":\"s\"}\n";
+  output_string out "8 {\"a\":1}\n";
+  output_string out
+    (Wire.frame_line (Wire.encode (Wire.Stats { session = "s" })));
+  close_out out;
+  let input = open_in path in
+  let malformed = function Wire.Malformed _ -> true | _ -> false in
+  check_bool "garbage words" true (malformed (Wire.read input));
+  check_bool "length mismatch" true (malformed (Wire.read input));
+  check_bool "missing prefix" true (malformed (Wire.read input));
+  check_bool "missing type" true (malformed (Wire.read input));
+  check_bool "still synced: valid frame after garbage" true
+    (Wire.read input = Wire.Frame (Wire.Stats { session = "s" }));
+  check_bool "eof" true (Wire.read input = Wire.Eof);
+  close_in input;
+  Sys.remove path
+
+(* ---- session admission control ---- *)
+
+let session_config ?(name = "t") () =
+  { Stepper.name; delta = 3; bounds = [| 2; 3; 4 |]; n = 4; speed = 1;
+    horizon = 0 }
+
+let test_session_shed_and_conservation () =
+  let session =
+    match
+      Session.create ~name:"shed" ~policy:"dlru-edf" ~queue_limit:5
+        (session_config ())
+    with
+    | Ok s -> s
+    | Error m -> Alcotest.fail m
+  in
+  (match Session.feed session ~colors:[| 0; 1 |] ~counts:[| 2; 2 |] with
+  | Ok (Session.Accepted { accepted; buffered }) ->
+      check "accepted" 4 accepted;
+      check "buffered" 4 buffered
+  | Ok (Session.Shed_reply _) -> Alcotest.fail "unexpected shed"
+  | Error m -> Alcotest.fail m);
+  (* 4 buffered + 2 > 5: the whole request is shed, nothing enqueued. *)
+  (match Session.feed session ~colors:[| 2 |] ~counts:[| 2 |] with
+  | Ok (Session.Shed_reply { shed; buffered; limit }) ->
+      check "shed jobs" 2 shed;
+      check "buffered unchanged" 4 buffered;
+      check "limit" 5 limit
+  | Ok (Session.Accepted _) -> Alcotest.fail "expected shed"
+  | Error m -> Alcotest.fail m);
+  (* A 1-job feed still fits. *)
+  (match Session.feed session ~colors:[| 2 |] ~counts:[| 1 |] with
+  | Ok (Session.Accepted { buffered; _ }) -> check "refilled" 5 buffered
+  | _ -> Alcotest.fail "expected accept");
+  (* An invalid feed is rejected outright and is not counted as fed. *)
+  (match Session.feed session ~colors:[| 9 |] ~counts:[| 1 |] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected error for unknown color");
+  (match Session.step session ~rounds:6 with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail m);
+  let st = Session.stats session in
+  check "fed = accepted + shed" st.Session.st_fed
+    (st.Session.st_accepted + st.Session.st_shed);
+  check "accepted conserved" st.Session.st_accepted
+    (st.Session.st_execs + st.Session.st_drops + st.Session.st_pending
+   + st.Session.st_buffered);
+  check "shed total" 2 st.Session.st_shed;
+  match Session.close session with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail m
+
+(* ---- engine over stepper: stream identity ---- *)
+
+let trace_engine ~n instance =
+  let path = Filename.temp_file "rrs_engine" ".jsonl" in
+  let channel = open_out path in
+  let result =
+    Engine.run ~sink:(Event_sink.Jsonl channel) ~n ~policy instance
+  in
+  close_out channel;
+  (path, result)
+
+let trace_stepper ~n instance =
+  let path = Filename.temp_file "rrs_stepper" ".jsonl" in
+  let channel = open_out path in
+  let stepper =
+    Stepper.create ~sink:(Event_sink.Jsonl channel) ~policy
+      { Stepper.name = instance.Instance.name;
+        delta = instance.Instance.delta; bounds = instance.Instance.bounds;
+        n; speed = 1; horizon = instance.Instance.horizon }
+  in
+  for round = 0 to instance.Instance.horizon - 1 do
+    Stepper.feed stepper instance.Instance.requests.(round);
+    Stepper.step stepper
+  done;
+  let result = Stepper.finish stepper in
+  close_out channel;
+  (path, result)
+
+let test_engine_stepper_identity () =
+  let instance =
+    Rrs_workload.Random_workloads.uniform ~seed:42 ~colors:6 ~delta:4
+      ~bound_log_range:(0, 3) ~horizon:48 ~load:0.9 ~rate_limited:true ()
+  in
+  let engine_path, engine_result = trace_engine ~n:6 instance in
+  let stepper_path, stepper_result = trace_stepper ~n:6 instance in
+  check "same cost"
+    (Ledger.total_cost engine_result.Engine.ledger)
+    (Ledger.total_cost stepper_result.Stepper.ledger);
+  check_string "byte-identical streams" (read_file engine_path)
+    (read_file stepper_path);
+  Sys.remove engine_path;
+  Sys.remove stepper_path
+
+(* ---- snapshot / restore ---- *)
+
+(* Interrupt a streamed run at [cut], restore from the snapshot into a
+   fresh sink, finish both; ledgers, assignments and the full event
+   streams must agree. *)
+let run_with_interruption ~n ~cut instance =
+  let full_path, full = trace_engine ~n instance in
+  let part_path = Filename.temp_file "rrs_part" ".jsonl" in
+  let channel = open_out part_path in
+  let config =
+    { Stepper.name = instance.Instance.name; delta = instance.Instance.delta;
+      bounds = instance.Instance.bounds; n; speed = 1;
+      horizon = instance.Instance.horizon }
+  in
+  let stepper =
+    Stepper.create ~sink:(Event_sink.Jsonl channel) ~policy config
+  in
+  for round = 0 to cut - 1 do
+    Stepper.feed stepper instance.Instance.requests.(round);
+    Stepper.step stepper
+  done;
+  let snapshot = Stepper.snapshot stepper in
+  (* The interrupted process dies here: its stream is abandoned. *)
+  close_out channel;
+  Sys.remove part_path;
+  let resumed_path = Filename.temp_file "rrs_resumed" ".jsonl" in
+  let channel = open_out resumed_path in
+  let resumed =
+    match
+      Stepper.restore ~sink:(Event_sink.Jsonl channel) ~policy snapshot
+    with
+    | Ok stepper -> stepper
+    | Error message -> Alcotest.failf "restore: %s" message
+  in
+  for round = cut to instance.Instance.horizon - 1 do
+    Stepper.feed resumed instance.Instance.requests.(round);
+    Stepper.step resumed
+  done;
+  let result = Stepper.finish resumed in
+  close_out channel;
+  let outcome =
+    ( Ledger.total_cost full.Engine.ledger,
+      Ledger.total_cost result.Stepper.ledger,
+      full.Engine.final_assignment = result.Stepper.final_assignment,
+      read_file full_path = read_file resumed_path )
+  in
+  Sys.remove full_path;
+  Sys.remove resumed_path;
+  outcome
+
+let test_snapshot_restore_midrun () =
+  let instance =
+    Rrs_workload.Random_workloads.uniform ~seed:7 ~colors:5 ~delta:3
+      ~bound_log_range:(0, 3) ~horizon:40 ~load:1.0 ~rate_limited:true ()
+  in
+  let full_cost, resumed_cost, same_assignment, same_stream =
+    run_with_interruption ~n:5 ~cut:17 instance
+  in
+  check "same total cost" full_cost resumed_cost;
+  check_bool "same final assignment" true same_assignment;
+  check_bool "byte-identical stream after restore" true same_stream
+
+let prop_snapshot_restore =
+  QCheck2.Test.make
+    ~name:"snapshot at a random round + restore = uninterrupted run"
+    ~count:40
+    QCheck2.Gen.(pair H.gen_rate_limited (int_bound 1_000_000))
+    (fun (instance, cut_seed) ->
+      let horizon = instance.Instance.horizon in
+      QCheck2.assume (horizon > 1);
+      let cut = 1 + (cut_seed mod (horizon - 1)) in
+      let full_cost, resumed_cost, same_assignment, same_stream =
+        run_with_interruption ~n:4 ~cut instance
+      in
+      full_cost = resumed_cost && same_assignment && same_stream)
+
+let test_restore_rejects_tampering () =
+  let stepper = Stepper.create ~policy (session_config ~name:"tamper" ())
+  in
+  Stepper.feed stepper [ (0, 2); (1, 1) ];
+  Stepper.step stepper;
+  Stepper.step stepper;
+  let doc = Stepper.snapshot stepper in
+  (* Corrupt the materialized counters: replay must detect the mismatch. *)
+  let tampered =
+    String.concat "\n"
+      (List.map
+         (fun line ->
+           if String.length line > 24
+              && String.sub line 0 24 = "{\"type\":\"check_counters\"" then
+             "{\"type\":\"check_counters\",\"reconfigs\":9,\"failed\":0,\
+              \"drops\":9,\"execs\":9,\"cost\":99}"
+           else line)
+         (String.split_on_char '\n' doc))
+  in
+  (match Stepper.restore ~policy tampered with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "tampered snapshot must not restore");
+  match Stepper.restore ~policy "not a snapshot" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage must not restore"
+
+(* ---- live server: malformed corpus + session survival ---- *)
+
+let with_server f =
+  let dir = Filename.temp_file "rrs_srv" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let address = Server.Unix_socket (Filename.concat dir "sock") in
+  let config =
+    { (Server.default_config address) with
+      domains = 2;
+      snap_dir = Some (Filename.concat dir "snaps") }
+  in
+  let server = Server.start config in
+  Fun.protect
+    ~finally:(fun () -> ignore (Server.stop ~drain:false server))
+    (fun () -> f address)
+
+let expect_ok = function
+  | Ok (Wire.Error_frame { message }) -> Alcotest.failf "server error: %s" message
+  | Ok frame -> frame
+  | Error message -> Alcotest.fail message
+
+let expect_error client = function
+  | label -> (
+      match Client.read_reply client with
+      | Ok (Wire.Error_frame _) -> ()
+      | Ok frame ->
+          Alcotest.failf "%s: expected error, got %s" label (Wire.encode frame)
+      | Error message -> Alcotest.failf "%s: %s" label message)
+
+let malformed_corpus =
+  [
+    "complete garbage";
+    "12";
+    "";
+    "-3 {}";
+    "7 {\"typ\"";
+    "999 {\"type\":\"stats\",\"session\":\"live\"}"; (* truncated frame *)
+    "17 {\"type\":\"stats\"}"; (* missing required field *)
+    "13 {\"type\":\"nope\"}"; (* unknown type *)
+    "44 {\"type\":\"open\",\"session\":\"x\",\"policy\":\"dlru\"}";
+    (* missing numeric fields *)
+    "24 {\"type\":\"hello\",\"version\":1}"; (* wrong field type *)
+  ]
+
+let test_server_survives_malformed () =
+  with_server (fun address ->
+      let client = Client.connect address in
+      (* Wrong version: an [error] reply, not a disconnect. *)
+      (match Client.call client (Wire.Hello { client_version = "rrs-wire/0" }) with
+      | Ok (Wire.Error_frame _) -> ()
+      | other ->
+          Alcotest.failf "wrong version accepted: %s"
+            (match other with Ok f -> Wire.encode f | Error e -> e));
+      (match
+         expect_ok
+           (Client.call client (Wire.Hello { client_version = Wire.version }))
+       with
+      | Wire.Hello_ok _ -> ()
+      | f -> Alcotest.failf "unexpected hello reply %s" (Wire.encode f));
+      (match
+         expect_ok
+           (Client.call client
+              (Wire.Open
+                 { session = "live"; policy = "dlru"; delta = 2;
+                   bounds = [| 2; 3 |]; n = 3; speed = 1; horizon = 0;
+                   queue_limit = 0 }))
+       with
+      | Wire.Opened _ -> ()
+      | f -> Alcotest.failf "unexpected open reply %s" (Wire.encode f));
+      ignore
+        (expect_ok
+           (Client.call client
+              (Wire.Feed { session = "live"; colors = [| 0 |]; counts = [| 3 |] })));
+      ignore (expect_ok (Client.call client (Wire.Step { session = "live"; rounds = 1 })));
+      let stats_before =
+        match expect_ok (Client.call client (Wire.Stats { session = "live" })) with
+        | Wire.Stats_ok _ as s -> s
+        | f -> Alcotest.failf "unexpected stats reply %s" (Wire.encode f)
+      in
+      (* The whole corpus: every line answered with [error], connection
+         and session intact. *)
+      List.iter
+        (fun line ->
+          Client.send_raw client line;
+          expect_error client line)
+        malformed_corpus;
+      (* Protocol-level misuse (well-formed frames) also answers error. *)
+      Client.send client (Wire.Stats { session = "no-such" });
+      expect_error client "unknown session";
+      Client.send client (Wire.Opened { session = "x"; round = 0 });
+      expect_error client "reply frame as request";
+      Client.send client
+        (Wire.Open
+           { session = "../evil"; policy = "dlru"; delta = 2;
+             bounds = [| 2 |]; n = 1; speed = 1; horizon = 0; queue_limit = 0 });
+      expect_error client "path-unsafe session name";
+      (* The session is unharmed: same stats as before the corpus. *)
+      let stats_after =
+        expect_ok (Client.call client (Wire.Stats { session = "live" }))
+      in
+      check_string "session unharmed by corpus" (Wire.encode stats_before)
+        (Wire.encode stats_after);
+      (match expect_ok (Client.call client (Wire.Step { session = "live"; rounds = 2 })) with
+      | Wire.Stepped { round; _ } -> check "still stepping" 3 round
+      | f -> Alcotest.failf "unexpected step reply %s" (Wire.encode f));
+      (match expect_ok (Client.call client (Wire.Close { session = "live" })) with
+      | Wire.Closed _ -> ()
+      | f -> Alcotest.failf "unexpected close reply %s" (Wire.encode f));
+      Client.close client)
+
+(* ---- live server: drain to disk + restore continues the ledger ---- *)
+
+let feed_step client session colors counts =
+  ignore (expect_ok (Client.call client (Wire.Feed { session; colors; counts })));
+  match expect_ok (Client.call client (Wire.Step { session; rounds = 1 })) with
+  | Wire.Stepped _ -> ()
+  | f -> Alcotest.failf "unexpected step reply %s" (Wire.encode f)
+
+let test_server_drain_restore () =
+  let dir = Filename.temp_file "rrs_drain" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let address = Server.Unix_socket (Filename.concat dir "sock") in
+  let config =
+    { (Server.default_config address) with
+      domains = 2;
+      snap_dir = Some (Filename.concat dir "snaps") }
+  in
+  (* Uninterrupted reference: same feeds against one server lifetime. *)
+  let reference =
+    with_server (fun address ->
+        let client = Client.connect address in
+        ignore
+          (expect_ok
+             (Client.call client
+                (Wire.Open
+                   { session = "d"; policy = "dlru-edf"; delta = 3;
+                     bounds = [| 2; 2; 4 |]; n = 4; speed = 1; horizon = 0;
+                     queue_limit = 0 })));
+        feed_step client "d" [| 0; 1 |] [| 3; 2 |];
+        feed_step client "d" [| 2 |] [| 4 |];
+        feed_step client "d" [| 0; 2 |] [| 1; 2 |];
+        feed_step client "d" [||] [||];
+        let stats = expect_ok (Client.call client (Wire.Stats { session = "d" })) in
+        Client.close client;
+        Wire.encode stats)
+  in
+  (* Interrupted: two server processes around a drain. *)
+  let server1 = Server.start config in
+  let client = Client.connect address in
+  ignore
+    (expect_ok
+       (Client.call client
+          (Wire.Open
+             { session = "d"; policy = "dlru-edf"; delta = 3;
+               bounds = [| 2; 2; 4 |]; n = 4; speed = 1; horizon = 0;
+               queue_limit = 0 })));
+  feed_step client "d" [| 0; 1 |] [| 3; 2 |];
+  feed_step client "d" [| 2 |] [| 4 |];
+  Client.close client;
+  check "one session drained" 1 (Server.stop ~drain:true server1);
+  let server2 = Server.start config in
+  let client = Client.connect address in
+  feed_step client "d" [| 0; 2 |] [| 1; 2 |];
+  feed_step client "d" [||] [||];
+  let stats = expect_ok (Client.call client (Wire.Stats { session = "d" })) in
+  Client.close client;
+  ignore (Server.stop ~drain:false server2);
+  check_string "ledger continues across restart" reference (Wire.encode stats)
+
+let prop = QCheck_alcotest.to_alcotest
+
+let suite =
+  [
+    ( "server.wire",
+      [
+        prop prop_wire_roundtrip;
+        prop prop_wire_framed_roundtrip;
+        Alcotest.test_case "malformed lines stay line-synced" `Quick
+          test_wire_malformed_lines;
+      ] );
+    ( "server.session",
+      [
+        Alcotest.test_case "shed + conservation" `Quick
+          test_session_shed_and_conservation;
+      ] );
+    ( "server.stepper",
+      [
+        Alcotest.test_case "engine = stepper loop (byte-identical)" `Quick
+          test_engine_stepper_identity;
+        Alcotest.test_case "snapshot/restore mid-run" `Quick
+          test_snapshot_restore_midrun;
+        Alcotest.test_case "restore rejects tampering" `Quick
+          test_restore_rejects_tampering;
+        prop prop_snapshot_restore;
+      ] );
+    ( "server.live",
+      [
+        Alcotest.test_case "survives malformed corpus" `Quick
+          test_server_survives_malformed;
+        Alcotest.test_case "drain + restore continuity" `Quick
+          test_server_drain_restore;
+      ] );
+  ]
