@@ -701,7 +701,8 @@ let serve_cmd =
      feed NAME COLOR:COUNT [COLOR:COUNT ...]
      step NAME [ROUNDS]
      stats NAME
-     snapshot NAME [PATH]
+     snapshot NAME [FILE]   (FILE is saved inside the server's --snap-dir;
+                             without FILE the document is returned inline)
      close NAME
      raw TEXT          (send TEXT verbatim — for protocol testing)
    Each reply is printed as its JSON encoding, one per line. *)

@@ -139,19 +139,53 @@ let handle_frame m frame =
   | Wire.Snapshot { session; path } ->
       with_session m session (fun s -> (
           match path with
-          | Some path -> (
-              match Session.save s ~path with
-              | () -> Wire.Snapshotted { session; path = Some path; doc = None }
-              | exception Sys_error message -> Wire.Error_frame { message })
+          | Some file -> (
+              (* The client names a file, never a path: anything else
+                 would let any connected peer write wherever the server
+                 user can. Resolved inside snap_dir, like drains. *)
+              if not (valid_session_name file) then
+                err "invalid snapshot file name %S (want [A-Za-z0-9._-]+, \
+                     not dot-led; saved inside the server's snapshot \
+                     directory)" file
+              else
+                match m.m_snap_dir with
+                | None ->
+                    err "snapshot to file requires a server snapshot \
+                         directory (--snap-dir)"
+                | Some dir -> (
+                    let path = Filename.concat dir file in
+                    match Session.save s ~path with
+                    | () ->
+                        Wire.Snapshotted { session; path = Some path; doc = None }
+                    | exception Sys_error message ->
+                        Wire.Error_frame { message }))
           | None ->
               Wire.Snapshotted
                 { session; path = None; doc = Some (Session.snapshot s) }))
-  | Wire.Close { session } ->
-      with_session m session (fun s ->
-          with_manager m (fun () -> Hashtbl.remove m.m_sessions session);
-          match Session.close s with
+  | Wire.Close { session } -> (
+      (* Atomic take: of two racing [close] frames exactly one gets the
+         session; the other answers "no such session". *)
+      let taken =
+        with_manager m (fun () ->
+            match Hashtbl.find_opt m.m_sessions session with
+            | None -> None
+            | Some s ->
+                Hashtbl.remove m.m_sessions session;
+                Some s)
+      in
+      match taken with
+      | None -> err "no such session %S" session
+      | Some s ->
+          (* A closed session must not resurrect from a stale drain
+             snapshot at the next restart. *)
+          Option.iter
+            (fun dir ->
+              let path = Filename.concat dir (snapshot_filename session) in
+              try Sys.remove path with Sys_error _ -> ())
+            m.m_snap_dir;
+          (match Session.close s with
           | Ok cost -> Wire.Closed { session; cost }
-          | Error message -> Wire.Error_frame { message })
+          | Error message -> Wire.Error_frame { message }))
   | Wire.Hello_ok _ | Wire.Opened _ | Wire.Fed _ | Wire.Shed _
   | Wire.Stepped _ | Wire.Stats_ok _ | Wire.Snapshotted _ | Wire.Closed _
   | Wire.Error_frame _ ->
@@ -323,6 +357,12 @@ let restore_sessions manager =
         0 files
 
 let start ?(restore = true) config =
+  (* A client that disconnects before its reply is written must cost
+     that connection, not the process: with SIGPIPE ignored, writes to
+     a dead peer raise Sys_error (EPIPE), which serve_connection
+     already absorbs. Unavailable on some platforms, hence the try. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
   let manager =
     {
       m_mutex = Mutex.create ();

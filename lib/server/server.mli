@@ -14,7 +14,10 @@
     CLI entry: start, wait for SIGTERM/SIGINT, graceful drain. A
     restarted server with [restore] (default) reloads every snapshot in
     [snap_dir] before accepting connections, so served sessions continue
-    across restarts with ledger continuity. *)
+    across restarts with ledger continuity. A [close] deletes the
+    session's drain snapshot, so a closed session never resurrects at
+    the next restart. Client-requested [snapshot]-to-file writes are
+    confined to [snap_dir] (bare path-safe file names only). *)
 
 type address = Unix_socket of string | Tcp of string * int
 

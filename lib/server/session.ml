@@ -15,7 +15,9 @@ type t = {
   shed_jobs : Probe.counter;
   mutable shed : int;
   mutable fed : int; (* jobs offered = accepted + shed *)
-  trace : out_channel option; (* owned: closed with the session *)
+  mutable trace : out_channel option;
+      (* owned: closed with the session, then [None] so a lost
+         close/release race never double-closes the channel *)
 }
 
 let locked t f =
@@ -210,14 +212,18 @@ let save t ~path =
   close_out channel;
   Sys.rename tmp path
 
+let close_trace t =
+  Option.iter close_out t.trace;
+  t.trace <- None
+
 let close t =
   locked t (fun () ->
       match Stepper.finish t.stepper with
       | result ->
-          Option.iter close_out t.trace;
+          close_trace t;
           Ok (Rrs_sim.Ledger.total_cost result.Stepper.ledger)
       | exception Invalid_argument message ->
-          Option.iter close_out t.trace;
+          close_trace t;
           Error message)
 
 (* Release resources without writing a summary (connectionless teardown,
@@ -226,7 +232,7 @@ let release t =
   locked t (fun () ->
       if not (Stepper.finished t.stepper) then
         Stepper.abort t.stepper ~reason:"session released";
-      Option.iter close_out t.trace)
+      close_trace t)
 
 let restore ?trace_dir text =
   match String.index_opt text '\n' with

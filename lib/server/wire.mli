@@ -35,6 +35,10 @@ type frame =
   | Step of { session : string; rounds : int }
   | Stats of { session : string }
   | Snapshot of { session : string; path : string option }
+      (** [path = Some file] saves to [file] — a bare, path-safe file
+          name ([A-Za-z0-9._-]+, not dot-led) resolved inside the
+          server's snapshot directory; arbitrary paths are refused.
+          [None] returns the document inline. *)
   | Close of { session : string }
   (* replies *)
   | Hello_ok of { server_version : string }

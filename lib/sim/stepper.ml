@@ -86,10 +86,15 @@ type t = {
   offline : bool array;
   mutable offline_count : int;
   mutable round : int; (* the round the next [step] executes *)
-  mutable buffered : Types.request; (* arrivals fed for the next round *)
+  mutable buffered : Types.request list; (* fed chunks, newest first *)
   mutable buffered_jobs : int;
   mutable accepted_jobs : int; (* total jobs accepted by [feed] *)
-  mutable history : (int * Types.request) list; (* consumed, reverse order *)
+  mutable history : (int * Types.request) list;
+      (* Every consumed arrival, newest first: the deterministic-replay
+         base for [snapshot]/[restore]. Retained for the stepper's whole
+         lifetime, so a long-lived serving session pays O(total arrivals)
+         memory, snapshot size and restore replay time; see ROADMAP for
+         the compaction follow-on (materialized-state replay base). *)
   mutable finished : bool;
 }
 
@@ -174,9 +179,19 @@ let feed t request =
         acc + count)
       0 request
   in
-  if request <> [] then t.buffered <- t.buffered @ request;
+  (* Chunks are prepended (constant-time), so repeated feeds within one
+     round stay linear; [buffered_request] restores fed order. *)
+  if request <> [] then t.buffered <- request :: t.buffered;
   t.buffered_jobs <- t.buffered_jobs + jobs;
   t.accepted_jobs <- t.accepted_jobs + jobs
+
+(* The fed-but-unconsumed arrivals, flattened in fed order. The common
+   single-feed round returns the chunk itself, no copy. *)
+let buffered_request t =
+  match t.buffered with
+  | [] -> []
+  | [ request ] -> request
+  | chunks -> List.concat (List.rev chunks)
 
 (* Already-normalized requests (strictly ascending colors, positive
    counts — everything [Instance.make] produces) are consumed as-is, so
@@ -245,7 +260,7 @@ let step t =
   (* Arrival phase: consume the fed buffer. *)
   let m1 = mark () in
   let request =
-    match t.buffered with
+    match buffered_request t with
     | [] -> []
     | request when is_normalized (-1) request -> request
     | request -> Types.normalize_request request
@@ -421,8 +436,9 @@ let snapshot t =
       line "{\"type\":\"arrival\",\"round\":%d,%s}" round
         (request_fields request))
     (List.rev t.history);
-  if t.buffered <> [] then
-    line "{\"type\":\"buffered\",%s}" (request_fields t.buffered);
+  (match buffered_request t with
+  | [] -> ()
+  | request -> line "{\"type\":\"buffered\",%s}" (request_fields request));
   Array.iteri
     (fun color _ ->
       match Job_pool.deadlines t.pool color with

@@ -33,7 +33,17 @@
     rrs-events document from round 0 — byte-identical to the stream an
     uninterrupted run would have produced. Restore cost is proportional
     to the rounds replayed; see ROADMAP for the incremental-snapshot
-    follow-on. *)
+    follow-on.
+
+    {b Lifetime bound}: because the replay base is the full arrival
+    history, a stepper retains every consumed request for its whole
+    lifetime — memory, snapshot size and restore time grow as O(total
+    arrivals fed). This is fine for batch runs and bounded serving
+    experiments; a session meant to run indefinitely should be closed
+    and reopened (or snapshotted to disk, not inline — an inline
+    [snapshotted] doc larger than the wire's [max_frame] cannot be
+    framed). Compaction (periodic materialized-state snapshots as the
+    new replay base) is the tracked follow-on. *)
 
 (** Phase slot names of [result.profile], in slot order:
     [drop; arrival; reconfig; execute]. *)

@@ -187,6 +187,33 @@ let test_session_shed_and_conservation () =
   | Ok _ -> ()
   | Error m -> Alcotest.fail m
 
+(* Losing a close/close or close/release race must not raise out of the
+   loser: the trace channel is closed exactly once. *)
+let test_session_close_idempotent_trace () =
+  let dir = Filename.temp_file "rrs_sess" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let session =
+    match
+      Session.create ~name:"twice" ~policy:"dlru-edf" ~trace_dir:dir
+        (session_config ~name:"twice" ())
+    with
+    | Ok s -> s
+    | Error m -> Alcotest.fail m
+  in
+  (match Session.step session ~rounds:2 with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail m);
+  (match Session.close session with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail m);
+  (* Second close: an Error reply (double finish), never an exception. *)
+  (match Session.close session with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "second close must not succeed");
+  (* Release after close: a no-op, never an exception. *)
+  Session.release session
+
 (* ---- engine over stepper: stream identity ---- *)
 
 let trace_engine ~n instance =
@@ -229,6 +256,30 @@ let test_engine_stepper_identity () =
     (read_file stepper_path);
   Sys.remove engine_path;
   Sys.remove stepper_path
+
+(* Several feeds within one round must equal the one combined feed —
+   the chunked buffer flattens in fed order before normalization. *)
+let test_stepper_multi_feed_order () =
+  let config =
+    { Stepper.name = "chunks"; delta = 2; bounds = [| 2; 3; 4 |]; n = 4;
+      speed = 1; horizon = 0 }
+  in
+  let chunked = Stepper.create ~policy config in
+  Stepper.feed chunked [ (2, 1) ];
+  Stepper.feed chunked [ (0, 2); (1, 1) ];
+  Stepper.feed chunked [ (2, 3) ];
+  let combined = Stepper.create ~policy config in
+  Stepper.feed combined [ (2, 1); (0, 2); (1, 1); (2, 3) ];
+  check "buffered jobs agree" (Stepper.buffered_jobs combined)
+    (Stepper.buffered_jobs chunked);
+  check_string "identical buffered snapshot line"
+    (Stepper.snapshot combined) (Stepper.snapshot chunked);
+  Stepper.step chunked;
+  Stepper.step combined;
+  check_string "identical state" (Stepper.snapshot combined)
+    (Stepper.snapshot chunked);
+  ignore (Stepper.finish chunked);
+  ignore (Stepper.finish combined)
 
 (* ---- snapshot / restore ---- *)
 
@@ -339,15 +390,15 @@ let with_server f =
   Sys.remove dir;
   Unix.mkdir dir 0o700;
   let address = Server.Unix_socket (Filename.concat dir "sock") in
+  let snap_dir = Filename.concat dir "snaps" in
   let config =
-    { (Server.default_config address) with
-      domains = 2;
-      snap_dir = Some (Filename.concat dir "snaps") }
+    { (Server.default_config address) with domains = 2;
+      snap_dir = Some snap_dir }
   in
   let server = Server.start config in
   Fun.protect
     ~finally:(fun () -> ignore (Server.stop ~drain:false server))
-    (fun () -> f address)
+    (fun () -> f ~address ~snap_dir)
 
 let expect_ok = function
   | Ok (Wire.Error_frame { message }) -> Alcotest.failf "server error: %s" message
@@ -378,7 +429,7 @@ let malformed_corpus =
   ]
 
 let test_server_survives_malformed () =
-  with_server (fun address ->
+  with_server (fun ~address ~snap_dir ->
       let client = Client.connect address in
       (* Wrong version: an [error] reply, not a disconnect. *)
       (match Client.call client (Wire.Hello { client_version = "rrs-wire/0" }) with
@@ -429,6 +480,24 @@ let test_server_survives_malformed () =
            { session = "../evil"; policy = "dlru"; delta = 2;
              bounds = [| 2 |]; n = 1; speed = 1; horizon = 0; queue_limit = 0 });
       expect_error client "path-unsafe session name";
+      (* Snapshot-to-file is confined to the server's snapshot
+         directory: anything but a bare path-safe file name is refused. *)
+      Client.send client
+        (Wire.Snapshot { session = "live"; path = Some "../evil.sess.jsonl" });
+      expect_error client "path-escaping snapshot file name";
+      Client.send client
+        (Wire.Snapshot { session = "live"; path = Some "/tmp/evil.sess.jsonl" });
+      expect_error client "absolute snapshot path";
+      (match
+         expect_ok
+           (Client.call client
+              (Wire.Snapshot { session = "live"; path = Some "manual.snap" }))
+       with
+      | Wire.Snapshotted { path = Some path; _ } ->
+          check_string "resolved inside snap_dir"
+            (Filename.concat snap_dir "manual.snap") path;
+          check_bool "snapshot file written" true (Sys.file_exists path)
+      | f -> Alcotest.failf "unexpected snapshot reply %s" (Wire.encode f));
       (* The session is unharmed: same stats as before the corpus. *)
       let stats_after =
         expect_ok (Client.call client (Wire.Stats { session = "live" }))
@@ -463,7 +532,7 @@ let test_server_drain_restore () =
   in
   (* Uninterrupted reference: same feeds against one server lifetime. *)
   let reference =
-    with_server (fun address ->
+    with_server (fun ~address ~snap_dir:_ ->
         let client = Client.connect address in
         ignore
           (expect_ok
@@ -499,8 +568,26 @@ let test_server_drain_restore () =
   feed_step client "d" [| 0; 2 |] [| 1; 2 |];
   feed_step client "d" [||] [||];
   let stats = expect_ok (Client.call client (Wire.Stats { session = "d" })) in
+  (* Closing deletes the drain snapshot; a second close is "no such
+     session", not an internal error. *)
+  (match expect_ok (Client.call client (Wire.Close { session = "d" })) with
+  | Wire.Closed _ -> ()
+  | f -> Alcotest.failf "unexpected close reply %s" (Wire.encode f));
+  Client.send client (Wire.Close { session = "d" });
+  expect_error client "double close";
   Client.close client;
-  ignore (Server.stop ~drain:false server2);
+  check_bool "closed session leaves no snapshot" false
+    (Sys.file_exists
+       (Filename.concat (Filename.concat dir "snaps") "d.sess.jsonl"));
+  check "nothing left to drain" 0 (Server.stop ~drain:true server2);
+  (* A restart after the close must not resurrect the session from a
+     stale snapshot. *)
+  let server3 = Server.start config in
+  let client = Client.connect address in
+  Client.send client (Wire.Stats { session = "d" });
+  expect_error client "closed session resurrected after restart";
+  Client.close client;
+  ignore (Server.stop ~drain:false server3);
   check_string "ledger continues across restart" reference (Wire.encode stats)
 
 let prop = QCheck_alcotest.to_alcotest
@@ -518,11 +605,15 @@ let suite =
       [
         Alcotest.test_case "shed + conservation" `Quick
           test_session_shed_and_conservation;
+        Alcotest.test_case "close/release idempotent trace" `Quick
+          test_session_close_idempotent_trace;
       ] );
     ( "server.stepper",
       [
         Alcotest.test_case "engine = stepper loop (byte-identical)" `Quick
           test_engine_stepper_identity;
+        Alcotest.test_case "multi-feed round = combined feed" `Quick
+          test_stepper_multi_feed_order;
         Alcotest.test_case "snapshot/restore mid-run" `Quick
           test_snapshot_restore_midrun;
         Alcotest.test_case "restore rejects tampering" `Quick
