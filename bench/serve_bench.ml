@@ -1,16 +1,20 @@
 (* E18 — sustained serving throughput (closed-loop load harness).
 
-   Starts an in-process rrs-wire/1 server on a Unix socket, then for
-   each session count S spawns S client domains. Each client opens its
+   Starts an in-process rrs session server on a Unix socket, then for
+   each session count S and each wire framing (rrs-wire/1 JSON,
+   rrs-wire/2 binary) spawns S client domains. Each client opens its
    own session and drives it closed-loop over the real socket: feed one
    round's arrivals, step one round, repeat — so every round costs two
    request/reply round trips and the measured figure is end-to-end wire
-   throughput, not engine throughput.
+   throughput, not engine throughput. The /1 and /2 rows for the same S
+   run the same seeds over the same server, so the framings are compared
+   side by side: frames moved, bytes per frame, p50/p99 frame latency.
 
-   Reported per S: aggregate rounds/sec, jobs executed/sec and the
+   Reported per (S, wire): aggregate rounds/sec, jobs executed/sec,
    p50/p99 per-frame latency (connect-to-reply excluded; measured per
-   call over all clients). After the measured window every session's
-   server-side stats are checked for conservation:
+   call over all clients) and mean wire bytes per frame. After the
+   measured window every session's server-side stats are checked for
+   conservation:
 
      fed = accepted + shed
      accepted = execs + drops + pool pending + buffered
@@ -31,16 +35,24 @@ let n = 8
 type client_result = {
   rounds : int;
   latencies_us : int array; (* one per frame round trip, unsorted *)
+  bytes : int; (* wire bytes moved, both directions *)
+  frames : int; (* frames moved, both directions *)
   stats : Wire.frame; (* the final Stats_ok *)
 }
 
 let fail format = Printf.ksprintf failwith format
 
 (* One closed-loop client: open, (feed; step) x rounds, stats, close. *)
-let drive address ~session ~seed ~rounds =
+let drive address ~wire ~session ~seed ~rounds =
   let client = Client.connect address in
+  (* The hello exchange is counted in the byte/frame totals: it is part
+     of what the framing costs. *)
+  (match Client.negotiate client ~wire with
+  | Ok () -> ()
+  | Error message -> fail "%s: negotiate /%d: %s" session wire message);
   let random = Random.State.make [| 0xE18; seed |] in
   let latencies = Array.make ((2 * rounds) + 8) 0 in
+  let round_trips = ref 1 (* the negotiation hello *) in
   let frames = ref 0 in
   let call frame =
     let t0 = Clock.now_ns () in
@@ -52,6 +64,7 @@ let drive address ~session ~seed ~rounds =
       latencies.(!frames) <- dt_us;
       incr frames
     end;
+    incr round_trips;
     match reply with
     | Ok (Wire.Error_frame { message }) -> fail "%s: server error: %s" session message
     | Ok frame -> frame
@@ -90,8 +103,15 @@ let drive address ~session ~seed ~rounds =
   (match call (Wire.Close { session }) with
   | Wire.Closed _ -> ()
   | _ -> fail "%s: unexpected reply to close" session);
+  let bytes = Client.bytes_sent client + Client.bytes_received client in
   Client.close client;
-  { rounds; latencies_us = Array.sub latencies 0 !frames; stats }
+  {
+    rounds;
+    latencies_us = Array.sub latencies 0 !frames;
+    bytes;
+    frames = 2 * !round_trips;
+    stats;
+  }
 
 let check_conservation result =
   match result.stats with
@@ -131,7 +151,8 @@ let run ?json ?(session_counts = [ 1; 2; 4; 8 ]) ?(rounds = 400) () =
            "E18 serving throughput (closed loop, %d rounds/session, policy %s)"
            rounds policy)
       ~columns:
-        [ "sessions"; "rounds/s"; "execs/s"; "p50 us"; "p99 us"; "shed" ]
+        [ "sessions"; "wire"; "rounds/s"; "execs/s"; "p50 us"; "p99 us";
+          "B/frame"; "shed" ]
   in
   let bench =
     Option.map
@@ -142,74 +163,96 @@ let run ?json ?(session_counts = [ 1; 2; 4; 8 ]) ?(rounds = 400) () =
     (fun (b, _) ->
       Rrs_stats.Bench_io.start_experiment b ~id:"E18"
         ~claim:
-          "The rrs-wire/1 server sustains closed-loop load from concurrent \
-           sessions with bounded frame latency and exact job conservation.")
+          "The rrs session server sustains closed-loop load from concurrent \
+           sessions with bounded frame latency and exact job conservation; \
+           the negotiated rrs-wire/2 binary framing moves fewer bytes per \
+           frame than rrs-wire/1 at equal or better latency.")
     bench;
   let ok = ref true in
   (try
      List.iter
        (fun sessions ->
-         let t0 = Clock.now_s () in
-         let domains =
-           List.init sessions (fun i ->
-               Domain.spawn (fun () ->
-                   drive address
-                     ~session:(Printf.sprintf "bench-%d-%d" sessions i)
-                     ~seed:((sessions * 1000) + i) ~rounds))
-         in
-         let results = List.map Domain.join domains in
-         let wall_s = Clock.elapsed_s t0 in
-         List.iter check_conservation results;
-         let total_rounds =
-           List.fold_left (fun acc r -> acc + r.rounds) 0 results
-         in
-         let latencies =
-           Array.concat (List.map (fun r -> r.latencies_us) results)
-         in
-         Array.sort compare latencies;
-         let totals =
-           List.fold_left
-             (fun (execs, drops, reconfigs, shed, cost) r ->
-               match r.stats with
-               | Wire.Stats_ok s ->
-                   ( execs + s.execs, drops + s.drops,
-                     reconfigs + s.reconfigs, shed + s.shed, cost + s.cost )
-               | _ -> (execs, drops, reconfigs, shed, cost))
-             (0, 0, 0, 0, 0) results
-         in
-         let execs, drops, reconfigs, shed, cost = totals in
-         let rounds_per_s = float_of_int total_rounds /. wall_s in
-         let execs_per_s = float_of_int execs /. wall_s in
-         let p50 = percentile_us latencies 0.50 in
-         let p99 = percentile_us latencies 0.99 in
-         Rrs_stats.Table.add_row table
-           [
-             Rrs_stats.Table.cell_int sessions;
-             Rrs_stats.Table.cell_float ~decimals:0 rounds_per_s;
-             Rrs_stats.Table.cell_float ~decimals:0 execs_per_s;
-             Rrs_stats.Table.cell_int p50;
-             Rrs_stats.Table.cell_int p99;
-             Rrs_stats.Table.cell_int shed;
-           ];
-         Option.iter
-           (fun (b, _) ->
-             Rrs_stats.Bench_io.record b ~policy
-               ~workload:(Printf.sprintf "serve-closed-loop-x%d" sessions)
-               ~n ~delta ~cost ~reconfig_count:reconfigs ~drop_count:drops
-               ~exec_count:execs ~wall_s
-               ~extras:
-                 [
-                   ("sessions", sessions);
-                   ("rounds_total", total_rounds);
-                   ("rounds_per_s", int_of_float rounds_per_s);
-                   ("execs_per_s", int_of_float execs_per_s);
-                   ("frames_total", Array.length latencies);
-                   ("p50_us", p50);
-                   ("p99_us", p99);
-                   ("shed_jobs", shed);
-                 ]
-               ())
-           bench)
+         List.iter
+           (fun wire ->
+             let t0 = Clock.now_s () in
+             let domains =
+               List.init sessions (fun i ->
+                   Domain.spawn (fun () ->
+                       drive address ~wire
+                         ~session:
+                           (Printf.sprintf "bench-w%d-%d-%d" wire sessions i)
+                         ~seed:((sessions * 1000) + i) ~rounds))
+             in
+             let results = List.map Domain.join domains in
+             let wall_s = Clock.elapsed_s t0 in
+             List.iter check_conservation results;
+             let total_rounds =
+               List.fold_left (fun acc r -> acc + r.rounds) 0 results
+             in
+             let total_bytes =
+               List.fold_left (fun acc r -> acc + r.bytes) 0 results
+             in
+             let total_frames =
+               List.fold_left (fun acc r -> acc + r.frames) 0 results
+             in
+             let latencies =
+               Array.concat (List.map (fun r -> r.latencies_us) results)
+             in
+             Array.sort compare latencies;
+             let totals =
+               List.fold_left
+                 (fun (execs, drops, reconfigs, shed, cost) r ->
+                   match r.stats with
+                   | Wire.Stats_ok s ->
+                       ( execs + s.execs, drops + s.drops,
+                         reconfigs + s.reconfigs, shed + s.shed, cost + s.cost )
+                   | _ -> (execs, drops, reconfigs, shed, cost))
+                 (0, 0, 0, 0, 0) results
+             in
+             let execs, drops, reconfigs, shed, cost = totals in
+             let rounds_per_s = float_of_int total_rounds /. wall_s in
+             let execs_per_s = float_of_int execs /. wall_s in
+             let p50 = percentile_us latencies 0.50 in
+             let p99 = percentile_us latencies 0.99 in
+             let bytes_per_frame =
+               if total_frames = 0 then 0 else total_bytes / total_frames
+             in
+             Rrs_stats.Table.add_row table
+               [
+                 Rrs_stats.Table.cell_int sessions;
+                 Printf.sprintf "/%d" wire;
+                 Rrs_stats.Table.cell_float ~decimals:0 rounds_per_s;
+                 Rrs_stats.Table.cell_float ~decimals:0 execs_per_s;
+                 Rrs_stats.Table.cell_int p50;
+                 Rrs_stats.Table.cell_int p99;
+                 Rrs_stats.Table.cell_int bytes_per_frame;
+                 Rrs_stats.Table.cell_int shed;
+               ];
+             Option.iter
+               (fun (b, _) ->
+                 Rrs_stats.Bench_io.record b ~policy
+                   ~workload:
+                     (Printf.sprintf "serve-closed-loop-x%d-wire%d" sessions
+                        wire)
+                   ~n ~delta ~cost ~reconfig_count:reconfigs ~drop_count:drops
+                   ~exec_count:execs ~wall_s
+                   ~extras:
+                     [
+                       ("sessions", sessions);
+                       ("wire", wire);
+                       ("rounds_total", total_rounds);
+                       ("rounds_per_s", int_of_float rounds_per_s);
+                       ("execs_per_s", int_of_float execs_per_s);
+                       ("frames_total", total_frames);
+                       ("bytes_total", total_bytes);
+                       ("bytes_per_frame", bytes_per_frame);
+                       ("p50_us", p50);
+                       ("p99_us", p99);
+                       ("shed_jobs", shed);
+                     ]
+                   ())
+               bench)
+           [ 1; 2 ])
        session_counts
    with e ->
      ok := false;

@@ -633,6 +633,13 @@ let tcp_arg =
     value & opt (some string) None
     & info [ "tcp" ] ~docv:"HOST:PORT" ~doc:"Listen/connect over TCP.")
 
+let wire_arg ~doc = Arg.(value & opt int 0 & info [ "wire" ] ~docv:"1|2" ~doc)
+
+let check_wire ~default = function
+  | 0 -> Ok default
+  | (1 | 2) as wire -> Ok wire
+  | wire -> Error (Printf.sprintf "unsupported --wire %d (want 1 or 2)" wire)
+
 let serve_cmd =
   let snap_dir =
     Arg.(
@@ -668,8 +675,15 @@ let serve_cmd =
       value & flag
       & info [ "no-restore" ] ~doc:"Do not restore snapshots from --snap-dir.")
   in
-  let run () socket tcp snap_dir trace_dir domains queue_limit no_restore =
+  let wire =
+    wire_arg
+      ~doc:
+        "Highest wire version to negotiate (default 2). With --wire 1 the \
+         server refuses rrs-wire/2 hellos."
+  in
+  let run () socket tcp snap_dir trace_dir domains queue_limit no_restore wire =
     let address = or_die (address_of_args socket tcp) in
+    let max_wire = or_die (check_wire ~default:2 wire) in
     let config =
       {
         Rrs_server.Server.address;
@@ -677,22 +691,26 @@ let serve_cmd =
         trace_dir;
         domains;
         queue_limit;
+        max_wire;
       }
     in
-    let drained =
-      Rrs_server.Server.serve ~restore:(not no_restore) config
-    in
-    Format.eprintf "drained %d session(s)@." drained
+    match Rrs_server.Server.serve ~restore:(not no_restore) config with
+    | drained -> Format.eprintf "drained %d session(s)@." drained
+    | exception Failure message ->
+        Format.eprintf "error: %s@." message;
+        exit 1
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
-         "Run the rrs-wire/1 session server until SIGTERM/SIGINT, then \
+         "Run the rrs-wire session server until SIGTERM/SIGINT, then \
           drain every open session to --snap-dir. A restart with the same \
-          --snap-dir continues the sessions where they left off.")
+          --snap-dir continues the sessions where they left off. Speaks \
+          rrs-wire/1 (JSON lines) by default and upgrades to rrs-wire/2 \
+          (binary) per connection when the client asks for it.")
     Term.(
       const run $ verbose_arg $ socket_arg $ tcp_arg $ snap_dir $ trace_dir
-      $ domains $ queue_limit $ no_restore)
+      $ domains $ queue_limit $ no_restore $ wire)
 
 (* The client script language, one command per line ('#' comments):
      hello
@@ -840,15 +858,27 @@ let client_cmd =
       & info [] ~docv:"SCRIPT"
           ~doc:"Command script ('-' = standard input), one command per line.")
   in
-  let run () socket tcp script =
+  let wire =
+    wire_arg
+      ~doc:
+        "Wire version to negotiate at connect (default 1). With --wire 2 \
+         the session upgrades to the binary framing before the script runs."
+  in
+  let run () socket tcp script wire =
     let address = or_die (address_of_args socket tcp) in
+    let wire = or_die (check_wire ~default:1 wire) in
     let channel = if script = "-" then stdin else open_in script in
     let client =
-      try Rrs_server.Client.connect address
-      with Unix.Unix_error (e, _, _) ->
-        Format.eprintf "error: cannot connect: %s@." (Unix.error_message e);
-        exit 1
+      try Rrs_server.Client.connect address with
+      | Unix.Unix_error (e, _, _) ->
+          Format.eprintf "error: cannot connect: %s@." (Unix.error_message e);
+          exit 1
+      | Failure message ->
+          Format.eprintf "error: %s@." message;
+          exit 1
     in
+    if wire = 2 then
+      or_die (Rrs_server.Client.negotiate client ~wire);
     let failures = ref 0 in
     (* [raw] exists to poke the protocol with malformed input, so an
        [error] reply to it is the expected outcome, not a failure. *)
@@ -871,6 +901,16 @@ let client_cmd =
           (match Client_script.parse line with
           | Ok Client_script.Skip -> ()
           | Ok (Client_script.Send frame) ->
+              (* [hello] re-states the version already in effect so it
+                 never downgrades a negotiated /2 connection. *)
+              let frame =
+                match frame with
+                | Rrs_server.Wire.Hello _
+                  when Rrs_server.Client.wire_version client = 2 ->
+                    Rrs_server.Wire.Hello
+                      { client_version = Rrs_server.Wire.version2 }
+                | frame -> frame
+              in
               Rrs_server.Client.send client frame;
               print_reply ~error_expected:false
           | Ok (Client_script.Raw payload) ->
@@ -891,9 +931,10 @@ let client_cmd =
        ~doc:
          "Drive an rrs serve instance from a command script: open named \
           sessions, feed arrivals, step rounds, query stats, snapshot and \
-          close. Replies are printed as rrs-wire/1 JSON, one per line; \
+          close. Replies are printed as rrs-wire/1 JSON, one per line \
+          (even when the connection itself runs the /2 binary framing); \
           exits 2 if any command failed.")
-    Term.(const run $ verbose_arg $ socket_arg $ tcp_arg $ script_arg)
+    Term.(const run $ verbose_arg $ socket_arg $ tcp_arg $ script_arg $ wire)
 
 let () =
   let doc = "reconfigurable resource scheduling with variable delay bounds" in

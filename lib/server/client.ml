@@ -1,36 +1,54 @@
 type t = {
   fd : Unix.file_descr;
-  input : in_channel;
+  input : Wire.reader;
   output : out_channel;
+  mutable framing : Wire.framing;
+  mutable sent : int;
 }
 
 let connect_fd fd =
-  { fd; input = Unix.in_channel_of_descr fd; output = Unix.out_channel_of_descr fd }
+  {
+    fd;
+    input = Wire.reader (Unix.in_channel_of_descr fd);
+    output = Unix.out_channel_of_descr fd;
+    framing = Wire.V1;
+    sent = 0;
+  }
 
 let connect = function
   | Server.Unix_socket path ->
       let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
       Unix.connect fd (Unix.ADDR_UNIX path);
       connect_fd fd
-  | Server.Tcp (host, port) ->
-      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-      let addr =
-        try Unix.inet_addr_of_string host
-        with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
-      in
-      Unix.connect fd (Unix.ADDR_INET (addr, port));
-      connect_fd fd
+  | Server.Tcp (host, port) -> (
+      match Server.resolve_host host with
+      | Error message -> failwith ("cannot connect: " ^ message)
+      | Ok addr ->
+          let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+          Unix.connect fd (Unix.ADDR_INET (addr, port));
+          connect_fd fd)
 
-let send t frame = Wire.write t.output frame
+let wire_version t = match t.framing with Wire.V1 -> 1 | Wire.V2 -> 2
+let bytes_sent t = t.sent
+let bytes_received t = Wire.reader_bytes t.input
+
+let send t frame =
+  let data = Wire.to_wire t.framing frame in
+  t.sent <- t.sent + String.length data;
+  output_string t.output data;
+  flush t.output
 
 let send_raw t line =
+  let line =
+    if line = "" || line.[String.length line - 1] <> '\n' then line ^ "\n"
+    else line
+  in
+  t.sent <- t.sent + String.length line;
   output_string t.output line;
-  if line = "" || line.[String.length line - 1] <> '\n' then
-    output_char t.output '\n';
   flush t.output
 
 let read_reply t =
-  match Wire.read t.input with
+  match Wire.read ~framing:t.framing t.input with
   | Wire.Frame frame -> Ok frame
   | Wire.Malformed message -> Error ("malformed reply: " ^ message)
   | Wire.Eof -> Error "connection closed by server"
@@ -39,4 +57,32 @@ let call t frame =
   send t frame;
   read_reply t
 
-let close t = try flush t.output; Unix.close t.fd with Sys_error _ | Unix.Unix_error _ -> ()
+let negotiate t ~wire =
+  let want =
+    match wire with
+    | 1 -> Ok Wire.version
+    | 2 -> Ok Wire.version2
+    | v -> Error (Printf.sprintf "unsupported wire version %d (want 1 or 2)" v)
+  in
+  match want with
+  | Error _ as e -> e
+  | Ok wanted -> (
+      match call t (Wire.Hello { client_version = wanted }) with
+      | Ok (Wire.Hello_ok { server_version }) when server_version = wanted ->
+          (* The server switched right after its hello_ok; follow it. *)
+          if wire = 2 then t.framing <- Wire.V2;
+          Ok ()
+      | Ok (Wire.Hello_ok { server_version }) ->
+          Error
+            (Printf.sprintf "server negotiated %S instead of %S" server_version
+               wanted)
+      | Ok (Wire.Error_frame { message }) -> Error message
+      | Ok frame ->
+          Error ("unexpected hello reply: " ^ Wire.encode frame)
+      | Error _ as e -> e)
+
+let close t =
+  try
+    flush t.output;
+    Unix.close t.fd
+  with Sys_error _ | Unix.Unix_error _ -> ()

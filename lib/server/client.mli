@@ -1,18 +1,37 @@
-(** Minimal blocking [rrs-wire/1] client: one connection, synchronous
-    request/reply. Used by [rrs client], the E18 load harness and the
-    protocol tests. *)
+(** Minimal blocking wire client: one connection, synchronous
+    request/reply. Starts in [rrs-wire/1]; {!negotiate} can upgrade the
+    connection to the /2 binary framing. Used by [rrs client], the E18
+    load harness and the protocol tests. *)
 
 type t
 
+(** @raise Failure on an unresolvable TCP host (clean message naming
+    the host). *)
 val connect : Server.address -> t
 
 (** Wrap an already-connected socket. *)
 val connect_fd : Unix.file_descr -> t
 
+(** [negotiate t ~wire] performs the [hello] exchange for wire version
+    [1] or [2]; on a successful /2 negotiation the connection switches
+    to the binary framing. *)
+val negotiate : t -> wire:int -> (unit, string) result
+
+(** The wire version currently in effect (1 until a /2 negotiation
+    succeeds). *)
+val wire_version : t -> int
+
+val bytes_sent : t -> int
+(** Wire bytes written so far (frames and raw lines). *)
+
+val bytes_received : t -> int
+(** Wire bytes pulled from the server so far. *)
+
 val send : t -> Wire.frame -> unit
 
 (** Write a raw (pre-framed or deliberately malformed) line. A missing
-    trailing newline is added so the server stays line-synced. *)
+    trailing newline is added so the server stays synced under either
+    framing. *)
 val send_raw : t -> string -> unit
 
 val read_reply : t -> (Wire.frame, string) result

@@ -10,10 +10,12 @@ type config = {
   trace_dir : string option;
   domains : int; (* worker domains; 0 = Sweep.default_domains () *)
   queue_limit : int; (* per-session default; 0 = Session default *)
+  max_wire : int; (* highest wire version negotiable; 0 = both (2) *)
 }
 
 let default_config address =
-  { address; snap_dir = None; trace_dir = None; domains = 0; queue_limit = 0 }
+  { address; snap_dir = None; trace_dir = None; domains = 0; queue_limit = 0;
+    max_wire = 2 }
 
 (* ---- session manager ---- *)
 
@@ -23,6 +25,7 @@ type manager = {
   m_queue_limit : int;
   m_trace_dir : string option;
   m_snap_dir : string option;
+  m_max_wire : int;
 }
 
 let with_manager m f =
@@ -64,33 +67,57 @@ let handle_open m ~session ~policy ~delta ~bounds ~n ~speed ~horizon
     ~queue_limit =
   if not (valid_session_name session) then
     err "invalid session name %S (want [A-Za-z0-9._-]+, not dot-led)" session
-  else
+  else if with_manager m (fun () -> Hashtbl.mem m.m_sessions session) then
+    err "session %S already open" session
+  else begin
     let queue_limit = if queue_limit > 0 then queue_limit else m.m_queue_limit in
     let config =
       { Rrs_sim.Stepper.name = session; delta; bounds; n;
         speed = (if speed > 0 then speed else 1); horizon }
     in
-    with_manager m (fun () ->
-        if Hashtbl.mem m.m_sessions session then
+    (* Construct OUTSIDE the manager mutex: trace-file opens and stepper
+       construction must cost this connection's frame, not stall every
+       other connection's. Insert with a double-check on the name; the
+       losing racer tears its session down again. *)
+    match
+      Session.create ~name:session ~policy ~queue_limit
+        ?trace_dir:m.m_trace_dir config
+    with
+    | Error message -> Wire.Error_frame { message }
+    | Ok s ->
+        let won =
+          with_manager m (fun () ->
+              if Hashtbl.mem m.m_sessions session then false
+              else begin
+                Hashtbl.add m.m_sessions session s;
+                true
+              end)
+        in
+        if won then Wire.Opened { session; round = 0 }
+        else begin
+          Session.release s;
           err "session %S already open" session
-        else
-          match
-            Session.create ~name:session ~policy ~queue_limit
-              ?trace_dir:m.m_trace_dir config
-          with
-          | Ok s ->
-              Hashtbl.add m.m_sessions session s;
-              Wire.Opened { session; round = 0 }
-          | Error message -> Wire.Error_frame { message })
+        end
+  end
+
+(* The hello exchange doubles as framing negotiation: asking for
+   [rrs-wire/2] (when the server allows it) switches the connection to
+   the binary framing right after the [hello_ok] goes out in the old
+   one. *)
+let hello_reply m client_version =
+  if client_version = Wire.version then
+    (Wire.Hello_ok { server_version = Wire.version }, Some Wire.V1)
+  else if client_version = Wire.version2 && m.m_max_wire >= 2 then
+    (Wire.Hello_ok { server_version = Wire.version2 }, Some Wire.V2)
+  else
+    ( err "unsupported wire version %S (this server speaks %s)" client_version
+        (if m.m_max_wire >= 2 then Wire.version ^ " and " ^ Wire.version2
+         else Wire.version),
+      None )
 
 let handle_frame m frame =
   match frame with
-  | Wire.Hello { client_version } ->
-      if client_version = Wire.version then
-        Wire.Hello_ok { server_version = Wire.version }
-      else
-        err "unsupported wire version %S (this server speaks %s)"
-          client_version Wire.version
+  | Wire.Hello { client_version } -> fst (hello_reply m client_version)
   | Wire.Open { session; policy; delta; bounds; n; speed; horizon; queue_limit }
     ->
       handle_open m ~session ~policy ~delta ~bounds ~n ~speed ~horizon
@@ -213,15 +240,23 @@ let conn_shutdown_all table =
   Mutex.unlock table.c_mutex
 
 let serve_connection manager stopping fd =
-  let input = Unix.in_channel_of_descr fd in
+  let input = Wire.reader (Unix.in_channel_of_descr fd) in
   let output = Unix.out_channel_of_descr fd in
+  let framing = ref Wire.V1 in
   let rec loop () =
     if Atomic.get stopping then ()
     else
-      match Wire.read input with
+      match Wire.read ~framing:!framing input with
       | Wire.Eof -> ()
       | Wire.Malformed message ->
-          Wire.write output (Wire.Error_frame { message });
+          Wire.write ~framing:!framing output (Wire.Error_frame { message });
+          loop ()
+      | Wire.Frame (Wire.Hello { client_version }) ->
+          (* The reply goes out in the framing the hello arrived in;
+             only then does the connection switch. *)
+          let reply, negotiated = hello_reply manager client_version in
+          Wire.write ~framing:!framing output reply;
+          Option.iter (fun f -> framing := f) negotiated;
           loop ()
       | Wire.Frame frame ->
           let reply =
@@ -234,7 +269,7 @@ let serve_connection manager stopping fd =
               Wire.Error_frame
                 { message = "internal error: " ^ Printexc.to_string e }
           in
-          Wire.write output reply;
+          Wire.write ~framing:!framing output reply;
           loop ()
   in
   (try loop () with Sys_error _ | End_of_file -> ());
@@ -305,6 +340,18 @@ type t = {
   cleanup_socket : string option; (* unix socket path to unlink on stop *)
 }
 
+(* A bad host name is an operator typo, not a crash: resolution failures
+   come back as a clean [Error] naming the host. *)
+let resolve_host host =
+  match Unix.inet_addr_of_string host with
+  | addr -> Ok addr
+  | exception Failure _ -> (
+      match Unix.gethostbyname host with
+      | { Unix.h_addr_list = [||]; _ } ->
+          Error (Printf.sprintf "host %S has no address" host)
+      | entry -> Ok entry.Unix.h_addr_list.(0)
+      | exception Not_found -> Error (Printf.sprintf "unknown host %S" host))
+
 let listen_socket = function
   | Unix_socket path ->
       if Sys.file_exists path then Sys.remove path;
@@ -313,12 +360,13 @@ let listen_socket = function
       Unix.listen fd 64;
       (fd, Some path)
   | Tcp (host, port) ->
+      let addr =
+        match resolve_host host with
+        | Ok addr -> addr
+        | Error message -> failwith ("cannot listen: " ^ message)
+      in
       let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
       Unix.setsockopt fd Unix.SO_REUSEADDR true;
-      let addr =
-        try Unix.inet_addr_of_string host
-        with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
-      in
       Unix.bind fd (Unix.ADDR_INET (addr, port));
       Unix.listen fd 64;
       (fd, None)
@@ -343,12 +391,38 @@ let restore_sessions manager =
               Session.load ?trace_dir:manager.m_trace_dir ~path ()
             with
             | Ok session ->
-                with_manager manager (fun () ->
-                    Hashtbl.replace manager.m_sessions (Session.name session)
-                      session);
-                Log.info (fun f -> f "restored session %s from %s"
-                             (Session.name session) path);
-                restored + 1
+                let name = Session.name session in
+                (* The embedded name becomes the registry key, and later
+                   close/drain build snap_dir paths from it — a crafted
+                   snapshot must not smuggle in a path-escaping name. *)
+                if not (valid_session_name name) then begin
+                  Log.err (fun f ->
+                      f "refusing to restore %s: path-unsafe session name %S"
+                        path name);
+                  Session.release session;
+                  restored
+                end
+                else begin
+                  let added =
+                    with_manager manager (fun () ->
+                        if Hashtbl.mem manager.m_sessions name then false
+                        else begin
+                          Hashtbl.add manager.m_sessions name session;
+                          true
+                        end)
+                  in
+                  if added then begin
+                    Log.info (fun f -> f "restored session %s from %s" name path);
+                    restored + 1
+                  end
+                  else begin
+                    Log.err (fun f ->
+                        f "snapshot %s collides with already-restored session \
+                           %S; skipping it" path name);
+                    Session.release session;
+                    restored
+                  end
+                end
             | Error message ->
                 Log.err (fun f -> f "cannot restore %s: %s" path message);
                 restored
@@ -370,6 +444,7 @@ let start ?(restore = true) config =
       m_queue_limit = config.queue_limit;
       m_trace_dir = config.trace_dir;
       m_snap_dir = config.snap_dir;
+      m_max_wire = (if config.max_wire = 1 then 1 else 2);
     }
   in
   Option.iter

@@ -1,11 +1,15 @@
-(** The [rrs-wire/1] session server.
+(** The rrs session server ([rrs-wire/1] JSON by default, [rrs-wire/2]
+    binary by negotiation).
 
     One accept-loop domain hands connections to a pool of worker domains
     over a bounded queue; each worker serves its connection frame by
     frame against a shared session manager (many named
     {!Session}s). Malformed input is answered with an [error] frame and
     the connection — and every session — survives; a frame-handler
-    exception costs that one frame, never the server.
+    exception costs that one frame, never the server. A connection
+    starts in /1 framing; a [hello] naming ["rrs-wire/2"] (unless
+    [max_wire = 1]) answers [hello_ok] in the old framing and then
+    switches the connection to the binary framing.
 
     {b Lifecycle}: [start] returns a handle for in-process use (tests,
     benches); [stop ~drain:true] closes the listener, shuts down every
@@ -14,10 +18,13 @@
     CLI entry: start, wait for SIGTERM/SIGINT, graceful drain. A
     restarted server with [restore] (default) reloads every snapshot in
     [snap_dir] before accepting connections, so served sessions continue
-    across restarts with ledger continuity. A [close] deletes the
-    session's drain snapshot, so a closed session never resurrects at
-    the next restart. Client-requested [snapshot]-to-file writes are
-    confined to [snap_dir] (bare path-safe file names only). *)
+    across restarts with ledger continuity; a snapshot embedding a
+    path-unsafe session name is refused with a log line, and two
+    snapshots claiming the same name keep the first (by file order) and
+    log the collision. A [close] deletes the session's drain snapshot,
+    so a closed session never resurrects at the next restart.
+    Client-requested [snapshot]-to-file writes are confined to
+    [snap_dir] (bare path-safe file names only). *)
 
 type address = Unix_socket of string | Tcp of string * int
 
@@ -27,14 +34,24 @@ type config = {
   trace_dir : string option;  (** per-session [rrs-events/2] streams *)
   domains : int;  (** worker domains; 0 = {!Rrs_sim.Sweep.default_domains} *)
   queue_limit : int;  (** per-session admission bound; 0 = default *)
+  max_wire : int;
+      (** highest wire version the server will negotiate: [1] pins every
+          connection to [rrs-wire/1]; anything else (the default, [2])
+          also accepts [rrs-wire/2] upgrades *)
 }
 
 val default_config : address -> config
 
+val resolve_host : string -> (Unix.inet_addr, string) result
+(** Resolve a dotted quad or host name; failures are an [Error] naming
+    the host, never an exception. *)
+
 type t
 
 (** Bind, restore snapshots (unless [restore:false]), spawn the accept
-    loop and worker domains, return immediately. *)
+    loop and worker domains, return immediately.
+    @raise Failure on an unresolvable TCP host (clean message naming the
+    host). *)
 val start : ?restore:bool -> config -> t
 
 (** For [Tcp] with port 0: the port the kernel picked. *)

@@ -205,12 +205,20 @@ let snapshot t =
   locked t (fun () -> header_line t ^ "\n" ^ Stepper.snapshot t.stepper)
 
 let save t ~path =
+  (* Atomic, as Stepper.save: protected close so a failure mid-write
+     never leaks the channel, and the temp file is unlinked instead of
+     left behind when the write or the rename fails. *)
   let doc = snapshot t in
   let tmp = path ^ ".tmp" in
   let channel = open_out tmp in
-  output_string channel doc;
-  close_out channel;
-  Sys.rename tmp path
+  try
+    Fun.protect
+      ~finally:(fun () -> close_out channel)
+      (fun () -> output_string channel doc);
+    Sys.rename tmp path
+  with e ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e
 
 let close_trace t =
   Option.iter close_out t.trace;

@@ -83,7 +83,9 @@ val stats : t -> stats
 (** The session as an [rrs-sess/1] document. *)
 val snapshot : t -> string
 
-(** Atomic write of {!snapshot} (temp + rename). *)
+(** Atomic write of {!snapshot} (temp + rename); on failure the channel
+    is closed and the temp file unlinked before the exception
+    propagates. *)
 val save : t -> path:string -> unit
 
 (** Finish the stepper (writes the stream summary), close the trace,

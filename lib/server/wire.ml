@@ -1,10 +1,13 @@
 module Json = Rrs_sim.Event_sink.Json
 
 let version = "rrs-wire/1"
+let version2 = "rrs-wire/2"
 
 (* One frame must fit one line; longer payloads (snapshot docs) are close
    to but far under this in practice — raise deliberately if they grow. *)
 let max_frame = 4 * 1024 * 1024
+
+type framing = V1 | V2
 
 type frame =
   (* requests *)
@@ -56,7 +59,7 @@ type frame =
   | Closed of { session : string; cost : int }
   | Error_frame of { message : string }
 
-(* ---- encoding ---- *)
+(* ---- rrs-wire/1 encoding: flat JSON objects ---- *)
 
 let ints array =
   let buffer = Buffer.create 32 in
@@ -145,7 +148,7 @@ let encode = function
       Printf.sprintf "{\"type\":\"error\",\"message\":%s}"
         (Json.escape message)
 
-(* ---- decoding ---- *)
+(* ---- rrs-wire/1 decoding ---- *)
 
 let opt_str_field fields key =
   match List.assoc_opt key fields with
@@ -267,49 +270,437 @@ let decode text =
         | other -> Error (Printf.sprintf "unknown frame type %S" other)
       with Json.Parse_error message -> Error message)
 
-(* ---- framing: "<byte length of JSON> <JSON>\n" ----
+(* ---- rrs-wire/2: binary framing ----
 
-   Length-delimited but still line-synced: a reader that lost the length
-   can resynchronize at the next newline, which is what lets the server
-   answer [error] to garbage and keep the connection alive instead of
-   tearing it down. *)
+   [magic0 magic1 | u32be payload length | u8 tag | payload]. Ints are
+   zigzag LEB128 varints, strings and int arrays length-prefixed, options
+   one presence byte. The two magic bytes are the resynchronization
+   point: a reader facing garbage skips to the next newline (textual
+   garbage stays request/reply interactive) or the next magic pair and
+   reports it malformed, mirroring /1's line sync. *)
+
+let magic0 = '\xF2'
+let magic1 = 'R'
+
+let tag_of_frame = function
+  | Hello _ -> 1
+  | Open _ -> 2
+  | Feed _ -> 3
+  | Step _ -> 4
+  | Stats _ -> 5
+  | Snapshot _ -> 6
+  | Close _ -> 7
+  | Hello_ok _ -> 17
+  | Opened _ -> 18
+  | Fed _ -> 19
+  | Shed _ -> 20
+  | Stepped _ -> 21
+  | Stats_ok _ -> 22
+  | Snapshotted _ -> 23
+  | Closed _ -> 24
+  | Error_frame _ -> 25
+
+let add_varint buffer value =
+  (* zigzag, so negative ints stay compact and total *)
+  let z = (value lsl 1) lxor (value asr (Sys.int_size - 1)) in
+  let rec go z =
+    if z land lnot 0x7f = 0 then Buffer.add_char buffer (Char.chr z)
+    else begin
+      Buffer.add_char buffer (Char.chr (z land 0x7f lor 0x80));
+      go (z lsr 7)
+    end
+  in
+  go z
+
+let add_string buffer s =
+  add_varint buffer (String.length s);
+  Buffer.add_string buffer s
+
+let add_ints buffer a =
+  add_varint buffer (Array.length a);
+  Array.iter (add_varint buffer) a
+
+let add_opt_string buffer = function
+  | None -> Buffer.add_char buffer '\000'
+  | Some s ->
+      Buffer.add_char buffer '\001';
+      add_string buffer s
+
+let add_payload buffer = function
+  | Hello { client_version } -> add_string buffer client_version
+  | Open { session; policy; delta; bounds; n; speed; horizon; queue_limit } ->
+      add_string buffer session;
+      add_string buffer policy;
+      add_varint buffer delta;
+      add_ints buffer bounds;
+      add_varint buffer n;
+      add_varint buffer speed;
+      add_varint buffer horizon;
+      add_varint buffer queue_limit
+  | Feed { session; colors; counts } ->
+      add_string buffer session;
+      add_ints buffer colors;
+      add_ints buffer counts
+  | Step { session; rounds } ->
+      add_string buffer session;
+      add_varint buffer rounds
+  | Stats { session } -> add_string buffer session
+  | Snapshot { session; path } ->
+      add_string buffer session;
+      add_opt_string buffer path
+  | Close { session } -> add_string buffer session
+  | Hello_ok { server_version } -> add_string buffer server_version
+  | Opened { session; round } ->
+      add_string buffer session;
+      add_varint buffer round
+  | Fed { session; accepted; buffered } ->
+      add_string buffer session;
+      add_varint buffer accepted;
+      add_varint buffer buffered
+  | Shed { session; shed; buffered; limit } ->
+      add_string buffer session;
+      add_varint buffer shed;
+      add_varint buffer buffered;
+      add_varint buffer limit
+  | Stepped { session; round; pending; cost; reconfigs; drops; execs } ->
+      add_string buffer session;
+      add_varint buffer round;
+      add_varint buffer pending;
+      add_varint buffer cost;
+      add_varint buffer reconfigs;
+      add_varint buffer drops;
+      add_varint buffer execs
+  | Stats_ok
+      { session; round; pending; buffered; fed; accepted; shed; execs; drops;
+        reconfigs; failed; cost } ->
+      add_string buffer session;
+      add_varint buffer round;
+      add_varint buffer pending;
+      add_varint buffer buffered;
+      add_varint buffer fed;
+      add_varint buffer accepted;
+      add_varint buffer shed;
+      add_varint buffer execs;
+      add_varint buffer drops;
+      add_varint buffer reconfigs;
+      add_varint buffer failed;
+      add_varint buffer cost
+  | Snapshotted { session; path; doc } ->
+      add_string buffer session;
+      add_opt_string buffer path;
+      add_opt_string buffer doc
+  | Closed { session; cost } ->
+      add_string buffer session;
+      add_varint buffer cost
+  | Error_frame { message } -> add_string buffer message
+
+let encode_binary frame =
+  let payload = Buffer.create 64 in
+  add_payload payload frame;
+  let length = Buffer.length payload in
+  let out = Buffer.create (length + 7) in
+  Buffer.add_char out magic0;
+  Buffer.add_char out magic1;
+  Buffer.add_char out (Char.chr ((length lsr 24) land 0xff));
+  Buffer.add_char out (Char.chr ((length lsr 16) land 0xff));
+  Buffer.add_char out (Char.chr ((length lsr 8) land 0xff));
+  Buffer.add_char out (Char.chr (length land 0xff));
+  Buffer.add_char out (Char.chr (tag_of_frame frame));
+  Buffer.add_buffer out payload;
+  Buffer.contents out
+
+(* Binary payload decoding: a cursor over the payload string; every
+   malformation is a [Decode_error], never an exception escape. *)
+
+exception Decode_error of string
+
+type cursor = { text : string; mutable at : int }
+
+let fail format = Printf.ksprintf (fun m -> raise (Decode_error m)) format
+
+let next_byte cursor =
+  if cursor.at >= String.length cursor.text then fail "truncated payload";
+  let byte = Char.code cursor.text.[cursor.at] in
+  cursor.at <- cursor.at + 1;
+  byte
+
+let read_varint cursor =
+  let rec go shift acc =
+    if shift > 63 then fail "varint too long";
+    let byte = next_byte cursor in
+    let acc = acc lor ((byte land 0x7f) lsl shift) in
+    if byte land 0x80 = 0 then acc else go (shift + 7) acc
+  in
+  let z = go 0 0 in
+  (z lsr 1) lxor (-(z land 1))
+
+let read_string cursor =
+  let length = read_varint cursor in
+  if length < 0 || cursor.at + length > String.length cursor.text then
+    fail "bad string length %d" length;
+  let s = String.sub cursor.text cursor.at length in
+  cursor.at <- cursor.at + length;
+  s
+
+let read_ints cursor =
+  let count = read_varint cursor in
+  if count < 0 || count > String.length cursor.text - cursor.at then
+    fail "bad array length %d" count;
+  Array.init count (fun _ -> read_varint cursor)
+
+let read_opt_string cursor =
+  match next_byte cursor with
+  | 0 -> None
+  | 1 -> Some (read_string cursor)
+  | b -> fail "bad option byte %d" b
+
+let decode_payload tag payload =
+  let c = { text = payload; at = 0 } in
+  let str () = read_string c in
+  let int () = read_varint c in
+  let ints () = read_ints c in
+  match
+    match tag with
+    | 1 -> Hello { client_version = str () }
+    | 2 ->
+        let session = str () in
+        let policy = str () in
+        let delta = int () in
+        let bounds = ints () in
+        let n = int () in
+        let speed = int () in
+        let horizon = int () in
+        let queue_limit = int () in
+        Open { session; policy; delta; bounds; n; speed; horizon; queue_limit }
+    | 3 ->
+        let session = str () in
+        let colors = ints () in
+        let counts = ints () in
+        Feed { session; colors; counts }
+    | 4 ->
+        let session = str () in
+        let rounds = int () in
+        Step { session; rounds }
+    | 5 -> Stats { session = str () }
+    | 6 ->
+        let session = str () in
+        let path = read_opt_string c in
+        Snapshot { session; path }
+    | 7 -> Close { session = str () }
+    | 17 -> Hello_ok { server_version = str () }
+    | 18 ->
+        let session = str () in
+        let round = int () in
+        Opened { session; round }
+    | 19 ->
+        let session = str () in
+        let accepted = int () in
+        let buffered = int () in
+        Fed { session; accepted; buffered }
+    | 20 ->
+        let session = str () in
+        let shed = int () in
+        let buffered = int () in
+        let limit = int () in
+        Shed { session; shed; buffered; limit }
+    | 21 ->
+        let session = str () in
+        let round = int () in
+        let pending = int () in
+        let cost = int () in
+        let reconfigs = int () in
+        let drops = int () in
+        let execs = int () in
+        Stepped { session; round; pending; cost; reconfigs; drops; execs }
+    | 22 ->
+        let session = str () in
+        let round = int () in
+        let pending = int () in
+        let buffered = int () in
+        let fed = int () in
+        let accepted = int () in
+        let shed = int () in
+        let execs = int () in
+        let drops = int () in
+        let reconfigs = int () in
+        let failed = int () in
+        let cost = int () in
+        Stats_ok
+          { session; round; pending; buffered; fed; accepted; shed; execs;
+            drops; reconfigs; failed; cost }
+    | 23 ->
+        let session = str () in
+        let path = read_opt_string c in
+        let doc = read_opt_string c in
+        Snapshotted { session; path; doc }
+    | 24 ->
+        let session = str () in
+        let cost = int () in
+        Closed { session; cost }
+    | 25 -> Error_frame { message = str () }
+    | tag -> fail "unknown binary frame tag %d" tag
+  with
+  | frame ->
+      if c.at <> String.length payload then
+        Error
+          (Printf.sprintf "%d trailing byte(s) after binary frame"
+             (String.length payload - c.at))
+      else Ok frame
+  | exception Decode_error message -> Error message
+
+let decode_binary data =
+  if String.length data < 7 then Error "truncated binary frame"
+  else if not (data.[0] = magic0 && data.[1] = magic1) then
+    Error "missing frame magic"
+  else
+    let b i = Char.code data.[i] in
+    let length = (b 2 lsl 24) lor (b 3 lsl 16) lor (b 4 lsl 8) lor b 5 in
+    if length > max_frame then
+      Error (Printf.sprintf "frame longer than %d bytes" max_frame)
+    else if String.length data <> 7 + length then
+      Error
+        (Printf.sprintf "length prefix %d does not match body length %d" length
+           (String.length data - 7))
+    else decode_payload (b 6) (String.sub data 7 length)
+
+(* ---- framing ----
+
+   /1 frames are "<byte length of JSON> <JSON>\n": length-delimited but
+   still line-synced, so a reader that lost the length can resynchronize
+   at the next newline, which is what lets the server answer [error] to
+   garbage and keep the connection alive instead of tearing it down.
+   /2 frames resynchronize at the magic pair (or a newline, so textual
+   garbage still draws an immediate reply). *)
 
 let frame_line json = Printf.sprintf "%d %s\n" (String.length json) json
 
-let write channel frame =
-  output_string channel (frame_line (encode frame));
+let to_wire framing frame =
+  match framing with
+  | V1 -> frame_line (encode frame)
+  | V2 -> encode_binary frame
+
+let write ?(framing = V1) channel frame =
+  output_string channel (to_wire framing frame);
   flush channel
 
 type read_result = Frame of frame | Malformed of string | Eof
 
-(* Read one '\n'-terminated line of at most [max_frame] bytes; an
-   over-long line is discarded (bounded memory) and reported malformed. *)
-let read_line_bounded channel =
-  let buffer = Buffer.create 256 in
-  let rec go () =
-    match input_char channel with
-    | exception End_of_file ->
-        if Buffer.length buffer = 0 then None else Some (Buffer.contents buffer)
-    | '\n' -> Some (Buffer.contents buffer)
-    | c ->
-        if Buffer.length buffer >= max_frame then begin
-          (* Discard the rest of the line, keeping memory bounded. *)
-          (try
-             while input_char channel <> '\n' do
-               ()
-             done
-           with End_of_file -> ());
-          Some (Buffer.contents buffer ^ "...")
-        end
-        else begin
-          Buffer.add_char buffer c;
-          go ()
-        end
-  in
-  go ()
+(* ---- buffered reader, shared by both framings ----
 
-let read channel =
-  match read_line_bounded channel with
+   One [input] call per chunk instead of one per byte; both the /1 line
+   scan and the /2 header/payload reads run over the in-memory chunk. *)
+
+type reader = {
+  channel : in_channel;
+  chunk : Bytes.t;
+  mutable pos : int; (* next unconsumed byte in [chunk] *)
+  mutable len : int; (* valid bytes in [chunk] *)
+  mutable pulled : int; (* total bytes pulled from the channel *)
+}
+
+let chunk_size = 64 * 1024
+
+let reader channel =
+  { channel; chunk = Bytes.create chunk_size; pos = 0; len = 0; pulled = 0 }
+
+let reader_bytes r = r.pulled
+
+(* Make at least one byte available; false at EOF. *)
+let refill r =
+  if r.pos < r.len then true
+  else begin
+    let k = input r.channel r.chunk 0 (Bytes.length r.chunk) in
+    r.pos <- 0;
+    r.len <- k;
+    r.pulled <- r.pulled + k;
+    k > 0
+  end
+
+(* Make at least [want] contiguous bytes available (compacting first);
+   false at EOF. [want] must fit the chunk. *)
+let ensure r want =
+  if r.len - r.pos >= want then true
+  else begin
+    if r.pos > 0 then begin
+      Bytes.blit r.chunk r.pos r.chunk 0 (r.len - r.pos);
+      r.len <- r.len - r.pos;
+      r.pos <- 0
+    end;
+    let rec fill () =
+      if r.len >= want then true
+      else
+        let k = input r.channel r.chunk r.len (Bytes.length r.chunk - r.len) in
+        if k = 0 then false
+        else begin
+          r.len <- r.len + k;
+          r.pulled <- r.pulled + k;
+          fill ()
+        end
+    in
+    fill ()
+  end
+
+(* Exactly [n] bytes as a fresh string (may exceed the chunk); None at
+   EOF. *)
+let read_exact r n =
+  let out = Bytes.create n in
+  let have = min n (r.len - r.pos) in
+  Bytes.blit r.chunk r.pos out 0 have;
+  r.pos <- r.pos + have;
+  let rec go off =
+    if off >= n then Some (Bytes.unsafe_to_string out)
+    else
+      let k = input r.channel out off (n - off) in
+      if k = 0 then None
+      else begin
+        r.pulled <- r.pulled + k;
+        go (off + k)
+      end
+  in
+  go have
+
+let find_newline chunk pos len =
+  let rec go i =
+    if i >= len then -1
+    else if Bytes.unsafe_get chunk i = '\n' then i
+    else go (i + 1)
+  in
+  go pos
+
+(* Read one '\n'-terminated line of at most [max_frame] bytes; an
+   over-long line is truncated (bounded memory) and flagged with a "..."
+   suffix so [read] reports it malformed. *)
+let read_line_bounded r =
+  if not (refill r) then None
+  else begin
+    let buffer = Buffer.create 256 in
+    let overflow = ref false in
+    let finished = ref false in
+    while not !finished do
+      if r.pos >= r.len && not (refill r) then finished := true
+      else begin
+        let nl = find_newline r.chunk r.pos r.len in
+        let stop = if nl = -1 then r.len else nl in
+        let segment = stop - r.pos in
+        let room = max_frame - Buffer.length buffer in
+        if segment > room then begin
+          if room > 0 then Buffer.add_subbytes buffer r.chunk r.pos room;
+          overflow := true
+        end
+        else Buffer.add_subbytes buffer r.chunk r.pos segment;
+        r.pos <- stop;
+        if nl >= 0 then begin
+          r.pos <- r.pos + 1;
+          finished := true
+        end
+      end
+    done;
+    let line = Buffer.contents buffer in
+    Some (if !overflow then line ^ "..." else line)
+  end
+
+let read_v1 r =
+  match read_line_bounded r with
   | None -> Eof
   | Some line -> (
       if String.length line > max_frame then
@@ -334,3 +725,64 @@ let read channel =
                 match decode body with
                 | Ok frame -> Frame frame
                 | Error message -> Malformed message)))
+
+(* Consume garbage up to (and including) a newline, or up to (but not
+   including) the next magic pair, whichever comes first; count what was
+   skipped. Stopping at newlines keeps textual garbage request/reply
+   interactive — the peer gets its [error] without the reader blocking
+   for a frame that may never come. *)
+let skip_garbage r =
+  let skipped = ref 0 in
+  let continue = ref true in
+  while !continue do
+    if r.pos >= r.len && not (refill r) then continue := false
+    else
+      let c = Bytes.get r.chunk r.pos in
+      if c = '\n' then begin
+        r.pos <- r.pos + 1;
+        incr skipped;
+        continue := false
+      end
+      else if
+        c = magic0 && ensure r 2 && Bytes.get r.chunk (r.pos + 1) = magic1
+      then continue := false
+      else begin
+        r.pos <- r.pos + 1;
+        incr skipped
+      end
+  done;
+  !skipped
+
+let read_v2 r =
+  if not (ensure r 2) then begin
+    (* 0 or 1 dangling bytes before EOF: nothing decodable remains. *)
+    r.pos <- r.len;
+    Eof
+  end
+  else if
+    not (Bytes.get r.chunk r.pos = magic0 && Bytes.get r.chunk (r.pos + 1) = magic1)
+  then
+    let skipped = skip_garbage r in
+    Malformed (Printf.sprintf "not a frame: skipped %d garbage byte(s)" skipped)
+  else if not (ensure r 7) then begin
+    r.pos <- r.len;
+    Eof
+  end
+  else begin
+    let b i = Char.code (Bytes.get r.chunk (r.pos + i)) in
+    let length = (b 2 lsl 24) lor (b 3 lsl 16) lor (b 4 lsl 8) lor b 5 in
+    let tag = b 6 in
+    r.pos <- r.pos + 7;
+    if length > max_frame then
+      Malformed (Printf.sprintf "frame longer than %d bytes" max_frame)
+    else
+      match read_exact r length with
+      | None -> Eof
+      | Some payload -> (
+          match decode_payload tag payload with
+          | Ok frame -> Frame frame
+          | Error message -> Malformed message)
+  end
+
+let read ?(framing = V1) r =
+  match framing with V1 -> read_v1 r | V2 -> read_v2 r

@@ -1,22 +1,42 @@
-(** The [rrs-wire/1] session protocol: typed frames, JSON codec and
-    channel framing.
+(** The rrs session protocol: typed frames, two negotiated framings
+    ([rrs-wire/1] JSON and [rrs-wire/2] binary) and a buffered channel
+    reader shared by both.
 
-    Framing is ["<byte length of JSON> <JSON>\n"] — length-delimited but
-    still line-synced, so a peer that sends garbage desynchronizes only
-    to the next newline: the server answers [error] and the connection
-    (and every session behind it) survives. One frame per line; a line
-    longer than {!max_frame} is discarded with bounded memory and
-    reported [Malformed].
+    {b [rrs-wire/1]} framing is ["<byte length of JSON> <JSON>\n"] —
+    length-delimited but still line-synced, so a peer that sends garbage
+    desynchronizes only to the next newline: the server answers [error]
+    and the connection (and every session behind it) survives. One frame
+    per line; a line longer than {!max_frame} is discarded with bounded
+    memory and reported [Malformed]. The codec reuses the project's
+    hand-rolled flat-object JSON scanner ({!Rrs_sim.Event_sink.Json});
+    unknown frame types and malformed fields are [Error]s, never
+    exceptions.
 
-    The codec reuses the project's hand-rolled flat-object JSON scanner
-    ({!Rrs_sim.Event_sink.Json}); unknown frame types and malformed
-    fields are [Error]s, never exceptions. *)
+    {b [rrs-wire/2]} framing is binary:
+    [magic(2) | u32be payload length | u8 tag | payload], with zigzag
+    LEB128 varints for ints, length-prefixed strings and int arrays, and
+    a presence byte for options. Same frame semantics as /1, a fraction
+    of the bytes and none of the JSON parse cost. Negotiated through the
+    [hello] exchange: a client that says [hello] with ["rrs-wire/2"]
+    gets its [hello_ok] in the current framing, then both sides switch.
+    Resynchronization point is the magic pair — or a newline, so textual
+    garbage still draws an immediate [error] instead of stalling the
+    reader.
+
+    Both framings are served by one {!reader}: a chunked buffer filled
+    with one [input] call per chunk, so neither framing pays a libc call
+    per byte. *)
 
 val version : string
-(** ["rrs-wire/1"], exchanged in [hello]/[hello_ok]. *)
+(** ["rrs-wire/1"], the default, exchanged in [hello]/[hello_ok]. *)
+
+val version2 : string
+(** ["rrs-wire/2"], the negotiated binary framing. *)
 
 val max_frame : int
-(** Upper bound on one frame line, in bytes. *)
+(** Upper bound on one frame, in bytes (either framing). *)
+
+type framing = V1 | V2
 
 type frame =
   (* requests *)
@@ -81,21 +101,45 @@ type frame =
   | Error_frame of { message : string }
 
 val encode : frame -> string
-(** One flat JSON object, no newline. *)
+(** The /1 body: one flat JSON object, no newline. *)
 
 val decode : string -> (frame, string) result
+(** Inverse of {!encode}. *)
+
+val encode_binary : frame -> string
+(** The complete /2 wire bytes: magic, length, tag, payload. *)
+
+val decode_binary : string -> (frame, string) result
+(** Inverse of {!encode_binary} (exactly one whole frame). *)
 
 val frame_line : string -> string
-(** [frame_line json] is the framed wire line (length prefix + newline). *)
+(** [frame_line json] is the framed /1 wire line (length prefix +
+    newline). *)
 
-val write : out_channel -> frame -> unit
-(** Encode, frame, write and flush. *)
+val to_wire : framing -> frame -> string
+(** The complete wire bytes of one frame under the given framing. *)
+
+val write : ?framing:framing -> out_channel -> frame -> unit
+(** Encode, frame, write and flush. Default framing is [V1]. *)
 
 type read_result =
   | Frame of frame
   | Malformed of string
-      (** Bad length prefix, over-long line, JSON or frame error; the
-          channel is positioned after the offending line. *)
+      (** Bad framing, over-long frame, codec or frame error; the reader
+          is positioned after the offending input (next newline for /1,
+          next newline or magic pair for /2). *)
   | Eof
 
-val read : in_channel -> read_result
+type reader
+(** A buffered frame reader over an [in_channel]: chunked refills, so
+    neither framing reads byte-at-a-time from the OS. One reader per
+    connection; not thread-safe. *)
+
+val reader : in_channel -> reader
+
+val reader_bytes : reader -> int
+(** Total bytes pulled from the underlying channel so far (used by the
+    E18 harness for bytes/frame accounting). *)
+
+val read : ?framing:framing -> reader -> read_result
+(** Read one frame under the given framing. Default is [V1]. *)

@@ -107,10 +107,11 @@ let prop_wire_framed_roundtrip =
       let out = open_out path in
       Wire.write out frame;
       close_out out;
-      let input = open_in path in
+      let channel = open_in path in
+      let input = Wire.reader channel in
       let result = Wire.read input in
       let eof = Wire.read input in
-      close_in input;
+      close_in channel;
       Sys.remove path;
       result = Wire.Frame frame && eof = Wire.Eof)
 
@@ -124,7 +125,8 @@ let test_wire_malformed_lines () =
   output_string out
     (Wire.frame_line (Wire.encode (Wire.Stats { session = "s" })));
   close_out out;
-  let input = open_in path in
+  let channel = open_in path in
+  let input = Wire.reader channel in
   let malformed = function Wire.Malformed _ -> true | _ -> false in
   check_bool "garbage words" true (malformed (Wire.read input));
   check_bool "length mismatch" true (malformed (Wire.read input));
@@ -133,7 +135,7 @@ let test_wire_malformed_lines () =
   check_bool "still synced: valid frame after garbage" true
     (Wire.read input = Wire.Frame (Wire.Stats { session = "s" }));
   check_bool "eof" true (Wire.read input = Wire.Eof);
-  close_in input;
+  close_in channel;
   Sys.remove path
 
 (* ---- session admission control ---- *)
@@ -590,6 +592,381 @@ let test_server_drain_restore () =
   ignore (Server.stop ~drain:false server3);
   check_string "ledger continues across restart" reference (Wire.encode stats)
 
+(* ---- rrs-wire/2: binary codec, resync, negotiation ---- *)
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i =
+    i + n <= h && (String.sub haystack i n = needle || go (i + 1))
+  in
+  go 0
+
+let prop_wire2_roundtrip =
+  QCheck2.Test.make
+    ~name:"wire/2: decode_binary (encode_binary frame) = frame" ~count:500
+    gen_frame (fun frame ->
+      Wire.decode_binary (Wire.encode_binary frame) = Ok frame)
+
+let prop_wire2_framed_roundtrip =
+  QCheck2.Test.make
+    ~name:"wire/2: read (write frame) = frame through a channel" ~count:100
+    gen_frame (fun frame ->
+      let path = Filename.temp_file "rrs_wire2" ".bin" in
+      let out = open_out_bin path in
+      Wire.write ~framing:Wire.V2 out frame;
+      close_out out;
+      let channel = open_in_bin path in
+      let input = Wire.reader channel in
+      let result = Wire.read ~framing:Wire.V2 input in
+      let eof = Wire.read ~framing:Wire.V2 input in
+      close_in channel;
+      Sys.remove path;
+      result = Wire.Frame frame && eof = Wire.Eof)
+
+let test_wire2_garbage_resync () =
+  let stats = Wire.Stats { session = "s" } in
+  let path = Filename.temp_file "rrs_wire2" ".bin" in
+  let out = open_out_bin path in
+  output_string out "textual garbage line\n";
+  (* resync at the newline *)
+  output_string out "x";
+  (* resync right before the magic pair, no newline in between *)
+  output_string out (Wire.encode_binary stats);
+  output_string out (Wire.encode_binary stats);
+  output_string out "trailing junk";
+  close_out out;
+  let channel = open_in_bin path in
+  let input = Wire.reader channel in
+  let next () = Wire.read ~framing:Wire.V2 input in
+  let malformed = function Wire.Malformed _ -> true | _ -> false in
+  check_bool "garbage line" true (malformed (next ()));
+  check_bool "garbage before magic" true (malformed (next ()));
+  check_bool "first frame after resync" true (next () = Wire.Frame stats);
+  check_bool "second frame" true (next () = Wire.Frame stats);
+  check_bool "trailing garbage" true (malformed (next ()));
+  check_bool "eof" true (next () = Wire.Eof);
+  close_in channel;
+  Sys.remove path;
+  (* A frame truncated mid-payload is EOF, not a stall or a crash. *)
+  let whole = Wire.encode_binary stats in
+  let cut = Filename.temp_file "rrs_wire2" ".bin" in
+  let out = open_out_bin cut in
+  output_string out (String.sub whole 0 (String.length whole - 3));
+  close_out out;
+  let channel = open_in_bin cut in
+  let input = Wire.reader channel in
+  check_bool "truncated frame is eof" true
+    (Wire.read ~framing:Wire.V2 input = Wire.Eof);
+  close_in channel;
+  Sys.remove cut
+
+(* A payload bigger than the reader's 64 KiB chunk exercises the
+   read-past-the-buffer path. *)
+let test_wire2_large_frame () =
+  let colors = Array.init 20_000 (fun i -> i land 0xffff) in
+  let counts = Array.init 20_000 (fun i -> i * 7 land 0xffff) in
+  let frame = Wire.Feed { session = "big"; colors; counts } in
+  let encoded = Wire.encode_binary frame in
+  check_bool "payload exceeds one reader chunk" true
+    (String.length encoded > 64 * 1024);
+  check_bool "decodes in memory" true (Wire.decode_binary encoded = Ok frame);
+  let path = Filename.temp_file "rrs_wire2" ".bin" in
+  let out = open_out_bin path in
+  Wire.write ~framing:Wire.V2 out frame;
+  Wire.write ~framing:Wire.V2 out (Wire.Stats { session = "after" });
+  close_out out;
+  let channel = open_in_bin path in
+  let input = Wire.reader channel in
+  check_bool "large frame round trips" true
+    (Wire.read ~framing:Wire.V2 input = Wire.Frame frame);
+  check_bool "reader still synced after it" true
+    (Wire.read ~framing:Wire.V2 input
+    = Wire.Frame (Wire.Stats { session = "after" }));
+  check_bool "eof" true (Wire.read ~framing:Wire.V2 input = Wire.Eof);
+  close_in channel;
+  Sys.remove path
+
+(* ---- regression: Session.save must not leave its temp file behind ---- *)
+
+let test_session_save_failure_cleans_tmp () =
+  let dir = Filename.temp_file "rrs_save" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  (* Renaming a file onto an existing directory fails, after the
+     document was already written to the temp file. *)
+  let target = Filename.concat dir "snap.sess.jsonl" in
+  Unix.mkdir target 0o700;
+  let session =
+    match
+      Session.create ~name:"savefail" ~policy:"dlru-edf"
+        (session_config ~name:"savefail" ())
+    with
+    | Ok s -> s
+    | Error m -> Alcotest.fail m
+  in
+  (match Session.save session ~path:target with
+  | () -> Alcotest.fail "save onto a directory must fail"
+  | exception Sys_error _ -> ());
+  check_bool "temp file removed on failure" false
+    (Sys.file_exists (target ^ ".tmp"));
+  Session.release session
+
+(* ---- regression: restore validates embedded names, first snapshot
+   wins a collision ---- *)
+
+let make_session ?(rounds = 0) name =
+  match
+    Session.create ~name ~policy:"dlru-edf" (session_config ~name ())
+  with
+  | Error m -> Alcotest.fail m
+  | Ok s ->
+      if rounds > 0 then
+        (match Session.step s ~rounds with
+        | Ok _ -> ()
+        | Error m -> Alcotest.fail m);
+      s
+
+let test_restore_validates_names () =
+  let dir = Filename.temp_file "rrs_restore" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let snaps = Filename.concat dir "snaps" in
+  Unix.mkdir snaps 0o700;
+  (* A snapshot whose embedded session name escapes the directory: the
+     file name is innocuous, the name inside is not. *)
+  let evil = make_session "../escape" in
+  Session.save evil ~path:(Filename.concat snaps "aaa-evil.sess.jsonl");
+  Session.release evil;
+  (* Two snapshots claiming the same name at different rounds: the
+     first in file order must win, deterministically. *)
+  let dup1 = make_session ~rounds:1 "dup" in
+  Session.save dup1 ~path:(Filename.concat snaps "d1.sess.jsonl");
+  Session.release dup1;
+  let dup2 = make_session ~rounds:3 "dup" in
+  Session.save dup2 ~path:(Filename.concat snaps "d2.sess.jsonl");
+  Session.release dup2;
+  let good = make_session ~rounds:1 "good" in
+  Session.save good ~path:(Filename.concat snaps "good.sess.jsonl");
+  Session.release good;
+  let address = Server.Unix_socket (Filename.concat dir "sock") in
+  let config =
+    { (Server.default_config address) with domains = 2;
+      snap_dir = Some snaps }
+  in
+  let server = Server.start config in
+  Fun.protect
+    ~finally:(fun () -> ignore (Server.stop ~drain:false server))
+    (fun () ->
+      let client = Client.connect address in
+      Client.send client (Wire.Stats { session = "../escape" });
+      expect_error client "path-unsafe restored name must not register";
+      (match expect_ok (Client.call client (Wire.Stats { session = "dup" })) with
+      | Wire.Stats_ok { round; _ } -> check "first snapshot wins" 1 round
+      | f -> Alcotest.failf "unexpected stats reply %s" (Wire.encode f));
+      (match expect_ok (Client.call client (Wire.Stats { session = "good" })) with
+      | Wire.Stats_ok { round; _ } -> check "valid snapshot restored" 1 round
+      | f -> Alcotest.failf "unexpected stats reply %s" (Wire.encode f));
+      Client.close client)
+
+(* ---- regression: unresolvable TCP hosts fail cleanly ---- *)
+
+let test_unknown_host () =
+  (match Server.resolve_host "127.0.0.1" with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail m);
+  let bad = "no-such-host.invalid" in
+  (match Server.resolve_host bad with
+  | Error message ->
+      check_bool "resolver error names the host" true
+        (contains ~needle:bad message)
+  | Ok _ -> Alcotest.failf "resolved reserved name %s" bad);
+  (match Server.start (Server.default_config (Server.Tcp (bad, 0))) with
+  | _server -> Alcotest.fail "started a server on an unresolvable host"
+  | exception Failure message ->
+      check_bool "serve failure names the host" true
+        (contains ~needle:bad message));
+  match Client.connect (Server.Tcp (bad, 1)) with
+  | _client -> Alcotest.fail "connected to an unresolvable host"
+  | exception Failure message ->
+      check_bool "connect failure names the host" true
+        (contains ~needle:bad message)
+
+(* ---- regression: open constructs its session outside the manager
+   lock ---- *)
+
+(* The trace file of session "slow" is a FIFO with no reader, so the
+   server's [open_out] inside [Session.create] blocks until the test
+   attaches one. A second connection opening an unrelated session must
+   still be served meanwhile — before the fix, construction ran under
+   the manager mutex and every other connection stalled behind it. *)
+let test_open_constructs_outside_lock () =
+  let dir = Filename.temp_file "rrs_lock" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let traces = Filename.concat dir "traces" in
+  Unix.mkdir traces 0o700;
+  let fifo = Filename.concat traces "slow.events.jsonl" in
+  Unix.mkfifo fifo 0o600;
+  let sock = Filename.concat dir "sock" in
+  let address = Server.Unix_socket sock in
+  let config =
+    { (Server.default_config address) with domains = 2;
+      trace_dir = Some traces }
+  in
+  let server = Server.start config in
+  let fifo_reader = ref None in
+  let open_frame session =
+    Wire.Open
+      { session; policy = "dlru-edf"; delta = 3; bounds = [| 2; 3; 4 |];
+        n = 4; speed = 1; horizon = 0; queue_limit = 0 }
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (* Attach a FIFO reader first: if the server is (buggily) still
+         blocked inside the open, [stop] would never join its worker. *)
+      if !fifo_reader = None then
+        (try
+           fifo_reader :=
+             Some (Unix.openfile fifo [ Unix.O_RDONLY; Unix.O_NONBLOCK ] 0)
+         with Unix.Unix_error _ -> ());
+      ignore (Server.stop ~drain:false server);
+      Option.iter
+        (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+        !fifo_reader)
+    (fun () ->
+      let a = Client.connect address in
+      Client.send a (open_frame "slow");
+      (* Let connection A reach the blocking trace-file open. *)
+      Unix.sleepf 0.2;
+      let fd_b = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd_b (Unix.ADDR_UNIX sock);
+      let b = Client.connect_fd fd_b in
+      Client.send b (open_frame "fast");
+      (match Unix.select [ fd_b ] [] [] 10.0 with
+      | [], _, _ ->
+          Alcotest.fail
+            "opening one session stalled every other connection \
+             (session constructed under the manager lock)"
+      | _ -> ());
+      (match expect_ok (Client.read_reply b) with
+      | Wire.Opened { session = "fast"; _ } -> ()
+      | f -> Alcotest.failf "unexpected open reply %s" (Wire.encode f));
+      (* Unblock A and check its open completes normally. *)
+      fifo_reader :=
+        Some (Unix.openfile fifo [ Unix.O_RDONLY; Unix.O_NONBLOCK ] 0);
+      (match expect_ok (Client.read_reply a) with
+      | Wire.Opened { session = "slow"; _ } -> ()
+      | f -> Alcotest.failf "unexpected open reply %s" (Wire.encode f));
+      Client.close a;
+      Client.close b)
+
+(* ---- live server: /2 negotiation, resync, and /1-vs-/2 equality ---- *)
+
+let open_frame_for session =
+  Wire.Open
+    { session; policy = "dlru-edf"; delta = 3; bounds = [| 2; 3; 4 |]; n = 4;
+      speed = 1; horizon = 0; queue_limit = 6 }
+
+let test_wire2_live_negotiation () =
+  with_server (fun ~address ~snap_dir:_ ->
+      let client = Client.connect address in
+      check "starts at /1" 1 (Client.wire_version client);
+      (match Client.negotiate client ~wire:2 with
+      | Ok () -> ()
+      | Error m -> Alcotest.fail m);
+      check "negotiated /2" 2 (Client.wire_version client);
+      ignore (expect_ok (Client.call client (open_frame_for "v2")));
+      feed_step client "v2" [| 0 |] [| 2 |];
+      let before =
+        expect_ok (Client.call client (Wire.Stats { session = "v2" }))
+      in
+      (* Textual garbage on a binary connection: answered with [error],
+         resynchronized at the newline. *)
+      Client.send_raw client "complete garbage";
+      expect_error client "textual garbage on /2";
+      Client.send_raw client "999 {\"type\":\"stats\",\"session\":\"v2\"}";
+      expect_error client "/1 frame on a /2 connection";
+      let after =
+        expect_ok (Client.call client (Wire.Stats { session = "v2" }))
+      in
+      check_string "session unharmed by garbage" (Wire.encode before)
+        (Wire.encode after);
+      (* hello over the binary framing re-states the version. *)
+      (match
+         expect_ok
+           (Client.call client (Wire.Hello { client_version = Wire.version2 }))
+       with
+      | Wire.Hello_ok { server_version } ->
+          check_string "still /2" Wire.version2 server_version
+      | f -> Alcotest.failf "unexpected hello reply %s" (Wire.encode f));
+      (match expect_ok (Client.call client (Wire.Close { session = "v2" })) with
+      | Wire.Closed _ -> ()
+      | f -> Alcotest.failf "unexpected close reply %s" (Wire.encode f));
+      Client.close client)
+
+let test_server_pinned_to_wire1 () =
+  let dir = Filename.temp_file "rrs_pin" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let address = Server.Unix_socket (Filename.concat dir "sock") in
+  let config =
+    { (Server.default_config address) with domains = 2; max_wire = 1 }
+  in
+  let server = Server.start config in
+  Fun.protect
+    ~finally:(fun () -> ignore (Server.stop ~drain:false server))
+    (fun () ->
+      let client = Client.connect address in
+      (match Client.negotiate client ~wire:2 with
+      | Error message ->
+          check_bool "refusal names the supported version" true
+            (contains ~needle:Wire.version message)
+      | Ok () -> Alcotest.fail "a max_wire=1 server accepted /2");
+      check "still /1" 1 (Client.wire_version client);
+      (* The refusal is an [error] reply, not a disconnect. *)
+      (match
+         expect_ok
+           (Client.call client (Wire.Hello { client_version = Wire.version }))
+       with
+      | Wire.Hello_ok _ -> ()
+      | f -> Alcotest.failf "unexpected hello reply %s" (Wire.encode f));
+      Client.close client)
+
+(* The same script through a /1 and a /2 connection must produce the
+   same replies frame for frame (the framing changes the bytes, never
+   the semantics) — and strictly fewer wire bytes under /2. *)
+let test_wire_equality_across_framings () =
+  with_server (fun ~address ~snap_dir:_ ->
+      let script client =
+        let replies = ref [] in
+        let call frame =
+          replies := expect_ok (Client.call client frame) :: !replies
+        in
+        call (open_frame_for "eq");
+        call (Wire.Feed { session = "eq"; colors = [| 0; 1 |]; counts = [| 3; 2 |] });
+        call (Wire.Step { session = "eq"; rounds = 2 });
+        (* 9 jobs against queue_limit 6: a shed reply. *)
+        call (Wire.Feed { session = "eq"; colors = [| 2 |]; counts = [| 9 |] });
+        call (Wire.Stats { session = "eq" });
+        call (Wire.Close { session = "eq" });
+        List.rev_map Wire.encode !replies
+      in
+      let c1 = Client.connect address in
+      let replies1 = script c1 in
+      let v1_bytes = Client.bytes_sent c1 + Client.bytes_received c1 in
+      Client.close c1;
+      let c2 = Client.connect address in
+      (match Client.negotiate c2 ~wire:2 with
+      | Ok () -> ()
+      | Error m -> Alcotest.fail m);
+      let replies2 = script c2 in
+      let v2_bytes = Client.bytes_sent c2 + Client.bytes_received c2 in
+      Client.close c2;
+      Alcotest.(check (list string))
+        "identical replies across framings" replies1 replies2;
+      (* v2 even pays for an extra hello exchange and still wins. *)
+      check_bool "binary framing moved fewer bytes" true (v2_bytes < v1_bytes))
+
 let prop = QCheck_alcotest.to_alcotest
 
 let suite =
@@ -601,12 +978,23 @@ let suite =
         Alcotest.test_case "malformed lines stay line-synced" `Quick
           test_wire_malformed_lines;
       ] );
+    ( "server.wire2",
+      [
+        prop prop_wire2_roundtrip;
+        prop prop_wire2_framed_roundtrip;
+        Alcotest.test_case "garbage resync (newline + magic)" `Quick
+          test_wire2_garbage_resync;
+        Alcotest.test_case "frame larger than the reader chunk" `Quick
+          test_wire2_large_frame;
+      ] );
     ( "server.session",
       [
         Alcotest.test_case "shed + conservation" `Quick
           test_session_shed_and_conservation;
         Alcotest.test_case "close/release idempotent trace" `Quick
           test_session_close_idempotent_trace;
+        Alcotest.test_case "save failure removes the temp file" `Quick
+          test_session_save_failure_cleans_tmp;
       ] );
     ( "server.stepper",
       [
@@ -626,5 +1014,17 @@ let suite =
           test_server_survives_malformed;
         Alcotest.test_case "drain + restore continuity" `Quick
           test_server_drain_restore;
+        Alcotest.test_case "restore validates embedded names" `Quick
+          test_restore_validates_names;
+        Alcotest.test_case "unresolvable hosts fail cleanly" `Quick
+          test_unknown_host;
+        Alcotest.test_case "open constructs outside the manager lock" `Quick
+          test_open_constructs_outside_lock;
+        Alcotest.test_case "/2 negotiation + garbage resync" `Quick
+          test_wire2_live_negotiation;
+        Alcotest.test_case "max_wire=1 pins the server to /1" `Quick
+          test_server_pinned_to_wire1;
+        Alcotest.test_case "/1 and /2 replies are identical" `Quick
+          test_wire_equality_across_framings;
       ] );
   ]
