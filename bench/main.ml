@@ -11,6 +11,7 @@
      dune exec bench/main.exe -- sweep             # multicore sweep grid
      dune exec bench/main.exe -- sweep --inject-crash  # + failure isolation
      dune exec bench/main.exe -- serve             # E18 serving throughput
+     dune exec bench/main.exe -- snap              # E19 snapshot growth
      dune exec bench/main.exe -- tables --json F   # tables + BENCH json
 
    --json FILE serializes the results of the selected mode to FILE using
@@ -19,7 +20,8 @@
    (sweep mode) adds tasks whose policy raises, proving the sweep
    completes degraded with attributable errors. *)
 
-let usage = "all | tables | micro | sweep | serve [--json FILE] [--inject-crash]"
+let usage =
+  "all | tables | micro | sweep | serve | snap [--json FILE] [--inject-crash]"
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -45,6 +47,7 @@ let () =
   | "micro" -> Micro.run ()
   | "sweep" -> Sweep_bench.run ?json ~inject_crash ()
   | "serve" -> Serve_bench.run ?json ()
+  | "snap" -> Snap_bench.run ?json ()
   | "all" ->
       Experiments.run_all ?json ();
       Micro.run ()

@@ -1,0 +1,183 @@
+(* E19 — snapshot size and save/restore latency vs session age.
+
+   Two identically-fed steppers (same seeded workload as E18: ~n jobs
+   per round across 8 colors, dlru-edf) age side by side: one plain
+   (rrs-snap/1, the replay base is the full arrival history) and one
+   checkpointing every [checkpoint_interval] rounds (rrs-snap/2, the
+   replay base is the latest materialized-state checkpoint). At each
+   round milestone both are snapshotted to disk and restored back, and
+   the bench reports document bytes, save latency, restore latency and
+   whether the document still fits an inline [snapshotted] reply frame
+   (the wire's max_frame).
+
+   The claim under test: /1 grows linearly with rounds served — bytes,
+   save and restore all O(total arrivals) — until the document cannot
+   cross the wire at all, while /2 stays flat at O(checkpoint interval)
+   however long the session runs. *)
+
+module Stepper = Rrs_sim.Stepper
+module Ledger = Rrs_sim.Ledger
+module Clock = Rrs_obs.Clock
+module Wire = Rrs_server.Wire
+
+let policy_key = "dlru-edf"
+let policy : (module Rrs_sim.Policy.POLICY) = (module Rrs_core.Policy_lru_edf)
+let bounds = [| 2; 3; 4; 6; 8; 12; 16; 24 |]
+let colors = Array.length bounds
+let delta = 4
+let n = 8
+let checkpoint_interval = 256
+
+(* The last milestone pushes the /1 document past Wire.max_frame, so the
+   run demonstrates both the growth curve and the point where only /2
+   can still snapshot inline. *)
+let milestones = [ 1_000; 5_000; 10_000; 20_000; 40_000; 60_000 ]
+
+let us_of_ns span = Int64.to_int (Int64.div span 1000L)
+
+let feed_round random stepper =
+  let counts = Array.make colors 0 in
+  for _ = 1 to n do
+    let c = Random.State.int random colors in
+    counts.(c) <- counts.(c) + 1
+  done;
+  let request =
+    List.filter (fun (_, k) -> k > 0)
+      (List.init colors (fun c -> (c, counts.(c))))
+  in
+  Stepper.feed stepper request;
+  Stepper.step stepper
+
+type sample = {
+  s_bytes : int;
+  s_save_us : int;
+  s_restore_us : int;
+  s_inline_ok : bool; (* fits one inline snapshotted reply frame *)
+}
+
+let measure dir ~version stepper =
+  let path =
+    Filename.concat dir (Printf.sprintf "e19-v%d.sess.jsonl" version)
+  in
+  let t0 = Clock.now_ns () in
+  Stepper.save stepper ~path;
+  let s_save_us = us_of_ns (Int64.sub (Clock.now_ns ()) t0) in
+  let doc = In_channel.with_open_bin path In_channel.input_all in
+  let t1 = Clock.now_ns () in
+  (match Stepper.restore ~record_events:false ~policy doc with
+  | Ok _ -> ()
+  | Error message ->
+      Printf.ksprintf failwith "E19: /%d restore failed: %s" version message);
+  let s_restore_us = us_of_ns (Int64.sub (Clock.now_ns ()) t1) in
+  let reply =
+    Wire.to_wire Wire.V1
+      (Wire.Snapshotted { session = "e19"; path = None; doc = Some doc })
+  in
+  {
+    s_bytes = String.length doc;
+    s_save_us;
+    s_restore_us;
+    s_inline_ok = String.length reply <= Wire.max_frame;
+  }
+
+let run ?json () =
+  let dir = Filename.temp_file "rrs-snap-bench" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let table =
+    Rrs_stats.Table.create
+      ~title:
+        (Printf.sprintf
+           "E19 snapshot growth (policy %s, /2 checkpoint every %d rounds)"
+           policy_key checkpoint_interval)
+      ~columns:
+        [ "rounds"; "snap"; "bytes"; "save us"; "restore us"; "inline" ]
+  in
+  let bench =
+    Option.map
+      (fun path ->
+        (Rrs_stats.Bench_io.create ~tag:(Rrs_stats.Bench_io.tag_of_path path),
+         path))
+      json
+  in
+  Option.iter
+    (fun (b, _) ->
+      Rrs_stats.Bench_io.start_experiment b ~id:"E19"
+        ~claim:
+          "rrs-snap/1 snapshot size and save/restore latency grow linearly \
+           with rounds served until the document exceeds the wire frame \
+           limit; rrs-snap/2 checkpointed snapshots stay flat at \
+           O(checkpoint interval) and remain inline-frameable at every \
+           session age.")
+    bench;
+  let ok = ref true in
+  (try
+     let config version =
+       { Stepper.name = Printf.sprintf "e19-v%d" version; delta; bounds; n;
+         speed = 1; horizon = 0 }
+     in
+     let v1 = Stepper.create ~record_events:false ~policy (config 1) in
+     let v2 =
+       Stepper.create ~record_events:false ~checkpoint_every:checkpoint_interval
+         ~policy (config 2)
+     in
+     let random1 = Random.State.make [| 0xE19; 1 |] in
+     let random2 = Random.State.make [| 0xE19; 1 |] in
+     let rounds_done = ref 0 in
+     List.iter
+       (fun milestone ->
+         let t0 = Clock.now_s () in
+         for _ = !rounds_done + 1 to milestone do
+           feed_round random1 v1;
+           feed_round random2 v2
+         done;
+         rounds_done := milestone;
+         List.iter
+           (fun (version, stepper) ->
+             let sample = measure dir ~version stepper in
+             let ledger = Stepper.ledger stepper in
+             Rrs_stats.Table.add_row table
+               [
+                 Rrs_stats.Table.cell_int milestone;
+                 Printf.sprintf "/%d" version;
+                 Rrs_stats.Table.cell_int sample.s_bytes;
+                 Rrs_stats.Table.cell_int sample.s_save_us;
+                 Rrs_stats.Table.cell_int sample.s_restore_us;
+                 (if sample.s_inline_ok then "yes" else "NO");
+               ];
+             Option.iter
+               (fun (b, _) ->
+                 Rrs_stats.Bench_io.record b ~policy:policy_key
+                   ~workload:
+                     (Printf.sprintf "snap-age-%d-v%d" milestone version)
+                   ~n ~delta
+                   ~cost:(Ledger.total_cost ledger)
+                   ~reconfig_count:(Ledger.reconfig_count ledger)
+                   ~drop_count:(Ledger.drop_count ledger)
+                   ~exec_count:(Ledger.exec_count ledger)
+                   ~wall_s:(Clock.elapsed_s t0)
+                   ~extras:
+                     [
+                       ("snap_version", version);
+                       ("rounds", milestone);
+                       ("snap_bytes", sample.s_bytes);
+                       ("save_us", sample.s_save_us);
+                       ("restore_us", sample.s_restore_us);
+                       ( "checkpoint_every",
+                         if version = 2 then checkpoint_interval else 0 );
+                       ("inline_frameable", if sample.s_inline_ok then 1 else 0);
+                     ]
+                   ())
+               bench)
+           [ (1, v1); (2, v2) ])
+       milestones
+   with e ->
+     ok := false;
+     Format.eprintf "snap bench failed: %s@." (Printexc.to_string e));
+  Rrs_stats.Table.print table;
+  Option.iter
+    (fun (b, path) ->
+      Rrs_stats.Bench_io.write b ~path;
+      Format.eprintf "wrote %s@." path)
+    bench;
+  if not !ok then exit 1

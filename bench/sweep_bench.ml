@@ -41,6 +41,8 @@ module Crashy : Rrs_sim.Policy.POLICY = struct
   let on_arrival () ~round:_ ~request:_ = ()
   let reconfigure () _view = failwith "injected crash (--inject-crash)"
   let stats () = []
+  let serialize () = "{}"
+  let deserialize () _ = ()
 end
 
 (* 4 policies x 4 loads x 4 seeds = 64 runs. Seeds are derived from the

@@ -681,7 +681,37 @@ let serve_cmd =
         "Highest wire version to negotiate (default 2). With --wire 1 the \
          server refuses rrs-wire/2 hellos."
   in
-  let run () socket tcp snap_dir trace_dir domains queue_limit no_restore wire =
+  let snap_version =
+    Arg.(
+      value & opt int 0
+      & info [ "snap-version" ] ~docv:"1|2"
+          ~doc:
+            "Session snapshot schema (default 2). 2 = rrs-snap/2: sessions \
+             checkpoint their materialized state and snapshots embed only \
+             the arrivals since the last checkpoint, so snapshot size and \
+             restore time stay bounded however long the session runs. 1 = \
+             rrs-snap/1: full-history replay (restored rrs-snap/2 \
+             snapshots are never downgraded).")
+  in
+  let checkpoint_every =
+    Arg.(
+      value & opt int 0
+      & info [ "checkpoint-every" ] ~docv:"ROUNDS"
+          ~doc:
+            "Checkpoint interval of rrs-snap/2 sessions (0 = built-in \
+             default). Requires --snap-version 2.")
+  in
+  let max_reply =
+    Arg.(
+      value & opt int 0
+      & info [ "max-reply" ] ~docv:"BYTES"
+          ~doc:
+            "Reply frame size cap (0 = the wire limit). Oversize replies — \
+             an inline snapshot of a deep session — are answered with an \
+             error naming the limit instead of an un-receivable frame.")
+  in
+  let run () socket tcp snap_dir trace_dir domains queue_limit no_restore wire
+      snap_version checkpoint_every max_reply =
     let address = or_die (address_of_args socket tcp) in
     let max_wire = or_die (check_wire ~default:2 wire) in
     let config =
@@ -692,6 +722,9 @@ let serve_cmd =
         domains;
         queue_limit;
         max_wire;
+        snap_version;
+        checkpoint_every;
+        max_reply;
       }
     in
     match Rrs_server.Server.serve ~restore:(not no_restore) config with
@@ -710,7 +743,8 @@ let serve_cmd =
           (binary) per connection when the client asks for it.")
     Term.(
       const run $ verbose_arg $ socket_arg $ tcp_arg $ snap_dir $ trace_dir
-      $ domains $ queue_limit $ no_restore $ wire)
+      $ domains $ queue_limit $ no_restore $ wire $ snap_version
+      $ checkpoint_every $ max_reply)
 
 (* The client script language, one command per line ('#' comments):
      hello

@@ -23,6 +23,7 @@ type t = {
   mutable timestamp_updates : int;
   mutable timestamp_event_log : (int * int) list; (* reverse chronological *)
   record_timestamp_events : bool;
+  on_timestamp : (round:int -> color:int -> unit) option;
 }
 
 let fresh_info () =
@@ -40,7 +41,7 @@ let fresh_info () =
     last_timestamp = 0;
   }
 
-let create ?(record_timestamp_events = false) ~delta ~bounds () =
+let create ?(record_timestamp_events = false) ?on_timestamp ~delta ~bounds () =
   let num_colors = Array.length bounds in
   let groups = Hashtbl.create 8 in
   Array.iteri
@@ -61,6 +62,7 @@ let create ?(record_timestamp_events = false) ~delta ~bounds () =
     timestamp_updates = 0;
     timestamp_event_log = [];
     record_timestamp_events;
+    on_timestamp;
   }
 
 let num_colors t = Array.length t.info
@@ -101,7 +103,10 @@ let note_timestamp t color ~round =
     info.last_timestamp <- current;
     t.timestamp_updates <- t.timestamp_updates + 1;
     if t.record_timestamp_events then
-      t.timestamp_event_log <- (round, color) :: t.timestamp_event_log
+      t.timestamp_event_log <- (round, color) :: t.timestamp_event_log;
+    match t.on_timestamp with
+    | None -> ()
+    | Some hook -> hook ~round ~color
   end
 
 let iter_boundary_colors t ~round f =
@@ -176,3 +181,78 @@ let stats t =
   ]
 
 let timestamp_events t = List.rev t.timestamp_event_log
+
+(* ---- serialization (the rrs-snap/2 policy-blob building blocks) ----
+
+   Field fragments, not a whole object, so a policy can splice them into
+   its own flat blob next to its cached set and counters. The timestamp
+   event log is deliberately NOT serialized: it grows with rounds served,
+   which is exactly what checkpointed snapshots exist to avoid — its only
+   consumer (super-epoch counting) is maintained incrementally via
+   [on_timestamp] instead. *)
+
+module Json = Rrs_sim.Event_sink.Json
+
+let ints_to_json values =
+  let buffer = Buffer.create 64 in
+  Buffer.add_char buffer '[';
+  Array.iteri
+    (fun i v ->
+      if i > 0 then Buffer.add_char buffer ',';
+      Buffer.add_string buffer (string_of_int v))
+    values;
+  Buffer.add_char buffer ']';
+  Buffer.contents buffer
+
+let serialize_fields t =
+  let per_color f = ints_to_json (Array.map f t.info) in
+  let bool b = if b then 1 else 0 in
+  Printf.sprintf
+    "\"cs_cnt\":%s,\"cs_dd\":%s,\"cs_eligible\":%s,\"cs_last_wrap\":%s,\
+     \"cs_prev_wrap\":%s,\"cs_prev2_wrap\":%s,\"cs_epochs_ended\":%s,\
+     \"cs_active\":%s,\"cs_eligible_drops\":%s,\"cs_ineligible_drops\":%s,\
+     \"cs_last_timestamp\":%s,\"cs_wraps\":%d,\"cs_timestamp_updates\":%d"
+    (per_color (fun i -> i.cnt))
+    (per_color (fun i -> i.dd))
+    (per_color (fun i -> bool i.eligible))
+    (per_color (fun i -> i.last_wrap))
+    (per_color (fun i -> i.prev_wrap))
+    (per_color (fun i -> i.prev2_wrap))
+    (per_color (fun i -> i.epochs_ended))
+    (per_color (fun i -> bool i.active_in_epoch))
+    (per_color (fun i -> i.eligible_drops))
+    (per_color (fun i -> i.ineligible_drops))
+    (per_color (fun i -> i.last_timestamp))
+    t.wraps t.timestamp_updates
+
+let deserialize_fields t fields =
+  let colors = num_colors t in
+  let per_color key apply =
+    let values = Json.ints_field fields key in
+    if Array.length values <> colors then
+      raise
+        (Json.Parse_error
+           (Printf.sprintf "field %S: %d values for %d colors" key
+              (Array.length values) colors));
+    Array.iteri (fun color v -> apply t.info.(color) v) values
+  in
+  let as_bool key v =
+    match v with
+    | 0 -> false
+    | 1 -> true
+    | _ -> raise (Json.Parse_error (Printf.sprintf "field %S: expected 0/1" key))
+  in
+  per_color "cs_cnt" (fun i v -> i.cnt <- v);
+  per_color "cs_dd" (fun i v -> i.dd <- v);
+  per_color "cs_eligible" (fun i v -> i.eligible <- as_bool "cs_eligible" v);
+  per_color "cs_last_wrap" (fun i v -> i.last_wrap <- v);
+  per_color "cs_prev_wrap" (fun i v -> i.prev_wrap <- v);
+  per_color "cs_prev2_wrap" (fun i v -> i.prev2_wrap <- v);
+  per_color "cs_epochs_ended" (fun i v -> i.epochs_ended <- v);
+  per_color "cs_active" (fun i v -> i.active_in_epoch <- as_bool "cs_active" v);
+  per_color "cs_eligible_drops" (fun i v -> i.eligible_drops <- v);
+  per_color "cs_ineligible_drops" (fun i v -> i.ineligible_drops <- v);
+  per_color "cs_last_timestamp" (fun i v -> i.last_timestamp <- v);
+  t.wraps <- Json.int_field fields "cs_wraps";
+  t.timestamp_updates <- Json.int_field fields "cs_timestamp_updates";
+  t.timestamp_event_log <- []

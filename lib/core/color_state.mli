@@ -23,7 +23,17 @@
 
 type t
 
-val create : ?record_timestamp_events:bool -> delta:int -> bounds:int array -> unit -> t
+(** [on_timestamp] is invoked once per timestamp-update event, in
+    chronological order, as the event happens — the incremental
+    alternative to [record_timestamp_events] for consumers (super-epoch
+    tracking) that must not hold the whole event log. *)
+val create :
+  ?record_timestamp_events:bool ->
+  ?on_timestamp:(round:int -> color:int -> unit) ->
+  delta:int ->
+  bounds:int array ->
+  unit ->
+  t
 
 val num_colors : t -> int
 
@@ -68,3 +78,16 @@ val stats : t -> (string * int) list
 (** Chronological [(round, color)] timestamp-update events (empty unless
     [record_timestamp_events] was set). Used to count super-epochs. *)
 val timestamp_events : t -> (int * int) list
+
+(** The per-color state as [rrs-snap/2] policy-blob field fragments
+    (["cs_"]-prefixed keys, no surrounding braces), for policies to splice
+    into their own flat JSON blob. The timestamp event log is not
+    serialized — it grows with rounds served; incremental consumers use
+    [on_timestamp] instead. *)
+val serialize_fields : t -> string
+
+(** Applies fields written by {!serialize_fields} to a freshly created
+    state with the same [delta]/[bounds].
+    @raise Rrs_sim.Event_sink.Json.Parse_error on missing fields or
+    per-color arrays whose length disagrees with [num_colors]. *)
+val deserialize_fields : t -> (string * Rrs_sim.Event_sink.Json.value) list -> unit

@@ -16,26 +16,51 @@ let eligible_drops stats = stat stats "eligible_drops"
 let ineligible_drops stats = stat stats "ineligible_drops"
 let wraps stats = stat stats "wraps"
 
-(** Count super-epochs from chronological timestamp-update events
-    (Section 3.4): a super-epoch ends the moment at least [watermark]
-    distinct colors have updated their timestamps since it started; the
-    trailing partial super-epoch counts when nonempty. For Theorem 1 the
-    watermark is [2m = n/4]. *)
+(** Incremental super-epoch state (Section 3.4): a super-epoch ends the
+    moment at least [watermark] distinct colors have updated their
+    timestamps since it started; the trailing partial super-epoch counts
+    when nonempty. For Theorem 1 the watermark is [2m = n/4]. Fed one
+    event at a time, the state is O(watermark) regardless of how many
+    events have been tracked — unlike the full event log. *)
+type tracker = {
+  watermark : int;
+  seen : (int, unit) Hashtbl.t;
+  mutable complete : int;
+}
+
+let tracker ~watermark =
+  if watermark < 1 then invalid_arg "Instrument.tracker: watermark < 1";
+  { watermark; seen = Hashtbl.create 16; complete = 0 }
+
+let track t ~color =
+  if not (Hashtbl.mem t.seen color) then begin
+    Hashtbl.replace t.seen color ();
+    if Hashtbl.length t.seen >= t.watermark then begin
+      t.complete <- t.complete + 1;
+      Hashtbl.reset t.seen
+    end
+  end
+
+let tracker_count t = t.complete + (if Hashtbl.length t.seen > 0 then 1 else 0)
+
+(* State accessors for policy serialization. *)
+let tracker_complete t = t.complete
+
+let tracker_seen t =
+  Hashtbl.fold (fun color () acc -> color :: acc) t.seen [] |> List.sort Int.compare
+
+let tracker_restore t ~complete ~seen =
+  t.complete <- complete;
+  Hashtbl.reset t.seen;
+  List.iter (fun color -> Hashtbl.replace t.seen color ()) seen
+
+(** Count super-epochs from a full chronological event log (the batch
+    form of {!tracker}). *)
 let super_epochs ~watermark events =
   if watermark < 1 then invalid_arg "Instrument.super_epochs: watermark < 1";
-  let seen = Hashtbl.create 16 in
-  let complete = ref 0 in
-  List.iter
-    (fun (_round, color) ->
-      if not (Hashtbl.mem seen color) then begin
-        Hashtbl.replace seen color ();
-        if Hashtbl.length seen >= watermark then begin
-          incr complete;
-          Hashtbl.reset seen
-        end
-      end)
-    events;
-  !complete + (if Hashtbl.length seen > 0 then 1 else 0)
+  let t = tracker ~watermark in
+  List.iter (fun (_round, color) -> track t ~color) events;
+  tracker_count t
 
 (** The Lemma 3.3 bound: reconfiguration cost is at most
     [4 * numEpochs * delta]. *)

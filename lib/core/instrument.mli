@@ -13,11 +13,37 @@ val eligible_drops : (string * int) list -> int
 val ineligible_drops : (string * int) list -> int
 val wraps : (string * int) list -> int
 
-(** Count super-epochs from chronological [(round, color)]
-    timestamp-update events (Section 3.4): a super-epoch ends the moment
-    at least [watermark] distinct colors have updated their timestamps
-    since it started; a trailing partial super-epoch counts when
-    nonempty. For Theorem 1 the watermark is [2m = n/4].
+(** Incremental super-epoch counter (Section 3.4): a super-epoch ends
+    the moment at least [watermark] distinct colors have updated their
+    timestamps since it started; a trailing partial super-epoch counts
+    when nonempty. For Theorem 1 the watermark is [2m = n/4]. The state
+    is O(watermark) no matter how many events are tracked, so policies
+    can maintain super-epoch counts without retaining the event log. *)
+type tracker
+
+(** @raise Invalid_argument if [watermark < 1]. *)
+val tracker : watermark:int -> tracker
+
+(** Feed one timestamp-update event. Events must arrive in chronological
+    order (as {!Color_state}'s [on_timestamp] hook delivers them). *)
+val track : tracker -> color:int -> unit
+
+(** Super-epochs so far, counting a nonempty trailing partial one. *)
+val tracker_count : tracker -> int
+
+(** Completed super-epochs (excludes the trailing partial one). For
+    serialization. *)
+val tracker_complete : tracker -> int
+
+(** Distinct colors seen in the current (partial) super-epoch, ascending.
+    For serialization. *)
+val tracker_seen : tracker -> int list
+
+(** Overwrite the tracker with serialized state. *)
+val tracker_restore : tracker -> complete:int -> seen:int list -> unit
+
+(** Count super-epochs from a full chronological [(round, color)] event
+    log — the batch form of {!tracker}.
     @raise Invalid_argument if [watermark < 1]. *)
 val super_epochs : watermark:int -> (int * int) list -> int
 

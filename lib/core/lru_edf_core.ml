@@ -11,6 +11,7 @@ end) : Rrs_sim.Policy.POLICY = struct
     lru_slots : int; (* distinct colors in the LRU set *)
     edf_slots : int; (* distinct colors in the EDF set *)
     state : Color_state.t;
+    se : Instrument.tracker; (* super-epochs, fed incrementally *)
     lru_half : (Types.color, unit) Hashtbl.t;
     edf_half : (Types.color, unit) Hashtbl.t;
     target : Types.color option array; (* reusable reconfigure buffer *)
@@ -27,11 +28,19 @@ end) : Rrs_sim.Policy.POLICY = struct
     let lru_slots =
       int_of_float (Float.round (Config.lru_share *. float_of_int distinct))
     in
+    (* Super-epochs (Section 3.4) with the Theorem 1 watermark 2m = n/4
+       (at least 1 so the count is defined for tiny n), maintained
+       incrementally so no per-round event log accumulates. *)
+    let se = Instrument.tracker ~watermark:(max 1 (n / 4)) in
     {
       n;
       lru_slots;
       edf_slots = distinct - lru_slots;
-      state = Color_state.create ~record_timestamp_events:true ~delta ~bounds ();
+      state =
+        Color_state.create
+          ~on_timestamp:(fun ~round:_ ~color -> Instrument.track se ~color)
+          ~delta ~bounds ();
+      se;
       lru_half = Hashtbl.create 16;
       edf_half = Hashtbl.create 16;
       target = Array.make n None;
@@ -98,17 +107,45 @@ end) : Rrs_sim.Policy.POLICY = struct
       ~want ()
 
   let stats t =
-    (* Super-epochs (Section 3.4) with the Theorem 1 watermark 2m = n/4
-       (at least 1 so the count is defined for tiny n). *)
-    let watermark = max 1 (t.n / 4) in
-    let super_epochs =
-      Instrument.super_epochs ~watermark (Color_state.timestamp_events t.state)
-    in
     ("cached", Hashtbl.length t.lru_half + Hashtbl.length t.edf_half)
     :: ("edf_evictions", t.evictions)
     :: ("lru_promotions", t.lru_promotions)
-    :: ("super_epochs", super_epochs)
+    :: ("super_epochs", Instrument.tracker_count t.se)
     :: Color_state.stats t.state
+
+  module Json = Rrs_sim.Event_sink.Json
+
+  let half_list half =
+    Hashtbl.fold (fun color () acc -> color :: acc) half []
+    |> List.sort Int.compare
+
+  let serialize t =
+    Printf.sprintf
+      "{\"lru\":%s,\"edf\":%s,\"evictions\":%d,\"promotions\":%d,\
+       \"se_complete\":%d,\"se_seen\":%s,%s}"
+      (Json.ints (half_list t.lru_half))
+      (Json.ints (half_list t.edf_half))
+      t.evictions t.lru_promotions
+      (Instrument.tracker_complete t.se)
+      (Json.ints (Instrument.tracker_seen t.se))
+      (Color_state.serialize_fields t.state)
+
+  let deserialize t blob =
+    let fields = Json.parse_fields blob in
+    Color_state.deserialize_fields t.state fields;
+    t.evictions <- Json.int_field fields "evictions";
+    t.lru_promotions <- Json.int_field fields "promotions";
+    Instrument.tracker_restore t.se
+      ~complete:(Json.int_field fields "se_complete")
+      ~seen:(Array.to_list (Json.ints_field fields "se_seen"));
+    Hashtbl.reset t.lru_half;
+    Hashtbl.reset t.edf_half;
+    Array.iter
+      (fun color -> Hashtbl.replace t.lru_half color ())
+      (Json.ints_field fields "lru");
+    Array.iter
+      (fun color -> Hashtbl.replace t.edf_half color ())
+      (Json.ints_field fields "edf")
 end
 
 let with_share share : (module Rrs_sim.Policy.POLICY) =

@@ -70,3 +70,24 @@ let stats t =
   ("cached", Hashtbl.length t.cached)
   :: ("evictions", t.evictions)
   :: Color_state.stats t.state
+
+module Json = Rrs_sim.Event_sink.Json
+
+let cached_list cached =
+  Hashtbl.fold (fun color () acc -> color :: acc) cached []
+  |> List.sort Int.compare
+
+let serialize t =
+  Printf.sprintf "{\"cached\":%s,\"evictions\":%d,%s}"
+    (Json.ints (cached_list t.cached))
+    t.evictions
+    (Color_state.serialize_fields t.state)
+
+let deserialize t blob =
+  let fields = Json.parse_fields blob in
+  Color_state.deserialize_fields t.state fields;
+  t.evictions <- Json.int_field fields "evictions";
+  Hashtbl.reset t.cached;
+  Array.iter
+    (fun color -> Hashtbl.replace t.cached color ())
+    (Json.ints_field fields "cached")

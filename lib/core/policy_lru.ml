@@ -45,3 +45,22 @@ let reconfigure t (view : Rrs_sim.Policy.view) =
     ~want ()
 
 let stats t = ("cached", Hashtbl.length t.cached) :: Color_state.stats t.state
+
+module Json = Rrs_sim.Event_sink.Json
+
+let cached_list cached =
+  Hashtbl.fold (fun color () acc -> color :: acc) cached []
+  |> List.sort Int.compare
+
+let serialize t =
+  Printf.sprintf "{\"cached\":%s,%s}"
+    (Json.ints (cached_list t.cached))
+    (Color_state.serialize_fields t.state)
+
+let deserialize t blob =
+  let fields = Json.parse_fields blob in
+  Color_state.deserialize_fields t.state fields;
+  Hashtbl.reset t.cached;
+  Array.iter
+    (fun color -> Hashtbl.replace t.cached color ())
+    (Json.ints_field fields "cached")

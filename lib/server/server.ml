@@ -11,11 +11,14 @@ type config = {
   domains : int; (* worker domains; 0 = Sweep.default_domains () *)
   queue_limit : int; (* per-session default; 0 = Session default *)
   max_wire : int; (* highest wire version negotiable; 0 = both (2) *)
+  snap_version : int; (* session snapshot schema; 0 = default (2) *)
+  checkpoint_every : int; (* checkpoint interval; 0 = per-version default *)
+  max_reply : int; (* reply frame size cap; 0 = Wire.max_frame *)
 }
 
 let default_config address =
   { address; snap_dir = None; trace_dir = None; domains = 0; queue_limit = 0;
-    max_wire = 2 }
+    max_wire = 2; snap_version = 0; checkpoint_every = 0; max_reply = 0 }
 
 (* ---- session manager ---- *)
 
@@ -26,6 +29,9 @@ type manager = {
   m_trace_dir : string option;
   m_snap_dir : string option;
   m_max_wire : int;
+  m_snap_version : int; (* 1 or 2 *)
+  m_checkpoint_every : int option; (* None = Session's per-version default *)
+  m_max_reply : int;
 }
 
 let with_manager m f =
@@ -81,6 +87,7 @@ let handle_open m ~session ~policy ~delta ~bounds ~n ~speed ~horizon
        losing racer tears its session down again. *)
     match
       Session.create ~name:session ~policy ~queue_limit
+        ~snap_version:m.m_snap_version ?checkpoint_every:m.m_checkpoint_every
         ?trace_dir:m.m_trace_dir config
     with
     | Error message -> Wire.Error_frame { message }
@@ -239,6 +246,26 @@ let conn_shutdown_all table =
     table.c_fds;
   Mutex.unlock table.c_mutex
 
+(* A reply longer than [m_max_reply] (<= [Wire.max_frame]) is
+   un-receivable: the peer's reader rejects any frame over its cap as
+   malformed, so writing one — an inline snapshot of a session with a
+   deep history, say — would desynchronize or kill the connection.
+   Answer a clean [error] naming the limit instead; the connection (and
+   the session) survives, and the snapshot is still reachable through
+   the file path. *)
+let write_reply manager ~framing output reply =
+  let bytes = Wire.to_wire framing reply in
+  if String.length bytes <= manager.m_max_reply then begin
+    output_string output bytes;
+    flush output
+  end
+  else
+    Wire.write ~framing output
+      (err
+         "reply frame of %d bytes exceeds the %d-byte frame limit; \
+          request the snapshot to a file (snapshot with a path) instead"
+         (String.length bytes) manager.m_max_reply)
+
 let serve_connection manager stopping fd =
   let input = Wire.reader (Unix.in_channel_of_descr fd) in
   let output = Unix.out_channel_of_descr fd in
@@ -249,7 +276,8 @@ let serve_connection manager stopping fd =
       match Wire.read ~framing:!framing input with
       | Wire.Eof -> ()
       | Wire.Malformed message ->
-          Wire.write ~framing:!framing output (Wire.Error_frame { message });
+          write_reply manager ~framing:!framing output
+            (Wire.Error_frame { message });
           loop ()
       | Wire.Frame (Wire.Hello { client_version }) ->
           (* The reply goes out in the framing the hello arrived in;
@@ -269,7 +297,7 @@ let serve_connection manager stopping fd =
               Wire.Error_frame
                 { message = "internal error: " ^ Printexc.to_string e }
           in
-          Wire.write ~framing:!framing output reply;
+          write_reply manager ~framing:!framing output reply;
           loop ()
   in
   (try loop () with Sys_error _ | End_of_file -> ());
@@ -388,7 +416,9 @@ let restore_sessions manager =
           if Filename.check_suffix file ".sess.jsonl" then begin
             let path = Filename.concat dir file in
             match
-              Session.load ?trace_dir:manager.m_trace_dir ~path ()
+              Session.load ?trace_dir:manager.m_trace_dir
+                ~snap_version:manager.m_snap_version
+                ?checkpoint_every:manager.m_checkpoint_every ~path ()
             with
             | Ok session ->
                 let name = Session.name session in
@@ -437,6 +467,19 @@ let start ?(restore = true) config =
      already absorbs. Unavailable on some platforms, hence the try. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ -> ());
+  let snap_version = if config.snap_version = 1 then 1 else 2 in
+  if config.snap_version <> 0 && config.snap_version <> 1
+     && config.snap_version <> 2 then
+    failwith
+      (Printf.sprintf "unsupported snapshot version %d (known: 1, 2)"
+         config.snap_version);
+  if config.checkpoint_every < 0 then
+    failwith
+      (Printf.sprintf "negative checkpoint interval %d" config.checkpoint_every);
+  if snap_version = 1 && config.checkpoint_every > 0 then
+    failwith
+      "a checkpoint interval requires snapshot version 2 (rrs-snap/1 cannot \
+       compact history)";
   let manager =
     {
       m_mutex = Mutex.create ();
@@ -445,6 +488,13 @@ let start ?(restore = true) config =
       m_trace_dir = config.trace_dir;
       m_snap_dir = config.snap_dir;
       m_max_wire = (if config.max_wire = 1 then 1 else 2);
+      m_snap_version = snap_version;
+      m_checkpoint_every =
+        (if config.checkpoint_every > 0 then Some config.checkpoint_every
+         else None);
+      m_max_reply =
+        (if config.max_reply > 0 then min config.max_reply Wire.max_frame
+         else Wire.max_frame);
     }
   in
   Option.iter
@@ -478,6 +528,13 @@ let start ?(restore = true) config =
             | [], _, _ -> loop ()
             | _ :: _, _, _ -> (
                 match Unix.accept listen_fd with
+                | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+                    (* Same retry as select above: a signal landing
+                       between the select and the accept must not drop
+                       the pending connection (or, under the catch-all
+                       below with [stopping] racing true, the whole
+                       accept loop). *)
+                    loop ()
                 | exception Unix.Unix_error _ ->
                     if Atomic.get stopping then () else loop ()
                 | fd, _addr ->

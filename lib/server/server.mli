@@ -38,6 +38,21 @@ type config = {
       (** highest wire version the server will negotiate: [1] pins every
           connection to [rrs-wire/1]; anything else (the default, [2])
           also accepts [rrs-wire/2] upgrades *)
+  snap_version : int;
+      (** session snapshot schema: [1] = [rrs-snap/1] (full-history
+          replay, no checkpointing), [0] or [2] = [rrs-snap/2]
+          (checkpointed). Restored /2 snapshots are never downgraded *)
+  checkpoint_every : int;
+      (** checkpoint interval for version-2 sessions; [0] =
+          {!Session.default_checkpoint_every}. Requires
+          [snap_version <> 1] when positive *)
+  max_reply : int;
+      (** reply frame size cap in bytes; [0] = {!Wire.max_frame}
+          (values above it are clamped). A reply that would exceed the
+          cap — an inline snapshot of a deep session — is replaced by an
+          [error] naming the limit, because the peer's reader could
+          never receive the frame anyway; snapshot-to-file is the
+          unbounded path *)
 }
 
 val default_config : address -> config

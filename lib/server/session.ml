@@ -4,11 +4,13 @@ module Json = Rrs_sim.Event_sink.Json
 
 let snapshot_schema = "rrs-sess/1"
 let default_queue_limit = 4096
+let default_checkpoint_every = 256
 
 type t = {
   name : string;
   policy_key : string;
   queue_limit : int;
+  snap_version : int; (* stepper snapshot schema this session writes *)
   mutex : Mutex.t;
   stepper : Stepper.t;
   probes : Probe.registry;
@@ -32,11 +34,35 @@ let resolve_policy key =
         (Printf.sprintf "unknown policy %S (known: %s)" key
            (String.concat ", " Rrs_core.Policies.names))
 
-let make ~name ~policy_key ~queue_limit ~trace stepper probes =
+(* The version/interval pair a session runs with. [snap_version]
+   defaults to 2 (checkpointed snapshots); [checkpoint_every] defaults
+   per version: [default_checkpoint_every] under /2, 0 (never) under /1
+   — a /1 session must never compact, or its own snapshot would become
+   unwritable. *)
+let resolve_versioning ?snap_version ?checkpoint_every () =
+  let version = Option.value snap_version ~default:2 in
+  if version <> 1 && version <> 2 then
+    Error (Printf.sprintf "unsupported snapshot version %d (known: 1, 2)" version)
+  else
+    match checkpoint_every with
+    | Some k when k < 0 ->
+        Error (Printf.sprintf "negative checkpoint interval %d" k)
+    | Some k when k > 0 && version = 1 ->
+        Error
+          (Printf.sprintf
+             "checkpoint interval %d requires snapshot version 2 \
+              (rrs-snap/1 cannot compact history)"
+             k)
+    | Some k -> Ok (version, k)
+    | None ->
+        Ok (version, if version = 2 then default_checkpoint_every else 0)
+
+let make ~name ~policy_key ~queue_limit ~snap_version ~trace stepper probes =
   {
     name;
     policy_key;
     queue_limit;
+    snap_version;
     mutex = Mutex.create ();
     stepper;
     probes;
@@ -54,28 +80,36 @@ let open_trace trace_dir name =
       let channel = open_out path in
       (Some channel, Some (Rrs_sim.Event_sink.Jsonl channel))
 
-let create ~name ~policy:policy_key ?(queue_limit = 0) ?trace_dir
-    (config : Stepper.config) =
+let create ~name ~policy:policy_key ?(queue_limit = 0) ?snap_version
+    ?checkpoint_every ?trace_dir (config : Stepper.config) =
   let queue_limit =
     if queue_limit > 0 then queue_limit else default_queue_limit
   in
-  match resolve_policy policy_key with
+  match resolve_versioning ?snap_version ?checkpoint_every () with
   | Error _ as e -> e
-  | Ok policy -> (
-      let trace, sink = open_trace trace_dir name in
-      let probes = Probe.create_registry () in
-      match
-        Stepper.create ?sink ~probes ~label:("session " ^ name) ~policy config
-      with
-      | stepper ->
-          Ok (make ~name ~policy_key ~queue_limit ~trace stepper probes)
-      | exception Invalid_argument message ->
-          Option.iter close_out trace;
-          Error message)
+  | Ok (snap_version, checkpoint_every) -> (
+      match resolve_policy policy_key with
+      | Error _ as e -> e
+      | Ok policy -> (
+          let trace, sink = open_trace trace_dir name in
+          let probes = Probe.create_registry () in
+          match
+            Stepper.create ?sink ~probes ~checkpoint_every
+              ~label:("session " ^ name) ~policy config
+          with
+          | stepper ->
+              Ok
+                (make ~name ~policy_key ~queue_limit ~snap_version ~trace
+                   stepper probes)
+          | exception Invalid_argument message ->
+              Option.iter close_out trace;
+              Error message))
 
 let name t = t.name
 let policy_key t = t.policy_key
 let queue_limit t = t.queue_limit
+let snap_version t = t.snap_version
+let checkpoint_every t = Stepper.checkpoint_every t.stepper
 
 type feed_result =
   | Accepted of { accepted : int; buffered : int }
@@ -192,17 +226,21 @@ let stats t =
       })
 
 (* ---- snapshot: one rrs-sess/1 header line + the embedded rrs-snap/1
-   stepper document ---- *)
+   or /2 stepper document. The header declares the body's version
+   ([snap_version], absent = 1 for pre-/2 files) so a restore can detect
+   a spliced or truncated-and-recombined document before replaying
+   it. ---- *)
 
 let header_line t =
   Printf.sprintf
     "{\"schema\":%s,\"session\":%s,\"policy\":%s,\"queue_limit\":%d,\
-     \"fed\":%d,\"shed\":%d}"
+     \"fed\":%d,\"shed\":%d,\"snap_version\":%d}"
     (Json.escape snapshot_schema) (Json.escape t.name)
-    (Json.escape t.policy_key) t.queue_limit t.fed t.shed
+    (Json.escape t.policy_key) t.queue_limit t.fed t.shed t.snap_version
 
 let snapshot t =
-  locked t (fun () -> header_line t ^ "\n" ^ Stepper.snapshot t.stepper)
+  locked t (fun () ->
+      header_line t ^ "\n" ^ Stepper.snapshot ~version:t.snap_version t.stepper)
 
 let save t ~path =
   (* Atomic, as Stepper.save: protected close so a failure mid-write
@@ -242,7 +280,21 @@ let release t =
         Stepper.abort t.stepper ~reason:"session released";
       close_trace t)
 
-let restore ?trace_dir text =
+(* The schema string the embedded stepper document actually carries (its
+   first line), when one is readable — the version cross-check below;
+   unreadable bodies fall through to [Stepper.restore] for a precise
+   parse error. *)
+let body_schema rest =
+  let first =
+    match String.index_opt rest '\n' with
+    | None -> rest
+    | Some i -> String.sub rest 0 i
+  in
+  match Json.str_field (Json.parse_fields first) "schema" with
+  | schema -> Some schema
+  | exception Json.Parse_error _ -> None
+
+let restore ?trace_dir ?snap_version ?checkpoint_every text =
   match String.index_opt text '\n' with
   | None -> Error "session snapshot: missing stepper document"
   | Some newline -> (
@@ -264,31 +316,77 @@ let restore ?trace_dir text =
               let queue_limit = Json.int_field fields "queue_limit" in
               let fed = Json.int_field fields "fed" in
               let shed = Json.int_field fields "shed" in
-              match resolve_policy policy_key with
-              | Error _ as e -> e
-              | Ok policy -> (
-                  let trace, sink = open_trace trace_dir name in
-                  let probes = Probe.create_registry () in
-                  match
-                    Stepper.restore ?sink ~probes
-                      ~label:("session " ^ name) ~policy rest
-                  with
-                  | Ok stepper ->
-                      let t =
-                        make ~name ~policy_key ~queue_limit ~trace stepper
-                          probes
-                      in
-                      t.fed <- fed;
-                      t.shed <- shed;
-                      Probe.add t.shed_jobs shed;
-                      Ok t
-                  | Error _ as e ->
-                      Option.iter close_out trace;
-                      e)
+              (* Absent in pre-/2 files, which always embedded /1. *)
+              let declared = Json.opt_int_field fields "snap_version" ~default:1 in
+              if declared <> 1 && declared <> 2 then
+                Error
+                  (Printf.sprintf
+                     "session snapshot declares unsupported snap_version %d"
+                     declared)
+              else
+                let declared_schema = Stepper.schema_of_version declared in
+                match body_schema rest with
+                | Some schema when schema <> declared_schema ->
+                    Error
+                      (Printf.sprintf
+                         "session snapshot declares snap_version %d (%s) but \
+                          embeds a %S stepper document: spliced or corrupt \
+                          snapshot"
+                         declared declared_schema schema)
+                | _ -> (
+                    (* A /2 server override upgrades a /1 document on its
+                       next snapshot; a /1 override never downgrades a /2
+                       one (its base cannot replay from round 0). *)
+                    let snap_version =
+                      match snap_version with
+                      | None -> declared
+                      | Some v -> max v declared
+                    in
+                    let checkpoint_override =
+                      match checkpoint_every with
+                      | Some _ as k -> k
+                      | None ->
+                          if snap_version = 2 && declared = 1 then
+                            Some default_checkpoint_every
+                          else None
+                    in
+                    match checkpoint_override with
+                    | Some k when k < 0 ->
+                        Error
+                          (Printf.sprintf "negative checkpoint interval %d" k)
+                    | Some k when k > 0 && snap_version = 1 ->
+                        Error
+                          (Printf.sprintf
+                             "checkpoint interval %d requires snapshot \
+                              version 2 (rrs-snap/1 cannot compact history)"
+                             k)
+                    | _ -> (
+                        match resolve_policy policy_key with
+                        | Error _ as e -> e
+                        | Ok policy -> (
+                            let trace, sink = open_trace trace_dir name in
+                            let probes = Probe.create_registry () in
+                            match
+                              Stepper.restore ?sink ~probes
+                                ?checkpoint_every:checkpoint_override
+                                ~label:("session " ^ name) ~policy rest
+                            with
+                            | Ok stepper ->
+                                let t =
+                                  make ~name ~policy_key ~queue_limit
+                                    ~snap_version ~trace stepper probes
+                                in
+                                t.fed <- fed;
+                                t.shed <- shed;
+                                Probe.add t.shed_jobs shed;
+                                Ok t
+                            | Error _ as e ->
+                                Option.iter close_out trace;
+                                e)))
           with Json.Parse_error message ->
             Error ("session snapshot header: " ^ message)))
 
-let load ?trace_dir ~path () =
+let load ?trace_dir ?snap_version ?checkpoint_every ~path () =
   match In_channel.with_open_bin path In_channel.input_all with
-  | text -> restore ?trace_dir text
+  | text -> restore ?trace_dir ?snap_version ?checkpoint_every text
   | exception Sys_error message -> Error message

@@ -14,9 +14,16 @@
     [accepted = execs + drops + pool pending + buffered].
 
     {b Snapshot} (schema [rrs-sess/1]): one header line carrying the
-    session name, policy key, queue limit and fed/shed totals, followed
-    by the stepper's embedded [rrs-snap/1] document. [restore] rebuilds
-    the stepper by deterministic replay (see {!Rrs_sim.Stepper}). *)
+    session name, policy key, queue limit, fed/shed totals and the
+    embedded stepper document's version ([snap_version]: 1 or 2,
+    absent = 1 in pre-/2 files), followed by that [rrs-snap/1] or [/2]
+    document. [restore] cross-checks the declared version against the
+    schema the body actually carries — a mismatch is a spliced or
+    corrupt file, rejected before any replay — then rebuilds the
+    stepper by deterministic replay (see {!Rrs_sim.Stepper}). Sessions
+    default to [rrs-snap/2] with a checkpoint every
+    {!default_checkpoint_every} rounds, which bounds snapshot size and
+    restore time by the interval instead of the session's lifetime. *)
 
 val snapshot_schema : string
 (** ["rrs-sess/1"]. *)
@@ -24,17 +31,27 @@ val snapshot_schema : string
 val default_queue_limit : int
 (** Backlog bound used when [create]'s [queue_limit] is 0 or absent. *)
 
+val default_checkpoint_every : int
+(** Checkpoint interval of a version-2 session when [checkpoint_every]
+    is absent. *)
+
 type t
 
 (** [create ~name ~policy config] opens a session at round 0. [policy]
     is a registry key ({!Rrs_core.Policies}); [trace_dir], when given,
     streams the session's [rrs-events/2] document to
-    [<trace_dir>/<name>.events.jsonl]. Errors (unknown policy, invalid
-    config) are returned, never raised. *)
+    [<trace_dir>/<name>.events.jsonl]. [snap_version] (default 2)
+    selects the snapshot schema; [checkpoint_every] (default
+    {!default_checkpoint_every} under version 2, 0 under version 1)
+    the stepper's checkpoint interval. Errors (unknown policy, invalid
+    config, unknown version, a positive interval under version 1) are
+    returned, never raised. *)
 val create :
   name:string ->
   policy:string ->
   ?queue_limit:int ->
+  ?snap_version:int ->
+  ?checkpoint_every:int ->
   ?trace_dir:string ->
   Rrs_sim.Stepper.config ->
   (t, string) result
@@ -42,6 +59,12 @@ val create :
 val name : t -> string
 val policy_key : t -> string
 val queue_limit : t -> int
+
+(** The stepper snapshot version this session writes (1 or 2). *)
+val snap_version : t -> int
+
+(** The stepper's checkpoint interval (0 = never). *)
+val checkpoint_every : t -> int
 
 type feed_result =
   | Accepted of { accepted : int; buffered : int }
@@ -80,7 +103,8 @@ type stats = {
 
 val stats : t -> stats
 
-(** The session as an [rrs-sess/1] document. *)
+(** The session as an [rrs-sess/1] document (embedded stepper schema per
+    {!snap_version}). *)
 val snapshot : t -> string
 
 (** Atomic write of {!snapshot} (temp + rename); on failure the channel
@@ -96,8 +120,26 @@ val close : t -> (int, string) result
     record): used when the server stops without drain. *)
 val release : t -> unit
 
-(** Rebuild a session from an [rrs-sess/1] document. *)
-val restore : ?trace_dir:string -> string -> (t, string) result
+(** Rebuild a session from an [rrs-sess/1] document. Rejects a document
+    whose declared [snap_version] disagrees with the schema the embedded
+    stepper document carries. [snap_version], when given, is the
+    server's preference for {e future} snapshots: the session adopts
+    [max declared preference] — an upgrade re-snapshots a /1 document as
+    /2 (gaining a {!default_checkpoint_every} interval unless
+    [checkpoint_every] overrides it), while a /2 document is never
+    downgraded (its checkpoint base cannot replay from round 0). *)
+val restore :
+  ?trace_dir:string ->
+  ?snap_version:int ->
+  ?checkpoint_every:int ->
+  string ->
+  (t, string) result
 
 (** {!restore} from a file. *)
-val load : ?trace_dir:string -> path:string -> unit -> (t, string) result
+val load :
+  ?trace_dir:string ->
+  ?snap_version:int ->
+  ?checkpoint_every:int ->
+  path:string ->
+  unit ->
+  (t, string) result

@@ -129,6 +129,16 @@ let write_summary t ~delta ~reconfigs ~failed ~drops ~execs =
            ((delta * reconfigs) + drops)
            reconfigs (delta * reconfigs) failed drops execs)
 
+let write_restored t ~round ~reconfigs ~failed ~drops ~execs =
+  match t with
+  | Null | Memory _ -> ()
+  | Jsonl channel ->
+      write_line channel
+        (Printf.sprintf
+           "{\"type\":\"restored\",\"round\":%d,\"reconfigs\":%d,\
+            \"failed\":%d,\"drops\":%d,\"execs\":%d}"
+           round reconfigs failed drops execs)
+
 let write_aborted t ~round ~reason =
   match t with
   | Null | Memory _ -> ()
@@ -149,6 +159,17 @@ module Json = struct
   exception Parse_error of string
 
   let escape = escape
+
+  let ints values =
+    let buffer = Buffer.create 64 in
+    Buffer.add_char buffer '[';
+    List.iteri
+      (fun i v ->
+        if i > 0 then Buffer.add_char buffer ',';
+        Buffer.add_string buffer (string_of_int v))
+      values;
+    Buffer.add_char buffer ']';
+    Buffer.contents buffer
 
   let parse_fields text =
     let len = String.length text in
@@ -334,6 +355,8 @@ type line =
   | Event of event
   | Round of round_snapshot
   | Summary of summary
+  | Restored of { res_round : int; res_reconfigs : int; res_failed : int;
+                  res_drops : int; res_execs : int }
   | Aborted of { ab_round : int; ab_reason : string }
 
 let parse_line text =
@@ -441,6 +464,16 @@ let parse_line text =
                        opt_int_field fields "failed_reconfig_count" ~default:0;
                      sum_drop_count = int_field fields "drop_count";
                      sum_exec_count = int_field fields "exec_count";
+                   })
+          | "restored" ->
+              Ok
+                (Restored
+                   {
+                     res_round = int_field fields "round";
+                     res_reconfigs = int_field fields "reconfigs";
+                     res_failed = int_field fields "failed";
+                     res_drops = int_field fields "drops";
+                     res_execs = int_field fields "execs";
                    })
           | "aborted" ->
               Ok

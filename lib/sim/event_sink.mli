@@ -21,6 +21,7 @@
     {"type":"round","round":r,"pending":q,"reconfigs":a,"drops":b,"execs":e}
     {"type":"summary","cost":C,"reconfig_count":R,"reconfig_cost":X,
      "failed_reconfig_count":F,"drop_count":D,"exec_count":E}
+    {"type":"restored","round":r,"reconfigs":a,"failed":f,"drops":b,"execs":e}
     {"type":"aborted","round":r,"reason":"..."}
     v}
     ["previous"] is [null] for a black (unconfigured) location. The
@@ -32,7 +33,16 @@
     rrs-events/2 extends rrs-events/1 with the [crash], [repair],
     [reconfig_failed] and [aborted] line types and the summary's
     [failed_reconfig_count] field; {!parse_line} still accepts
-    rrs-events/1 files (the new field defaults to 0). *)
+    rrs-events/1 files (the new field defaults to 0).
+
+    A ["restored"] line (written by {!write_restored} right after the
+    header) marks a trace whose stepper was seeded from an [rrs-snap/2]
+    checkpoint: the stream carries only events from [round] on, and the
+    line's counters are the totals already accumulated before it.
+    Readers folding event counts (e.g. [Rrs_stats.Report]) seed their
+    totals from it so the closing summary still reconciles. This is a
+    documented in-version extension of rrs-events/2 — traces without the
+    line are unchanged. *)
 
 type event =
   | Reconfig of { round : int; mini_round : int; location : int;
@@ -85,6 +95,13 @@ val write_summary :
   t -> delta:int -> reconfigs:int -> failed:int -> drops:int -> execs:int ->
   unit
 
+(** Marks a trace seeded from a checkpoint at [round] with the totals
+    accumulated before it ([failed] included in [reconfigs], as in the
+    summary). Written once, right after the header. *)
+val write_restored :
+  t -> round:int -> reconfigs:int -> failed:int -> drops:int -> execs:int ->
+  unit
+
 (** Closing record of a run that died before its summary (e.g. a policy
     exception at [round]). *)
 val write_aborted : t -> round:int -> reason:string -> unit
@@ -108,6 +125,9 @@ module Json : sig
 
   (** Quote and escape a string as a JSON string literal. *)
   val escape : string -> string
+
+  (** Render an int list as a JSON array literal, e.g. [[1,2,3]]. *)
+  val ints : int list -> string
 
   (** Parse one [{"key":value,...}] object. @raise Parse_error *)
   val parse_fields : string -> (string * value) list
@@ -156,6 +176,8 @@ type line =
   | Event of event
   | Round of round_snapshot
   | Summary of summary
+  | Restored of { res_round : int; res_reconfigs : int; res_failed : int;
+                  res_drops : int; res_execs : int }
   | Aborted of { ab_round : int; ab_reason : string }
 
 (** Parse one JSONL line (either schema version). *)

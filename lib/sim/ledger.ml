@@ -57,6 +57,12 @@ let record_crash t ~round ~location =
 let record_repair t ~round ~location =
   Event_sink.record t.sink (Repair { round; location })
 
+let seed t ~reconfigs ~failed ~drops ~execs =
+  t.reconfigs <- reconfigs;
+  t.failed <- failed;
+  t.drops <- drops;
+  t.execs <- execs
+
 let reconfig_count t = t.reconfigs
 let failed_reconfig_count t = t.failed
 let drop_count t = t.drops

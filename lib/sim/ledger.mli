@@ -56,6 +56,11 @@ val record_crash : t -> round:int -> location:int -> unit
 
 val record_repair : t -> round:int -> location:int -> unit
 
+(** Overwrite the counters without emitting events — the checkpoint seed
+    of an [rrs-snap/2] restore, where the totals up to the checkpoint are
+    carried by the snapshot rather than replayed. *)
+val seed : t -> reconfigs:int -> failed:int -> drops:int -> execs:int -> unit
+
 (** All paid reconfigurations, failed ones included. *)
 val reconfig_count : t -> int
 

@@ -49,6 +49,23 @@ module type POLICY = sig
   (** Algorithm-specific counters exposed for experiments (epochs, wraps,
       eligible/ineligible drop split, ...). *)
   val stats : t -> (string * int) list
+
+  (** The policy's internal state as one flat JSON object (string keys;
+      int, string or int-array values — the dialect
+      {!Event_sink.Json.parse_fields} reads). Together with
+      [deserialize] this is the materialized-state replay base of
+      [rrs-snap/2] checkpoints: the blob must capture everything the
+      policy needs to continue deterministically, and its size must be
+      bounded by the instance (colors, locations), never by the rounds
+      served. *)
+  val serialize : t -> string
+
+  (** [deserialize t blob] applies a {!serialize}d blob to a state
+      freshly built by [create] with the same [n]/[delta]/[bounds].
+      After it returns, [t] must behave exactly as the serialized state
+      did. @raise Event_sink.Json.Parse_error (or [Invalid_argument]) on
+      a blob this policy did not write. *)
+  val deserialize : t -> string -> unit
 end
 
 (** A policy packaged with the constructor arguments it needs, for

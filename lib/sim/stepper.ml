@@ -5,6 +5,12 @@ module Json = Event_sink.Json
 let phase_names = [ "drop"; "arrival"; "reconfig"; "execute" ]
 
 let snapshot_schema = "rrs-snap/1"
+let snapshot_schema_v2 = "rrs-snap/2"
+
+let schema_of_version = function
+  | 1 -> snapshot_schema
+  | 2 -> snapshot_schema_v2
+  | v -> invalid_arg (Printf.sprintf "Stepper: unknown snapshot version %d" v)
 
 type config = {
   name : string;
@@ -57,6 +63,8 @@ type policy_instance = {
   p_on_arrival : round:int -> request:Types.request -> unit;
   p_reconfigure : Policy.view -> Types.color option array;
   p_stats : unit -> (string * int) list;
+  p_serialize : unit -> string;
+  p_deserialize : string -> unit;
 }
 
 let instantiate (module P : Policy.POLICY) ~n ~delta ~bounds =
@@ -67,7 +75,29 @@ let instantiate (module P : Policy.POLICY) ~n ~delta ~bounds =
     p_on_arrival = (fun ~round ~request -> P.on_arrival state ~round ~request);
     p_reconfigure = (fun view -> P.reconfigure state view);
     p_stats = (fun () -> P.stats state);
+    p_serialize = (fun () -> P.serialize state);
+    p_deserialize = (fun blob -> P.deserialize state blob);
   }
+
+(* A materialized-state checkpoint: the [rrs-snap/2] replay base.
+   Everything a fresh stepper needs to stand at [ck_round] as if it had
+   replayed rounds [0..ck_round-1]: the pool's deadline multisets, the
+   physical assignment, the offline set, the ledger counters, and the
+   policy's serialized internal state. Its size is bounded by the
+   instance (colors x distinct deadlines, locations, policy blob), never
+   by the rounds served. *)
+type checkpoint = {
+  ck_round : int;
+  ck_accepted : int;
+  ck_pending : (int * (int * int) list) list; (* color -> deadline multiset *)
+  ck_assignment : int array; (* -1 = unconfigured *)
+  ck_offline : int list;
+  ck_reconfigs : int;
+  ck_failed : int;
+  ck_drops : int;
+  ck_execs : int;
+  ck_policy : string; (* the policy's [serialize] blob *)
+}
 
 type t = {
   config : config;
@@ -84,22 +114,28 @@ type t = {
   faults : Fault.compiled option;
   assignment : Types.color option array;
   offline : bool array;
+  checkpoint_every : int; (* 0 = never checkpoint (full-history replay) *)
+  mutable base : checkpoint option; (* latest checkpoint, if any *)
   mutable offline_count : int;
   mutable round : int; (* the round the next [step] executes *)
   mutable buffered : Types.request list; (* fed chunks, newest first *)
   mutable buffered_jobs : int;
   mutable accepted_jobs : int; (* total jobs accepted by [feed] *)
   mutable history : (int * Types.request) list;
-      (* Every consumed arrival, newest first: the deterministic-replay
-         base for [snapshot]/[restore]. Retained for the stepper's whole
-         lifetime, so a long-lived serving session pays O(total arrivals)
-         memory, snapshot size and restore replay time; see ROADMAP for
-         the compaction follow-on (materialized-state replay base). *)
+      (* Consumed arrivals since the latest checkpoint (all of them when
+         [checkpoint_every = 0]), newest first: the delta section of the
+         deterministic-replay base for [snapshot]/[restore]. With
+         checkpointing on, [step] truncates this at every checkpoint, so
+         its length — and with it snapshot size and restore replay time —
+         is O(checkpoint_every), not O(total arrivals). *)
   mutable finished : bool;
 }
 
 let create ?(record_events = true) ?sink ?probes ?(profile = false) ?faults
-    ?(label = "Stepper") ~policy:(module P : Policy.POLICY) config =
+    ?(checkpoint_every = 0) ?(label = "Stepper")
+    ~policy:(module P : Policy.POLICY) config =
+  if checkpoint_every < 0 then
+    invalid_arg (label ^ ": negative checkpoint_every");
   if config.n < 1 then invalid_arg (label ^ ": n must be >= 1");
   if config.speed < 1 then invalid_arg (label ^ ": speed must be >= 1");
   if config.delta < 1 then invalid_arg (label ^ ": delta must be >= 1");
@@ -143,6 +179,8 @@ let create ?(record_events = true) ?sink ?probes ?(profile = false) ?faults
     faults = faults_compiled;
     assignment = Array.make config.n None;
     offline = Array.make config.n false;
+    checkpoint_every;
+    base = None;
     offline_count = 0;
     round = 0;
     buffered = [];
@@ -161,6 +199,9 @@ let policy_name t = t.pi.p_name
 let config t = t.config
 let finished t = t.finished
 let assignment t = Array.copy t.assignment
+let checkpoint_every t = t.checkpoint_every
+let base_round t = match t.base with None -> 0 | Some ck -> ck.ck_round
+let history_rounds t = List.length t.history
 
 let feed t request =
   if t.finished then invalid_arg (t.label ^ ": feed after finish");
@@ -202,6 +243,41 @@ let rec is_normalized prev = function
       count > 0 && color > prev && is_normalized color rest
 
 let idle_mark = { Profile.mark_s = 0.0; mark_minor = 0.0 }
+
+let offline_list offline =
+  let acc = ref [] in
+  for location = Array.length offline - 1 downto 0 do
+    if offline.(location) then acc := location :: !acc
+  done;
+  !acc
+
+(* Materialize the current state as the new replay base and drop the
+   arrival history it supersedes. Called between rounds (the fed buffer
+   has been consumed), so the checkpoint is exactly "the state at the
+   start of round [t.round]". *)
+let take_checkpoint t =
+  let pending = ref [] in
+  for color = Array.length t.config.bounds - 1 downto 0 do
+    match Job_pool.deadlines t.pool color with
+    | [] -> ()
+    | deadlines -> pending := (color, deadlines) :: !pending
+  done;
+  t.base <-
+    Some
+      {
+        ck_round = t.round;
+        ck_accepted = t.accepted_jobs;
+        ck_pending = !pending;
+        ck_assignment =
+          Array.map (function None -> -1 | Some c -> c) t.assignment;
+        ck_offline = offline_list t.offline;
+        ck_reconfigs = Ledger.reconfig_count t.ledger;
+        ck_failed = Ledger.failed_reconfig_count t.ledger;
+        ck_drops = Ledger.drop_count t.ledger;
+        ck_execs = Ledger.exec_count t.ledger;
+        ck_policy = t.pi.p_serialize ();
+      };
+  t.history <- []
 
 let step t =
   if t.finished then invalid_arg (t.label ^ ": step after finish");
@@ -350,7 +426,9 @@ let step t =
     ~reconfigs:(Ledger.reconfig_count ledger - reconfigs0)
     ~drops:(Ledger.drop_count ledger - drops0)
     ~execs:(Ledger.exec_count ledger - execs0);
-  t.round <- round + 1
+  t.round <- round + 1;
+  if t.checkpoint_every > 0 && t.round mod t.checkpoint_every = 0 then
+    take_checkpoint t
 
 let abort t ~reason =
   Event_sink.write_aborted t.sink ~round:t.round ~reason;
@@ -376,15 +454,19 @@ let finish t =
     profile = (if t.profile then Some t.prof else None);
   }
 
-(* ---- snapshot (rrs-snap/1) ----
+(* ---- snapshot (rrs-snap/1 and /2) ----
 
    The document's source of truth for restore is the deterministic replay
-   section: config + fault plan + every consumed arrival + the still
-   buffered feed. The [check_*] lines carry the materialized scheduler
-   state (pool deadlines, assignment, offline set, ledger counters);
-   [restore] replays and cross-checks them, so a snapshot that does not
-   reproduce (nondeterministic policy, version drift) fails loudly
-   instead of silently diverging. *)
+   section: config + fault plan + a replay base + the arrivals to replay
+   on top of it + the still buffered feed. In rrs-snap/1 the base is
+   round 0 and the arrivals are the complete history; in rrs-snap/2 the
+   base is the latest materialized-state checkpoint ([base_*] lines) and
+   the arrivals are only those consumed since it. Either way the
+   [check_*] lines carry the current materialized scheduler state (pool
+   deadlines, assignment, offline set, ledger counters); [restore]
+   replays and cross-checks them, so a snapshot that does not reproduce
+   (nondeterministic policy, a policy-serialization bug, version drift)
+   fails loudly instead of silently diverging. *)
 
 let ints_to_json array =
   let buffer = Buffer.create 64 in
@@ -403,19 +485,50 @@ let request_fields request =
   Printf.sprintf "\"colors\":%s,\"counts\":%s" (ints_to_json colors)
     (ints_to_json counts)
 
-let snapshot t =
+let pending_fields deadlines =
+  let ds = Array.of_list (List.map fst deadlines) in
+  let ks = Array.of_list (List.map snd deadlines) in
+  Printf.sprintf "\"deadlines\":%s,\"counts\":%s" (ints_to_json ds)
+    (ints_to_json ks)
+
+let snapshot ?version t =
+  let version =
+    match version with
+    | Some v -> v
+    | None -> if t.checkpoint_every > 0 || t.base <> None then 2 else 1
+  in
+  let schema = schema_of_version version in
+  if version = 1 && t.base <> None then
+    invalid_arg
+      (t.label
+     ^ ": cannot write rrs-snap/1 after checkpoint compaction (the arrival \
+        history no longer reaches round 0); snapshot with version 2");
   let buffer = Buffer.create 1024 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buffer s;
                                    Buffer.add_char buffer '\n') fmt in
-  line
-    "{\"schema\":%s,\"name\":%s,\"delta\":%d,\"n\":%d,\"speed\":%d,\
-     \"horizon\":%d,\"bounds\":%s,\"policy\":%s,\"round\":%d,\"accepted\":%d}"
-    (Json.escape snapshot_schema)
-    (Json.escape t.config.name)
-    t.config.delta t.config.n t.config.speed t.config.horizon
-    (ints_to_json t.config.bounds)
-    (Json.escape t.pi.p_name)
-    t.round t.accepted_jobs;
+  (match version with
+  | 1 ->
+      line
+        "{\"schema\":%s,\"name\":%s,\"delta\":%d,\"n\":%d,\"speed\":%d,\
+         \"horizon\":%d,\"bounds\":%s,\"policy\":%s,\"round\":%d,\
+         \"accepted\":%d}"
+        (Json.escape schema)
+        (Json.escape t.config.name)
+        t.config.delta t.config.n t.config.speed t.config.horizon
+        (ints_to_json t.config.bounds)
+        (Json.escape t.pi.p_name)
+        t.round t.accepted_jobs
+  | _ ->
+      line
+        "{\"schema\":%s,\"name\":%s,\"delta\":%d,\"n\":%d,\"speed\":%d,\
+         \"horizon\":%d,\"bounds\":%s,\"policy\":%s,\"round\":%d,\
+         \"accepted\":%d,\"checkpoint_every\":%d}"
+        (Json.escape schema)
+        (Json.escape t.config.name)
+        t.config.delta t.config.n t.config.speed t.config.horizon
+        (ints_to_json t.config.bounds)
+        (Json.escape t.pi.p_name)
+        t.round t.accepted_jobs t.checkpoint_every);
   (match t.fault_plan with
   | None -> ()
   | Some plan ->
@@ -431,6 +544,28 @@ let snapshot t =
           line "{\"type\":\"fault_reconfig\",\"round\":%d,\"location\":%d}"
             rf_round rf_location)
         plan.Fault.reconfig_failures);
+  (* The /2 replay base: restore seeds this state directly instead of
+     replaying rounds [0..base.round-1]. *)
+  (match t.base with
+  | None -> ()
+  | Some ck ->
+      line "{\"type\":\"base\",\"round\":%d,\"accepted\":%d}" ck.ck_round
+        ck.ck_accepted;
+      List.iter
+        (fun (color, deadlines) ->
+          line "{\"type\":\"base_pending\",\"color\":%d,%s}" color
+            (pending_fields deadlines))
+        ck.ck_pending;
+      line "{\"type\":\"base_assignment\",\"colors\":%s}"
+        (ints_to_json ck.ck_assignment);
+      if ck.ck_offline <> [] then
+        line "{\"type\":\"base_offline\",\"locations\":%s}"
+          (ints_to_json (Array.of_list ck.ck_offline));
+      line
+        "{\"type\":\"base_counters\",\"reconfigs\":%d,\"failed\":%d,\
+         \"drops\":%d,\"execs\":%d}"
+        ck.ck_reconfigs ck.ck_failed ck.ck_drops ck.ck_execs;
+      line "{\"type\":\"base_policy\",\"blob\":%s}" (Json.escape ck.ck_policy));
   List.iter
     (fun (round, request) ->
       line "{\"type\":\"arrival\",\"round\":%d,%s}" round
@@ -445,21 +580,16 @@ let snapshot t =
       | [] -> ()
       | deadlines ->
           line "{\"type\":\"check_pending\",\"color\":%d,%s}" color
-            (let ds = Array.of_list (List.map fst deadlines) in
-             let ks = Array.of_list (List.map snd deadlines) in
-             Printf.sprintf "\"deadlines\":%s,\"counts\":%s" (ints_to_json ds)
-               (ints_to_json ks)))
+            (pending_fields deadlines))
     t.config.bounds;
   line "{\"type\":\"check_assignment\",\"colors\":%s}"
     (ints_to_json
        (Array.map (function None -> -1 | Some c -> c) t.assignment));
-  let offline =
-    Array.to_list t.offline
-    |> List.mapi (fun i o -> if o then Some i else None)
-    |> List.filter_map Fun.id |> Array.of_list
-  in
-  if Array.length offline > 0 then
-    line "{\"type\":\"check_offline\",\"locations\":%s}" (ints_to_json offline);
+  (match offline_list t.offline with
+  | [] -> ()
+  | offline ->
+      line "{\"type\":\"check_offline\",\"locations\":%s}"
+        (ints_to_json (Array.of_list offline)));
   line
     "{\"type\":\"check_counters\",\"reconfigs\":%d,\"failed\":%d,\
      \"drops\":%d,\"execs\":%d,\"cost\":%d}"
@@ -471,24 +601,27 @@ let snapshot t =
   line "{\"type\":\"end\"}";
   Buffer.contents buffer
 
-let save t ~path =
+let save ?version t ~path =
   (* Atomic, as Trace.save: a drain interrupted mid-write must never
      leave a torn snapshot behind. *)
   let temp = path ^ ".tmp" in
   let out = open_out temp in
   Fun.protect
     ~finally:(fun () -> close_out out)
-    (fun () -> output_string out (snapshot t));
+    (fun () -> output_string out (snapshot ?version t));
   Sys.rename temp path
 
 (* ---- restore: replay + cross-check ---- *)
 
 type parsed_snapshot = {
+  ps_version : int; (* 1 or 2, from the schema line *)
+  ps_checkpoint_every : int; (* 0 in /1 documents *)
   ps_config : config;
   ps_policy : string;
   ps_round : int;
   ps_accepted : int;
   ps_faults : Fault.plan option;
+  ps_base : checkpoint option; (* the /2 replay base, when present *)
   ps_arrivals : (int * Types.request) list; (* chronological *)
   ps_buffered : Types.request;
   ps_pending : (int * (int * int) list) list; (* color -> deadline multiset *)
@@ -515,11 +648,12 @@ let parse_snapshot text =
       try
         let fields = Json.parse_fields header in
         let schema = Json.str_field fields "schema" in
-        if schema <> snapshot_schema then
+        if schema <> snapshot_schema && schema <> snapshot_schema_v2 then
           Error
-            (Printf.sprintf "unsupported snapshot schema %S (want %S)" schema
-               snapshot_schema)
+            (Printf.sprintf "unsupported snapshot schema %S (want %S or %S)"
+               schema snapshot_schema snapshot_schema_v2)
         else begin
+          let version = if schema = snapshot_schema then 1 else 2 in
           let ps_config =
             {
               name = Json.str_field fields "name";
@@ -533,10 +667,23 @@ let parse_snapshot text =
           let ps_policy = Json.str_field fields "policy" in
           let ps_round = Json.int_field fields "round" in
           let ps_accepted = Json.int_field fields "accepted" in
+          let ps_checkpoint_every =
+            if version = 1 then 0
+            else Json.int_field fields "checkpoint_every"
+          in
           let crashes = ref [] and fault_reconfigs = ref [] in
           let arrivals = ref [] and buffered = ref [] in
           let pending = ref [] and offline = ref [] in
           let assignment = ref None and counters = ref None in
+          let base_header = ref None and base_pending = ref [] in
+          let base_assignment = ref None and base_offline = ref [] in
+          let base_counters = ref None and base_policy = ref None in
+          let only_v2 kind =
+            if version = 1 then
+              raise
+                (Json.Parse_error
+                   (Printf.sprintf "%S line in an rrs-snap/1 document" kind))
+          in
           let ended = ref false in
           List.iteri
             (fun index line ->
@@ -566,6 +713,42 @@ let parse_snapshot text =
                     (Json.int_field fields "round", parse_request fields)
                     :: !arrivals
               | "buffered" -> buffered := parse_request fields
+              | "base" ->
+                  only_v2 "base";
+                  base_header :=
+                    Some
+                      ( Json.int_field fields "round",
+                        Json.int_field fields "accepted" )
+              | "base_pending" ->
+                  only_v2 "base_pending";
+                  let color = Json.int_field fields "color" in
+                  let ds = Json.ints_field fields "deadlines" in
+                  let ks = Json.ints_field fields "counts" in
+                  if Array.length ds <> Array.length ks then
+                    raise
+                      (Json.Parse_error "deadlines/counts length mismatch");
+                  base_pending :=
+                    ( color,
+                      Array.to_list (Array.map2 (fun d k -> (d, k)) ds ks) )
+                    :: !base_pending
+              | "base_assignment" ->
+                  only_v2 "base_assignment";
+                  base_assignment := Some (Json.ints_field fields "colors")
+              | "base_offline" ->
+                  only_v2 "base_offline";
+                  base_offline :=
+                    Array.to_list (Json.ints_field fields "locations")
+              | "base_counters" ->
+                  only_v2 "base_counters";
+                  base_counters :=
+                    Some
+                      ( Json.int_field fields "reconfigs",
+                        Json.int_field fields "failed",
+                        Json.int_field fields "drops",
+                        Json.int_field fields "execs" )
+              | "base_policy" ->
+                  only_v2 "base_policy";
+                  base_policy := Some (Json.str_field fields "blob")
               | "check_pending" ->
                   let color = Json.int_field fields "color" in
                   let ds = Json.ints_field fields "deadlines" in
@@ -598,10 +781,43 @@ let parse_snapshot text =
             rest;
           if not !ended then Error "truncated snapshot (no end line)"
           else
-            match (!assignment, !counters) with
-            | None, _ -> Error "snapshot missing check_assignment"
-            | _, None -> Error "snapshot missing check_counters"
-            | Some assignment, Some counters ->
+            let base =
+              match !base_header with
+              | None ->
+                  if
+                    !base_pending <> [] || !base_assignment <> None
+                    || !base_offline <> [] || !base_counters <> None
+                    || !base_policy <> None
+                  then Error "base_* lines without a base line"
+                  else Ok None
+              | Some (ck_round, ck_accepted) -> (
+                  match (!base_assignment, !base_counters, !base_policy) with
+                  | None, _, _ -> Error "snapshot missing base_assignment"
+                  | _, None, _ -> Error "snapshot missing base_counters"
+                  | _, _, None -> Error "snapshot missing base_policy"
+                  | ( Some ck_assignment,
+                      Some (ck_reconfigs, ck_failed, ck_drops, ck_execs),
+                      Some ck_policy ) ->
+                      Ok
+                        (Some
+                           {
+                             ck_round;
+                             ck_accepted;
+                             ck_pending = List.rev !base_pending;
+                             ck_assignment;
+                             ck_offline = !base_offline;
+                             ck_reconfigs;
+                             ck_failed;
+                             ck_drops;
+                             ck_execs;
+                             ck_policy;
+                           }))
+            in
+            match (base, !assignment, !counters) with
+            | Error message, _, _ -> Error message
+            | _, None, _ -> Error "snapshot missing check_assignment"
+            | _, _, None -> Error "snapshot missing check_counters"
+            | Ok base, Some assignment, Some counters ->
                 let faults =
                   if !crashes = [] && !fault_reconfigs = [] then None
                   else
@@ -612,11 +828,14 @@ let parse_snapshot text =
                 in
                 Ok
                   {
+                    ps_version = version;
+                    ps_checkpoint_every;
                     ps_config;
                     ps_policy;
                     ps_round;
                     ps_accepted;
                     ps_faults = faults;
+                    ps_base = base;
                     ps_arrivals = List.rev !arrivals;
                     ps_buffered = !buffered;
                     ps_pending = List.rev !pending;
@@ -700,7 +919,48 @@ let verify t ps =
   in
   check_idle 0
 
-let restore ?record_events ?sink ?probes ?profile ?label
+(* Install a checkpoint into a freshly created stepper: re-add the
+   pending jobs (deadlines are >= ck_round >= 0, so a fresh pool accepts
+   them; the next [step]'s drop phase advances the wheel), blit the
+   assignment/offline sets, seed the ledger counters, apply the policy
+   blob, and mark the trace as checkpoint-seeded so readers can reconcile
+   the partial event stream. *)
+let seed_checkpoint t ck =
+  if Array.length ck.ck_assignment <> t.config.n then
+    failwith "base_assignment length differs from n";
+  List.iter
+    (fun (color, deadlines) ->
+      if color < 0 || color >= Array.length t.config.bounds then
+        failwith (Printf.sprintf "base_pending of unknown color %d" color);
+      List.iter
+        (fun (deadline, count) -> Job_pool.add t.pool ~color ~deadline ~count)
+        deadlines)
+    ck.ck_pending;
+  Array.iteri
+    (fun location c ->
+      t.assignment.(location) <- (if c < 0 then None else Some c))
+    ck.ck_assignment;
+  List.iter
+    (fun location ->
+      if location < 0 || location >= t.config.n then
+        failwith
+          (Printf.sprintf "base_offline location %d out of range" location);
+      if not t.offline.(location) then begin
+        t.offline.(location) <- true;
+        t.offline_count <- t.offline_count + 1
+      end)
+    ck.ck_offline;
+  Ledger.seed t.ledger ~reconfigs:ck.ck_reconfigs ~failed:ck.ck_failed
+    ~drops:ck.ck_drops ~execs:ck.ck_execs;
+  t.round <- ck.ck_round;
+  t.accepted_jobs <- ck.ck_accepted;
+  t.pi.p_deserialize ck.ck_policy;
+  t.base <- Some ck;
+  Event_sink.write_restored t.sink ~round:ck.ck_round
+    ~reconfigs:ck.ck_reconfigs ~failed:ck.ck_failed ~drops:ck.ck_drops
+    ~execs:ck.ck_execs
+
+let restore ?record_events ?sink ?probes ?profile ?label ?checkpoint_every
     ~policy:(module P : Policy.POLICY) text =
   let* ps = parse_snapshot text in
   let* () =
@@ -712,13 +972,29 @@ let restore ?record_events ?sink ?probes ?profile ?label
   match
     let t =
       create ?record_events ?sink ?probes ?profile ?faults:ps.ps_faults ?label
+        ~checkpoint_every:
+          (match checkpoint_every with
+          | Some k -> k
+          | None -> ps.ps_checkpoint_every)
         ~policy:(module P) ps.ps_config
     in
-    (* Deterministic replay: re-run every consumed round. The replayed
-       events are re-emitted into the (fresh) sink, so the restored
-       stream is a complete, self-consistent rrs-events document. *)
+    (* Deterministic replay from the base (round 0 for /1, the embedded
+       checkpoint for /2). The replayed events are re-emitted into the
+       (fresh) sink, so the restored stream is a self-consistent
+       rrs-events document — complete for /1, checkpoint-marked for /2. *)
+    let start =
+      match ps.ps_base with
+      | None -> 0
+      | Some ck ->
+          if ck.ck_round > ps.ps_round then
+            failwith
+              (Printf.sprintf "base round %d > snapshot round %d" ck.ck_round
+                 ps.ps_round);
+          seed_checkpoint t ck;
+          ck.ck_round
+    in
     let arrivals = ref ps.ps_arrivals in
-    for round = 0 to ps.ps_round - 1 do
+    for round = start to ps.ps_round - 1 do
       (match !arrivals with
       | (r, request) :: rest when r = round ->
           feed t request;
@@ -730,8 +1006,9 @@ let restore ?record_events ?sink ?probes ?profile ?label
     | [] -> ()
     | (r, _) :: _ ->
         failwith
-          (Printf.sprintf "snapshot arrival at round %d >= snapshot round %d" r
-             ps.ps_round));
+          (Printf.sprintf
+             "snapshot arrival at round %d outside replay range %d..%d" r start
+             (ps.ps_round - 1)));
     feed t ps.ps_buffered;
     t
   with

@@ -15,41 +15,55 @@
     the round the {e next} [step] executes; a round with no feeds is a
     legal idle round.
 
-    {1 Snapshot / restore (schema [rrs-snap/1])}
+    {1 Snapshot / restore (schemas [rrs-snap/1] and [rrs-snap/2])}
 
     [snapshot] captures the full scheduler state as a versioned JSONL
     document; [restore] rebuilds a live stepper from it by {e
     deterministic replay}: the document embeds the config, the fault
-    plan and every arrival consumed so far, and restore re-runs them
-    round by round (policies are deterministic, so this reconstructs the
-    policy's internal state exactly — the one part of the scheduler that
-    has no serialized form). The document also carries the materialized
-    state (pool deadline multisets, assignment, offline set, ledger
-    counters); restore cross-checks the replay against them and fails
-    loudly on any mismatch rather than continuing from a diverged state.
+    plan, a replay base and the arrivals consumed since that base, and
+    restore re-runs them round by round (policies are deterministic, so
+    this reconstructs the policy's live state exactly). The document
+    also carries the current materialized state (pool deadline
+    multisets, assignment, offline set, ledger counters); restore
+    cross-checks the replay against them and fails loudly on any
+    mismatch rather than continuing from a diverged state.
+
+    In [rrs-snap/1] the replay base is round 0 and the document embeds
+    {e every} arrival ever consumed — snapshot size and restore time
+    grow as O(total arrivals fed), which is fine for batch runs and
+    bounded experiments but unbounded for a long-lived serving session.
+
+    [rrs-snap/2] fixes that lifetime bound: with [checkpoint_every = K]
+    (> 0), every K-th round the stepper materializes its state — pool,
+    assignment, offline set, ledger counters, and the policy's
+    {!Policy.POLICY.serialize} blob — as the new replay base and drops
+    the arrival history it supersedes. Snapshots then embed the
+    checkpoint ([base_*] lines) plus at most K rounds of arrivals, so
+    resident history, snapshot bytes and restore replay time are all
+    O(K), independent of the rounds served. [restore] accepts both
+    schemas; a /2 restore seeds the checkpoint, replays only the delta
+    rounds, and still runs every cross-check.
 
     Replayed events are re-emitted into the restored stepper's (fresh)
-    sink, so the stream after a restore is a complete, self-consistent
-    rrs-events document from round 0 — byte-identical to the stream an
-    uninterrupted run would have produced. Restore cost is proportional
-    to the rounds replayed; see ROADMAP for the incremental-snapshot
-    follow-on.
-
-    {b Lifetime bound}: because the replay base is the full arrival
-    history, a stepper retains every consumed request for its whole
-    lifetime — memory, snapshot size and restore time grow as O(total
-    arrivals fed). This is fine for batch runs and bounded serving
-    experiments; a session meant to run indefinitely should be closed
-    and reopened (or snapshotted to disk, not inline — an inline
-    [snapshotted] doc larger than the wire's [max_frame] cannot be
-    framed). Compaction (periodic materialized-state snapshots as the
-    new replay base) is the tracked follow-on. *)
+    sink. For /1 the restored stream is a complete rrs-events document
+    from round 0, byte-identical to an uninterrupted run's. For /2 the
+    stream starts at the checkpoint: a [restored] line written right
+    after the header carries the event totals accumulated before it, so
+    stream readers ({!Rrs_stats.Report}) still reconcile the closing
+    summary against the folded events. *)
 
 (** Phase slot names of [result.profile], in slot order:
     [drop; arrival; reconfig; execute]. *)
 val phase_names : string list
 
 val snapshot_schema : string
+
+(** [rrs-snap/2], the checkpointed snapshot schema. *)
+val snapshot_schema_v2 : string
+
+(** The schema id of a snapshot version (1 or 2).
+    @raise Invalid_argument on any other version. *)
+val schema_of_version : int -> string
 
 (** Static run parameters. [horizon] is nominal for a served session (it
     sizes fault-plan compilation and is echoed in the stream header);
@@ -90,15 +104,20 @@ type t
     [rrs-events/2] header to the sink. Parameters as {!Engine.run};
     [label] prefixes every [Invalid_argument] this stepper raises
     (default ["Stepper"]; [Engine.run] passes its own name so existing
-    error messages are unchanged).
+    error messages are unchanged). [checkpoint_every] (default 0 =
+    never) makes every K-th round materialize a checkpoint and compact
+    the arrival history — see the module docs; a stepper with
+    checkpointing on defaults {!snapshot} to [rrs-snap/2].
     @raise Invalid_argument on [n < 1], [speed < 1], [delta < 1], empty
-    or invalid [bounds], or a fault plan naming a location [>= n]. *)
+    or invalid [bounds], a negative [checkpoint_every], or a fault plan
+    naming a location [>= n]. *)
 val create :
   ?record_events:bool ->
   ?sink:Event_sink.t ->
   ?probes:Rrs_obs.Probe.registry ->
   ?profile:bool ->
   ?faults:Fault.plan ->
+  ?checkpoint_every:int ->
   ?label:string ->
   policy:(module Policy.POLICY) ->
   config ->
@@ -149,24 +168,46 @@ val finished : t -> bool
 (** Copy of the current physical assignment. *)
 val assignment : t -> Types.color option array
 
+(** The checkpoint interval this stepper was created with (0 = never). *)
+val checkpoint_every : t -> int
+
+(** Round of the latest checkpoint — the replay base a snapshot embeds —
+    or 0 when none has been taken (replay starts at round 0 either way). *)
+val base_round : t -> int
+
+(** Rounds currently retained in the arrival history (the replay delta).
+    Bounded by [checkpoint_every] when checkpointing is on; grows with
+    every arrival-carrying round otherwise. *)
+val history_rounds : t -> int
+
 (** {1 Snapshot / restore} *)
 
-(** The full scheduler state as an [rrs-snap/1] JSONL document. *)
-val snapshot : t -> string
+(** The full scheduler state as an [rrs-snap/1] or [/2] JSONL document.
+    [version] defaults to 2 when the stepper checkpoints (or has a base),
+    1 otherwise — so steppers created without [checkpoint_every] emit the
+    same bytes as before.
+    @raise Invalid_argument on a version other than 1 or 2, or on
+    [~version:1] after a checkpoint has compacted the history (the
+    document could no longer replay from round 0). *)
+val snapshot : ?version:int -> t -> string
 
 (** [save t ~path] writes {!snapshot} atomically (temp + rename). *)
-val save : t -> path:string -> unit
+val save : ?version:int -> t -> path:string -> unit
 
-(** [restore ~policy doc] rebuilds a stepper by deterministic replay and
-    cross-checks the result against the document's materialized state
-    (see module docs). [policy] must be the module the snapshot names.
-    Replayed events go to [sink], so the restored stream is complete. *)
+(** [restore ~policy doc] rebuilds a stepper by deterministic replay —
+    from round 0 for [rrs-snap/1], from the embedded checkpoint for
+    [rrs-snap/2] — and cross-checks the result against the document's
+    materialized state (see module docs). [policy] must be the module
+    the snapshot names. [checkpoint_every] overrides the document's
+    interval for the restored stepper (default: keep the document's;
+    0 for /1 documents). Replayed events go to [sink]. *)
 val restore :
   ?record_events:bool ->
   ?sink:Event_sink.t ->
   ?probes:Rrs_obs.Probe.registry ->
   ?profile:bool ->
   ?label:string ->
+  ?checkpoint_every:int ->
   policy:(module Policy.POLICY) ->
   string ->
   (t, string) Stdlib.result

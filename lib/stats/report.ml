@@ -30,6 +30,7 @@ let of_channel channel =
   let reconfigs = ref 0 and drops = ref 0 and execs = ref 0 in
   let failed = ref 0 and crashes = ref 0 and repairs = ref 0 in
   let rounds = ref 0 and events = ref 0 in
+  let restored = ref false in
   let error = ref None in
   let lineno = ref 0 in
   let fail message =
@@ -75,6 +76,21 @@ let of_channel channel =
                    incr rounds;
                    Probe.observe round_reconfigs snap.snap_reconfigs;
                    Probe.observe queue_depth snap.snap_pending
+               | Event_sink.Restored r, Some _ ->
+                   (* A checkpoint-seeded trace: the stream carries only
+                      events from res_round on, so seed the folded totals
+                      with what accumulated before it. Legal once, before
+                      any event. *)
+                   if !restored then fail "duplicate restored line"
+                   else if !events > 0 || !rounds > 0 then
+                     fail "restored line after events"
+                   else begin
+                     restored := true;
+                     reconfigs := r.res_reconfigs;
+                     failed := r.res_failed;
+                     drops := r.res_drops;
+                     execs := r.res_execs
+                   end
                | Event_sink.Aborted { ab_round; ab_reason }, Some _ ->
                    fail
                      (Printf.sprintf "run aborted at round %d: %s" ab_round

@@ -109,4 +109,56 @@ let policy ~drop_costs : (module Rrs_sim.Policy.POLICY) =
         ("evictions", t.evictions);
         ("hits", t.hits);
       ]
+
+    module Json = Rrs_sim.Event_sink.Json
+
+    (* Credits are fractional, so they travel as a comma-joined list of
+       hex floats ("%h") inside one JSON string — exact round-trip, no
+       decimal rounding. *)
+    let serialize t =
+      let credits =
+        Array.to_list t.credit
+        |> List.map (Printf.sprintf "%h")
+        |> String.concat ","
+      in
+      let cached =
+        Hashtbl.fold (fun color () acc -> color :: acc) t.cached []
+        |> List.sort Int.compare
+      in
+      Printf.sprintf
+        "{\"demand\":%s,\"credit\":%s,\"cached\":%s,\"faults\":%d,\
+         \"evictions\":%d,\"hits\":%d}"
+        (Json.ints (Array.to_list t.demand))
+        (Json.escape credits) (Json.ints cached) t.faults t.evictions t.hits
+
+    let deserialize t blob =
+      let fields = Json.parse_fields blob in
+      let num_colors = Array.length t.demand in
+      let demand = Json.ints_field fields "demand" in
+      if Array.length demand <> num_colors then
+        raise (Json.Parse_error "field \"demand\": length mismatch");
+      let credits =
+        match String.split_on_char ',' (Json.str_field fields "credit") with
+        | [ "" ] -> [||]
+        | parts ->
+            Array.of_list
+              (List.map
+                 (fun part ->
+                   match float_of_string_opt part with
+                   | Some value -> value
+                   | None ->
+                       raise (Json.Parse_error "field \"credit\": bad float"))
+                 parts)
+      in
+      if Array.length credits <> num_colors then
+        raise (Json.Parse_error "field \"credit\": length mismatch");
+      Array.blit demand 0 t.demand 0 num_colors;
+      Array.blit credits 0 t.credit 0 num_colors;
+      t.faults <- Json.int_field fields "faults";
+      t.evictions <- Json.int_field fields "evictions";
+      t.hits <- Json.int_field fields "hits";
+      Hashtbl.reset t.cached;
+      Array.iter
+        (fun color -> Hashtbl.replace t.cached color ())
+        (Json.ints_field fields "cached")
   end)

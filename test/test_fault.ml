@@ -33,6 +33,8 @@ let greedy_policy : (module Rrs_sim.Policy.POLICY) =
     let on_arrival _ ~round:_ ~request:_ = ()
     let reconfigure () (view : Rrs_sim.Policy.view) = Array.make view.n (Some 0)
     let stats () = []
+    let serialize () = "{}"
+    let deserialize () _ = ()
   end)
 
 let contains ~affix s =
@@ -270,6 +272,8 @@ let crashing_policy ~crash_round : (module Rrs_sim.Policy.POLICY) =
       P.reconfigure t view
 
     let stats = P.stats
+    let serialize = P.serialize
+    let deserialize = P.deserialize
   end)
 
 let test_abort_record_on_policy_exception () =
@@ -371,6 +375,8 @@ let flaky_policy ~failures_left : (module Rrs_sim.Policy.POLICY) =
     let on_arrival = P.on_arrival
     let reconfigure = P.reconfigure
     let stats = P.stats
+    let serialize = P.serialize
+    let deserialize = P.deserialize
   end)
 
 let test_sweep_retries_transient () =

@@ -120,6 +120,11 @@ module Spy (P : Rrs_sim.Policy.POLICY) = struct
     :: ("spy_replication_violations", t.replication_violations)
     :: ("spy_observations", t.observations)
     :: P.stats t.inner
+
+  (* The spy's own counters are observational; only the inner state
+     travels. *)
+  let serialize t = P.serialize t.inner
+  let deserialize t blob = P.deserialize t.inner blob
 end
 
 let stat stats key =

@@ -359,6 +359,168 @@ let prop_snapshot_restore =
       in
       full_cost = resumed_cost && same_assignment && same_stream)
 
+(* ---- rrs-snap/2: checkpointed snapshot / restore ---- *)
+
+(* As [run_with_interruption], but the interrupted stepper checkpoints
+   every [checkpoint_every] rounds, so its snapshot is an [rrs-snap/2]
+   document replaying only from the latest checkpoint. The restored
+   stream then starts at that checkpoint: its header must equal the
+   uninterrupted run's, a [restored] line carries the pre-checkpoint
+   totals, and everything after it must be a byte-identical suffix of
+   the uninterrupted stream. *)
+let is_suffix ~of_:full suffix =
+  let extra = List.length full - List.length suffix in
+  extra >= 0 && List.filteri (fun i _ -> i >= extra) full = suffix
+
+let restored_line line =
+  String.length line >= 18 && String.sub line 0 18 = "{\"type\":\"restored\""
+
+let run_with_interruption_v2 ~n ~cut ~checkpoint_every instance =
+  let full_path, full = trace_engine ~n instance in
+  let config =
+    { Stepper.name = instance.Instance.name; delta = instance.Instance.delta;
+      bounds = instance.Instance.bounds; n; speed = 1;
+      horizon = instance.Instance.horizon }
+  in
+  let stepper = Stepper.create ~checkpoint_every ~policy config in
+  for round = 0 to cut - 1 do
+    Stepper.feed stepper instance.Instance.requests.(round);
+    Stepper.step stepper
+  done;
+  let snapshot = Stepper.snapshot stepper in
+  let resumed_path = Filename.temp_file "rrs_resumed2" ".jsonl" in
+  let channel = open_out resumed_path in
+  let resumed =
+    match
+      Stepper.restore ~sink:(Event_sink.Jsonl channel) ~policy snapshot
+    with
+    | Ok stepper -> stepper
+    | Error message -> Alcotest.failf "restore (/2): %s" message
+  in
+  for round = cut to instance.Instance.horizon - 1 do
+    Stepper.feed resumed instance.Instance.requests.(round);
+    Stepper.step resumed
+  done;
+  let result = Stepper.finish resumed in
+  close_out channel;
+  let stream_ok =
+    let full_lines = String.split_on_char '\n' (read_file full_path) in
+    match String.split_on_char '\n' (read_file resumed_path) with
+    | header :: rest ->
+        let rest =
+          match rest with
+          | marker :: tail when restored_line marker -> tail
+          | tail -> tail (* no checkpoint yet: a full replay, no marker *)
+        in
+        header = List.hd full_lines && is_suffix ~of_:(List.tl full_lines) rest
+    | [] -> false
+  in
+  let outcome =
+    ( Ledger.total_cost full.Engine.ledger,
+      Ledger.total_cost result.Stepper.ledger,
+      full.Engine.final_assignment = result.Stepper.final_assignment,
+      stream_ok )
+  in
+  Sys.remove full_path;
+  Sys.remove resumed_path;
+  outcome
+
+let prop_snapshot_restore_v2 =
+  QCheck2.Test.make
+    ~name:
+      "rrs-snap/2: checkpointed snapshot at a random round + restore = \
+       uninterrupted run"
+    ~count:40
+    QCheck2.Gen.(
+      triple H.gen_rate_limited (int_bound 1_000_000) (int_range 1 8))
+    (fun (instance, cut_seed, checkpoint_every) ->
+      let horizon = instance.Instance.horizon in
+      QCheck2.assume (horizon > 1);
+      let cut = 1 + (cut_seed mod (horizon - 1)) in
+      let full_cost, resumed_cost, same_assignment, stream_ok =
+        run_with_interruption_v2 ~n:4 ~cut ~checkpoint_every instance
+      in
+      full_cost = resumed_cost && same_assignment && stream_ok)
+
+(* Checkpointing compacts the replay base but must never perturb the
+   run itself: same feeds, same events, byte for byte. *)
+let test_checkpointing_does_not_perturb_stream () =
+  let trace checkpoint_every =
+    let path = Filename.temp_file "rrs_ck" ".jsonl" in
+    let channel = open_out path in
+    let stepper =
+      Stepper.create ~checkpoint_every
+        ~sink:(Event_sink.Jsonl channel) ~policy
+        (session_config ~name:"ck" ())
+    in
+    for round = 0 to 29 do
+      Stepper.feed stepper [ (round mod 3, 1 + (round mod 2)) ];
+      Stepper.step stepper
+    done;
+    let result = Stepper.finish stepper in
+    close_out channel;
+    let text = read_file path in
+    Sys.remove path;
+    (text, Ledger.total_cost result.Stepper.ledger)
+  in
+  let plain, plain_cost = trace 0 in
+  let checkpointed, checkpointed_cost = trace 4 in
+  check "same cost" plain_cost checkpointed_cost;
+  check_string "byte-identical streams" plain checkpointed
+
+let test_checkpoint_compaction_bound () =
+  let interval = 8 in
+  let stepper =
+    Stepper.create ~checkpoint_every:interval ~policy
+      (session_config ~name:"bound" ())
+  in
+  let snap_early = ref 0 in
+  for round = 0 to 99 do
+    Stepper.feed stepper [ (round mod 3, 1) ];
+    Stepper.step stepper;
+    if round = 19 then snap_early := String.length (Stepper.snapshot stepper);
+    if Stepper.history_rounds stepper > interval then
+      Alcotest.failf "history grew to %d rounds (interval %d) at round %d"
+        (Stepper.history_rounds stepper) interval (round + 1)
+  done;
+  check "base at the latest checkpoint" 96 (Stepper.base_round stepper);
+  (* O(interval), not O(rounds): 5x the rounds, same ballpark bytes. *)
+  let snap_late = String.length (Stepper.snapshot stepper) in
+  check_bool "snapshot size stays flat" true (snap_late < 2 * !snap_early);
+  (* A compacted stepper can no longer write /1 (its arrival history no
+     longer reaches back to round 0) — refused, not silently wrong. *)
+  (match Stepper.snapshot ~version:1 stepper with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "rrs-snap/1 after compaction must be refused");
+  ignore (Stepper.finish stepper)
+
+(* serialize o deserialize is the identity for every registry policy
+   (and the weighted Landlord): restoring a checkpointed snapshot and
+   re-snapshotting it reproduces the document byte for byte, policy
+   blob included. *)
+let test_policy_blob_fixpoint () =
+  let fixpoint (policy : (module Rrs_sim.Policy.POLICY)) =
+    let (module P) = policy in
+    let stepper =
+      Stepper.create ~checkpoint_every:1 ~policy
+        (session_config ~name:"fix" ())
+    in
+    for round = 0 to 11 do
+      Stepper.feed stepper [ (round mod 3, 1 + (round mod 2)) ];
+      Stepper.step stepper
+    done;
+    Stepper.feed stepper [ (1, 2) ];
+    (* buffered jobs round-trip too *)
+    let doc = Stepper.snapshot stepper in
+    match Stepper.restore ~policy doc with
+    | Error message -> Alcotest.failf "%s: restore: %s" P.name message
+    | Ok restored ->
+        check_string (P.name ^ ": snapshot fixpoint") doc
+          (Stepper.snapshot restored)
+  in
+  List.iter fixpoint Rrs_core.Policies.all;
+  fixpoint (Rrs_uniform.Landlord.policy ~drop_costs:[| 1; 2; 3 |])
+
 let test_restore_rejects_tampering () =
   let stepper = Stepper.create ~policy (session_config ~name:"tamper" ())
   in
@@ -768,6 +930,53 @@ let test_restore_validates_names () =
       | f -> Alcotest.failf "unexpected stats reply %s" (Wire.encode f));
       Client.close client)
 
+(* ---- regression: a session snapshot whose declared snap_version
+   disagrees with the embedded stepper document schema is corrupt (a
+   spliced or hand-edited file) and must not restore ---- *)
+
+let test_restore_rejects_mixed_versions () =
+  let config = session_config ~name:"mix" () in
+  let make_body ~checkpoint_every =
+    let stepper = Stepper.create ~checkpoint_every ~policy config in
+    Stepper.feed stepper [ (0, 2); (1, 1) ];
+    for _ = 1 to 4 do
+      Stepper.step stepper
+    done;
+    Stepper.snapshot stepper
+  in
+  let body_v1 = make_body ~checkpoint_every:0 in
+  let body_v2 = make_body ~checkpoint_every:2 in
+  let header ?snap_version () =
+    let version =
+      match snap_version with
+      | None -> ""
+      | Some v -> Printf.sprintf ",\"snap_version\":%d" v
+    in
+    Printf.sprintf
+      "{\"schema\":\"rrs-sess/1\",\"session\":\"mix\",\"policy\":\"dlru-edf\",\
+       \"queue_limit\":16,\"fed\":3,\"shed\":0%s}"
+      version
+  in
+  let mixed reason header body =
+    match Session.restore (header ^ "\n" ^ body) with
+    | Error _ -> ()
+    | Ok s ->
+        Session.release s;
+        Alcotest.failf "%s must not restore" reason
+  in
+  mixed "an undeclared (/1) header over a /2 body" (header ()) body_v2;
+  mixed "a declared /1 header over a /2 body" (header ~snap_version:1 ())
+    body_v2;
+  mixed "a declared /2 header over a /1 body" (header ~snap_version:2 ())
+    body_v1;
+  (* The consistent pairings still restore. *)
+  (match Session.restore (header ~snap_version:1 () ^ "\n" ^ body_v1) with
+  | Ok s -> Session.release s
+  | Error m -> Alcotest.failf "consistent /1 pairing: %s" m);
+  match Session.restore (header ~snap_version:2 () ^ "\n" ^ body_v2) with
+  | Ok s -> Session.release s
+  | Error m -> Alcotest.failf "consistent /2 pairing: %s" m
+
 (* ---- regression: unresolvable TCP hosts fail cleanly ---- *)
 
 let test_unknown_host () =
@@ -967,6 +1176,122 @@ let test_wire_equality_across_framings () =
       (* v2 even pays for an extra hello exchange and still wins. *)
       check_bool "binary framing moved fewer bytes" true (v2_bytes < v1_bytes))
 
+(* ---- regression: oversize replies answer a clean error ---- *)
+
+(* Why the server must guard its replies: the wire writer happily emits
+   a frame larger than [Wire.max_frame], but no reader will ever accept
+   it — the peer sees [Malformed], not its snapshot. *)
+let test_wire_overlong_frame_unreceivable () =
+  let doc = String.make Wire.max_frame 'x' in
+  let frame = Wire.Snapshotted { session = "s"; path = None; doc = Some doc } in
+  List.iter
+    (fun framing ->
+      let path = Filename.temp_file "rrs_long" ".bin" in
+      let out = open_out_bin path in
+      Wire.write ~framing out frame;
+      close_out out;
+      let channel = open_in_bin path in
+      let input = Wire.reader channel in
+      (match Wire.read ~framing input with
+      | Wire.Malformed _ -> ()
+      | Wire.Frame _ -> Alcotest.fail "a reader accepted an over-long frame"
+      | Wire.Eof -> Alcotest.fail "over-long frame read as eof");
+      close_in channel;
+      Sys.remove path)
+    [ Wire.V1; Wire.V2 ]
+
+(* A [max_reply] cap small enough to trip with a few rounds of history:
+   the inline snapshot answers an [error] naming the limit, the
+   connection stays framed and synced, and snapshot-to-file still
+   works — that path never goes through a reply frame. *)
+let test_oversize_inline_snapshot_reply () =
+  let dir = Filename.temp_file "rrs_big" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let address = Server.Unix_socket (Filename.concat dir "sock") in
+  let snaps = Filename.concat dir "snaps" in
+  let config =
+    { (Server.default_config address) with domains = 2; max_reply = 2048;
+      snap_dir = Some snaps }
+  in
+  let server = Server.start config in
+  Fun.protect
+    ~finally:(fun () -> ignore (Server.stop ~drain:false server))
+    (fun () ->
+      let client = Client.connect address in
+      ignore (expect_ok (Client.call client (open_frame_for "big")));
+      for _ = 1 to 80 do
+        feed_step client "big" [| 0; 1; 2 |] [| 1; 1; 1 |]
+      done;
+      (match
+         Client.call client (Wire.Snapshot { session = "big"; path = None })
+       with
+      | Ok (Wire.Error_frame { message }) ->
+          check_bool "error names the frame limit" true
+            (contains ~needle:"2048-byte frame limit" message)
+      | Ok Wire.Snapshotted _ ->
+          Alcotest.fail "an oversize inline snapshot reply went unguarded"
+      | Ok f -> Alcotest.failf "unexpected snapshot reply %s" (Wire.encode f)
+      | Error message -> Alcotest.fail message);
+      (* The connection survived and is still framed. *)
+      (match expect_ok (Client.call client (Wire.Stats { session = "big" })) with
+      | Wire.Stats_ok { round; _ } -> check "session intact" 80 round
+      | f -> Alcotest.failf "unexpected stats reply %s" (Wire.encode f));
+      (* The unbounded escape hatch: snapshot to a file. *)
+      (match
+         expect_ok
+           (Client.call client
+              (Wire.Snapshot { session = "big"; path = Some "big.snap" }))
+       with
+      | Wire.Snapshotted { path = Some path; _ } ->
+          check_bool "file snapshot written" true (Sys.file_exists path)
+      | f -> Alcotest.failf "unexpected snapshot reply %s" (Wire.encode f));
+      Client.close client)
+
+(* ---- regression: signal churn during accept must not kill the
+   accept loop or drop connections ---- *)
+
+(* SIGUSR1 is blocked in this (the test's) thread before the churn
+   domain spawns — it inherits the blocked mask — so every signal is
+   delivered to the server's domains, which sit in select/accept. The
+   server was started before the block, with the signal deliverable. *)
+let test_accept_survives_signal_churn () =
+  with_server (fun ~address ~snap_dir:_ ->
+      let previous =
+        Sys.signal Sys.sigusr1 (Sys.Signal_handle (fun _ -> ()))
+      in
+      let mask = [ Sys.sigusr1 ] in
+      ignore (Unix.sigprocmask Unix.SIG_BLOCK mask);
+      let stop = Atomic.make false in
+      let pid = Unix.getpid () in
+      let churn =
+        Domain.spawn (fun () ->
+            while not (Atomic.get stop) do
+              (try Unix.kill pid Sys.sigusr1 with Unix.Unix_error _ -> ());
+              try ignore (Unix.select [] [] [] 0.001)
+              with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+            done)
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          Atomic.set stop true;
+          Domain.join churn;
+          ignore (Unix.sigprocmask Unix.SIG_UNBLOCK mask);
+          Sys.set_signal Sys.sigusr1 previous)
+        (fun () ->
+          for i = 0 to 14 do
+            let name = Printf.sprintf "churn%d" i in
+            let client = Client.connect address in
+            ignore (expect_ok (Client.call client (open_frame_for name)));
+            feed_step client name [| 0 |] [| 1 |];
+            (match
+               expect_ok (Client.call client (Wire.Close { session = name }))
+             with
+            | Wire.Closed _ -> ()
+            | f -> Alcotest.failf "unexpected close reply %s" (Wire.encode f));
+            Client.close client
+          done))
+
 let prop = QCheck_alcotest.to_alcotest
 
 let suite =
@@ -977,6 +1302,8 @@ let suite =
         prop prop_wire_framed_roundtrip;
         Alcotest.test_case "malformed lines stay line-synced" `Quick
           test_wire_malformed_lines;
+        Alcotest.test_case "over-long frames are unreceivable" `Quick
+          test_wire_overlong_frame_unreceivable;
       ] );
     ( "server.wire2",
       [
@@ -995,6 +1322,8 @@ let suite =
           test_session_close_idempotent_trace;
         Alcotest.test_case "save failure removes the temp file" `Quick
           test_session_save_failure_cleans_tmp;
+        Alcotest.test_case "restore rejects mixed snapshot versions" `Quick
+          test_restore_rejects_mixed_versions;
       ] );
     ( "server.stepper",
       [
@@ -1007,6 +1336,13 @@ let suite =
         Alcotest.test_case "restore rejects tampering" `Quick
           test_restore_rejects_tampering;
         prop prop_snapshot_restore;
+        prop prop_snapshot_restore_v2;
+        Alcotest.test_case "checkpointing does not perturb the stream" `Quick
+          test_checkpointing_does_not_perturb_stream;
+        Alcotest.test_case "checkpoints bound history and snapshot size"
+          `Quick test_checkpoint_compaction_bound;
+        Alcotest.test_case "policy blob serialize/deserialize fixpoint" `Quick
+          test_policy_blob_fixpoint;
       ] );
     ( "server.live",
       [
@@ -1026,5 +1362,9 @@ let suite =
           test_server_pinned_to_wire1;
         Alcotest.test_case "/1 and /2 replies are identical" `Quick
           test_wire_equality_across_framings;
+        Alcotest.test_case "oversize inline snapshot answers an error" `Quick
+          test_oversize_inline_snapshot_reply;
+        Alcotest.test_case "accept survives signal churn" `Quick
+          test_accept_survives_signal_churn;
       ] );
   ]

@@ -190,6 +190,8 @@ module Idle_policy = struct
   let on_arrival _ ~round:_ ~request:_ = ()
   let reconfigure n _view = Array.make n None
   let stats _ = []
+  let serialize _ = "{}"
+  let deserialize _ _ = ()
 end
 
 (* Pin-policy: configures location 0 to color 0 forever. *)
@@ -207,6 +209,8 @@ module Pin_policy = struct
     target
 
   let stats _ = []
+  let serialize _ = "{}"
+  let deserialize _ _ = ()
 end
 
 let test_engine_idle_drops_everything () =
@@ -276,6 +280,8 @@ let test_engine_bad_policy_rejected () =
     let on_arrival () ~round:_ ~request:_ = ()
     let reconfigure () _view = [| Some 0 |] (* wrong length for n = 2 *)
     let stats () = []
+    let serialize () = "{}"
+    let deserialize () _ = ()
   end in
   let i = tiny [ (0, [ (0, 1) ]) ] in
   match Engine.run ~n:2 ~policy:(module Bad) i with
@@ -296,6 +302,8 @@ let test_engine_color_out_of_range () =
     let on_arrival () ~round:_ ~request:_ = ()
     let reconfigure () _view = [| Some 7; None |]
     let stats () = []
+    let serialize () = "{}"
+    let deserialize () _ = ()
   end in
   let i = tiny [ (0, [ (0, 1) ]) ] in
   Alcotest.check_raises "out-of-range color"
@@ -311,6 +319,8 @@ let test_engine_color_out_of_range () =
     let on_arrival () ~round:_ ~request:_ = ()
     let reconfigure () _view = [| None; Some (-1) |]
     let stats () = []
+    let serialize () = "{}"
+    let deserialize () _ = ()
   end in
   Alcotest.check_raises "negative color"
     (Invalid_argument
