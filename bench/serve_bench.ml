@@ -12,9 +12,14 @@
 
    Reported per (S, wire): aggregate rounds/sec, jobs executed/sec,
    p50/p99 per-frame latency (connect-to-reply excluded; measured per
-   call over all clients) and mean wire bytes per frame. After the
-   measured window every session's server-side stats are checked for
-   conservation:
+   call over all clients), the server's own per-frame-type request
+   percentiles (fetched over the 'metrics' wire request after the
+   window; each row runs against a fresh server so its metrics cover
+   exactly that window) and mean wire bytes per frame. The same rows
+   are re-emitted as experiment E20, comparing server-side against
+   client-observed percentiles — the gap is client-side stack + wire.
+   After the measured window every session's server-side stats are
+   checked for conservation:
 
      fed = accepted + shed
      accepted = execs + drops + pool pending + buffered
@@ -25,6 +30,7 @@ module Server = Rrs_server.Server
 module Client = Rrs_server.Client
 module Wire = Rrs_server.Wire
 module Clock = Rrs_obs.Clock
+module Json = Rrs_sim.Event_sink.Json
 
 let policy = "dlru-edf"
 let bounds = [| 2; 3; 4; 6; 8; 12; 16; 24 |]
@@ -135,15 +141,39 @@ let percentile_us sorted p =
     in
     sorted.(max 0 (min index (Array.length sorted - 1)))
 
+(* The merged server-side metrics document, fetched over the wire after
+   a measured window. *)
+let fetch_server_metrics address =
+  let client = Client.connect address in
+  let doc =
+    match Client.call client (Wire.Metrics { slow = 0 }) with
+    | Ok (Wire.Metrics_ok { doc; _ }) -> doc
+    | Ok (Wire.Error_frame { message }) -> fail "metrics: %s" message
+    | Ok _ -> fail "metrics: unexpected reply"
+    | Error message -> fail "metrics: %s" message
+  in
+  Client.close client;
+  Json.parse_fields doc
+
+(* One row's comparison material, kept for the E20 re-emission. *)
+type row_summary = {
+  w_sessions : int;
+  w_wire : int;
+  w_p50 : int; (* client-observed, µs *)
+  w_p99 : int;
+  w_srv : (string * int) list; (* srv_* extras, µs *)
+  w_cost : int;
+  w_reconfigs : int;
+  w_drops : int;
+  w_execs : int;
+  w_wall : float;
+}
+
 let run ?json ?(session_counts = [ 1; 2; 4; 8 ]) ?(rounds = 400) () =
   let dir = Filename.temp_file "rrs-serve-bench" "" in
   Sys.remove dir;
   Unix.mkdir dir 0o700;
   let address = Server.Unix_socket (Filename.concat dir "sock") in
-  let server =
-    Server.start
-      { (Server.default_config address) with domains = 0; queue_limit = 0 }
-  in
   let table =
     Rrs_stats.Table.create
       ~title:
@@ -152,8 +182,9 @@ let run ?json ?(session_counts = [ 1; 2; 4; 8 ]) ?(rounds = 400) () =
            rounds policy)
       ~columns:
         [ "sessions"; "wire"; "rounds/s"; "execs/s"; "p50 us"; "p99 us";
-          "B/frame"; "shed" ]
+          "srv feed p99"; "srv step p99"; "B/frame"; "shed" ]
   in
+  let summaries = ref [] in
   let bench =
     Option.map
       (fun path -> (Rrs_stats.Bench_io.create ~tag:(Rrs_stats.Bench_io.tag_of_path path), path))
@@ -174,6 +205,18 @@ let run ?json ?(session_counts = [ 1; 2; 4; 8 ]) ?(rounds = 400) () =
        (fun sessions ->
          List.iter
            (fun wire ->
+             (* A fresh server per row: its metrics plane then covers
+                exactly this measured window, so the server-side
+                percentiles are comparable with the client-observed
+                ones from the same row. *)
+             let server =
+               Server.start
+                 { (Server.default_config address) with domains = 0;
+                   queue_limit = 0 }
+             in
+             Fun.protect
+               ~finally:(fun () -> ignore (Server.stop ~drain:false server))
+               (fun () ->
              let t0 = Clock.now_s () in
              let domains =
                List.init sessions (fun i ->
@@ -185,6 +228,10 @@ let run ?json ?(session_counts = [ 1; 2; 4; 8 ]) ?(rounds = 400) () =
              in
              let results = List.map Domain.join domains in
              let wall_s = Clock.elapsed_s t0 in
+             let server_metrics = fetch_server_metrics address in
+             let srv name =
+               Json.opt_int_field server_metrics name ~default:0
+             in
              List.iter check_conservation results;
              let total_rounds =
                List.fold_left (fun acc r -> acc + r.rounds) 0 results
@@ -217,6 +264,18 @@ let run ?json ?(session_counts = [ 1; 2; 4; 8 ]) ?(rounds = 400) () =
              let bytes_per_frame =
                if total_frames = 0 then 0 else total_bytes / total_frames
              in
+             (* Server-side per-frame-type percentiles (handler + reply
+                write; the blocking read is excluded). *)
+             let srv_extras =
+               [
+                 ("srv_feed_p50_us", srv "req_latency_us_feed_p50");
+                 ("srv_feed_p99_us", srv "req_latency_us_feed_p99");
+                 ("srv_step_p50_us", srv "req_latency_us_step_p50");
+                 ("srv_step_p99_us", srv "req_latency_us_step_p99");
+                 ("srv_lock_wait_p99_us", srv "lock_wait_us_p99");
+                 ("srv_requests_total", srv "requests_total");
+               ]
+             in
              Rrs_stats.Table.add_row table
                [
                  Rrs_stats.Table.cell_int sessions;
@@ -225,9 +284,17 @@ let run ?json ?(session_counts = [ 1; 2; 4; 8 ]) ?(rounds = 400) () =
                  Rrs_stats.Table.cell_float ~decimals:0 execs_per_s;
                  Rrs_stats.Table.cell_int p50;
                  Rrs_stats.Table.cell_int p99;
+                 Rrs_stats.Table.cell_int (srv "req_latency_us_feed_p99");
+                 Rrs_stats.Table.cell_int (srv "req_latency_us_step_p99");
                  Rrs_stats.Table.cell_int bytes_per_frame;
                  Rrs_stats.Table.cell_int shed;
                ];
+             summaries :=
+               { w_sessions = sessions; w_wire = wire; w_p50 = p50;
+                 w_p99 = p99; w_srv = srv_extras; w_cost = cost;
+                 w_reconfigs = reconfigs; w_drops = drops; w_execs = execs;
+                 w_wall = wall_s }
+               :: !summaries;
              Option.iter
                (fun (b, _) ->
                  Rrs_stats.Bench_io.record b ~policy
@@ -237,28 +304,57 @@ let run ?json ?(session_counts = [ 1; 2; 4; 8 ]) ?(rounds = 400) () =
                    ~n ~delta ~cost ~reconfig_count:reconfigs ~drop_count:drops
                    ~exec_count:execs ~wall_s
                    ~extras:
-                     [
-                       ("sessions", sessions);
-                       ("wire", wire);
-                       ("rounds_total", total_rounds);
-                       ("rounds_per_s", int_of_float rounds_per_s);
-                       ("execs_per_s", int_of_float execs_per_s);
-                       ("frames_total", total_frames);
-                       ("bytes_total", total_bytes);
-                       ("bytes_per_frame", bytes_per_frame);
-                       ("p50_us", p50);
-                       ("p99_us", p99);
-                       ("shed_jobs", shed);
-                     ]
+                     ([
+                        ("sessions", sessions);
+                        ("wire", wire);
+                        ("rounds_total", total_rounds);
+                        ("rounds_per_s", int_of_float rounds_per_s);
+                        ("execs_per_s", int_of_float execs_per_s);
+                        ("frames_total", total_frames);
+                        ("bytes_total", total_bytes);
+                        ("bytes_per_frame", bytes_per_frame);
+                        ("p50_us", p50);
+                        ("p99_us", p99);
+                        ("shed_jobs", shed);
+                      ]
+                     @ srv_extras)
                    ())
-               bench)
+               bench))
            [ 1; 2 ])
        session_counts
    with e ->
      ok := false;
      Format.eprintf "serve bench failed: %s@." (Printexc.to_string e));
-  let _drained = Server.stop ~drain:false server in
   Rrs_stats.Table.print table;
+  (* E20 — the same windows, re-cut as a server-side vs client-observed
+     latency comparison. *)
+  Option.iter
+    (fun (b, _) ->
+      Rrs_stats.Bench_io.start_experiment b ~id:"E20"
+        ~claim:
+          "Server-side request latency percentiles (handler + reply write, \
+           traced per frame type across worker domains) track the \
+           client-observed round-trip percentiles from the same closed-loop \
+           window under both framings; the residual gap is client stack + \
+           wire transport.";
+      List.iter
+        (fun w ->
+          Rrs_stats.Bench_io.record b ~policy
+            ~workload:
+              (Printf.sprintf "serve-latency-x%d-wire%d" w.w_sessions w.w_wire)
+            ~n ~delta ~cost:w.w_cost ~reconfig_count:w.w_reconfigs
+            ~drop_count:w.w_drops ~exec_count:w.w_execs ~wall_s:w.w_wall
+            ~extras:
+              ([
+                 ("sessions", w.w_sessions);
+                 ("wire", w.w_wire);
+                 ("client_p50_us", w.w_p50);
+                 ("client_p99_us", w.w_p99);
+               ]
+              @ w.w_srv)
+            ())
+        (List.rev !summaries))
+    bench;
   Option.iter
     (fun (b, path) ->
       Rrs_stats.Bench_io.write b ~path;

@@ -640,6 +640,32 @@ let check_wire ~default = function
   | (1 | 2) as wire -> Ok wire
   | wire -> Error (Printf.sprintf "unsupported --wire %d (want 1 or 2)" wire)
 
+(* A metrics/admin address: HOST:PORT when the text ends in a :port,
+   otherwise a Unix socket path. *)
+let parse_aux_address text =
+  match String.rindex_opt text ':' with
+  | Some colon
+    when int_of_string_opt
+           (String.sub text (colon + 1) (String.length text - colon - 1))
+         <> None ->
+      let host = String.sub text 0 colon in
+      let host = if host = "" then "127.0.0.1" else host in
+      let port =
+        int_of_string
+          (String.sub text (colon + 1) (String.length text - colon - 1))
+      in
+      if port >= 0 then Ok (Rrs_server.Server.Tcp (host, port))
+      else Error (Printf.sprintf "bad port in %S" text)
+  | _ -> Ok (Rrs_server.Server.Unix_socket text)
+
+let log_level_arg =
+  Arg.(
+    value & opt string "info"
+    & info [ "log-level" ] ~docv:"LEVEL"
+        ~doc:
+          "Server log threshold: debug, info, warn or error. Records are \
+           single key=value lines on stderr.")
+
 let serve_cmd =
   let snap_dir =
     Arg.(
@@ -710,10 +736,45 @@ let serve_cmd =
              an inline snapshot of a deep session — are answered with an \
              error naming the limit instead of an un-receivable frame.")
   in
+  let metrics =
+    Arg.(
+      value & opt (some string) None
+      & info [ "metrics" ] ~docv:"ADDR"
+          ~doc:
+            "Serve Prometheus/OpenMetrics text on $(docv) (HOST:PORT or a \
+             Unix socket path), one scrape per connection. Metrics are \
+             always collected; this only adds the endpoint.")
+  in
+  let slow_us =
+    Arg.(
+      value & opt int 0
+      & info [ "slow-us" ] ~docv:"MICROSECONDS"
+          ~doc:
+            "Slow-request log threshold (0 = built-in default, 10000). \
+             Requests at or over it enter the slow log served by the \
+             'metrics' wire request and 'rrs top'.")
+  in
+  let slow_log =
+    Arg.(
+      value & opt int 0
+      & info [ "slow-log" ] ~docv:"ENTRIES"
+          ~doc:"Slow-request ring capacity (0 = built-in default, 64).")
+  in
   let run () socket tcp snap_dir trace_dir domains queue_limit no_restore wire
-      snap_version checkpoint_every max_reply =
+      snap_version checkpoint_every max_reply metrics slow_us slow_log
+      log_level =
     let address = or_die (address_of_args socket tcp) in
     let max_wire = or_die (check_wire ~default:2 wire) in
+    (match Rrs_server.Slog.level_of_string log_level with
+    | Some level -> Rrs_server.Slog.set_level level
+    | None ->
+        Format.eprintf
+          "error: unknown --log-level %S (want debug, info, warn or error)@."
+          log_level;
+        exit 1);
+    let metrics =
+      Option.map (fun text -> or_die (parse_aux_address text)) metrics
+    in
     let config =
       {
         Rrs_server.Server.address;
@@ -725,6 +786,10 @@ let serve_cmd =
         snap_version;
         checkpoint_every;
         max_reply;
+        metrics;
+        slow_threshold_us = slow_us;
+        slow_log;
+        server_id = "rrs/1.0.0";
       }
     in
     match Rrs_server.Server.serve ~restore:(not no_restore) config with
@@ -740,11 +805,14 @@ let serve_cmd =
           drain every open session to --snap-dir. A restart with the same \
           --snap-dir continues the sessions where they left off. Speaks \
           rrs-wire/1 (JSON lines) by default and upgrades to rrs-wire/2 \
-          (binary) per connection when the client asks for it.")
+          (binary) per connection when the client asks for it. With \
+          --metrics, serves the merged cross-domain metrics as \
+          Prometheus text on a second listener.")
     Term.(
       const run $ verbose_arg $ socket_arg $ tcp_arg $ snap_dir $ trace_dir
       $ domains $ queue_limit $ no_restore $ wire $ snap_version
-      $ checkpoint_every $ max_reply)
+      $ checkpoint_every $ max_reply $ metrics $ slow_us $ slow_log
+      $ log_level_arg)
 
 (* The client script language, one command per line ('#' comments):
      hello
@@ -756,6 +824,7 @@ let serve_cmd =
      snapshot NAME [FILE]   (FILE is saved inside the server's --snap-dir;
                              without FILE the document is returned inline)
      close NAME
+     metrics [SLOW]    (server metrics; SLOW = slow-log entries wanted)
      raw TEXT          (send TEXT verbatim — for protocol testing)
    Each reply is printed as its JSON encoding, one per line. *)
 module Client_script = struct
@@ -882,6 +951,18 @@ module Client_script = struct
           in
           Ok (Send (Rrs_server.Wire.Snapshot { session; path }))
       | [ "close"; session ] -> Ok (Send (Rrs_server.Wire.Close { session }))
+      | "metrics" :: rest ->
+          let* slow =
+            match rest with
+            | [] -> Ok 0
+            | [ k ] -> (
+                match int_of_string_opt k with
+                | Some k -> Ok k
+                | None ->
+                    Error (Printf.sprintf "metrics: bad slow count %S" k))
+            | _ -> Error "metrics: too many arguments"
+          in
+          Ok (Send (Rrs_server.Wire.Metrics { slow }))
       | verb :: _ -> Error (Printf.sprintf "unknown command %S" verb)
 end
 
@@ -970,6 +1051,153 @@ let client_cmd =
           exits 2 if any command failed.")
     Term.(const run $ verbose_arg $ socket_arg $ tcp_arg $ script_arg $ wire)
 
+(* ---- top: a refreshing live view over the 'metrics' wire request ---- *)
+
+let top_cmd =
+  let interval =
+    Arg.(
+      value & opt float 1.0
+      & info [ "interval" ] ~docv:"SECONDS" ~doc:"Seconds between refreshes.")
+  in
+  let count =
+    Arg.(
+      value & opt int 0
+      & info [ "count" ] ~docv:"K"
+          ~doc:"Stop after $(docv) refreshes (0 = until interrupted).")
+  in
+  let slow =
+    Arg.(
+      value & opt int 8
+      & info [ "slow" ] ~docv:"K" ~doc:"Slow-log entries to show.")
+  in
+  let wire =
+    wire_arg ~doc:"Wire version to negotiate at connect (default 1)."
+  in
+  let module Json = Rrs_sim.Event_sink.Json in
+  let render ~now ~previous fields slow_lines =
+    let g name = Json.opt_int_field fields name ~default:0 in
+    let buf = Buffer.create 2048 in
+    let line format = Printf.ksprintf (fun s ->
+        Buffer.add_string buf s; Buffer.add_char buf '\n') format in
+    let rate total_name =
+      match previous with
+      | Some (at, prev) when now > at ->
+          let before = Json.opt_int_field prev total_name ~default:0 in
+          Printf.sprintf "%7.1f/s"
+            (float_of_int (g total_name - before) /. (now -. at))
+      | _ -> "      -/s"
+    in
+    line "rrs top  uptime %ds  workers %d  sessions %d (rounds %d, shed %d)"
+      (g "uptime_s") (g "workers") (g "sessions_open") (g "sessions_rounds")
+      (g "sessions_shed_jobs");
+    line "requests %d %s  errors %d  malformed %d  slow %d (>= %dus)"
+      (g "requests_total") (rate "requests_total") (g "errors_total")
+      (g "malformed_total") (g "slow_total") (g "slow_threshold_us");
+    line "rounds   %d %s  shed jobs %d  bytes in p50 %d  out p50 %d"
+      (g "rounds_total") (rate "rounds_total") (g "shed_jobs_total")
+      (g "bytes_in_p50") (g "bytes_out_p50");
+    line "lock wait p50 %dus p99 %dus  step p50 %dus p99 %dus"
+      (g "lock_wait_us_p50") (g "lock_wait_us_p99") (g "step_us_p50")
+      (g "step_us_p99");
+    line "%-10s %10s %8s %8s %8s %8s" "type" "count" "p50us" "p90us" "p99us"
+      "maxus";
+    Array.iter
+      (fun kind ->
+        let n = g ("requests_" ^ kind) in
+        if n > 0 then
+          let h key = g ("req_latency_us_" ^ kind ^ "_" ^ key) in
+          line "%-10s %10d %8d %8d %8d %8d" kind n (h "p50") (h "p90")
+            (h "p99") (h "max"))
+      Rrs_server.Metrics.kinds;
+    if slow_lines <> [] then begin
+      line "slow requests (newest first):";
+      List.iter
+        (fun entry ->
+          match Json.parse_fields entry with
+          | fields ->
+              let f name = Json.opt_int_field fields name ~default:0 in
+              line
+                "  +%6dms %-8s %-12s wire%d %6dus (read %d lock %d handle %d \
+                 write %d) %dB>%dB%s"
+                (f "at_us" / 1000)
+                (try Json.str_field fields "type" with Json.Parse_error _ -> "?")
+                (try Json.str_field fields "session"
+                 with Json.Parse_error _ -> "")
+                (f "wire") (f "latency_us") (f "read_us") (f "lock_us")
+                (f "handle_us") (f "write_us") (f "bytes_in") (f "bytes_out")
+                (if f "error" = 1 then " ERROR" else "")
+          | exception Json.Parse_error _ -> line "  %s" entry)
+        slow_lines
+    end;
+    Buffer.contents buf
+  in
+  let run () socket tcp interval count slow wire =
+    let address = or_die (address_of_args socket tcp) in
+    let wire = or_die (check_wire ~default:1 wire) in
+    let interval = if interval > 0.01 then interval else 0.01 in
+    let client =
+      try Rrs_server.Client.connect address with
+      | Unix.Unix_error (e, _, _) ->
+          Format.eprintf "error: cannot connect: %s@." (Unix.error_message e);
+          exit 1
+      | Failure message ->
+          Format.eprintf "error: %s@." message;
+          exit 1
+    in
+    if wire = 2 then or_die (Rrs_server.Client.negotiate client ~wire);
+    let previous = ref None in
+    let rec loop remaining =
+      if remaining <> 0 then begin
+        match
+          Rrs_server.Client.call client (Rrs_server.Wire.Metrics { slow })
+        with
+        | Ok (Rrs_server.Wire.Metrics_ok { doc; slow = slow_doc }) ->
+            let fields =
+              try Json.parse_fields doc
+              with Json.Parse_error message ->
+                Format.eprintf "error: bad metrics document: %s@." message;
+                exit 1
+            in
+            let slow_lines =
+              if slow_doc = "" then []
+              else String.split_on_char '\n' slow_doc
+            in
+            let now = Rrs_obs.Clock.now_s () in
+            (* Clear and repaint only when this is a refreshing view. *)
+            if count <> 1 then print_string "\027[2J\027[H";
+            print_string (render ~now ~previous:!previous fields slow_lines);
+            flush stdout;
+            previous := Some (now, fields);
+            if remaining <> 1 then begin
+              Unix.sleepf interval;
+              loop (remaining - 1)
+            end
+        | Ok (Rrs_server.Wire.Error_frame { message }) ->
+            Format.eprintf "error: %s@." message;
+            exit 1
+        | Ok frame ->
+            Format.eprintf "error: unexpected reply: %s@."
+              (Rrs_server.Wire.encode frame);
+            exit 1
+        | Error message ->
+            Format.eprintf "error: %s@." message;
+            exit 1
+      end
+    in
+    loop (if count <= 0 then -1 else count);
+    Rrs_server.Client.close client
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live view of an rrs serve instance: rounds/s and requests/s, \
+          per-frame-type latency percentiles (server-side), lock-wait and \
+          step timings, shed counts and the slow-request log — polled over \
+          the 'metrics' wire request.")
+    Term.(
+      const run $ verbose_arg $ socket_arg $ tcp_arg $ interval $ count $ slow
+      $ wire)
+
 let () =
   let doc = "reconfigurable resource scheduling with variable delay bounds" in
   let info = Cmd.info "rrs" ~version:"1.0.0" ~doc in
@@ -979,5 +1207,5 @@ let () =
           [
             gen_cmd; info_cmd; run_cmd; trace_run_cmd; report_cmd; compare_cmd;
             sweep_cmd; validate_cmd; weighted_cmd; faults_cmd; serve_cmd;
-            client_cmd;
+            client_cmd; top_cmd;
           ]))

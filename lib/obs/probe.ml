@@ -212,7 +212,9 @@ let snapshot registry =
               (h.h_name ^ "_count", snap.count);
               (h.h_name ^ "_sum", snap.sum);
               (h.h_name ^ "_p50", percentile snap 0.50);
+              (h.h_name ^ "_p90", percentile snap 0.90);
               (h.h_name ^ "_p99", percentile snap 0.99);
+              (h.h_name ^ "_p999", percentile snap 0.999);
               (h.h_name ^ "_max", snap.max_value);
             ])
       registry.order
@@ -224,3 +226,56 @@ let histograms registry =
   |> List.filter_map (function
        | Histogram h -> Some (snapshot_histogram h)
        | _ -> None)
+
+let counters registry =
+  List.rev registry.order
+  |> List.filter_map (function
+       | Counter c -> Some (c.c_name, c.c_value)
+       | _ -> None)
+
+let gauges registry =
+  List.rev registry.order
+  |> List.filter_map (function
+       | Gauge g -> Some (g.g_name, g.g_value, g.g_max)
+       | _ -> None)
+
+(* Fold [source] into [into]. Probes are matched by name; a probe absent
+   from [into] is registered there first (histograms with the source's
+   bucket bounds). Counter values and gauge values add; gauge maxima and
+   histogram min/max combine with max/min — exactly what recording the
+   union of both sample streams into one registry would have produced.
+   Word-sized int reads mean a concurrent recorder can skew a merged
+   total by in-flight samples but never tear a value. *)
+let merge ~into source =
+  List.iter
+    (fun probe ->
+      match probe with
+      | Counter c ->
+          let target = counter into c.c_name in
+          target.c_value <- target.c_value + c.c_value
+      | Gauge g ->
+          let target = gauge into g.g_name in
+          target.g_value <- target.g_value + g.g_value;
+          if g.g_max > target.g_max then target.g_max <- g.g_max
+      | Histogram h ->
+          let target = histogram into ~buckets:h.h_bounds h.h_name in
+          if target.h_bounds <> h.h_bounds then
+            invalid_arg
+              (Printf.sprintf
+                 "Probe.merge: histogram %S has mismatched bucket bounds"
+                 h.h_name);
+          Array.iteri
+            (fun i n -> target.h_counts.(i) <- target.h_counts.(i) + n)
+            h.h_counts;
+          target.h_sum <- target.h_sum + h.h_sum;
+          target.h_n <- target.h_n + h.h_n;
+          if h.h_min < target.h_min then target.h_min <- h.h_min;
+          if h.h_max > target.h_max then target.h_max <- h.h_max)
+    (List.rev source.order)
+
+let merged registries =
+  let into = create_registry () in
+  List.iter (fun source -> merge ~into source) registries;
+  into
+
+let merged_snapshot registries = snapshot (merged registries)

@@ -9,7 +9,11 @@
     existing probe; asking for it under a different kind raises.
 
     Registries are not thread-safe: give each domain its own registry
-    (or none). *)
+    (or none). For cross-domain aggregation, keep one registry per
+    worker domain and fold them with {!merge} / {!merged_snapshot} from
+    a reader — recording stays lock-free and the reader pays for the
+    fold. All stored values are word-sized [int]s, so a concurrent read
+    can miss in-flight samples but never observes a torn value. *)
 
 type registry
 
@@ -87,8 +91,14 @@ val snapshot_histogram : histogram -> hist_snapshot
 
 (** [percentile snap p] (with [0 <= p <= 1]) is an upper bound on the
     [p]-quantile: the smallest bucket bound whose cumulative count
-    reaches [ceil (p * count)] ([max_value] for overflow samples, 0 when
-    empty). *)
+    reaches [ceil (p * count)], clamped to [max_value] so a wide bucket
+    never reports above the largest observed sample.
+
+    Overflow behavior, pinned by tests: when the rank falls in the
+    overflow bucket (samples above the last bound) no bucket bound
+    applies and the result is exactly [max_value] — in particular, if
+    {e every} sample overflowed, all percentiles equal [max_value]. An
+    empty histogram reports 0 for every percentile. *)
 val percentile : hist_snapshot -> float -> int
 
 (** Mean sample, 0 when empty. *)
@@ -99,9 +109,35 @@ val mean : hist_snapshot -> float
 (** Flatten every probe into the [(string * int) list] namespace policies
     already use for [stats] (and [Rrs_core.Instrument.stat] reads):
     counters as [name]; gauges as [name] and [name_max]; histograms as
-    [name_count], [name_sum], [name_p50], [name_p99] and [name_max].
-    Entries are sorted by name. *)
+    [name_count], [name_sum], [name_p50], [name_p90], [name_p99],
+    [name_p999] and [name_max]. Entries are sorted by name. *)
 val snapshot : registry -> (string * int) list
 
 (** Histogram snapshots in registration order. *)
 val histograms : registry -> hist_snapshot list
+
+(** Counter [(name, value)] pairs in registration order. *)
+val counters : registry -> (string * int) list
+
+(** Gauge [(name, value, max)] triples in registration order. *)
+val gauges : registry -> (string * int * int) list
+
+(** {1 Cross-domain aggregation} *)
+
+(** [merge ~into source] folds every probe of [source] into [into],
+    registering missing names as it goes: counter values and gauge
+    values add, gauge maxima take the max, histogram buckets/sums/counts
+    add and min/max combine — the result equals recording the union of
+    both sample streams into one registry. [source] is not modified and
+    may belong to a domain that is still recording: int reads are
+    word-sized, so the fold can miss in-flight samples but never tears.
+    @raise Invalid_argument if a histogram name exists in both registries
+    with different bucket bounds. *)
+val merge : into:registry -> registry -> unit
+
+(** [merged registries] is a fresh registry holding the fold of every
+    registry in the list (see {!merge}). *)
+val merged : registry list -> registry
+
+(** [merged_snapshot registries] = [snapshot (merged registries)]. *)
+val merged_snapshot : registry list -> (string * int) list

@@ -68,11 +68,11 @@ let negotiate t ~wire =
   | Error _ as e -> e
   | Ok wanted -> (
       match call t (Wire.Hello { client_version = wanted }) with
-      | Ok (Wire.Hello_ok { server_version }) when server_version = wanted ->
+      | Ok (Wire.Hello_ok { server_version; _ }) when server_version = wanted ->
           (* The server switched right after its hello_ok; follow it. *)
           if wire = 2 then t.framing <- Wire.V2;
           Ok ()
-      | Ok (Wire.Hello_ok { server_version }) ->
+      | Ok (Wire.Hello_ok { server_version; _ }) ->
           Error
             (Printf.sprintf "server negotiated %S instead of %S" server_version
                wanted)

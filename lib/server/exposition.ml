@@ -1,0 +1,128 @@
+module Probe = Rrs_obs.Probe
+
+(* Prometheus text exposition (v0.0.4) from a probe registry. Every
+   series is prefixed "rrs_". The req_latency_us_<kind> histogram family
+   collapses into one labeled family, rrs_req_latency_us{type="<kind>"};
+   likewise requests_<kind> counters into rrs_requests{type="<kind>"}.
+   Our histogram bounds are inclusive upper bounds, which is exactly
+   Prometheus [le] semantics; bucket counts are emitted cumulative with
+   the closing le="+Inf" = _count. *)
+
+let prefix = "rrs_"
+
+let escape_label value =
+  let buf = Buffer.create (String.length value + 4) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    value;
+  Buffer.contents buf
+
+(* "req_latency_us_feed" -> Some ("req_latency_us", "feed") when [kind]
+   is a known request kind. *)
+let split_family name ~family =
+  let p = family ^ "_" in
+  if String.length name > String.length p
+     && String.sub name 0 (String.length p) = p
+  then begin
+    let kind = String.sub name (String.length p)
+                 (String.length name - String.length p) in
+    if Array.exists (( = ) kind) Metrics.kinds then Some kind else None
+  end
+  else None
+
+let add_type buf name kind =
+  Buffer.add_string buf (Printf.sprintf "# TYPE %s%s %s\n" prefix name kind)
+
+let add_histogram buf ~name ~labels (snap : Probe.hist_snapshot) =
+  let label_and more =
+    match (labels, more) with
+    | "", "" -> ""
+    | "", more -> "{" ^ more ^ "}"
+    | labels, "" -> "{" ^ labels ^ "}"
+    | labels, more -> "{" ^ labels ^ "," ^ more ^ "}"
+  in
+  let cumulative = ref 0 in
+  Array.iter
+    (fun (bound, count) ->
+      cumulative := !cumulative + count;
+      Buffer.add_string buf
+        (Printf.sprintf "%s%s_bucket%s %d\n" prefix name
+           (label_and (Printf.sprintf "le=\"%d\"" bound))
+           !cumulative))
+    snap.Probe.buckets;
+  Buffer.add_string buf
+    (Printf.sprintf "%s%s_bucket%s %d\n" prefix name
+       (label_and "le=\"+Inf\"") snap.Probe.count);
+  Buffer.add_string buf
+    (Printf.sprintf "%s%s_sum%s %d\n" prefix name (label_and "")
+       snap.Probe.sum);
+  Buffer.add_string buf
+    (Printf.sprintf "%s%s_count%s %d\n" prefix name (label_and "")
+       snap.Probe.count)
+
+let render registry =
+  let buf = Buffer.create 4096 in
+  (* Counters: the per-kind requests_<kind> series render as one labeled
+     family; everything else renders under its own name. *)
+  let labeled_requests = ref [] in
+  List.iter
+    (fun (name, value) ->
+      match split_family name ~family:"requests" with
+      | Some kind -> labeled_requests := (kind, value) :: !labeled_requests
+      | None ->
+          add_type buf name "counter";
+          Buffer.add_string buf (Printf.sprintf "%s%s %d\n" prefix name value))
+    (Probe.counters registry);
+  (match List.rev !labeled_requests with
+  | [] -> ()
+  | kinds ->
+      add_type buf "requests" "counter";
+      List.iter
+        (fun (kind, value) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%srequests{type=\"%s\"} %d\n" prefix
+               (escape_label kind) value))
+        kinds);
+  List.iter
+    (fun (name, value, max_value) ->
+      add_type buf name "gauge";
+      Buffer.add_string buf (Printf.sprintf "%s%s %d\n" prefix name value);
+      add_type buf (name ^ "_max") "gauge";
+      Buffer.add_string buf
+        (Printf.sprintf "%s%s_max %d\n" prefix name max_value))
+    (Probe.gauges registry);
+  let labeled_latency = ref [] in
+  List.iter
+    (fun snap ->
+      match split_family snap.Probe.hist_name ~family:"req_latency_us" with
+      | Some kind -> labeled_latency := (kind, snap) :: !labeled_latency
+      | None ->
+          add_type buf snap.Probe.hist_name "histogram";
+          add_histogram buf ~name:snap.Probe.hist_name ~labels:"" snap)
+    (Probe.histograms registry);
+  (match List.rev !labeled_latency with
+  | [] -> ()
+  | kinds ->
+      add_type buf "req_latency_us" "histogram";
+      List.iter
+        (fun (kind, snap) ->
+          add_histogram buf ~name:"req_latency_us"
+            ~labels:(Printf.sprintf "type=\"%s\"" (escape_label kind))
+            snap)
+        kinds);
+  Buffer.contents buf
+
+let http_response body =
+  Printf.sprintf
+    "HTTP/1.1 200 OK\r\n\
+     Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+     Content-Length: %d\r\n\
+     Connection: close\r\n\
+     \r\n\
+     %s"
+    (String.length body) body

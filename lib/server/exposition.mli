@@ -1,0 +1,17 @@
+(** Prometheus/OpenMetrics text exposition (format v0.0.4) of a probe
+    registry, served by [rrs serve --metrics].
+
+    Every series carries the ["rrs_"] prefix. Counters and gauges render
+    one sample each (gauges additionally as [<name>_max]); histograms
+    render cumulative [..._bucket{le="<bound>"}] samples — the probe
+    layer's inclusive upper bounds are exactly Prometheus [le]
+    semantics — closed by [le="+Inf"], plus [_sum] and [_count]. The
+    per-kind [req_latency_us_<kind>] histograms and [requests_<kind>]
+    counters collapse into labeled families
+    [rrs_req_latency_us{type="<kind>"}] / [rrs_requests{type="<kind>"}]. *)
+
+val render : Rrs_obs.Probe.registry -> string
+
+(** A complete [HTTP/1.1 200] response (headers + body) carrying
+    [body] as [text/plain; version=0.0.4]. *)
+val http_response : string -> string

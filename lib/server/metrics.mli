@@ -1,0 +1,115 @@
+(** Serving-layer metrics: per-worker probe registries, request spans
+    and a bounded slow-request log.
+
+    Each worker domain owns one {!Rrs_obs.Probe.registry} (a {e slot}),
+    so the per-frame hot path records at the Probe cost — one branch
+    when disabled, no locks, no allocation — and a reader folds every
+    slot with {!Rrs_obs.Probe.merge} on demand ({!merged}). The only
+    shared structure is the slow-request ring, whose mutex is taken
+    only for requests over the threshold.
+
+    {b Series} (all per worker, merged on read):
+    counters [requests_total], [requests_<kind>], [errors_total],
+    [malformed_total], [rounds_total], [shed_jobs_total], [slow_total];
+    histograms [req_latency_us_<kind>] (µs), [lock_wait_us], [step_us],
+    [bytes_in], [bytes_out] — where [<kind>] ranges over {!kinds}. *)
+
+(** {1 Request kinds} *)
+
+(** Request-frame kind names, in index order; the last entry ([error])
+    buckets frames that never resolved to a request (malformed input,
+    replies sent as requests). *)
+val kinds : string array
+
+val error_kind : int
+val kind_index : Wire.frame -> int
+val kind_name : int -> string
+
+(** {1 Spans} *)
+
+(** One request's trace: timings in µs, sizes in bytes. Mutable and
+    meant to be reused per connection ({!reset_span}), so the hot path
+    allocates nothing per frame. *)
+type span = {
+  mutable s_kind : int;
+  mutable s_session : string;
+  mutable s_wire : int;  (** negotiated wire version *)
+  mutable s_read_us : int;
+      (** blocking read + decode; includes client think time *)
+  mutable s_lock_us : int;  (** waiting on the session mutex *)
+  mutable s_handle_us : int;  (** handler, lock wait included *)
+  mutable s_write_us : int;  (** encode + write + flush *)
+  mutable s_bytes_in : int;
+  mutable s_bytes_out : int;
+  mutable s_rounds : int;  (** rounds executed, step frames *)
+  mutable s_shed : int;  (** jobs shed, feed frames *)
+  mutable s_error : bool;  (** the reply was an error frame *)
+}
+
+val span : unit -> span
+val reset_span : span -> unit
+
+(** Server-side request latency: handler (lock wait included) + reply
+    write; the blocking read is excluded as it is dominated by peer
+    think time. *)
+val span_latency_us : span -> int
+
+(** {1 The metrics plane} *)
+
+type t
+
+val default_slow_threshold_us : int
+(** 10 ms. *)
+
+val default_slow_capacity : int
+(** 64 entries. *)
+
+(** [create ~workers ()] makes one slot per worker domain. 0 (or
+    absent) [slow_threshold_us]/[slow_capacity] mean the defaults. *)
+val create :
+  ?workers:int -> ?slow_threshold_us:int -> ?slow_capacity:int -> unit -> t
+
+val workers : t -> int
+val slow_threshold_us : t -> int
+val uptime_s : t -> int
+
+(** [record t ~worker span] folds one finished span into worker
+    [worker]'s slot (lock-free) and, when its latency reaches the slow
+    threshold, into the shared slow ring (one short lock). *)
+val record : t -> worker:int -> span -> unit
+
+(** Count a frame that failed to decode: bumps [malformed_total] and
+    records the span under the [error] kind. *)
+val record_malformed : t -> worker:int -> span -> unit
+
+(** {1 Reading} *)
+
+(** One slow request, as recorded. *)
+type slow_entry = {
+  e_at_us : int;  (** µs after server start the request completed *)
+  e_kind : string;
+  e_session : string;
+  e_wire : int;
+  e_latency_us : int;
+  e_read_us : int;
+  e_lock_us : int;
+  e_handle_us : int;
+  e_write_us : int;
+  e_bytes_in : int;
+  e_bytes_out : int;
+  e_error : bool;
+}
+
+(** Newest first, at most [max] entries (default: everything held). *)
+val slow_log : ?max:int -> t -> slow_entry list
+
+(** One flat JSON object (ints only, booleans as 0/1), parseable with
+    {!Rrs_sim.Event_sink.Json.parse_fields}. *)
+val slow_to_json : slow_entry -> string
+
+(** Every worker slot's registry, for {!Rrs_obs.Probe.merged_snapshot}
+    or direct inspection. *)
+val registries : t -> Rrs_obs.Probe.registry list
+
+(** A fresh registry folding every slot (see {!Rrs_obs.Probe.merge}). *)
+val merged : t -> Rrs_obs.Probe.registry

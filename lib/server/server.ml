@@ -1,6 +1,6 @@
-let log = Logs.Src.create "rrs.server" ~doc:"rrs-wire/1 session server"
-
-module Log = (val Logs.src_log log : Logs.LOG)
+module Json = Rrs_sim.Event_sink.Json
+module Probe = Rrs_obs.Probe
+module Clock = Rrs_obs.Clock
 
 type address = Unix_socket of string | Tcp of string * int
 
@@ -14,11 +14,16 @@ type config = {
   snap_version : int; (* session snapshot schema; 0 = default (2) *)
   checkpoint_every : int; (* checkpoint interval; 0 = per-version default *)
   max_reply : int; (* reply frame size cap; 0 = Wire.max_frame *)
+  metrics : address option; (* OpenMetrics exposition listener *)
+  slow_threshold_us : int; (* slow-request log threshold; 0 = default *)
+  slow_log : int; (* slow-request log capacity; 0 = default *)
+  server_id : string; (* identity surfaced in hello_ok *)
 }
 
 let default_config address =
   { address; snap_dir = None; trace_dir = None; domains = 0; queue_limit = 0;
-    max_wire = 2; snap_version = 0; checkpoint_every = 0; max_reply = 0 }
+    max_wire = 2; snap_version = 0; checkpoint_every = 0; max_reply = 0;
+    metrics = None; slow_threshold_us = 0; slow_log = 0; server_id = "rrs" }
 
 (* ---- session manager ---- *)
 
@@ -32,6 +37,8 @@ type manager = {
   m_snap_version : int; (* 1 or 2 *)
   m_checkpoint_every : int option; (* None = Session's per-version default *)
   m_max_reply : int;
+  m_metrics : Metrics.t;
+  m_server_id : string;
 }
 
 let with_manager m f =
@@ -110,19 +117,86 @@ let handle_open m ~session ~policy ~delta ~bounds ~n ~speed ~horizon
 (* The hello exchange doubles as framing negotiation: asking for
    [rrs-wire/2] (when the server allows it) switches the connection to
    the binary framing right after the [hello_ok] goes out in the old
-   one. *)
+   one. It also surfaces the server's identity and uptime. *)
 let hello_reply m client_version =
-  if client_version = Wire.version then
-    (Wire.Hello_ok { server_version = Wire.version }, Some Wire.V1)
+  let hello_ok server_version =
+    Wire.Hello_ok
+      { server_version; server = m.m_server_id;
+        uptime_s = Metrics.uptime_s m.m_metrics }
+  in
+  if client_version = Wire.version then (hello_ok Wire.version, Some Wire.V1)
   else if client_version = Wire.version2 && m.m_max_wire >= 2 then
-    (Wire.Hello_ok { server_version = Wire.version2 }, Some Wire.V2)
+    (hello_ok Wire.version2, Some Wire.V2)
   else
     ( err "unsupported wire version %S (this server speaks %s)" client_version
         (if m.m_max_wire >= 2 then Wire.version ^ " and " ^ Wire.version2
          else Wire.version),
       None )
 
-let handle_frame m frame =
+(* The merged metrics view: every worker slot folded into one fresh
+   registry, plus scrape-time series derived from the live sessions.
+   The session list is grabbed under the manager mutex; per-session
+   stats are read after releasing it (each [Session.stats] takes its
+   own lock), so the two lock domains never nest. *)
+let metrics_registry m =
+  let merged = Metrics.merged m.m_metrics in
+  let sessions =
+    with_manager m (fun () ->
+        Hashtbl.fold (fun _ s acc -> s :: acc) m.m_sessions [])
+  in
+  let buffered = ref 0 and pending = ref 0 in
+  let shed = ref 0 and fed = ref 0 and rounds = ref 0 in
+  List.iter
+    (fun s ->
+      let st = Session.stats s in
+      buffered := !buffered + st.Session.st_buffered;
+      pending := !pending + st.Session.st_pending;
+      shed := !shed + st.Session.st_shed;
+      fed := !fed + st.Session.st_fed;
+      rounds := !rounds + st.Session.st_round)
+    sessions;
+  let set name value = Probe.set_gauge (Probe.gauge merged name) value in
+  set "sessions_open" (List.length sessions);
+  set "sessions_buffered_jobs" !buffered;
+  set "sessions_pending_jobs" !pending;
+  set "sessions_shed_jobs" !shed;
+  set "sessions_fed_jobs" !fed;
+  set "sessions_rounds" !rounds;
+  set "uptime_s" (Metrics.uptime_s m.m_metrics);
+  set "slow_threshold_us" (Metrics.slow_threshold_us m.m_metrics);
+  set "workers" (Metrics.workers m.m_metrics);
+  merged
+
+(* The merged snapshot as one flat JSON object (name -> int), the
+   [metrics_ok.doc] payload — parseable by [Json.parse_fields]. *)
+let metrics_doc registry =
+  let entries = Probe.snapshot registry in
+  let buf = Buffer.create 4096 in
+  Buffer.add_char buf '{';
+  List.iteri
+    (fun i (name, value) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Json.escape name);
+      Buffer.add_char buf ':';
+      Buffer.add_string buf (string_of_int value))
+    entries;
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let handle_metrics m ~slow =
+  let doc = metrics_doc (metrics_registry m) in
+  let entries =
+    if slow <= 0 then [] else Metrics.slow_log ~max:slow m.m_metrics
+  in
+  let slow =
+    String.concat "\n" (List.map Metrics.slow_to_json entries)
+  in
+  Wire.Metrics_ok { doc; slow }
+
+(* [on_lock] observes session-mutex wait for the span being traced;
+   [wire]/[bytes_in]/[bytes_out] describe the answering connection for
+   [stats]. *)
+let handle_frame m ~on_lock ~wire ~bytes_in ~bytes_out frame =
   match frame with
   | Wire.Hello { client_version } -> fst (hello_reply m client_version)
   | Wire.Open { session; policy; delta; bounds; n; speed; horizon; queue_limit }
@@ -131,7 +205,7 @@ let handle_frame m frame =
         ~queue_limit
   | Wire.Feed { session; colors; counts } ->
       with_session m session (fun s ->
-          match Session.feed s ~colors ~counts with
+          match Session.feed ~on_lock_wait_us:on_lock s ~colors ~counts with
           | Ok (Session.Accepted { accepted; buffered }) ->
               Wire.Fed { session; accepted; buffered }
           | Ok (Session.Shed_reply { shed; buffered; limit }) ->
@@ -139,7 +213,7 @@ let handle_frame m frame =
           | Error message -> Wire.Error_frame { message })
   | Wire.Step { session; rounds } ->
       with_session m session (fun s ->
-          match Session.step s ~rounds with
+          match Session.step ~on_lock_wait_us:on_lock s ~rounds with
           | Ok r ->
               Wire.Stepped
                 {
@@ -154,7 +228,7 @@ let handle_frame m frame =
           | Error message -> Wire.Error_frame { message })
   | Wire.Stats { session } ->
       with_session m session (fun s ->
-          let st = Session.stats s in
+          let st = Session.stats ~on_lock_wait_us:on_lock s in
           Wire.Stats_ok
             {
               session;
@@ -169,6 +243,9 @@ let handle_frame m frame =
               reconfigs = st.st_reconfigs;
               failed = st.st_failed;
               cost = st.st_cost;
+              wire;
+              bytes_in;
+              bytes_out;
             })
   | Wire.Snapshot { session; path } ->
       with_session m session (fun s -> (
@@ -188,14 +265,15 @@ let handle_frame m frame =
                          directory (--snap-dir)"
                 | Some dir -> (
                     let path = Filename.concat dir file in
-                    match Session.save s ~path with
+                    match Session.save ~on_lock_wait_us:on_lock s ~path with
                     | () ->
                         Wire.Snapshotted { session; path = Some path; doc = None }
                     | exception Sys_error message ->
                         Wire.Error_frame { message }))
           | None ->
               Wire.Snapshotted
-                { session; path = None; doc = Some (Session.snapshot s) }))
+                { session; path = None;
+                  doc = Some (Session.snapshot ~on_lock_wait_us:on_lock s) }))
   | Wire.Close { session } -> (
       (* Atomic take: of two racing [close] frames exactly one gets the
          session; the other answers "no such session". *)
@@ -217,12 +295,13 @@ let handle_frame m frame =
               let path = Filename.concat dir (snapshot_filename session) in
               try Sys.remove path with Sys_error _ -> ())
             m.m_snap_dir;
-          (match Session.close s with
+          (match Session.close ~on_lock_wait_us:on_lock s with
           | Ok cost -> Wire.Closed { session; cost }
           | Error message -> Wire.Error_frame { message }))
+  | Wire.Metrics { slow } -> handle_metrics m ~slow
   | Wire.Hello_ok _ | Wire.Opened _ | Wire.Fed _ | Wire.Shed _
   | Wire.Stepped _ | Wire.Stats_ok _ | Wire.Snapshotted _ | Wire.Closed _
-  | Wire.Error_frame _ ->
+  | Wire.Metrics_ok _ | Wire.Error_frame _ ->
       err "reply frames are not requests"
 
 (* ---- connection serving ---- *)
@@ -252,53 +331,111 @@ let conn_shutdown_all table =
    deep history, say — would desynchronize or kill the connection.
    Answer a clean [error] naming the limit instead; the connection (and
    the session) survives, and the snapshot is still reachable through
-   the file path. *)
+   the file path. Returns the bytes written, for the connection's
+   server-side accounting. *)
 let write_reply manager ~framing output reply =
   let bytes = Wire.to_wire framing reply in
-  if String.length bytes <= manager.m_max_reply then begin
-    output_string output bytes;
-    flush output
-  end
-  else
-    Wire.write ~framing output
-      (err
-         "reply frame of %d bytes exceeds the %d-byte frame limit; \
-          request the snapshot to a file (snapshot with a path) instead"
-         (String.length bytes) manager.m_max_reply)
+  let data =
+    if String.length bytes <= manager.m_max_reply then bytes
+    else
+      Wire.to_wire framing
+        (err
+           "reply frame of %d bytes exceeds the %d-byte frame limit; \
+            request the snapshot to a file (snapshot with a path) instead"
+           (String.length bytes) manager.m_max_reply)
+  in
+  output_string output data;
+  flush output;
+  String.length data
 
-let serve_connection manager stopping fd =
+let us_since t0 = Int64.to_int (Int64.div (Int64.sub (Clock.now_ns ()) t0) 1000L)
+
+let serve_connection manager ~worker stopping fd =
+  let metrics = manager.m_metrics in
   let input = Wire.reader (Unix.in_channel_of_descr fd) in
   let output = Unix.out_channel_of_descr fd in
   let framing = ref Wire.V1 in
+  let written = ref 0 in
+  (* One span and one lock-wait closure per connection, reused for every
+     frame: the tracing hot path allocates nothing per request. *)
+  let span = Metrics.span () in
+  let on_lock us = span.Metrics.s_lock_us <- span.Metrics.s_lock_us + us in
+  let wire_version () = match !framing with Wire.V1 -> 1 | Wire.V2 -> 2 in
   let rec loop () =
     if Atomic.get stopping then ()
-    else
+    else begin
+      Metrics.reset_span span;
+      span.Metrics.s_wire <- wire_version ();
+      let read_started = Clock.now_ns () in
+      let in_before = Wire.reader_bytes input in
       match Wire.read ~framing:!framing input with
       | Wire.Eof -> ()
       | Wire.Malformed message ->
-          write_reply manager ~framing:!framing output
-            (Wire.Error_frame { message });
-          loop ()
-      | Wire.Frame (Wire.Hello { client_version }) ->
-          (* The reply goes out in the framing the hello arrived in;
-             only then does the connection switch. *)
-          let reply, negotiated = hello_reply manager client_version in
-          Wire.write ~framing:!framing output reply;
-          Option.iter (fun f -> framing := f) negotiated;
+          let handled = Clock.now_ns () in
+          span.Metrics.s_read_us <- us_since read_started;
+          span.Metrics.s_bytes_in <- Wire.reader_bytes input - in_before;
+          let wrote =
+            write_reply manager ~framing:!framing output
+              (Wire.Error_frame { message })
+          in
+          written := !written + wrote;
+          span.Metrics.s_bytes_out <- wrote;
+          span.Metrics.s_write_us <- us_since handled;
+          Metrics.record_malformed metrics ~worker span;
           loop ()
       | Wire.Frame frame ->
-          let reply =
-            (* A bug in frame handling must cost this request, not the
-               server: fail the frame, keep the connection. *)
-            try handle_frame manager frame
-            with e ->
-              Log.err (fun f ->
-                  f "frame handler raised: %s" (Printexc.to_string e));
-              Wire.Error_frame
-                { message = "internal error: " ^ Printexc.to_string e }
+          let decoded = Clock.now_ns () in
+          span.Metrics.s_read_us <- us_since read_started;
+          span.Metrics.s_bytes_in <- Wire.reader_bytes input - in_before;
+          span.Metrics.s_kind <- Metrics.kind_index frame;
+          (match frame with
+          | Wire.Open { session; _ } | Wire.Feed { session; _ }
+          | Wire.Step { session; _ } | Wire.Stats { session; _ }
+          | Wire.Snapshot { session; _ } | Wire.Close { session; _ } ->
+              span.Metrics.s_session <- session
+          | _ -> ());
+          let reply, negotiated =
+            match frame with
+            (* The hello reply goes out in the framing the hello arrived
+               in; only then does the connection switch. *)
+            | Wire.Hello { client_version } ->
+                hello_reply manager client_version
+            | _ ->
+                let reply =
+                  (* A bug in frame handling must cost this request, not
+                     the server: fail the frame, keep the connection. *)
+                  try
+                    handle_frame manager ~on_lock ~wire:(wire_version ())
+                      ~bytes_in:(Wire.reader_bytes input)
+                      ~bytes_out:!written frame
+                  with e ->
+                    Slog.error ~event:"handler_raised"
+                      [ ("exn", Printexc.to_string e) ];
+                    Wire.Error_frame
+                      { message = "internal error: " ^ Printexc.to_string e }
+                in
+                (reply, None)
           in
-          write_reply manager ~framing:!framing output reply;
+          let handled = Clock.now_ns () in
+          span.Metrics.s_handle_us <-
+            Int64.to_int (Int64.div (Int64.sub handled decoded) 1000L);
+          (match reply with
+          | Wire.Error_frame _ -> span.Metrics.s_error <- true
+          | Wire.Stepped _ ->
+              (match frame with
+              | Wire.Step { rounds; _ } ->
+                  span.Metrics.s_rounds <- max rounds 1
+              | _ -> ())
+          | Wire.Shed { shed; _ } -> span.Metrics.s_shed <- shed
+          | _ -> ());
+          let wrote = write_reply manager ~framing:!framing output reply in
+          written := !written + wrote;
+          span.Metrics.s_bytes_out <- wrote;
+          span.Metrics.s_write_us <- us_since handled;
+          Option.iter (fun f -> framing := f) negotiated;
+          Metrics.record metrics ~worker span;
           loop ()
+    end
   in
   (try loop () with Sys_error _ | End_of_file -> ());
   (* The two channels share [fd]; closing the output channel closes it. *)
@@ -366,6 +503,9 @@ type t = {
   accept_domain : unit Domain.t;
   worker_domains : unit Domain.t list;
   cleanup_socket : string option; (* unix socket path to unlink on stop *)
+  metrics_fd : Unix.file_descr option;
+  metrics_domain : unit Domain.t option;
+  metrics_cleanup : string option;
 }
 
 (* A bad host name is an operator typo, not a crash: resolution failures
@@ -399,10 +539,61 @@ let listen_socket = function
       Unix.listen fd 64;
       (fd, None)
 
-let bound_port t =
-  match Unix.getsockname t.listen_fd with
+let port_of fd =
+  match Unix.getsockname fd with
   | Unix.ADDR_INET (_, port) -> Some port
   | _ -> None
+
+let bound_port t = port_of t.listen_fd
+let bound_metrics_port t = Option.bind t.metrics_fd port_of
+
+let address_label = function
+  | Unix_socket path -> "unix:" ^ path
+  | Tcp (host, port) -> Printf.sprintf "tcp:%s:%d" host port
+
+(* ---- the OpenMetrics exposition listener ----
+
+   A single domain serving one tiny HTTP/1.1 exchange per connection:
+   read and discard the request head, write the full exposition, close.
+   Scrapes are rare (seconds apart) and the registry fold is cheap, so
+   one blocking responder is plenty; the select poll mirrors the accept
+   loop so [stop] can join it. *)
+let serve_metrics_http manager stopping fd =
+  let answer client =
+    let input = Unix.in_channel_of_descr client in
+    let output = Unix.out_channel_of_descr client in
+    (try
+       (* Drain the request head (request line + headers). *)
+       let rec head () =
+         match input_line input with
+         | "" | "\r" -> ()
+         | _ -> head ()
+       in
+       head ()
+     with End_of_file -> ());
+    let body = Exposition.render (metrics_registry manager) in
+    output_string output (Exposition.http_response body);
+    flush output
+  in
+  let rec loop () =
+    if Atomic.get stopping then ()
+    else
+      match Unix.select [ fd ] [] [] 0.2 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | exception Unix.Unix_error _ -> ()
+      | [], _, _ -> loop ()
+      | _ :: _, _, _ -> (
+          match Unix.accept fd with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+          | exception Unix.Unix_error _ ->
+              if Atomic.get stopping then () else loop ()
+          | client, _ ->
+              (try answer client
+               with Sys_error _ | Unix.Unix_error _ -> ());
+              (try Unix.close client with Unix.Unix_error _ -> ());
+              loop ())
+  in
+  loop ()
 
 let restore_sessions manager =
   match manager.m_snap_dir with
@@ -426,9 +617,9 @@ let restore_sessions manager =
                    close/drain build snap_dir paths from it — a crafted
                    snapshot must not smuggle in a path-escaping name. *)
                 if not (valid_session_name name) then begin
-                  Log.err (fun f ->
-                      f "refusing to restore %s: path-unsafe session name %S"
-                        path name);
+                  Slog.error ~event:"restore_refused"
+                    [ ("path", path); ("session", name);
+                      ("reason", "path-unsafe session name") ];
                   Session.release session;
                   restored
                 end
@@ -442,19 +633,20 @@ let restore_sessions manager =
                         end)
                   in
                   if added then begin
-                    Log.info (fun f -> f "restored session %s from %s" name path);
+                    Slog.info ~event:"restored"
+                      [ ("session", name); ("path", path) ];
                     restored + 1
                   end
                   else begin
-                    Log.err (fun f ->
-                        f "snapshot %s collides with already-restored session \
-                           %S; skipping it" path name);
+                    Slog.error ~event:"restore_collision"
+                      [ ("path", path); ("session", name) ];
                     Session.release session;
                     restored
                   end
                 end
             | Error message ->
-                Log.err (fun f -> f "cannot restore %s: %s" path message);
+                Slog.error ~event:"restore_failed"
+                  [ ("path", path); ("reason", message) ];
                 restored
           end
           else restored)
@@ -480,6 +672,16 @@ let start ?(restore = true) config =
     failwith
       "a checkpoint interval requires snapshot version 2 (rrs-snap/1 cannot \
        compact history)";
+  if config.slow_threshold_us < 0 then
+    failwith
+      (Printf.sprintf "negative slow-request threshold %d"
+         config.slow_threshold_us);
+  if config.slow_log < 0 then
+    failwith (Printf.sprintf "negative slow-log capacity %d" config.slow_log);
+  let workers =
+    if config.domains > 0 then config.domains
+    else max 2 (Rrs_sim.Sweep.default_domains ())
+  in
   let manager =
     {
       m_mutex = Mutex.create ();
@@ -495,6 +697,10 @@ let start ?(restore = true) config =
       m_max_reply =
         (if config.max_reply > 0 then min config.max_reply Wire.max_frame
          else Wire.max_frame);
+      m_metrics =
+        Metrics.create ~workers ~slow_threshold_us:config.slow_threshold_us
+          ~slow_capacity:config.slow_log ();
+      m_server_id = config.server_id;
     }
   in
   Option.iter
@@ -505,13 +711,16 @@ let start ?(restore = true) config =
     config.trace_dir;
   let restored = if restore then restore_sessions manager else 0 in
   if restored > 0 then
-    Log.info (fun f -> f "restored %d session(s) from snapshots" restored);
+    Slog.info ~event:"restore_done" [ ("sessions", Slog.int restored) ];
   let listen_fd, cleanup_socket = listen_socket config.address in
-  let stopping = Atomic.make false in
-  let workers =
-    if config.domains > 0 then config.domains
-    else max 2 (Rrs_sim.Sweep.default_domains ())
+  let metrics_fd, metrics_cleanup =
+    match config.metrics with
+    | None -> (None, None)
+    | Some address ->
+        let fd, cleanup = listen_socket address in
+        (Some fd, cleanup)
   in
+  let stopping = Atomic.make false in
   let handoff = handoff_create (4 * workers) in
   let conns = { c_mutex = Mutex.create (); c_fds = Hashtbl.create 16 } in
   let accept_domain =
@@ -548,28 +757,35 @@ let start ?(restore = true) config =
         loop ())
   in
   let worker_domains =
-    List.init workers (fun _ ->
+    List.init workers (fun worker ->
         Domain.spawn (fun () ->
             let rec loop () =
               match handoff_pop handoff with
               | None -> ()
               | Some fd ->
-                  (try serve_connection manager stopping fd
+                  (try serve_connection manager ~worker stopping fd
                    with e ->
-                     Log.err (fun f ->
-                         f "connection handler raised: %s"
-                           (Printexc.to_string e)));
+                     Slog.error ~event:"connection_raised"
+                       [ ("worker", Slog.int worker);
+                         ("exn", Printexc.to_string e) ]);
                   conn_remove conns fd;
                   loop ()
             in
             loop ()))
   in
-  Log.info (fun f ->
-      f "serving %s with %d worker domain(s)"
-        (match config.address with
-        | Unix_socket path -> "unix:" ^ path
-        | Tcp (host, port) -> Printf.sprintf "tcp:%s:%d" host port)
-        workers);
+  let metrics_domain =
+    Option.map
+      (fun fd ->
+        Domain.spawn (fun () -> serve_metrics_http manager stopping fd))
+      metrics_fd
+  in
+  Slog.info ~event:"serving"
+    ([ ("address", address_label config.address);
+       ("workers", Slog.int workers) ]
+    @
+    match config.metrics with
+    | None -> []
+    | Some address -> [ ("metrics", address_label address) ]);
   {
     manager;
     listen_fd;
@@ -579,6 +795,9 @@ let start ?(restore = true) config =
     accept_domain;
     worker_domains;
     cleanup_socket;
+    metrics_fd;
+    metrics_domain;
+    metrics_cleanup;
   }
 
 let drain_sessions t =
@@ -599,11 +818,12 @@ let drain_sessions t =
               match Session.save session ~path with
               | () ->
                   Session.release session;
-                  Log.info (fun f -> f "drained session %s -> %s" name path);
+                  Slog.info ~event:"drained"
+                    [ ("session", name); ("path", path) ];
                   saved + 1
               | exception e ->
-                  Log.err (fun f ->
-                      f "cannot drain %s: %s" name (Printexc.to_string e));
+                  Slog.error ~event:"drain_failed"
+                    [ ("session", name); ("exn", Printexc.to_string e) ];
                   Session.release session;
                   saved))
         0 (session_names t.manager)
@@ -612,14 +832,22 @@ let stop ?(drain = true) t =
   Atomic.set t.stopping true;
   (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
   (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  Option.iter
+    (fun fd ->
+      (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+      try Unix.close fd with Unix.Unix_error _ -> ())
+    t.metrics_fd;
   conn_shutdown_all t.conns;
   handoff_close t.handoff;
   Domain.join t.accept_domain;
   List.iter Domain.join t.worker_domains;
+  Option.iter Domain.join t.metrics_domain;
   let drained = if drain then drain_sessions t else 0 in
   with_manager t.manager (fun () -> Hashtbl.reset t.manager.m_sessions);
   Option.iter (fun path -> try Sys.remove path with Sys_error _ -> ())
     t.cleanup_socket;
+  Option.iter (fun path -> try Sys.remove path with Sys_error _ -> ())
+    t.metrics_cleanup;
   drained
 
 let stop_requested = Atomic.make false
@@ -633,7 +861,7 @@ let serve ?restore config =
   while not (Atomic.get stop_requested) do
     Unix.sleepf 0.1
   done;
-  Log.info (fun f -> f "stop requested: draining");
+  Slog.info ~event:"stopping" [ ("reason", "signal") ];
   let drained = stop ~drain:true t in
   Sys.set_signal Sys.sigterm previous_term;
   Sys.set_signal Sys.sigint previous_int;

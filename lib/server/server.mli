@@ -53,6 +53,19 @@ type config = {
           [error] naming the limit, because the peer's reader could
           never receive the frame anyway; snapshot-to-file is the
           unbounded path *)
+  metrics : address option;
+      (** when set, a separate listener serving the merged metrics as
+          Prometheus/OpenMetrics text over one-shot HTTP/1.1 exchanges
+          (see {!Exposition}). Metrics are always collected; this only
+          adds the exposition endpoint *)
+  slow_threshold_us : int;
+      (** slow-request log threshold in µs;
+          [0] = {!Metrics.default_slow_threshold_us} *)
+  slow_log : int;
+      (** slow-request ring capacity;
+          [0] = {!Metrics.default_slow_capacity} *)
+  server_id : string;
+      (** identity string surfaced in [hello_ok] (e.g. ["rrs/1.0.0"]) *)
 }
 
 val default_config : address -> config
@@ -71,6 +84,9 @@ val start : ?restore:bool -> config -> t
 
 (** For [Tcp] with port 0: the port the kernel picked. *)
 val bound_port : t -> int option
+
+(** The metrics listener's port, when [config.metrics] is [Tcp]. *)
+val bound_metrics_port : t -> int option
 
 (** Stop accepting, shut down live connections, join all domains. With
     [drain] (default) every open session is snapshotted to [snap_dir]

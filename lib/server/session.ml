@@ -22,8 +22,17 @@ type t = {
          close/release race never double-closes the channel *)
 }
 
-let locked t f =
-  Mutex.lock t.mutex;
+(* [on_lock_wait_us], when given, observes the time this caller spent
+   blocked on the session mutex (µs) — the serving layer's lock_wait_us
+   series. The no-callback path stays a bare lock. *)
+let locked ?on_lock_wait_us t f =
+  (match on_lock_wait_us with
+  | None -> Mutex.lock t.mutex
+  | Some record ->
+      let started = Rrs_obs.Clock.now_ns () in
+      Mutex.lock t.mutex;
+      let waited = Int64.sub (Rrs_obs.Clock.now_ns ()) started in
+      record (Int64.to_int (Int64.div waited 1000L)));
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
 
 let resolve_policy key =
@@ -131,7 +140,7 @@ let validate_request t request =
           else Ok ())
     (Ok ()) request
 
-let feed t ~colors ~counts =
+let feed ?on_lock_wait_us t ~colors ~counts =
   if Array.length colors <> Array.length counts then
     Error "feed: colors and counts differ in length"
   else
@@ -139,7 +148,7 @@ let feed t ~colors ~counts =
       Array.to_list (Array.map2 (fun c k -> (c, k)) colors counts)
     in
     let jobs = Rrs_sim.Types.request_size request in
-    locked t (fun () ->
+    locked ?on_lock_wait_us t (fun () ->
         (* Validate before admission: an invalid request is rejected
            outright and never counts as fed or shed. *)
         match validate_request t request with
@@ -182,10 +191,10 @@ let step_summary t =
     sr_execs = Rrs_sim.Ledger.exec_count ledger;
   }
 
-let step t ~rounds =
+let step ?on_lock_wait_us t ~rounds =
   if rounds < 1 then Error "step: rounds must be >= 1"
   else
-    locked t (fun () ->
+    locked ?on_lock_wait_us t (fun () ->
         match
           for _ = 1 to rounds do
             Stepper.step t.stepper
@@ -208,8 +217,8 @@ type stats = {
   st_cost : int;
 }
 
-let stats t =
-  locked t (fun () ->
+let stats ?on_lock_wait_us t =
+  locked ?on_lock_wait_us t (fun () ->
       let ledger = Stepper.ledger t.stepper in
       {
         st_round = Stepper.round t.stepper;
@@ -238,15 +247,15 @@ let header_line t =
     (Json.escape snapshot_schema) (Json.escape t.name)
     (Json.escape t.policy_key) t.queue_limit t.fed t.shed t.snap_version
 
-let snapshot t =
-  locked t (fun () ->
+let snapshot ?on_lock_wait_us t =
+  locked ?on_lock_wait_us t (fun () ->
       header_line t ^ "\n" ^ Stepper.snapshot ~version:t.snap_version t.stepper)
 
-let save t ~path =
+let save ?on_lock_wait_us t ~path =
   (* Atomic, as Stepper.save: protected close so a failure mid-write
      never leaks the channel, and the temp file is unlinked instead of
      left behind when the write or the rename fails. *)
-  let doc = snapshot t in
+  let doc = snapshot ?on_lock_wait_us t in
   let tmp = path ^ ".tmp" in
   let channel = open_out tmp in
   try
@@ -262,8 +271,8 @@ let close_trace t =
   Option.iter close_out t.trace;
   t.trace <- None
 
-let close t =
-  locked t (fun () ->
+let close ?on_lock_wait_us t =
+  locked ?on_lock_wait_us t (fun () ->
       match Stepper.finish t.stepper with
       | result ->
           close_trace t;

@@ -3,7 +3,10 @@
 
     Every operation locks the session, so concurrent worker domains can
     serve frames for the same session safely (operations serialize; the
-    stepper itself is single-threaded state).
+    stepper itself is single-threaded state). The optional
+    [on_lock_wait_us] callback on each operation observes how long this
+    caller spent blocked on the session mutex, in µs — the serving
+    layer's [lock_wait_us] series; omitted, the lock is taken bare.
 
     {b Admission control}: [feed] is bounded by [queue_limit] jobs of
     fed-but-unstepped backlog. A feed that would exceed it is {e shed} —
@@ -74,7 +77,11 @@ type feed_result =
     request was rejected outright (mismatched arrays, unknown color,
     negative count) and does not count as fed. *)
 val feed :
-  t -> colors:int array -> counts:int array -> (feed_result, string) result
+  ?on_lock_wait_us:(int -> unit) ->
+  t ->
+  colors:int array ->
+  counts:int array ->
+  (feed_result, string) result
 
 type step_result = {
   sr_round : int;
@@ -85,7 +92,9 @@ type step_result = {
   sr_execs : int;
 }
 
-val step : t -> rounds:int -> (step_result, string) result
+val step :
+  ?on_lock_wait_us:(int -> unit) -> t -> rounds:int ->
+  (step_result, string) result
 
 type stats = {
   st_round : int;
@@ -101,20 +110,20 @@ type stats = {
   st_cost : int;
 }
 
-val stats : t -> stats
+val stats : ?on_lock_wait_us:(int -> unit) -> t -> stats
 
 (** The session as an [rrs-sess/1] document (embedded stepper schema per
     {!snap_version}). *)
-val snapshot : t -> string
+val snapshot : ?on_lock_wait_us:(int -> unit) -> t -> string
 
 (** Atomic write of {!snapshot} (temp + rename); on failure the channel
     is closed and the temp file unlinked before the exception
     propagates. *)
-val save : t -> path:string -> unit
+val save : ?on_lock_wait_us:(int -> unit) -> t -> path:string -> unit
 
 (** Finish the stepper (writes the stream summary), close the trace,
     return the final total cost. *)
-val close : t -> (int, string) result
+val close : ?on_lock_wait_us:(int -> unit) -> t -> (int, string) result
 
 (** Tear down without a summary (the trace ends with an [aborted]
     record): used when the server stops without drain. *)

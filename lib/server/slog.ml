@@ -1,0 +1,84 @@
+type level = Debug | Info | Warn | Error
+
+let int_of_level = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
+let level_name = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let level_of_string s =
+  match String.lowercase_ascii s with
+  | "debug" -> Some Debug
+  | "info" -> Some Info
+  | "warn" | "warning" -> Some Warn
+  | "error" -> Some Error
+  | _ -> None
+
+(* Default [Warn] keeps library consumers (tests, benches) quiet;
+   [rrs serve] raises it to [Info] from --log-level. *)
+let threshold = Atomic.make (int_of_level Warn)
+let set_level level = Atomic.set threshold (int_of_level level)
+
+let level () =
+  match Atomic.get threshold with
+  | 0 -> Debug
+  | 1 -> Info
+  | 2 -> Warn
+  | _ -> Error
+
+let enabled l = int_of_level l >= Atomic.get threshold
+
+let needs_quoting value =
+  value = ""
+  || String.exists
+       (fun c -> c = ' ' || c = '"' || c = '=' || c < ' ' || c = '\x7f')
+       value
+
+let quote value =
+  if not (needs_quoting value) then value
+  else begin
+    let buf = Buffer.create (String.length value + 8) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when c < ' ' || c = '\x7f' ->
+            Buffer.add_string buf (Printf.sprintf "\\x%02x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      value;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+
+(* One stderr write per record: lines from concurrent domains interleave
+   whole, never mid-field. *)
+let emit level ~event fields =
+  if enabled level then begin
+    let buf = Buffer.create 128 in
+    Buffer.add_string buf
+      (Printf.sprintf "ts=%.6f level=%s event=%s" (Rrs_obs.Clock.now_s ())
+         (level_name level) (quote event));
+    List.iter
+      (fun (key, value) ->
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf key;
+        Buffer.add_char buf '=';
+        Buffer.add_string buf (quote value))
+      fields;
+    Buffer.add_char buf '\n';
+    output_string stderr (Buffer.contents buf);
+    flush stderr
+  end
+
+let debug ~event fields = emit Debug ~event fields
+let info ~event fields = emit Info ~event fields
+let warn ~event fields = emit Warn ~event fields
+let error ~event fields = emit Error ~event fields
+let int n = string_of_int n

@@ -1,0 +1,37 @@
+(** Structured single-line logging for the serving layer.
+
+    Every record is one [key=value] line on stderr:
+
+    {v ts=12.345678 level=info event=accept conn=7 addr=127.0.0.1:9100 v}
+
+    [ts] is the monotonic clock ({!Rrs_obs.Clock.now_s}) — stable under
+    wall-clock jumps and directly comparable with span timings. Values
+    containing spaces, quotes, [=] or control characters are quoted and
+    escaped. Each record is a single [stderr] write, so lines from
+    concurrent domains interleave whole.
+
+    The threshold is a process-wide atomic, [Warn] by default so that
+    library consumers (tests, benches) stay quiet; [rrs serve] raises it
+    from [--log-level]. *)
+
+type level = Debug | Info | Warn | Error
+
+val level_name : level -> string
+
+(** Parse ["debug"], ["info"], ["warn"]/["warning"], ["error"]
+    (case-insensitive). *)
+val level_of_string : string -> level option
+
+val set_level : level -> unit
+val level : unit -> level
+
+(** [enabled l] is true when a record at level [l] would be emitted. *)
+val enabled : level -> bool
+
+val debug : event:string -> (string * string) list -> unit
+val info : event:string -> (string * string) list -> unit
+val warn : event:string -> (string * string) list -> unit
+val error : event:string -> (string * string) list -> unit
+
+(** Shorthand for [string_of_int], for field lists. *)
+val int : int -> string

@@ -27,8 +27,13 @@ type frame =
   | Stats of { session : string }
   | Snapshot of { session : string; path : string option }
   | Close of { session : string }
+  | Metrics of { slow : int } (* max slow-log entries wanted *)
   (* replies *)
-  | Hello_ok of { server_version : string }
+  | Hello_ok of {
+      server_version : string;
+      server : string; (* server identity, e.g. "rrs/1.0.0" *)
+      uptime_s : int;
+    }
   | Opened of { session : string; round : int }
   | Fed of { session : string; accepted : int; buffered : int }
   | Shed of { session : string; shed : int; buffered : int; limit : int }
@@ -54,9 +59,16 @@ type frame =
       reconfigs : int;
       failed : int;
       cost : int;
+      wire : int; (* negotiated wire version of the connection *)
+      bytes_in : int; (* server-side bytes read on the connection *)
+      bytes_out : int; (* server-side bytes written on the connection *)
     }
   | Snapshotted of { session : string; path : string option; doc : string option }
   | Closed of { session : string; cost : int }
+  | Metrics_ok of {
+      doc : string; (* merged snapshot as a flat JSON object, name -> int *)
+      slow : string; (* slow-request log, one JSON object per line *)
+    }
   | Error_frame of { message : string }
 
 (* ---- rrs-wire/1 encoding: flat JSON objects ---- *)
@@ -102,9 +114,12 @@ let encode = function
   | Close { session } ->
       Printf.sprintf "{\"type\":\"close\",\"session\":%s}"
         (Json.escape session)
-  | Hello_ok { server_version } ->
-      Printf.sprintf "{\"type\":\"hello_ok\",\"version\":%s}"
-        (Json.escape server_version)
+  | Metrics { slow } ->
+      Printf.sprintf "{\"type\":\"metrics\",\"slow\":%d}" slow
+  | Hello_ok { server_version; server; uptime_s } ->
+      Printf.sprintf
+        "{\"type\":\"hello_ok\",\"version\":%s,\"server\":%s,\"uptime_s\":%d}"
+        (Json.escape server_version) (Json.escape server) uptime_s
   | Opened { session; round } ->
       Printf.sprintf "{\"type\":\"opened\",\"session\":%s,\"round\":%d}"
         (Json.escape session) round
@@ -124,14 +139,14 @@ let encode = function
         (Json.escape session) round pending cost reconfigs drops execs
   | Stats_ok
       { session; round; pending; buffered; fed; accepted; shed; execs; drops;
-        reconfigs; failed; cost } ->
+        reconfigs; failed; cost; wire; bytes_in; bytes_out } ->
       Printf.sprintf
         "{\"type\":\"stats_ok\",\"session\":%s,\"round\":%d,\"pending\":%d,\
          \"buffered\":%d,\"fed\":%d,\"accepted\":%d,\"shed\":%d,\
          \"execs\":%d,\"drops\":%d,\"reconfigs\":%d,\"failed\":%d,\
-         \"cost\":%d}"
+         \"cost\":%d,\"wire\":%d,\"bytes_in\":%d,\"bytes_out\":%d}"
         (Json.escape session) round pending buffered fed accepted shed execs
-        drops reconfigs failed cost
+        drops reconfigs failed cost wire bytes_in bytes_out
   | Snapshotted { session; path; doc } ->
       Printf.sprintf "{\"type\":\"snapshotted\",\"session\":%s%s%s}"
         (Json.escape session)
@@ -144,6 +159,9 @@ let encode = function
   | Closed { session; cost } ->
       Printf.sprintf "{\"type\":\"closed\",\"session\":%s,\"cost\":%d}"
         (Json.escape session) cost
+  | Metrics_ok { doc; slow } ->
+      Printf.sprintf "{\"type\":\"metrics_ok\",\"doc\":%s,\"slow\":%s}"
+        (Json.escape doc) (Json.escape slow)
   | Error_frame { message } ->
       Printf.sprintf "{\"type\":\"error\",\"message\":%s}"
         (Json.escape message)
@@ -201,8 +219,19 @@ let decode text =
               (Snapshot
                  { session = session (); path = opt_str_field fields "path" })
         | "close" -> Ok (Close { session = session () })
+        | "metrics" ->
+            Ok (Metrics { slow = Json.opt_int_field fields "slow" ~default:0 })
         | "hello_ok" ->
-            Ok (Hello_ok { server_version = Json.str_field fields "version" })
+            (* [server]/[uptime_s] are optional so pre-observability
+               transcripts still decode. *)
+            Ok
+              (Hello_ok
+                 {
+                   server_version = Json.str_field fields "version";
+                   server =
+                     Option.value (opt_str_field fields "server") ~default:"";
+                   uptime_s = Json.opt_int_field fields "uptime_s" ~default:0;
+                 })
         | "opened" ->
             Ok
               (Opened
@@ -252,6 +281,10 @@ let decode text =
                    reconfigs = Json.int_field fields "reconfigs";
                    failed = Json.int_field fields "failed";
                    cost = Json.int_field fields "cost";
+                   wire = Json.opt_int_field fields "wire" ~default:0;
+                   bytes_in = Json.opt_int_field fields "bytes_in" ~default:0;
+                   bytes_out =
+                     Json.opt_int_field fields "bytes_out" ~default:0;
                  })
         | "snapshotted" ->
             Ok
@@ -265,6 +298,14 @@ let decode text =
             Ok
               (Closed
                  { session = session (); cost = Json.int_field fields "cost" })
+        | "metrics_ok" ->
+            Ok
+              (Metrics_ok
+                 {
+                   doc = Json.str_field fields "doc";
+                   slow =
+                     Option.value (opt_str_field fields "slow") ~default:"";
+                 })
         | "error" ->
             Ok (Error_frame { message = Json.str_field fields "message" })
         | other -> Error (Printf.sprintf "unknown frame type %S" other)
@@ -290,6 +331,7 @@ let tag_of_frame = function
   | Stats _ -> 5
   | Snapshot _ -> 6
   | Close _ -> 7
+  | Metrics _ -> 8
   | Hello_ok _ -> 17
   | Opened _ -> 18
   | Fed _ -> 19
@@ -299,6 +341,7 @@ let tag_of_frame = function
   | Snapshotted _ -> 23
   | Closed _ -> 24
   | Error_frame _ -> 25
+  | Metrics_ok _ -> 26
 
 let add_varint buffer value =
   (* zigzag, so negative ints stay compact and total *)
@@ -349,7 +392,11 @@ let add_payload buffer = function
       add_string buffer session;
       add_opt_string buffer path
   | Close { session } -> add_string buffer session
-  | Hello_ok { server_version } -> add_string buffer server_version
+  | Metrics { slow } -> add_varint buffer slow
+  | Hello_ok { server_version; server; uptime_s } ->
+      add_string buffer server_version;
+      add_string buffer server;
+      add_varint buffer uptime_s
   | Opened { session; round } ->
       add_string buffer session;
       add_varint buffer round
@@ -372,7 +419,7 @@ let add_payload buffer = function
       add_varint buffer execs
   | Stats_ok
       { session; round; pending; buffered; fed; accepted; shed; execs; drops;
-        reconfigs; failed; cost } ->
+        reconfigs; failed; cost; wire; bytes_in; bytes_out } ->
       add_string buffer session;
       add_varint buffer round;
       add_varint buffer pending;
@@ -384,7 +431,10 @@ let add_payload buffer = function
       add_varint buffer drops;
       add_varint buffer reconfigs;
       add_varint buffer failed;
-      add_varint buffer cost
+      add_varint buffer cost;
+      add_varint buffer wire;
+      add_varint buffer bytes_in;
+      add_varint buffer bytes_out
   | Snapshotted { session; path; doc } ->
       add_string buffer session;
       add_opt_string buffer path;
@@ -392,6 +442,9 @@ let add_payload buffer = function
   | Closed { session; cost } ->
       add_string buffer session;
       add_varint buffer cost
+  | Metrics_ok { doc; slow } ->
+      add_string buffer doc;
+      add_string buffer slow
   | Error_frame { message } -> add_string buffer message
 
 let encode_binary frame =
@@ -487,7 +540,12 @@ let decode_payload tag payload =
         let path = read_opt_string c in
         Snapshot { session; path }
     | 7 -> Close { session = str () }
-    | 17 -> Hello_ok { server_version = str () }
+    | 8 -> Metrics { slow = int () }
+    | 17 ->
+        let server_version = str () in
+        let server = str () in
+        let uptime_s = int () in
+        Hello_ok { server_version; server; uptime_s }
     | 18 ->
         let session = str () in
         let round = int () in
@@ -525,9 +583,12 @@ let decode_payload tag payload =
         let reconfigs = int () in
         let failed = int () in
         let cost = int () in
+        let wire = int () in
+        let bytes_in = int () in
+        let bytes_out = int () in
         Stats_ok
           { session; round; pending; buffered; fed; accepted; shed; execs;
-            drops; reconfigs; failed; cost }
+            drops; reconfigs; failed; cost; wire; bytes_in; bytes_out }
     | 23 ->
         let session = str () in
         let path = read_opt_string c in
@@ -538,6 +599,10 @@ let decode_payload tag payload =
         let cost = int () in
         Closed { session; cost }
     | 25 -> Error_frame { message = str () }
+    | 26 ->
+        let doc = str () in
+        let slow = str () in
+        Metrics_ok { doc; slow }
     | tag -> fail "unknown binary frame tag %d" tag
   with
   | frame ->

@@ -60,8 +60,17 @@ type frame =
           server's snapshot directory; arbitrary paths are refused.
           [None] returns the document inline. *)
   | Close of { session : string }
+  | Metrics of { slow : int }
+      (** Fetch the server-wide merged metrics snapshot; [slow] caps the
+          number of slow-request log entries returned (0 = none). *)
   (* replies *)
-  | Hello_ok of { server_version : string }
+  | Hello_ok of {
+      server_version : string;
+      server : string;
+          (** Server identity (name/version, e.g. ["rrs/1.0.0"]); [""]
+              from pre-observability peers. *)
+      uptime_s : int;  (** whole seconds since the server started *)
+    }
   | Opened of { session : string; round : int }
   | Fed of { session : string; accepted : int; buffered : int }
   | Shed of { session : string; shed : int; buffered : int; limit : int }
@@ -91,6 +100,13 @@ type frame =
       reconfigs : int;
       failed : int;
       cost : int;
+      wire : int;
+          (** negotiated wire version of the answering connection (1 or
+              2); 0 from pre-observability peers *)
+      bytes_in : int;
+          (** server-side bytes read on this connection so far (the
+              mirror of {!Client.bytes_sent}); 0 from older peers *)
+      bytes_out : int;  (** server-side bytes written on this connection *)
     }
   | Snapshotted of {
       session : string;
@@ -98,6 +114,15 @@ type frame =
       doc : string option;  (** the inline document, if requested *)
     }
   | Closed of { session : string; cost : int }
+  | Metrics_ok of {
+      doc : string;
+          (** the merged {!Rrs_obs.Probe.merged_snapshot} as one flat
+              JSON object (name -> int), parseable with
+              {!Rrs_sim.Event_sink.Json.parse_fields} *)
+      slow : string;
+          (** the slow-request log, newest first, one flat JSON object
+              per line (possibly empty) *)
+    }
   | Error_frame of { message : string }
 
 val encode : frame -> string

@@ -91,6 +91,129 @@ let test_probe_histogram_percentiles () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "non-increasing buckets must raise")
 
+let test_probe_percentile_edges () =
+  let registry = Probe.create_registry () in
+  (* Empty histogram: every percentile is 0. *)
+  let empty = Probe.histogram registry ~buckets:[| 2; 8 |] "empty" in
+  let snap = Probe.snapshot_histogram empty in
+  List.iter
+    (fun p -> check (Printf.sprintf "empty p%g" p) 0 (Probe.percentile snap p))
+    [ 0.0; 0.5; 0.999; 1.0 ];
+  (* Every sample above the last bound: no bucket bound applies, so all
+     percentiles report the observed max. *)
+  let over = Probe.histogram registry ~buckets:[| 2; 8 |] "over" in
+  Probe.observe over 100;
+  Probe.observe over 900;
+  let snap = Probe.snapshot_histogram over in
+  check "all-overflow count" 2 snap.Probe.overflow;
+  List.iter
+    (fun p ->
+      check (Printf.sprintf "overflow p%g" p) 900 (Probe.percentile snap p))
+    [ 0.01; 0.5; 0.999; 1.0 ];
+  (* One wide bucket: the bound never leaks, results clamp to the max. *)
+  let one = Probe.histogram registry ~buckets:[| 1000 |] "one" in
+  Probe.observe one 7;
+  let snap = Probe.snapshot_histogram one in
+  check "single bucket p50 clamps to max" 7 (Probe.percentile snap 0.5);
+  check "single bucket p999 clamps to max" 7 (Probe.percentile snap 0.999)
+
+let test_probe_snapshot_extended_percentiles () =
+  let registry = Probe.create_registry () in
+  let h = Probe.histogram registry ~buckets:[| 1; 2; 4; 8; 16 |] "lat" in
+  (* 988 at 1, 10 at 8, 2 at 16: cumulative 988 / 998 / 1000, so p50 and
+     p90 sit in the first bucket, p99 at 8 and p999 at 16. *)
+  Probe.observe_n h 1 ~n:988;
+  Probe.observe_n h 8 ~n:10;
+  Probe.observe_n h 16 ~n:2;
+  let snapshot = Probe.snapshot registry in
+  let stat key = List.assoc key snapshot in
+  check "count key" 1000 (stat "lat_count");
+  check "p50 key" 1 (stat "lat_p50");
+  check "p90 key" 1 (stat "lat_p90");
+  check "p99 key" 8 (stat "lat_p99");
+  check "p999 key" 16 (stat "lat_p999");
+  check "max key" 16 (stat "lat_max")
+
+let test_probe_merge () =
+  let a = Probe.create_registry () in
+  let b = Probe.create_registry () in
+  Probe.add (Probe.counter a "jobs") 5;
+  Probe.add (Probe.counter b "jobs") 7;
+  Probe.incr (Probe.counter b "only_b");
+  Probe.set_gauge (Probe.gauge a "depth") 9;
+  Probe.set_gauge (Probe.gauge a "depth") 2;
+  Probe.set_gauge (Probe.gauge b "depth") 4;
+  let ha = Probe.histogram a ~buckets:[| 2; 8 |] "lat" in
+  let hb = Probe.histogram b ~buckets:[| 2; 8 |] "lat" in
+  Probe.observe ha 1;
+  Probe.observe ha 100;
+  Probe.observe hb 5;
+  Probe.observe hb 2;
+  let merged = Probe.merged [ a; b ] in
+  check "counters add" 12 (Probe.counter_value (Probe.counter merged "jobs"));
+  check "missing names register" 1
+    (Probe.counter_value (Probe.counter merged "only_b"));
+  check "gauge maxima combine" 9 (Probe.gauge_max (Probe.gauge merged "depth"));
+  check "gauge values add" 6 (Probe.gauge_value (Probe.gauge merged "depth"));
+  let snap =
+    Probe.snapshot_histogram (Probe.histogram merged ~buckets:[| 2; 8 |] "lat")
+  in
+  check "hist count" 4 snap.Probe.count;
+  check "hist sum" 108 snap.Probe.sum;
+  check "hist min" 1 snap.Probe.min_value;
+  check "hist max" 100 snap.Probe.max_value;
+  check "hist overflow" 1 snap.Probe.overflow;
+  check_bool "buckets add" true (snap.Probe.buckets = [| (2, 2); (8, 1) |]);
+  (* Merging never mutates the source workers' registries. *)
+  check "source untouched" 2 (Probe.snapshot_histogram ha).Probe.count;
+  (* Same histogram name under different bounds refuses to fold. *)
+  let c = Probe.create_registry () in
+  ignore (Probe.histogram c ~buckets:[| 1; 2 |] "lat");
+  match Probe.merge ~into:c a with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "mismatched bucket bounds must raise"
+
+(* The cross-domain aggregation contract: a sample stream split across k
+   per-worker registries and then merged is indistinguishable from one
+   registry that saw every sample — counters, gauge maxima and every
+   histogram bucket. *)
+let prop_merge_equals_single =
+  QCheck2.Test.make
+    ~name:"probe: merged shards = one registry over all samples" ~count:200
+    QCheck2.Gen.(pair (int_range 1 5) (small_list (int_bound 5000)))
+    (fun (k, samples) ->
+      let buckets = [| 1; 4; 16; 64; 256; 1024 |] in
+      let shards = Array.init k (fun _ -> Probe.create_registry ()) in
+      let whole = Probe.create_registry () in
+      List.iteri
+        (fun i sample ->
+          let record registry =
+            Probe.add (Probe.counter registry "total") sample;
+            Probe.incr (Probe.counter registry "samples");
+            Probe.set_gauge (Probe.gauge registry "last") sample;
+            Probe.observe (Probe.histogram registry ~buckets "lat") sample
+          in
+          record shards.(i mod k);
+          record whole)
+        samples;
+      let merged = Probe.merged (Array.to_list shards) in
+      let hist registry =
+        Probe.snapshot_histogram (Probe.histogram registry ~buckets "lat")
+      in
+      let m = hist merged and w = hist whole in
+      Probe.counter_value (Probe.counter merged "total")
+      = Probe.counter_value (Probe.counter whole "total")
+      && Probe.counter_value (Probe.counter merged "samples")
+         = List.length samples
+      && Probe.gauge_max (Probe.gauge merged "last")
+         = Probe.gauge_max (Probe.gauge whole "last")
+      && m.Probe.count = w.Probe.count
+      && m.Probe.sum = w.Probe.sum
+      && m.Probe.min_value = w.Probe.min_value
+      && m.Probe.max_value = w.Probe.max_value
+      && m.Probe.overflow = w.Probe.overflow
+      && m.Probe.buckets = w.Probe.buckets)
+
 (* ---- event sink ---- *)
 
 let sample_events =
@@ -428,6 +551,12 @@ let suite =
           test_probe_disabled_costs_nothing;
         Alcotest.test_case "histogram percentiles" `Quick
           test_probe_histogram_percentiles;
+        Alcotest.test_case "percentile edge cases" `Quick
+          test_probe_percentile_edges;
+        Alcotest.test_case "snapshot p90/p999" `Quick
+          test_probe_snapshot_extended_percentiles;
+        Alcotest.test_case "cross-registry merge" `Quick test_probe_merge;
+        QCheck_alcotest.to_alcotest prop_merge_equals_single;
       ] );
     ( "obs.sink",
       [

@@ -68,8 +68,11 @@ let gen_frame : Wire.frame QCheck2.Gen.t =
         (let* path = gen_opt_name in
          return (Wire.Snapshot { session; path }));
         return (Wire.Close { session });
+        (let* slow = int in
+         return (Wire.Metrics { slow }));
         (let* v = gen_name in
-         return (Wire.Hello_ok { server_version = v }));
+         let* server = gen_name and* uptime_s = int in
+         return (Wire.Hello_ok { server_version = v; server; uptime_s }));
         (let* round = int in
          return (Wire.Opened { session; round }));
         (let* accepted = int and* buffered = int in
@@ -84,12 +87,15 @@ let gen_frame : Wire.frame QCheck2.Gen.t =
          let* fed = int and* accepted = int and* shed = int in
          let* execs = int and* drops = int and* reconfigs = int in
          let* failed = int and* cost = int in
+         let* wire = int and* bytes_in = int and* bytes_out = int in
          return
            (Wire.Stats_ok
               { session; round; pending; buffered; fed; accepted; shed; execs;
-                drops; reconfigs; failed; cost }));
+                drops; reconfigs; failed; cost; wire; bytes_in; bytes_out }));
         (let* path = gen_opt_name and* doc = gen_opt_name in
          return (Wire.Snapshotted { session; path; doc }));
+        (let* doc = gen_name and* slow = gen_name in
+         return (Wire.Metrics_ok { doc; slow }));
         (let* cost = int in
          return (Wire.Closed { session; cost }));
         (let* message = gen_name in
@@ -569,6 +575,14 @@ let expect_ok = function
   | Ok frame -> frame
   | Error message -> Alcotest.fail message
 
+(* [stats_ok] carries per-connection transport fields (negotiated wire
+   version, server-side byte counts) that legitimately differ across
+   connections, framings and even consecutive calls; zero them before
+   comparing stats replies for session-semantic equality. *)
+let normalize_stats = function
+  | Wire.Stats_ok s -> Wire.Stats_ok { s with wire = 0; bytes_in = 0; bytes_out = 0 }
+  | frame -> frame
+
 let expect_error client = function
   | label -> (
       match Client.read_reply client with
@@ -666,8 +680,9 @@ let test_server_survives_malformed () =
       let stats_after =
         expect_ok (Client.call client (Wire.Stats { session = "live" }))
       in
-      check_string "session unharmed by corpus" (Wire.encode stats_before)
-        (Wire.encode stats_after);
+      check_string "session unharmed by corpus"
+        (Wire.encode (normalize_stats stats_before))
+        (Wire.encode (normalize_stats stats_after));
       (match expect_ok (Client.call client (Wire.Step { session = "live"; rounds = 2 })) with
       | Wire.Stepped { round; _ } -> check "still stepping" 3 round
       | f -> Alcotest.failf "unexpected step reply %s" (Wire.encode f));
@@ -711,7 +726,7 @@ let test_server_drain_restore () =
         feed_step client "d" [||] [||];
         let stats = expect_ok (Client.call client (Wire.Stats { session = "d" })) in
         Client.close client;
-        Wire.encode stats)
+        Wire.encode (normalize_stats stats))
   in
   (* Interrupted: two server processes around a drain. *)
   let server1 = Server.start config in
@@ -752,7 +767,8 @@ let test_server_drain_restore () =
   expect_error client "closed session resurrected after restart";
   Client.close client;
   ignore (Server.stop ~drain:false server3);
-  check_string "ledger continues across restart" reference (Wire.encode stats)
+  check_string "ledger continues across restart" reference
+    (Wire.encode (normalize_stats stats))
 
 (* ---- rrs-wire/2: binary codec, resync, negotiation ---- *)
 
@@ -1098,14 +1114,15 @@ let test_wire2_live_negotiation () =
       let after =
         expect_ok (Client.call client (Wire.Stats { session = "v2" }))
       in
-      check_string "session unharmed by garbage" (Wire.encode before)
-        (Wire.encode after);
+      check_string "session unharmed by garbage"
+        (Wire.encode (normalize_stats before))
+        (Wire.encode (normalize_stats after));
       (* hello over the binary framing re-states the version. *)
       (match
          expect_ok
            (Client.call client (Wire.Hello { client_version = Wire.version2 }))
        with
-      | Wire.Hello_ok { server_version } ->
+      | Wire.Hello_ok { server_version; _ } ->
           check_string "still /2" Wire.version2 server_version
       | f -> Alcotest.failf "unexpected hello reply %s" (Wire.encode f));
       (match expect_ok (Client.call client (Wire.Close { session = "v2" })) with
@@ -1149,7 +1166,7 @@ let test_wire_equality_across_framings () =
       let script client =
         let replies = ref [] in
         let call frame =
-          replies := expect_ok (Client.call client frame) :: !replies
+          replies := normalize_stats (expect_ok (Client.call client frame)) :: !replies
         in
         call (open_frame_for "eq");
         call (Wire.Feed { session = "eq"; colors = [| 0; 1 |]; counts = [| 3; 2 |] });
@@ -1292,6 +1309,245 @@ let test_accept_survives_signal_churn () =
             Client.close client
           done))
 
+(* ---- observability: metrics plane, slow log, exposition ---- *)
+
+module Metrics = Rrs_server.Metrics
+module Exposition = Rrs_server.Exposition
+module Json = Rrs_sim.Event_sink.Json
+
+(* The 'metrics' wire request must reconcile with the connection's own
+   transcript: per-kind request counters, error counts, shed jobs and
+   executed rounds are exactly what this client saw, and the stats_ok
+   transport fields mirror the client's byte counters. *)
+let test_metrics_reconciliation () =
+  with_server (fun ~address ~snap_dir:_ ->
+      let client = Client.connect address in
+      (match
+         expect_ok
+           (Client.call client (Wire.Hello { client_version = Wire.version }))
+       with
+      | Wire.Hello_ok { server_version; server; uptime_s } ->
+          check_string "negotiated /1" Wire.version server_version;
+          check_string "server identity surfaced" "rrs" server;
+          check_bool "uptime surfaced" true (uptime_s >= 0)
+      | f -> Alcotest.failf "unexpected hello reply %s" (Wire.encode f));
+      ignore (expect_ok (Client.call client (open_frame_for "obs")));
+      ignore
+        (expect_ok
+           (Client.call client
+              (Wire.Feed { session = "obs"; colors = [| 0; 1 |]; counts = [| 3; 2 |] })));
+      (* 5 buffered + 9 > queue_limit 6: the whole feed is shed. *)
+      let shed_jobs =
+        match
+          expect_ok
+            (Client.call client
+               (Wire.Feed { session = "obs"; colors = [| 2 |]; counts = [| 9 |] }))
+        with
+        | Wire.Shed { shed; _ } -> shed
+        | f -> Alcotest.failf "expected a shed reply, got %s" (Wire.encode f)
+      in
+      (match
+         expect_ok (Client.call client (Wire.Step { session = "obs"; rounds = 3 }))
+       with
+      | Wire.Stepped _ -> ()
+      | f -> Alcotest.failf "unexpected step reply %s" (Wire.encode f));
+      Client.send client (Wire.Stats { session = "nope" });
+      expect_error client "unknown session";
+      (* Server-side byte accounting: with a strict request/reply
+         protocol the server has read exactly what we sent and written
+         exactly what we received. *)
+      let received_before = Client.bytes_received client in
+      (match expect_ok (Client.call client (Wire.Stats { session = "obs" })) with
+      | Wire.Stats_ok { wire; bytes_in; bytes_out; shed; _ } ->
+          check "stats_ok carries the negotiated wire version" 1 wire;
+          check "server-side bytes_in = client bytes sent"
+            (Client.bytes_sent client) bytes_in;
+          check "server-side bytes_out = client bytes received"
+            received_before bytes_out;
+          check "shed surfaced in stats" shed_jobs shed
+      | f -> Alcotest.failf "unexpected stats reply %s" (Wire.encode f));
+      let doc =
+        match expect_ok (Client.call client (Wire.Metrics { slow = 0 })) with
+        | Wire.Metrics_ok { doc; slow } ->
+            check_string "no slow entries requested" "" slow;
+            doc
+        | f -> Alcotest.failf "unexpected metrics reply %s" (Wire.encode f)
+      in
+      let fields = Json.parse_fields doc in
+      let g name = Json.opt_int_field fields name ~default:0 in
+      (* Transcript so far: hello open feed feed step stats stats. The
+         in-flight metrics request is recorded only after its reply. *)
+      check "requests_total" 7 (g "requests_total");
+      check "hello counted" 1 (g "requests_hello");
+      check "opens counted" 1 (g "requests_open");
+      check "feeds counted" 2 (g "requests_feed");
+      check "steps counted" 1 (g "requests_step");
+      check "stats counted (the error too)" 2 (g "requests_stats");
+      check "metrics not yet counted mid-flight" 0 (g "requests_metrics");
+      check "errors_total" 1 (g "errors_total");
+      check "malformed_total" 0 (g "malformed_total");
+      check "per-kind counters sum to the total" (g "requests_total")
+        (Array.fold_left
+           (fun acc k -> acc + g ("requests_" ^ k))
+           0 Metrics.kinds);
+      check "per-kind latency histograms cover every request"
+        (g "requests_total")
+        (Array.fold_left
+           (fun acc k -> acc + g ("req_latency_us_" ^ k ^ "_count"))
+           0 Metrics.kinds);
+      check "shed jobs reconcile" shed_jobs (g "shed_jobs_total");
+      check "rounds reconcile" 3 (g "rounds_total");
+      check "sessions_open gauge" 1 (g "sessions_open");
+      check "session shed gauge agrees" shed_jobs (g "sessions_shed_jobs");
+      (* The second look sees the first metrics request counted. *)
+      (match expect_ok (Client.call client (Wire.Metrics { slow = 0 })) with
+      | Wire.Metrics_ok { doc; _ } ->
+          check "first metrics request counted" 1
+            (Json.opt_int_field (Json.parse_fields doc) "requests_metrics"
+               ~default:0)
+      | f -> Alcotest.failf "unexpected metrics reply %s" (Wire.encode f));
+      Client.close client)
+
+(* A 1 µs threshold makes essentially every request slow: entries show
+   up newest first, parse as flat JSON, respect the ring capacity and
+   the per-request cap. *)
+let test_metrics_slow_log () =
+  let dir = Filename.temp_file "rrs_slow" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let address = Server.Unix_socket (Filename.concat dir "sock") in
+  let config =
+    { (Server.default_config address) with domains = 2;
+      slow_threshold_us = 1; slow_log = 4 }
+  in
+  let server = Server.start config in
+  Fun.protect
+    ~finally:(fun () -> ignore (Server.stop ~drain:false server))
+    (fun () ->
+      let client = Client.connect address in
+      ignore (expect_ok (Client.call client (open_frame_for "slow")));
+      for _ = 1 to 6 do
+        ignore
+          (expect_ok
+             (Client.call client
+                (Wire.Feed { session = "slow"; colors = [| 0 |]; counts = [| 1 |] })));
+        ignore
+          (expect_ok
+             (Client.call client (Wire.Step { session = "slow"; rounds = 1 })))
+      done;
+      (match expect_ok (Client.call client (Wire.Metrics { slow = 10 })) with
+      | Wire.Metrics_ok { doc; slow } ->
+          check_bool "slow_total counted" true
+            (Json.opt_int_field (Json.parse_fields doc) "slow_total" ~default:0
+             > 0);
+          check_bool "slow log non-empty" true (slow <> "");
+          let lines = String.split_on_char '\n' slow in
+          check_bool "ring capacity bounds the log" true
+            (List.length lines <= 4);
+          let ats =
+            List.map
+              (fun line ->
+                let f = Json.parse_fields line in
+                check_bool "latency at or over the threshold" true
+                  (Json.int_field f "latency_us" >= 1);
+                check_bool "kind name is known" true
+                  (Array.exists (( = ) (Json.str_field f "type")) Metrics.kinds);
+                Json.int_field f "at_us")
+              lines
+          in
+          check_bool "newest first" true
+            (List.sort (fun a b -> compare b a) ats = ats)
+      | f -> Alcotest.failf "unexpected metrics reply %s" (Wire.encode f));
+      (* slow=0 asks for no entries even though some were recorded. *)
+      (match expect_ok (Client.call client (Wire.Metrics { slow = 0 })) with
+      | Wire.Metrics_ok { slow; _ } -> check_string "slow=0 elides" "" slow
+      | f -> Alcotest.failf "unexpected metrics reply %s" (Wire.encode f));
+      Client.close client)
+
+(* The Prometheus rendering, off a hand-fed metrics plane: labeled
+   families, cumulative le-buckets, merged across worker slots. *)
+let test_exposition_render () =
+  let m = Metrics.create ~workers:2 () in
+  let span = Metrics.span () in
+  let record ~worker kind =
+    Metrics.reset_span span;
+    span.Metrics.s_kind <- kind;
+    span.Metrics.s_handle_us <- 5;
+    span.Metrics.s_write_us <- 2;
+    span.Metrics.s_bytes_in <- 10;
+    span.Metrics.s_bytes_out <- 20;
+    Metrics.record m ~worker span
+  in
+  (* feed on both workers, step on one: the render must merge slots. *)
+  record ~worker:0 2;
+  record ~worker:1 2;
+  record ~worker:1 3;
+  let text = Exposition.render (Metrics.merged m) in
+  let expect needle =
+    check_bool (Printf.sprintf "exposition contains %S" needle) true
+      (contains ~needle text)
+  in
+  expect "# TYPE rrs_requests counter";
+  expect "rrs_requests{type=\"feed\"} 2";
+  expect "rrs_requests{type=\"step\"} 1";
+  expect "rrs_requests_total 3";
+  (* latency 5+2=7 µs: cumulative zero through le=4, both feeds by le=8 *)
+  expect "rrs_req_latency_us_bucket{type=\"feed\",le=\"4\"} 0";
+  expect "rrs_req_latency_us_bucket{type=\"feed\",le=\"8\"} 2";
+  expect "rrs_req_latency_us_bucket{type=\"feed\",le=\"+Inf\"} 2";
+  expect "rrs_req_latency_us_sum{type=\"feed\"} 14";
+  expect "rrs_req_latency_us_count{type=\"feed\"} 2";
+  expect "# TYPE rrs_lock_wait_us histogram";
+  expect "rrs_lock_wait_us_count 3";
+  expect "rrs_bytes_in_sum 30"
+
+(* The --metrics listener end to end: drive a session over the wire,
+   then scrape the HTTP endpoint and find the series. *)
+let test_metrics_http_endpoint () =
+  let dir = Filename.temp_file "rrs_http" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let address = Server.Unix_socket (Filename.concat dir "sock") in
+  let config =
+    { (Server.default_config address) with domains = 2;
+      metrics = Some (Server.Tcp ("127.0.0.1", 0)) }
+  in
+  let server = Server.start config in
+  Fun.protect
+    ~finally:(fun () -> ignore (Server.stop ~drain:false server))
+    (fun () ->
+      let client = Client.connect address in
+      ignore (expect_ok (Client.call client (open_frame_for "http")));
+      feed_step client "http" [| 0 |] [| 2 |];
+      (* A metrics round trip synchronizes: every earlier span is
+         recorded once its reply (and thus this one) is out. *)
+      ignore (expect_ok (Client.call client (Wire.Metrics { slow = 0 })));
+      let port =
+        match Server.bound_metrics_port server with
+        | Some port -> port
+        | None -> Alcotest.fail "no bound metrics port"
+      in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let out = Unix.out_channel_of_descr fd in
+      output_string out "GET /metrics HTTP/1.1\r\nHost: test\r\n\r\n";
+      flush out;
+      let response = In_channel.input_all (Unix.in_channel_of_descr fd) in
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      let expect needle =
+        check_bool (Printf.sprintf "scrape contains %S" needle) true
+          (contains ~needle response)
+      in
+      expect "HTTP/1.1 200 OK";
+      expect "Content-Type: text/plain; version=0.0.4";
+      expect "# TYPE rrs_requests counter";
+      expect "rrs_requests{type=\"open\"} 1";
+      expect "rrs_requests{type=\"feed\"} 1";
+      expect "rrs_requests{type=\"step\"} 1";
+      expect "rrs_sessions_open 1";
+      expect "le=\"+Inf\"";
+      Client.close client)
+
 let prop = QCheck_alcotest.to_alcotest
 
 let suite =
@@ -1366,5 +1622,16 @@ let suite =
           test_oversize_inline_snapshot_reply;
         Alcotest.test_case "accept survives signal churn" `Quick
           test_accept_survives_signal_churn;
+      ] );
+    ( "server.observability",
+      [
+        Alcotest.test_case "metrics reconcile with the client transcript"
+          `Quick test_metrics_reconciliation;
+        Alcotest.test_case "slow-request log over the wire" `Quick
+          test_metrics_slow_log;
+        Alcotest.test_case "prometheus exposition rendering" `Quick
+          test_exposition_render;
+        Alcotest.test_case "--metrics http endpoint serves a scrape" `Quick
+          test_metrics_http_endpoint;
       ] );
   ]
