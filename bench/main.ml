@@ -21,10 +21,17 @@
    completes degraded with attributable errors. *)
 
 let usage =
-  "all | tables | micro | sweep | serve | snap [--json FILE] [--inject-crash]"
+  "all | tables | micro | sweep | serve | snap | failover [--json FILE] \
+   [--inject-crash]"
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
+  (* [shard-child] is the E21 failover bench re-exec'ing itself as a
+     killable shard process: no banner, no table — just a session
+     server until SIGTERM. *)
+  (match args with
+  | "shard-child" :: rest -> Failover_bench.shard_child rest
+  | _ -> ());
   let rec parse mode json inject_crash = function
     | [] -> (mode, json, inject_crash)
     | "--json" :: path :: rest -> parse mode (Some path) inject_crash rest
@@ -48,6 +55,7 @@ let () =
   | "sweep" -> Sweep_bench.run ?json ~inject_crash ()
   | "serve" -> Serve_bench.run ?json ()
   | "snap" -> Snap_bench.run ?json ()
+  | "failover" -> Failover_bench.run ?json ()
   | "all" ->
       Experiments.run_all ?json ();
       Micro.run ()

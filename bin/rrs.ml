@@ -760,8 +760,18 @@ let serve_cmd =
       & info [ "slow-log" ] ~docv:"ENTRIES"
           ~doc:"Slow-request ring capacity (0 = built-in default, 64).")
   in
+  let autosnap =
+    Arg.(
+      value & flag
+      & info [ "autosnap" ]
+          ~doc:
+            "Write each session's snapshot into --snap-dir whenever a step \
+             crosses a checkpoint boundary, so a crash (kill -9, no drain) \
+             loses at most --checkpoint-every rounds per session. Requires \
+             --snap-dir; no effect on rrs-snap/1 sessions.")
+  in
   let run () socket tcp snap_dir trace_dir domains queue_limit no_restore wire
-      snap_version checkpoint_every max_reply metrics slow_us slow_log
+      snap_version checkpoint_every max_reply metrics slow_us slow_log autosnap
       log_level =
     let address = or_die (address_of_args socket tcp) in
     let max_wire = or_die (check_wire ~default:2 wire) in
@@ -790,6 +800,7 @@ let serve_cmd =
         slow_threshold_us = slow_us;
         slow_log;
         server_id = "rrs/1.0.0";
+        autosnap;
       }
     in
     match Rrs_server.Server.serve ~restore:(not no_restore) config with
@@ -811,7 +822,7 @@ let serve_cmd =
     Term.(
       const run $ verbose_arg $ socket_arg $ tcp_arg $ snap_dir $ trace_dir
       $ domains $ queue_limit $ no_restore $ wire $ snap_version
-      $ checkpoint_every $ max_reply $ metrics $ slow_us $ slow_log
+      $ checkpoint_every $ max_reply $ metrics $ slow_us $ slow_log $ autosnap
       $ log_level_arg)
 
 (* The client script language, one command per line ('#' comments):
@@ -979,26 +990,51 @@ let client_cmd =
         "Wire version to negotiate at connect (default 1). With --wire 2 \
          the session upgrades to the binary framing before the script runs."
   in
-  let run () socket tcp script wire =
+  let timeout_ms =
+    Arg.(
+      value & opt int 0
+      & info [ "timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "Per-call deadline: a reply not received within $(docv) fails \
+             the command with a clean error instead of blocking (0 = no \
+             deadline). Also bounds the connect itself.")
+  in
+  let retries =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ] ~docv:"K"
+          ~doc:
+            "Retry failed calls up to $(docv) times with jittered \
+             exponential backoff. Only requests whose replay is safe \
+             (hello/stats/metrics) are retried after bytes were written; \
+             feed/step and the other mutating commands are retried only \
+             when the connection attempt itself failed.")
+  in
+  let run () socket tcp script wire timeout_ms retries =
     let address = or_die (address_of_args socket tcp) in
     let wire = or_die (check_wire ~default:1 wire) in
+    if retries < 0 then begin
+      Format.eprintf "error: negative --retries %d@." retries;
+      exit 1
+    end;
     let channel = if script = "-" then stdin else open_in script in
-    let client =
-      try Rrs_server.Client.connect address with
-      | Unix.Unix_error (e, _, _) ->
-          Format.eprintf "error: cannot connect: %s@." (Unix.error_message e);
-          exit 1
-      | Failure message ->
-          Format.eprintf "error: %s@." message;
-          exit 1
+    let timeout_ms = if timeout_ms > 0 then Some timeout_ms else None in
+    let endpoint =
+      Rrs_server.Client.Endpoint.create ?timeout_ms
+        ~retry:(Rrs_server.Client.retry_policy ~attempts:(retries + 1) ())
+        ~wire address
     in
-    if wire = 2 then
-      or_die (Rrs_server.Client.negotiate client ~wire);
+    (* Satellite contract for every CLI entry: a dead or unresolvable
+       address is a one-line "cannot connect: ..." and exit 1. *)
+    (match Rrs_server.Client.Endpoint.connection endpoint with
+    | Ok _ -> ()
+    | Error message ->
+        Format.eprintf "error: %s@." message;
+        exit 1);
     let failures = ref 0 in
     (* [raw] exists to poke the protocol with malformed input, so an
        [error] reply to it is the expected outcome, not a failure. *)
-    let print_reply ~error_expected =
-      match Rrs_server.Client.read_reply client with
+    let print_result ~error_expected = function
       | Ok frame ->
           print_endline (Rrs_server.Wire.encode frame);
           (match frame with
@@ -1008,6 +1044,11 @@ let client_cmd =
       | Error message ->
           Format.eprintf "error: %s@." message;
           incr failures
+    in
+    let connection_wire () =
+      match Rrs_server.Client.Endpoint.connection endpoint with
+      | Ok c -> Rrs_server.Client.wire_version c
+      | Error _ -> wire
     in
     let rec loop number =
       match input_line channel with
@@ -1020,36 +1061,52 @@ let client_cmd =
                  never downgrades a negotiated /2 connection. *)
               let frame =
                 match frame with
-                | Rrs_server.Wire.Hello _
-                  when Rrs_server.Client.wire_version client = 2 ->
+                | Rrs_server.Wire.Hello _ when connection_wire () = 2 ->
                     Rrs_server.Wire.Hello
                       { client_version = Rrs_server.Wire.version2 }
                 | frame -> frame
               in
-              Rrs_server.Client.send client frame;
-              print_reply ~error_expected:false
+              print_result ~error_expected:false
+                (Rrs_server.Client.Endpoint.call endpoint frame)
           | Ok (Client_script.Raw payload) ->
-              Rrs_server.Client.send_raw client payload;
-              print_reply ~error_expected:true
+              (* Raw lines go out on the endpoint's live connection;
+                 write failures are clean one-line errors like
+                 everything else. *)
+              (match Rrs_server.Client.Endpoint.connection endpoint with
+              | Error message ->
+                  Format.eprintf "error: %s@." message;
+                  incr failures
+              | Ok c ->
+                  (match Rrs_server.Client.send_raw c payload with
+                  | () ->
+                      print_result ~error_expected:true
+                        (Rrs_server.Client.read_reply ?deadline_ms:timeout_ms c)
+                  | exception Sys_error message ->
+                      Format.eprintf "error: connection lost: %s@." message;
+                      incr failures))
           | Error message ->
               Format.eprintf "%s:%d: %s@." script number message;
               incr failures);
           loop (number + 1)
     in
     loop 1;
-    Rrs_server.Client.close client;
+    Rrs_server.Client.Endpoint.close endpoint;
     if script <> "-" then close_in channel;
     if !failures > 0 then exit 2
   in
   Cmd.v
     (Cmd.info "client"
        ~doc:
-         "Drive an rrs serve instance from a command script: open named \
-          sessions, feed arrivals, step rounds, query stats, snapshot and \
-          close. Replies are printed as rrs-wire/1 JSON, one per line \
-          (even when the connection itself runs the /2 binary framing); \
-          exits 2 if any command failed.")
-    Term.(const run $ verbose_arg $ socket_arg $ tcp_arg $ script_arg $ wire)
+         "Drive an rrs serve instance (or an rrs route front) from a \
+          command script: open named sessions, feed arrivals, step rounds, \
+          query stats, snapshot and close. Replies are printed as \
+          rrs-wire/1 JSON, one per line (even when the connection itself \
+          runs the /2 binary framing); exits 2 if any command failed. \
+          --timeout-ms bounds every call; --retries adds bounded \
+          jittered-backoff retry for replay-safe requests.")
+    Term.(
+      const run $ verbose_arg $ socket_arg $ tcp_arg $ script_arg $ wire
+      $ timeout_ms $ retries)
 
 (* ---- top: a refreshing live view over the 'metrics' wire request ---- *)
 
@@ -1072,6 +1129,15 @@ let top_cmd =
   in
   let wire =
     wire_arg ~doc:"Wire version to negotiate at connect (default 1)."
+  in
+  let timeout_ms =
+    Arg.(
+      value & opt int 0
+      & info [ "timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "Bound the connect and every metrics poll by $(docv); an \
+             unresponsive server fails the command instead of freezing \
+             the display (0 = no deadline).")
   in
   let module Json = Rrs_sim.Event_sink.Json in
   let render ~now ~previous fields slow_lines =
@@ -1131,16 +1197,15 @@ let top_cmd =
     end;
     Buffer.contents buf
   in
-  let run () socket tcp interval count slow wire =
+  let run () socket tcp interval count slow wire timeout_ms =
     let address = or_die (address_of_args socket tcp) in
     let wire = or_die (check_wire ~default:1 wire) in
     let interval = if interval > 0.01 then interval else 0.01 in
+    let timeout_ms = if timeout_ms > 0 then Some timeout_ms else None in
     let client =
-      try Rrs_server.Client.connect address with
-      | Unix.Unix_error (e, _, _) ->
-          Format.eprintf "error: cannot connect: %s@." (Unix.error_message e);
-          exit 1
-      | Failure message ->
+      match Rrs_server.Client.try_connect ?timeout_ms address with
+      | Ok client -> client
+      | Error message ->
           Format.eprintf "error: %s@." message;
           exit 1
     in
@@ -1149,7 +1214,8 @@ let top_cmd =
     let rec loop remaining =
       if remaining <> 0 then begin
         match
-          Rrs_server.Client.call client (Rrs_server.Wire.Metrics { slow })
+          Rrs_server.Client.call ?deadline_ms:timeout_ms client
+            (Rrs_server.Wire.Metrics { slow })
         with
         | Ok (Rrs_server.Wire.Metrics_ok { doc; slow = slow_doc }) ->
             let fields =
@@ -1196,7 +1262,308 @@ let top_cmd =
           the 'metrics' wire request.")
     Term.(
       const run $ verbose_arg $ socket_arg $ tcp_arg $ interval $ count $ slow
-      $ wire)
+      $ wire $ timeout_ms)
+
+let route_cmd =
+  let shards =
+    Arg.(
+      value & opt_all string []
+      & info [ "shard" ] ~docv:"ADDR"
+          ~doc:
+            "Backend shard address (HOST:PORT or a Unix socket path). \
+             Repeat once per shard; the literal $(docv) text is the \
+             shard's stable ring label, so keep spellings identical \
+             across restarts.")
+  in
+  let domains =
+    Arg.(
+      value & opt int 0
+      & info [ "domains" ] ~docv:"K"
+          ~doc:"Front worker domains (0 = built-in default, 4).")
+  in
+  let wire =
+    wire_arg
+      ~doc:
+        "Highest wire version negotiable on the front (default 2). With \
+         --wire 1 the router refuses rrs-wire/2 hellos."
+  in
+  let backend_wire =
+    Arg.(
+      value & opt int 0
+      & info [ "backend-wire" ] ~docv:"1|2"
+          ~doc:"Framing spoken to the shards (default 2, binary).")
+  in
+  let timeout_ms =
+    Arg.(
+      value & opt int 0
+      & info [ "timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "Per-backend-call deadline (default 2000). A shard not \
+             answering within $(docv) counts as a failure; the client \
+             gets a clean error, never a hang.")
+  in
+  let connect_timeout_ms =
+    Arg.(
+      value & opt int 0
+      & info [ "connect-timeout-ms" ] ~docv:"MS"
+          ~doc:"Backend connect budget (default 1000).")
+  in
+  let fail_threshold =
+    Arg.(
+      value & opt int 0
+      & info [ "fail-threshold" ] ~docv:"K"
+          ~doc:
+            "Consecutive backend failures that trip a shard to 'down' \
+             (default 3). Down shards are refused immediately and \
+             re-admitted by background hello probes.")
+  in
+  let probe_interval_ms =
+    Arg.(
+      value & opt int 0
+      & info [ "probe-interval-ms" ] ~docv:"MS"
+          ~doc:
+            "First re-admission probe delay after a trip (default 200); \
+             later probes back off exponentially.")
+  in
+  let replicas =
+    Arg.(
+      value & opt int 0
+      & info [ "replicas" ] ~docv:"K"
+          ~doc:
+            "Ring virtual nodes per shard (0 = built-in default, 128).")
+  in
+  let run () socket tcp shards domains wire backend_wire timeout_ms
+      connect_timeout_ms fail_threshold probe_interval_ms replicas log_level =
+    let address = or_die (address_of_args socket tcp) in
+    let max_wire = or_die (check_wire ~default:2 wire) in
+    (match Rrs_server.Slog.level_of_string log_level with
+    | Some level -> Rrs_server.Slog.set_level level
+    | None ->
+        Format.eprintf
+          "error: unknown --log-level %S (want debug, info, warn or error)@."
+          log_level;
+        exit 1);
+    if shards = [] then begin
+      Format.eprintf "error: no shards (pass --shard at least once)@.";
+      exit 1
+    end;
+    let shards =
+      List.map
+        (fun text ->
+          {
+            Rrs_server.Router.shard_label = text;
+            shard_address = or_die (parse_aux_address text);
+          })
+        shards
+    in
+    let config =
+      {
+        (Rrs_server.Router.default_config ~address ~shards) with
+        Rrs_server.Router.domains;
+        max_wire;
+        backend_wire = or_die (check_wire ~default:2 backend_wire);
+        timeout_ms = (if timeout_ms > 0 then timeout_ms else 2000);
+        connect_timeout_ms =
+          (if connect_timeout_ms > 0 then connect_timeout_ms else 1000);
+        fail_threshold = (if fail_threshold > 0 then fail_threshold else 3);
+        probe_interval_ms =
+          (if probe_interval_ms > 0 then probe_interval_ms else 200);
+        replicas;
+      }
+    in
+    match Rrs_server.Router.serve config with
+    | () -> ()
+    | exception Failure message ->
+        Format.eprintf "error: %s@." message;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "route"
+       ~doc:
+         "Run the sharding router until SIGTERM/SIGINT: speak both \
+          rrs-wire framings on the front and multiplex sessions to the \
+          --shard backends by consistent hashing on session name. A dead \
+          shard is detected by connect failures and call deadlines, \
+          refused with clean errors while down (the router never hangs a \
+          client), and re-admitted automatically once its hello answers \
+          again.")
+    Term.(
+      const run $ verbose_arg $ socket_arg $ tcp_arg $ shards $ domains $ wire
+      $ backend_wire $ timeout_ms $ connect_timeout_ms $ fail_threshold
+      $ probe_interval_ms $ replicas $ log_level_arg)
+
+let shard_set_cmd =
+  let shards =
+    Arg.(
+      value & opt int 2
+      & info [ "shards" ] ~docv:"N" ~doc:"Number of shard processes.")
+  in
+  let dir =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:
+            "State directory: per-shard Unix sockets, snapshot \
+             directories and pidfiles live under $(docv). Reusing the \
+             same $(docv) across restarts continues the sessions.")
+  in
+  let checkpoint_every =
+    Arg.(
+      value & opt int 0
+      & info [ "checkpoint-every" ] ~docv:"ROUNDS"
+          ~doc:
+            "Per-shard checkpoint interval; with autosnap (always on \
+             here) a kill -9 loses at most $(docv) rounds per session \
+             (0 = the server's built-in default).")
+  in
+  let timeout_ms =
+    Arg.(
+      value & opt int 0
+      & info [ "timeout-ms" ] ~docv:"MS"
+          ~doc:"Router per-backend-call deadline (default 2000).")
+  in
+  let fail_threshold =
+    Arg.(
+      value & opt int 0
+      & info [ "fail-threshold" ] ~docv:"K"
+          ~doc:"Consecutive failures tripping a shard down (default 3).")
+  in
+  let probe_interval_ms =
+    Arg.(
+      value & opt int 0
+      & info [ "probe-interval-ms" ] ~docv:"MS"
+          ~doc:"First re-admission probe delay (default 200).")
+  in
+  let base_backoff_ms =
+    Arg.(
+      value & opt int 100
+      & info [ "restart-backoff-ms" ] ~docv:"MS"
+          ~doc:
+            "Base restart backoff: a crashed shard is respawned after \
+             $(docv) * 2^streak (capped at 5s), streak reset after 10s \
+             of stable uptime.")
+  in
+  let run () socket tcp shards dir checkpoint_every timeout_ms fail_threshold
+      probe_interval_ms base_backoff_ms log_level =
+    let address = or_die (address_of_args socket tcp) in
+    (match Rrs_server.Slog.level_of_string log_level with
+    | Some level -> Rrs_server.Slog.set_level level
+    | None ->
+        Format.eprintf
+          "error: unknown --log-level %S (want debug, info, warn or error)@."
+          log_level;
+        exit 1);
+    if shards < 1 then begin
+      Format.eprintf "error: --shards must be at least 1@.";
+      exit 1
+    end;
+    let ensure_dir path =
+      try Unix.mkdir path 0o755
+      with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    in
+    ensure_dir dir;
+    let shard_specs =
+      List.init shards (fun i ->
+          let label = Printf.sprintf "shard-%d" i in
+          let sock = Filename.concat dir (label ^ ".sock") in
+          let snaps = Filename.concat dir (label ^ ".snaps") in
+          ensure_dir snaps;
+          let argv =
+            Array.append
+              [|
+                Sys.executable_name; "serve"; "--socket"; sock; "--snap-dir";
+                snaps; "--autosnap"; "--log-level"; log_level;
+              |]
+              (if checkpoint_every > 0 then
+                 [| "--checkpoint-every"; string_of_int checkpoint_every |]
+               else [||])
+          in
+          (label, sock, { Rrs_server.Shard.sp_label = label; sp_argv = argv }))
+    in
+    let write_pidfile ~label ~pid =
+      let path = Filename.concat dir (label ^ ".pid") in
+      let out = open_out path in
+      output_string out (string_of_int pid ^ "\n");
+      close_out out
+    in
+    let supervisor =
+      Rrs_server.Shard.start ~base_backoff_ms ~on_spawn:write_pidfile
+        (List.map (fun (_, _, spec) -> spec) shard_specs)
+    in
+    (* Give the shards a moment to bind before the router opens the
+       front door, so the first requests don't trip healthy shards. *)
+    let await_ready (label, sock, _spec) =
+      let deadline = Unix.gettimeofday () +. 5.0 in
+      let rec wait () =
+        match
+          Rrs_server.Client.try_connect ~timeout_ms:200
+            (Rrs_server.Server.Unix_socket sock)
+        with
+        | Ok probe -> Rrs_server.Client.close probe
+        | Error _ when Unix.gettimeofday () < deadline ->
+            Rrs_server.Shard.poll supervisor;
+            Unix.sleepf 0.05;
+            wait ()
+        | Error message ->
+            Format.eprintf "error: shard %s not ready: %s@." label message
+      in
+      wait ()
+    in
+    List.iter await_ready shard_specs;
+    let router_shards =
+      List.map
+        (fun (label, sock, _spec) ->
+          {
+            Rrs_server.Router.shard_label = label;
+            shard_address = Rrs_server.Server.Unix_socket sock;
+          })
+        shard_specs
+    in
+    let config =
+      {
+        (Rrs_server.Router.default_config ~address ~shards:router_shards) with
+        Rrs_server.Router.timeout_ms =
+          (if timeout_ms > 0 then timeout_ms else 2000);
+        fail_threshold = (if fail_threshold > 0 then fail_threshold else 3);
+        probe_interval_ms =
+          (if probe_interval_ms > 0 then probe_interval_ms else 200);
+      }
+    in
+    let stop_requested = Atomic.make false in
+    let request_stop _signal = Atomic.set stop_requested true in
+    let previous_term =
+      Sys.signal Sys.sigterm (Sys.Signal_handle request_stop)
+    in
+    let previous_int = Sys.signal Sys.sigint (Sys.Signal_handle request_stop) in
+    (match Rrs_server.Router.start config with
+    | router ->
+        Rrs_server.Shard.run supervisor ~stop:(fun () ->
+            Atomic.get stop_requested);
+        Rrs_server.Slog.info ~event:"stopping" [ ("reason", "signal") ];
+        Rrs_server.Router.stop router;
+        Rrs_server.Shard.stop supervisor;
+        Sys.set_signal Sys.sigterm previous_term;
+        Sys.set_signal Sys.sigint previous_int
+    | exception Failure message ->
+        Rrs_server.Shard.stop supervisor;
+        Format.eprintf "error: %s@." message;
+        exit 1)
+  in
+  Cmd.v
+    (Cmd.info "shard-set"
+       ~doc:
+         "Run a supervised shard set behind an in-process router: spawn \
+          N 'rrs serve' shards (each with its own Unix socket and \
+          snapshot directory under --dir, autosnap on), restart crashed \
+          shards with exponential backoff, and route client sessions to \
+          them by consistent hashing. A kill -9'd shard is restarted, \
+          restores from its checkpoints, and is re-admitted by the \
+          router's hello probe — sessions on other shards never notice.")
+    Term.(
+      const run $ verbose_arg $ socket_arg $ tcp_arg $ shards $ dir
+      $ checkpoint_every $ timeout_ms $ fail_threshold $ probe_interval_ms
+      $ base_backoff_ms $ log_level_arg)
 
 let () =
   let doc = "reconfigurable resource scheduling with variable delay bounds" in
@@ -1207,5 +1574,5 @@ let () =
           [
             gen_cmd; info_cmd; run_cmd; trace_run_cmd; report_cmd; compare_cmd;
             sweep_cmd; validate_cmd; weighted_cmd; faults_cmd; serve_cmd;
-            client_cmd; top_cmd;
+            client_cmd; top_cmd; route_cmd; shard_set_cmd;
           ]))

@@ -1,36 +1,107 @@
+exception Timeout
+
 type t = {
   fd : Unix.file_descr;
   input : Wire.reader;
   output : out_channel;
   mutable framing : Wire.framing;
   mutable sent : int;
+  deadline : float option ref; (* absolute, Unix.gettimeofday based *)
+  mutable broken : bool; (* reader state indeterminate; reconnect *)
 }
 
 let connect_fd fd =
+  (* The reader pulls straight from the fd so a per-call deadline can
+     [select] with the remaining budget before every read. Reads
+     without a deadline behave like the old in_channel-backed reader. *)
+  let deadline = ref None in
+  let pull buf off len =
+    match !deadline with
+    | None -> Unix.read fd buf off len
+    | Some until ->
+        let rec wait () =
+          let remaining = until -. Unix.gettimeofday () in
+          if remaining <= 0. then raise Timeout
+          else
+            match Unix.select [ fd ] [] [] remaining with
+            | [], _, _ -> raise Timeout
+            | _ -> Unix.read fd buf off len
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+        in
+        wait ()
+  in
   {
     fd;
-    input = Wire.reader (Unix.in_channel_of_descr fd);
+    input = Wire.reader_fn pull;
     output = Unix.out_channel_of_descr fd;
     framing = Wire.V1;
     sent = 0;
+    deadline;
+    broken = false;
   }
 
-let connect = function
+let address_label = function
+  | Server.Unix_socket path -> path
+  | Server.Tcp (host, port) -> Printf.sprintf "%s:%d" host port
+
+(* Connect with an optional budget: non-blocking connect + select on
+   writability + SO_ERROR, so a black-holed host cannot stall the CLI
+   for the kernel's default timeout. *)
+let connect_sockaddr fd sockaddr timeout_ms =
+  match timeout_ms with
+  | None -> Unix.connect fd sockaddr
+  | Some ms -> (
+      Unix.set_nonblock fd;
+      let finish () =
+        let budget = float_of_int (max ms 1) /. 1000. in
+        match Unix.select [] [ fd ] [] budget with
+        | _, [], _ -> raise (Unix.Unix_error (Unix.ETIMEDOUT, "connect", ""))
+        | _ -> (
+            match Unix.getsockopt_error fd with
+            | None -> ()
+            | Some error -> raise (Unix.Unix_error (error, "connect", "")))
+      in
+      (match Unix.connect fd sockaddr with
+      | () -> ()
+      | exception
+          Unix.Unix_error
+            ((Unix.EINPROGRESS | Unix.EWOULDBLOCK | Unix.EAGAIN), _, _) ->
+          finish ());
+      Unix.clear_nonblock fd)
+
+let connect ?timeout_ms address =
+  match address with
   | Server.Unix_socket path ->
       let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-      Unix.connect fd (Unix.ADDR_UNIX path);
+      (try connect_sockaddr fd (Unix.ADDR_UNIX path) timeout_ms
+       with e ->
+         (try Unix.close fd with Unix.Unix_error _ -> ());
+         raise e);
       connect_fd fd
   | Server.Tcp (host, port) -> (
       match Server.resolve_host host with
       | Error message -> failwith ("cannot connect: " ^ message)
       | Ok addr ->
           let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-          Unix.connect fd (Unix.ADDR_INET (addr, port));
+          (try connect_sockaddr fd (Unix.ADDR_INET (addr, port)) timeout_ms
+           with e ->
+             (try Unix.close fd with Unix.Unix_error _ -> ());
+             raise e);
           connect_fd fd)
+
+let try_connect ?timeout_ms address =
+  match connect ?timeout_ms address with
+  | t -> Ok t
+  | exception Unix.Unix_error (e, _, _) ->
+      Error
+        (Printf.sprintf "cannot connect: %s: %s" (address_label address)
+           (Unix.error_message e))
+  | exception Failure message -> Error message
 
 let wire_version t = match t.framing with Wire.V1 -> 1 | Wire.V2 -> 2
 let bytes_sent t = t.sent
 let bytes_received t = Wire.reader_bytes t.input
+let is_broken t = t.broken
 
 let send t frame =
   let data = Wire.to_wire t.framing frame in
@@ -47,15 +118,42 @@ let send_raw t line =
   output_string t.output line;
   flush t.output
 
-let read_reply t =
-  match Wire.read ~framing:t.framing t.input with
-  | Wire.Frame frame -> Ok frame
-  | Wire.Malformed message -> Error ("malformed reply: " ^ message)
-  | Wire.Eof -> Error "connection closed by server"
+let set_deadline t = function
+  | None -> t.deadline := None
+  | Some ms ->
+      t.deadline := Some (Unix.gettimeofday () +. (float_of_int ms /. 1000.))
 
-let call t frame =
-  send t frame;
-  read_reply t
+let read_reply ?deadline_ms t =
+  set_deadline t deadline_ms;
+  Fun.protect
+    ~finally:(fun () -> t.deadline := None)
+    (fun () ->
+      match Wire.read ~framing:t.framing t.input with
+      | Wire.Frame frame -> Ok frame
+      | Wire.Malformed message -> Error ("malformed reply: " ^ message)
+      | Wire.Eof ->
+          t.broken <- true;
+          Error "connection closed by server"
+      | exception Timeout ->
+          (* A partial frame may sit in the buffer; the connection can
+             no longer be trusted for framing. *)
+          t.broken <- true;
+          Error
+            (Printf.sprintf "deadline exceeded after %d ms"
+               (Option.value deadline_ms ~default:0))
+      | exception Unix.Unix_error (e, _, _) ->
+          t.broken <- true;
+          Error ("connection lost: " ^ Unix.error_message e))
+
+let call ?deadline_ms t frame =
+  match send t frame with
+  | () -> read_reply ?deadline_ms t
+  | exception Sys_error message ->
+      t.broken <- true;
+      Error ("connection lost: " ^ message)
+  | exception Unix.Unix_error (e, _, _) ->
+      t.broken <- true;
+      Error ("connection lost: " ^ Unix.error_message e)
 
 let negotiate t ~wire =
   let want =
@@ -86,3 +184,132 @@ let close t =
     flush t.output;
     Unix.close t.fd
   with Sys_error _ | Unix.Unix_error _ -> ()
+
+(* ---- retry policy ---- *)
+
+(* Retries are safe for requests whose replay cannot change server
+   state: [hello], [stats], [metrics]. Everything session-mutating
+   ([open]/[feed]/[step]/[snapshot]/[close]) is retried only when the
+   connection attempt itself failed — before any request bytes hit the
+   socket — so a round is never applied twice. *)
+let idempotent = function
+  | Wire.Hello _ | Wire.Stats _ | Wire.Metrics _ -> true
+  | Wire.Open _ | Wire.Feed _ | Wire.Step _ | Wire.Snapshot _ | Wire.Close _
+    ->
+      false
+  | _ -> false
+
+type retry = {
+  r_attempts : int; (* total attempts, >= 1 *)
+  r_base_ms : int;
+  r_max_ms : int;
+  r_jitter : int -> int; (* bound -> jitter in [0, bound) *)
+  r_sleep_ms : int -> unit;
+}
+
+let default_sleep_ms ms = if ms > 0 then Unix.sleepf (float_of_int ms /. 1000.)
+
+let seeded_jitter seed =
+  let state = Random.State.make [| seed |] in
+  fun bound -> if bound <= 0 then 0 else Random.State.int state bound
+
+let retry_policy ?(attempts = 3) ?(base_ms = 50) ?(max_ms = 2_000) ?seed
+    ?(sleep_ms = default_sleep_ms) () =
+  if attempts < 1 then invalid_arg "Client.retry_policy: attempts < 1";
+  let jitter =
+    match seed with
+    | Some seed -> seeded_jitter seed
+    | None -> fun bound -> if bound <= 0 then 0 else Random.int bound
+  in
+  {
+    r_attempts = attempts;
+    r_base_ms = max base_ms 1;
+    r_max_ms = max max_ms base_ms;
+    r_jitter = jitter;
+    r_sleep_ms = sleep_ms;
+  }
+
+let no_retry = { (retry_policy ~attempts:1 ()) with r_sleep_ms = ignore }
+
+(* Exponential backoff with jitter: after failed attempt [n] (1-based),
+   sleep capped-double(base, n) plus up to half that again. Advances the
+   jitter stream, so sequences are reproducible from a seed. *)
+let backoff_ms retry ~attempt =
+  let doubled = retry.r_base_ms * (1 lsl min (max (attempt - 1) 0) 16) in
+  let capped = min doubled retry.r_max_ms in
+  capped + retry.r_jitter ((capped / 2) + 1)
+
+(* ---- resilient endpoint ----
+
+   A reconnecting wrapper around one server address: per-call deadline,
+   bounded retry under the policy above, lazy (re)connection with the
+   negotiated framing. *)
+
+module Endpoint = struct
+  type conn = t
+
+  type nonrec t = {
+    address : Server.address;
+    wire : int;
+    timeout_ms : int option;
+    retry : retry;
+    mutable conn : conn option;
+  }
+
+  let create ?timeout_ms ?(retry = no_retry) ?(wire = 1) address =
+    { address; wire; timeout_ms; retry; conn = None }
+
+  let drop t =
+    match t.conn with
+    | Some c ->
+        close c;
+        t.conn <- None
+    | None -> ()
+
+  let connection t =
+    match t.conn with
+    | Some c when not c.broken -> Ok c
+    | _ -> (
+        drop t;
+        match try_connect ?timeout_ms:t.timeout_ms t.address with
+        | Error _ as e -> e
+        | Ok c -> (
+            if t.wire = 1 then begin
+              t.conn <- Some c;
+              Ok c
+            end
+            else
+              match negotiate c ~wire:t.wire with
+              | Ok () ->
+                  t.conn <- Some c;
+                  Ok c
+              | Error message ->
+                  close c;
+                  Error message))
+
+  let call t frame =
+    let retry_after_send = idempotent frame in
+    let rec go attempt =
+      let retry_or_fail error =
+        if attempt >= t.retry.r_attempts then Error error
+        else begin
+          t.retry.r_sleep_ms (backoff_ms t.retry ~attempt);
+          go (attempt + 1)
+        end
+      in
+      match connection t with
+      (* No request bytes were written: safe to retry any frame. *)
+      | Error message -> retry_or_fail message
+      | Ok c -> (
+          match call ?deadline_ms:t.timeout_ms c frame with
+          | Ok reply -> Ok reply
+          | Error message ->
+              drop t;
+              if retry_after_send then retry_or_fail message
+              else
+                Error (message ^ " (not retried: request may have applied)"))
+    in
+    go 1
+
+  let close = drop
+end

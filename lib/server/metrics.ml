@@ -261,3 +261,20 @@ let slow_to_json e =
 
 let registries t = Array.to_list (Array.map (fun s -> s.registry) t.slots)
 let merged t = Probe.merged (registries t)
+
+(* A registry snapshot as one flat JSON object (name -> int), the
+   [metrics_ok.doc] payload — parseable by [Json.parse_fields]. Shared
+   by the server's and the router's in-band metrics replies. *)
+let registry_doc registry =
+  let entries = Probe.snapshot registry in
+  let buf = Buffer.create 4096 in
+  Buffer.add_char buf '{';
+  List.iteri
+    (fun i (name, value) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Json.escape name);
+      Buffer.add_char buf ':';
+      Buffer.add_string buf (string_of_int value))
+    entries;
+  Buffer.add_char buf '}';
+  Buffer.contents buf

@@ -113,3 +113,8 @@ val registries : t -> Rrs_obs.Probe.registry list
 
 (** A fresh registry folding every slot (see {!Rrs_obs.Probe.merge}). *)
 val merged : t -> Rrs_obs.Probe.registry
+
+(** A registry snapshot as one flat JSON object (name -> int), the
+    [metrics_ok.doc] payload — parseable with
+    {!Rrs_sim.Event_sink.Json.parse_fields}. *)
+val registry_doc : Rrs_obs.Probe.registry -> string

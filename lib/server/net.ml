@@ -1,0 +1,172 @@
+(* Shared serving-layer plumbing: addresses, listen sockets, the live
+   connection table, the bounded accept->worker handoff queue, and the
+   accept/worker domain loops. Used by both the session server
+   ([Server]) and the sharding router ([Router]). *)
+
+type address = Unix_socket of string | Tcp of string * int
+
+(* A bad host name is an operator typo, not a crash: resolution failures
+   come back as a clean [Error] naming the host. *)
+let resolve_host host =
+  match Unix.inet_addr_of_string host with
+  | addr -> Ok addr
+  | exception Failure _ -> (
+      match Unix.gethostbyname host with
+      | { Unix.h_addr_list = [||]; _ } ->
+          Error (Printf.sprintf "host %S has no address" host)
+      | entry -> Ok entry.Unix.h_addr_list.(0)
+      | exception Not_found -> Error (Printf.sprintf "unknown host %S" host))
+
+let listen_socket = function
+  | Unix_socket path ->
+      if Sys.file_exists path then Sys.remove path;
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      Unix.listen fd 64;
+      (fd, Some path)
+  | Tcp (host, port) ->
+      let addr =
+        match resolve_host host with
+        | Ok addr -> addr
+        | Error message -> failwith ("cannot listen: " ^ message)
+      in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      Unix.bind fd (Unix.ADDR_INET (addr, port));
+      Unix.listen fd 64;
+      (fd, None)
+
+let port_of fd =
+  match Unix.getsockname fd with
+  | Unix.ADDR_INET (_, port) -> Some port
+  | _ -> None
+
+let address_label = function
+  | Unix_socket path -> "unix:" ^ path
+  | Tcp (host, port) -> Printf.sprintf "tcp:%s:%d" host port
+
+(* ---- live connection table ---- *)
+
+type conn_table = {
+  c_mutex : Mutex.t;
+  c_fds : (Unix.file_descr, unit) Hashtbl.t;
+}
+
+let conn_table () = { c_mutex = Mutex.create (); c_fds = Hashtbl.create 16 }
+
+let conn_add table fd =
+  Mutex.lock table.c_mutex;
+  Hashtbl.replace table.c_fds fd ();
+  Mutex.unlock table.c_mutex
+
+let conn_remove table fd =
+  Mutex.lock table.c_mutex;
+  Hashtbl.remove table.c_fds fd;
+  Mutex.unlock table.c_mutex
+
+let conn_shutdown_all table =
+  Mutex.lock table.c_mutex;
+  Hashtbl.iter
+    (fun fd () -> try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with _ -> ())
+    table.c_fds;
+  Mutex.unlock table.c_mutex
+
+(* ---- bounded handoff queue: accept loop -> worker domains ---- *)
+
+type handoff = {
+  q_mutex : Mutex.t;
+  q_nonempty : Condition.t;
+  q_nonfull : Condition.t;
+  q_items : Unix.file_descr Queue.t;
+  q_capacity : int;
+  mutable q_closed : bool;
+}
+
+let handoff_create capacity =
+  {
+    q_mutex = Mutex.create ();
+    q_nonempty = Condition.create ();
+    q_nonfull = Condition.create ();
+    q_items = Queue.create ();
+    q_capacity = capacity;
+    q_closed = false;
+  }
+
+let handoff_push q fd =
+  Mutex.lock q.q_mutex;
+  while Queue.length q.q_items >= q.q_capacity && not q.q_closed do
+    Condition.wait q.q_nonfull q.q_mutex
+  done;
+  let accepted = not q.q_closed in
+  if accepted then Queue.push fd q.q_items;
+  Condition.signal q.q_nonempty;
+  Mutex.unlock q.q_mutex;
+  accepted
+
+let handoff_pop q =
+  Mutex.lock q.q_mutex;
+  while Queue.is_empty q.q_items && not q.q_closed do
+    Condition.wait q.q_nonempty q.q_mutex
+  done;
+  let item =
+    if Queue.is_empty q.q_items then None else Some (Queue.pop q.q_items)
+  in
+  Condition.signal q.q_nonfull;
+  Mutex.unlock q.q_mutex;
+  item
+
+let handoff_close q =
+  Mutex.lock q.q_mutex;
+  q.q_closed <- true;
+  Condition.broadcast q.q_nonempty;
+  Condition.broadcast q.q_nonfull;
+  Mutex.unlock q.q_mutex
+
+(* ---- accept / worker domain bodies ---- *)
+
+(* Poll with a short select timeout rather than blocking in accept:
+   closing a listen socket does not wake an accept blocked in another
+   domain, so a blocking loop would hang stop. *)
+let accept_loop ~stopping ~listen_fd ~conns ~handoff =
+  let rec loop () =
+    if Atomic.get stopping then ()
+    else
+      match Unix.select [ listen_fd ] [] [] 0.2 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | exception Unix.Unix_error _ -> ()
+      | [], _, _ -> loop ()
+      | _ :: _, _, _ -> (
+          match Unix.accept listen_fd with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+              (* Same retry as select above: a signal landing between
+                 the select and the accept must not drop the pending
+                 connection (or, under the catch-all below with
+                 [stopping] racing true, the whole accept loop). *)
+              loop ()
+          | exception Unix.Unix_error _ ->
+              if Atomic.get stopping then () else loop ()
+          | fd, _addr ->
+              conn_add conns fd;
+              if not (handoff_push handoff fd) then begin
+                conn_remove conns fd;
+                (try Unix.close fd with Unix.Unix_error _ -> ())
+              end;
+              loop ())
+  in
+  loop ()
+
+(* One worker: pop connections until the handoff closes; a raising
+   [serve] costs that connection, never the worker. *)
+let worker_loop ~handoff ~conns ~worker ~serve =
+  let rec loop () =
+    match handoff_pop handoff with
+    | None -> ()
+    | Some fd ->
+        (try serve ~worker fd
+         with e ->
+           Slog.error ~event:"connection_raised"
+             [ ("worker", Slog.int worker); ("exn", Printexc.to_string e) ]);
+        conn_remove conns fd;
+        loop ()
+  in
+  loop ()

@@ -1,0 +1,526 @@
+module Probe = Rrs_obs.Probe
+module Clock = Rrs_obs.Clock
+
+(* ---- consistent-hash ring ----
+
+   Classic ring with virtual nodes: every shard label contributes
+   [replicas] points hashed onto a 64-bit circle (FNV-1a); a key is
+   owned by the first point clockwise from its own hash. Adding or
+   removing one of N shards therefore remaps only ~1/N of the keys, and
+   every remapped key lands on a surviving shard — the property the
+   qcheck suite pins. Ownership is computed over ALL configured shards,
+   up or down: a crashed shard keeps its keys (its sessions live in its
+   own snapshot directory), and failover is restart + re-admission, not
+   remapping. *)
+module Ring = struct
+  (* FNV-1a 64-bit. Signed Int64 compare is used consistently for both
+     sorting and lookup, which is all a ring needs (any fixed total
+     order of the circle works). *)
+  let fnv_offset = -3750763034362895579L (* 0xcbf29ce484222325 *)
+  let fnv_prime = 1099511628211L
+
+  (* murmur3's fmix64 finalizer. Raw FNV-1a has weak avalanche in the
+     high bits: keys differing only in their last character end up
+     within ~[fnv_prime] of each other — a sliver of the 64-bit circle —
+     and would all land on the same shard. The finalizer scatters
+     them. *)
+  let mix h =
+    let h = Int64.logxor h (Int64.shift_right_logical h 33) in
+    let h = Int64.mul h (-49064778989728563L) (* 0xff51afd7ed558ccd *) in
+    let h = Int64.logxor h (Int64.shift_right_logical h 33) in
+    let h = Int64.mul h (-4265267296055464877L) (* 0xc4ceb9fe1a85ec53 *) in
+    Int64.logxor h (Int64.shift_right_logical h 33)
+
+  let hash key =
+    let h = ref fnv_offset in
+    String.iter
+      (fun c ->
+        h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) fnv_prime)
+      key;
+    mix !h
+
+  type t = {
+    points : (int64 * int) array; (* (point, shard index), sorted *)
+    labels : string array;
+  }
+
+  let default_replicas = 128
+
+  let make ?(replicas = default_replicas) labels =
+    if Array.length labels = 0 then invalid_arg "Ring.make: no shards";
+    if replicas < 1 then invalid_arg "Ring.make: replicas < 1";
+    let shards = Array.length labels in
+    let points =
+      Array.init (shards * replicas) (fun i ->
+          let shard = i / replicas and replica = i mod replicas in
+          (hash (labels.(shard) ^ "#" ^ string_of_int replica), shard))
+    in
+    Array.sort compare points;
+    { points; labels = Array.copy labels }
+
+  let size t = Array.length t.labels
+  let labels t = Array.copy t.labels
+
+  (* First point at or clockwise-after the key's hash, wrapping. *)
+  let index t key =
+    let h = hash key in
+    let n = Array.length t.points in
+    let lo = ref 0 and hi = ref n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if fst t.points.(mid) < h then lo := mid + 1 else hi := mid
+    done;
+    snd t.points.(if !lo = n then 0 else !lo)
+
+  let shard t key = t.labels.(index t key)
+end
+
+(* ---- router ---- *)
+
+type shard_spec = { shard_label : string; shard_address : Net.address }
+
+type config = {
+  address : Net.address; (* front listener *)
+  shards : shard_spec list;
+  domains : int; (* front worker domains; 0 = default *)
+  max_wire : int; (* front framings negotiable; 1 pins /1 *)
+  backend_wire : int; (* framing spoken to shards (default 2) *)
+  timeout_ms : int; (* per-backend-call deadline *)
+  connect_timeout_ms : int; (* backend connect budget *)
+  fail_threshold : int; (* consecutive failures before down *)
+  probe_interval_ms : int; (* first re-admission probe delay *)
+  probe_max_ms : int; (* probe backoff cap *)
+  replicas : int; (* ring virtual nodes per shard; 0 = default *)
+  router_id : string; (* identity surfaced in hello_ok *)
+}
+
+let default_config ~address ~shards =
+  {
+    address;
+    shards;
+    domains = 0;
+    max_wire = 2;
+    backend_wire = 2;
+    timeout_ms = 2_000;
+    connect_timeout_ms = 1_000;
+    fail_threshold = 3;
+    probe_interval_ms = 200;
+    probe_max_ms = 5_000;
+    replicas = 0;
+    router_id = "rrs-router/1.0.0";
+  }
+
+type shard = {
+  label : string;
+  address : Net.address;
+  health : Health.t;
+  routed : Probe.counter; (* requests forwarded to this shard *)
+  errors : Probe.counter; (* backend failures charged to this shard *)
+}
+
+type t = {
+  cfg : config;
+  shards : shard array;
+  ring : Ring.t;
+  metrics : Metrics.t; (* front-side request spans *)
+  probes : Probe.registry; (* router counters (routing/health) *)
+  shed_down : Probe.counter; (* requests refused: owner shard down *)
+  listen_fd : Unix.file_descr;
+  cleanup_socket : string option;
+  stopping : bool Atomic.t;
+  conns : Net.conn_table;
+  handoff : Net.handoff;
+  (* Assigned right after construction (the domain bodies need [t]);
+     always Some once [start] returns. *)
+  mutable accept_domain : unit Domain.t option;
+  mutable worker_domains : unit Domain.t list;
+  mutable prober_domain : unit Domain.t option;
+}
+
+let now_ms () = Int64.to_int (Int64.div (Clock.now_ns ()) 1_000_000L)
+
+let session_of_frame = function
+  | Wire.Open { session; _ }
+  | Wire.Feed { session; _ }
+  | Wire.Step { session; _ }
+  | Wire.Stats { session; _ }
+  | Wire.Snapshot { session; _ }
+  | Wire.Close { session; _ } ->
+      Some session
+  | _ -> None
+
+let hello_reply t client_version =
+  let hello_ok server_version =
+    Wire.Hello_ok
+      {
+        server_version;
+        server = t.cfg.router_id;
+        uptime_s = Metrics.uptime_s t.metrics;
+      }
+  in
+  if client_version = Wire.version then (hello_ok Wire.version, Some Wire.V1)
+  else if client_version = Wire.version2 && t.cfg.max_wire >= 2 then
+    (hello_ok Wire.version2, Some Wire.V2)
+  else
+    ( Wire.Error_frame
+        {
+          message =
+            Printf.sprintf "unsupported wire version %S (this router speaks %s)"
+              client_version
+              (if t.cfg.max_wire >= 2 then
+                 Wire.version ^ " and " ^ Wire.version2
+               else Wire.version);
+        },
+      None )
+
+(* The router's own metrics view: front-side spans merged across
+   workers plus routing/health gauges — shards_total/up, per-shard
+   failures and re-admissions folded into totals. *)
+let metrics_registry t =
+  let merged = Metrics.merged t.metrics in
+  Probe.merge ~into:merged t.probes;
+  let up =
+    Array.fold_left
+      (fun up s -> if Health.is_up s.health then up + 1 else up)
+      0 t.shards
+  in
+  let failures, trips, readmits =
+    Array.fold_left
+      (fun (f, tr, re) s ->
+        let f', tr', re' = Health.counters s.health in
+        (f + f', tr + tr', re + re'))
+      (0, 0, 0) t.shards
+  in
+  let set name value = Probe.set_gauge (Probe.gauge merged name) value in
+  set "shards_total" (Array.length t.shards);
+  set "shards_up" up;
+  set "shard_failures_total" failures;
+  set "shard_trips_total" trips;
+  set "shard_readmits_total" readmits;
+  set "uptime_s" (Metrics.uptime_s t.metrics);
+  set "workers" (Metrics.workers t.metrics);
+  merged
+
+let handle_metrics t ~slow =
+  let doc = Metrics.registry_doc (metrics_registry t) in
+  let entries = if slow <= 0 then [] else Metrics.slow_log ~max:slow t.metrics in
+  Wire.Metrics_ok
+    { doc; slow = String.concat "\n" (List.map Metrics.slow_to_json entries) }
+
+(* One backend leg: the cached per-connection client when it is still
+   trusted, else a fresh connect (bounded) + negotiation. *)
+let backend_conn t backends i =
+  let shard = t.shards.(i) in
+  (match backends.(i) with
+  | Some c when Client.is_broken c ->
+      Client.close c;
+      backends.(i) <- None
+  | _ -> ());
+  match backends.(i) with
+  | Some c -> Ok c
+  | None -> (
+      match
+        Client.try_connect ~timeout_ms:t.cfg.connect_timeout_ms shard.address
+      with
+      | Error _ as e -> e
+      | Ok c ->
+          if t.cfg.backend_wire = 1 then begin
+            backends.(i) <- Some c;
+            Ok c
+          end
+          else (
+            match Client.negotiate c ~wire:t.cfg.backend_wire with
+            | Ok () ->
+                backends.(i) <- Some c;
+                Ok c
+            | Error message ->
+                Client.close c;
+                Error message))
+
+(* Forward one session frame to its owning shard. Down shards are
+   refused immediately with a clean error — the router never blocks a
+   client on a dead backend — and every leg (connect, call) is
+   deadline-bounded, so the reply always comes back in bounded time. *)
+let forward t backends frame session =
+  let i = Ring.index t.ring session in
+  let shard = t.shards.(i) in
+  if not (Health.is_up shard.health) then begin
+    Probe.incr t.shed_down;
+    Wire.Error_frame
+      {
+        message =
+          Printf.sprintf "shard %s down (%s); session %S unavailable until it \
+                          recovers"
+            shard.label
+            (match Health.last_error shard.health with
+            | "" -> "unreachable"
+            | reason -> reason)
+            session;
+      }
+  end
+  else begin
+    Probe.incr shard.routed;
+    let fail reason =
+      Probe.incr shard.errors;
+      Health.fail shard.health ~now_ms:(now_ms ()) ~reason;
+      if not (Health.is_up shard.health) then
+        Slog.warn ~event:"shard_down"
+          [ ("shard", shard.label); ("reason", reason) ];
+      Wire.Error_frame
+        {
+          message =
+            Printf.sprintf "shard %s unavailable: %s" shard.label reason;
+        }
+    in
+    match backend_conn t backends i with
+    | Error message -> fail message
+    | Ok c -> (
+        match Client.call ~deadline_ms:t.cfg.timeout_ms c frame with
+        | Ok reply ->
+            Health.ok shard.health;
+            reply
+        | Error message ->
+            Client.close c;
+            backends.(i) <- None;
+            fail message)
+  end
+
+let handle t backends frame =
+  match frame with
+  | Wire.Hello _ | Wire.Metrics _ ->
+      (* Handled locally, never forwarded: hello is per-connection
+         negotiation, metrics is the router's own view. *)
+      assert false
+  | _ -> (
+      match session_of_frame frame with
+      | Some session -> forward t backends frame session
+      | None ->
+          Wire.Error_frame { message = "reply frames are not requests" })
+
+let write_reply ~framing output reply =
+  let bytes = Wire.to_wire framing reply in
+  output_string output bytes;
+  flush output;
+  String.length bytes
+
+let us_since t0 = Int64.to_int (Int64.div (Int64.sub (Clock.now_ns ()) t0) 1000L)
+
+(* Front-connection loop: same span accounting as the server's, with
+   the handle phase being the proxied backend call. *)
+let serve_connection t ~worker stopping fd =
+  let metrics = t.metrics in
+  let input = Wire.reader (Unix.in_channel_of_descr fd) in
+  let output = Unix.out_channel_of_descr fd in
+  let framing = ref Wire.V1 in
+  let backends = Array.make (Array.length t.shards) None in
+  let span = Metrics.span () in
+  let wire_version () = match !framing with Wire.V1 -> 1 | Wire.V2 -> 2 in
+  let rec loop () =
+    if Atomic.get stopping then ()
+    else begin
+      Metrics.reset_span span;
+      span.Metrics.s_wire <- wire_version ();
+      let read_started = Clock.now_ns () in
+      let in_before = Wire.reader_bytes input in
+      match Wire.read ~framing:!framing input with
+      | Wire.Eof -> ()
+      | Wire.Malformed message ->
+          let handled = Clock.now_ns () in
+          span.Metrics.s_read_us <- us_since read_started;
+          span.Metrics.s_bytes_in <- Wire.reader_bytes input - in_before;
+          let wrote =
+            write_reply ~framing:!framing output (Wire.Error_frame { message })
+          in
+          span.Metrics.s_bytes_out <- wrote;
+          span.Metrics.s_write_us <- us_since handled;
+          Metrics.record_malformed metrics ~worker span;
+          loop ()
+      | Wire.Frame frame ->
+          let decoded = Clock.now_ns () in
+          span.Metrics.s_read_us <- us_since read_started;
+          span.Metrics.s_bytes_in <- Wire.reader_bytes input - in_before;
+          span.Metrics.s_kind <- Metrics.kind_index frame;
+          Option.iter
+            (fun session -> span.Metrics.s_session <- session)
+            (session_of_frame frame);
+          let reply, negotiated =
+            match frame with
+            | Wire.Hello { client_version } -> hello_reply t client_version
+            | Wire.Metrics { slow } -> (handle_metrics t ~slow, None)
+            | _ ->
+                let reply =
+                  (* A routing bug must cost this request, never the
+                     router. *)
+                  try handle t backends frame
+                  with e ->
+                    Slog.error ~event:"router_raised"
+                      [ ("exn", Printexc.to_string e) ];
+                    Wire.Error_frame
+                      { message = "internal error: " ^ Printexc.to_string e }
+                in
+                (reply, None)
+          in
+          let handled = Clock.now_ns () in
+          span.Metrics.s_handle_us <-
+            Int64.to_int (Int64.div (Int64.sub handled decoded) 1000L);
+          (match reply with
+          | Wire.Error_frame _ -> span.Metrics.s_error <- true
+          | _ -> ());
+          let wrote = write_reply ~framing:!framing output reply in
+          span.Metrics.s_bytes_out <- wrote;
+          span.Metrics.s_write_us <- us_since handled;
+          Option.iter (fun f -> framing := f) negotiated;
+          Metrics.record metrics ~worker span;
+          loop ()
+    end
+  in
+  (try loop () with Sys_error _ | End_of_file -> ());
+  Array.iteri
+    (fun i c ->
+      Option.iter Client.close c;
+      backends.(i) <- None)
+    backends;
+  try
+    flush output;
+    Unix.close fd
+  with Sys_error _ | Unix.Unix_error _ -> ()
+
+(* Re-admission probe: bounded connect + hello. Success re-admits the
+   shard (the supervisor restarted it and restore-at-boot brought its
+   sessions back); failure pushes the next probe out on the backoff
+   schedule. *)
+let probe_shard t shard =
+  match
+    Client.try_connect ~timeout_ms:t.cfg.connect_timeout_ms shard.address
+  with
+  | Error message -> Health.probe_failed shard.health ~now_ms:(now_ms ()) ~reason:message
+  | Ok c ->
+      (match Client.negotiate c ~wire:1 with
+      | Ok () ->
+          Health.ok shard.health;
+          Slog.info ~event:"shard_readmitted" [ ("shard", shard.label) ]
+      | Error message ->
+          Health.probe_failed shard.health ~now_ms:(now_ms ()) ~reason:message);
+      Client.close c
+
+let prober_loop t =
+  while not (Atomic.get t.stopping) do
+    Array.iter
+      (fun shard ->
+        if
+          (not (Atomic.get t.stopping))
+          && Health.probe_due shard.health ~now_ms:(now_ms ())
+        then probe_shard t shard)
+      t.shards;
+    Unix.sleepf 0.02
+  done
+
+let shards_up t =
+  Array.fold_left
+    (fun up s -> if Health.is_up s.health then up + 1 else up)
+    0 t.shards
+
+let shard_of_session t session = (Ring.shard t.ring) session
+
+let start (config : config) =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  if config.shards = [] then failwith "router: no shards configured";
+  if config.timeout_ms < 1 then failwith "router: timeout_ms must be >= 1";
+  let labels = Array.of_list (List.map (fun s -> s.shard_label) config.shards) in
+  let distinct = List.sort_uniq String.compare (Array.to_list labels) in
+  if List.length distinct <> Array.length labels then
+    failwith "router: duplicate shard labels";
+  let probes = Probe.create_registry () in
+  let shards =
+    Array.of_list
+      (List.map
+         (fun spec ->
+           {
+             label = spec.shard_label;
+             address = spec.shard_address;
+             health =
+               Health.create ~fail_threshold:config.fail_threshold
+                 ~probe_interval_ms:config.probe_interval_ms
+                 ~probe_max_ms:config.probe_max_ms ();
+             routed = Probe.counter probes ("routed_" ^ spec.shard_label);
+             errors = Probe.counter probes ("errors_" ^ spec.shard_label);
+           })
+         config.shards)
+  in
+  let ring =
+    Ring.make
+      ?replicas:(if config.replicas > 0 then Some config.replicas else None)
+      labels
+  in
+  let workers = if config.domains > 0 then config.domains else 4 in
+  let listen_fd, cleanup_socket = Net.listen_socket config.address in
+  let stopping = Atomic.make false in
+  let handoff = Net.handoff_create (4 * workers) in
+  let conns = Net.conn_table () in
+  let metrics = Metrics.create ~workers () in
+  let shed_down = Probe.counter probes "routed_shard_down_total" in
+  let t =
+    {
+      cfg = config;
+      shards;
+      ring;
+      metrics;
+      probes;
+      shed_down;
+      listen_fd;
+      cleanup_socket;
+      stopping;
+      conns;
+      handoff;
+      accept_domain = None;
+      worker_domains = [];
+      prober_domain = None;
+    }
+  in
+  t.accept_domain <-
+    Some
+      (Domain.spawn (fun () ->
+           Net.accept_loop ~stopping ~listen_fd ~conns ~handoff));
+  t.worker_domains <-
+    List.init workers (fun worker ->
+        Domain.spawn (fun () ->
+            Net.worker_loop ~handoff ~conns ~worker
+              ~serve:(fun ~worker fd -> serve_connection t ~worker stopping fd)));
+  t.prober_domain <- Some (Domain.spawn (fun () -> prober_loop t));
+  Slog.info ~event:"routing"
+    [
+      ("address", Net.address_label config.address);
+      ("shards", Slog.int (Array.length shards));
+      ("workers", Slog.int workers);
+    ];
+  t
+
+let bound_port t = Net.port_of t.listen_fd
+
+let stop t =
+  Atomic.set t.stopping true;
+  (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  Net.conn_shutdown_all t.conns;
+  Net.handoff_close t.handoff;
+  Option.iter Domain.join t.accept_domain;
+  List.iter Domain.join t.worker_domains;
+  Option.iter Domain.join t.prober_domain;
+  Option.iter
+    (fun path -> try Sys.remove path with Sys_error _ -> ())
+    t.cleanup_socket
+
+let serve config =
+  let stop_requested = Atomic.make false in
+  let request_stop _signal = Atomic.set stop_requested true in
+  let previous_term = Sys.signal Sys.sigterm (Sys.Signal_handle request_stop) in
+  let previous_int = Sys.signal Sys.sigint (Sys.Signal_handle request_stop) in
+  let t = start config in
+  while not (Atomic.get stop_requested) do
+    Unix.sleepf 0.1
+  done;
+  Slog.info ~event:"stopping" [ ("reason", "signal") ];
+  stop t;
+  Sys.set_signal Sys.sigterm previous_term;
+  Sys.set_signal Sys.sigint previous_int

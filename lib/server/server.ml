@@ -2,7 +2,7 @@ module Json = Rrs_sim.Event_sink.Json
 module Probe = Rrs_obs.Probe
 module Clock = Rrs_obs.Clock
 
-type address = Unix_socket of string | Tcp of string * int
+type address = Net.address = Unix_socket of string | Tcp of string * int
 
 type config = {
   address : address;
@@ -18,12 +18,16 @@ type config = {
   slow_threshold_us : int; (* slow-request log threshold; 0 = default *)
   slow_log : int; (* slow-request log capacity; 0 = default *)
   server_id : string; (* identity surfaced in hello_ok *)
+  autosnap : bool;
+      (* write each session's snapshot at checkpoint boundaries, so a
+         crash (no drain) loses at most one unsnapshotted window *)
 }
 
 let default_config address =
   { address; snap_dir = None; trace_dir = None; domains = 0; queue_limit = 0;
     max_wire = 2; snap_version = 0; checkpoint_every = 0; max_reply = 0;
-    metrics = None; slow_threshold_us = 0; slow_log = 0; server_id = "rrs" }
+    metrics = None; slow_threshold_us = 0; slow_log = 0; server_id = "rrs";
+    autosnap = false }
 
 (* ---- session manager ---- *)
 
@@ -39,6 +43,7 @@ type manager = {
   m_max_reply : int;
   m_metrics : Metrics.t;
   m_server_id : string;
+  m_autosnap : bool;
 }
 
 let with_manager m f =
@@ -167,21 +172,7 @@ let metrics_registry m =
   set "workers" (Metrics.workers m.m_metrics);
   merged
 
-(* The merged snapshot as one flat JSON object (name -> int), the
-   [metrics_ok.doc] payload — parseable by [Json.parse_fields]. *)
-let metrics_doc registry =
-  let entries = Probe.snapshot registry in
-  let buf = Buffer.create 4096 in
-  Buffer.add_char buf '{';
-  List.iteri
-    (fun i (name, value) ->
-      if i > 0 then Buffer.add_char buf ',';
-      Buffer.add_string buf (Json.escape name);
-      Buffer.add_char buf ':';
-      Buffer.add_string buf (string_of_int value))
-    entries;
-  Buffer.add_char buf '}';
-  Buffer.contents buf
+let metrics_doc = Metrics.registry_doc
 
 let handle_metrics m ~slow =
   let doc = metrics_doc (metrics_registry m) in
@@ -215,6 +206,31 @@ let handle_frame m ~on_lock ~wire ~bytes_in ~bytes_out frame =
       with_session m session (fun s ->
           match Session.step ~on_lock_wait_us:on_lock s ~rounds with
           | Ok r ->
+              (* Crash durability: persist the snapshot when this step
+                 crossed a checkpoint boundary. Autosave failure must
+                 not fail the step — log and carry on; the epoch
+                 re-arms so the next boundary retries. *)
+              (if m.m_autosnap then
+                 match m.m_snap_dir with
+                 | None -> ()
+                 | Some dir -> (
+                     let path =
+                       Filename.concat dir (snapshot_filename session)
+                     in
+                     match Session.autosave ~on_lock_wait_us:on_lock s ~path with
+                     | true ->
+                         Slog.debug ~event:"autosnap"
+                           [
+                             ("session", session);
+                             ("round", Slog.int r.Session.sr_round);
+                           ]
+                     | false -> ()
+                     | exception e ->
+                         Slog.warn ~event:"autosnap_failed"
+                           [
+                             ("session", session);
+                             ("exn", Printexc.to_string e);
+                           ]));
               Wire.Stepped
                 {
                   session;
@@ -305,25 +321,6 @@ let handle_frame m ~on_lock ~wire ~bytes_in ~bytes_out frame =
       err "reply frames are not requests"
 
 (* ---- connection serving ---- *)
-
-type conn_table = { c_mutex : Mutex.t; c_fds : (Unix.file_descr, unit) Hashtbl.t }
-
-let conn_add table fd =
-  Mutex.lock table.c_mutex;
-  Hashtbl.replace table.c_fds fd ();
-  Mutex.unlock table.c_mutex
-
-let conn_remove table fd =
-  Mutex.lock table.c_mutex;
-  Hashtbl.remove table.c_fds fd;
-  Mutex.unlock table.c_mutex
-
-let conn_shutdown_all table =
-  Mutex.lock table.c_mutex;
-  Hashtbl.iter
-    (fun fd () -> try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with _ -> ())
-    table.c_fds;
-  Mutex.unlock table.c_mutex
 
 (* A reply longer than [m_max_reply] (<= [Wire.max_frame]) is
    un-receivable: the peer's reader rejects any frame over its cap as
@@ -441,65 +438,14 @@ let serve_connection manager ~worker stopping fd =
   (* The two channels share [fd]; closing the output channel closes it. *)
   try flush output; Unix.close fd with Sys_error _ | Unix.Unix_error _ -> ()
 
-(* ---- bounded handoff queue: accept loop -> worker domains ---- *)
-
-type handoff = {
-  q_mutex : Mutex.t;
-  q_nonempty : Condition.t;
-  q_nonfull : Condition.t;
-  q_items : Unix.file_descr Queue.t;
-  q_capacity : int;
-  mutable q_closed : bool;
-}
-
-let handoff_create capacity =
-  {
-    q_mutex = Mutex.create ();
-    q_nonempty = Condition.create ();
-    q_nonfull = Condition.create ();
-    q_items = Queue.create ();
-    q_capacity = capacity;
-    q_closed = false;
-  }
-
-let handoff_push q fd =
-  Mutex.lock q.q_mutex;
-  while Queue.length q.q_items >= q.q_capacity && not q.q_closed do
-    Condition.wait q.q_nonfull q.q_mutex
-  done;
-  let accepted = not q.q_closed in
-  if accepted then Queue.push fd q.q_items;
-  Condition.signal q.q_nonempty;
-  Mutex.unlock q.q_mutex;
-  accepted
-
-let handoff_pop q =
-  Mutex.lock q.q_mutex;
-  while Queue.is_empty q.q_items && not q.q_closed do
-    Condition.wait q.q_nonempty q.q_mutex
-  done;
-  let item =
-    if Queue.is_empty q.q_items then None else Some (Queue.pop q.q_items)
-  in
-  Condition.signal q.q_nonfull;
-  Mutex.unlock q.q_mutex;
-  item
-
-let handoff_close q =
-  Mutex.lock q.q_mutex;
-  q.q_closed <- true;
-  Condition.broadcast q.q_nonempty;
-  Condition.broadcast q.q_nonfull;
-  Mutex.unlock q.q_mutex
-
 (* ---- server handle ---- *)
 
 type t = {
   manager : manager;
   listen_fd : Unix.file_descr;
   stopping : bool Atomic.t;
-  conns : conn_table;
-  handoff : handoff;
+  conns : Net.conn_table;
+  handoff : Net.handoff;
   accept_domain : unit Domain.t;
   worker_domains : unit Domain.t list;
   cleanup_socket : string option; (* unix socket path to unlink on stop *)
@@ -508,48 +454,11 @@ type t = {
   metrics_cleanup : string option;
 }
 
-(* A bad host name is an operator typo, not a crash: resolution failures
-   come back as a clean [Error] naming the host. *)
-let resolve_host host =
-  match Unix.inet_addr_of_string host with
-  | addr -> Ok addr
-  | exception Failure _ -> (
-      match Unix.gethostbyname host with
-      | { Unix.h_addr_list = [||]; _ } ->
-          Error (Printf.sprintf "host %S has no address" host)
-      | entry -> Ok entry.Unix.h_addr_list.(0)
-      | exception Not_found -> Error (Printf.sprintf "unknown host %S" host))
-
-let listen_socket = function
-  | Unix_socket path ->
-      if Sys.file_exists path then Sys.remove path;
-      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-      Unix.bind fd (Unix.ADDR_UNIX path);
-      Unix.listen fd 64;
-      (fd, Some path)
-  | Tcp (host, port) ->
-      let addr =
-        match resolve_host host with
-        | Ok addr -> addr
-        | Error message -> failwith ("cannot listen: " ^ message)
-      in
-      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-      Unix.setsockopt fd Unix.SO_REUSEADDR true;
-      Unix.bind fd (Unix.ADDR_INET (addr, port));
-      Unix.listen fd 64;
-      (fd, None)
-
-let port_of fd =
-  match Unix.getsockname fd with
-  | Unix.ADDR_INET (_, port) -> Some port
-  | _ -> None
-
-let bound_port t = port_of t.listen_fd
-let bound_metrics_port t = Option.bind t.metrics_fd port_of
-
-let address_label = function
-  | Unix_socket path -> "unix:" ^ path
-  | Tcp (host, port) -> Printf.sprintf "tcp:%s:%d" host port
+let resolve_host = Net.resolve_host
+let listen_socket = Net.listen_socket
+let bound_port t = Net.port_of t.listen_fd
+let bound_metrics_port t = Option.bind t.metrics_fd Net.port_of
+let address_label = Net.address_label
 
 (* ---- the OpenMetrics exposition listener ----
 
@@ -701,6 +610,7 @@ let start ?(restore = true) config =
         Metrics.create ~workers ~slow_threshold_us:config.slow_threshold_us
           ~slow_capacity:config.slow_log ();
       m_server_id = config.server_id;
+      m_autosnap = config.autosnap && config.snap_dir <> None;
     }
   in
   Option.iter
@@ -721,57 +631,17 @@ let start ?(restore = true) config =
         (Some fd, cleanup)
   in
   let stopping = Atomic.make false in
-  let handoff = handoff_create (4 * workers) in
-  let conns = { c_mutex = Mutex.create (); c_fds = Hashtbl.create 16 } in
+  let handoff = Net.handoff_create (4 * workers) in
+  let conns = Net.conn_table () in
   let accept_domain =
-    (* Poll with a short select timeout rather than blocking in accept:
-       closing a listen socket does not wake an accept blocked in
-       another domain, so a blocking loop would hang [stop]. *)
-    Domain.spawn (fun () ->
-        let rec loop () =
-          if Atomic.get stopping then ()
-          else
-            match Unix.select [ listen_fd ] [] [] 0.2 with
-            | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
-            | exception Unix.Unix_error _ -> ()
-            | [], _, _ -> loop ()
-            | _ :: _, _, _ -> (
-                match Unix.accept listen_fd with
-                | exception Unix.Unix_error (Unix.EINTR, _, _) ->
-                    (* Same retry as select above: a signal landing
-                       between the select and the accept must not drop
-                       the pending connection (or, under the catch-all
-                       below with [stopping] racing true, the whole
-                       accept loop). *)
-                    loop ()
-                | exception Unix.Unix_error _ ->
-                    if Atomic.get stopping then () else loop ()
-                | fd, _addr ->
-                    conn_add conns fd;
-                    if not (handoff_push handoff fd) then begin
-                      conn_remove conns fd;
-                      (try Unix.close fd with Unix.Unix_error _ -> ())
-                    end;
-                    loop ())
-        in
-        loop ())
+    Domain.spawn (fun () -> Net.accept_loop ~stopping ~listen_fd ~conns ~handoff)
   in
   let worker_domains =
     List.init workers (fun worker ->
         Domain.spawn (fun () ->
-            let rec loop () =
-              match handoff_pop handoff with
-              | None -> ()
-              | Some fd ->
-                  (try serve_connection manager ~worker stopping fd
-                   with e ->
-                     Slog.error ~event:"connection_raised"
-                       [ ("worker", Slog.int worker);
-                         ("exn", Printexc.to_string e) ]);
-                  conn_remove conns fd;
-                  loop ()
-            in
-            loop ()))
+            Net.worker_loop ~handoff ~conns ~worker
+              ~serve:(fun ~worker fd ->
+                serve_connection manager ~worker stopping fd)))
   in
   let metrics_domain =
     Option.map
@@ -837,8 +707,8 @@ let stop ?(drain = true) t =
       (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
       try Unix.close fd with Unix.Unix_error _ -> ())
     t.metrics_fd;
-  conn_shutdown_all t.conns;
-  handoff_close t.handoff;
+  Net.conn_shutdown_all t.conns;
+  Net.handoff_close t.handoff;
   Domain.join t.accept_domain;
   List.iter Domain.join t.worker_domains;
   Option.iter Domain.join t.metrics_domain;

@@ -26,7 +26,7 @@
     Client-requested [snapshot]-to-file writes are confined to
     [snap_dir] (bare path-safe file names only). *)
 
-type address = Unix_socket of string | Tcp of string * int
+type address = Net.address = Unix_socket of string | Tcp of string * int
 
 type config = {
   address : address;
@@ -66,6 +66,13 @@ type config = {
           [0] = {!Metrics.default_slow_capacity} *)
   server_id : string;
       (** identity string surfaced in [hello_ok] (e.g. ["rrs/1.0.0"]) *)
+  autosnap : bool;
+      (** write each session's snapshot into [snap_dir] whenever a
+          [step] crosses a checkpoint boundary, so a crashed process
+          (kill -9 — no SIGTERM drain) loses at most one unsnapshotted
+          window (≤ [checkpoint_every] rounds) per session. Requires
+          [snap_dir]; no-op for /1 sessions. Autosave failures are
+          logged and never fail the step *)
 }
 
 val default_config : address -> config

@@ -20,6 +20,10 @@ type t = {
   mutable trace : out_channel option;
       (* owned: closed with the session, then [None] so a lost
          close/release race never double-closes the channel *)
+  mutable saved_epoch : int;
+      (* checkpoint epoch (round / checkpoint_every) already on disk;
+         [autosave] writes once per epoch so a kill -9 loses at most
+         one unsnapshotted window *)
 }
 
 (* [on_lock_wait_us], when given, observes the time this caller spent
@@ -79,6 +83,16 @@ let make ~name ~policy_key ~queue_limit ~snap_version ~trace stepper probes =
     shed = 0;
     fed = 0;
     trace;
+    saved_epoch =
+      (* A fresh session (round 0) starts one epoch behind so the very
+         first step autosaves it; without that, a crash before round
+         [checkpoint_every] would lose the session entirely, not just
+         its last window. Restored sessions start at their own epoch so
+         restore->step doesn't rewrite an identical snapshot. *)
+      (let k = Stepper.checkpoint_every stepper in
+       if k <= 0 then 0
+       else if Stepper.round stepper = 0 then -1
+       else Stepper.round stepper / k);
   }
 
 let open_trace trace_dir name =
@@ -251,11 +265,10 @@ let snapshot ?on_lock_wait_us t =
   locked ?on_lock_wait_us t (fun () ->
       header_line t ^ "\n" ^ Stepper.snapshot ~version:t.snap_version t.stepper)
 
-let save ?on_lock_wait_us t ~path =
-  (* Atomic, as Stepper.save: protected close so a failure mid-write
-     never leaks the channel, and the temp file is unlinked instead of
-     left behind when the write or the rename fails. *)
-  let doc = snapshot ?on_lock_wait_us t in
+(* Atomic, as Stepper.save: protected close so a failure mid-write
+   never leaks the channel, and the temp file is unlinked instead of
+   left behind when the write or the rename fails. *)
+let write_doc doc ~path =
   let tmp = path ^ ".tmp" in
   let channel = open_out tmp in
   try
@@ -266,6 +279,40 @@ let save ?on_lock_wait_us t ~path =
   with e ->
     (try Sys.remove tmp with Sys_error _ -> ());
     raise e
+
+let save ?on_lock_wait_us t ~path =
+  write_doc (snapshot ?on_lock_wait_us t) ~path
+
+(* Checkpoint-boundary autosave: write the snapshot to [path] once per
+   checkpoint epoch (round / checkpoint_every), so a crashed process
+   (kill -9, no drain) loses at most the current unsnapshotted window.
+   The document is built under the session lock; file I/O runs outside
+   it. Returns true when a document was written. No-op for sessions
+   without checkpoints (rrs-snap/1). *)
+let autosave ?on_lock_wait_us t ~path =
+  let doc =
+    locked ?on_lock_wait_us t (fun () ->
+        let k = Stepper.checkpoint_every t.stepper in
+        if k <= 0 then None
+        else
+          let epoch = Stepper.round t.stepper / k in
+          if epoch = t.saved_epoch then None
+          else begin
+            t.saved_epoch <- epoch;
+            Some
+              (header_line t ^ "\n"
+              ^ Stepper.snapshot ~version:t.snap_version t.stepper)
+          end)
+  in
+  match doc with
+  | None -> false
+  | Some doc -> (
+      match write_doc doc ~path with
+      | () -> true
+      | exception e ->
+          (* Retry at the next boundary instead of skipping the epoch. *)
+          locked t (fun () -> t.saved_epoch <- -1);
+          raise e)
 
 let close_trace t =
   Option.iter close_out t.trace;

@@ -121,6 +121,13 @@ val snapshot : ?on_lock_wait_us:(int -> unit) -> t -> string
     propagates. *)
 val save : ?on_lock_wait_us:(int -> unit) -> t -> path:string -> unit
 
+(** Checkpoint-boundary autosave: {!save} to [path] at most once per
+    checkpoint epoch ([round / checkpoint_every]), so a crashed process
+    loses at most the unsnapshotted window. True when a document was
+    written; always false for /1 sessions (no checkpoints). A failed
+    write re-arms the epoch so the next boundary retries. *)
+val autosave : ?on_lock_wait_us:(int -> unit) -> t -> path:string -> bool
+
 (** Finish the stepper (writes the stream summary), close the trace,
     return the final total cost. *)
 val close : ?on_lock_wait_us:(int -> unit) -> t -> (int, string) result

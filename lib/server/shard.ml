@@ -1,0 +1,189 @@
+(* Shard-set supervisor: spawn N shard processes, reap exits, restart
+   crashed shards with exponential backoff. Works with any argv (the
+   CLI builds [rrs serve ...] per shard; the E21 bench builds its own
+   child mode), so it contains no serving logic at all.
+
+   Restart policy: every abnormal exit schedules a respawn after
+   [base_backoff_ms * 2^consecutive_restarts] (capped at
+   [max_backoff_ms]); a child that stayed up at least
+   [stable_after_s] resets its streak. The poll loop never blocks in
+   waitpid, so one flapping shard cannot delay monitoring the rest. *)
+
+type spec = {
+  sp_label : string;
+  sp_argv : string array; (* argv.(0) is the program *)
+}
+
+type child = {
+  ch_spec : spec;
+  mutable ch_pid : int; (* 0 = not running *)
+  mutable ch_started_at : float;
+  mutable ch_streak : int; (* consecutive abnormal exits *)
+  mutable ch_next_start : float; (* backoff gate, absolute *)
+  mutable ch_restarts : int; (* total restarts (not first spawns) *)
+}
+
+type t = {
+  children : child array;
+  base_backoff_ms : int;
+  max_backoff_ms : int;
+  stable_after_s : float;
+  on_spawn : label:string -> pid:int -> unit;
+  mutable stopping : bool;
+}
+
+let spawn_child t child =
+  let argv = child.ch_spec.sp_argv in
+  let pid = Unix.create_process argv.(0) argv Unix.stdin Unix.stdout Unix.stderr in
+  child.ch_pid <- pid;
+  child.ch_started_at <- Unix.gettimeofday ();
+  Slog.info ~event:"shard_spawned"
+    [ ("shard", child.ch_spec.sp_label); ("pid", Slog.int pid) ];
+  t.on_spawn ~label:child.ch_spec.sp_label ~pid
+
+let backoff_s t streak =
+  let ms = t.base_backoff_ms * (1 lsl min streak 16) in
+  float_of_int (min ms t.max_backoff_ms) /. 1000.
+
+(* Signal numbers here are OCaml's portable (negative) encodings. *)
+let describe_signal signal =
+  if signal = Sys.sigkill then "SIGKILL"
+  else if signal = Sys.sigterm then "SIGTERM"
+  else if signal = Sys.sigint then "SIGINT"
+  else if signal = Sys.sigsegv then "SIGSEGV"
+  else if signal = Sys.sigabrt then "SIGABRT"
+  else string_of_int signal
+
+let describe_status = function
+  | Unix.WEXITED code -> Printf.sprintf "exited %d" code
+  | Unix.WSIGNALED signal -> "killed by " ^ describe_signal signal
+  | Unix.WSTOPPED signal -> "stopped by " ^ describe_signal signal
+
+(* Reap exits and (re)start due children. Non-blocking; call it from a
+   short-period loop ([run]) or a test harness. *)
+let poll t =
+  let now = Unix.gettimeofday () in
+  Array.iter
+    (fun child ->
+      if child.ch_pid > 0 then begin
+        match Unix.waitpid [ Unix.WNOHANG ] child.ch_pid with
+        | 0, _ -> () (* still running *)
+        | _, status ->
+            let uptime = now -. child.ch_started_at in
+            if uptime >= t.stable_after_s then child.ch_streak <- 0;
+            let delay = backoff_s t child.ch_streak in
+            child.ch_pid <- 0;
+            child.ch_streak <- child.ch_streak + 1;
+            child.ch_next_start <- now +. delay;
+            if not t.stopping then
+              Slog.warn ~event:"shard_exited"
+                [
+                  ("shard", child.ch_spec.sp_label);
+                  ("status", describe_status status);
+                  ("restart_in_ms",
+                   Slog.int (int_of_float (delay *. 1000.)));
+                ]
+        | exception Unix.Unix_error (Unix.ECHILD, _, _) ->
+            (* Someone else reaped it; treat as an exit. *)
+            child.ch_pid <- 0;
+            child.ch_next_start <- now +. backoff_s t child.ch_streak;
+            child.ch_streak <- child.ch_streak + 1
+      end)
+    t.children;
+  if not t.stopping then
+    Array.iter
+      (fun child ->
+        if child.ch_pid = 0 && now >= child.ch_next_start then begin
+          (* [start] spawned everyone once, so any spawn here is a
+             restart. *)
+          if child.ch_started_at > 0. then
+            child.ch_restarts <- child.ch_restarts + 1;
+          spawn_child t child
+        end)
+      t.children
+
+let start ?(base_backoff_ms = 100) ?(max_backoff_ms = 5_000)
+    ?(stable_after_s = 10.) ?(on_spawn = fun ~label:_ ~pid:_ -> ()) specs =
+  if specs = [] then failwith "shard-set: no shards";
+  let t =
+    {
+      children =
+        Array.of_list
+          (List.map
+             (fun spec ->
+               {
+                 ch_spec = spec;
+                 ch_pid = 0;
+                 ch_started_at = 0.;
+                 ch_streak = 0;
+                 ch_next_start = 0.;
+                 ch_restarts = 0;
+               })
+             specs);
+      base_backoff_ms;
+      max_backoff_ms;
+      stable_after_s;
+      on_spawn;
+      stopping = false;
+    }
+  in
+  Array.iter (fun child -> spawn_child t child) t.children;
+  t
+
+let pids t =
+  Array.to_list
+    (Array.map (fun c -> (c.ch_spec.sp_label, c.ch_pid)) t.children)
+
+let restarts t =
+  Array.fold_left (fun acc c -> acc + c.ch_restarts) 0 t.children
+
+let run t ~stop =
+  while not (stop ()) do
+    poll t;
+    Unix.sleepf 0.05
+  done
+
+(* SIGTERM everyone (graceful drain in the shard), give them a grace
+   window, SIGKILL stragglers, reap everything. *)
+let stop ?(grace_s = 10.) t =
+  t.stopping <- true;
+  Array.iter
+    (fun child ->
+      if child.ch_pid > 0 then
+        try Unix.kill child.ch_pid Sys.sigterm with Unix.Unix_error _ -> ())
+    t.children;
+  let deadline = Unix.gettimeofday () +. grace_s in
+  let rec wait_all () =
+    let live =
+      Array.exists
+        (fun child ->
+          if child.ch_pid = 0 then false
+          else
+            match Unix.waitpid [ Unix.WNOHANG ] child.ch_pid with
+            | 0, _ -> true
+            | _, _ ->
+                child.ch_pid <- 0;
+                false
+            | exception Unix.Unix_error (Unix.ECHILD, _, _) ->
+                child.ch_pid <- 0;
+                false)
+        t.children
+    in
+    if live then
+      if Unix.gettimeofday () >= deadline then
+        Array.iter
+          (fun child ->
+            if child.ch_pid > 0 then begin
+              (try Unix.kill child.ch_pid Sys.sigkill
+               with Unix.Unix_error _ -> ());
+              (try ignore (Unix.waitpid [] child.ch_pid)
+               with Unix.Unix_error _ -> ());
+              child.ch_pid <- 0
+            end)
+          t.children
+      else begin
+        Unix.sleepf 0.05;
+        wait_all ()
+      end
+  in
+  wait_all ()

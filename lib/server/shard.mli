@@ -1,0 +1,43 @@
+(** Shard-set supervisor: spawn N child processes from argv specs,
+    reap exits, restart crashed children with exponential backoff
+    ([base_backoff_ms * 2^streak], capped at [max_backoff_ms]; a child
+    up for [stable_after_s] resets its streak). Contains no serving
+    logic — the CLI builds [rrs serve ...] argvs, the E21 bench builds
+    its own child mode.
+
+    Single-threaded by design: call {!poll} (or {!run}) from one
+    thread. [on_spawn] fires after every (re)spawn — the CLI writes
+    pidfiles there so a failover harness can kill a specific shard. *)
+
+type spec = {
+  sp_label : string;
+  sp_argv : string array;  (** [sp_argv.(0)] is the program to exec *)
+}
+
+type t
+
+(** Spawns every child once before returning.
+    @raise Failure on an empty spec list. *)
+val start :
+  ?base_backoff_ms:int ->
+  ?max_backoff_ms:int ->
+  ?stable_after_s:float ->
+  ?on_spawn:(label:string -> pid:int -> unit) ->
+  spec list ->
+  t
+
+val poll : t -> unit
+(** Reap exits, schedule backoffs, respawn due children. Non-blocking. *)
+
+val run : t -> stop:(unit -> bool) -> unit
+(** {!poll} every 50ms until [stop ()] is true. *)
+
+val pids : t -> (string * int) list
+(** [(label, pid)] per child; pid 0 while a child is between restarts. *)
+
+val restarts : t -> int
+(** Total respawns performed after the initial spawns. *)
+
+val stop : ?grace_s:float -> t -> unit
+(** SIGTERM every child (graceful drain), wait up to [grace_s]
+    (default 10s), SIGKILL stragglers, reap everything. *)

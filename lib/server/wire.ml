@@ -656,17 +656,19 @@ type read_result = Frame of frame | Malformed of string | Eof
    scan and the /2 header/payload reads run over the in-memory chunk. *)
 
 type reader = {
-  channel : in_channel;
+  pull : Bytes.t -> int -> int -> int;
   chunk : Bytes.t;
   mutable pos : int; (* next unconsumed byte in [chunk] *)
   mutable len : int; (* valid bytes in [chunk] *)
-  mutable pulled : int; (* total bytes pulled from the channel *)
+  mutable pulled : int; (* total bytes pulled from the source *)
 }
 
 let chunk_size = 64 * 1024
 
-let reader channel =
-  { channel; chunk = Bytes.create chunk_size; pos = 0; len = 0; pulled = 0 }
+let reader_fn pull =
+  { pull; chunk = Bytes.create chunk_size; pos = 0; len = 0; pulled = 0 }
+
+let reader channel = reader_fn (fun buf off len -> input channel buf off len)
 
 let reader_bytes r = r.pulled
 
@@ -674,7 +676,7 @@ let reader_bytes r = r.pulled
 let refill r =
   if r.pos < r.len then true
   else begin
-    let k = input r.channel r.chunk 0 (Bytes.length r.chunk) in
+    let k = r.pull r.chunk 0 (Bytes.length r.chunk) in
     r.pos <- 0;
     r.len <- k;
     r.pulled <- r.pulled + k;
@@ -694,7 +696,7 @@ let ensure r want =
     let rec fill () =
       if r.len >= want then true
       else
-        let k = input r.channel r.chunk r.len (Bytes.length r.chunk - r.len) in
+        let k = r.pull r.chunk r.len (Bytes.length r.chunk - r.len) in
         if k = 0 then false
         else begin
           r.len <- r.len + k;
@@ -715,7 +717,7 @@ let read_exact r n =
   let rec go off =
     if off >= n then Some (Bytes.unsafe_to_string out)
     else
-      let k = input r.channel out off (n - off) in
+      let k = r.pull out off (n - off) in
       if k = 0 then None
       else begin
         r.pulled <- r.pulled + k;

@@ -162,6 +162,12 @@ type reader
 
 val reader : in_channel -> reader
 
+val reader_fn : (bytes -> int -> int -> int) -> reader
+(** A reader over an arbitrary pull function [pull buf off len -> k]
+    with [read(2)] semantics (0 means EOF). Lets callers interpose
+    deadlines: a pull that [select]s with a remaining-time budget before
+    reading gives every {!read} a hard time bound. *)
+
 val reader_bytes : reader -> int
 (** Total bytes pulled from the underlying channel so far (used by the
     E18 harness for bytes/frame accounting). *)
