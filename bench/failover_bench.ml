@@ -113,7 +113,7 @@ let drive address ~session ~seed ~rounds ~deadline_ms ~acked =
      call
        (Wire.Open
           { session; policy; delta; bounds; n; speed = 1; horizon = 0;
-            queue_limit = 0 })
+            queue_limit = 0; decl = None })
    with
   | (Ok (Wire.Opened _), _) -> ()
   | (Ok (Wire.Error_frame { message }), _) -> fail "%s: open: %s" session message
@@ -130,7 +130,7 @@ let drive address ~session ~seed ~rounds ~deadline_ms ~acked =
         (Seq.filter (fun c -> counts.(c) > 0) (Seq.init colors (fun c -> c)))
     in
     let counts_arr = Array.map (fun c -> counts.(c)) colors_arr in
-    (match call (Wire.Feed { session; colors = colors_arr; counts = counts_arr })
+    (match call (Wire.Feed { session; colors = colors_arr; counts = counts_arr; decl = None })
      with
     | (Ok (Wire.Fed _ | Wire.Shed _), _) -> ()
     | (Ok _, _) | (Error _, _) -> incr errors);

@@ -12,6 +12,7 @@
      dune exec bench/main.exe -- sweep --inject-crash  # + failure isolation
      dune exec bench/main.exe -- serve             # E18 serving throughput
      dune exec bench/main.exe -- snap              # E19 snapshot growth
+     dune exec bench/main.exe -- admission         # E22 admission gate
      dune exec bench/main.exe -- tables --json F   # tables + BENCH json
 
    --json FILE serializes the results of the selected mode to FILE using
@@ -21,8 +22,8 @@
    completes degraded with attributable errors. *)
 
 let usage =
-  "all | tables | micro | sweep | serve | snap | failover [--json FILE] \
-   [--inject-crash]"
+  "all | tables | micro | sweep | serve | snap | failover | admission \
+   [--json FILE] [--inject-crash]"
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -56,6 +57,7 @@ let () =
   | "serve" -> Serve_bench.run ?json ()
   | "snap" -> Snap_bench.run ?json ()
   | "failover" -> Failover_bench.run ?json ()
+  | "admission" -> Admission_bench.run ?json ()
   | "all" ->
       Experiments.run_all ?json ();
       Micro.run ()

@@ -80,7 +80,7 @@ let drive address ~wire ~session ~seed ~rounds =
      call
        (Wire.Open
           { session; policy; delta; bounds; n; speed = 1; horizon = 0;
-            queue_limit = 0 })
+            queue_limit = 0; decl = None })
    with
   | Wire.Opened _ -> ()
   | _ -> fail "%s: unexpected reply to open" session);
@@ -98,7 +98,7 @@ let drive address ~wire ~session ~seed ~rounds =
            (Seq.init colors (fun c -> c)))
     in
     let counts_arr = Array.map (fun c -> counts.(c)) colors_arr in
-    (match call (Wire.Feed { session; colors = colors_arr; counts = counts_arr }) with
+    (match call (Wire.Feed { session; colors = colors_arr; counts = counts_arr; decl = None }) with
     | Wire.Fed _ | Wire.Shed _ -> ()
     | _ -> fail "%s: unexpected reply to feed" session);
     match call (Wire.Step { session; rounds = 1 }) with

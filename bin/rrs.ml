@@ -770,9 +770,31 @@ let serve_cmd =
              loses at most --checkpoint-every rounds per session. Requires \
              --snap-dir; no effect on rrs-snap/1 sessions.")
   in
+  let admission =
+    Arg.(
+      value & opt (some string) None
+      & info [ "admission" ] ~docv:"SPEC"
+          ~doc:
+            "Run the admission gate against the deployment capacity in \
+             $(docv) (an rrs-spec/1 file, see 'rrs analyze'): the spec's n \
+             (or the analytically sized minimum) times its speed is the \
+             supply budget that sessions declaring rates on open/feed are \
+             priced against. See --admission-mode.")
+  in
+  let admission_mode =
+    Arg.(
+      value & opt string "enforce"
+      & info [ "admission-mode" ] ~docv:"MODE"
+          ~doc:
+            "off, warn or enforce (default enforce, effective only with \
+             --admission). enforce: over-budget or infeasible declarations \
+             draw admission_rejected — an open leaves no session state — \
+             and declared sessions' feeds are policed against their \
+             envelope. warn: violations are admitted and logged.")
+  in
   let run () socket tcp snap_dir trace_dir domains queue_limit no_restore wire
       snap_version checkpoint_every max_reply metrics slow_us slow_log autosnap
-      log_level =
+      admission admission_mode log_level =
     let address = or_die (address_of_args socket tcp) in
     let max_wire = or_die (check_wire ~default:2 wire) in
     (match Rrs_server.Slog.level_of_string log_level with
@@ -784,6 +806,12 @@ let serve_cmd =
         exit 1);
     let metrics =
       Option.map (fun text -> or_die (parse_aux_address text)) metrics
+    in
+    let admission_mode =
+      or_die (Rrs_server.Admission.mode_of_string admission_mode)
+    in
+    let admission =
+      Option.map (fun path -> or_die (Rrs_workload.Demand.load path)) admission
     in
     let config =
       {
@@ -801,6 +829,8 @@ let serve_cmd =
         slow_log;
         server_id = "rrs/1.0.0";
         autosnap;
+        admission;
+        admission_mode;
       }
     in
     match Rrs_server.Server.serve ~restore:(not no_restore) config with
@@ -823,7 +853,7 @@ let serve_cmd =
       const run $ verbose_arg $ socket_arg $ tcp_arg $ snap_dir $ trace_dir
       $ domains $ queue_limit $ no_restore $ wire $ snap_version
       $ checkpoint_every $ max_reply $ metrics $ slow_us $ slow_log $ autosnap
-      $ log_level_arg)
+      $ admission $ admission_mode $ log_level_arg)
 
 (* The client script language, one command per line ('#' comments):
      hello
@@ -897,6 +927,24 @@ module Client_script = struct
     in
     go [] [] words
 
+  (* Optional declared-envelope kvs on open/feed:
+     rates=1,0,2 rate_den=2 [bursts=0,0,4]. *)
+  let parse_decl kvs =
+    match List.assoc_opt "rates" kvs with
+    | None -> (
+        match List.assoc_opt "rate_den" kvs with
+        | Some _ -> Error "rate_den=... without rates=..."
+        | None -> Ok None)
+    | Some rates ->
+        let* d_rates = parse_bounds rates in
+        let* d_den = int_kv kvs "rate_den" ~default:1 in
+        let* d_bursts =
+          match List.assoc_opt "bursts" kvs with
+          | None -> Ok [||]
+          | Some b -> parse_bounds b
+        in
+        Ok (Some { Rrs_server.Wire.d_rates; d_den; d_bursts })
+
   (* One line -> either a frame to send or a raw payload. *)
   type action = Send of Rrs_server.Wire.frame | Raw of string | Skip
 
@@ -933,14 +981,20 @@ module Client_script = struct
           let* speed = int_kv kvs "speed" ~default:1 in
           let* horizon = int_kv kvs "horizon" ~default:0 in
           let* queue_limit = int_kv kvs "queue_limit" ~default:0 in
+          let* decl = parse_decl kvs in
           Ok
             (Send
                (Rrs_server.Wire.Open
                   { session; policy; delta; bounds; n; speed; horizon;
-                    queue_limit }))
-      | "feed" :: session :: pairs ->
+                    queue_limit; decl }))
+      | "feed" :: session :: rest ->
+          (* KEY=VALUE words are a (re)declaration; the rest are pairs. *)
+          let pairs, kv_words =
+            List.partition (fun w -> not (String.contains w '=')) rest
+          in
           let* colors, counts = parse_pairs pairs in
-          Ok (Send (Rrs_server.Wire.Feed { session; colors; counts }))
+          let* decl = parse_decl (kv_args kv_words) in
+          Ok (Send (Rrs_server.Wire.Feed { session; colors; counts; decl }))
       | "step" :: session :: rest ->
           let* rounds =
             match rest with
@@ -1108,6 +1162,138 @@ let client_cmd =
       const run $ verbose_arg $ socket_arg $ tcp_arg $ script_arg $ wire
       $ timeout_ms $ retries)
 
+(* ---- analyze: capacity analysis over an rrs-spec/1 file ---- *)
+
+let analyze_cmd =
+  let spec_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SPEC"
+          ~doc:
+            "An rrs-spec/1 workload spec file: a header line with delta, \
+             speed, colors and optionally a deployment size n, then one \
+             line per color with its delay bound, token-bucket rate \
+             (rate_num/rate_den jobs per round) and burst.")
+  in
+  let n_opt =
+    Arg.(
+      value & opt (some int) None
+      & info [ "n" ] ~docv:"N"
+          ~doc:
+            "Verify this deployment size (overrides the spec's n). With \
+             neither, analyze sizes the minimal feasible n instead.")
+  in
+  let policy =
+    Arg.(
+      value & opt string "seq-edf"
+      & info [ "policy" ] ~docv:"POLICY"
+          ~doc:
+            "Policy for the simulation cross-check and --probe. The \
+             default seq-edf reference caches distinct colors in all n \
+             locations, matching the dedicated-allocation supply model; \
+             the Section-3 online policies (dlru, edf, dlru-edf) use only \
+             n/2 and need roughly twice the analytic minimum.")
+  in
+  let sim_rounds =
+    Arg.(
+      value & opt int 400
+      & info [ "sim-rounds" ] ~docv:"R"
+          ~doc:"Rounds of the simulation cross-check.")
+  in
+  let no_sim =
+    Arg.(
+      value & flag
+      & info [ "no-sim" ] ~doc:"Skip the simulation cross-check.")
+  in
+  let calibrate =
+    Arg.(
+      value & opt (some string) None
+      & info [ "calibrate" ] ~docv:"EVENTS"
+          ~doc:
+            "Fit empirical per-color supply curves (sustained rate and \
+             startup delay) from an rrs-events/1 or /2 stream file and \
+             print them alongside the analytic report.")
+  in
+  let probe =
+    Arg.(
+      value & flag
+      & info [ "probe" ]
+          ~doc:
+            "Calibrate from a short simulated probe run of the spec at \
+             the chosen n (empirical supply as --calibrate, no stream \
+             file needed).")
+  in
+  let run () spec_path n_opt policy sim_rounds no_sim calibrate probe =
+    let module C = Rrs_analysis.Capacity in
+    let module Cal = Rrs_analysis.Calibrate in
+    let spec = or_die (Rrs_workload.Demand.load spec_path) in
+    let target =
+      match n_opt with Some n -> Some n | None -> spec.Rrs_workload.Demand.n
+    in
+    (* fit = the analytic verdict; n/allocation feed the report. *)
+    let n, allocation, fit =
+      match target with
+      | Some n -> (
+          match C.check ~n spec with
+          | C.Fits { allocation; spare } ->
+              Format.printf "%a@." C.pp_report (C.report ~n ~allocation spec);
+              Format.printf "verdict fit n=%d required=%d spare=%d@." n
+                (n - spare) spare;
+              (n, Some allocation, true)
+          | C.Overcommitted { allocation; required; available; binding } ->
+              Format.printf "%a@." C.pp_report (C.report ~n ~allocation spec);
+              Format.printf
+                "verdict overcommitted n=%d required=%d binding_color=%d@."
+                available required binding;
+              (n, Some allocation, false)
+          | C.Unsatisfiable { color; reason } ->
+              Format.printf "verdict unsatisfiable color=%d reason=%S@." color
+                reason;
+              (n, None, false))
+      | None -> (
+          match C.size spec with
+          | Ok (n, allocation) ->
+              Format.printf "%a@." C.pp_report (C.report ~n ~allocation spec);
+              Format.printf "verdict sized n=%d@." n;
+              (n, Some allocation, true)
+          | Error reason ->
+              Format.printf "verdict unsatisfiable reason=%S@." reason;
+              (0, None, false))
+    in
+    if (not no_sim) && allocation <> None && n > 0 then begin
+      let sim = or_die (C.simulate ~policy ~rounds:sim_rounds ~n spec) in
+      Format.printf "sim policy=%s rounds=%d jobs=%d execs=%d drops=%d@."
+        policy sim.C.sim_rounds sim.C.sim_jobs sim.C.sim_execs sim.C.sim_drops;
+      if fit && sim.C.sim_drops > 0 then
+        Format.printf
+          "warning: analytically feasible but the %s simulation dropped %d \
+           job(s) — the Section-3 online policies cache only n/2 colors \
+           (resource augmentation) and need roughly twice the analytic \
+           minimum; seq-edf realizes the dedicated-allocation model@."
+          policy sim.C.sim_drops
+    end;
+    Option.iter
+      (fun path -> Format.printf "%a@." Cal.pp (or_die (Cal.of_file path)))
+      calibrate;
+    if probe && n > 0 then
+      Format.printf "%a@." Cal.pp
+        (or_die (Cal.probe ~policy ~n spec));
+    if not fit then exit 1
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Capacity analysis of a declared workload (rrs-spec/1): verify a \
+          deployment size or size the minimal one via the demand-bound vs \
+          supply-bound check, print the per-color capacity report with \
+          headroom, cross-validate by simulation, and optionally fit \
+          empirical supply curves from an event stream (--calibrate) or a \
+          probe run (--probe). Exits 1 when the workload does not fit.")
+    Term.(
+      const run $ verbose_arg $ spec_arg $ n_opt $ policy $ sim_rounds
+      $ no_sim $ calibrate $ probe)
+
 (* ---- top: a refreshing live view over the 'metrics' wire request ---- *)
 
 let top_cmd =
@@ -1140,63 +1326,6 @@ let top_cmd =
              the display (0 = no deadline).")
   in
   let module Json = Rrs_sim.Event_sink.Json in
-  let render ~now ~previous fields slow_lines =
-    let g name = Json.opt_int_field fields name ~default:0 in
-    let buf = Buffer.create 2048 in
-    let line format = Printf.ksprintf (fun s ->
-        Buffer.add_string buf s; Buffer.add_char buf '\n') format in
-    let rate total_name =
-      match previous with
-      | Some (at, prev) when now > at ->
-          let before = Json.opt_int_field prev total_name ~default:0 in
-          Printf.sprintf "%7.1f/s"
-            (float_of_int (g total_name - before) /. (now -. at))
-      | _ -> "      -/s"
-    in
-    line "rrs top  uptime %ds  workers %d  sessions %d (rounds %d, shed %d)"
-      (g "uptime_s") (g "workers") (g "sessions_open") (g "sessions_rounds")
-      (g "sessions_shed_jobs");
-    line "requests %d %s  errors %d  malformed %d  slow %d (>= %dus)"
-      (g "requests_total") (rate "requests_total") (g "errors_total")
-      (g "malformed_total") (g "slow_total") (g "slow_threshold_us");
-    line "rounds   %d %s  shed jobs %d  bytes in p50 %d  out p50 %d"
-      (g "rounds_total") (rate "rounds_total") (g "shed_jobs_total")
-      (g "bytes_in_p50") (g "bytes_out_p50");
-    line "lock wait p50 %dus p99 %dus  step p50 %dus p99 %dus"
-      (g "lock_wait_us_p50") (g "lock_wait_us_p99") (g "step_us_p50")
-      (g "step_us_p99");
-    line "%-10s %10s %8s %8s %8s %8s" "type" "count" "p50us" "p90us" "p99us"
-      "maxus";
-    Array.iter
-      (fun kind ->
-        let n = g ("requests_" ^ kind) in
-        if n > 0 then
-          let h key = g ("req_latency_us_" ^ kind ^ "_" ^ key) in
-          line "%-10s %10d %8d %8d %8d %8d" kind n (h "p50") (h "p90")
-            (h "p99") (h "max"))
-      Rrs_server.Metrics.kinds;
-    if slow_lines <> [] then begin
-      line "slow requests (newest first):";
-      List.iter
-        (fun entry ->
-          match Json.parse_fields entry with
-          | fields ->
-              let f name = Json.opt_int_field fields name ~default:0 in
-              line
-                "  +%6dms %-8s %-12s wire%d %6dus (read %d lock %d handle %d \
-                 write %d) %dB>%dB%s"
-                (f "at_us" / 1000)
-                (try Json.str_field fields "type" with Json.Parse_error _ -> "?")
-                (try Json.str_field fields "session"
-                 with Json.Parse_error _ -> "")
-                (f "wire") (f "latency_us") (f "read_us") (f "lock_us")
-                (f "handle_us") (f "write_us") (f "bytes_in") (f "bytes_out")
-                (if f "error" = 1 then " ERROR" else "")
-          | exception Json.Parse_error _ -> line "  %s" entry)
-        slow_lines
-    end;
-    Buffer.contents buf
-  in
   let run () socket tcp interval count slow wire timeout_ms =
     let address = or_die (address_of_args socket tcp) in
     let wire = or_die (check_wire ~default:1 wire) in
@@ -1228,12 +1357,16 @@ let top_cmd =
               if slow_doc = "" then []
               else String.split_on_char '\n' slow_doc
             in
-            let now = Rrs_obs.Clock.now_s () in
+            let sample =
+              { Rrs_server.Top_view.at = Rrs_obs.Clock.now_s (); fields }
+            in
             (* Clear and repaint only when this is a refreshing view. *)
             if count <> 1 then print_string "\027[2J\027[H";
-            print_string (render ~now ~previous:!previous fields slow_lines);
+            print_string
+              (Rrs_server.Top_view.render ~previous:!previous sample
+                 ~slow:slow_lines);
             flush stdout;
-            previous := Some (now, fields);
+            previous := Some sample;
             if remaining <> 1 then begin
               Unix.sleepf interval;
               loop (remaining - 1)
@@ -1574,5 +1707,5 @@ let () =
           [
             gen_cmd; info_cmd; run_cmd; trace_run_cmd; report_cmd; compare_cmd;
             sweep_cmd; validate_cmd; weighted_cmd; faults_cmd; serve_cmd;
-            client_cmd; top_cmd; route_cmd; shard_set_cmd;
+            client_cmd; analyze_cmd; top_cmd; route_cmd; shard_set_cmd;
           ]))

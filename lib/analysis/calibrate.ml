@@ -1,0 +1,150 @@
+(* Empirical supply-curve calibration. See calibrate.mli. *)
+
+module Event_sink = Rrs_sim.Event_sink
+
+type color_fit = {
+  f_color : int;
+  f_rate_mjpr : int;
+  f_delay : int;
+  f_samples : (int * int) list;
+}
+
+type t = { cal_rounds : int; cal_fits : color_fit array }
+
+(* Window widths to sample: every width up to 16, then x5/4 growth, the
+   full span always included. *)
+let sample_widths rounds =
+  let rec grow w acc =
+    if w >= rounds then List.rev (rounds :: acc)
+    else
+      let next = if w < 16 then w + 1 else max (w + 1) (w * 5 / 4) in
+      grow next (w :: acc)
+  in
+  if rounds <= 0 then [] else grow 1 []
+
+let fit_color ~rounds ~color counts =
+  let prefix = Array.make (rounds + 1) 0 in
+  for r = 0 to rounds - 1 do
+    prefix.(r + 1) <- prefix.(r) + counts.(r)
+  done;
+  let min_window w =
+    let best = ref max_int in
+    for s = 0 to rounds - w do
+      let sum = prefix.(s + w) - prefix.(s) in
+      if sum < !best then best := sum
+    done;
+    !best
+  in
+  let samples = List.map (fun w -> (w, min_window w)) (sample_widths rounds) in
+  let alpha =
+    match List.rev samples with
+    | (w2, m2) :: (w1, m1) :: _ when w2 > w1 ->
+        float_of_int (m2 - m1) /. float_of_int (w2 - w1)
+    | (w, m) :: _ -> float_of_int m /. float_of_int w
+    | [] -> 0.
+  in
+  let delay =
+    if alpha <= 0. then rounds
+    else
+      List.fold_left
+        (fun acc (w, m) ->
+          let d = float_of_int w -. (float_of_int m /. alpha) in
+          max acc (int_of_float (ceil d)))
+        0 samples
+      |> min rounds |> max 0
+  in
+  {
+    f_color = color;
+    f_rate_mjpr = int_of_float (Float.round (alpha *. 1000.));
+    f_delay = delay;
+    f_samples = samples;
+  }
+
+let of_exec_rounds ~colors ~rounds execs =
+  let counts = Array.init colors (fun _ -> Array.make (max rounds 1) 0) in
+  List.iter
+    (fun (round, color) ->
+      if round >= 0 && round < rounds && color >= 0 && color < colors then
+        counts.(color).(round) <- counts.(color).(round) + 1)
+    execs;
+  {
+    cal_rounds = rounds;
+    cal_fits =
+      Array.init colors (fun color ->
+          fit_color ~rounds:(max rounds 1) ~color counts.(color));
+  }
+
+let of_events ~colors ~rounds events =
+  of_exec_rounds ~colors ~rounds
+    (List.filter_map
+       (function
+         | Event_sink.Execute { round; color; _ } -> Some (round, color)
+         | _ -> None)
+       events)
+
+let of_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error m -> Error m
+  | document -> (
+      let lines =
+        String.split_on_char '\n' document
+        |> List.filter (fun l -> String.trim l <> "")
+      in
+      match lines with
+      | [] -> Error "empty events file"
+      | header :: rest -> (
+          match Event_sink.parse_line header with
+          | Error m -> Error (Printf.sprintf "header: %s" m)
+          | Ok (Event_sink.Header h) -> (
+              let colors = Array.length h.Event_sink.hdr_bounds in
+              let execs = ref [] and max_round = ref (-1) and bad = ref None in
+              List.iter
+                (fun line ->
+                  match Event_sink.parse_line line with
+                  | Error m -> if !bad = None then bad := Some m
+                  | Ok (Event_sink.Event (Event_sink.Execute { round; color; _ }))
+                    ->
+                      execs := (round, color) :: !execs;
+                      if round > !max_round then max_round := round
+                  | Ok (Event_sink.Round { snap_round; _ }) ->
+                      if snap_round > !max_round then max_round := snap_round
+                  | Ok _ -> ())
+                rest;
+              match !bad with
+              | Some m -> Error m
+              | None ->
+                  let rounds = max (!max_round + 1) 1 in
+                  Ok (of_exec_rounds ~colors ~rounds !execs))
+          | Ok _ -> Error "first line is not an rrs-events header"))
+
+let probe ?(policy = "seq-edf") ?(rounds = 256) ~n (spec : Rrs_workload.Demand.t)
+    =
+  match Rrs_core.Policies.find policy with
+  | None ->
+      Error
+        (Printf.sprintf "unknown policy %S (known: %s)" policy
+           (String.concat ", " Rrs_core.Policies.names))
+  | Some policy_module -> (
+      match Rrs_workload.Demand.to_instance ~rounds spec with
+      | exception Invalid_argument m -> Error m
+      | instance ->
+          let result =
+            Rrs_sim.Engine.run ~speed:spec.speed ~record_events:true ~n
+              ~policy:policy_module instance
+          in
+          Ok
+            (of_events
+               ~colors:(Rrs_sim.Instance.num_colors instance)
+               ~rounds:instance.Rrs_sim.Instance.horizon
+               (Rrs_sim.Ledger.events result.Rrs_sim.Engine.ledger)))
+
+let pp formatter t =
+  Format.fprintf formatter
+    "empirical supply (observed over %d rounds):@." t.cal_rounds;
+  Format.fprintf formatter "  %5s  %16s  %14s@." "color" "delivered mj/r"
+    "startup delay";
+  Array.iter
+    (fun f ->
+      Format.fprintf formatter "  %5d  %16d  %14d@." f.f_color f.f_rate_mjpr
+        f.f_delay)
+    t.cal_fits

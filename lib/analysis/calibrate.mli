@@ -1,0 +1,53 @@
+(** Empirical supply curves from observed executions.
+
+    The analytic supply bound of {!Capacity} assumes dedicated resources
+    with a fixed startup delay. This module measures what a deployment
+    {e actually} delivered: from the per-round execution counts of an
+    [rrs-events/1]/[/2] stream (or a short simulated probe run) it
+    builds, per color, the empirical supply-bound curve
+
+    {v sbf*(w) = min over windows of w consecutive rounds of
+               (executions of the color inside the window) v}
+
+    and fits the two BDR parameters — the sustained service slope
+    [alpha] (from the largest sampled windows) and the startup delay
+    (the largest [w - sbf*(w) / alpha] over the samples, i.e. the
+    bandwidth-delay intercept). The fit is the empirical counterpart to
+    [sbf(t) = k * speed * max 0 (t - delay)] and lets [rrs analyze
+    --calibrate/--probe] compare declared supply against delivered
+    supply.
+
+    The curve is sampled at geometrically spaced window widths (dense up
+    to 16 rounds, then ×5/4 growth), keeping calibration linear in the
+    stream length. *)
+
+type color_fit = {
+  f_color : int;
+  f_rate_mjpr : int; (* fitted sustained service, milli-jobs/round *)
+  f_delay : int; (* fitted startup delay, rounds; [rounds] if starved *)
+  f_samples : (int * int) list; (* (window, min executions) at samples *)
+}
+
+type t = { cal_rounds : int; cal_fits : color_fit array }
+
+(** [of_exec_rounds ~colors ~rounds execs] calibrates from raw
+    [(round, color)] execution observations (rounds outside
+    [0..rounds-1] and colors outside range are ignored). *)
+val of_exec_rounds : colors:int -> rounds:int -> (int * int) list -> t
+
+(** Calibrate from retained ledger events (only [Execute] lines count). *)
+val of_events : colors:int -> rounds:int -> Rrs_sim.Event_sink.event list -> t
+
+(** Calibrate from an [rrs-events/1]/[/2] JSONL file; colors and round
+    count come from its header and the observed stream. *)
+val of_file : string -> (t, string) result
+
+(** Short simulated probe: run the spec's arrival sequence on [n]
+    resources for [rounds] (default 256) under [policy] (default
+    [seq-edf], as {!Capacity.simulate}) and calibrate from the events
+    it emits. *)
+val probe :
+  ?policy:string -> ?rounds:int -> n:int -> Rrs_workload.Demand.t ->
+  (t, string) result
+
+val pp : Format.formatter -> t -> unit

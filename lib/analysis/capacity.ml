@@ -1,0 +1,233 @@
+(* Demand-bound / supply-bound capacity analysis. See capacity.mli for
+   the model and the finite-horizon argument. *)
+
+module Demand = Rrs_workload.Demand
+
+type supply = { s_speed : int; s_delays : int array }
+
+let default_supply (spec : Demand.t) =
+  {
+    s_speed = spec.speed;
+    s_delays =
+      Array.map (fun (e : Demand.entry) -> min spec.delta (e.bound - 1))
+        spec.entries;
+  }
+
+let ceil_div a b = (a + b - 1) / b
+
+let dbf (e : Demand.entry) t =
+  if t < e.bound then 0
+  else e.burst + ceil_div (e.rate_num * (t - e.bound + 1)) e.rate_den
+
+let sbf ~resources ~speed ~delay t = resources * speed * max 0 (t - delay)
+
+type violation = {
+  v_color : int;
+  v_window : int;
+  v_demand : int;
+  v_supply : int;
+}
+
+(* Scan horizon past which no violation can occur (see the .mli): with
+   surplus slope g = den*resources*speed - rate_num per round,
+   - g > 0: dbf(t) <= sbf(t) holds algebraically for
+     g*t >= den*(burst+1) - 1 + num*(1 - bound) + den*resources*speed*delay,
+     so scanning up to that bound is exhaustive;
+   - g = 0: dbf - sbf is eventually periodic in t with period den, so one
+     full period past max(bound, delay+1) is exhaustive;
+   - g < 0: the deficit grows by at least 1/den per round, so a witness
+     exists and appears within den * (initial surplus + burst + 2) rounds
+     of the activation point. *)
+let scan_horizon ~resources ~speed ~delay (e : Demand.entry) =
+  let num = e.rate_num and den = e.rate_den in
+  let g = (den * resources * speed) - num in
+  if g > 0 then
+    let r =
+      (den * (e.burst + 1)) - 1 + num - (num * e.bound)
+      + (den * resources * speed * delay)
+    in
+    max (e.bound + delay + 1) (if r <= 0 then 1 else ceil_div r g)
+  else if g = 0 then max e.bound (delay + 1) + den
+  else
+    let t0 = max e.bound (delay + 1) in
+    t0 + (den * ((resources * speed * t0) + e.burst + 2))
+
+let witness ~resources ~speed ~delay (e : Demand.entry) =
+  if e.rate_num = 0 && e.burst = 0 then None
+  else
+    let horizon = scan_horizon ~resources ~speed ~delay e in
+    let rec scan t =
+      if t > horizon then None
+      else
+        let demand = dbf e t and supply = sbf ~resources ~speed ~delay t in
+        if demand > supply then
+          Some { v_color = e.color; v_window = t; v_demand = demand;
+                 v_supply = supply }
+        else scan (t + 1)
+    in
+    scan 1
+
+let feasible ~resources ~speed ~delay e =
+  witness ~resources ~speed ~delay e = None
+
+type requirement = Resources of int | Impossible of string
+
+let min_resources ~speed ~delay (e : Demand.entry) =
+  if e.rate_num = 0 && e.burst = 0 then Resources 0
+  else if delay >= e.bound then
+    Impossible
+      (Printf.sprintf
+         "supply delay %d >= bound %d: no window before the deadline" delay
+         e.bound)
+  else begin
+    (* burst + ceil(rate) resources per speed-unit always suffice:
+       dbf(t) <= (t - bound + 1) * (burst + ceil(num/den)) <= sbf(t)
+       whenever delay <= bound - 1. Double defensively all the same. *)
+    let hi = ref (max 1 (ceil_div (e.burst + ceil_div e.rate_num e.rate_den) speed)) in
+    while not (feasible ~resources:!hi ~speed ~delay e) do
+      hi := !hi * 2
+    done;
+    let rec search lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if feasible ~resources:mid ~speed ~delay e then search lo mid
+        else search (mid + 1) hi
+    in
+    Resources (search 1 !hi)
+  end
+
+type verdict =
+  | Fits of { allocation : int array; spare : int }
+  | Overcommitted of {
+      allocation : int array;
+      required : int;
+      available : int;
+      binding : int;
+    }
+  | Unsatisfiable of { color : int; reason : string }
+
+exception Unsat of int * string
+
+let allocations ?supply (spec : Demand.t) =
+  let supply = Option.value supply ~default:(default_supply spec) in
+  try
+    Ok
+      (Array.map
+         (fun (e : Demand.entry) ->
+           match
+             min_resources ~speed:supply.s_speed
+               ~delay:supply.s_delays.(e.color) e
+           with
+           | Resources k -> k
+           | Impossible reason -> raise (Unsat (e.color, reason)))
+         spec.entries)
+  with Unsat (color, reason) -> Error (color, reason)
+
+let check ?supply ~n spec =
+  match allocations ?supply spec with
+  | Error (color, reason) -> Unsatisfiable { color; reason }
+  | Ok allocation ->
+      let required = Array.fold_left ( + ) 0 allocation in
+      if required <= n then Fits { allocation; spare = n - required }
+      else
+        let binding = ref 0 in
+        Array.iteri
+          (fun l k -> if k > allocation.(!binding) then binding := l)
+          allocation;
+        Overcommitted { allocation; required; available = n; binding = !binding }
+
+let size ?supply spec =
+  match allocations ?supply spec with
+  | Error (color, reason) ->
+      Error (Printf.sprintf "color %d: %s" color reason)
+  | Ok allocation -> Ok (max 1 (Array.fold_left ( + ) 0 allocation), allocation)
+
+type color_report = {
+  r_color : int;
+  r_bound : int;
+  r_rate_mjpr : int;
+  r_burst : int;
+  r_resources : int;
+  r_capacity_mjpr : int;
+  r_headroom_mjpr : int;
+}
+
+type report = {
+  rep_name : string;
+  rep_n : int;
+  rep_spare : int;
+  rep_colors : color_report list;
+}
+
+let report ?supply ~n ~allocation (spec : Demand.t) =
+  let supply = Option.value supply ~default:(default_supply spec) in
+  let colors =
+    Array.to_list
+      (Array.map
+         (fun (e : Demand.entry) ->
+           let resources = allocation.(e.color) in
+           let capacity = resources * supply.s_speed * 1000 in
+           let rate = Demand.rate_mjpr e in
+           {
+             r_color = e.color;
+             r_bound = e.bound;
+             r_rate_mjpr = rate;
+             r_burst = e.burst;
+             r_resources = resources;
+             r_capacity_mjpr = capacity;
+             r_headroom_mjpr = capacity - rate;
+           })
+         spec.entries)
+  in
+  {
+    rep_name = spec.name;
+    rep_n = n;
+    rep_spare = n - Array.fold_left ( + ) 0 allocation;
+    rep_colors = colors;
+  }
+
+let pp_report formatter r =
+  Format.fprintf formatter "capacity report — %s: n=%d (spare %d)@." r.rep_name
+    r.rep_n r.rep_spare;
+  Format.fprintf formatter
+    "  %5s  %5s  %10s  %5s  %9s  %12s  %12s@." "color" "bound" "rate mj/r"
+    "burst" "resources" "supply mj/r" "headroom";
+  List.iter
+    (fun c ->
+      Format.fprintf formatter "  %5d  %5d  %10d  %5d  %9d  %12d  %12d@."
+        c.r_color c.r_bound c.r_rate_mjpr c.r_burst c.r_resources
+        c.r_capacity_mjpr c.r_headroom_mjpr)
+    r.rep_colors
+
+type sim_result = {
+  sim_rounds : int;
+  sim_jobs : int;
+  sim_drops : int;
+  sim_execs : int;
+  sim_cost : int;
+}
+
+let simulate ?(policy = "seq-edf") ?(rounds = 400) ~n spec =
+  match Rrs_core.Policies.find policy with
+  | None ->
+      Error
+        (Printf.sprintf "unknown policy %S (known: %s)" policy
+           (String.concat ", " Rrs_core.Policies.names))
+  | Some policy_module -> (
+      match Demand.to_instance ~rounds spec with
+      | exception Invalid_argument m -> Error m
+      | instance ->
+          let result =
+            Rrs_sim.Engine.run ~speed:spec.speed ~record_events:false ~n
+              ~policy:policy_module instance
+          in
+          let ledger = result.Rrs_sim.Engine.ledger in
+          Ok
+            {
+              sim_rounds = instance.Rrs_sim.Instance.horizon;
+              sim_jobs = Rrs_sim.Instance.total_jobs instance;
+              sim_drops = Rrs_sim.Ledger.drop_count ledger;
+              sim_execs = Rrs_sim.Ledger.exec_count ledger;
+              sim_cost = Rrs_sim.Ledger.total_cost ledger;
+            })

@@ -254,17 +254,33 @@ module Endpoint = struct
     timeout_ms : int option;
     retry : retry;
     mutable conn : conn option;
+    (* Wire bytes of connections already dropped: the endpoint's
+       totals must accumulate across reconnects, not reset with each
+       new connection. *)
+    mutable sent_closed : int;
+    mutable received_closed : int;
   }
 
   let create ?timeout_ms ?(retry = no_retry) ?(wire = 1) address =
-    { address; wire; timeout_ms; retry; conn = None }
+    { address; wire; timeout_ms; retry; conn = None;
+      sent_closed = 0; received_closed = 0 }
 
   let drop t =
     match t.conn with
     | Some c ->
+        t.sent_closed <- t.sent_closed + bytes_sent c;
+        t.received_closed <- t.received_closed + bytes_received c;
         close c;
         t.conn <- None
     | None -> ()
+
+  let bytes_sent t =
+    t.sent_closed
+    + match t.conn with Some c -> bytes_sent c | None -> 0
+
+  let bytes_received t =
+    t.received_closed
+    + match t.conn with Some c -> bytes_received c | None -> 0
 
   let connection t =
     match t.conn with

@@ -120,5 +120,13 @@ module Endpoint : sig
   val drop : t -> unit
   (** Close the cached connection (a fresh one is made on next call). *)
 
+  val bytes_sent : t -> int
+  (** Wire bytes written over the endpoint's whole lifetime — closed
+      connections plus the live one — so the total survives
+      reconnects. *)
+
+  val bytes_received : t -> int
+  (** Wire bytes read, accumulated the same way. *)
+
   val close : t -> unit
 end

@@ -21,13 +21,18 @@ type config = {
   autosnap : bool;
       (* write each session's snapshot at checkpoint boundaries, so a
          crash (no drain) loses at most one unsnapshotted window *)
+  admission : Rrs_workload.Demand.t option;
+      (* deployment capacity spec (rrs-spec/1): its [n] (or the
+         analytically sized minimum) times its speed is the supply
+         budget the admission gate prices declared sessions against *)
+  admission_mode : Admission.mode; (* off | warn | enforce *)
 }
 
 let default_config address =
   { address; snap_dir = None; trace_dir = None; domains = 0; queue_limit = 0;
     max_wire = 2; snap_version = 0; checkpoint_every = 0; max_reply = 0;
     metrics = None; slow_threshold_us = 0; slow_log = 0; server_id = "rrs";
-    autosnap = false }
+    autosnap = false; admission = None; admission_mode = Admission.Off }
 
 (* ---- session manager ---- *)
 
@@ -44,6 +49,7 @@ type manager = {
   m_metrics : Metrics.t;
   m_server_id : string;
   m_autosnap : bool;
+  m_admission : Admission.t option; (* None = gate off *)
 }
 
 let with_manager m f =
@@ -81,8 +87,64 @@ let valid_session_name name =
        name
   && name.[0] <> '.'
 
+(* ---- admission gate ----
+
+   [admit] prices one declaration: the per-session analytic check
+   (would the session drop its own declared load?) and the aggregate
+   reservation (does the deployment still have budget?). [Ok police]
+   admits — [police] says whether feeds must be held to the declared
+   envelope (enforce mode). [Error reply] is the {!Wire.Admission_reject}
+   to send instead; the caller sends it and creates nothing. Warn mode
+   admits violations anyway (force-reserving, so the demand gauge tells
+   the truth) and logs the constraint it would have enforced. The
+   reservation taken here must be released on any later failure of the
+   open (lost insert race, create error). *)
+let admit m ~session ~(config : Rrs_sim.Stepper.config) decl =
+  match m.m_admission with
+  | None -> Ok false (* no gate: the declaration is recorded, not priced *)
+  | Some gate ->
+      let enforce = Admission.mode gate = Admission.Enforce in
+      let reject (r : Admission.reject) =
+        Admission.note_rejected_open gate;
+        Wire.Admission_reject
+          { session; color = r.Admission.r_color; demand = r.r_demand;
+            supply = r.r_supply; message = r.r_message }
+      in
+      let warn (r : Admission.reject) =
+        Slog.warn ~event:"admission_warn"
+          [ ("session", session); ("constraint", r.Admission.r_message) ]
+      in
+      let session_verdict =
+        Admission.check_session ~session ~delta:config.Rrs_sim.Stepper.delta
+          ~bounds:config.bounds ~n:config.n ~speed:config.speed decl
+      in
+      (match session_verdict with
+      | Error r when enforce -> Error (reject r)
+      | session_verdict ->
+          (match session_verdict with Error r -> warn r | Ok () -> ());
+          let mjpr = Admission.decl_mjpr decl in
+          (match Admission.try_admit gate ~session ~mjpr with
+          | Ok () -> Ok enforce
+          | Error r when enforce -> Error (reject r)
+          | Error r ->
+              warn r;
+              Admission.force_admit gate ~session ~mjpr;
+              Ok enforce))
+
+let release_admission m ~session =
+  Option.iter (fun gate -> Admission.release gate ~session) m.m_admission
+
+(* Undo a failed open's reservation. Reservations key on the session
+   name, so if a concurrent open of the same name won the insert race
+   and is itself declared, the standing reservation is the winner's —
+   leave it alone. *)
+let release_failed_open m ~session =
+  match find_session m session with
+  | Some winner when Session.declaration winner <> None -> ()
+  | _ -> release_admission m ~session
+
 let handle_open m ~session ~policy ~delta ~bounds ~n ~speed ~horizon
-    ~queue_limit =
+    ~queue_limit ~decl =
   if not (valid_session_name session) then
     err "invalid session name %S (want [A-Za-z0-9._-]+, not dot-led)" session
   else if with_manager m (fun () -> Hashtbl.mem m.m_sessions session) then
@@ -93,30 +155,46 @@ let handle_open m ~session ~policy ~delta ~bounds ~n ~speed ~horizon
       { Rrs_sim.Stepper.name = session; delta; bounds; n;
         speed = (if speed > 0 then speed else 1); horizon }
     in
-    (* Construct OUTSIDE the manager mutex: trace-file opens and stepper
-       construction must cost this connection's frame, not stall every
-       other connection's. Insert with a double-check on the name; the
-       losing racer tears its session down again. *)
-    match
-      Session.create ~name:session ~policy ~queue_limit
-        ~snap_version:m.m_snap_version ?checkpoint_every:m.m_checkpoint_every
-        ?trace_dir:m.m_trace_dir config
-    with
-    | Error message -> Wire.Error_frame { message }
-    | Ok s ->
-        let won =
-          with_manager m (fun () ->
-              if Hashtbl.mem m.m_sessions session then false
-              else begin
-                Hashtbl.add m.m_sessions session s;
-                true
-              end)
-        in
-        if won then Wire.Opened { session; round = 0 }
-        else begin
-          Session.release s;
-          err "session %S already open" session
-        end
+    let admitted =
+      match decl with
+      | None -> Ok false
+      | Some d -> (
+          match Admission.validate_decl ~colors:(Array.length bounds) d with
+          | Error message -> Error (err "open: %s" message)
+          | Ok () -> admit m ~session ~config d)
+    in
+    match admitted with
+    | Error reply -> reply (* an enforce-mode reject leaves no state *)
+    | Ok police -> (
+        (* Construct OUTSIDE the manager mutex: trace-file opens and stepper
+           construction must cost this connection's frame, not stall every
+           other connection's. Insert with a double-check on the name; the
+           losing racer tears its session down again. *)
+        match
+          Session.create ~name:session ~policy ~queue_limit
+            ~snap_version:m.m_snap_version
+            ?checkpoint_every:m.m_checkpoint_every ?trace_dir:m.m_trace_dir
+            config
+        with
+        | Error message ->
+            if decl <> None then release_failed_open m ~session;
+            Wire.Error_frame { message }
+        | Ok s ->
+            Option.iter (fun d -> Session.declare s ~decl:d ~police) decl;
+            let won =
+              with_manager m (fun () ->
+                  if Hashtbl.mem m.m_sessions session then false
+                  else begin
+                    Hashtbl.add m.m_sessions session s;
+                    true
+                  end)
+            in
+            if won then Wire.Opened { session; round = 0 }
+            else begin
+              if decl <> None then release_failed_open m ~session;
+              Session.release s;
+              err "session %S already open" session
+            end)
   end
 
 (* The hello exchange doubles as framing negotiation: asking for
@@ -170,6 +248,18 @@ let metrics_registry m =
   set "uptime_s" (Metrics.uptime_s m.m_metrics);
   set "slow_threshold_us" (Metrics.slow_threshold_us m.m_metrics);
   set "workers" (Metrics.workers m.m_metrics);
+  (match m.m_admission with
+  | None -> ()
+  | Some gate ->
+      let supply = Admission.supply_mjpr gate in
+      let demand = Admission.demand_mjpr gate in
+      set "admission_supply_mjpr" supply;
+      set "admission_demand_mjpr" demand;
+      set "admission_headroom_mjpr" (max 0 (supply - demand));
+      set "admission_sessions" (Admission.sessions gate);
+      set "admission_rejected_total" (Admission.rejected_opens gate);
+      set "admission_policed_feeds" (Admission.policed_feeds gate);
+      set "admission_policed_jobs" (Admission.policed_jobs gate));
   merged
 
 let metrics_doc = Metrics.registry_doc
@@ -190,18 +280,56 @@ let handle_metrics m ~slow =
 let handle_frame m ~on_lock ~wire ~bytes_in ~bytes_out frame =
   match frame with
   | Wire.Hello { client_version } -> fst (hello_reply m client_version)
-  | Wire.Open { session; policy; delta; bounds; n; speed; horizon; queue_limit }
+  | Wire.Open
+      { session; policy; delta; bounds; n; speed; horizon; queue_limit; decl }
     ->
       handle_open m ~session ~policy ~delta ~bounds ~n ~speed ~horizon
-        ~queue_limit
-  | Wire.Feed { session; colors; counts } ->
+        ~queue_limit ~decl
+  | Wire.Feed { session; colors; counts; decl } ->
       with_session m session (fun s ->
-          match Session.feed ~on_lock_wait_us:on_lock s ~colors ~counts with
-          | Ok (Session.Accepted { accepted; buffered }) ->
-              Wire.Fed { session; accepted; buffered }
-          | Ok (Session.Shed_reply { shed; buffered; limit }) ->
-              Wire.Shed { session; shed; buffered; limit }
-          | Error message -> Wire.Error_frame { message })
+          (* A feed may re-declare: the new envelope passes the same
+             gate as an open's (replacing the session's reservation).
+             An enforce-mode reject refuses the whole frame — the jobs
+             it carries are not fed. *)
+          let redeclared =
+            match decl with
+            | None -> Ok ()
+            | Some d -> (
+                match
+                  Admission.validate_decl ~colors:(Session.num_colors s) d
+                with
+                | Error message -> Error (err "feed: %s" message)
+                | Ok () -> (
+                    match admit m ~session ~config:(Session.config s) d with
+                    | Error reply -> Error reply
+                    | Ok police ->
+                        Session.declare ~on_lock_wait_us:on_lock s ~decl:d
+                          ~police;
+                        Ok ()))
+          in
+          match redeclared with
+          | Error reply -> reply
+          | Ok () -> (
+              match Session.feed ~on_lock_wait_us:on_lock s ~colors ~counts with
+              | Ok (Session.Accepted { accepted; buffered }) ->
+                  Wire.Fed { session; accepted; buffered }
+              | Ok (Session.Shed_reply { shed; buffered; limit }) ->
+                  Wire.Shed { session; shed; buffered; limit }
+              | Ok (Session.Policed { color; offered; allowance }) ->
+                  Option.iter
+                    (fun gate ->
+                      Admission.note_policed gate
+                        ~jobs:(Array.fold_left ( + ) 0 counts))
+                    m.m_admission;
+                  Wire.Admission_reject
+                    { session; color; demand = offered; supply = allowance;
+                      message =
+                        Printf.sprintf
+                          "feed: color %d over the declared envelope: \
+                           cumulative %d jobs against an allowance of %d \
+                           through the current round"
+                          color offered allowance }
+              | Error message -> Wire.Error_frame { message }))
   | Wire.Step { session; rounds } ->
       with_session m session (fun s ->
           match Session.step ~on_lock_wait_us:on_lock s ~rounds with
@@ -304,6 +432,7 @@ let handle_frame m ~on_lock ~wire ~bytes_in ~bytes_out frame =
       match taken with
       | None -> err "no such session %S" session
       | Some s ->
+          release_admission m ~session;
           (* A closed session must not resurrect from a stale drain
              snapshot at the next restart. *)
           Option.iter
@@ -317,7 +446,7 @@ let handle_frame m ~on_lock ~wire ~bytes_in ~bytes_out frame =
   | Wire.Metrics { slow } -> handle_metrics m ~slow
   | Wire.Hello_ok _ | Wire.Opened _ | Wire.Fed _ | Wire.Shed _
   | Wire.Stepped _ | Wire.Stats_ok _ | Wire.Snapshotted _ | Wire.Closed _
-  | Wire.Metrics_ok _ | Wire.Error_frame _ ->
+  | Wire.Metrics_ok _ | Wire.Error_frame _ | Wire.Admission_reject _ ->
       err "reply frames are not requests"
 
 (* ---- connection serving ---- *)
@@ -417,7 +546,8 @@ let serve_connection manager ~worker stopping fd =
           span.Metrics.s_handle_us <-
             Int64.to_int (Int64.div (Int64.sub handled decoded) 1000L);
           (match reply with
-          | Wire.Error_frame _ -> span.Metrics.s_error <- true
+          | Wire.Error_frame _ | Wire.Admission_reject _ ->
+              span.Metrics.s_error <- true
           | Wire.Stepped _ ->
               (match frame with
               | Wire.Step { rounds; _ } ->
@@ -542,6 +672,27 @@ let restore_sessions manager =
                         end)
                   in
                   if added then begin
+                    (* Snapshots persist the declaration but not the
+                       policing flag (that is server policy, not session
+                       state): re-arm it for this server's mode and put
+                       the restored demand back on the gate's books —
+                       unconditionally, since refusing an already-running
+                       session is not an option. *)
+                    (match Session.declaration session with
+                    | None -> ()
+                    | Some decl ->
+                        let police =
+                          match manager.m_admission with
+                          | Some gate ->
+                              Admission.mode gate = Admission.Enforce
+                          | None -> false
+                        in
+                        Session.declare session ~decl ~police;
+                        Option.iter
+                          (fun gate ->
+                            Admission.force_admit gate ~session:name
+                              ~mjpr:(Admission.decl_mjpr decl))
+                          manager.m_admission);
                     Slog.info ~event:"restored"
                       [ ("session", name); ("path", path) ];
                     restored + 1
@@ -591,6 +742,32 @@ let start ?(restore = true) config =
     if config.domains > 0 then config.domains
     else max 2 (Rrs_sim.Sweep.default_domains ())
   in
+  let admission_gate =
+    match (config.admission, config.admission_mode) with
+    | None, _ | _, Admission.Off -> None
+    | Some spec, mode ->
+        (* Supply = deployment size × speed, in milli-jobs/round. The
+           spec's own [n] wins; a spec without one is sized to the
+           analytic minimum for its declared workload. *)
+        let n =
+          match spec.Rrs_workload.Demand.n with
+          | Some n -> n
+          | None -> (
+              match Rrs_analysis.Capacity.size spec with
+              | Ok (n, _) -> n
+              | Error reason ->
+                  failwith
+                    (Printf.sprintf
+                       "admission spec cannot be sized (%s); give it an \
+                        explicit \"n\"" reason))
+        in
+        let supply_mjpr = n * spec.Rrs_workload.Demand.speed * 1000 in
+        Slog.info ~event:"admission"
+          [ ("mode", Admission.mode_to_string mode);
+            ("n", Slog.int n);
+            ("supply_mjpr", Slog.int supply_mjpr) ];
+        Some (Admission.create ~mode ~supply_mjpr)
+  in
   let manager =
     {
       m_mutex = Mutex.create ();
@@ -611,6 +788,7 @@ let start ?(restore = true) config =
           ~slow_capacity:config.slow_log ();
       m_server_id = config.server_id;
       m_autosnap = config.autosnap && config.snap_dir <> None;
+      m_admission = admission_gate;
     }
   in
   Option.iter

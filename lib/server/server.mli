@@ -73,6 +73,20 @@ type config = {
           window (≤ [checkpoint_every] rounds) per session. Requires
           [snap_dir]; no-op for /1 sessions. Autosave failures are
           logged and never fail the step *)
+  admission : Rrs_workload.Demand.t option;
+      (** deployment capacity spec ([rrs-spec/1]) for the admission
+          gate: its [n] (or, absent one, the analytically sized minimum
+          — {!Rrs_analysis.Capacity.size}) times its [speed] is the
+          supply budget in milli-jobs/round that declared sessions are
+          priced against (see {!Admission}). [start] raises [Failure]
+          when the spec carries no [n] and cannot be sized *)
+  admission_mode : Admission.mode;
+      (** [Off] (default): no gate even with a spec. [Warn]: violations
+          are admitted and logged, gauges tell the truth. [Enforce]:
+          an over-budget or analytically infeasible declaration draws
+          [admission_reject] — for an [open], with no session state left
+          behind — and enforce-mode feeds are policed against the
+          declared envelope *)
 }
 
 val default_config : address -> config

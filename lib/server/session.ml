@@ -17,6 +17,16 @@ type t = {
   shed_jobs : Probe.counter;
   mutable shed : int;
   mutable fed : int; (* jobs offered = accepted + shed *)
+  mutable declared : Wire.decl option;
+      (* admitted arrival envelope (rates/den/bursts), when the client
+         declared one *)
+  mutable police : bool;
+      (* enforce the envelope in [feed] (the server's admission mode is
+         enforce and a declaration is in force) *)
+  mutable admitted_by_color : int array;
+      (* jobs accepted per color since round 0, the envelope cursor;
+         [||] until declared *)
+  mutable policed : int; (* jobs refused by the envelope (subset of shed) *)
   mutable trace : out_channel option;
       (* owned: closed with the session, then [None] so a lost
          close/release race never double-closes the channel *)
@@ -82,6 +92,10 @@ let make ~name ~policy_key ~queue_limit ~snap_version ~trace stepper probes =
     shed_jobs = Probe.counter probes "shed_jobs";
     shed = 0;
     fed = 0;
+    declared = None;
+    police = false;
+    admitted_by_color = [||];
+    policed = 0;
     trace;
     saved_epoch =
       (* A fresh session (round 0) starts one epoch behind so the very
@@ -133,10 +147,27 @@ let policy_key t = t.policy_key
 let queue_limit t = t.queue_limit
 let snap_version t = t.snap_version
 let checkpoint_every t = Stepper.checkpoint_every t.stepper
+let num_colors t = Array.length (Stepper.config t.stepper).Stepper.bounds
+let config t = Stepper.config t.stepper
+
+(* Install (or replace) the admitted arrival envelope. The caller
+   (server) validates the declaration's shape against the session's
+   color count first. The envelope cursor survives re-declarations: the
+   new rates apply to the cumulative history, not from a reset. *)
+let declare ?on_lock_wait_us t ~decl ~police =
+  locked ?on_lock_wait_us t (fun () ->
+      t.declared <- Some decl;
+      t.police <- police;
+      if Array.length t.admitted_by_color <> num_colors t then
+        t.admitted_by_color <- Array.make (num_colors t) 0)
+
+let declaration t = locked t (fun () -> t.declared)
+let policed t = locked t (fun () -> t.policed)
 
 type feed_result =
   | Accepted of { accepted : int; buffered : int }
   | Shed_reply of { shed : int; buffered : int; limit : int }
+  | Policed of { color : int; offered : int; allowance : int }
 
 let validate_request t request =
   let num_colors = Array.length (Stepper.config t.stepper).Stepper.bounds in
@@ -154,6 +185,33 @@ let validate_request t request =
           else Ok ())
     (Ok ()) request
 
+(* Envelope check (enforce mode with a declaration in force): each
+   color's cumulative accepted jobs plus this request must stay within
+   [burst + floor ((round + 1) * rate / den)] — exactly the cumulative
+   arrivals a spec-conformant generator ({!Rrs_workload.Demand}) has
+   produced through the current round, so honest traffic is never
+   policed. First violating color wins (colors are sorted in a
+   normalized request; the raw order is the caller's). *)
+let envelope_violation t request =
+  match t.declared with
+  | Some { Wire.d_rates; d_den; d_bursts } when t.police ->
+      let round = Stepper.round t.stepper in
+      let request = Rrs_sim.Types.normalize_request request in
+      List.fold_left
+        (fun acc (color, count) ->
+          match acc with
+          | Some _ -> acc
+          | None ->
+              let burst =
+                if Array.length d_bursts = 0 then 0 else d_bursts.(color)
+              in
+              let allowance = burst + ((round + 1) * d_rates.(color) / d_den) in
+              let offered = t.admitted_by_color.(color) + count in
+              if offered > allowance then Some (color, offered, allowance)
+              else None)
+        None request
+  | _ -> None
+
 let feed ?on_lock_wait_us t ~colors ~counts =
   if Array.length colors <> Array.length counts then
     Error "feed: colors and counts differ in length"
@@ -167,23 +225,44 @@ let feed ?on_lock_wait_us t ~colors ~counts =
            outright and never counts as fed or shed. *)
         match validate_request t request with
         | Error _ as e -> e
-        | Ok () ->
-            let buffered = Stepper.buffered_jobs t.stepper in
-            t.fed <- t.fed + jobs;
-            if buffered + jobs > t.queue_limit then begin
-              (* All-or-nothing shed: a partially admitted request would
-                 make the stream depend on admission timing. *)
-              t.shed <- t.shed + jobs;
-              Probe.add t.shed_jobs jobs;
-              Ok (Shed_reply { shed = jobs; buffered; limit = t.queue_limit })
-            end
-            else
-              match Stepper.feed t.stepper request with
-              | () ->
-                  Ok (Accepted { accepted = jobs; buffered = buffered + jobs })
-              | exception Invalid_argument message ->
-                  t.fed <- t.fed - jobs;
-                  Error message)
+        | Ok () -> (
+            match envelope_violation t request with
+            | Some (color, offered, allowance) ->
+                (* Over the admitted envelope: refused whole, like a
+                   queue-limit shed (fed/shed keep their conservation
+                   law), but answered with the typed admission error. *)
+                t.fed <- t.fed + jobs;
+                t.shed <- t.shed + jobs;
+                t.policed <- t.policed + jobs;
+                Probe.add t.shed_jobs jobs;
+                Ok (Policed { color; offered; allowance })
+            | None -> (
+                let buffered = Stepper.buffered_jobs t.stepper in
+                t.fed <- t.fed + jobs;
+                if buffered + jobs > t.queue_limit then begin
+                  (* All-or-nothing shed: a partially admitted request
+                     would make the stream depend on admission timing. *)
+                  t.shed <- t.shed + jobs;
+                  Probe.add t.shed_jobs jobs;
+                  Ok
+                    (Shed_reply
+                       { shed = jobs; buffered; limit = t.queue_limit })
+                end
+                else
+                  match Stepper.feed t.stepper request with
+                  | () ->
+                      if Array.length t.admitted_by_color > 0 then
+                        List.iter
+                          (fun (color, count) ->
+                            t.admitted_by_color.(color) <-
+                              t.admitted_by_color.(color) + count)
+                          request;
+                      Ok
+                        (Accepted
+                           { accepted = jobs; buffered = buffered + jobs })
+                  | exception Invalid_argument message ->
+                      t.fed <- t.fed - jobs;
+                      Error message)))
 
 type step_result = {
   sr_round : int;
@@ -254,12 +333,29 @@ let stats ?on_lock_wait_us t =
    a spliced or truncated-and-recombined document before replaying
    it. ---- *)
 
+let ints_literal a = Json.ints (Array.to_list a)
+
 let header_line t =
+  (* The declaration group is optional and appended, so pre-admission
+     files (and undeclared sessions) keep the historical header
+     byte-for-byte; [restore] treats the fields as absent = undeclared. *)
+  let decl_suffix =
+    match t.declared with
+    | None -> ""
+    | Some { Wire.d_rates; d_den; d_bursts } ->
+        Printf.sprintf
+          ",\"rates\":%s,\"rate_den\":%d,\"bursts\":%s,\"admitted\":%s,\
+           \"policed\":%d"
+          (ints_literal d_rates) d_den (ints_literal d_bursts)
+          (ints_literal t.admitted_by_color)
+          t.policed
+  in
   Printf.sprintf
     "{\"schema\":%s,\"session\":%s,\"policy\":%s,\"queue_limit\":%d,\
-     \"fed\":%d,\"shed\":%d,\"snap_version\":%d}"
+     \"fed\":%d,\"shed\":%d,\"snap_version\":%d%s}"
     (Json.escape snapshot_schema) (Json.escape t.name)
     (Json.escape t.policy_key) t.queue_limit t.fed t.shed t.snap_version
+    decl_suffix
 
 let snapshot ?on_lock_wait_us t =
   locked ?on_lock_wait_us t (fun () ->
@@ -372,6 +468,33 @@ let restore ?trace_dir ?snap_version ?checkpoint_every text =
               let queue_limit = Json.int_field fields "queue_limit" in
               let fed = Json.int_field fields "fed" in
               let shed = Json.int_field fields "shed" in
+              let opt_ints key =
+                match List.assoc_opt key fields with
+                | None -> [||]
+                | Some (Json.Vints values) -> values
+                | Some _ ->
+                    raise
+                      (Json.Parse_error
+                         (Printf.sprintf "field %S: expected int array" key))
+              in
+              (* Declaration group: absent in pre-admission files. The
+                 police flag is the server's to set (it depends on the
+                 admission mode of the process doing the restore). *)
+              let decl_group, admitted, policed =
+                match List.assoc_opt "rate_den" fields with
+                | None -> (None, [||], 0)
+                | Some (Json.Vint d_den) ->
+                    ( Some
+                        {
+                          Wire.d_rates = opt_ints "rates";
+                          d_den;
+                          d_bursts = opt_ints "bursts";
+                        },
+                      opt_ints "admitted",
+                      Json.opt_int_field fields "policed" ~default:0 )
+                | Some _ ->
+                    raise (Json.Parse_error "field \"rate_den\": expected int")
+              in
               (* Absent in pre-/2 files, which always embedded /1. *)
               let declared = Json.opt_int_field fields "snap_version" ~default:1 in
               if declared <> 1 && declared <> 2 then
@@ -434,6 +557,17 @@ let restore ?trace_dir ?snap_version ?checkpoint_every text =
                                 in
                                 t.fed <- fed;
                                 t.shed <- shed;
+                                t.declared <- decl_group;
+                                t.policed <- policed;
+                                (if decl_group <> None then
+                                   let colors =
+                                     Array.length
+                                       (Stepper.config stepper).Stepper.bounds
+                                   in
+                                   t.admitted_by_color <-
+                                     (if Array.length admitted = colors then
+                                        admitted
+                                      else Array.make colors 0));
                                 Probe.add t.shed_jobs shed;
                                 Ok t
                             | Error _ as e ->

@@ -63,15 +63,51 @@ val name : t -> string
 val policy_key : t -> string
 val queue_limit : t -> int
 
+(** The stepper configuration the session runs ([n], [delta], bounds,
+    [speed], horizon) — the admission gate checks re-declarations
+    against it. *)
+val config : t -> Rrs_sim.Stepper.config
+
+val num_colors : t -> int
+
 (** The stepper snapshot version this session writes (1 or 2). *)
 val snap_version : t -> int
 
 (** The stepper's checkpoint interval (0 = never). *)
 val checkpoint_every : t -> int
 
+(** {2 Admission declaration}
+
+    A session may carry a declared arrival envelope ({!Wire.decl}):
+    installed at [open] (or re-declared by a later [feed]) when the
+    server runs with [--admission]. With [police] set (the server's
+    enforce mode) every [feed] is checked against the cumulative
+    envelope [burst_l + floor ((round + 1) * rate_l / den)] — exactly
+    what a spec-conformant generator has produced through the current
+    round, so honest traffic is never policed — and an over-envelope
+    feed is refused whole ({!Policed}), counted like a shed. The
+    declaration, the envelope cursor and the policed total persist in
+    the session snapshot header (optional fields; pre-admission
+    documents restore as undeclared). *)
+
+(** Install or replace the declared envelope. The caller validates the
+    declaration's shape ({!Admission.validate_decl}) first. *)
+val declare :
+  ?on_lock_wait_us:(int -> unit) -> t -> decl:Wire.decl -> police:bool -> unit
+
+val declaration : t -> Wire.decl option
+
+(** Jobs refused by the envelope so far (a subset of the shed total). *)
+val policed : t -> int
+
 type feed_result =
   | Accepted of { accepted : int; buffered : int }
   | Shed_reply of { shed : int; buffered : int; limit : int }
+  | Policed of { color : int; offered : int; allowance : int }
+      (** The feed would exceed the declared envelope for [color]:
+          cumulative [offered] jobs against an [allowance] through the
+          current round. Refused whole; counted in [fed]/[shed] (and
+          the policed total), never enqueued. *)
 
 (** [feed t ~colors ~counts] offers one request. [Error] means the
     request was rejected outright (mismatched arrays, unknown color,

@@ -9,6 +9,15 @@ let max_frame = 4 * 1024 * 1024
 
 type framing = V1 | V2
 
+(* A declared workload: per-color token-bucket rate numerators over one
+   shared denominator, plus optional per-color bursts ([||] = all
+   zero). Optional on [Open] (admission) and [Feed] (re-declaration) in
+   both framings: /1 encodes three extra JSON fields old servers
+   ignore, /2 appends a presence-marked group old frames simply lack
+   (an undeclared frame is byte-identical to the pre-declaration
+   encoding). *)
+type decl = { d_rates : int array; d_den : int; d_bursts : int array }
+
 type frame =
   (* requests *)
   | Hello of { client_version : string }
@@ -21,8 +30,14 @@ type frame =
       speed : int;
       horizon : int;
       queue_limit : int; (* 0 = server default *)
+      decl : decl option;
     }
-  | Feed of { session : string; colors : int array; counts : int array }
+  | Feed of {
+      session : string;
+      colors : int array;
+      counts : int array;
+      decl : decl option;
+    }
   | Step of { session : string; rounds : int }
   | Stats of { session : string }
   | Snapshot of { session : string; path : string option }
@@ -69,6 +84,13 @@ type frame =
       doc : string; (* merged snapshot as a flat JSON object, name -> int *)
       slow : string; (* slow-request log, one JSON object per line *)
     }
+  | Admission_reject of {
+      session : string;
+      color : int; (* binding color; -1 = aggregate deployment capacity *)
+      demand : int; (* offered/declared demand, units per [message] *)
+      supply : int; (* the budget it violates *)
+      message : string; (* names the binding constraint *)
+    }
   | Error_frame of { message : string }
 
 (* ---- rrs-wire/1 encoding: flat JSON objects ---- *)
@@ -84,21 +106,30 @@ let ints array =
   Buffer.add_char buffer ']';
   Buffer.contents buffer
 
+let decl_suffix = function
+  | None -> ""
+  | Some { d_rates; d_den; d_bursts } ->
+      Printf.sprintf ",\"rates\":%s,\"rate_den\":%d%s" (ints d_rates) d_den
+        (if Array.length d_bursts = 0 then ""
+         else Printf.sprintf ",\"bursts\":%s" (ints d_bursts))
+
 let encode = function
   | Hello { client_version } ->
       Printf.sprintf "{\"type\":\"hello\",\"version\":%s}"
         (Json.escape client_version)
-  | Open { session; policy; delta; bounds; n; speed; horizon; queue_limit } ->
+  | Open
+      { session; policy; delta; bounds; n; speed; horizon; queue_limit; decl }
+    ->
       Printf.sprintf
         "{\"type\":\"open\",\"session\":%s,\"policy\":%s,\"delta\":%d,\
          \"bounds\":%s,\"n\":%d,\"speed\":%d,\"horizon\":%d,\
-         \"queue_limit\":%d}"
+         \"queue_limit\":%d%s}"
         (Json.escape session) (Json.escape policy) delta (ints bounds) n speed
-        horizon queue_limit
-  | Feed { session; colors; counts } ->
+        horizon queue_limit (decl_suffix decl)
+  | Feed { session; colors; counts; decl } ->
       Printf.sprintf
-        "{\"type\":\"feed\",\"session\":%s,\"colors\":%s,\"counts\":%s}"
-        (Json.escape session) (ints colors) (ints counts)
+        "{\"type\":\"feed\",\"session\":%s,\"colors\":%s,\"counts\":%s%s}"
+        (Json.escape session) (ints colors) (ints counts) (decl_suffix decl)
   | Step { session; rounds } ->
       Printf.sprintf "{\"type\":\"step\",\"session\":%s,\"rounds\":%d}"
         (Json.escape session) rounds
@@ -162,6 +193,11 @@ let encode = function
   | Metrics_ok { doc; slow } ->
       Printf.sprintf "{\"type\":\"metrics_ok\",\"doc\":%s,\"slow\":%s}"
         (Json.escape doc) (Json.escape slow)
+  | Admission_reject { session; color; demand; supply; message } ->
+      Printf.sprintf
+        "{\"type\":\"admission_rejected\",\"session\":%s,\"color\":%d,\
+         \"demand\":%d,\"supply\":%d,\"message\":%s}"
+        (Json.escape session) color demand supply (Json.escape message)
   | Error_frame { message } ->
       Printf.sprintf "{\"type\":\"error\",\"message\":%s}"
         (Json.escape message)
@@ -174,6 +210,29 @@ let opt_str_field fields key =
   | Some (Json.Vstr value) -> Some value
   | Some _ ->
       raise (Json.Parse_error (Printf.sprintf "field %S: expected string" key))
+
+let opt_ints_field fields key =
+  match List.assoc_opt key fields with
+  | None -> [||]
+  | Some (Json.Vints values) -> values
+  | Some _ ->
+      raise
+        (Json.Parse_error (Printf.sprintf "field %S: expected int array" key))
+
+(* The declaration is carried by three optional fields keyed on
+   ["rate_den"]; frames without it decode as undeclared. *)
+let decl_of_fields fields =
+  match List.assoc_opt "rate_den" fields with
+  | None -> None
+  | Some (Json.Vint d_den) ->
+      Some
+        {
+          d_rates = Json.ints_field fields "rates";
+          d_den;
+          d_bursts = opt_ints_field fields "bursts";
+        }
+  | Some _ ->
+      raise (Json.Parse_error "field \"rate_den\": expected int")
 
 let decode text =
   match Json.parse_fields text with
@@ -197,6 +256,7 @@ let decode text =
                    horizon = Json.opt_int_field fields "horizon" ~default:0;
                    queue_limit =
                      Json.opt_int_field fields "queue_limit" ~default:0;
+                   decl = decl_of_fields fields;
                  })
         | "feed" ->
             Ok
@@ -205,6 +265,7 @@ let decode text =
                    session = session ();
                    colors = Json.ints_field fields "colors";
                    counts = Json.ints_field fields "counts";
+                   decl = decl_of_fields fields;
                  })
         | "step" ->
             Ok
@@ -306,6 +367,16 @@ let decode text =
                    slow =
                      Option.value (opt_str_field fields "slow") ~default:"";
                  })
+        | "admission_rejected" ->
+            Ok
+              (Admission_reject
+                 {
+                   session = session ();
+                   color = Json.int_field fields "color";
+                   demand = Json.int_field fields "demand";
+                   supply = Json.int_field fields "supply";
+                   message = Json.str_field fields "message";
+                 })
         | "error" ->
             Ok (Error_frame { message = Json.str_field fields "message" })
         | other -> Error (Printf.sprintf "unknown frame type %S" other)
@@ -342,6 +413,7 @@ let tag_of_frame = function
   | Closed _ -> 24
   | Error_frame _ -> 25
   | Metrics_ok _ -> 26
+  | Admission_reject _ -> 27
 
 let add_varint buffer value =
   (* zigzag, so negative ints stay compact and total *)
@@ -369,9 +441,22 @@ let add_opt_string buffer = function
       Buffer.add_char buffer '\001';
       add_string buffer s
 
+(* Appended only when declared, so an undeclared frame stays
+   byte-identical to its pre-declaration encoding and old decoders never
+   see trailing bytes. *)
+let add_opt_decl buffer = function
+  | None -> ()
+  | Some { d_rates; d_den; d_bursts } ->
+      Buffer.add_char buffer '\001';
+      add_ints buffer d_rates;
+      add_varint buffer d_den;
+      add_ints buffer d_bursts
+
 let add_payload buffer = function
   | Hello { client_version } -> add_string buffer client_version
-  | Open { session; policy; delta; bounds; n; speed; horizon; queue_limit } ->
+  | Open
+      { session; policy; delta; bounds; n; speed; horizon; queue_limit; decl }
+    ->
       add_string buffer session;
       add_string buffer policy;
       add_varint buffer delta;
@@ -379,11 +464,13 @@ let add_payload buffer = function
       add_varint buffer n;
       add_varint buffer speed;
       add_varint buffer horizon;
-      add_varint buffer queue_limit
-  | Feed { session; colors; counts } ->
+      add_varint buffer queue_limit;
+      add_opt_decl buffer decl
+  | Feed { session; colors; counts; decl } ->
       add_string buffer session;
       add_ints buffer colors;
-      add_ints buffer counts
+      add_ints buffer counts;
+      add_opt_decl buffer decl
   | Step { session; rounds } ->
       add_string buffer session;
       add_varint buffer rounds
@@ -445,6 +532,12 @@ let add_payload buffer = function
   | Metrics_ok { doc; slow } ->
       add_string buffer doc;
       add_string buffer slow
+  | Admission_reject { session; color; demand; supply; message } ->
+      add_string buffer session;
+      add_varint buffer color;
+      add_varint buffer demand;
+      add_varint buffer supply;
+      add_string buffer message
   | Error_frame { message } -> add_string buffer message
 
 let encode_binary frame =
@@ -507,6 +600,21 @@ let read_opt_string cursor =
   | 1 -> Some (read_string cursor)
   | b -> fail "bad option byte %d" b
 
+(* Present only when the sender declared: a pre-declaration frame ends
+   exactly where the fixed fields do, so a cursor at payload end means
+   [None]. This is what keeps the extension optional in /2 without a
+   version bump. *)
+let read_opt_decl c =
+  if c.at >= String.length c.text then None
+  else
+    match next_byte c with
+    | 1 ->
+        let d_rates = read_ints c in
+        let d_den = read_varint c in
+        let d_bursts = read_ints c in
+        Some { d_rates; d_den; d_bursts }
+    | b -> fail "bad declaration marker %d" b
+
 let decode_payload tag payload =
   let c = { text = payload; at = 0 } in
   let str () = read_string c in
@@ -524,12 +632,16 @@ let decode_payload tag payload =
         let speed = int () in
         let horizon = int () in
         let queue_limit = int () in
-        Open { session; policy; delta; bounds; n; speed; horizon; queue_limit }
+        let decl = read_opt_decl c in
+        Open
+          { session; policy; delta; bounds; n; speed; horizon; queue_limit;
+            decl }
     | 3 ->
         let session = str () in
         let colors = ints () in
         let counts = ints () in
-        Feed { session; colors; counts }
+        let decl = read_opt_decl c in
+        Feed { session; colors; counts; decl }
     | 4 ->
         let session = str () in
         let rounds = int () in
@@ -603,6 +715,13 @@ let decode_payload tag payload =
         let doc = str () in
         let slow = str () in
         Metrics_ok { doc; slow }
+    | 27 ->
+        let session = str () in
+        let color = int () in
+        let demand = int () in
+        let supply = int () in
+        let message = str () in
+        Admission_reject { session; color; demand; supply; message }
     | tag -> fail "unknown binary frame tag %d" tag
   with
   | frame ->

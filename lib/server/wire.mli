@@ -38,6 +38,18 @@ val max_frame : int
 
 type framing = V1 | V2
 
+(** A declared workload for admission control: per-color token-bucket
+    rate numerators over one shared denominator [d_den] (jobs per
+    round), plus per-color bursts ([[||]] = all zero). Optional on
+    [Open] and [Feed] in {e both} framings, backward-compatibly: /1
+    carries it as three extra JSON fields ([rates], [rate_den],
+    [bursts]) that pre-admission servers ignore; /2 appends a
+    presence-marked group that pre-admission frames simply lack — an
+    undeclared frame is byte-identical to the pre-declaration encoding,
+    while a declared frame sent to a pre-admission server draws that
+    server's clean per-frame trailing-bytes error, not a desync. *)
+type decl = { d_rates : int array; d_den : int; d_bursts : int array }
+
 type frame =
   (* requests *)
   | Hello of { client_version : string }
@@ -50,8 +62,15 @@ type frame =
       speed : int;
       horizon : int;
       queue_limit : int;  (** 0 = server default *)
+      decl : decl option;
+          (** declared arrival rates, gated by [--admission] *)
     }
-  | Feed of { session : string; colors : int array; counts : int array }
+  | Feed of {
+      session : string;
+      colors : int array;
+      counts : int array;
+      decl : decl option;  (** re-declaration of the session's rates *)
+    }
   | Step of { session : string; rounds : int }
   | Stats of { session : string }
   | Snapshot of { session : string; path : string option }
@@ -123,6 +142,19 @@ type frame =
           (** the slow-request log, newest first, one flat JSON object
               per line (possibly empty) *)
     }
+  | Admission_reject of {
+      session : string;
+      color : int;
+          (** the binding color, or [-1] when the aggregate deployment
+              capacity binds *)
+      demand : int;  (** offered/declared demand (units per [message]) *)
+      supply : int;  (** the budget it violates *)
+      message : string;  (** names the binding constraint *)
+    }
+      (** The admission gate refused the request: an [open]/[feed] whose
+          declared (or offered) demand would violate the session's own
+          configuration or the deployment's configured supply. A
+          rejected [open] leaves no session state behind. *)
   | Error_frame of { message : string }
 
 val encode : frame -> string

@@ -1,0 +1,174 @@
+(* Declared workload specifications (rrs-spec/1). See demand.mli. *)
+
+module Json = Rrs_sim.Event_sink.Json
+
+let schema_version = "rrs-spec/1"
+
+type entry = {
+  color : int;
+  bound : int;
+  rate_num : int;
+  rate_den : int;
+  burst : int;
+}
+
+type t = {
+  name : string;
+  delta : int;
+  speed : int;
+  n : int option;
+  entries : entry array;
+}
+
+let sprintf = Printf.sprintf
+
+let validate spec =
+  if spec.delta < 1 then Error (sprintf "delta %d < 1" spec.delta)
+  else if spec.speed < 1 then Error (sprintf "speed %d < 1" spec.speed)
+  else if Array.length spec.entries = 0 then Error "no colors declared"
+  else
+    let problem = ref None in
+    Array.iteri
+      (fun i e ->
+        let bad format = Printf.ksprintf (fun m -> if !problem = None then problem := Some m) format in
+        if e.color <> i then bad "entry %d declares color %d (colors must be dense, in order)" i e.color;
+        if e.bound < 1 then bad "color %d: bound %d < 1" i e.bound;
+        if e.rate_num < 0 then bad "color %d: rate_num %d < 0" i e.rate_num;
+        if e.rate_den < 1 then bad "color %d: rate_den %d < 1" i e.rate_den;
+        if e.burst < 0 then bad "color %d: burst %d < 0" i e.burst)
+      spec.entries;
+    (match spec.n with
+    | Some n when n < 1 -> if !problem = None then problem := Some (sprintf "n %d < 1" n)
+    | _ -> ());
+    match !problem with None -> Ok spec | Some m -> Error m
+
+let make ?(name = "spec") ?n ~delta ~speed entries =
+  validate { name; delta; speed; n; entries = Array.of_list entries }
+
+let num_colors spec = Array.length spec.entries
+let bounds spec = Array.map (fun e -> e.bound) spec.entries
+
+let cumulative e r =
+  if r < 0 then 0 else e.burst + ((r + 1) * e.rate_num / e.rate_den)
+
+let arrivals_at e r = cumulative e r - cumulative e (r - 1)
+
+let request_at spec r =
+  Array.to_list spec.entries
+  |> List.filter_map (fun e ->
+         let k = arrivals_at e r in
+         if k > 0 then Some (e.color, k) else None)
+
+let ceil_div a b = (a + b - 1) / b
+let rate_mjpr e = if e.rate_num = 0 then 0 else ceil_div (1000 * e.rate_num) e.rate_den
+
+let total_rate_mjpr spec =
+  Array.fold_left (fun acc e -> acc + rate_mjpr e) 0 spec.entries
+
+let to_instance ?name ~rounds spec =
+  if rounds < 1 then invalid_arg "Demand.to_instance: rounds < 1";
+  let arrivals = ref [] in
+  for r = rounds - 1 downto 0 do
+    match request_at spec r with
+    | [] -> ()
+    | request -> arrivals := (r, request) :: !arrivals
+  done;
+  Rrs_sim.Instance.make
+    ~name:(Option.value name ~default:spec.name)
+    ~delta:spec.delta ~bounds:(bounds spec) ~arrivals:!arrivals ()
+
+(* -- rrs-spec/1 rendering and parsing ---------------------------------- *)
+
+let to_string spec =
+  let buffer = Buffer.create 256 in
+  Buffer.add_string buffer
+    (sprintf "{\"schema\":%s,\"name\":%s,\"delta\":%d,\"speed\":%d,\"colors\":%d%s}\n"
+       (Json.escape schema_version) (Json.escape spec.name) spec.delta
+       spec.speed (Array.length spec.entries)
+       (match spec.n with None -> "" | Some n -> sprintf ",\"n\":%d" n));
+  Array.iter
+    (fun e ->
+      Buffer.add_string buffer
+        (sprintf
+           "{\"color\":%d,\"bound\":%d,\"rate_num\":%d,\"rate_den\":%d,\"burst\":%d}\n"
+           e.color e.bound e.rate_num e.rate_den e.burst))
+    spec.entries;
+  Buffer.contents buffer
+
+let save spec ~path =
+  let out = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr out)
+    (fun () -> output_string out (to_string spec))
+
+let known_header_fields = [ "schema"; "name"; "delta"; "speed"; "colors"; "n" ]
+let known_entry_fields = [ "color"; "bound"; "rate_num"; "rate_den"; "burst" ]
+
+let check_fields ~known ~what fields =
+  List.fold_left
+    (fun acc (key, _) ->
+      match acc with
+      | Error _ -> acc
+      | Ok () ->
+          if List.mem key known then Ok ()
+          else Error (sprintf "%s: unknown field %S" what key))
+    (Ok ()) fields
+
+let ( let* ) = Result.bind
+
+let parse document =
+  let lines =
+    String.split_on_char '\n' document
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  match lines with
+  | [] -> Error "empty spec document"
+  | header :: rest -> (
+      try
+        let fields = Json.parse_fields header in
+        let* () = check_fields ~known:known_header_fields ~what:"header" fields in
+        let schema = Json.str_field fields "schema" in
+        if schema <> schema_version then
+          Error (sprintf "unsupported schema %S (want %S)" schema schema_version)
+        else
+          let name = Json.str_field fields "name" in
+          let delta = Json.int_field fields "delta" in
+          let speed = Json.int_field fields "speed" in
+          let colors = Json.int_field fields "colors" in
+          let n =
+            match List.assoc_opt "n" fields with
+            | None | Some Json.Vnull -> None
+            | Some (Json.Vint n) -> Some n
+            | Some _ -> raise (Json.Parse_error "header field \"n\" must be an int")
+          in
+          let* entries =
+            List.fold_left
+              (fun acc line ->
+                let* entries = acc in
+                let fields = Json.parse_fields line in
+                let* () =
+                  check_fields ~known:known_entry_fields ~what:"entry" fields
+                in
+                Ok
+                  ({
+                     color = Json.int_field fields "color";
+                     bound = Json.int_field fields "bound";
+                     rate_num = Json.int_field fields "rate_num";
+                     rate_den = Json.int_field fields "rate_den";
+                     burst = Json.int_field fields "burst";
+                   }
+                  :: entries))
+              (Ok []) rest
+          in
+          let entries = List.rev entries in
+          if List.length entries <> colors then
+            Error
+              (sprintf "header declares %d colors, document carries %d" colors
+                 (List.length entries))
+          else make ~name ?n ~delta ~speed entries
+      with Json.Parse_error m -> Error (sprintf "malformed spec line: %s" m))
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | document -> parse document
+  | exception Sys_error m -> Error m

@@ -1,0 +1,81 @@
+(** Declared workload specifications — schema [rrs-spec/1].
+
+    A spec declares, per color, a sustained token-bucket arrival rate
+    ([rate_num]/[rate_den] jobs per round, rational), a burst allowance
+    (extra jobs deliverable up front) and the delay bound [D_l] those
+    jobs must meet, plus the model constants ([delta], [speed]). It is
+    the workload side of the capacity question [Rrs_analysis] answers:
+    cumulative color-[l] arrivals through round [r] are bounded by
+    [burst_l + floor ((r + 1) * rate_num_l / rate_den_l)].
+
+    File format (JSONL, one flat object per line, header first):
+    {v
+    {"schema":"rrs-spec/1","name":"...","delta":D,"speed":S,"colors":K}
+    {"color":0,"bound":D_0,"rate_num":p,"rate_den":q,"burst":b}
+    ...
+    v}
+    The header may carry an optional ["n"] field — a declared deployment
+    size, used by [rrs analyze] as the deployment to verify and by
+    [rrs serve --admission] as the configured supply. Unknown header or
+    entry fields are errors: the schema is versioned, not open. *)
+
+val schema_version : string
+(** ["rrs-spec/1"]. *)
+
+type entry = {
+  color : int;
+  bound : int; (* D_l >= 1 *)
+  rate_num : int; (* jobs per round, numerator; >= 0 *)
+  rate_den : int; (* denominator; >= 1 *)
+  burst : int; (* extra jobs deliverable at round 0; >= 0 *)
+}
+
+type t = {
+  name : string;
+  delta : int;
+  speed : int;
+  n : int option; (* declared deployment size, when the spec carries one *)
+  entries : entry array; (* entries.(l).color = l *)
+}
+
+(** Validates everything the parser would: [delta >= 1], [speed >= 1],
+    colors dense [0..K-1] in order, every bound [>= 1], rates
+    non-negative with positive denominators, bursts non-negative,
+    [n >= 1] when given. *)
+val make :
+  ?name:string -> ?n:int -> delta:int -> speed:int -> entry list ->
+  (t, string) result
+
+val num_colors : t -> int
+val bounds : t -> int array
+
+(** Cumulative arrivals of one color through round [r] (inclusive):
+    [burst + floor ((r + 1) * rate_num / rate_den)]; 0 for [r < 0]. *)
+val cumulative : entry -> int -> int
+
+(** Jobs the deterministic generator delivers at exactly round [r]:
+    [cumulative r - cumulative (r - 1)]. *)
+val arrivals_at : entry -> int -> int
+
+(** The full request for round [r] (normalized, possibly empty). *)
+val request_at : t -> int -> Rrs_sim.Types.request
+
+(** Declared sustained rate in milli-jobs per round, rounded up. *)
+val rate_mjpr : entry -> int
+
+(** Sum of {!rate_mjpr} over all colors. *)
+val total_rate_mjpr : t -> int
+
+(** The spec's deterministic arrival sequence over rounds [0..rounds-1]
+    as a simulator instance (the horizon extends past the last
+    deadline, per {!Rrs_sim.Instance.make}). *)
+val to_instance : ?name:string -> rounds:int -> t -> Rrs_sim.Instance.t
+
+(** Parse a whole [rrs-spec/1] document. *)
+val parse : string -> (t, string) result
+
+(** {!parse} a file. *)
+val load : string -> (t, string) result
+
+val to_string : t -> string
+val save : t -> path:string -> unit

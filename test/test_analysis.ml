@@ -1,0 +1,274 @@
+(* Capacity-analysis tests: dbf/sbf arithmetic, minimality of the
+   binary-searched allocation, verdicts, spec parse/save round-trips,
+   the sized-deployment acceptance specs (zero drops at the analytic
+   minimum, drops at one resource less), and calibration fits. *)
+
+module Demand = Rrs_workload.Demand
+module Capacity = Rrs_analysis.Capacity
+module Calibrate = Rrs_analysis.Calibrate
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let entry ?(burst = 0) ~bound ~num ~den color =
+  { Demand.color; bound; rate_num = num; rate_den = den; burst }
+
+let spec_exn ?name ?n ~delta ~speed entries =
+  match Demand.make ?name ?n ~delta ~speed entries with
+  | Ok t -> t
+  | Error message -> Alcotest.failf "spec: %s" message
+
+(* The three acceptance specs: [rrs analyze] sizes each, the sized
+   deployment absorbs the declared arrivals with zero drops, and one
+   resource less drops. *)
+let spec_steady () =
+  (* 4 colors at 1 job/round each: one dedicated resource per color. *)
+  spec_exn ~name:"steady-4" ~delta:2 ~speed:1
+    (List.init 4 (fun c -> entry ~bound:8 ~num:1 ~den:1 c))
+
+let spec_mixed () =
+  (* 1/2 + burst and 3/4: both colors fit on one resource each. *)
+  spec_exn ~name:"mixed-rates" ~delta:3 ~speed:1
+    [ entry ~bound:6 ~num:1 ~den:2 ~burst:1 0; entry ~bound:12 ~num:3 ~den:4 1 ]
+
+let spec_bursty () =
+  (* 3 colors at 3/4 with burst 2. *)
+  spec_exn ~name:"bursty-3" ~delta:2 ~speed:1
+    (List.init 3 (fun c -> entry ~bound:8 ~num:3 ~den:4 ~burst:2 c))
+
+(* ---- dbf / sbf arithmetic ---- *)
+
+let test_dbf_values () =
+  let e = entry ~bound:6 ~num:3 ~den:4 ~burst:2 0 in
+  check "below the bound no work is due" 0 (Capacity.dbf e 5);
+  (* t = 6: one arrival round in the window -> burst + ceil(3/4) *)
+  check "first window" 3 (Capacity.dbf e 6);
+  check "t=9" 5 (Capacity.dbf e 9);
+  check "t=13" 8 (Capacity.dbf e 13);
+  let idle = entry ~bound:4 ~num:0 ~den:1 0 in
+  check "idle color demands nothing" 0 (Capacity.dbf idle 100)
+
+let test_dbf_monotone () =
+  let e = entry ~bound:5 ~num:2 ~den:3 ~burst:1 0 in
+  let prev = ref 0 in
+  for t = 1 to 64 do
+    let d = Capacity.dbf e t in
+    check_bool "dbf monotone in the window" true (d >= !prev);
+    prev := d
+  done
+
+let test_sbf_values () =
+  check "before the delay nothing is served" 0
+    (Capacity.sbf ~resources:2 ~speed:1 ~delay:2 2);
+  check "one round past the delay" 2
+    (Capacity.sbf ~resources:2 ~speed:1 ~delay:2 3);
+  check "linear afterwards" 16 (Capacity.sbf ~resources:2 ~speed:1 ~delay:2 10);
+  check "speed scales supply" 9 (Capacity.sbf ~resources:1 ~speed:3 ~delay:1 4)
+
+(* ---- minimality and witnesses ---- *)
+
+let test_min_resources_idle () =
+  match Capacity.min_resources ~speed:1 ~delay:1 (entry ~bound:4 ~num:0 ~den:1 0) with
+  | Capacity.Resources k -> check "idle color needs nothing" 0 k
+  | Capacity.Impossible reason -> Alcotest.failf "idle impossible: %s" reason
+
+let test_min_resources_impossible () =
+  (* Startup delay >= bound: the supply window before the deadline is
+     empty, no resource count helps. *)
+  match Capacity.min_resources ~speed:1 ~delay:6 (entry ~bound:6 ~num:1 ~den:1 0) with
+  | Capacity.Impossible _ -> ()
+  | Capacity.Resources k -> Alcotest.failf "expected Impossible, got %d" k
+
+let gen_entry =
+  QCheck2.Gen.(
+    let* bound = int_range 2 12 in
+    let* num = int_range 0 4 in
+    let* den = int_range 1 4 in
+    let* burst = int_range 0 3 in
+    return (entry ~bound ~num ~den ~burst 0))
+
+let prop_witness_feasible_agree =
+  QCheck2.Test.make ~name:"feasible <-> no witness" ~count:200
+    QCheck2.Gen.(pair gen_entry (int_range 0 3))
+    (fun (e, resources) ->
+      let delay = min 2 (e.Demand.bound - 1) in
+      let feasible = Capacity.feasible ~resources ~speed:1 ~delay e in
+      let witness = Capacity.witness ~resources ~speed:1 ~delay e in
+      (match witness with
+      | Some v ->
+          (* The witness really violates: demand over supply at t. *)
+          v.Capacity.v_demand > v.Capacity.v_supply
+          && v.v_demand = Capacity.dbf e v.v_window
+          && v.v_supply = Capacity.sbf ~resources ~speed:1 ~delay v.v_window
+      | None -> true)
+      && feasible = (witness = None))
+
+let prop_min_resources_minimal =
+  QCheck2.Test.make ~name:"min_resources is minimal and feasible" ~count:200
+    gen_entry (fun e ->
+      let delay = min 2 (e.Demand.bound - 1) in
+      match Capacity.min_resources ~speed:1 ~delay e with
+      | Capacity.Impossible _ ->
+          (* only when the deadline window is empty of supply *)
+          delay >= e.Demand.bound
+      | Capacity.Resources k ->
+          Capacity.feasible ~resources:k ~speed:1 ~delay e
+          && (k = 0 || not (Capacity.feasible ~resources:(k - 1) ~speed:1 ~delay e)))
+
+let prop_feasible_monotone =
+  QCheck2.Test.make ~name:"feasibility is monotone in resources" ~count:200
+    QCheck2.Gen.(pair gen_entry (int_range 0 4))
+    (fun (e, resources) ->
+      let delay = min 2 (e.Demand.bound - 1) in
+      (not (Capacity.feasible ~resources ~speed:1 ~delay e))
+      || Capacity.feasible ~resources:(resources + 1) ~speed:1 ~delay e)
+
+(* ---- verdicts ---- *)
+
+let test_check_verdicts () =
+  let spec = spec_steady () in
+  (match Capacity.check ~n:4 spec with
+  | Capacity.Fits { spare; allocation } ->
+      check "no spare at the minimum" 0 spare;
+      Alcotest.(check (array int)) "one resource per color" [| 1; 1; 1; 1 |] allocation
+  | _ -> Alcotest.fail "n=4 should fit");
+  (match Capacity.check ~n:5 spec with
+  | Capacity.Fits { spare; _ } -> check "one spare above" 1 spare
+  | _ -> Alcotest.fail "n=5 should fit");
+  match Capacity.check ~n:3 spec with
+  | Capacity.Overcommitted { required; available; _ } ->
+      check "required" 4 required;
+      check "available" 3 available
+  | _ -> Alcotest.fail "n=3 should be overcommitted"
+
+let test_size_matches_check () =
+  List.iter
+    (fun (spec, expected) ->
+      match Capacity.size spec with
+      | Ok (n, _) -> check ("size of " ^ spec.Demand.name) expected n
+      | Error message -> Alcotest.failf "size %s: %s" spec.Demand.name message)
+    [ (spec_steady (), 4); (spec_mixed (), 2); (spec_bursty (), 3) ]
+
+(* ---- sized deployments against the simulator (acceptance) ---- *)
+
+let simulate_exn ~n spec =
+  match Capacity.simulate ~rounds:400 ~n spec with
+  | Ok r -> r
+  | Error message -> Alcotest.failf "simulate %s: %s" spec.Demand.name message
+
+let test_sized_deployments_zero_drops () =
+  List.iter
+    (fun spec ->
+      match Capacity.size spec with
+      | Error message -> Alcotest.failf "size %s: %s" spec.Demand.name message
+      | Ok (n, _) ->
+          let at_n = simulate_exn ~n spec in
+          check
+            (spec.Demand.name ^ ": sized deployment drops nothing")
+            0 at_n.Capacity.sim_drops;
+          check_bool
+            (spec.Demand.name ^ ": sized deployment executes")
+            true (at_n.Capacity.sim_execs > 0);
+          let starved = simulate_exn ~n:(n - 1) spec in
+          check_bool
+            (spec.Demand.name ^ ": one resource less drops")
+            true (starved.Capacity.sim_drops > 0))
+    [ spec_steady (); spec_mixed (); spec_bursty () ]
+
+(* ---- spec parse / save round-trips ---- *)
+
+let test_spec_roundtrip () =
+  let spec = { (spec_mixed ()) with n = Some 2 } in
+  match Demand.parse (Demand.to_string spec) with
+  | Error message -> Alcotest.failf "roundtrip: %s" message
+  | Ok back ->
+      Alcotest.(check string) "name" spec.Demand.name back.Demand.name;
+      check "delta" spec.delta back.delta;
+      check "speed" spec.speed back.speed;
+      Alcotest.(check (option int)) "n" spec.n back.n;
+      check "colors" (Array.length spec.entries) (Array.length back.entries);
+      Array.iteri
+        (fun i (e : Demand.entry) ->
+          let b = back.entries.(i) in
+          check_bool "entry" true
+            (e.color = b.color && e.bound = b.bound && e.rate_num = b.rate_num
+           && e.rate_den = b.rate_den && e.burst = b.burst))
+        spec.entries
+
+let test_spec_rejects_malformed () =
+  let rejects text = check_bool text true (Result.is_error (Demand.parse text)) in
+  rejects "{\"schema\":\"rrs-spec/9\",\"name\":\"x\",\"delta\":2,\"speed\":1,\"colors\":1}\n{\"color\":0,\"bound\":4,\"rate_num\":1,\"rate_den\":1,\"burst\":0}";
+  (* sparse colors *)
+  rejects "{\"schema\":\"rrs-spec/1\",\"name\":\"x\",\"delta\":2,\"speed\":1,\"colors\":2}\n{\"color\":1,\"bound\":4,\"rate_num\":1,\"rate_den\":1,\"burst\":0}";
+  (* zero denominator *)
+  rejects "{\"schema\":\"rrs-spec/1\",\"name\":\"x\",\"delta\":2,\"speed\":1,\"colors\":1}\n{\"color\":0,\"bound\":4,\"rate_num\":1,\"rate_den\":0,\"burst\":0}";
+  check_bool "make rejects sparse colors" true
+    (Result.is_error
+       (Demand.make ~delta:2 ~speed:1 [ entry ~bound:4 ~num:1 ~den:1 1 ]))
+
+(* ---- calibration ---- *)
+
+let test_calibrate_synthetic () =
+  (* Color 0 executes exactly once per round from round 2 on: the fit
+     should recover a ~1 job/round slope with a ~2-round intercept. *)
+  let rounds = 96 in
+  let execs = List.init (rounds - 2) (fun i -> (i + 2, 0)) in
+  let cal = Calibrate.of_exec_rounds ~colors:1 ~rounds execs in
+  let fit = cal.Calibrate.cal_fits.(0) in
+  check_bool "slope near 1000 mj/r" true
+    (fit.Calibrate.f_rate_mjpr >= 900 && fit.f_rate_mjpr <= 1100);
+  check_bool "delay near 2" true (fit.f_delay >= 1 && fit.f_delay <= 4)
+
+let test_probe_sized_spec () =
+  let spec = spec_steady () in
+  match Calibrate.probe ~n:4 spec with
+  | Error message -> Alcotest.failf "probe: %s" message
+  | Ok cal ->
+      check "one fit per color" 4 (Array.length cal.Calibrate.cal_fits);
+      Array.iteri
+        (fun color fit ->
+          let declared = Demand.rate_mjpr spec.Demand.entries.(color) in
+          check_bool
+            (Printf.sprintf "color %d delivered >= declared" color)
+            true
+            (fit.Calibrate.f_rate_mjpr >= declared - 100);
+          check_bool
+            (Printf.sprintf "color %d startup within delta window" color)
+            true
+            (fit.Calibrate.f_delay <= 8))
+        cal.Calibrate.cal_fits
+
+let quick name f = Alcotest.test_case name `Quick f
+let prop p = QCheck_alcotest.to_alcotest p
+
+let suite =
+  [
+    ( "analysis.bounds",
+      [
+        quick "dbf values" test_dbf_values;
+        quick "dbf monotone" test_dbf_monotone;
+        quick "sbf values" test_sbf_values;
+        quick "idle color" test_min_resources_idle;
+        quick "impossible color" test_min_resources_impossible;
+        prop prop_witness_feasible_agree;
+        prop prop_min_resources_minimal;
+        prop prop_feasible_monotone;
+      ] );
+    ( "analysis.capacity",
+      [
+        quick "check verdicts" test_check_verdicts;
+        quick "size matches check" test_size_matches_check;
+        quick "sized deployments: zero drops at n, drops at n-1"
+          test_sized_deployments_zero_drops;
+      ] );
+    ( "analysis.spec",
+      [
+        quick "roundtrip" test_spec_roundtrip;
+        quick "malformed rejected" test_spec_rejects_malformed;
+      ] );
+    ( "analysis.calibrate",
+      [
+        quick "synthetic fit" test_calibrate_synthetic;
+        quick "probe of a sized spec" test_probe_sized_spec;
+      ] );
+  ]

@@ -222,7 +222,7 @@ let test_idempotence_classification () =
   check_bool "metrics replays safely" true
     (Client.idempotent (Wire.Metrics { slow = 0 }));
   check_bool "feed must not replay" false
-    (Client.idempotent (Wire.Feed { session = "s"; colors = [| 0 |]; counts = [| 1 |] }));
+    (Client.idempotent (Wire.Feed { session = "s"; colors = [| 0 |]; counts = [| 1 |]; decl = None }));
   check_bool "step must not replay" false
     (Client.idempotent (Wire.Step { session = "s"; rounds = 1 }));
   check_bool "close must not replay" false
@@ -305,7 +305,7 @@ let test_connect_refused_retries_any_frame () =
   in
   (match
      Client.Endpoint.call endpoint
-       (Wire.Feed { session = "s"; colors = [| 0 |]; counts = [| 1 |] })
+       (Wire.Feed { session = "s"; colors = [| 0 |]; counts = [| 1 |]; decl = None })
    with
   | Ok _ -> Alcotest.fail "connect to nowhere succeeded"
   | Error message ->
@@ -349,7 +349,7 @@ let test_drain_survives_one_failing_snapshot () =
       Client.call client
         (Wire.Open
            { session = name; policy = "dlru"; delta = 2; bounds = [| 2; 3 |];
-             n = 3; speed = 1; horizon = 0; queue_limit = 0 })
+             n = 3; speed = 1; horizon = 0; queue_limit = 0; decl = None })
     with
     | Ok (Wire.Opened _) -> ()
     | Ok frame -> Alcotest.failf "open %s: %s" name (Wire.encode frame)
@@ -422,14 +422,14 @@ let test_router_failover_live () =
              (Wire.Open
                 { session = name; policy = "dlru"; delta = 2;
                   bounds = [| 2; 3 |]; n = 3; speed = 1; horizon = 0;
-                  queue_limit = 0 })
+                  queue_limit = 0; decl = None })
          with
         | Ok (Wire.Opened _) -> ()
         | other ->
             Alcotest.failf "open %s: %s" name
               (match other with Ok f -> Wire.encode f | Error e -> e));
         ignore
-          (call (Wire.Feed { session = name; colors = [| 0 |]; counts = [| 2 |] }));
+          (call (Wire.Feed { session = name; colors = [| 0 |]; counts = [| 2 |]; decl = None }));
         match call (Wire.Step { session = name; rounds = 1 }) with
         | Ok (Wire.Stepped { round; _ }) -> round
         | other ->

@@ -46,6 +46,22 @@ let gen_ints =
 
 let gen_opt_name = QCheck2.Gen.option gen_name
 
+(* Half the generated Open/Feed frames carry a declaration — the wire
+   extension is exercised alongside the pre-declaration shape. The /1
+   encoding drops an all-zero burst array ([||]), so generate either
+   empty or populated bursts and expect [||] back for empty. *)
+let gen_decl : Wire.decl option QCheck2.Gen.t =
+  QCheck2.Gen.(
+    option
+      (let* d_rates = array_size (int_range 1 6) (int_range 0 1000) in
+       let* d_den = int_range 1 1000 in
+       let* d_bursts =
+         oneof
+           [ return [||];
+             array_size (int_range 1 6) (int_range 0 100) ]
+       in
+       return { Wire.d_rates; d_den; d_bursts }))
+
 let gen_frame : Wire.frame QCheck2.Gen.t =
   QCheck2.Gen.(
     let* session = gen_name in
@@ -57,11 +73,14 @@ let gen_frame : Wire.frame QCheck2.Gen.t =
         (let* policy = gen_name in
          let* delta = int and* n = int and* speed = int and* horizon = int in
          let* queue_limit = int and* bounds = gen_ints in
+         let* decl = gen_decl in
          return
            (Wire.Open
-              { session; policy; delta; bounds; n; speed; horizon; queue_limit }));
+              { session; policy; delta; bounds; n; speed; horizon;
+                queue_limit; decl }));
         (let* colors = gen_ints and* counts = gen_ints in
-         return (Wire.Feed { session; colors; counts }));
+         let* decl = gen_decl in
+         return (Wire.Feed { session; colors; counts; decl }));
         (let* rounds = int in
          return (Wire.Step { session; rounds }));
         return (Wire.Stats { session });
@@ -98,6 +117,9 @@ let gen_frame : Wire.frame QCheck2.Gen.t =
          return (Wire.Metrics_ok { doc; slow }));
         (let* cost = int in
          return (Wire.Closed { session; cost }));
+        (let* color = int_range (-1) 100 and* demand = int and* supply = int in
+         let* message = gen_name in
+         return (Wire.Admission_reject { session; color; demand; supply; message }));
         (let* message = gen_name in
          return (Wire.Error_frame { message }));
       ])
@@ -163,7 +185,7 @@ let test_session_shed_and_conservation () =
   | Ok (Session.Accepted { accepted; buffered }) ->
       check "accepted" 4 accepted;
       check "buffered" 4 buffered
-  | Ok (Session.Shed_reply _) -> Alcotest.fail "unexpected shed"
+  | Ok _ -> Alcotest.fail "unexpected non-accept"
   | Error m -> Alcotest.fail m);
   (* 4 buffered + 2 > 5: the whole request is shed, nothing enqueued. *)
   (match Session.feed session ~colors:[| 2 |] ~counts:[| 2 |] with
@@ -171,7 +193,7 @@ let test_session_shed_and_conservation () =
       check "shed jobs" 2 shed;
       check "buffered unchanged" 4 buffered;
       check "limit" 5 limit
-  | Ok (Session.Accepted _) -> Alcotest.fail "expected shed"
+  | Ok _ -> Alcotest.fail "expected shed"
   | Error m -> Alcotest.fail m);
   (* A 1-job feed still fits. *)
   (match Session.feed session ~colors:[| 2 |] ~counts:[| 1 |] with
@@ -627,14 +649,14 @@ let test_server_survives_malformed () =
               (Wire.Open
                  { session = "live"; policy = "dlru"; delta = 2;
                    bounds = [| 2; 3 |]; n = 3; speed = 1; horizon = 0;
-                   queue_limit = 0 }))
+                   queue_limit = 0; decl = None }))
        with
       | Wire.Opened _ -> ()
       | f -> Alcotest.failf "unexpected open reply %s" (Wire.encode f));
       ignore
         (expect_ok
            (Client.call client
-              (Wire.Feed { session = "live"; colors = [| 0 |]; counts = [| 3 |] })));
+              (Wire.Feed { session = "live"; colors = [| 0 |]; counts = [| 3 |]; decl = None })));
       ignore (expect_ok (Client.call client (Wire.Step { session = "live"; rounds = 1 })));
       let stats_before =
         match expect_ok (Client.call client (Wire.Stats { session = "live" })) with
@@ -656,7 +678,8 @@ let test_server_survives_malformed () =
       Client.send client
         (Wire.Open
            { session = "../evil"; policy = "dlru"; delta = 2;
-             bounds = [| 2 |]; n = 1; speed = 1; horizon = 0; queue_limit = 0 });
+             bounds = [| 2 |]; n = 1; speed = 1; horizon = 0; queue_limit = 0;
+             decl = None });
       expect_error client "path-unsafe session name";
       (* Snapshot-to-file is confined to the server's snapshot
          directory: anything but a bare path-safe file name is refused. *)
@@ -694,7 +717,7 @@ let test_server_survives_malformed () =
 (* ---- live server: drain to disk + restore continues the ledger ---- *)
 
 let feed_step client session colors counts =
-  ignore (expect_ok (Client.call client (Wire.Feed { session; colors; counts })));
+  ignore (expect_ok (Client.call client (Wire.Feed { session; colors; counts; decl = None })));
   match expect_ok (Client.call client (Wire.Step { session; rounds = 1 })) with
   | Wire.Stepped _ -> ()
   | f -> Alcotest.failf "unexpected step reply %s" (Wire.encode f)
@@ -719,7 +742,7 @@ let test_server_drain_restore () =
                 (Wire.Open
                    { session = "d"; policy = "dlru-edf"; delta = 3;
                      bounds = [| 2; 2; 4 |]; n = 4; speed = 1; horizon = 0;
-                     queue_limit = 0 })));
+                     queue_limit = 0; decl = None })));
         feed_step client "d" [| 0; 1 |] [| 3; 2 |];
         feed_step client "d" [| 2 |] [| 4 |];
         feed_step client "d" [| 0; 2 |] [| 1; 2 |];
@@ -737,7 +760,7 @@ let test_server_drain_restore () =
           (Wire.Open
              { session = "d"; policy = "dlru-edf"; delta = 3;
                bounds = [| 2; 2; 4 |]; n = 4; speed = 1; horizon = 0;
-               queue_limit = 0 })));
+               queue_limit = 0; decl = None })));
   feed_step client "d" [| 0; 1 |] [| 3; 2 |];
   feed_step client "d" [| 2 |] [| 4 |];
   Client.close client;
@@ -838,12 +861,104 @@ let test_wire2_garbage_resync () =
   close_in channel;
   Sys.remove cut
 
+(* ---- forward compatibility, both framings ----
+
+   The declaration extension rides on exactly these rules, so pin them:
+   /1 decoders ignore unknown JSON fields on known frames (a future
+   sender is understood, minus its extras) and answer unknown types with
+   a per-frame error; /2 decoders answer unknown tags and unexpected
+   trailing bytes with a per-frame error and resynchronize at the next
+   magic pair — never a desync or a crash. *)
+let test_wire_forward_compat () =
+  (* /1: unknown extra fields on a known frame are tolerated. *)
+  (match
+     Wire.decode
+       "{\"type\":\"step\",\"session\":\"s\",\"rounds\":2,\
+        \"future_knob\":7,\"note\":\"x\"}"
+   with
+  | Ok (Wire.Step { session = "s"; rounds = 2 }) -> ()
+  | Ok f -> Alcotest.failf "extras changed the frame: %s" (Wire.encode f)
+  | Error m -> Alcotest.failf "/1 extras rejected: %s" m);
+  (* /1: the declaration is keyed on rate_den — with it, declared; a
+     stray "rates" alone reads as one more unknown extra. *)
+  let open_json decl_fields =
+    "{\"type\":\"open\",\"session\":\"s\",\"policy\":\"dlru\",\"delta\":2,\
+     \"bounds\":[4],\"n\":1,\"speed\":1,\"horizon\":0,\"queue_limit\":0"
+    ^ decl_fields ^ "}"
+  in
+  (match Wire.decode (open_json ",\"rates\":[3],\"rate_den\":4,\"bursts\":[2]") with
+  | Ok (Wire.Open { decl = Some { d_rates = [| 3 |]; d_den = 4; d_bursts = [| 2 |] }; _ })
+    -> ()
+  | Ok f -> Alcotest.failf "declared open misread: %s" (Wire.encode f)
+  | Error m -> Alcotest.failf "declared open rejected: %s" m);
+  (match Wire.decode (open_json ",\"rates\":[3]") with
+  | Ok (Wire.Open { decl = None; _ }) -> ()
+  | Ok f -> Alcotest.failf "rates without rate_den misread: %s" (Wire.encode f)
+  | Error m -> Alcotest.failf "stray rates rejected: %s" m);
+  (* /1: unknown type answers an error, not a crash. *)
+  (match Wire.decode "{\"type\":\"frobnicate\",\"session\":\"s\"}" with
+  | Error _ -> ()
+  | Ok f -> Alcotest.failf "unknown type accepted: %s" (Wire.encode f));
+  (* /2: an unknown tag is a clean per-frame error... *)
+  let stats = Wire.Stats { session = "s" } in
+  let encoded = Wire.encode_binary stats in
+  let retagged = Bytes.of_string encoded in
+  Bytes.set retagged 6 '\x63' (* tag 99 *);
+  (match Wire.decode_binary (Bytes.to_string retagged) with
+  | Error m -> check_bool "names the tag" true (contains ~needle:"99" m)
+  | Ok f -> Alcotest.failf "unknown tag accepted: %s" (Wire.encode f));
+  (* ...and the stream reader steps over it to the next frame. *)
+  let path = Filename.temp_file "rrs_fwd" ".bin" in
+  let out = open_out_bin path in
+  output_string out (Bytes.to_string retagged);
+  output_string out (Wire.encode_binary stats);
+  close_out out;
+  let channel = open_in_bin path in
+  let input = Wire.reader channel in
+  (match Wire.read ~framing:Wire.V2 input with
+  | Wire.Malformed _ -> ()
+  | Wire.Frame f -> Alcotest.failf "unknown tag read as %s" (Wire.encode f)
+  | Wire.Eof -> Alcotest.fail "unknown tag read as eof");
+  check_bool "resynced on the next frame" true
+    (Wire.read ~framing:Wire.V2 input = Wire.Frame stats);
+  close_in channel;
+  Sys.remove path;
+  (* /2: trailing bytes after a complete payload are refused — on a
+     frame with no extension point... *)
+  let with_trailing frame junk =
+    let whole = Wire.encode_binary frame in
+    let payload = String.sub whole 7 (String.length whole - 7) ^ junk in
+    let n = String.length payload in
+    let header = Bytes.create 7 in
+    Bytes.set header 0 '\xF2';
+    Bytes.set header 1 'R';
+    Bytes.set header 2 (Char.chr ((n lsr 24) land 0xff));
+    Bytes.set header 3 (Char.chr ((n lsr 16) land 0xff));
+    Bytes.set header 4 (Char.chr ((n lsr 8) land 0xff));
+    Bytes.set header 5 (Char.chr (n land 0xff));
+    Bytes.set header 6 whole.[6];
+    Bytes.to_string header ^ payload
+  in
+  (match Wire.decode_binary (with_trailing stats "\x00") with
+  | Error m -> check_bool "trailing named" true (contains ~needle:"trailing" m)
+  | Ok f -> Alcotest.failf "trailing bytes accepted: %s" (Wire.encode f));
+  (* ...and on the frames with the optional declaration group, where
+     junk that is not a valid group is refused rather than guessed at. *)
+  let undeclared =
+    Wire.Open
+      { session = "s"; policy = "dlru"; delta = 2; bounds = [| 4 |]; n = 1;
+        speed = 1; horizon = 0; queue_limit = 0; decl = None }
+  in
+  match Wire.decode_binary (with_trailing undeclared "\x00") with
+  | Error _ -> ()
+  | Ok f -> Alcotest.failf "junk read as a declaration: %s" (Wire.encode f)
+
 (* A payload bigger than the reader's 64 KiB chunk exercises the
    read-past-the-buffer path. *)
 let test_wire2_large_frame () =
   let colors = Array.init 20_000 (fun i -> i land 0xffff) in
   let counts = Array.init 20_000 (fun i -> i * 7 land 0xffff) in
-  let frame = Wire.Feed { session = "big"; colors; counts } in
+  let frame = Wire.Feed { session = "big"; colors; counts; decl = None } in
   let encoded = Wire.encode_binary frame in
   check_bool "payload exceeds one reader chunk" true
     (String.length encoded > 64 * 1024);
@@ -1043,7 +1158,7 @@ let test_open_constructs_outside_lock () =
   let open_frame session =
     Wire.Open
       { session; policy = "dlru-edf"; delta = 3; bounds = [| 2; 3; 4 |];
-        n = 4; speed = 1; horizon = 0; queue_limit = 0 }
+        n = 4; speed = 1; horizon = 0; queue_limit = 0; decl = None }
   in
   Fun.protect
     ~finally:(fun () ->
@@ -1090,7 +1205,7 @@ let test_open_constructs_outside_lock () =
 let open_frame_for session =
   Wire.Open
     { session; policy = "dlru-edf"; delta = 3; bounds = [| 2; 3; 4 |]; n = 4;
-      speed = 1; horizon = 0; queue_limit = 6 }
+      speed = 1; horizon = 0; queue_limit = 6; decl = None }
 
 let test_wire2_live_negotiation () =
   with_server (fun ~address ~snap_dir:_ ->
@@ -1169,10 +1284,10 @@ let test_wire_equality_across_framings () =
           replies := normalize_stats (expect_ok (Client.call client frame)) :: !replies
         in
         call (open_frame_for "eq");
-        call (Wire.Feed { session = "eq"; colors = [| 0; 1 |]; counts = [| 3; 2 |] });
+        call (Wire.Feed { session = "eq"; colors = [| 0; 1 |]; counts = [| 3; 2 |]; decl = None });
         call (Wire.Step { session = "eq"; rounds = 2 });
         (* 9 jobs against queue_limit 6: a shed reply. *)
-        call (Wire.Feed { session = "eq"; colors = [| 2 |]; counts = [| 9 |] });
+        call (Wire.Feed { session = "eq"; colors = [| 2 |]; counts = [| 9 |]; decl = None });
         call (Wire.Stats { session = "eq" });
         call (Wire.Close { session = "eq" });
         List.rev_map Wire.encode !replies
@@ -1335,13 +1450,13 @@ let test_metrics_reconciliation () =
       ignore
         (expect_ok
            (Client.call client
-              (Wire.Feed { session = "obs"; colors = [| 0; 1 |]; counts = [| 3; 2 |] })));
+              (Wire.Feed { session = "obs"; colors = [| 0; 1 |]; counts = [| 3; 2 |]; decl = None })));
       (* 5 buffered + 9 > queue_limit 6: the whole feed is shed. *)
       let shed_jobs =
         match
           expect_ok
             (Client.call client
-               (Wire.Feed { session = "obs"; colors = [| 2 |]; counts = [| 9 |] }))
+               (Wire.Feed { session = "obs"; colors = [| 2 |]; counts = [| 9 |]; decl = None }))
         with
         | Wire.Shed { shed; _ } -> shed
         | f -> Alcotest.failf "expected a shed reply, got %s" (Wire.encode f)
@@ -1430,7 +1545,7 @@ let test_metrics_slow_log () =
         ignore
           (expect_ok
              (Client.call client
-                (Wire.Feed { session = "slow"; colors = [| 0 |]; counts = [| 1 |] })));
+                (Wire.Feed { session = "slow"; colors = [| 0 |]; counts = [| 1 |]; decl = None })));
         ignore
           (expect_ok
              (Client.call client (Wire.Step { session = "slow"; rounds = 1 })))
@@ -1548,6 +1663,298 @@ let test_metrics_http_endpoint () =
       expect "le=\"+Inf\"";
       Client.close client)
 
+(* ---- admission gate, live ---- *)
+
+(* 2 colors at 1/2 job/round: sized n = 2, supply 2000 mj/r. *)
+let admission_spec () =
+  match
+    Rrs_workload.Demand.make ~name:"gate" ~n:2 ~delta:2 ~speed:1
+      (List.init 2 (fun color ->
+           { Rrs_workload.Demand.color; bound = 8; rate_num = 1; rate_den = 2;
+             burst = 0 }))
+  with
+  | Ok spec -> spec
+  | Error m -> Alcotest.failf "admission spec: %s" m
+
+let with_admission_server ~mode f =
+  let dir = Filename.temp_file "rrs_adm" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let address = Server.Unix_socket (Filename.concat dir "sock") in
+  let config =
+    { (Server.default_config address) with domains = 2;
+      snap_dir = Some (Filename.concat dir "snaps");
+      admission = Some (admission_spec ()); admission_mode = mode }
+  in
+  let server = Server.start config in
+  Fun.protect
+    ~finally:(fun () -> ignore (Server.stop ~drain:false server))
+    (fun () -> f ~address)
+
+let declared_open ?(policy = "seq-edf") ?(n = 2) session decl =
+  Wire.Open
+    { session; policy; delta = 2; bounds = [| 8; 8 |]; n; speed = 1;
+      horizon = 0; queue_limit = 0; decl = Some decl }
+
+let decl ?(bursts = [||]) rates den =
+  { Wire.d_rates = rates; d_den = den; d_bursts = bursts }
+
+let admission_gauge client name =
+  match expect_ok (Client.call client (Wire.Metrics { slow = 0 })) with
+  | Wire.Metrics_ok { doc; _ } ->
+      Json.opt_int_field (Json.parse_fields doc) name ~default:(-1)
+  | f -> Alcotest.failf "metrics reply %s" (Wire.encode f)
+
+let test_admission_enforce () =
+  with_admission_server ~mode:Rrs_server.Admission.Enforce (fun ~address ->
+      let client = Client.connect address in
+      check "supply gauge is n*speed*1000" 2000
+        (admission_gauge client "admission_supply_mjpr");
+      (* An honest declaration within its own n and the budget. *)
+      (match
+         expect_ok (Client.call client (declared_open "fit" (decl [| 1; 1 |] 4)))
+       with
+      | Wire.Opened _ -> ()
+      | f -> Alcotest.failf "fit open: %s" (Wire.encode f));
+      check "demand gauge carries the reservation" 500
+        (admission_gauge client "admission_demand_mjpr");
+      (* Infeasible for its own n = 1 (two colors at full rate need two
+         resources): a typed reject naming a binding color, no state. *)
+      (match
+         Client.call client (declared_open ~n:1 "infeasible" (decl [| 1; 1 |] 1))
+       with
+      | Ok (Wire.Admission_reject { session = "infeasible"; color; _ }) ->
+          check_bool "binding color named" true (color >= 0)
+      | Ok f -> Alcotest.failf "infeasible open: %s" (Wire.encode f)
+      | Error m -> Alcotest.fail m);
+      Client.send client (Wire.Stats { session = "infeasible" });
+      expect_error client "rejected open left no session";
+      (* A big-but-feasible declaration exhausts the budget... *)
+      (match
+         expect_ok (Client.call client (declared_open "big" (decl [| 3; 3 |] 4)))
+       with
+      | Wire.Opened _ -> ()
+      | f -> Alcotest.failf "big open: %s" (Wire.encode f));
+      check "budget exhausted" 0 (admission_gauge client "admission_headroom_mjpr");
+      (* ...so one more per-session-feasible open rejects on the
+         aggregate (color -1). *)
+      (match Client.call client (declared_open "extra" (decl [| 1; 1 |] 4)) with
+      | Ok (Wire.Admission_reject { color = -1; demand; supply; _ }) ->
+          check "supply in the reject" 2000 supply;
+          check_bool "demand over supply" true (demand > supply)
+      | Ok f -> Alcotest.failf "extra open: %s" (Wire.encode f)
+      | Error m -> Alcotest.fail m);
+      (* Close releases the reservation: the same open now fits. *)
+      (match expect_ok (Client.call client (Wire.Close { session = "big" })) with
+      | Wire.Closed _ -> ()
+      | f -> Alcotest.failf "close big: %s" (Wire.encode f));
+      (match
+         expect_ok (Client.call client (declared_open "extra" (decl [| 1; 1 |] 4)))
+       with
+      | Wire.Opened _ -> ()
+      | f -> Alcotest.failf "extra open after release: %s" (Wire.encode f));
+      check_bool "rejects counted" true
+        (admission_gauge client "admission_rejected_total" >= 2);
+      Client.close client)
+
+let test_admission_policing_conservation () =
+  with_admission_server ~mode:Rrs_server.Admission.Enforce (fun ~address ->
+      let client = Client.connect address in
+      (match
+         expect_ok (Client.call client (declared_open "pol" (decl [| 1; 1 |] 4)))
+       with
+      | Wire.Opened _ -> ()
+      | f -> Alcotest.failf "open: %s" (Wire.encode f));
+      (* Allowance through round 0 at rate 1/4, burst 0: zero jobs — the
+         feed is over the declared envelope and is shed, not enqueued. *)
+      (match
+         Client.call client
+           (Wire.Feed { session = "pol"; colors = [| 0 |]; counts = [| 3 |]; decl = None })
+       with
+      | Ok (Wire.Admission_reject { session = "pol"; color = 0; _ }) -> ()
+      | Ok f -> Alcotest.failf "over-envelope feed: %s" (Wire.encode f)
+      | Error m -> Alcotest.fail m);
+      (match expect_ok (Client.call client (Wire.Stats { session = "pol" })) with
+      | Wire.Stats_ok { fed; accepted; shed; _ } ->
+          check "policed jobs counted as offered" 3 fed;
+          check "nothing enqueued" 0 accepted;
+          check "conservation: fed = accepted + shed" fed (accepted + shed)
+      | f -> Alcotest.failf "stats: %s" (Wire.encode f));
+      check "policed jobs gauge" 3 (admission_gauge client "admission_policed_jobs");
+      (* A feed may re-declare a larger envelope — the same jobs are
+         then in budget and accepted. *)
+      (match
+         Client.call client
+           (Wire.Feed
+              { session = "pol"; colors = [| 0 |]; counts = [| 1 |];
+                decl = Some (decl ~bursts:[| 4; 0 |] [| 1; 1 |] 4) })
+       with
+      | Ok (Wire.Fed { accepted; _ }) -> check "accepted after re-decl" 1 accepted
+      | Ok f -> Alcotest.failf "re-declared feed: %s" (Wire.encode f)
+      | Error m -> Alcotest.fail m);
+      Client.close client)
+
+let test_admission_warn_admits () =
+  with_admission_server ~mode:Rrs_server.Admission.Warn (fun ~address ->
+      let client = Client.connect address in
+      (* The same infeasible declaration the enforcing gate refuses is
+         admitted under warn... *)
+      (match
+         expect_ok
+           (Client.call client (declared_open ~n:1 "loud" (decl [| 1; 1 |] 1)))
+       with
+      | Wire.Opened _ -> ()
+      | f -> Alcotest.failf "warn open: %s" (Wire.encode f));
+      (* ...and its feeds are not policed. *)
+      (match
+         Client.call client
+           (Wire.Feed { session = "loud"; colors = [| 0 |]; counts = [| 5 |]; decl = None })
+       with
+      | Ok (Wire.Fed { accepted; _ }) -> check "unpoliced" 5 accepted
+      | Ok f -> Alcotest.failf "warn feed: %s" (Wire.encode f)
+      | Error m -> Alcotest.fail m);
+      check_bool "reservation still tracked" true
+        (admission_gauge client "admission_demand_mjpr" >= 2000);
+      Client.close client)
+
+let test_admission_survives_restart () =
+  let dir = Filename.temp_file "rrs_adm_restart" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let address = Server.Unix_socket (Filename.concat dir "sock") in
+  let config =
+    { (Server.default_config address) with domains = 2;
+      snap_dir = Some (Filename.concat dir "snaps");
+      admission = Some (admission_spec ());
+      admission_mode = Rrs_server.Admission.Enforce }
+  in
+  let server = Server.start config in
+  let client = Client.connect address in
+  (match Client.negotiate client ~wire:2 with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  (match
+     expect_ok (Client.call client (declared_open "keeper" (decl [| 3; 3 |] 4)))
+   with
+  | Wire.Opened _ -> ()
+  | f -> Alcotest.failf "open: %s" (Wire.encode f));
+  Client.close client;
+  (* Drain snapshots the declared session; the restarted gate must
+     re-admit it, or the budget would silently double-sell. *)
+  ignore (Server.stop ~drain:true server);
+  let server = Server.start config in
+  Fun.protect
+    ~finally:(fun () -> ignore (Server.stop ~drain:false server))
+    (fun () ->
+      let client = Client.connect address in
+      check "restored reservation still charged" 1500
+        (admission_gauge client "admission_demand_mjpr");
+      (* The envelope survives too: round 0 allowance at 3/4 is 0. *)
+      (match
+         Client.call client
+           (Wire.Feed { session = "keeper"; colors = [| 1 |]; counts = [| 2 |]; decl = None })
+       with
+      | Ok (Wire.Admission_reject _) -> ()
+      | Ok f -> Alcotest.failf "restored envelope not policed: %s" (Wire.encode f)
+      | Error m -> Alcotest.fail m);
+      (* And the remaining headroom is honest: 600 > 500 left. *)
+      (match Client.call client (declared_open "over" (decl [| 3; 3 |] 10)) with
+      | Ok (Wire.Admission_reject { color = -1; _ }) -> ()
+      | Ok f -> Alcotest.failf "over-budget open after restart: %s" (Wire.encode f)
+      | Error m -> Alcotest.fail m);
+      Client.close client)
+
+(* ---- endpoint byte counters survive reconnects ---- *)
+
+let test_endpoint_bytes_accumulate () =
+  with_server (fun ~address ~snap_dir:_ ->
+      let endpoint = Client.Endpoint.create ~retry:Client.no_retry address in
+      (match Client.Endpoint.call endpoint (open_frame_for "bytes") with
+      | Ok (Wire.Opened _) -> ()
+      | Ok f -> Alcotest.failf "open: %s" (Wire.encode f)
+      | Error m -> Alcotest.fail m);
+      let sent_before = Client.Endpoint.bytes_sent endpoint in
+      let received_before = Client.Endpoint.bytes_received endpoint in
+      check_bool "bytes counted" true (sent_before > 0 && received_before > 0);
+      (* Drop the cached connection: the next call reconnects, and the
+         totals keep accumulating instead of resetting with the conn. *)
+      Client.Endpoint.drop endpoint;
+      (match Client.Endpoint.call endpoint (Wire.Stats { session = "bytes" }) with
+      | Ok (Wire.Stats_ok _) -> ()
+      | Ok f -> Alcotest.failf "stats: %s" (Wire.encode f)
+      | Error m -> Alcotest.fail m);
+      check_bool "sent total grows across the reconnect" true
+        (Client.Endpoint.bytes_sent endpoint > sent_before);
+      check_bool "received total grows across the reconnect" true
+        (Client.Endpoint.bytes_received endpoint > received_before);
+      Client.Endpoint.close endpoint)
+
+(* ---- top view: restart detection and rate clamping ---- *)
+
+let top_sample at fields =
+  { Rrs_server.Top_view.at;
+    fields = List.map (fun (k, v) -> (k, Json.Vint v)) fields }
+
+let test_top_view_rates () =
+  let module Top = Rrs_server.Top_view in
+  let previous =
+    top_sample 100.0 [ ("uptime_s", 50); ("requests_total", 1000) ]
+  in
+  let healthy =
+    top_sample 110.0 [ ("uptime_s", 60); ("requests_total", 1200) ]
+  in
+  check_bool "no baseline renders -/s" true
+    (String.trim (Top.rate ~previous:None healthy "requests_total") = "-/s");
+  check_string "steady rate" "20.0/s"
+    (String.trim (Top.rate ~previous:(Some previous) healthy "requests_total"));
+  (* Merged multi-worker counters can read slightly backwards within one
+     server life: clamp to zero, never a negative rate. ([requests_total]
+     itself shrinking reads as a restart — skew another counter.) *)
+  let previous_rounds =
+    top_sample 100.0
+      [ ("uptime_s", 50); ("requests_total", 1000); ("rounds_total", 400) ]
+  in
+  let skewed =
+    top_sample 110.0
+      [ ("uptime_s", 60); ("requests_total", 1200); ("rounds_total", 395) ]
+  in
+  check_string "skew clamps to zero" "0.0/s"
+    (String.trim (Top.rate ~previous:(Some previous_rounds) skewed "rounds_total"));
+  (* A restart resets the counters: flagged, and rates hold at -/s
+     rather than going hugely negative. *)
+  let rebooted =
+    top_sample 120.0 [ ("uptime_s", 3); ("requests_total", 40) ]
+  in
+  check_bool "restart detected" true (Top.restarted ~previous rebooted);
+  check_bool "healthy poll is not a restart" true
+    (not (Top.restarted ~previous healthy));
+  check_bool "restart renders -/s" true
+    (String.trim (Top.rate ~previous:(Some previous) rebooted "requests_total") = "-/s");
+  let rendered = Top.render ~previous:(Some previous) rebooted ~slow:[] in
+  check_bool "restart marker in the header" true
+    (contains ~needle:"[server restarted]" rendered);
+  check_bool "no marker on a healthy poll" true
+    (not
+       (contains ~needle:"[server restarted]"
+          (Top.render ~previous:(Some previous) healthy ~slow:[])))
+
+let test_top_view_admission_line () =
+  let module Top = Rrs_server.Top_view in
+  let gated =
+    top_sample 10.0
+      [ ("uptime_s", 10); ("requests_total", 5);
+        ("admission_supply_mjpr", 2000); ("admission_demand_mjpr", 1500);
+        ("admission_headroom_mjpr", 500); ("admission_sessions", 3);
+        ("admission_rejected_total", 2); ("admission_policed_jobs", 7) ]
+  in
+  let rendered = Top.render ~previous:None gated ~slow:[] in
+  check_bool "admission line present" true (contains ~needle:"admission" rendered);
+  check_bool "supply shown" true (contains ~needle:"2000" rendered);
+  check_bool "headroom shown" true (contains ~needle:"500" rendered);
+  let ungated = top_sample 10.0 [ ("uptime_s", 10); ("requests_total", 5) ] in
+  check_bool "no admission line without the gauges" true
+    (not (contains ~needle:"admission" (Top.render ~previous:None ungated ~slow:[])))
+
 let prop = QCheck_alcotest.to_alcotest
 
 let suite =
@@ -1569,6 +1976,8 @@ let suite =
           test_wire2_garbage_resync;
         Alcotest.test_case "frame larger than the reader chunk" `Quick
           test_wire2_large_frame;
+        Alcotest.test_case "forward compatibility, both framings" `Quick
+          test_wire_forward_compat;
       ] );
     ( "server.session",
       [
@@ -1622,6 +2031,26 @@ let suite =
           test_oversize_inline_snapshot_reply;
         Alcotest.test_case "accept survives signal churn" `Quick
           test_accept_survives_signal_churn;
+        Alcotest.test_case "endpoint bytes accumulate across reconnects"
+          `Quick test_endpoint_bytes_accumulate;
+      ] );
+    ( "server.admission",
+      [
+        Alcotest.test_case "enforce: typed rejects, budget, release" `Quick
+          test_admission_enforce;
+        Alcotest.test_case "policing preserves conservation" `Quick
+          test_admission_policing_conservation;
+        Alcotest.test_case "warn admits and does not police" `Quick
+          test_admission_warn_admits;
+        Alcotest.test_case "gate state survives drain + restart" `Quick
+          test_admission_survives_restart;
+      ] );
+    ( "server.top",
+      [
+        Alcotest.test_case "rates: baseline, skew clamp, restart" `Quick
+          test_top_view_rates;
+        Alcotest.test_case "admission line when gauges present" `Quick
+          test_top_view_admission_line;
       ] );
     ( "server.observability",
       [
