@@ -11,6 +11,7 @@
      dune exec bench/main.exe -- sweep             # multicore sweep grid
      dune exec bench/main.exe -- sweep --inject-crash  # + failure isolation
      dune exec bench/main.exe -- serve             # E18 serving throughput
+     dune exec bench/main.exe -- churn             # E18 connection churn
      dune exec bench/main.exe -- snap              # E19 snapshot growth
      dune exec bench/main.exe -- admission         # E22 admission gate
      dune exec bench/main.exe -- tables --json F   # tables + BENCH json
@@ -22,8 +23,8 @@
    completes degraded with attributable errors. *)
 
 let usage =
-  "all | tables | micro | sweep | serve | snap | failover | admission \
-   [--json FILE] [--inject-crash]"
+  "all | tables | micro | sweep | serve | churn | snap | failover | \
+   admission [--json FILE] [--inject-crash]"
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -55,6 +56,7 @@ let () =
   | "micro" -> Micro.run ()
   | "sweep" -> Sweep_bench.run ?json ~inject_crash ()
   | "serve" -> Serve_bench.run ?json ()
+  | "churn" -> Serve_bench.run_churn ?json ()
   | "snap" -> Snap_bench.run ?json ()
   | "failover" -> Failover_bench.run ?json ()
   | "admission" -> Admission_bench.run ?json ()

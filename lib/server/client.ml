@@ -12,8 +12,10 @@ type t = {
 
 let connect_fd fd =
   (* The reader pulls straight from the fd so a per-call deadline can
-     [select] with the remaining budget before every read. Reads
-     without a deadline behave like the old in_channel-backed reader. *)
+     wait on readiness with the remaining budget before every read
+     (poll-based: client fds can sit above FD_SETSIZE when thousands of
+     connections are open). Reads without a deadline behave like the
+     old in_channel-backed reader. *)
   let deadline = ref None in
   let pull buf off len =
     match !deadline with
@@ -23,9 +25,9 @@ let connect_fd fd =
           let remaining = until -. Unix.gettimeofday () in
           if remaining <= 0. then raise Timeout
           else
-            match Unix.select [ fd ] [] [] remaining with
-            | [], _, _ -> raise Timeout
-            | _ -> Unix.read fd buf off len
+            match Poll.wait_readable ~timeout:remaining fd with
+            | `Timeout -> raise Timeout
+            | `Readable -> Unix.read fd buf off len
             | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
         in
         wait ()
@@ -44,7 +46,7 @@ let address_label = function
   | Server.Unix_socket path -> path
   | Server.Tcp (host, port) -> Printf.sprintf "%s:%d" host port
 
-(* Connect with an optional budget: non-blocking connect + select on
+(* Connect with an optional budget: non-blocking connect + poll on
    writability + SO_ERROR, so a black-holed host cannot stall the CLI
    for the kernel's default timeout. *)
 let connect_sockaddr fd sockaddr timeout_ms =
@@ -54,9 +56,9 @@ let connect_sockaddr fd sockaddr timeout_ms =
       Unix.set_nonblock fd;
       let finish () =
         let budget = float_of_int (max ms 1) /. 1000. in
-        match Unix.select [] [ fd ] [] budget with
-        | _, [], _ -> raise (Unix.Unix_error (Unix.ETIMEDOUT, "connect", ""))
-        | _ -> (
+        match Poll.wait_writable ~timeout:budget fd with
+        | `Timeout -> raise (Unix.Unix_error (Unix.ETIMEDOUT, "connect", ""))
+        | `Writable -> (
             match Unix.getsockopt_error fd with
             | None -> ()
             | Some error -> raise (Unix.Unix_error (error, "connect", "")))
@@ -72,7 +74,7 @@ let connect_sockaddr fd sockaddr timeout_ms =
 let connect ?timeout_ms address =
   match address with
   | Server.Unix_socket path ->
-      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
       (try connect_sockaddr fd (Unix.ADDR_UNIX path) timeout_ms
        with e ->
          (try Unix.close fd with Unix.Unix_error _ -> ());
@@ -82,7 +84,7 @@ let connect ?timeout_ms address =
       match Server.resolve_host host with
       | Error message -> failwith ("cannot connect: " ^ message)
       | Ok addr ->
-          let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+          let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
           (try connect_sockaddr fd (Unix.ADDR_INET (addr, port)) timeout_ms
            with e ->
              (try Unix.close fd with Unix.Unix_error _ -> ());

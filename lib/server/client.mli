@@ -4,7 +4,7 @@
     legs, the E18/E21 load harnesses and the protocol tests.
 
     Resilience: {!connect} takes an optional connect budget, every
-    {!call} takes an optional per-call deadline (select-based — the
+    {!call} takes an optional per-call deadline (poll-based — the
     client never blocks past it), and {!Endpoint} layers bounded
     retry with jittered exponential backoff on top, restricted to
     frames whose replay is safe (see {!idempotent}). *)
@@ -18,7 +18,7 @@ exception Timeout
 (** @raise Failure on an unresolvable TCP host (clean message naming
     the host).
     @raise Unix.Unix_error on connection failure; [timeout_ms] bounds
-    the connect itself (non-blocking connect + select). *)
+    the connect itself (non-blocking connect + poll). *)
 val connect : ?timeout_ms:int -> Server.address -> t
 
 val try_connect : ?timeout_ms:int -> Server.address -> (t, string) result

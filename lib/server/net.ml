@@ -17,10 +17,35 @@ let resolve_host host =
       | entry -> Ok entry.Unix.h_addr_list.(0)
       | exception Not_found -> Error (Printf.sprintf "unknown host %S" host))
 
+(* Is something accepting on this Unix socket path right now? A stale
+   file left by a crashed server refuses the connect; a live server
+   completes it. *)
+let unix_socket_live path =
+  let probe = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let live =
+    match Unix.connect probe (Unix.ADDR_UNIX path) with
+    | () -> true
+    | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) ->
+        false
+    | exception Unix.Unix_error _ ->
+        (* can't prove it stale (EACCES, ...): refuse to steal it *)
+        true
+  in
+  (try Unix.close probe with Unix.Unix_error _ -> ());
+  live
+
+(* Every listener is close-on-exec: the [Shard] supervisor forks
+   children with [Unix.create_process], and an inherited listen or
+   connection fd would keep dead clients from ever seeing EOF. *)
 let listen_socket = function
   | Unix_socket path ->
-      if Sys.file_exists path then Sys.remove path;
-      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      if Sys.file_exists path then
+        if unix_socket_live path then
+          failwith
+            (Printf.sprintf
+               "cannot listen on %s: address in use by a live server" path)
+        else Sys.remove path;
+      let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
       Unix.bind fd (Unix.ADDR_UNIX path);
       Unix.listen fd 64;
       (fd, Some path)
@@ -30,7 +55,7 @@ let listen_socket = function
         | Ok addr -> addr
         | Error message -> failwith ("cannot listen: " ^ message)
       in
-      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
       Unix.setsockopt fd Unix.SO_REUSEADDR true;
       Unix.bind fd (Unix.ADDR_INET (addr, port));
       Unix.listen fd 64;
@@ -98,8 +123,13 @@ let handoff_push q fd =
     Condition.wait q.q_nonfull q.q_mutex
   done;
   let accepted = not q.q_closed in
-  if accepted then Queue.push fd q.q_items;
-  Condition.signal q.q_nonempty;
+  (* Signal only when something was actually queued: a rejected push on
+     a closed queue has nothing for a worker to pop, and the spurious
+     signal could steal the wakeup a real push is entitled to. *)
+  if accepted then begin
+    Queue.push fd q.q_items;
+    Condition.signal q.q_nonempty
+  end;
   Mutex.unlock q.q_mutex;
   accepted
 
@@ -124,23 +154,23 @@ let handoff_close q =
 
 (* ---- accept / worker domain bodies ---- *)
 
-(* Poll with a short select timeout rather than blocking in accept:
+(* Poll with a short readiness timeout rather than blocking in accept:
    closing a listen socket does not wake an accept blocked in another
    domain, so a blocking loop would hang stop. *)
 let accept_loop ~stopping ~listen_fd ~conns ~handoff =
   let rec loop () =
     if Atomic.get stopping then ()
     else
-      match Unix.select [ listen_fd ] [] [] 0.2 with
+      match Poll.wait_readable ~timeout:0.2 listen_fd with
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
       | exception Unix.Unix_error _ -> ()
-      | [], _, _ -> loop ()
-      | _ :: _, _, _ -> (
-          match Unix.accept listen_fd with
+      | `Timeout -> loop ()
+      | `Readable -> (
+          match Unix.accept ~cloexec:true listen_fd with
           | exception Unix.Unix_error (Unix.EINTR, _, _) ->
-              (* Same retry as select above: a signal landing between
-                 the select and the accept must not drop the pending
-                 connection (or, under the catch-all below with
+              (* Same retry as the poll above: a signal landing between
+                 the readiness wait and the accept must not drop the
+                 pending connection (or, under the catch-all below with
                  [stopping] racing true, the whole accept loop). *)
               loop ()
           | exception Unix.Unix_error _ ->
@@ -156,7 +186,10 @@ let accept_loop ~stopping ~listen_fd ~conns ~handoff =
   loop ()
 
 (* One worker: pop connections until the handoff closes; a raising
-   [serve] costs that connection, never the worker. *)
+   [serve] costs that connection, never the worker — and never the fd:
+   [serve] normally owns the close, but if it raises before getting
+   there the worker closes the popped fd itself, so a handler bug
+   cannot leak descriptors one crashed connection at a time. *)
 let worker_loop ~handoff ~conns ~worker ~serve =
   let rec loop () =
     match handoff_pop handoff with
@@ -165,7 +198,8 @@ let worker_loop ~handoff ~conns ~worker ~serve =
         (try serve ~worker fd
          with e ->
            Slog.error ~event:"connection_raised"
-             [ ("worker", Slog.int worker); ("exn", Printexc.to_string e) ]);
+             [ ("worker", Slog.int worker); ("exn", Printexc.to_string e) ];
+           (try Unix.close fd with Unix.Unix_error _ -> ()));
         conn_remove conns fd;
         loop ()
   in

@@ -11,9 +11,13 @@ val resolve_host : string -> (Unix.inet_addr, string) result
     the host, never an exception. *)
 
 val listen_socket : address -> Unix.file_descr * string option
-(** Bind + listen; the [string option] is a Unix socket path to unlink
-    on shutdown.
-    @raise Failure on an unresolvable TCP host. *)
+(** Bind + listen (close-on-exec); the [string option] is a Unix socket
+    path to unlink on shutdown. An existing Unix socket path is
+    probe-connected first: a stale file (crashed server) is cleaned and
+    reused, but a path a live server is still accepting on is refused —
+    starting a second server must not silently steal the first one's
+    socket.
+    @raise Failure on an unresolvable TCP host or a live socket path. *)
 
 val port_of : Unix.file_descr -> int option
 (** The bound port, for [Tcp] listeners (the kernel's pick under
@@ -41,7 +45,7 @@ val handoff_create : int -> handoff
 
 val handoff_push : handoff -> Unix.file_descr -> bool
 (** Blocks while full; false when the queue is closed (caller closes
-    the fd). *)
+    the fd — nothing was queued and no worker is signalled). *)
 
 val handoff_pop : handoff -> Unix.file_descr option
 (** Blocks while empty; [None] once closed and drained. *)
@@ -63,3 +67,7 @@ val worker_loop :
   worker:int ->
   serve:(worker:int -> Unix.file_descr -> unit) ->
   unit
+(** Pop and serve connections until the handoff closes. [serve] owns
+    the fd and closes it on every normal path; if it raises instead,
+    the worker closes the fd itself — an exception never leaks the
+    descriptor. *)

@@ -1,0 +1,38 @@
+(* poll(2) readiness waits over the vendored stub in poll_stubs.c; see
+   poll.mli for why Unix.select cannot be used anywhere in lib/server. *)
+
+let pollin = 1
+let pollout = 2
+let pollerr = 4
+let pollhup = 8
+let pollnval = 16
+
+external rrs_poll :
+  Unix.file_descr array -> int array -> int array -> int -> int -> int
+  = "rrs_poll"
+
+external fd_limit : unit -> int = "rrs_fd_limit"
+external raise_fd_limit : int -> int = "rrs_set_fd_limit"
+
+let poll ~fds ~events ~revents ~n ~timeout_ms =
+  rrs_poll fds events revents n timeout_ms
+
+let timeout_ms_of = function
+  | None -> -1
+  | Some seconds when seconds < 0. -> -1
+  | Some seconds -> int_of_float (ceil (seconds *. 1000.))
+
+(* One-element scratch per call: the single-fd helpers are used on cold
+   paths (accept polling, client deadlines), not in the event loop. *)
+let wait1 fd interest timeout =
+  let fds = [| fd |] and events = [| interest |] and revents = [| 0 |] in
+  let ready =
+    rrs_poll fds events revents 1 (timeout_ms_of timeout)
+  in
+  if ready = 0 then None else Some revents.(0)
+
+let wait_readable ?timeout fd =
+  match wait1 fd pollin timeout with None -> `Timeout | Some _ -> `Readable
+
+let wait_writable ?timeout fd =
+  match wait1 fd pollout timeout with None -> `Timeout | Some _ -> `Writable

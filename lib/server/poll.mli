@@ -1,0 +1,62 @@
+(** poll(2)-based readiness waits — the serving layer's allowlisted
+    [Unix.select] replacement.
+
+    [Unix.select] fails (or corrupts memory, depending on libc) for any
+    fd >= FD_SETSIZE (1024 on Linux), which put a hard ceiling of ~1k
+    open sockets under the old connection core. Every wait in
+    [lib/server] goes through this module instead: a vendored C binding
+    of [poll(2)], which takes an explicit fd array and has no such
+    cliff. CI greps [lib/server] and fails on any new [Unix.select]
+    outside this module. *)
+
+(** {1 Event bits} *)
+
+val pollin : int
+val pollout : int
+val pollerr : int
+val pollhup : int
+val pollnval : int
+
+(** {1 The raw multi-fd wait}
+
+    [poll ~fds ~events ~revents ~n ~timeout_ms] waits on entries
+    [0..n-1] of the parallel arrays: [fds.(i)] with interest bits
+    [events.(i)] ({!pollin} lor {!pollout}); [revents.(i)] is
+    overwritten with the bits that fired ({!pollerr}/{!pollhup}/
+    {!pollnval} can fire unrequested). [timeout_ms < 0] waits forever.
+    Returns the number of ready entries.
+
+    The arrays are caller-owned and reused across iterations, so a 10k
+    connection event loop allocates nothing per wait.
+
+    @raise Unix.Unix_error like [Unix.select] would — [EINTR] included;
+    callers keep their retry loops. *)
+val poll :
+  fds:Unix.file_descr array ->
+  events:int array ->
+  revents:int array ->
+  n:int ->
+  timeout_ms:int ->
+  int
+
+(** {1 Single-fd waits — drop-in select replacements} *)
+
+(** [wait_readable ?timeout fd] blocks until [fd] is readable (data,
+    EOF, error or hangup — anything a read would not block on), or the
+    timeout (seconds; negative or absent = forever) elapses. *)
+val wait_readable :
+  ?timeout:float -> Unix.file_descr -> [ `Readable | `Timeout ]
+
+val wait_writable :
+  ?timeout:float -> Unix.file_descr -> [ `Writable | `Timeout ]
+
+(** {1 fd budget helpers (for the churn harnesses)} *)
+
+val fd_limit : unit -> int
+(** The soft [RLIMIT_NOFILE] (clamped to [2^30 - 1] for infinity). *)
+
+val raise_fd_limit : int -> int
+(** Best-effort raise of the soft fd limit toward the argument (never
+    past the hard limit, never lowered); returns the resulting soft
+    limit. Lets a 1k+ connection bench run under a default 1024 soft
+    limit without shelling out to [ulimit]. *)

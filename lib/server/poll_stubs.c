@@ -1,0 +1,128 @@
+/* Vendored poll(2) binding — the serving layer's select replacement.
+ *
+ * Unix.select marshals fd sets through FD_SETSIZE-bounded fd_set
+ * bitmaps, so on Linux any fd >= 1024 is undefined behaviour (glibc
+ * aborts or corrupts the stack).  poll(2) takes an explicit array and
+ * has no such ceiling.  OCaml 5.1's Unix module does not bind poll, so
+ * this small stub does; lib/server/poll.ml is the only caller.
+ *
+ * The rlimit helpers exist for the connection-churn harnesses: a 10k+
+ * connection bench must be able to discover and (best-effort) raise the
+ * process fd limit instead of dying mid-run on EMFILE.
+ */
+
+#include <poll.h>
+#include <errno.h>
+#include <stdlib.h>
+#include <string.h>
+#include <sys/resource.h>
+
+#include <caml/alloc.h>
+#include <caml/fail.h>
+#include <caml/memory.h>
+#include <caml/mlvalues.h>
+#include <caml/signals.h>
+#include <caml/threads.h>
+#include <caml/unixsupport.h>
+
+/* Event bits shared with poll.ml (kept independent of the platform's
+ * POLLIN/POLLOUT numeric values). */
+#define RRS_POLLIN 1
+#define RRS_POLLOUT 2
+#define RRS_POLLERR 4
+#define RRS_POLLHUP 8
+#define RRS_POLLNVAL 16
+
+/* rrs_poll fds events revents n timeout_ms
+ *
+ * [fds], [events] and [revents] are int arrays of length >= n; entries
+ * [0, n) are polled.  [events] uses the RRS_* bits above; [revents] is
+ * overwritten with the RRS_* bits that fired.  Returns the number of
+ * ready entries.  Raises Unix_error (EINTR included — callers retry,
+ * exactly as they did around Unix.select). */
+CAMLprim value rrs_poll(value v_fds, value v_events, value v_revents,
+                        value v_n, value v_timeout_ms)
+{
+  CAMLparam5(v_fds, v_events, v_revents, v_n, v_timeout_ms);
+  int n = Int_val(v_n);
+  int timeout = Int_val(v_timeout_ms);
+  struct pollfd *pfds;
+  int i, ready;
+
+  if (n < 0 || n > Wosize_val(v_fds) || n > Wosize_val(v_events)
+      || n > Wosize_val(v_revents))
+    caml_invalid_argument("Poll.poll: n out of bounds");
+
+  pfds = (struct pollfd *)malloc((n > 0 ? n : 1) * sizeof(struct pollfd));
+  if (pfds == NULL) caml_raise_out_of_memory();
+
+  for (i = 0; i < n; i++) {
+    int ev = Int_val(Field(v_events, i));
+    pfds[i].fd = Int_val(Field(v_fds, i));
+    pfds[i].events = 0;
+    if (ev & RRS_POLLIN) pfds[i].events |= POLLIN;
+    if (ev & RRS_POLLOUT) pfds[i].events |= POLLOUT;
+    pfds[i].revents = 0;
+  }
+
+  caml_release_runtime_system();
+  ready = poll(pfds, (nfds_t)n, timeout);
+  caml_acquire_runtime_system();
+
+  if (ready < 0) {
+    int err = errno;
+    free(pfds);
+    caml_unix_error(err, "poll", Nothing);
+  }
+
+  for (i = 0; i < n; i++) {
+    int re = 0;
+    if (pfds[i].revents & POLLIN) re |= RRS_POLLIN;
+    if (pfds[i].revents & POLLOUT) re |= RRS_POLLOUT;
+    if (pfds[i].revents & POLLERR) re |= RRS_POLLERR;
+    if (pfds[i].revents & POLLHUP) re |= RRS_POLLHUP;
+    if (pfds[i].revents & POLLNVAL) re |= RRS_POLLNVAL;
+    Store_field(v_revents, i, Val_int(re));
+  }
+  free(pfds);
+  CAMLreturn(Val_int(ready));
+}
+
+/* Clamp an rlim_t to a tagged OCaml int. */
+static long rrs_clamp_rlim(rlim_t v)
+{
+  if (v == RLIM_INFINITY || v > (rlim_t)0x3FFFFFFF) return 0x3FFFFFFF;
+  return (long)v;
+}
+
+/* Current soft RLIMIT_NOFILE (infinity reported as 2^30 - 1). */
+CAMLprim value rrs_fd_limit(value v_unit)
+{
+  struct rlimit rl;
+  (void)v_unit;
+  if (getrlimit(RLIMIT_NOFILE, &rl) != 0)
+    caml_uerror("getrlimit", Nothing);
+  return Val_long(rrs_clamp_rlim(rl.rlim_cur));
+}
+
+/* Best-effort raise of the soft RLIMIT_NOFILE toward [want] (never past
+ * the hard limit, never lowered).  Returns the resulting soft limit. */
+CAMLprim value rrs_set_fd_limit(value v_want)
+{
+  struct rlimit rl;
+  rlim_t want = (rlim_t)Long_val(v_want);
+  if (getrlimit(RLIMIT_NOFILE, &rl) != 0)
+    caml_uerror("getrlimit", Nothing);
+  if (want > rl.rlim_cur) {
+    rlim_t target = want;
+    if (rl.rlim_max != RLIM_INFINITY && target > rl.rlim_max)
+      target = rl.rlim_max;
+    if (target > rl.rlim_cur) {
+      struct rlimit raised = rl;
+      raised.rlim_cur = target;
+      if (setrlimit(RLIMIT_NOFILE, &raised) == 0) rl.rlim_cur = target;
+      /* EPERM and friends: keep the old soft limit, report honestly. */
+    }
+  }
+  return Val_long(rrs_clamp_rlim(rl.rlim_cur));
+}

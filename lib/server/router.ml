@@ -128,13 +128,20 @@ type t = {
   listen_fd : Unix.file_descr;
   cleanup_socket : string option;
   stopping : bool Atomic.t;
-  conns : Net.conn_table;
-  handoff : Net.handoff;
-  (* Assigned right after construction (the domain bodies need [t]);
+  (* Assigned right after construction (the loop handler needs [t]);
      always Some once [start] returns. *)
-  mutable accept_domain : unit Domain.t option;
+  mutable loop : conn_state Event_loop.t option;
+  mutable event_domain : unit Domain.t option;
   mutable worker_domains : unit Domain.t list;
   mutable prober_domain : unit Domain.t option;
+}
+
+(* Per-connection handler state: the reused span plus this connection's
+   cached backend legs (one per shard, connected lazily). *)
+and conn_state = {
+  rc_span : Metrics.span;
+  rc_backends : Client.t option array;
+  mutable rc_in_mark : int; (* bytes_in watermark at the last frame end *)
 }
 
 let now_ms () = Int64.to_int (Int64.div (Clock.now_ns ()) 1_000_000L)
@@ -297,93 +304,86 @@ let handle t backends frame =
       | None ->
           Wire.Error_frame { message = "reply frames are not requests" })
 
-let write_reply ~framing output reply =
-  let bytes = Wire.to_wire framing reply in
-  output_string output bytes;
-  flush output;
-  String.length bytes
-
 let us_since t0 = Int64.to_int (Int64.div (Int64.sub (Clock.now_ns ()) t0) 1000L)
 
-(* Front-connection loop: same span accounting as the server's, with
-   the handle phase being the proxied backend call. *)
-let serve_connection t ~worker stopping fd =
-  let metrics = t.metrics in
-  let input = Wire.reader (Unix.in_channel_of_descr fd) in
-  let output = Unix.out_channel_of_descr fd in
-  let framing = ref Wire.V1 in
-  let backends = Array.make (Array.length t.shards) None in
-  let span = Metrics.span () in
-  let wire_version () = match !framing with Wire.V1 -> 1 | Wire.V2 -> 2 in
-  let rec loop () =
-    if Atomic.get stopping then ()
-    else begin
-      Metrics.reset_span span;
-      span.Metrics.s_wire <- wire_version ();
-      let read_started = Clock.now_ns () in
-      let in_before = Wire.reader_bytes input in
-      match Wire.read ~framing:!framing input with
-      | Wire.Eof -> ()
-      | Wire.Malformed message ->
-          let handled = Clock.now_ns () in
-          span.Metrics.s_read_us <- us_since read_started;
-          span.Metrics.s_bytes_in <- Wire.reader_bytes input - in_before;
-          let wrote =
-            write_reply ~framing:!framing output (Wire.Error_frame { message })
-          in
-          span.Metrics.s_bytes_out <- wrote;
-          span.Metrics.s_write_us <- us_since handled;
-          Metrics.record_malformed metrics ~worker span;
-          loop ()
-      | Wire.Frame frame ->
-          let decoded = Clock.now_ns () in
-          span.Metrics.s_read_us <- us_since read_started;
-          span.Metrics.s_bytes_in <- Wire.reader_bytes input - in_before;
-          span.Metrics.s_kind <- Metrics.kind_index frame;
-          Option.iter
-            (fun session -> span.Metrics.s_session <- session)
-            (session_of_frame frame);
-          let reply, negotiated =
-            match frame with
-            | Wire.Hello { client_version } -> hello_reply t client_version
-            | Wire.Metrics { slow } -> (handle_metrics t ~slow, None)
-            | _ ->
-                let reply =
-                  (* A routing bug must cost this request, never the
-                     router. *)
-                  try handle t backends frame
-                  with e ->
-                    Slog.error ~event:"router_raised"
-                      [ ("exn", Printexc.to_string e) ];
-                    Wire.Error_frame
-                      { message = "internal error: " ^ Printexc.to_string e }
-                in
-                (reply, None)
-          in
-          let handled = Clock.now_ns () in
-          span.Metrics.s_handle_us <-
-            Int64.to_int (Int64.div (Int64.sub handled decoded) 1000L);
-          (match reply with
-          | Wire.Error_frame _ -> span.Metrics.s_error <- true
-          | _ -> ());
-          let wrote = write_reply ~framing:!framing output reply in
-          span.Metrics.s_bytes_out <- wrote;
-          span.Metrics.s_write_us <- us_since handled;
-          Option.iter (fun f -> framing := f) negotiated;
-          Metrics.record metrics ~worker span;
-          loop ()
-    end
-  in
-  (try loop () with Sys_error _ | End_of_file -> ());
+let conn_state t () =
+  {
+    rc_span = Metrics.span ();
+    rc_backends = Array.make (Array.length t.shards) None;
+    rc_in_mark = 0;
+  }
+
+let conn_close_backends st =
   Array.iteri
     (fun i c ->
       Option.iter Client.close c;
-      backends.(i) <- None)
-    backends;
-  try
-    flush output;
-    Unix.close fd
-  with Sys_error _ | Unix.Unix_error _ -> ()
+      st.rc_backends.(i) <- None)
+    st.rc_backends
+
+(* One complete inbound result on a worker domain: same span accounting
+   as the server's, with the handle phase being the proxied backend
+   call. s_read_us measures dispatch-queue wait (there is no per-frame
+   blocking read under the readiness loop). *)
+let handle_event t ~worker conn result =
+  let metrics = t.metrics in
+  let st = Event_loop.data conn in
+  let span = st.rc_span in
+  let framing = Event_loop.framing conn in
+  Metrics.reset_span span;
+  span.Metrics.s_wire <- (match framing with Wire.V1 -> 1 | Wire.V2 -> 2);
+  let started = Clock.now_ns () in
+  span.Metrics.s_read_us <-
+    Int64.to_int
+      (Int64.div (Int64.sub started (Event_loop.queued_ns conn)) 1000L);
+  let bytes_in_now = Event_loop.bytes_in conn in
+  span.Metrics.s_bytes_in <- bytes_in_now - st.rc_in_mark;
+  st.rc_in_mark <- bytes_in_now;
+  let send reply =
+    let bytes = Wire.to_wire framing reply in
+    Event_loop.send conn bytes;
+    String.length bytes
+  in
+  match result with
+  | Wire.Eof -> ()
+  | Wire.Malformed message ->
+      let handled = Clock.now_ns () in
+      let wrote = send (Wire.Error_frame { message }) in
+      span.Metrics.s_bytes_out <- wrote;
+      span.Metrics.s_write_us <- us_since handled;
+      Metrics.record_malformed metrics ~worker span
+  | Wire.Frame frame ->
+      span.Metrics.s_kind <- Metrics.kind_index frame;
+      Option.iter
+        (fun session -> span.Metrics.s_session <- session)
+        (session_of_frame frame);
+      let reply, negotiated =
+        match frame with
+        | Wire.Hello { client_version } -> hello_reply t client_version
+        | Wire.Metrics { slow } -> (handle_metrics t ~slow, None)
+        | _ ->
+            let reply =
+              (* A routing bug must cost this request, never the
+                 router. *)
+              try handle t st.rc_backends frame
+              with e ->
+                Slog.error ~event:"router_raised"
+                  [ ("exn", Printexc.to_string e) ];
+                Wire.Error_frame
+                  { message = "internal error: " ^ Printexc.to_string e }
+            in
+            (reply, None)
+      in
+      let handled = Clock.now_ns () in
+      span.Metrics.s_handle_us <-
+        Int64.to_int (Int64.div (Int64.sub handled started) 1000L);
+      (match reply with
+      | Wire.Error_frame _ -> span.Metrics.s_error <- true
+      | _ -> ());
+      let wrote = send reply in
+      span.Metrics.s_bytes_out <- wrote;
+      span.Metrics.s_write_us <- us_since handled;
+      Option.iter (fun f -> Event_loop.set_framing conn f) negotiated;
+      Metrics.record metrics ~worker span
 
 (* Re-admission probe: bounded connect + hello. Success re-admits the
    shard (the supervisor restarted it and restore-at-boot brought its
@@ -456,8 +456,6 @@ let start (config : config) =
   let workers = if config.domains > 0 then config.domains else 4 in
   let listen_fd, cleanup_socket = Net.listen_socket config.address in
   let stopping = Atomic.make false in
-  let handoff = Net.handoff_create (4 * workers) in
-  let conns = Net.conn_table () in
   let metrics = Metrics.create ~workers () in
   let shed_down = Probe.counter probes "routed_shard_down_total" in
   let t =
@@ -471,22 +469,23 @@ let start (config : config) =
       listen_fd;
       cleanup_socket;
       stopping;
-      conns;
-      handoff;
-      accept_domain = None;
+      loop = None;
+      event_domain = None;
       worker_domains = [];
       prober_domain = None;
     }
   in
-  t.accept_domain <-
-    Some
-      (Domain.spawn (fun () ->
-           Net.accept_loop ~stopping ~listen_fd ~conns ~handoff));
+  let loop =
+    Event_loop.create ~listen_fd ~stopping ~on_open:(conn_state t)
+      ~on_close:conn_close_backends
+      ~handler:(fun ~worker conn result -> handle_event t ~worker conn result)
+      ()
+  in
+  t.loop <- Some loop;
+  t.event_domain <- Some (Domain.spawn (fun () -> Event_loop.run loop));
   t.worker_domains <-
     List.init workers (fun worker ->
-        Domain.spawn (fun () ->
-            Net.worker_loop ~handoff ~conns ~worker
-              ~serve:(fun ~worker fd -> serve_connection t ~worker stopping fd)));
+        Domain.spawn (fun () -> Event_loop.dispatch_loop loop ~worker));
   t.prober_domain <- Some (Domain.spawn (fun () -> prober_loop t));
   Slog.info ~event:"routing"
     [
@@ -500,11 +499,12 @@ let bound_port t = Net.port_of t.listen_fd
 
 let stop t =
   Atomic.set t.stopping true;
-  (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
-  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
-  Net.conn_shutdown_all t.conns;
-  Net.handoff_close t.handoff;
-  Option.iter Domain.join t.accept_domain;
+  (* The event loop owns the listen fd and every front-connection fd:
+     waking it closes the listener, finishes in-flight requests,
+     flushes replies and closes all connections (backend legs included,
+     via on_close) before [run] returns. *)
+  Option.iter Event_loop.wake_loop t.loop;
+  Option.iter Domain.join t.event_domain;
   List.iter Domain.join t.worker_domains;
   Option.iter Domain.join t.prober_domain;
   Option.iter

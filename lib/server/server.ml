@@ -457,9 +457,31 @@ let handle_frame m ~on_lock ~wire ~bytes_in ~bytes_out frame =
    deep history, say — would desynchronize or kill the connection.
    Answer a clean [error] naming the limit instead; the connection (and
    the session) survives, and the snapshot is still reachable through
-   the file path. Returns the bytes written, for the connection's
-   server-side accounting. *)
-let write_reply manager ~framing output reply =
+   the file path. *)
+
+let us_since t0 = Int64.to_int (Int64.div (Int64.sub (Clock.now_ns ()) t0) 1000L)
+
+(* Per-connection handler state for the event loop: one reused span and
+   lock-wait closure (the tracing hot path allocates nothing per
+   request), plus the bytes-in watermark for per-frame accounting. *)
+type conn_state = {
+  cs_span : Metrics.span;
+  cs_on_lock : int -> unit;
+  mutable cs_in_mark : int; (* Event_loop.bytes_in at the last frame end *)
+}
+
+let conn_state () =
+  let span = Metrics.span () in
+  {
+    cs_span = span;
+    cs_on_lock = (fun us -> span.Metrics.s_lock_us <- span.Metrics.s_lock_us + us);
+    cs_in_mark = 0;
+  }
+
+(* Frame and queue the reply (capped per the policy above); returns the
+   bytes queued. The event loop writes straight to the socket when the
+   connection's outbound buffer is empty. *)
+let send_reply manager ~framing conn reply =
   let bytes = Wire.to_wire framing reply in
   let data =
     if String.length bytes <= manager.m_max_reply then bytes
@@ -470,103 +492,82 @@ let write_reply manager ~framing output reply =
             request the snapshot to a file (snapshot with a path) instead"
            (String.length bytes) manager.m_max_reply)
   in
-  output_string output data;
-  flush output;
+  Event_loop.send conn data;
   String.length data
 
-let us_since t0 = Int64.to_int (Int64.div (Int64.sub (Clock.now_ns ()) t0) 1000L)
-
-let serve_connection manager ~worker stopping fd =
+(* One complete inbound result (frame or malformed report — the loop
+   never dispatches Eof), handled on a worker domain. Same span
+   accounting as the old blocking loop, except s_read_us now measures
+   dispatch-queue wait (there is no per-frame blocking read to time). *)
+let handle_event manager ~worker conn result =
   let metrics = manager.m_metrics in
-  let input = Wire.reader (Unix.in_channel_of_descr fd) in
-  let output = Unix.out_channel_of_descr fd in
-  let framing = ref Wire.V1 in
-  let written = ref 0 in
-  (* One span and one lock-wait closure per connection, reused for every
-     frame: the tracing hot path allocates nothing per request. *)
-  let span = Metrics.span () in
-  let on_lock us = span.Metrics.s_lock_us <- span.Metrics.s_lock_us + us in
-  let wire_version () = match !framing with Wire.V1 -> 1 | Wire.V2 -> 2 in
-  let rec loop () =
-    if Atomic.get stopping then ()
-    else begin
-      Metrics.reset_span span;
-      span.Metrics.s_wire <- wire_version ();
-      let read_started = Clock.now_ns () in
-      let in_before = Wire.reader_bytes input in
-      match Wire.read ~framing:!framing input with
-      | Wire.Eof -> ()
-      | Wire.Malformed message ->
-          let handled = Clock.now_ns () in
-          span.Metrics.s_read_us <- us_since read_started;
-          span.Metrics.s_bytes_in <- Wire.reader_bytes input - in_before;
-          let wrote =
-            write_reply manager ~framing:!framing output
-              (Wire.Error_frame { message })
-          in
-          written := !written + wrote;
-          span.Metrics.s_bytes_out <- wrote;
-          span.Metrics.s_write_us <- us_since handled;
-          Metrics.record_malformed metrics ~worker span;
-          loop ()
-      | Wire.Frame frame ->
-          let decoded = Clock.now_ns () in
-          span.Metrics.s_read_us <- us_since read_started;
-          span.Metrics.s_bytes_in <- Wire.reader_bytes input - in_before;
-          span.Metrics.s_kind <- Metrics.kind_index frame;
-          (match frame with
-          | Wire.Open { session; _ } | Wire.Feed { session; _ }
-          | Wire.Step { session; _ } | Wire.Stats { session; _ }
-          | Wire.Snapshot { session; _ } | Wire.Close { session; _ } ->
-              span.Metrics.s_session <- session
-          | _ -> ());
-          let reply, negotiated =
-            match frame with
-            (* The hello reply goes out in the framing the hello arrived
-               in; only then does the connection switch. *)
-            | Wire.Hello { client_version } ->
-                hello_reply manager client_version
-            | _ ->
-                let reply =
-                  (* A bug in frame handling must cost this request, not
-                     the server: fail the frame, keep the connection. *)
-                  try
-                    handle_frame manager ~on_lock ~wire:(wire_version ())
-                      ~bytes_in:(Wire.reader_bytes input)
-                      ~bytes_out:!written frame
-                  with e ->
-                    Slog.error ~event:"handler_raised"
-                      [ ("exn", Printexc.to_string e) ];
-                    Wire.Error_frame
-                      { message = "internal error: " ^ Printexc.to_string e }
-                in
-                (reply, None)
-          in
-          let handled = Clock.now_ns () in
-          span.Metrics.s_handle_us <-
-            Int64.to_int (Int64.div (Int64.sub handled decoded) 1000L);
-          (match reply with
-          | Wire.Error_frame _ | Wire.Admission_reject _ ->
-              span.Metrics.s_error <- true
-          | Wire.Stepped _ ->
-              (match frame with
-              | Wire.Step { rounds; _ } ->
-                  span.Metrics.s_rounds <- max rounds 1
-              | _ -> ())
-          | Wire.Shed { shed; _ } -> span.Metrics.s_shed <- shed
-          | _ -> ());
-          let wrote = write_reply manager ~framing:!framing output reply in
-          written := !written + wrote;
-          span.Metrics.s_bytes_out <- wrote;
-          span.Metrics.s_write_us <- us_since handled;
-          Option.iter (fun f -> framing := f) negotiated;
-          Metrics.record metrics ~worker span;
-          loop ()
-    end
-  in
-  (try loop () with Sys_error _ | End_of_file -> ());
-  (* The two channels share [fd]; closing the output channel closes it. *)
-  try flush output; Unix.close fd with Sys_error _ | Unix.Unix_error _ -> ()
+  let st = Event_loop.data conn in
+  let span = st.cs_span in
+  let framing = Event_loop.framing conn in
+  Metrics.reset_span span;
+  span.Metrics.s_wire <- (match framing with Wire.V1 -> 1 | Wire.V2 -> 2);
+  let started = Clock.now_ns () in
+  span.Metrics.s_read_us <-
+    Int64.to_int
+      (Int64.div (Int64.sub started (Event_loop.queued_ns conn)) 1000L);
+  let bytes_in_now = Event_loop.bytes_in conn in
+  span.Metrics.s_bytes_in <- bytes_in_now - st.cs_in_mark;
+  st.cs_in_mark <- bytes_in_now;
+  match result with
+  | Wire.Eof -> ()
+  | Wire.Malformed message ->
+      let handled = Clock.now_ns () in
+      let wrote = send_reply manager ~framing conn (Wire.Error_frame { message }) in
+      span.Metrics.s_bytes_out <- wrote;
+      span.Metrics.s_write_us <- us_since handled;
+      Metrics.record_malformed metrics ~worker span
+  | Wire.Frame frame ->
+      span.Metrics.s_kind <- Metrics.kind_index frame;
+      (match frame with
+      | Wire.Open { session; _ } | Wire.Feed { session; _ }
+      | Wire.Step { session; _ } | Wire.Stats { session; _ }
+      | Wire.Snapshot { session; _ } | Wire.Close { session; _ } ->
+          span.Metrics.s_session <- session
+      | _ -> ());
+      let reply, negotiated =
+        match frame with
+        (* The hello reply goes out in the framing the hello arrived
+           in; only then does the connection switch. *)
+        | Wire.Hello { client_version } -> hello_reply manager client_version
+        | _ ->
+            let reply =
+              (* A bug in frame handling must cost this request, not
+                 the server: fail the frame, keep the connection. *)
+              try
+                handle_frame manager ~on_lock:st.cs_on_lock
+                  ~wire:span.Metrics.s_wire ~bytes_in:bytes_in_now
+                  ~bytes_out:(Event_loop.bytes_out conn)
+                  frame
+              with e ->
+                Slog.error ~event:"handler_raised"
+                  [ ("exn", Printexc.to_string e) ];
+                Wire.Error_frame
+                  { message = "internal error: " ^ Printexc.to_string e }
+            in
+            (reply, None)
+      in
+      let handled = Clock.now_ns () in
+      span.Metrics.s_handle_us <-
+        Int64.to_int (Int64.div (Int64.sub handled started) 1000L);
+      (match reply with
+      | Wire.Error_frame _ | Wire.Admission_reject _ ->
+          span.Metrics.s_error <- true
+      | Wire.Stepped _ -> (
+          match frame with
+          | Wire.Step { rounds; _ } -> span.Metrics.s_rounds <- max rounds 1
+          | _ -> ())
+      | Wire.Shed { shed; _ } -> span.Metrics.s_shed <- shed
+      | _ -> ());
+      let wrote = send_reply manager ~framing conn reply in
+      span.Metrics.s_bytes_out <- wrote;
+      span.Metrics.s_write_us <- us_since handled;
+      Option.iter (fun f -> Event_loop.set_framing conn f) negotiated;
+      Metrics.record metrics ~worker span
 
 (* ---- server handle ---- *)
 
@@ -574,9 +575,8 @@ type t = {
   manager : manager;
   listen_fd : Unix.file_descr;
   stopping : bool Atomic.t;
-  conns : Net.conn_table;
-  handoff : Net.handoff;
-  accept_domain : unit Domain.t;
+  loop : conn_state Event_loop.t;
+  event_domain : unit Domain.t;
   worker_domains : unit Domain.t list;
   cleanup_socket : string option; (* unix socket path to unlink on stop *)
   metrics_fd : Unix.file_descr option;
@@ -595,8 +595,8 @@ let address_label = Net.address_label
    A single domain serving one tiny HTTP/1.1 exchange per connection:
    read and discard the request head, write the full exposition, close.
    Scrapes are rare (seconds apart) and the registry fold is cheap, so
-   one blocking responder is plenty; the select poll mirrors the accept
-   loop so [stop] can join it. *)
+   one blocking responder is plenty; the short-timeout readiness wait
+   mirrors the accept loop so [stop] can join it. *)
 let serve_metrics_http manager stopping fd =
   let answer client =
     let input = Unix.in_channel_of_descr client in
@@ -617,12 +617,12 @@ let serve_metrics_http manager stopping fd =
   let rec loop () =
     if Atomic.get stopping then ()
     else
-      match Unix.select [ fd ] [] [] 0.2 with
+      match Poll.wait_readable ~timeout:0.2 fd with
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
       | exception Unix.Unix_error _ -> ()
-      | [], _, _ -> loop ()
-      | _ :: _, _, _ -> (
-          match Unix.accept fd with
+      | `Timeout -> loop ()
+      | `Readable -> (
+          match Unix.accept ~cloexec:true fd with
           | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
           | exception Unix.Unix_error _ ->
               if Atomic.get stopping then () else loop ()
@@ -809,17 +809,16 @@ let start ?(restore = true) config =
         (Some fd, cleanup)
   in
   let stopping = Atomic.make false in
-  let handoff = Net.handoff_create (4 * workers) in
-  let conns = Net.conn_table () in
-  let accept_domain =
-    Domain.spawn (fun () -> Net.accept_loop ~stopping ~listen_fd ~conns ~handoff)
+  let loop =
+    Event_loop.create ~listen_fd ~stopping ~on_open:conn_state
+      ~handler:(fun ~worker conn result ->
+        handle_event manager ~worker conn result)
+      ()
   in
+  let event_domain = Domain.spawn (fun () -> Event_loop.run loop) in
   let worker_domains =
     List.init workers (fun worker ->
-        Domain.spawn (fun () ->
-            Net.worker_loop ~handoff ~conns ~worker
-              ~serve:(fun ~worker fd ->
-                serve_connection manager ~worker stopping fd)))
+        Domain.spawn (fun () -> Event_loop.dispatch_loop loop ~worker))
   in
   let metrics_domain =
     Option.map
@@ -838,9 +837,8 @@ let start ?(restore = true) config =
     manager;
     listen_fd;
     stopping;
-    conns;
-    handoff;
-    accept_domain;
+    loop;
+    event_domain;
     worker_domains;
     cleanup_socket;
     metrics_fd;
@@ -878,16 +876,16 @@ let drain_sessions t =
 
 let stop ?(drain = true) t =
   Atomic.set t.stopping true;
-  (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
-  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  (* The event loop owns the listen fd and every connection fd: waking
+     it closes the listener, finishes in-flight requests, flushes
+     replies and closes all connections before [run] returns. *)
+  Event_loop.wake_loop t.loop;
   Option.iter
     (fun fd ->
       (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
       try Unix.close fd with Unix.Unix_error _ -> ())
     t.metrics_fd;
-  Net.conn_shutdown_all t.conns;
-  Net.handoff_close t.handoff;
-  Domain.join t.accept_domain;
+  Domain.join t.event_domain;
   List.iter Domain.join t.worker_domains;
   Option.iter Domain.join t.metrics_domain;
   let drained = if drain then drain_sessions t else 0 in

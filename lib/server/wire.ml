@@ -885,32 +885,33 @@ let read_line_bounded r =
     Some (if !overflow then line ^ "..." else line)
   end
 
+(* Parse one complete /1 line (newline already stripped). Shared by the
+   pull reader and the incremental [Stream] so the two stay
+   byte-for-byte equivalent. *)
+let parse_v1_line line =
+  if String.length line > max_frame then
+    Malformed (Printf.sprintf "frame longer than %d bytes" max_frame)
+  else
+    match String.index_opt line ' ' with
+    | None -> Malformed "missing length prefix"
+    | Some space -> (
+        let prefix = String.sub line 0 space in
+        let body =
+          String.sub line (space + 1) (String.length line - space - 1)
+        in
+        match int_of_string_opt prefix with
+        | None -> Malformed (Printf.sprintf "bad length prefix %S" prefix)
+        | Some length when length <> String.length body ->
+            Malformed
+              (Printf.sprintf "length prefix %d does not match body length %d"
+                 length (String.length body))
+        | Some _ -> (
+            match decode body with
+            | Ok frame -> Frame frame
+            | Error message -> Malformed message))
+
 let read_v1 r =
-  match read_line_bounded r with
-  | None -> Eof
-  | Some line -> (
-      if String.length line > max_frame then
-        Malformed (Printf.sprintf "frame longer than %d bytes" max_frame)
-      else
-        match String.index_opt line ' ' with
-        | None -> Malformed "missing length prefix"
-        | Some space -> (
-            let prefix = String.sub line 0 space in
-            let body =
-              String.sub line (space + 1) (String.length line - space - 1)
-            in
-            match int_of_string_opt prefix with
-            | None ->
-                Malformed (Printf.sprintf "bad length prefix %S" prefix)
-            | Some length when length <> String.length body ->
-                Malformed
-                  (Printf.sprintf
-                     "length prefix %d does not match body length %d" length
-                     (String.length body))
-            | Some _ -> (
-                match decode body with
-                | Ok frame -> Frame frame
-                | Error message -> Malformed message)))
+  match read_line_bounded r with None -> Eof | Some line -> parse_v1_line line
 
 (* Consume garbage up to (and including) a newline, or up to (but not
    including) the next magic pair, whichever comes first; count what was
@@ -972,3 +973,265 @@ let read_v2 r =
 
 let read ?(framing = V1) r =
   match framing with V1 -> read_v1 r | V2 -> read_v2 r
+
+(* ---- incremental frame stream ----
+
+   The pull [reader] blocks inside its pull function until a whole frame
+   arrives, which is fine for one-thread-per-connection but useless for
+   a readiness loop: there a read(2) that would block simply is not
+   made, so the parser must accept bytes as they arrive and say "need
+   more" in between. [Stream] is that push-style parser. Its observable
+   behaviour — frames, malformed reports (same messages), resync points,
+   EOF handling — matches [read] over the same byte sequence exactly;
+   test_server's qcheck equivalence suite holds the two together. *)
+
+module Stream = struct
+  type state =
+    | Idle  (* between frames *)
+    | V1_discard
+      (* over-long /1 line: drop bytes until the newline, then report
+         [Malformed "frame longer than ..."] like read_line_bounded's
+         truncate-and-flag path *)
+    | V2_garbage of int
+      (* skipping to newline / magic pair; the count mirrors
+         [skip_garbage]'s *)
+    | V2_payload of int * int  (* tag, remaining payload length *)
+
+  type t = {
+    mutable framing : framing;
+    mutable buf : Bytes.t;
+    mutable start : int;  (* first unconsumed byte *)
+    mutable stop : int;  (* end of valid bytes *)
+    mutable eof : bool;
+    mutable scanned : int;  (* /1: prefix already scanned for '\n' *)
+    mutable state : state;
+    mutable fed : int;  (* total bytes ever fed *)
+  }
+
+  let create framing =
+    {
+      framing;
+      buf = Bytes.create 4096;
+      start = 0;
+      stop = 0;
+      eof = false;
+      scanned = 0;
+      state = Idle;
+      fed = 0;
+    }
+
+  let framing t = t.framing
+
+  (* Framing switches happen between frames (the hello exchange), so any
+     buffered bytes belong to the next frame and are reinterpreted under
+     the new framing. *)
+  let set_framing t framing =
+    t.framing <- framing;
+    t.scanned <- 0;
+    t.state <- Idle
+
+  let buffered t = t.stop - t.start
+  let fed t = t.fed
+
+  let feed t bytes off len =
+    if len < 0 || off < 0 || off + len > Bytes.length bytes then
+      invalid_arg "Wire.Stream.feed";
+    if t.eof then invalid_arg "Wire.Stream.feed: after eof";
+    if t.stop + len > Bytes.length t.buf then begin
+      let live = t.stop - t.start in
+      let need = live + len in
+      if need <= Bytes.length t.buf && t.start > 0 then begin
+        Bytes.blit t.buf t.start t.buf 0 live;
+        t.start <- 0;
+        t.stop <- live
+      end
+      else begin
+        let capacity = ref (max 4096 (2 * Bytes.length t.buf)) in
+        while !capacity < need do
+          capacity := !capacity * 2
+        done;
+        let grown = Bytes.create !capacity in
+        Bytes.blit t.buf t.start grown 0 live;
+        t.buf <- grown;
+        t.start <- 0;
+        t.stop <- live
+      end
+    end;
+    Bytes.blit bytes off t.buf t.stop len;
+    t.stop <- t.stop + len;
+    t.fed <- t.fed + len
+
+  let feed_string t s = feed t (Bytes.unsafe_of_string s) 0 (String.length s)
+  let feed_eof t = t.eof <- true
+
+  (* Drop [n] consumed bytes off the front. *)
+  let consume t n = t.start <- t.start + n
+
+  let take t n =
+    let s = Bytes.sub_string t.buf t.start n in
+    consume t n;
+    s
+
+  let rec next_v1 t =
+    match t.state with
+    | V1_discard -> (
+        match find_newline t.buf (t.start + t.scanned) t.stop with
+        | -1 ->
+            (* everything buffered is part of the over-long line *)
+            consume t (buffered t);
+            t.scanned <- 0;
+            if t.eof then begin
+              (* read_line_bounded ends the truncated line at EOF *)
+              t.state <- Idle;
+              Some
+                (Malformed
+                   (Printf.sprintf "frame longer than %d bytes" max_frame))
+            end
+            else None
+        | nl ->
+            consume t (nl + 1 - t.start);
+            t.scanned <- 0;
+            t.state <- Idle;
+            Some
+              (Malformed (Printf.sprintf "frame longer than %d bytes" max_frame))
+        )
+    | _ -> (
+        match find_newline t.buf (t.start + t.scanned) t.stop with
+        | -1 ->
+            t.scanned <- buffered t;
+            if t.scanned > max_frame then begin
+              (* no newline within a frame-sized prefix: the line cannot
+                 parse whatever follows, so stop buffering it *)
+              t.state <- V1_discard;
+              consume t t.scanned;
+              t.scanned <- 0;
+              next_v1 t
+            end
+            else if t.eof then
+              if t.scanned = 0 then Some Eof
+              else begin
+                (* trailing newline-less line: read_line_bounded parses
+                   it as a final line at EOF *)
+                let line = take t t.scanned in
+                t.scanned <- 0;
+                Some (parse_v1_line line)
+              end
+            else None
+        | nl ->
+            let line = take t (nl - t.start) in
+            consume t 1;
+            t.scanned <- 0;
+            Some (parse_v1_line line))
+
+  let rec next_v2 t =
+    match t.state with
+    | V1_discard -> assert false
+    | V2_payload (tag, length) ->
+        if buffered t >= length then begin
+          let payload = take t length in
+          t.state <- Idle;
+          Some
+            (match decode_payload tag payload with
+            | Ok frame -> Frame frame
+            | Error message -> Malformed message)
+        end
+        else if t.eof then Some Eof (* truncated payload, like read_exact *)
+        else None
+    | V2_garbage count ->
+        (* mirror [skip_garbage]: stop after a newline (consumed) or
+           before a magic pair (not consumed); at EOF everything left is
+           garbage *)
+        let rec scan count =
+          if t.start >= t.stop then
+            if t.eof then begin
+              t.state <- Idle;
+              Some
+                (Malformed
+                   (Printf.sprintf "not a frame: skipped %d garbage byte(s)"
+                      count))
+            end
+            else begin
+              t.state <- V2_garbage count;
+              None
+            end
+          else
+            let c = Bytes.get t.buf t.start in
+            if c = '\n' then begin
+              consume t 1;
+              t.state <- Idle;
+              Some
+                (Malformed
+                   (Printf.sprintf "not a frame: skipped %d garbage byte(s)"
+                      (count + 1)))
+            end
+            else if c = magic0 then
+              if t.start + 1 < t.stop then
+                if Bytes.get t.buf (t.start + 1) = magic1 then begin
+                  t.state <- Idle;
+                  Some
+                    (Malformed
+                       (Printf.sprintf "not a frame: skipped %d garbage byte(s)"
+                          count))
+                end
+                else begin
+                  consume t 1;
+                  scan (count + 1)
+                end
+              else if t.eof then begin
+                (* dangling magic0 at EOF is garbage, like [ensure]
+                   failing inside skip_garbage *)
+                consume t 1;
+                scan (count + 1)
+              end
+              else begin
+                t.state <- V2_garbage count;
+                None
+              end
+            else begin
+              consume t 1;
+              scan (count + 1)
+            end
+        in
+        scan count
+    | Idle ->
+        let avail = buffered t in
+        if avail < 2 then
+          if t.eof then begin
+            (* 0 or 1 dangling bytes before EOF: nothing decodable *)
+            consume t avail;
+            Some Eof
+          end
+          else None
+        else if
+          not
+            (Bytes.get t.buf t.start = magic0
+            && Bytes.get t.buf (t.start + 1) = magic1)
+        then begin
+          t.state <- V2_garbage 0;
+          next_v2 t
+        end
+        else if avail < 7 then
+          if t.eof then begin
+            consume t avail;
+            Some Eof
+          end
+          else None
+        else begin
+          let b i = Char.code (Bytes.get t.buf (t.start + i)) in
+          let length =
+            (b 2 lsl 24) lor (b 3 lsl 16) lor (b 4 lsl 8) lor b 5
+          in
+          let tag = b 6 in
+          consume t 7;
+          if length > max_frame then
+            Some
+              (Malformed
+                 (Printf.sprintf "frame longer than %d bytes" max_frame))
+          else begin
+            t.state <- V2_payload (tag, length);
+            next_v2 t
+          end
+        end
+
+  let next t = match t.framing with V1 -> next_v1 t | V2 -> next_v2 t
+end

@@ -197,7 +197,7 @@ val reader : in_channel -> reader
 val reader_fn : (bytes -> int -> int -> int) -> reader
 (** A reader over an arbitrary pull function [pull buf off len -> k]
     with [read(2)] semantics (0 means EOF). Lets callers interpose
-    deadlines: a pull that [select]s with a remaining-time budget before
+    deadlines: a pull that polls with a remaining-time budget before
     reading gives every {!read} a hard time bound. *)
 
 val reader_bytes : reader -> int
@@ -206,3 +206,47 @@ val reader_bytes : reader -> int
 
 val read : ?framing:framing -> reader -> read_result
 (** Read one frame under the given framing. Default is [V1]. *)
+
+(** Incremental (push-style) frame extraction for the readiness event
+    loop: the loop feeds whatever bytes a non-blocking [read(2)]
+    returned and asks for the next complete frame, getting [None] when
+    more bytes are needed instead of blocking. Over any byte sequence
+    and split points, the emitted results — frames, malformed messages,
+    resync positions, EOF handling — are identical to repeated {!read}
+    over the same bytes (pinned by a qcheck equivalence suite). *)
+module Stream : sig
+  type t
+
+  val create : framing -> t
+
+  val framing : t -> framing
+
+  val set_framing : t -> framing -> unit
+  (** Reinterpret from the next frame boundary on — the hello
+      negotiation switch. Any buffered bytes belong to the next frame
+      and are parsed under the new framing. *)
+
+  val feed : t -> Bytes.t -> int -> int -> unit
+  (** Append [len] bytes at [off]. Raises [Invalid_argument] after
+      {!feed_eof}. *)
+
+  val feed_string : t -> string -> unit
+
+  val feed_eof : t -> unit
+  (** The peer closed its write side; pending partial input is resolved
+      exactly as the pull reader resolves EOF (a newline-less trailing
+      /1 line still parses, a truncated /2 header or payload is [Eof]). *)
+
+  val next : t -> read_result option
+  (** The next complete result, or [None] when more bytes are needed.
+      Call in a loop after every {!feed}: one feed can complete several
+      frames. After [Some Eof], every later call returns [Some Eof]. *)
+
+  val buffered : t -> int
+  (** Bytes held but not yet consumed by {!next} — the event loop's
+      per-connection backpressure signal. *)
+
+  val fed : t -> int
+  (** Total bytes ever fed (mirrors {!reader_bytes} for the stats
+      [bytes_in] accounting). *)
+end

@@ -1,0 +1,97 @@
+(* Smoke tests for the vendored poll(2) binding: these pin the stub's
+   ABI (parallel int arrays, RRS_* bits) before the event loop builds on
+   it, and the rlimit helpers the churn harness relies on. *)
+
+let test_wait_readable_timeout () =
+  let r, w = Unix.pipe () in
+  (match Rrs_server.Poll.wait_readable ~timeout:0.05 r with
+  | `Timeout -> ()
+  | `Readable -> Alcotest.fail "empty pipe reported readable");
+  assert (Unix.write_substring w "x" 0 1 = 1);
+  (match Rrs_server.Poll.wait_readable ~timeout:5.0 r with
+  | `Readable -> ()
+  | `Timeout -> Alcotest.fail "pipe with a byte reported timeout");
+  Unix.close r;
+  Unix.close w
+
+let test_wait_writable () =
+  let r, w = Unix.pipe () in
+  (match Rrs_server.Poll.wait_writable ~timeout:5.0 w with
+  | `Writable -> ()
+  | `Timeout -> Alcotest.fail "empty pipe reported unwritable");
+  Unix.close r;
+  Unix.close w
+
+let test_multi_fd_revents () =
+  let open Rrs_server.Poll in
+  let r1, w1 = Unix.pipe () in
+  let r2, w2 = Unix.pipe () in
+  assert (Unix.write_substring w2 "y" 0 1 = 1);
+  let fds = [| r1; r2; w1 |] in
+  let events = [| pollin; pollin; pollout |] in
+  let revents = [| -1; -1; -1 |] in
+  let ready = poll ~fds ~events ~revents ~n:3 ~timeout_ms:1000 in
+  Alcotest.(check int) "two entries ready" 2 ready;
+  Alcotest.(check int) "r1 idle" 0 revents.(0);
+  Alcotest.(check bool) "r2 readable" true (revents.(1) land pollin <> 0);
+  Alcotest.(check bool) "w1 writable" true (revents.(2) land pollout <> 0);
+  (* hangup: close the write side, the read side must report in/hup so
+     the event loop notices EOF without a read call *)
+  Unix.close w2;
+  let revents1 = [| 0 |] in
+  let ready =
+    poll ~fds:[| r2 |] ~events:[| pollin |] ~revents:revents1 ~n:1
+      ~timeout_ms:1000
+  in
+  Alcotest.(check int) "hung-up pipe ready" 1 ready;
+  Alcotest.(check bool)
+    "in or hup set" true
+    (revents1.(0) land (pollin lor pollhup) <> 0);
+  List.iter Unix.close [ r1; w1; r2 ]
+
+let test_poll_beyond_fd_setsize () =
+  (* The whole point of the refactor: a wait on an fd >= 1024 must work.
+     Burn fd numbers with pipes until one crosses the select cliff. *)
+  let limit = Rrs_server.Poll.raise_fd_limit 1200 in
+  if limit < 1100 then ()
+    (* can't raise the limit in this sandbox; nothing to pin *)
+  else begin
+    let burned = ref [] in
+    let high = ref None in
+    (try
+       while !high = None do
+         let r, w = Unix.pipe () in
+         burned := r :: w :: !burned;
+         if Obj.magic w >= 1024 then high := Some (r, w)
+       done
+     with Unix.Unix_error _ -> ());
+    match !high with
+    | None -> List.iter (fun fd -> try Unix.close fd with _ -> ()) !burned
+    | Some (r, w) ->
+        assert (Unix.write_substring w "z" 0 1 = 1);
+        (match Rrs_server.Poll.wait_readable ~timeout:5.0 r with
+        | `Readable -> ()
+        | `Timeout -> Alcotest.fail "poll timed out on fd >= 1024");
+        List.iter (fun fd -> try Unix.close fd with _ -> ()) !burned
+  end
+
+let test_fd_limit () =
+  let now = Rrs_server.Poll.fd_limit () in
+  Alcotest.(check bool) "limit positive" true (now > 0);
+  let after = Rrs_server.Poll.raise_fd_limit (now + 16) in
+  Alcotest.(check bool) "never lowered" true (after >= now);
+  Alcotest.(check int) "fd_limit agrees" after (Rrs_server.Poll.fd_limit ())
+
+let suite =
+  [
+    ( "poll",
+      [
+        Alcotest.test_case "wait_readable timeout then data" `Quick
+          test_wait_readable_timeout;
+        Alcotest.test_case "wait_writable" `Quick test_wait_writable;
+        Alcotest.test_case "multi-fd revents" `Quick test_multi_fd_revents;
+        Alcotest.test_case "poll works beyond FD_SETSIZE" `Quick
+          test_poll_beyond_fd_setsize;
+        Alcotest.test_case "fd limit helpers" `Quick test_fd_limit;
+      ] );
+  ]

@@ -1,0 +1,217 @@
+(* Equivalence suite for Wire.Stream, the push-style frame extractor the
+   readiness event loop runs on: over any byte sequence — valid frames,
+   garbage, truncations — and ANY split of that sequence into feed
+   chunks, the stream must emit exactly what the blocking pull reader
+   emits over the same bytes. This is what lets the event-loop refactor
+   claim both wire framings are preserved byte-identically. *)
+
+module Wire = Rrs_server.Wire
+
+let show_result = function
+  | Wire.Frame f -> "Frame " ^ Wire.encode f
+  | Wire.Malformed m -> "Malformed " ^ m
+  | Wire.Eof -> "Eof"
+
+let show_results rs = String.concat " | " (List.map show_result rs)
+
+(* Reference: the pull reader over the full byte string, read to EOF. *)
+let collect_reader framing data =
+  let pos = ref 0 in
+  let pull buf off len =
+    let k = min len (String.length data - !pos) in
+    Bytes.blit_string data !pos buf off k;
+    pos := !pos + k;
+    k
+  in
+  let r = Wire.reader_fn pull in
+  let rec go acc n =
+    if n > 10_000 then failwith "pull reader did not reach EOF"
+    else
+      match Wire.read ~framing r with
+      | Wire.Eof -> List.rev (Wire.Eof :: acc)
+      | res -> go (res :: acc) (n + 1)
+  in
+  go [] 0
+
+(* Candidate: the incremental stream, fed in [chunks]-sized pieces (any
+   leftover arrives as one final piece), drained after every feed. *)
+let collect_stream framing data chunks =
+  let s = Wire.Stream.create framing in
+  let acc = ref [] in
+  let finished = ref false in
+  let drain () =
+    let continue = ref true in
+    while !continue && not !finished do
+      match Wire.Stream.next s with
+      | None -> continue := false
+      | Some Wire.Eof ->
+          acc := Wire.Eof :: !acc;
+          finished := true
+      | Some res -> acc := res :: !acc
+    done
+  in
+  let pos = ref 0 in
+  let total = String.length data in
+  let feed k =
+    let k = min k (total - !pos) in
+    if k > 0 then begin
+      Wire.Stream.feed s (Bytes.unsafe_of_string data) !pos k;
+      pos := !pos + k;
+      drain ()
+    end
+  in
+  List.iter feed chunks;
+  feed (total - !pos);
+  Wire.Stream.feed_eof s;
+  drain ();
+  if not !finished then failwith "stream did not reach EOF";
+  if Wire.Stream.fed s <> total then failwith "Stream.fed miscounts";
+  List.rev !acc
+
+let check_equivalent framing data chunks =
+  let expected = collect_reader framing data in
+  let got = collect_stream framing data chunks in
+  if expected <> got then
+    Alcotest.failf "reader/stream divergence on %S:\n  reader: %s\n  stream: %s"
+      data (show_results expected) (show_results got);
+  true
+
+(* ---- qcheck: random frame/garbage soups under random chunking ---- *)
+
+let gen_soup framing =
+  QCheck2.Gen.(
+    let gen_segment =
+      oneof
+        [
+          (let* f = Test_server.gen_frame in
+           return (Wire.to_wire framing f));
+          (* truncated frame: the bytes of a real frame, cut short *)
+          (let* f = Test_server.gen_frame in
+           let w = Wire.to_wire framing f in
+           let* k = int_range 0 (String.length w - 1) in
+           return (String.sub w 0 k));
+          (* printable garbage (newline-free) and lone newlines *)
+          string_size ~gen:(char_range ' ' '~') (int_range 0 20);
+          return "\n";
+          (* arbitrary bytes, magic pairs included *)
+          string_size ~gen:char (int_range 0 12);
+        ]
+    in
+    let* segments = list_size (int_range 0 5) gen_segment in
+    let* chunks = list_size (int_range 0 40) (int_range 1 50) in
+    return (String.concat "" segments, chunks))
+
+let prop_equiv framing name =
+  QCheck2.Test.make ~name ~count:400 (gen_soup framing)
+    (fun (data, chunks) -> check_equivalent framing data chunks)
+
+let prop_equiv_v1 =
+  prop_equiv Wire.V1 "stream: /1 equivalent to pull reader under any chunking"
+
+let prop_equiv_v2 =
+  prop_equiv Wire.V2 "stream: /2 equivalent to pull reader under any chunking"
+
+(* ---- directed: the paths random soups are too small to hit ---- *)
+
+(* A /1 line longer than max_frame must report the same single
+   malformed result and resynchronize at the same newline. *)
+let test_v1_overlong () =
+  let line = String.make (Wire.max_frame + 10) 'a' ^ "\n" in
+  let tail = Wire.to_wire Wire.V1 (Wire.Close { session = "s" }) in
+  ignore (check_equivalent Wire.V1 (line ^ tail) [ 1000; 9_000_000 ])
+
+(* A /2 header whose length field exceeds max_frame: malformed after the
+   header, then resync over whatever follows. *)
+let test_v2_oversize_header () =
+  let b = Buffer.create 32 in
+  Buffer.add_char b '\xF2';
+  Buffer.add_char b 'R';
+  let length = Wire.max_frame + 1 in
+  Buffer.add_char b (Char.chr ((length lsr 24) land 0xff));
+  Buffer.add_char b (Char.chr ((length lsr 16) land 0xff));
+  Buffer.add_char b (Char.chr ((length lsr 8) land 0xff));
+  Buffer.add_char b (Char.chr (length land 0xff));
+  Buffer.add_char b '\x05';
+  Buffer.add_string b "trailing junk\n";
+  Buffer.add_string b (Wire.to_wire Wire.V2 (Wire.Stats { session = "s" }));
+  ignore (check_equivalent Wire.V2 (Buffer.contents b) [ 3; 3; 3; 3 ])
+
+(* The hello negotiation: one /1 frame, switch, then /2 traffic — the
+   stream must honor set_framing at the frame boundary even when the /2
+   bytes were already buffered before the switch. *)
+let test_framing_switch () =
+  let hello = Wire.to_wire Wire.V1 (Wire.Hello { client_version = "rrs/2" }) in
+  let after =
+    Wire.to_wire Wire.V2 (Wire.Step { session = "s"; rounds = 3 })
+    ^ Wire.to_wire Wire.V2 (Wire.Close { session = "s" })
+  in
+  let data = hello ^ after in
+  let s = Wire.Stream.create Wire.V1 in
+  (* everything arrives in one burst, before the switch *)
+  Wire.Stream.feed_string s data;
+  Wire.Stream.feed_eof s;
+  (match Wire.Stream.next s with
+  | Some (Wire.Frame (Wire.Hello _)) -> ()
+  | other ->
+      Alcotest.failf "expected hello, got %s"
+        (match other with None -> "None" | Some r -> show_result r));
+  Wire.Stream.set_framing s Wire.V2;
+  (match Wire.Stream.next s with
+  | Some (Wire.Frame (Wire.Step { rounds = 3; _ })) -> ()
+  | _ -> Alcotest.fail "expected step after switch");
+  (match Wire.Stream.next s with
+  | Some (Wire.Frame (Wire.Close _)) -> ()
+  | _ -> Alcotest.fail "expected close after switch");
+  match Wire.Stream.next s with
+  | Some Wire.Eof -> ()
+  | _ -> Alcotest.fail "expected eof"
+
+(* Byte-at-a-time chunking across a multi-frame conversation. *)
+let test_byte_at_a_time () =
+  List.iter
+    (fun framing ->
+      let data =
+        String.concat ""
+          (List.map (Wire.to_wire framing)
+             [
+               Wire.Open
+                 {
+                   session = "s";
+                   policy = "static";
+                   delta = 2;
+                   bounds = [| 3; 3 |];
+                   n = 6;
+                   speed = 1;
+                   horizon = 100;
+                   queue_limit = 16;
+                   decl = None;
+                 };
+               Wire.Feed
+                 { session = "s"; colors = [| 0 |]; counts = [| 2 |]; decl = None };
+               Wire.Step { session = "s"; rounds = 5 };
+               Wire.Close { session = "s" };
+             ])
+      in
+      ignore
+        (check_equivalent framing data
+           (List.init (String.length data) (fun _ -> 1))))
+    [ Wire.V1; Wire.V2 ]
+
+let prop = QCheck_alcotest.to_alcotest
+
+let suite =
+  [
+    ( "wire-stream",
+      [
+        prop prop_equiv_v1;
+        prop prop_equiv_v2;
+        Alcotest.test_case "overlong /1 line resyncs identically" `Quick
+          test_v1_overlong;
+        Alcotest.test_case "oversize /2 length resyncs identically" `Quick
+          test_v2_oversize_header;
+        Alcotest.test_case "framing switch at frame boundary" `Quick
+          test_framing_switch;
+        Alcotest.test_case "byte-at-a-time conversation" `Quick
+          test_byte_at_a_time;
+      ] );
+  ]
